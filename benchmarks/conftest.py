@@ -1,0 +1,36 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Every benchmark regenerates one of the paper's quantitative artifacts
+(see DESIGN.md §4) and both prints the resulting table and appends it to
+``benchmarks/results/<experiment>.txt`` so a full
+``pytest benchmarks/ --benchmark-only`` run leaves a complete report on
+disk. EXPERIMENTS.md summarises paper-claim vs measured for each.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def report(report_dir, capsys):
+    """report(experiment_id, text): print + persist a result table."""
+
+    def _report(experiment: str, text: str) -> None:
+        path = report_dir / f"{experiment}.txt"
+        with path.open("a") as fh:
+            fh.write(text + "\n\n")
+        with capsys.disabled():
+            print(f"\n{text}\n")
+
+    return _report

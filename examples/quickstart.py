@@ -1,0 +1,27 @@
+#!/usr/bin/env python
+"""Quickstart: solve a matrix-chain instance with every algorithm.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import solve
+from repro.core.cost_model import comparison_table
+from repro.problems import MatrixChainProblem
+from repro.viz import render_tree
+
+# The classic six-matrix instance (CLRS §15.2): optimal cost 15125.
+problem = MatrixChainProblem([30, 35, 15, 5, 10, 20, 25])
+print(f"Problem: {problem.describe()}\n")
+
+for method in ("sequential", "huang", "huang-banded", "rytter"):
+    result = solve(problem, method=method)
+    iters = f", {result.iterations} iterations" if result.iterations else ""
+    print(f"{method:13s} -> optimal cost {result.value:.0f}{iters}")
+
+# Reconstruct and draw the optimal parenthesisation.
+result = solve(problem, method="huang", reconstruct=True)
+print("\nOptimal parenthesisation tree (node (i,j) = product A_{i+1}..A_j):")
+print(render_tree(result.tree))
+
+# The headline of the paper: processor-time products of the algorithms.
+print("\n" + comparison_table([64]))

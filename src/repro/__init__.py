@@ -1,0 +1,52 @@
+"""repro — a reproduction of Huang, Liu & Viswanathan's sublinear
+parallel algorithm for parenthesization dynamic programming.
+
+(S.-H. S. Huang, H. Liu, V. Viswanathan, "A sublinear parallel algorithm
+for some dynamic programming problems", ICPP 1990 / Theoretical Computer
+Science 106 (1992) 361-371.)
+
+Quickstart::
+
+    from repro.problems import MatrixChainProblem
+    from repro.core import solve
+
+    problem = MatrixChainProblem([30, 35, 15, 5, 10, 20, 25])
+    print(solve(problem, method="huang").value)        # 15125.0
+
+Subpackages
+-----------
+``repro.problems``  — recurrence-(*) instances (matrix chain, optimal
+                      BST, polygon triangulation, generic, generators);
+``repro.core``      — solvers: sequential O(n³), Knuth O(n²), the
+                      paper's O(sqrt(n)·log n) algorithm (full and
+                      banded), Rytter's baseline, termination policies,
+                      the symbolic cost model;
+``repro.pebbling``  — the Section 3 pebbling game (both square rules),
+                      Lemma 3.3 invariants;
+``repro.trees``     — parse trees, Fig. 2 shapes, instance synthesis;
+``repro.pram``      — an instrumented CREW PRAM simulator (super-steps,
+                      conflict detection, Brent scheduling, cost ledger);
+``repro.analysis``  — the Section 6 average-case recurrence and
+                      Monte-Carlo harnesses;
+``repro.parallel``  — multicore execution backends for the table sweeps;
+``repro.viz``       — ASCII rendering of trees and experiment tables.
+"""
+
+from repro._version import __version__
+from repro.core.api import solve, SolveResult
+from repro.problems import (
+    MatrixChainProblem,
+    OptimalBSTProblem,
+    PolygonTriangulationProblem,
+    GenericProblem,
+)
+
+__all__ = [
+    "__version__",
+    "solve",
+    "SolveResult",
+    "MatrixChainProblem",
+    "OptimalBSTProblem",
+    "PolygonTriangulationProblem",
+    "GenericProblem",
+]

@@ -1,0 +1,36 @@
+"""Average-case (Section 6) and worst-case analyses.
+
+* :mod:`~repro.analysis.average_case` — exact evaluation of the paper's
+  recurrence  T(n) = 1 + (2/(n-1)) * sum max(T(i), T(n-i))  and its
+  O(log n) fit;
+* :mod:`~repro.analysis.montecarlo` — Monte-Carlo move statistics of the
+  pebbling game over random trees (the paper's uniform-split model),
+  plus algorithm-level iteration statistics on random instances;
+* :mod:`~repro.analysis.worstcase` — zigzag/vine series against the
+  2·sqrt(n) bound of Lemma 3.3.
+"""
+
+from repro.analysis.average_case import paper_T, fit_log, fit_sqrt
+from repro.analysis.montecarlo import (
+    game_move_statistics,
+    algorithm_iteration_statistics,
+    MoveStatistics,
+)
+from repro.analysis.worstcase import worst_case_series, WorstCasePoint
+from repro.analysis.convergence import convergence_profile, ConvergenceProfile
+from repro.analysis.distribution import move_distribution, MoveDistribution
+
+__all__ = [
+    "paper_T",
+    "fit_log",
+    "fit_sqrt",
+    "game_move_statistics",
+    "algorithm_iteration_statistics",
+    "MoveStatistics",
+    "worst_case_series",
+    "WorstCasePoint",
+    "convergence_profile",
+    "ConvergenceProfile",
+    "move_distribution",
+    "MoveDistribution",
+]

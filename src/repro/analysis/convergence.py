@@ -1,0 +1,99 @@
+"""Per-cell convergence profiling.
+
+For a table solver, record the iteration at which each ``w'(i, j)``
+first reached its final (exact) value. This exposes *where* the
+iteration spends its moves:
+
+* on easy (complete/skewed/random) instances the profile is flat in
+  interval length — whole levels converge together, log-many waves;
+* on the zigzag, the profile is a staircase along the spine — one
+  spine interval per O(1) iterations, sqrt-many waves, exactly the
+  frontier the Lemma 3.3 analysis describes.
+
+The E9 bench prints these profiles; they are the closest thing to a
+"convergence heat map" a text report can carry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.huang import HuangSolver
+from repro.core.sequential import solve_sequential
+from repro.errors import ConvergenceError
+from repro.problems.base import ParenthesizationProblem
+
+__all__ = ["convergence_profile", "ConvergenceProfile"]
+
+
+@dataclass(frozen=True)
+class ConvergenceProfile:
+    """``first_exact[i, j]`` is the 1-based iteration at which w'(i, j)
+    first equalled w(i, j) (0 for the seeded leaves, -1 for invalid
+    cells); derived summaries by interval length."""
+
+    first_exact: np.ndarray
+    iterations: int
+
+    @property
+    def n(self) -> int:
+        return self.first_exact.shape[0] - 1
+
+    def by_length(self) -> list[tuple[int, float, int]]:
+        """Rows (length, mean iteration, max iteration) for lengths
+        2..n — the waves of convergence."""
+        rows = []
+        for length in range(2, self.n + 1):
+            vals = [
+                self.first_exact[i, i + length]
+                for i in range(0, self.n - length + 1)
+            ]
+            rows.append((length, float(np.mean(vals)), int(np.max(vals))))
+        return rows
+
+    def frontier_width(self) -> list[int]:
+        """Cells that became exact at each iteration (the wave sizes)."""
+        out = []
+        for it in range(1, self.iterations + 1):
+            out.append(int((self.first_exact == it).sum()))
+        return out
+
+
+def convergence_profile(
+    problem: ParenthesizationProblem,
+    solver: HuangSolver | None = None,
+    *,
+    max_iterations: int | None = None,
+    atol: float = 1e-9,
+) -> ConvergenceProfile:
+    """Run ``solver`` (default: a fresh banded-capable HuangSolver) to
+    the full fixed point, recording each cell's first-exact iteration."""
+    from repro.core.banded import BandedSolver
+
+    ref = solve_sequential(problem).w
+    if solver is None:
+        solver = BandedSolver(problem)
+    n = problem.n
+    first = np.full((n + 1, n + 1), -1, dtype=np.int64)
+    idx = np.arange(n)
+    first[idx, idx + 1] = 0  # leaves are exact from the start
+    valid = np.isfinite(ref)
+    cap = max_iterations if max_iterations is not None else 4 * n + 8
+
+    it = 0
+    while True:
+        if (first[valid] >= 0).all():
+            break
+        if it >= cap:
+            raise ConvergenceError(
+                f"profile did not complete within {cap} iterations"
+            )
+        it += 1
+        solver.iterate()
+        with np.errstate(invalid="ignore"):
+            close = np.abs(solver.w - ref) <= atol * np.maximum(1.0, np.abs(ref))
+        newly = valid & (first < 0) & close
+        first[newly] = it
+    return ConvergenceProfile(first_exact=first, iterations=it)

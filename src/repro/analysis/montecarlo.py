@@ -1,0 +1,127 @@
+"""Monte-Carlo harnesses: the evidence behind Sections 6–7.
+
+The paper reports that "our simulations indicate that in most cases the
+optimal solution can be obtained in much less than O(sqrt(n) log n)".
+These harnesses regenerate that evidence at two levels:
+
+* :func:`game_move_statistics` — moves of the pebbling game over random
+  trees drawn from the paper's uniform-split model (scales to n ~ 10⁵);
+* :func:`algorithm_iteration_statistics` — iterations of the actual
+  table algorithm on random *instances* (matrix chain / BST /
+  triangulation / generic), under a chosen termination policy, with the
+  oracle "first iteration at which w'(0, n) is correct" recorded from
+  the trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.banded import BandedSolver
+from repro.core.huang import HuangSolver
+from repro.core.sequential import solve_sequential
+from repro.core.termination import TerminationPolicy, WStable
+from repro.pebbling.game import PebbleGame
+from repro.pebbling.tree import GameTree
+from repro.problems.base import ParenthesizationProblem
+from repro.util.rng import SeedLike, spawn_rngs
+from repro.util.validation import check_positive_int
+
+__all__ = [
+    "MoveStatistics",
+    "game_move_statistics",
+    "algorithm_iteration_statistics",
+]
+
+
+@dataclass(frozen=True)
+class MoveStatistics:
+    """Summary statistics of a sample of counts."""
+
+    n: int
+    samples: int
+    mean: float
+    std: float
+    minimum: int
+    maximum: int
+    p90: float
+
+    @staticmethod
+    def from_sample(n: int, counts: "np.ndarray") -> "MoveStatistics":
+        counts = np.asarray(counts)
+        return MoveStatistics(
+            n=n,
+            samples=int(counts.size),
+            mean=float(counts.mean()),
+            std=float(counts.std()),
+            minimum=int(counts.min()),
+            maximum=int(counts.max()),
+            p90=float(np.percentile(counts, 90)),
+        )
+
+    def row(self) -> tuple[int, int, float, float, int, int, float]:
+        return (self.n, self.samples, self.mean, self.std, self.minimum, self.maximum, self.p90)
+
+
+def game_move_statistics(
+    n: int,
+    *,
+    samples: int = 50,
+    seed: SeedLike = 0,
+    square_rule: str = "huang",
+) -> MoveStatistics:
+    """Moves-to-pebble statistics over random uniform-split trees."""
+    check_positive_int(n, "n")
+    check_positive_int(samples, "samples")
+    rngs = spawn_rngs(seed, samples)
+    counts = np.empty(samples, dtype=np.int64)
+    for s, rng in enumerate(rngs):
+        tree = GameTree.random(n, seed=rng)
+        counts[s] = PebbleGame(tree, square_rule=square_rule).run().moves
+    return MoveStatistics.from_sample(n, counts)
+
+
+def algorithm_iteration_statistics(
+    n: int,
+    make_problem: Callable[[int, object], ParenthesizationProblem],
+    *,
+    samples: int = 10,
+    seed: SeedLike = 0,
+    solver: str = "banded",
+    policy_factory: Callable[[], TerminationPolicy] = WStable,
+    max_n: int = 64,
+) -> tuple[MoveStatistics, MoveStatistics]:
+    """Iterations of the table algorithm on random instances.
+
+    ``make_problem(n, rng)`` builds one instance. Returns two statistics:
+    (iterations until the chosen policy stopped, iterations until the
+    root value was first correct per the sequential reference).
+
+    The stopped-value is additionally asserted correct for every sample
+    — a failure here would be a counterexample to the paper's suggested
+    stopping rule, which E5 is designed to hunt for.
+    """
+    check_positive_int(samples, "samples")
+    rngs = spawn_rngs(seed, samples)
+    stopped = np.empty(samples, dtype=np.int64)
+    correct = np.empty(samples, dtype=np.int64)
+    cls = {"banded": BandedSolver, "full": HuangSolver}[solver]
+    for s, rng in enumerate(rngs):
+        problem = make_problem(n, rng)
+        ref = solve_sequential(problem)
+        run = cls(problem, max_n=max_n).run(policy_factory(), trace=True)
+        if not np.isclose(run.value, ref.value):
+            raise AssertionError(
+                f"termination policy stopped at a wrong value on sample {s}: "
+                f"{run.value} != {ref.value} (n={n})"
+            )
+        stopped[s] = run.iterations
+        first = run.trace.first_correct_iteration(ref.value)
+        correct[s] = first if first is not None else run.iterations
+    return (
+        MoveStatistics.from_sample(n, stopped),
+        MoveStatistics.from_sample(n, correct),
+    )

@@ -1,0 +1,72 @@
+"""Worst-case series: vines/zigzags against the Lemma 3.3 bound (E2).
+
+The game on any vine takes Θ(sqrt(n)) moves (the zigzag of Fig. 2a is a
+vine; the game is child-order symmetric, so every vine behaves alike).
+This module produces the (n, moves, bound) series at game level — cheap
+enough for n up to 10⁶ — and, at the algorithm level, the series of
+iterations-until-correct on zigzag-forced instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.compact import CompactBandedSolver
+from repro.core.sequential import solve_sequential
+from repro.core.termination import UntilValue
+from repro.pebbling.game import PebbleGame
+from repro.pebbling.invariants import moves_upper_bound
+from repro.pebbling.tree import GameTree
+from repro.trees.shapes import zigzag_tree
+from repro.trees.synthesis import synthesize_instance
+
+__all__ = ["WorstCasePoint", "worst_case_series", "algorithm_zigzag_series"]
+
+
+@dataclass(frozen=True)
+class WorstCasePoint:
+    """One row of the worst-case figure: game moves vs the bound."""
+
+    n: int
+    moves: int
+    bound: int
+
+    @property
+    def ratio(self) -> float:
+        """moves / sqrt(n) — should approach a constant (≈ sqrt(2))."""
+        return self.moves / (self.n**0.5)
+
+
+def worst_case_series(
+    ns: Sequence[int],
+    *,
+    square_rule: str = "huang",
+) -> list[WorstCasePoint]:
+    """Game moves on vines for each n, with the 2·ceil(sqrt(n)) bound."""
+    out = []
+    for n in ns:
+        game = PebbleGame(GameTree.vine(n), square_rule=square_rule)
+        trace = game.run()
+        out.append(WorstCasePoint(n=n, moves=trace.moves, bound=moves_upper_bound(n)))
+    return out
+
+
+def algorithm_zigzag_series(
+    ns: Sequence[int],
+    *,
+    max_n: int = 256,
+) -> list[WorstCasePoint]:
+    """Iterations-until-correct of the Section 5 algorithm on
+    zigzag-forced instances (the algorithm-level worst case), using the
+    Θ(n³)-storage compact solver so the series reaches n ≈ 200."""
+    out = []
+    for n in ns:
+        problem = synthesize_instance(zigzag_tree(n), style="uniform_plus")
+        ref = solve_sequential(problem)
+        solver = CompactBandedSolver(problem, max_n=max_n)
+        run = solver.run(UntilValue(ref.value), max_iterations=4 * n + 8)
+        out.append(
+            WorstCasePoint(n=n, moves=run.iterations, bound=moves_upper_bound(n))
+        )
+    return out

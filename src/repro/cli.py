@@ -1,0 +1,206 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``solve``    solve a random or user-specified instance with any method;
+``pebble``   play the pebbling game on a named tree shape;
+``costs``    print the symbolic processor–time comparison table;
+``average``  evaluate the Section 6 recurrence and a Monte-Carlo check.
+
+Examples::
+
+    python -m repro solve --family chain --n 16 --method huang-banded
+    python -m repro solve --dims 30,35,15,5,10,20,25 --method huang
+    python -m repro pebble --shape zigzag --n 4096 --rule huang
+    python -m repro costs --n 16 64 256
+    python -m repro average --n-max 1024
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of Huang, Liu & Viswanathan's sublinear parallel "
+            "algorithm for parenthesization dynamic programming."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_solve = sub.add_parser("solve", help="solve one instance")
+    p_solve.add_argument(
+        "--family",
+        choices=["chain", "bst", "polygon", "generic"],
+        default="chain",
+        help="random-instance family (ignored if --dims is given)",
+    )
+    p_solve.add_argument("--n", type=int, default=12, help="instance size")
+    p_solve.add_argument("--seed", type=int, default=0)
+    p_solve.add_argument(
+        "--dims",
+        type=str,
+        default=None,
+        help="explicit matrix-chain dimensions, comma separated",
+    )
+    p_solve.add_argument(
+        "--method",
+        choices=["sequential", "knuth", "huang", "huang-banded", "rytter"],
+        default="huang-banded",
+    )
+    p_solve.add_argument(
+        "--policy",
+        choices=["paper", "w-stable", "w-pw-stable"],
+        default="paper",
+        help="termination policy for the iterative methods",
+    )
+    p_solve.add_argument("--tree", action="store_true", help="print the optimal tree")
+    p_solve.add_argument("--trace", action="store_true", help="print the iteration trace")
+
+    p_pebble = sub.add_parser("pebble", help="play the pebbling game")
+    p_pebble.add_argument(
+        "--shape",
+        choices=["zigzag", "skewed", "complete", "random"],
+        default="zigzag",
+    )
+    p_pebble.add_argument("--n", type=int, default=1024)
+    p_pebble.add_argument("--seed", type=int, default=0)
+    p_pebble.add_argument("--rule", choices=["huang", "rytter"], default="huang")
+    p_pebble.add_argument("--trace", action="store_true")
+
+    p_costs = sub.add_parser("costs", help="symbolic PT-product table")
+    p_costs.add_argument("--n", type=int, nargs="+", default=[16, 64, 256])
+
+    p_avg = sub.add_parser("average", help="Section 6 average-case check")
+    p_avg.add_argument("--n-max", type=int, default=1024)
+    p_avg.add_argument("--samples", type=int, default=30)
+    p_avg.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from repro.core import solve
+    from repro.core.termination import WPWStable, WStable
+    from repro.problems import MatrixChainProblem
+    from repro.problems.generators import (
+        random_bst,
+        random_generic,
+        random_matrix_chain,
+        random_polygon,
+    )
+    from repro.viz import render_iteration_trace, render_tree
+
+    if args.dims:
+        dims = [int(x) for x in args.dims.split(",")]
+        problem = MatrixChainProblem(dims)
+    else:
+        make = {
+            "chain": random_matrix_chain,
+            "bst": random_bst,
+            "polygon": random_polygon,
+            "generic": random_generic,
+        }[args.family]
+        problem = make(args.n, seed=args.seed)
+    policy = {
+        "paper": None,
+        "w-stable": WStable(),
+        "w-pw-stable": WPWStable(),
+    }[args.policy]
+    kwargs = {}
+    if args.method in ("huang", "huang-banded", "rytter"):
+        kwargs["policy"] = policy
+    result = solve(problem, method=args.method, reconstruct=args.tree, **kwargs)
+    print(f"problem : {problem.describe()}")
+    print(f"method  : {args.method}")
+    print(f"value   : {result.value:.6g}")
+    if result.iterations is not None:
+        print(f"iters   : {result.iterations}")
+    if args.trace and result.trace is not None:
+        print()
+        print(render_iteration_trace(result.trace))
+    if args.tree and result.tree is not None:
+        print("\noptimal tree:")
+        print(render_tree(result.tree))
+    return 0
+
+
+def _cmd_pebble(args: argparse.Namespace) -> int:
+    from repro.pebbling import GameTree, PebbleGame, moves_upper_bound
+    from repro.viz import render_game_trace
+
+    if args.shape == "complete":
+        tree = GameTree.complete(args.n)
+    elif args.shape == "random":
+        tree = GameTree.random(args.n, seed=args.seed)
+    else:  # zigzag and skewed share the vine structure in the game
+        tree = GameTree.vine(args.n)
+    game = PebbleGame(tree, square_rule=args.rule)
+    trace = game.run(trace=args.trace)
+    print(
+        f"shape={args.shape} n={args.n} rule={args.rule}: "
+        f"{trace.moves} moves (Lemma 3.3 bound {moves_upper_bound(args.n)})"
+    )
+    if args.trace:
+        print()
+        print(render_game_trace(trace))
+    return 0
+
+
+def _cmd_costs(args: argparse.Namespace) -> int:
+    from repro.core.cost_model import comparison_table
+
+    print(comparison_table(list(args.n)))
+    return 0
+
+
+def _cmd_average(args: argparse.Namespace) -> int:
+    import math
+
+    from repro.analysis.average_case import fit_log, paper_T
+    from repro.analysis.montecarlo import game_move_statistics
+    from repro.util.tables import format_table
+
+    ns = []
+    n = 16
+    while n <= args.n_max:
+        ns.append(n)
+        n *= 4
+    T = paper_T(max(ns))
+    rows = []
+    for n in ns:
+        mc = game_move_statistics(n, samples=args.samples, seed=args.seed)
+        rows.append((n, float(T[n]), mc.mean, mc.maximum, math.log2(n)))
+    print(
+        format_table(
+            ["n", "paper T(n)", "MC mean", "MC max", "log2 n"],
+            rows,
+            title="Section 6 average case (game moves on random trees)",
+            floatfmt=".2f",
+        )
+    )
+    c, rmse = fit_log([r[0] for r in rows], [r[2] for r in rows])
+    print(f"\nMC mean ~ {c:.2f} * log2(n)  (rmse {rmse:.3f})")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "solve": _cmd_solve,
+        "pebble": _cmd_pebble,
+        "costs": _cmd_costs,
+        "average": _cmd_average,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,123 @@
+"""The public solving façade.
+
+:func:`solve` runs any of the implemented algorithms on a
+recurrence-(*) problem and returns a uniform :class:`SolveResult`:
+the optimal value, the cost table, an optimal tree, and (for the
+iterative parallel algorithms) the iteration count and trace.
+
+    >>> from repro.problems import MatrixChainProblem
+    >>> from repro.core import solve
+    >>> result = solve(MatrixChainProblem([10, 20, 5, 30]), method="huang")
+    >>> result.value
+    4000.0
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.banded import BandedSolver
+from repro.core.compact import CompactBandedSolver
+from repro.core.huang import HuangSolver, IterationTrace
+from repro.core.knuth import solve_knuth
+from repro.core.reconstruct import reconstruct_tree
+from repro.core.rytter import RytterSolver
+from repro.core.sequential import solve_sequential
+from repro.core.termination import TerminationPolicy
+from repro.errors import InvalidProblemError
+from repro.problems.base import ParenthesizationProblem
+from repro.trees.parse_tree import ParseTree
+
+__all__ = ["solve", "SolveResult", "METHODS"]
+
+METHODS = ("sequential", "knuth", "huang", "huang-banded", "huang-compact", "rytter")
+
+
+@dataclass(frozen=True)
+class SolveResult:
+    """Uniform solver output.
+
+    ``iterations``/``trace`` are ``None`` for the sequential methods.
+    ``tree`` is computed lazily only when ``reconstruct=True`` was
+    passed (building it costs another O(n²) pass over the table).
+    """
+
+    method: str
+    value: float
+    w: np.ndarray
+    iterations: Optional[int] = None
+    trace: Optional[IterationTrace] = None
+    tree: Optional[ParseTree] = None
+
+    @property
+    def n(self) -> int:
+        return self.w.shape[0] - 1
+
+
+def solve(
+    problem: ParenthesizationProblem,
+    *,
+    method: str = "sequential",
+    policy: TerminationPolicy | None = None,
+    reconstruct: bool = False,
+    max_n: int | None = None,
+    **solver_kwargs,
+) -> SolveResult:
+    """Solve ``problem`` with the chosen algorithm.
+
+    Parameters
+    ----------
+    method:
+        One of ``"sequential"`` (O(n³) DP), ``"knuth"`` (O(n²),
+        quadrangle-inequality instances only), ``"huang"`` (the paper's
+        algorithm), ``"huang-banded"`` (Section 5 variant, Θ(n⁴)
+        storage), ``"huang-compact"`` (Section 5 with Θ(n³) storage,
+        scales to n ≈ 200) or ``"rytter"`` (the [8] baseline).
+    policy:
+        Termination policy for the iterative methods (default: the
+        method's paper schedule).
+    reconstruct:
+        Also build an optimal :class:`~repro.trees.ParseTree`.
+    max_n:
+        Override the iterative solvers' memory guard.
+    solver_kwargs:
+        Extra keyword arguments forwarded to the solver class
+        (e.g. ``band=...``, ``size_band=True`` for ``huang-banded``).
+    """
+    if method not in METHODS:
+        raise InvalidProblemError(f"unknown method {method!r}; choose from {METHODS}")
+
+    if method == "sequential":
+        seq = solve_sequential(problem)
+        tree = (
+            ParseTree.from_split_table(seq.split) if reconstruct and problem.n >= 1 else None
+        )
+        return SolveResult(method=method, value=seq.value, w=seq.w, tree=tree)
+
+    if method == "knuth":
+        seq = solve_knuth(problem, **solver_kwargs)
+        tree = ParseTree.from_split_table(seq.split) if reconstruct else None
+        return SolveResult(method=method, value=seq.value, w=seq.w, tree=tree)
+
+    solver_cls = {
+        "huang": HuangSolver,
+        "huang-banded": BandedSolver,
+        "huang-compact": CompactBandedSolver,
+        "rytter": RytterSolver,
+    }[method]
+    if max_n is not None:
+        solver_kwargs["max_n"] = max_n
+    solver = solver_cls(problem, **solver_kwargs)
+    out = solver.run(policy)
+    tree = reconstruct_tree(problem, out.w) if reconstruct else None
+    return SolveResult(
+        method=method,
+        value=out.value,
+        w=out.w,
+        iterations=out.iterations,
+        trace=out.trace,
+        tree=tree,
+    )

@@ -1,0 +1,244 @@
+"""The Section 5 algorithm with Θ(n³) storage — the compact layout.
+
+:class:`~repro.core.banded.BandedSolver` proves the §5 *work* bound but
+still stores the dense Θ(n⁴) pw array. This solver also realises the
+§5 *storage* implication: in-band partial weights are kept in a
+four-index array
+
+    PB[i, j, o, d]  =  pw(i, j, p, q),   p = i + o,  q = j - (d - o),
+
+where ``d = (j - i) - (q - p)`` is the size difference (``<= band``)
+and ``o = p - i`` its left offset. The validity constraint ``q <= j``
+forces ``o <= d``, so only ``(band+1)²/2`` (o, d) pairs exist per
+interval: Θ(n²·band²) = Θ(n³) memory for the Section 5 band.
+
+The payoff of these coordinates is that every §5 square composition
+becomes a pure *slice shift*:
+
+* right-anchored  pw(i,j,r,q) + pw(r,q,p,q) with offset ``e = p - r``:
+      PB[i, j, o-e, d-e]  +  PB[i + (o-e), j + (o-d), e, e]
+* left-anchored   pw(i,j,p,s) + pw(p,s,p,q) with offset ``e = s - q``:
+      PB[i, j, o,   d-e]  +  PB[i + o,     j + (o-d) + e, 0, e]
+
+— the second factors are 2-D translations of a fixed (o', d') plane, so
+one a-square is Θ(band³) numpy slab operations of Θ(n²) elements each:
+Θ(n²·band³) = Θ(n^3.5) work, the exact §5 charge, with no gather or
+mask machinery.
+
+Out-of-band activate cells (gap = a child of the root; needed by the
+pebble step, never by squares — see :mod:`~repro.core.banded`) are kept
+in two Θ(n³) arrays ``A1[i,j,k] = pw'(i,j,i,k)`` and
+``A2[i,j,k] = pw'(i,j,k,j)``.
+
+Net effect: the full algorithm runs at n ≈ 200 on a laptop (vs ≈ 64
+for the dense solvers), which is what lets E2/E3's algorithm-level
+series extend deep enough to read the growth laws cleanly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.banded import default_band
+from repro.core.huang import IterativeTableSolver
+from repro.errors import InvalidProblemError
+from repro.problems.base import ParenthesizationProblem
+
+__all__ = ["CompactBandedSolver"]
+
+
+class CompactBandedSolver(IterativeTableSolver):
+    """Section 5 algorithm with Θ(n³) storage (see module docstring).
+
+    Parameters
+    ----------
+    band:
+        Maximum gap size-difference kept (default ``2 * ceil(sqrt n)``).
+    max_n:
+        Memory guard; the PB table is ``(n+1)²·(band+1)²`` floats
+        (n=200 ≈ 0.6 GiB with the default band).
+    """
+
+    def __init__(
+        self,
+        problem: ParenthesizationProblem,
+        *,
+        band: int | None = None,
+        max_n: int = 256,
+    ) -> None:
+        if problem.n > max_n:
+            raise InvalidProblemError(
+                f"n={problem.n} exceeds max_n={max_n}; pass a larger max_n "
+                "explicitly if you have the memory"
+            )
+        self.problem = problem
+        self.n = problem.n
+        self.band = default_band(problem.n) if band is None else int(band)
+        if self.band < 0:
+            raise InvalidProblemError(f"band must be >= 0, got {self.band}")
+        self.band = min(self.band, max(0, problem.n - 1))
+        self._F = problem.cached_f_table()
+        self._init = problem.init_vector()
+        self.reset()
+
+    # -- state ------------------------------------------------------------
+
+    def reset(self) -> None:
+        N = self.n + 1
+        B = self.band
+        self.w = np.full((N, N), np.inf)
+        idx = np.arange(self.n)
+        self.w[idx, idx + 1] = self._init
+        # PB[i, j, o, d]; invalid combinations simply stay +inf.
+        self.PB = np.full((N, N, B + 1, B + 1), np.inf)
+        ii, jj = np.triu_indices(N, k=1)
+        self.PB[ii, jj, 0, 0] = 0.0  # pw(i, j, i, j) = 0
+        self.A1 = np.full((N, N, N), np.inf)  # pw'(i, j, i, k)
+        self.A2 = np.full((N, N, N), np.inf)  # pw'(i, j, k, j)
+        self._acc = np.empty_like(self.PB)
+        # Valid slots: 0 <= i < j <= n, o <= d < j - i. Invalid slots must
+        # stay +inf or shifted-slice compositions could read garbage.
+        i_g, j_g, o_g, d_g = np.ogrid[:N, :N, : B + 1, : B + 1]
+        self._invalid = ~((i_g < j_g) & (o_g <= d_g) & (d_g < j_g - i_g))
+        self.iterations_run = 0
+
+    def _count_finite_pw(self) -> int:
+        return int(
+            np.isfinite(self.PB).sum()
+            + np.isfinite(self.A1).sum()
+            + np.isfinite(self.A2).sum()
+        )
+
+    # -- operations ---------------------------------------------------------
+
+    def a_activate(self) -> bool:
+        """Equations (1a)/(1b) into A1/A2, mirrored into PB where in-band."""
+        N = self.n + 1
+        changed = False
+        # T[i, j, k] = f(i, k, j) (+inf at invalid triples).
+        T = self._F.transpose(0, 2, 1)
+        # (1a): pw'(i,j,i,k) <- f + w(k, j);  w(k, j) indexed [j, k].
+        U1 = T + self.w.T[None, :, :]
+        if (U1 < self.A1).any():
+            changed = True
+        np.minimum(self.A1, U1, out=self.A1)
+        # (1b): pw'(i,j,k,j) <- f + w(i, k).
+        U2 = T + self.w[:, None, :]
+        if (U2 < self.A2).any():
+            changed = True
+        np.minimum(self.A2, U2, out=self.A2)
+        # Mirror in-band cells into PB. Gap (i, k): o = 0, d = j - k;
+        # gap (k, j): o = d = k - i.
+        jj = np.arange(N)
+        for d in range(1, self.band + 1):
+            # (1a): value at (i, j) is A1[i, j, j - d] for j >= d.
+            view = self.PB[:, d:, 0, d]
+            vals = self.A1[:, jj[d:], jj[d:] - d]
+            if not changed and (vals < view).any():
+                changed = True
+            np.minimum(view, vals, out=view)
+            # (1b): value at (i, j) is A2[i, j, i + d] for i <= n - d.
+            ii = np.arange(N - d)
+            view = self.PB[: N - d, :, d, d]
+            vals = self.A2[ii, :, ii + d]
+            if not changed and (vals < view).any():
+                changed = True
+            np.minimum(view, vals, out=view)
+        return changed
+
+    def a_square(self) -> bool:
+        """Equation (2c), in-band, via slice shifts (module docstring)."""
+        N = self.n + 1
+        PB = self.PB
+        acc = self._acc
+        acc.fill(np.inf)
+        for d in range(0, self.band + 1):
+            for o in range(0, d + 1):
+                dj = o - d  # <= 0: column shift of the second factor
+                for e in range(0, d + 1):
+                    if e <= o:
+                        # right-anchored: PB[i,j,o-e,d-e] + PB[i+(o-e), j+dj, e, e]
+                        di = o - e
+                        first = PB[: N - di, -dj:, o - e, d - e]
+                        second = PB[di:, : N + dj, e, e]
+                        tgt = acc[: N - di, -dj:, o, d]
+                        np.minimum(tgt, first + second, out=tgt)
+                    # left-anchored: PB[i,j,o,d-e] + PB[i+o, j+dj+e, 0, e]
+                    di = o
+                    dj2 = dj + e
+                    if dj2 <= 0:
+                        first = PB[: N - di, -dj2:, o, d - e]
+                        second = PB[di:, : N + dj2, 0, e]
+                        tgt = acc[: N - di, -dj2:, o, d]
+                    else:
+                        first = PB[: N - di, : N - dj2, o, d - e]
+                        second = PB[di:, dj2:, 0, e]
+                        tgt = acc[: N - di, : N - dj2, o, d]
+                    np.minimum(tgt, first + second, out=tgt)
+        acc[self._invalid] = np.inf
+        changed = bool((acc < PB).any())
+        np.minimum(PB, acc, out=PB)
+        return changed
+
+    def a_pebble(self) -> bool:
+        """Equation (3): close gaps from PB and from both activate arrays."""
+        N = self.n + 1
+        cand = np.full_like(self.w, np.inf)
+        # In-band gaps: w(p, q) = w[i + o, j + (o - d)].
+        for d in range(0, self.band + 1):
+            for o in range(0, d + 1):
+                dj = o - d
+                first = self.PB[: N - o, -dj:, o, d]
+                wshift = self.w[o:, : N + dj]
+                tgt = cand[: N - o, -dj:]
+                np.minimum(tgt, first + wshift, out=tgt)
+        # Activate gaps (any size difference):
+        # A1: gap (i, k) -> + w(i, k);  A2: gap (k, j) -> + w(k, j).
+        c1 = (self.A1 + self.w[:, None, :]).min(axis=2)
+        c2 = (self.A2 + self.w.T[None, :, :]).min(axis=2)
+        np.minimum(cand, c1, out=cand)
+        np.minimum(cand, c2, out=cand)
+        changed = bool((cand < self.w).any())
+        np.minimum(self.w, cand, out=self.w)
+        return changed
+
+    def iterate(self) -> tuple[bool, bool]:
+        pw_c1 = self.a_activate()
+        pw_c2 = self.a_square()
+        w_c = self.a_pebble()
+        self.iterations_run += 1
+        return w_c, (pw_c1 or pw_c2)
+
+    # -- accounting ---------------------------------------------------------------
+
+    def work_per_iteration(self) -> dict[str, int]:
+        """Per-iteration candidate counts — identical to the dense
+        Section 5 solver's (same operator, different storage); see
+        :meth:`repro.core.banded.BandedSolver.work_per_iteration`."""
+        from repro.core.banded import BandedSolver
+
+        proxy = object.__new__(BandedSolver)
+        proxy.n = self.n
+        proxy.band = self.band
+        return BandedSolver.work_per_iteration(proxy)
+
+    # -- interop ---------------------------------------------------------------
+
+    def to_dense_pw(self) -> np.ndarray:
+        """Materialise the in-band + activate cells as a dense Θ(n⁴)
+        table (tests compare it cell-by-cell against BandedSolver)."""
+        N = self.n + 1
+        out = np.full((N, N, N, N), np.inf)
+        for i in range(N):
+            for j in range(i + 1, N):
+                span = j - i
+                for d in range(0, min(self.band, span - 1) + 1):
+                    for o in range(0, d + 1):
+                        p = i + o
+                        q = j - (d - o)
+                        if p < q:
+                            out[i, j, p, q] = self.PB[i, j, o, d]
+                for k in range(i + 1, j):
+                    out[i, j, i, k] = min(out[i, j, i, k], self.A1[i, j, k])
+                    out[i, j, k, j] = min(out[i, j, k, j], self.A2[i, j, k])
+        return out

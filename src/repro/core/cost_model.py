@@ -1,0 +1,125 @@
+"""Symbolic PRAM cost formulas and the headline comparison (E1).
+
+The paper's Section 1/7 comparison, as asymptotic formulas evaluated at
+concrete n. For each algorithm we record time, processors, work and the
+processor–time product, exactly as the paper states them:
+
+==================  ==============  ==================  =====================
+algorithm           time            processors          PT product
+==================  ==============  ==================  =====================
+sequential [1]      n³              1                   n³
+optimal-parallel-a  n²              n                   n³          ([10])
+optimal-parallel-b  n               n²                  n³          ([10])
+rytter [8]          log² n          n⁶ / log n          n⁶ · log n
+huang (Sections 2-4) sqrt(n)·log n  n⁵ / log n          n^5.5
+huang-banded (S. 5) sqrt(n)·log n   n^3.5 / log n       n⁴
+==================  ==============  ==================  =====================
+
+The improvement the abstract claims — Θ(n² log n) over Rytter in PT
+product — is ``n⁶ log n / n⁴``. The remaining gap to the sequential
+work (the paper's closing open problem) is ``n⁴ / n³ = n``.
+
+Formulas use ``log = log2`` and are floored at 1 to stay meaningful at
+small n. They are *asymptotic shapes*: the E1 bench prints them beside
+the exactly counted per-iteration work of the implemented solvers so
+both the claimed and the measured ordering are visible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.util.tables import format_table
+
+__all__ = ["AlgorithmCost", "COST_MODELS", "comparison_table", "improvement_factor"]
+
+
+def _lg(n: int) -> float:
+    return max(1.0, math.log2(n))
+
+
+@dataclass(frozen=True)
+class AlgorithmCost:
+    """Asymptotic cost shape of one algorithm.
+
+    ``time`` and ``processors`` are callables of n; ``source`` cites
+    where the bound comes from in the paper's reference list.
+    """
+
+    name: str
+    time: Callable[[int], float]
+    processors: Callable[[int], float]
+    source: str
+
+    def pt_product(self, n: int) -> float:
+        return self.time(n) * self.processors(n)
+
+    def row(self, n: int) -> tuple[str, float, float, float]:
+        return (self.name, self.time(n), self.processors(n), self.pt_product(n))
+
+
+COST_MODELS: Mapping[str, AlgorithmCost] = {
+    "sequential": AlgorithmCost(
+        "sequential",
+        time=lambda n: float(n**3),
+        processors=lambda n: 1.0,
+        source="[1] Aho-Hopcroft-Ullman",
+    ),
+    "optimal-parallel-a": AlgorithmCost(
+        "optimal-parallel-a",
+        time=lambda n: float(n**2),
+        processors=lambda n: float(n),
+        source="[10] Yen",
+    ),
+    "optimal-parallel-b": AlgorithmCost(
+        "optimal-parallel-b",
+        time=lambda n: float(n),
+        processors=lambda n: float(n**2),
+        source="[10] Yen",
+    ),
+    "rytter": AlgorithmCost(
+        "rytter",
+        time=lambda n: _lg(n) ** 2,
+        processors=lambda n: n**6 / _lg(n),
+        source="[8] Rytter 1988",
+    ),
+    "huang": AlgorithmCost(
+        "huang",
+        time=lambda n: math.sqrt(n) * _lg(n),
+        processors=lambda n: n**5 / _lg(n),
+        source="Sections 2-4",
+    ),
+    "huang-banded": AlgorithmCost(
+        "huang-banded",
+        time=lambda n: math.sqrt(n) * _lg(n),
+        processors=lambda n: n**3.5 / _lg(n),
+        source="Section 5",
+    ),
+}
+
+
+def improvement_factor(n: int) -> float:
+    """PT-product ratio Rytter / huang-banded = Θ(n² log n) — the
+    abstract's claimed improvement, evaluated at concrete n."""
+    return COST_MODELS["rytter"].pt_product(n) / COST_MODELS["huang-banded"].pt_product(n)
+
+
+def comparison_table(ns: list[int]) -> str:
+    """The E1 headline table: one block per n, rows per algorithm,
+    ordered by PT product (the paper's figure of merit)."""
+    blocks = []
+    for n in ns:
+        rows = sorted(
+            (m.row(n) for m in COST_MODELS.values()), key=lambda r: r[3]
+        )
+        blocks.append(
+            format_table(
+                ["algorithm", "time", "processors", "PT product"],
+                rows,
+                title=f"n = {n}  (improvement rytter/banded = {improvement_factor(n):.3g})",
+                floatfmt=".3g",
+            )
+        )
+    return "\n\n".join(blocks)

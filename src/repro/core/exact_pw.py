@@ -1,0 +1,62 @@
+"""Sequential ground truth for the partial-weight table pw(i, j, p, q).
+
+``pw(i, j, p, q)`` (Section 2) is the minimum partial weight over all
+partial trees rooted at ``(i, j)`` with gap ``(p, q)``. Expanding the
+root split gives the top-down recurrence
+
+    pw(i, j, i, j) = 0
+    pw(i, j, p, q) = min over splits k of (i, j):
+        f(i,k,j) + w(k,j) + pw(i,k,p,q)   if (p,q) is inside (i,k)
+        f(i,k,j) + w(i,k) + pw(k,j,p,q)   if (p,q) is inside (k,j)
+
+where ``w`` is the true optimal cost table (the part of the tree away
+from the gap path is chosen optimally). Θ(n⁵) sequential work — this is
+a *test oracle* for small n, validating that the iterative solvers'
+pw' tables converge to the real pw (the invariant behind the paper's
+lockstep correctness proof in Section 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.sequential import solve_sequential
+from repro.errors import InvalidProblemError
+from repro.problems.base import ParenthesizationProblem
+
+__all__ = ["exact_pw_table"]
+
+
+def exact_pw_table(problem: ParenthesizationProblem) -> np.ndarray:
+    """Compute the full pw table by bottom-up dynamic programming.
+
+    Returns an ``(n+1,)*4`` array with ``+inf`` at invalid quadruples.
+    Intended for n up to ~14 (Θ(n⁵) time, Θ(n⁴) memory).
+    """
+    n = problem.n
+    if n > 20:
+        raise InvalidProblemError(
+            f"exact_pw_table is a test oracle; n={n} > 20 would be too slow"
+        )
+    F = problem.cached_f_table()
+    w = solve_sequential(problem).w
+    N = n + 1
+    pw = np.full((N, N, N, N), np.inf)
+    ii, jj = np.triu_indices(N, k=1)
+    pw[ii, jj, ii, jj] = 0.0
+
+    # Increasing root span: pw(i,j,·,·) uses pw of the two child spans.
+    for span in range(2, n + 1):
+        for i in range(0, n - span + 1):
+            j = i + span
+            for k in range(i + 1, j):
+                fk = F[i, k, j]
+                # gap inside (i, k): pw(i,j,p,q) <- fk + w(k,j) + pw(i,k,p,q)
+                left = fk + w[k, j] + pw[i, k, i : k + 1, i : k + 1]
+                view = pw[i, j, i : k + 1, i : k + 1]
+                np.minimum(view, left, out=view)
+                # gap inside (k, j): pw(i,j,p,q) <- fk + w(i,k) + pw(k,j,p,q)
+                right = fk + w[i, k] + pw[k, j, k : j + 1, k : j + 1]
+                view = pw[i, j, k : j + 1, k : j + 1]
+                np.minimum(view, right, out=view)
+    return pw

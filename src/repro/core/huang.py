@@ -1,0 +1,363 @@
+"""The paper's sublinear algorithm (Sections 2 and 4).
+
+State: two tables initialised to +infinity except for the bases,
+
+    w'(i, i+1) = init(i),          pw'(i, j, i, j) = 0,
+
+then ``2 * ceil(sqrt(n))`` iterations of the three parallel operations:
+
+a-activate  (equations 1a/1b)
+    pw'(i,j,i,k) <- min(pw'(i,j,i,k), f(i,k,j) + w'(k,j))
+    pw'(i,j,k,j) <- min(pw'(i,j,k,j), f(i,k,j) + w'(i,k))
+a-square    (equation 2c)
+    pw'(i,j,p,q) <- min over r of  pw'(i,j,r,q) + pw'(r,q,p,q)
+                    and over s of  pw'(i,j,p,s) + pw'(p,s,p,q)
+a-pebble    (equation 3)
+    w'(i,j) <- min over (p,q) of  pw'(i,j,p,q) + w'(p,q)
+
+Each operation is *synchronous*: it reads the tables as they were when
+the operation started (exactly the CREW PRAM semantics), which the
+implementation guarantees by accumulating every update into a scratch
+array before committing. All updates are monotone min-updates, so the
+tables decrease toward the true ``w``/``pw`` and Lemma 3.3 guarantees
+``w'(0, n) = c(0, n)`` after the full schedule.
+
+The implementation executes whole-table numpy sweeps: one sweep performs
+the identical operation lattice a PRAM super-step would, so iteration
+counts and all intermediate values match the paper's machine exactly
+(see DESIGN.md on the SIMD-analogue substitution). Work per iteration is
+Θ(n⁵) — the count the paper charges to O(n⁵/log n) processors ×
+O(log n) time.
+
+Memory: the pw table is ``(n+1)⁴`` float64. The solver refuses n above
+``max_n`` (default 64, ~135 MiB per table) rather than silently
+swapping; raise the cap explicitly for bigger machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.termination import (
+    FixedIterations,
+    IterationState,
+    TerminationPolicy,
+    default_schedule_length,
+)
+from repro.errors import ConvergenceError, InvalidProblemError
+from repro.problems.base import ParenthesizationProblem
+
+__all__ = [
+    "IterativeTableSolver",
+    "HuangSolver",
+    "IterationTrace",
+    "HuangResult",
+]
+
+
+@dataclass
+class IterationTrace:
+    """Per-iteration telemetry of a table-solver run.
+
+    One entry per iteration: the root value ``w'(0, n)``, the number of
+    finite entries in each table, and whether each table changed. The
+    experiment harness reads convergence behaviour (E2–E5) off this.
+    """
+
+    root_values: list[float] = field(default_factory=list)
+    w_finite: list[int] = field(default_factory=list)
+    pw_finite: list[int] = field(default_factory=list)
+    w_changed: list[bool] = field(default_factory=list)
+    pw_changed: list[bool] = field(default_factory=list)
+
+    @property
+    def iterations(self) -> int:
+        return len(self.root_values)
+
+    def first_correct_iteration(self, target: float, *, atol: float = 1e-9) -> int | None:
+        """1-based iteration at which the root value first hit ``target``."""
+        for m, v in enumerate(self.root_values):
+            if np.isfinite(v) and abs(v - target) <= atol * max(1.0, abs(target)):
+                return m + 1
+        return None
+
+
+@dataclass(frozen=True)
+class HuangResult:
+    """Converged output: ``value = w'(0, n)``, the full ``w`` table, the
+    iteration trace, and the number of iterations executed."""
+
+    value: float
+    w: np.ndarray
+    iterations: int
+    trace: IterationTrace
+    stopped_by: str
+
+
+class IterativeTableSolver:
+    """Shared driver for the iterative table solvers.
+
+    Subclasses hold a ``w`` table and implement :meth:`iterate` (one
+    full activate/square/pebble round returning change flags); this
+    base provides the policy-driven :meth:`run` loop, tracing, and the
+    paper-schedule helper. Concrete solvers: :class:`HuangSolver`
+    (dense Θ(n⁴) pw), :class:`~repro.core.banded.BandedSolver`,
+    :class:`~repro.core.rytter.RytterSolver`,
+    :class:`~repro.core.compact.CompactBandedSolver` (Θ(n³) storage).
+    """
+
+    problem: ParenthesizationProblem
+    n: int
+    w: np.ndarray
+    iterations_run: int
+
+    def reset(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def iterate(self) -> tuple[bool, bool]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def paper_schedule_length(self) -> int:
+        return default_schedule_length(self.n)
+
+    def run(
+        self,
+        policy: TerminationPolicy | None = None,
+        *,
+        max_iterations: int | None = None,
+        trace: bool = True,
+    ) -> "HuangResult":
+        """Run to the policy's stopping point (default: the paper's fixed
+        ``2 * ceil(sqrt(n))`` schedule).
+
+        ``max_iterations`` is an absolute safety cap for data-dependent
+        policies (default ``4 * n + 8``); exhausting it raises
+        :class:`~repro.errors.ConvergenceError`.
+        """
+        if policy is None:
+            policy = FixedIterations(self.paper_schedule_length())
+        policy.reset()
+        cap = max_iterations if max_iterations is not None else 4 * self.n + 8
+        record = IterationTrace()
+        stopped = ""
+        while True:
+            if self.iterations_run >= cap:
+                raise ConvergenceError(
+                    f"no termination after {self.iterations_run} iterations "
+                    f"(cap {cap}, policy {policy.describe()})"
+                )
+            w_changed, pw_changed = self.iterate()
+            root = float(self.w[0, self.n])
+            if trace:
+                record.root_values.append(root)
+                record.w_changed.append(w_changed)
+                record.pw_changed.append(pw_changed)
+                record.w_finite.append(int(np.isfinite(self.w).sum()))
+                record.pw_finite.append(self._count_finite_pw())
+            state = IterationState(
+                iteration=self.iterations_run,
+                w_changed=w_changed,
+                pw_changed=pw_changed,
+                root_value=root,
+            )
+            if policy.should_stop(state):
+                stopped = policy.describe()
+                break
+        return HuangResult(
+            value=float(self.w[0, self.n]),
+            w=self.w.copy(),
+            iterations=self.iterations_run,
+            trace=record,
+            stopped_by=stopped,
+        )
+
+    def _count_finite_pw(self) -> int:
+        """Finite partial-weight entries, for the trace; subclasses with
+        non-dense storage override."""
+        pw = getattr(self, "pw", None)
+        return int(np.isfinite(pw).sum()) if pw is not None else 0
+
+
+class HuangSolver(IterativeTableSolver):
+    """The full-table solver of Sections 2/4.
+
+    Parameters
+    ----------
+    problem:
+        A recurrence-(*) instance.
+    max_n:
+        Memory guard on the Θ(n⁴) pw table; raise explicitly if you have
+        the RAM (n=80 needs ~0.4 GiB per table and three tables live).
+    track_pw_changes:
+        Record whether pw changed each iteration even when the policy
+        does not need it (costs one n⁴ comparison per iteration).
+    """
+
+    def __init__(
+        self,
+        problem: ParenthesizationProblem,
+        *,
+        max_n: int = 64,
+        track_pw_changes: bool = False,
+    ) -> None:
+        if problem.n > max_n:
+            raise InvalidProblemError(
+                f"n={problem.n} exceeds max_n={max_n}; the pw table is "
+                f"(n+1)^4 floats = {(problem.n + 1) ** 4 * 8 / 2**20:.0f} MiB. "
+                "Pass a larger max_n explicitly to proceed."
+            )
+        self.problem = problem
+        self.n = problem.n
+        self.track_pw_changes = track_pw_changes
+        self._F = problem.cached_f_table()
+        self._init = problem.init_vector()
+        self.reset()
+
+    # -- state ---------------------------------------------------------------
+
+    def reset(self) -> None:
+        """(Re)initialise w' and pw' to the paper's starting tables."""
+        N = self.n + 1
+        self.w = np.full((N, N), np.inf)
+        idx = np.arange(self.n)
+        self.w[idx, idx + 1] = self._init
+        self.pw = np.full((N, N, N, N), np.inf)
+        ii, jj = np.triu_indices(N, k=1)
+        self.pw[ii, jj, ii, jj] = 0.0
+        self.iterations_run = 0
+        # Scratch buffers reused across iterations (Θ(n⁴) each).
+        self._acc = np.empty_like(self.pw)
+        self._tmp = np.empty_like(self.pw)
+
+    # -- the three operations ---------------------------------------------------
+
+    def a_activate(self) -> bool:
+        """Equations (1a)/(1b); returns True if pw changed."""
+        N = self.n + 1
+        changed = False
+        # (1a): pw'(i,j,i,k) <- min(. , f(i,k,j) + w'(k,j))
+        A = self._F + self.w[None, :, :]  # A[i,k,j]
+        for i in range(N):
+            view = self.pw[i, :, i, :]  # (j, k)
+            upd = A[i].T  # upd[j, k] = A[i, k, j]
+            if not changed and (upd < view).any():
+                changed = True
+            np.minimum(view, upd, out=view)
+        # (1b): pw'(i,j,k,j) <- min(. , f(i,k,j) + w'(i,k))
+        B = self._F + self.w[:, :, None]  # B[i,k,j]
+        for j in range(N):
+            view = self.pw[:, j, :, j]  # (i, k)
+            upd = B[:, :, j]
+            if not changed and (upd < view).any():
+                changed = True
+            np.minimum(view, upd, out=view)
+        return changed
+
+    def a_square(self) -> bool:
+        """Equation (2c); returns True if pw changed.
+
+        Reads the pre-step pw snapshot throughout: contributions
+        accumulate into a scratch table and commit at the end, so the
+        sweep is synchronous regardless of evaluation order.
+        """
+        N = self.n + 1
+        pw = self.pw
+        acc = self._acc
+        tmp = self._tmp
+        acc.fill(np.inf)
+        ar = np.arange(N)
+        # Right-anchored compositions: pw(i,j,r,q) + pw(r,q,p,q).
+        for r in range(N):
+            X = pw[:, :, r, :]  # X[i, j, q]
+            Y = pw[r][ar[None, :], ar[:, None], ar[None, :]]  # Y[p, q] = pw[r,q,p,q]
+            if not np.isfinite(Y).any():
+                continue
+            np.add(X[:, :, None, :], Y[None, None, :, :], out=tmp)
+            np.minimum(acc, tmp, out=acc)
+        # Left-anchored compositions: pw(i,j,p,s) + pw(p,s,p,q).
+        for s in range(N):
+            X = pw[:, :, :, s]  # X[i, j, p]
+            Z = pw[:, s, :, :]  # Z[p1, p2, q]
+            Y = Z[ar, ar, :]  # Y[p, q] = pw[p,s,p,q]
+            if not np.isfinite(Y).any():
+                continue
+            np.add(X[:, :, :, None], Y[None, None, :, :], out=tmp)
+            np.minimum(acc, tmp, out=acc)
+        changed = bool((acc < pw).any())
+        np.minimum(pw, acc, out=pw)
+        return changed
+
+    def a_pebble(self) -> bool:
+        """Equation (3); returns True if w changed."""
+        np.add(self.pw, self.w[None, None, :, :], out=self._tmp)
+        cand = self._tmp.min(axis=(2, 3))
+        changed = bool((cand < self.w).any())
+        np.minimum(self.w, cand, out=self.w)
+        return changed
+
+    # -- driving ----------------------------------------------------------------
+
+    def iterate(self) -> tuple[bool, bool]:
+        """One full iteration; returns (w_changed, pw_changed)."""
+        pw_c1 = self.a_activate()
+        pw_c2 = self.a_square()
+        w_c = self.a_pebble()
+        self.iterations_run += 1
+        return w_c, (pw_c1 or pw_c2)
+
+    # -- accounting ----------------------------------------------------------------
+
+    def work_per_iteration(self) -> dict[str, int]:
+        """Exact operation counts per iteration (candidate evaluations),
+        matching the paper's per-op charges (Section 4):
+
+        * activate: one candidate per (i, k, j) triple and side — Θ(n³);
+        * square: one per (i, j, p, q, anchor) composition — Θ(n⁵);
+        * pebble: one per (i, j, p, q) — Θ(n⁴).
+
+        Counts are over *valid* index tuples (the quantities a PRAM
+        implementation would assign processors to).
+        """
+        n = self.n
+        triples = n * (n * n - 1) // 6  # |{i<k<j}| = C(n+1, 3)
+        quads = _count_valid_quadruples(n)
+        square = _count_square_compositions(n)
+        return {
+            "activate": 2 * triples,
+            "square": square,
+            "pebble": quads,
+        }
+
+
+def _count_valid_quadruples(n: int) -> int:
+    """|{(i,j,p,q): 0 <= i <= p < q <= j <= n}| — pw cells a PRAM touches."""
+    total = 0
+    for span in range(1, n + 1):  # span = j - i
+        n_ij = n + 1 - span
+        # gaps (p, q) inside an interval of length `span`: all sub-intervals
+        # including the interval itself: span*(span+1)/2 ... over lengths
+        # 1..span with (span - len + 1) positions.
+        total += n_ij * (span * (span + 1) // 2)
+    return total
+
+
+def _count_square_compositions(n: int) -> int:
+    """Number of (i,j,p,q,r/s) composition candidates in one a-square.
+
+    For each valid (i,j,p,q): r ranges over [i, p] (right-anchored) and
+    s over [q, j] (left-anchored) — including the trivial endpoints the
+    implementation also evaluates.
+    """
+    total = 0
+    for span in range(1, n + 1):
+        n_ij = n + 1 - span
+        sub = 0
+        for glen in range(1, span + 1):  # gap length q - p
+            for off in range(0, span - glen + 1):  # p - i
+                r_choices = off + 1
+                s_choices = (span - glen - off) + 1
+                sub += r_choices + s_choices
+        total += n_ij * sub
+    return total

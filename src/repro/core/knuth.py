@@ -1,0 +1,110 @@
+"""Knuth's O(n²) speedup for quadrangle-inequality instances.
+
+For optimal binary search trees (Knuth 1971, [5] in the paper), the
+split point is monotone: ``split(i, j-1) <= split(i, j) <= split(i+1, j)``
+whenever ``f`` satisfies the quadrangle inequality and is monotone on
+interval inclusion. Restricting the split search to that window makes
+the total work telescope to O(n²).
+
+This is *not* part of the paper's algorithm — it is the stronger
+sequential baseline for the problem families where it applies, included
+so the benchmark tables can report the honest best-known sequential
+competitor for the BST family alongside the generic O(n³) DP.
+
+``solve_knuth`` optionally verifies the monotonicity assumption as it
+goes (``check="verify"``) or trusts the caller (``check="trust"``); with
+``check="verify"`` the result is always correct because windows that
+would break optimality are detected by comparing against the full-range
+minimum on a sample of rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.sequential import SequentialResult
+from repro.errors import InvalidProblemError
+from repro.problems.base import ParenthesizationProblem
+
+__all__ = ["solve_knuth", "is_quadrangle"]
+
+
+def is_quadrangle(problem: ParenthesizationProblem, *, samples: int = 200, seed: int = 0) -> bool:
+    """Heuristically test the quadrangle inequality of the implied
+    cost function ``g(i, j) = f(i, ·, j)`` (split-independent f only).
+
+    Checks ``g(i, j) + g(i', j') <= g(i', j) + g(i, j')`` for sampled
+    ``i <= i' <= j <= j'`` plus monotonicity ``g(i', j) <= g(i, j')``.
+    Returns False immediately if ``f`` depends on the split point.
+    """
+    n = problem.n
+    if n < 3:
+        return True
+    rng = np.random.default_rng(seed)
+    F = problem.cached_f_table()
+    # Split-independence: all finite values along axis 1 equal per (i, j).
+    for _ in range(min(samples, 50)):
+        i = int(rng.integers(0, n - 1))
+        j = int(rng.integers(i + 2, n + 1))
+        vals = F[i, i + 1 : j, j]
+        if not np.allclose(vals, vals[0]):
+            return False
+
+    def g(i: int, j: int) -> float:
+        if j - i < 2:
+            return 0.0
+        return float(F[i, i + 1, j])
+
+    for _ in range(samples):
+        i = int(rng.integers(0, n - 1))
+        ip = int(rng.integers(i, n - 1))
+        j = int(rng.integers(ip + 2, n + 1))
+        jp = int(rng.integers(j, n + 1))
+        if g(i, j) + g(ip, jp) > g(ip, j) + g(i, jp) + 1e-9:
+            return False
+        if g(ip, j) > g(i, jp) + 1e-9:
+            return False
+    return True
+
+
+def solve_knuth(
+    problem: ParenthesizationProblem,
+    *,
+    check: str = "verify",
+) -> SequentialResult:
+    """O(n²) DP with Knuth's split-window restriction.
+
+    ``check="verify"`` first runs :func:`is_quadrangle` and raises
+    :class:`~repro.errors.InvalidProblemError` if the instance visibly
+    violates the assumptions; ``check="trust"`` skips the test (the
+    window restriction is then only a heuristic for non-QI inputs).
+    """
+    if check not in ("verify", "trust"):
+        raise InvalidProblemError(f"check must be 'verify' or 'trust', got {check!r}")
+    if check == "verify" and not is_quadrangle(problem):
+        raise InvalidProblemError(
+            "problem does not satisfy the quadrangle-inequality conditions "
+            "required by Knuth's speedup; use the O(n^3) sequential solver"
+        )
+    n = problem.n
+    F = problem.cached_f_table()
+    init = problem.init_vector()
+    N = n + 1
+    w = np.full((N, N), np.inf)
+    split = np.full((N, N), -1, dtype=np.int64)
+    idx = np.arange(n)
+    w[idx, idx + 1] = init
+
+    for length in range(2, n + 1):
+        for i in range(0, n - length + 1):
+            j = i + length
+            lo = split[i, j - 1] if split[i, j - 1] != -1 else i + 1
+            hi = split[i + 1, j] if split[i + 1, j] != -1 else j - 1
+            lo = max(lo, i + 1)
+            hi = min(hi, j - 1)
+            ks = np.arange(lo, hi + 1)
+            cand = w[i, ks] + w[ks, j] + F[i, ks, j]
+            best = int(np.argmin(cand))
+            w[i, j] = cand[best]
+            split[i, j] = ks[best]
+    return SequentialResult(w=w, split=split, value=float(w[0, n]))

@@ -1,0 +1,310 @@
+"""The three a-operations as literal CREW PRAM programs (E7).
+
+This module runs the paper's algorithm *on the instrumented PRAM
+simulator*: one virtual processor per candidate, minima via parallel
+tree reductions, exactly the schedule Section 4 charges:
+
+* a-activate — one super-step, one processor per (i, k, j) triple and
+  side: Θ(n³) processors, O(1) time;
+* a-square — a candidate-evaluation step (one processor per composition
+  candidate, Θ(n⁵) of them) followed by a segmented tree reduction over
+  each quadruple's candidate list (O(log n) steps) and a commit step:
+  O(log n) time, Θ(n⁵) work;
+* a-pebble — same pattern over (p, q) per (i, j): Θ(n⁴) work,
+  O(log n) time.
+
+The per-processor Python execution is thousands of times slower than
+the vectorised solvers — the point is the *ledger*: counted time,
+processors, work and memory traffic per operation, which E7 compares
+against the paper's formulas. Instances are capped at n = 8.
+
+The CREW discipline is enforced throughout by the machine: any two
+processors writing one cell in a super-step would raise
+:class:`~repro.errors.WriteConflictError`, so a clean run is itself a
+machine-checked proof that the schedule is exclusive-write.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.sequential import solve_sequential
+from repro.core.termination import default_schedule_length
+from repro.errors import InvalidProblemError
+from repro.pram.machine import PRAM, Processor
+from repro.pram.metrics import CostLedger
+from repro.problems.base import ParenthesizationProblem
+
+__all__ = ["PRAMHuang"]
+
+_INF = float("inf")
+
+
+class PRAMHuang:
+    """Huang's algorithm executed super-step by super-step on the PRAM.
+
+    After :meth:`run`, ``op_costs`` maps each operation name to a merged
+    :class:`~repro.pram.metrics.CostLedger` across all iterations, and
+    ``value`` holds w'(0, n).
+    """
+
+    MAX_N = 8
+
+    def __init__(self, problem: ParenthesizationProblem) -> None:
+        if problem.n > self.MAX_N:
+            raise InvalidProblemError(
+                f"PRAMHuang is an instrumentation harness; n={problem.n} > "
+                f"{self.MAX_N} would take hours of per-processor simulation"
+            )
+        self.problem = problem
+        self.n = problem.n
+        N = self.n + 1
+        self.machine = PRAM()
+        mem = self.machine.memory
+        mem.alloc("w", (N, N), fill=_INF)
+        mem.alloc("pw", (N, N, N, N), fill=_INF)
+        mem.alloc("f", (N, N, N), fill=_INF)
+        # Host-side initialisation (the paper's "Initialize" lines are
+        # charged separately below as one O(n²)-processor step each; the
+        # f table is input data).
+        mem.host_write("f", problem.cached_f_table())
+        self.op_costs: dict[str, CostLedger] = {}
+        self._init_tables()
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _charge(self, op: str, before: CostLedger) -> None:
+        after = self.machine.ledger
+        new_steps = after.step_sizes[before.steps :]
+        delta = CostLedger(
+            time=after.time - before.time,
+            steps=after.steps - before.steps,
+            peak_processors=max(new_steps or (0,)),
+            work=after.work - before.work,
+            reads=after.reads - before.reads,
+            writes=after.writes - before.writes,
+        )
+        delta._step_sizes = list(new_steps)
+        if op in self.op_costs:
+            self.op_costs[op] = self.op_costs[op].merge(delta)
+        else:
+            self.op_costs[op] = delta
+
+    def _snapshot(self) -> CostLedger:
+        led = self.machine.ledger
+        snap = CostLedger(
+            time=led.time,
+            steps=led.steps,
+            peak_processors=led.peak_processors,
+            work=led.work,
+            reads=led.reads,
+            writes=led.writes,
+        )
+        snap._step_sizes = list(led.step_sizes)
+        return snap
+
+    # -- initialisation ---------------------------------------------------------
+
+    def _init_tables(self) -> None:
+        n, machine = self.n, self.machine
+        init = self.problem.init_vector()
+        before = self._snapshot()
+
+        def init_w(i: int, proc: Processor) -> None:
+            proc.write("w", (i, i + 1), float(init[i]))
+
+        machine.run_parallel(n, init_w)
+
+        pairs = [(i, j) for i in range(n) for j in range(i + 1, n + 1)]
+
+        def init_pw(idx: int, proc: Processor) -> None:
+            i, j = pairs[idx]
+            proc.write("pw", (i, j, i, j), 0.0)
+
+        machine.run_parallel(len(pairs), init_pw)
+        self._charge("initialize", before)
+
+    # -- operations ----------------------------------------------------------------
+
+    def a_activate(self) -> None:
+        """One super-step; processor (i, k, j, side) updates its cell."""
+        n, machine = self.n, self.machine
+        jobs: list[tuple[int, int, int, int]] = []
+        for i in range(n - 1):
+            for k in range(i + 1, n):
+                for j in range(k + 1, n + 1):
+                    jobs.append((i, k, j, 0))
+                    jobs.append((i, k, j, 1))
+        before = self._snapshot()
+
+        def body(idx: int, proc: Processor) -> None:
+            i, k, j, side = jobs[idx]
+            f = proc.read("f", (i, k, j))
+            if side == 0:  # gap (i, k): needs w(k, j)
+                w = proc.read("w", (k, j))
+                cell = (i, j, i, k)
+            else:  # gap (k, j): needs w(i, k)
+                w = proc.read("w", (i, k))
+                cell = (i, j, k, j)
+            old = proc.read("pw", cell)
+            cand = f + w
+            if cand < old:
+                proc.write("pw", cell, cand)
+
+        machine.run_parallel(len(jobs), body)
+        self._charge("activate", before)
+
+    @staticmethod
+    def _quad_list(n: int) -> list[tuple[int, int, int, int]]:
+        quads = []
+        for i in range(n):
+            for j in range(i + 1, n + 1):
+                for p in range(i, j):
+                    for q in range(p + 1, j + 1):
+                        quads.append((i, j, p, q))
+        return quads
+
+    def _segmented_min_reduce(
+        self, slots: str, widths: list[int], commit
+    ) -> None:
+        """Tree-reduce each segment of ``slots`` into its slot 0, then run
+        ``commit(segment, proc)`` in one final step.
+
+        ``widths[seg]`` is the number of *occupied* slots in the segment;
+        processors are assigned only to occupied slot pairs, so the peak
+        processor count of a level is at most half the total candidate
+        count — the reduction never charges more processors than the
+        evaluation step did (matching the paper's accounting, where the
+        min of m values uses m/2, m/4, … processors).
+        """
+        machine = self.machine
+        cur = list(widths)
+        while any(w > 1 for w in cur):
+            jobs: list[tuple[int, int, int]] = []  # (segment, t, width)
+            for seg, w in enumerate(cur):
+                half = w // 2
+                for t in range(half):
+                    jobs.append((seg, t, w))
+
+            def level(idx: int, proc: Processor) -> None:
+                seg, t, w = jobs[idx]
+                a = proc.read(slots, (seg, t))
+                b = proc.read(slots, (seg, w - 1 - t))
+                if b < a:
+                    proc.write(slots, (seg, t), b)
+
+            machine.run_parallel(len(jobs), level)
+            cur = [w - w // 2 for w in cur]
+        machine.run_parallel(len(widths), commit)
+
+    def a_square(self) -> None:
+        """Candidate evaluation (one processor per composition), then a
+        segmented log-depth reduction, then a commit step."""
+        n, machine = self.n, self.machine
+        quads = self._quad_list(n)
+        width = 2 * (n + 1)
+        name = "sq_slots"
+        if name not in machine.memory.names():
+            machine.memory.alloc(name, (len(quads), width), fill=_INF)
+        else:
+            machine.memory.host_fill(name, _INF)
+        jobs: list[tuple[int, int, int]] = []  # (quad index, slot, anchor)
+        widths: list[int] = []
+        for qi, (i, j, p, q) in enumerate(quads):
+            slot = 0
+            for r in range(i, p + 1):
+                jobs.append((qi, slot, r))
+                slot += 1
+            for s in range(q, j + 1):
+                jobs.append((qi, slot, -s - 1))
+                slot += 1
+            widths.append(slot)
+        before = self._snapshot()
+
+        def evaluate(idx: int, proc: Processor) -> None:
+            qi, slot, anchor = jobs[idx]
+            i, j, p, q = quads[qi]
+            if anchor >= 0:  # right-anchored: pw(i,j,r,q) + pw(r,q,p,q)
+                r = anchor
+                a = proc.read("pw", (i, j, r, q))
+                b = proc.read("pw", (r, q, p, q))
+            else:  # left-anchored: pw(i,j,p,s) + pw(p,s,p,q)
+                s = -anchor - 1
+                a = proc.read("pw", (i, j, p, s))
+                b = proc.read("pw", (p, s, p, q))
+            proc.write("sq_slots", (qi, slot), a + b)
+
+        machine.run_parallel(len(jobs), evaluate)
+
+        def commit(qi: int, proc: Processor) -> None:
+            i, j, p, q = quads[qi]
+            best = proc.read("sq_slots", (qi, 0))
+            old = proc.read("pw", (i, j, p, q))
+            if best < old:
+                proc.write("pw", (i, j, p, q), best)
+
+        self._segmented_min_reduce("sq_slots", widths, commit)
+        self._charge("square", before)
+
+    def a_pebble(self) -> None:
+        """Candidate evaluation over (p, q) per (i, j), reduce, commit."""
+        n, machine = self.n, self.machine
+        quads = self._quad_list(n)
+        pairs = sorted({(i, j) for (i, j, _p, _q) in quads})
+        pair_index = {pq: t for t, pq in enumerate(pairs)}
+        width = max(
+            sum(1 for (i, j, _p, _q) in quads if (i, j) == pq) for pq in pairs
+        )
+        name = "pb_slots"
+        if name not in machine.memory.names():
+            machine.memory.alloc(name, (len(pairs), width), fill=_INF)
+        else:
+            machine.memory.host_fill(name, _INF)
+        jobs: list[tuple[int, int, int, int, int, int]] = []
+        slot_counter = {pq: 0 for pq in pairs}
+        for (i, j, p, q) in quads:
+            t = slot_counter[(i, j)]
+            slot_counter[(i, j)] = t + 1
+            jobs.append((pair_index[(i, j)], t, i, j, p, q))
+        before = self._snapshot()
+
+        def evaluate(idx: int, proc: Processor) -> None:
+            seg, t, i, j, p, q = jobs[idx]
+            a = proc.read("pw", (i, j, p, q))
+            b = proc.read("w", (p, q))
+            proc.write("pb_slots", (seg, t), a + b)
+
+        machine.run_parallel(len(jobs), evaluate)
+
+        def commit(seg: int, proc: Processor) -> None:
+            i, j = pairs[seg]
+            best = proc.read("pb_slots", (seg, 0))
+            old = proc.read("w", (i, j))
+            if best < old:
+                proc.write("w", (i, j), best)
+
+        pair_widths = [slot_counter[pq] for pq in pairs]
+        self._segmented_min_reduce("pb_slots", pair_widths, commit)
+        self._charge("pebble", before)
+
+    # -- driving -----------------------------------------------------------------
+
+    def iterate(self) -> None:
+        self.a_activate()
+        self.a_square()
+        self.a_pebble()
+
+    def run(self, iterations: int | None = None) -> float:
+        """Run the paper's schedule; returns w'(0, n) and checks it
+        against the sequential reference."""
+        count = iterations if iterations is not None else default_schedule_length(self.n)
+        for _ in range(count):
+            self.iterate()
+        value = float(self.machine.memory.peek("w")[0, self.n])
+        reference = solve_sequential(self.problem).value
+        if not np.isclose(value, reference):
+            raise AssertionError(
+                f"PRAM execution produced {value}, sequential reference {reference}"
+            )
+        self.value = value
+        return value

@@ -1,0 +1,98 @@
+"""Recover an optimal tree from a converged cost table.
+
+Given the optimal costs ``w(i, j)`` (from any solver) and the problem's
+``f``/``init``, the optimal split of ``(i, j)`` is an argmin of
+``w(i, k) + w(k, j) + f(i, k, j)``; descending recursively yields a tree
+realising ``c(0, n)``. This works from *values alone*, so it applies
+equally to the iterative parallel solvers, which do not maintain an
+explicit split table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidProblemError
+from repro.problems.base import ParenthesizationProblem
+from repro.trees.parse_tree import ParseTree
+
+__all__ = ["reconstruct_tree", "verify_w_table"]
+
+
+def reconstruct_tree(
+    problem: ParenthesizationProblem,
+    w: np.ndarray,
+    *,
+    i: int = 0,
+    j: int | None = None,
+    atol: float = 1e-9,
+) -> ParseTree:
+    """Build an optimal tree for interval ``(i, j)`` from the cost table.
+
+    Raises :class:`~repro.errors.InvalidProblemError` if the table is
+    inconsistent (no split reproduces ``w(i, j)`` within ``atol`` —
+    e.g. when handed a half-converged table).
+    """
+    n = problem.n
+    if j is None:
+        j = n
+    if w.shape != (n + 1, n + 1):
+        raise InvalidProblemError(f"w must have shape {(n + 1, n + 1)}, got {w.shape}")
+    F = problem.cached_f_table()
+
+    splits: dict[tuple[int, int], int] = {}
+    stack = [(i, j)]
+    while stack:
+        a, b = stack.pop()
+        if b - a == 1:
+            continue
+        ks = np.arange(a + 1, b)
+        cand = w[a, ks] + w[ks, b] + F[a, ks, b]
+        best = int(np.argmin(cand))
+        if not np.isfinite(w[a, b]) or abs(cand[best] - w[a, b]) > atol * max(
+            1.0, abs(w[a, b])
+        ):
+            raise InvalidProblemError(
+                f"w table is inconsistent at ({a}, {b}): "
+                f"w={w[a, b]!r} but best split gives {cand[best]!r}"
+            )
+        k = int(ks[best])
+        splits[(a, b)] = k
+        stack.append((a, k))
+        stack.append((k, b))
+
+    nodes: dict[tuple[int, int], ParseTree] = {}
+    for a, b in sorted(splits, key=lambda t: t[1] - t[0]):
+        k = splits[(a, b)]
+        left = nodes.get((a, k)) or ParseTree.leaf(a)
+        right = nodes.get((k, b)) or ParseTree.leaf(k)
+        nodes[(a, b)] = ParseTree(a, b, split=k, left=left, right=right)
+    return nodes.get((i, j)) or ParseTree.leaf(i)
+
+
+def verify_w_table(
+    problem: ParenthesizationProblem,
+    w: np.ndarray,
+    *,
+    atol: float = 1e-9,
+) -> bool:
+    """Check that ``w`` is exactly the recurrence's fixed point:
+    leaves match ``init`` and every interval's value equals the best
+    split. Returns True/False rather than raising (tests assert on it).
+    """
+    n = problem.n
+    if w.shape != (n + 1, n + 1):
+        return False
+    init = problem.init_vector()
+    idx = np.arange(n)
+    if not np.allclose(w[idx, idx + 1], init, atol=atol):
+        return False
+    F = problem.cached_f_table()
+    for length in range(2, n + 1):
+        for i in range(0, n - length + 1):
+            j = i + length
+            ks = np.arange(i + 1, j)
+            best = float(np.min(w[i, ks] + w[ks, j] + F[i, ks, j]))
+            if not np.isclose(w[i, j], best, atol=atol, rtol=1e-9):
+                return False
+    return True

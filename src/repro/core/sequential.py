@@ -1,0 +1,79 @@
+"""The classical O(n³) sequential dynamic program for recurrence (*).
+
+This is the paper's sequential reference point ([1], Aho–Hopcroft–
+Ullman): fill ``c(i, j)`` by increasing interval length, taking the
+minimum over all splits. It provides ground truth for every parallel
+solver and the split table for optimal-tree reconstruction.
+
+The inner loop over splits is vectorised (one numpy reduction per
+``(length, i)`` pair), so instances up to n of a few thousand are
+practical — far beyond what the Θ(n⁴)-memory parallel table solvers can
+hold — which is what lets the iteration-count experiments scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InvalidProblemError
+from repro.problems.base import ParenthesizationProblem
+
+__all__ = ["solve_sequential", "SequentialResult", "work_count_sequential"]
+
+
+@dataclass(frozen=True)
+class SequentialResult:
+    """Output of the sequential DP.
+
+    ``w[i, j]`` is the optimal cost of interval ``(i, j)`` (``+inf`` on
+    invalid cells); ``split[i, j]`` the optimal split point (``-1`` where
+    undefined, i.e. leaves and invalid cells); ``value`` is ``c(0, n)``.
+    """
+
+    w: np.ndarray
+    split: np.ndarray
+    value: float
+
+    @property
+    def n(self) -> int:
+        return self.w.shape[0] - 1
+
+
+def solve_sequential(problem: ParenthesizationProblem) -> SequentialResult:
+    """Solve recurrence (*) bottom-up in O(n³) time, O(n²) space
+    (plus the problem's dense f table)."""
+    n = problem.n
+    F = problem.cached_f_table()
+    init = problem.init_vector()
+    if (init < 0).any() or np.isnan(init).any():
+        raise InvalidProblemError("init costs must be non-negative and finite")
+
+    N = n + 1
+    w = np.full((N, N), np.inf)
+    split = np.full((N, N), -1, dtype=np.int64)
+    idx = np.arange(N)
+    w[idx[:-1], idx[:-1] + 1] = init
+
+    for length in range(2, n + 1):
+        for i in range(0, n - length + 1):
+            j = i + length
+            ks = np.arange(i + 1, j)
+            cand = w[i, ks] + w[ks, j] + F[i, ks, j]
+            best = int(np.argmin(cand))
+            w[i, j] = cand[best]
+            split[i, j] = ks[best]
+    return SequentialResult(w=w, split=split, value=float(w[0, n]))
+
+
+def work_count_sequential(n: int) -> int:
+    """Exact number of split candidates examined by the sequential DP:
+    sum over intervals of (length - 1) = C(n+1, 3) = n(n²-1)/6.
+
+    Used by the E1 processor–time-product table as the sequential
+    work baseline.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return n * (n * n - 1) // 6

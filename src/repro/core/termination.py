@@ -1,0 +1,197 @@
+"""Iteration schedules and early-termination policies (Section 7).
+
+The paper's algorithm repeats its three operations exactly
+``2 * ceil(sqrt(n))`` times — always enough (Lemma 3.3) but usually far
+more than needed (Section 6: O(log n) on average). Section 7 poses "when
+to terminate?" as an open problem and suggests two data-dependent rules:
+
+* stop when no ``w(i, j)`` changed for two consecutive iterations
+  (:class:`WStable`; the paper's candidate rule, observed correct in
+  their simulations but not proven);
+* stop when neither the ``w`` nor the ``pw`` table changed for two
+  consecutive iterations (:class:`WPWStable`; *sufficient*: the joint
+  tables form a fixed point of the monotone operator, so further
+  iterations provably change nothing).
+
+:class:`FixedIterations` is the paper's unconditional schedule, and
+:class:`UntilValue` is an experiment-only oracle policy (stop once
+``w'(0, n)`` hits a known reference value) used to measure "iterations
+until the answer is correct" independent of any stopping rule.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "TerminationPolicy",
+    "FixedIterations",
+    "WStable",
+    "WPWStable",
+    "RootStable",
+    "UntilValue",
+    "default_schedule_length",
+]
+
+
+def default_schedule_length(n: int) -> int:
+    """The paper's iteration count: ``2 * ceil(sqrt(n))``."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return 2 * math.isqrt(n - 1) + 2 if n > 1 else 1
+
+
+@dataclass
+class IterationState:
+    """What a policy sees after each iteration.
+
+    ``w_changed`` / ``pw_changed``: whether any entry of the table
+    changed during the iteration just completed; ``root_value``: the
+    current ``w'(0, n)``; ``iteration``: 1-based count.
+    """
+
+    iteration: int
+    w_changed: bool
+    pw_changed: bool
+    root_value: float
+
+
+class TerminationPolicy:
+    """Base class; subclasses decide when to stop."""
+
+    #: whether the solver must track pw-table changes for this policy
+    needs_pw_changes: bool = False
+
+    def reset(self) -> None:  # pragma: no cover - trivial default
+        """Clear inter-iteration state before a run."""
+
+    def should_stop(self, state: IterationState) -> bool:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class FixedIterations(TerminationPolicy):
+    """Stop after exactly ``count`` iterations (the paper's schedule when
+    ``count = 2 * ceil(sqrt(n))``)."""
+
+    def __init__(self, count: int) -> None:
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        self.count = count
+
+    @classmethod
+    def paper_schedule(cls, n: int) -> "FixedIterations":
+        return cls(default_schedule_length(n))
+
+    def should_stop(self, state: IterationState) -> bool:
+        return state.iteration >= self.count
+
+    def describe(self) -> str:
+        return f"fixed({self.count})"
+
+
+class WStable(TerminationPolicy):
+    """Stop when ``w`` was unchanged for ``patience`` consecutive
+    iterations (paper's suggested rule with ``patience = 2``)."""
+
+    def __init__(self, patience: int = 2) -> None:
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        self.patience = patience
+        self._streak = 0
+
+    def reset(self) -> None:
+        self._streak = 0
+
+    def should_stop(self, state: IterationState) -> bool:
+        self._streak = 0 if state.w_changed else self._streak + 1
+        return self._streak >= self.patience
+
+    def describe(self) -> str:
+        return f"w_stable(patience={self.patience})"
+
+
+class WPWStable(TerminationPolicy):
+    """Stop when *both* tables were unchanged for ``patience`` consecutive
+    iterations — the paper's sufficient condition (a true fixed point)."""
+
+    needs_pw_changes = True
+
+    def __init__(self, patience: int = 1) -> None:
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        self.patience = patience
+        self._streak = 0
+
+    def reset(self) -> None:
+        self._streak = 0
+
+    def should_stop(self, state: IterationState) -> bool:
+        changed = state.w_changed or state.pw_changed
+        self._streak = 0 if changed else self._streak + 1
+        return self._streak >= self.patience
+
+    def describe(self) -> str:
+        return f"w_pw_stable(patience={self.patience})"
+
+
+class RootStable(TerminationPolicy):
+    """Stop when ``w'(0, n)`` alone was unchanged for ``patience``
+    iterations — a deliberately *broken* rule, shipped as the negative
+    control for E5.
+
+    Why it fails: the root value sits at +inf for the first several
+    iterations (nothing has reached the root yet), which this rule
+    happily counts as "unchanged". It demonstrates why the paper's rule
+    watches *all* w(i, j): local quiescence at one cell says nothing
+    about global progress. Do not use outside experiments.
+    """
+
+    def __init__(self, patience: int = 2) -> None:
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        self.patience = patience
+        self._streak = 0
+        self._last: float | None = None
+
+    def reset(self) -> None:
+        self._streak = 0
+        self._last = None
+
+    def should_stop(self, state: IterationState) -> bool:
+        unchanged = self._last is not None and (
+            state.root_value == self._last
+            or (math.isinf(state.root_value) and math.isinf(self._last))
+        )
+        self._streak = self._streak + 1 if unchanged else 0
+        self._last = state.root_value
+        return self._streak >= self.patience
+
+    def describe(self) -> str:
+        return f"root_stable(patience={self.patience})"
+
+
+class UntilValue(TerminationPolicy):
+    """Oracle policy: stop once ``w'(0, n)`` reaches ``target``.
+
+    For experiments only — measures the intrinsic convergence speed of
+    the iteration on an instance whose answer is known (from the
+    sequential solver), independent of any detectable stopping rule.
+    """
+
+    def __init__(self, target: float, *, atol: float = 1e-9) -> None:
+        self.target = float(target)
+        self.atol = float(atol)
+
+    def should_stop(self, state: IterationState) -> bool:
+        return (
+            math.isfinite(state.root_value)
+            and abs(state.root_value - self.target)
+            <= self.atol * max(1.0, abs(self.target))
+        )
+
+    def describe(self) -> str:
+        return f"until_value({self.target:.6g})"

@@ -1,0 +1,68 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish model violations (e.g. a CREW write
+conflict) from plain misuse (bad arguments).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidProblemError",
+    "InvalidTreeError",
+    "PRAMError",
+    "WriteConflictError",
+    "ProgramError",
+    "ConvergenceError",
+    "BackendError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class InvalidProblemError(ReproError, ValueError):
+    """A problem instance violates the recurrence-(*) contract.
+
+    Raised, for example, when ``n < 1``, when ``init`` or ``f`` produce
+    negative weights, or when dimension vectors have the wrong length.
+    """
+
+
+class InvalidTreeError(ReproError, ValueError):
+    """A tree object is not a valid member of the set S of the paper.
+
+    Membership in S requires: nodes are intervals ``(i, j)`` with
+    ``0 <= i < j <= n``; the children of an internal node ``(i, j)`` are
+    ``(i, k)`` and ``(k, j)``; and leaves are unit intervals ``(i, i+1)``.
+    """
+
+
+class PRAMError(ReproError):
+    """Base class for violations of the PRAM machine model."""
+
+
+class WriteConflictError(PRAMError):
+    """Two processors wrote the same shared-memory cell in one super-step.
+
+    The machine model of the paper is CREW (concurrent read, *exclusive*
+    write); the simulator raises this error eagerly so that algorithm
+    implementations cannot silently rely on CRCW behaviour.
+    """
+
+
+class ProgramError(PRAMError):
+    """A PRAM program is structurally malformed (e.g. a read outside the
+    declared address space, or a step function returning the wrong shape)."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative solver exhausted its iteration budget without the
+    required tables reaching a fixed point."""
+
+
+class BackendError(ReproError, RuntimeError):
+    """An execution backend failed or was asked for an unknown strategy."""

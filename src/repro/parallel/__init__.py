@@ -1,0 +1,37 @@
+"""Multicore execution backends for the table sweeps.
+
+The paper's machine is a PRAM; the honest Python analogue of "p
+processors execute this super-step" is tiling the index space of a sweep
+across OS threads or processes. All backends compute *bit-identical*
+tables (the sweeps read a snapshot and write disjoint tiles — exactly
+the CREW discipline), which the test suite verifies.
+
+A note on speed, per the reproduction banding ("GIL hampers true
+parallel speedup demonstration"): the thread backend gets real
+concurrency only to the extent numpy's ufunc loops release the GIL; the
+process backend forks, so tile results are returned by IPC. Neither is
+claimed to demonstrate the paper's asymptotic speedup — the PRAM
+simulator's counted costs are the reproduction of those claims; these
+backends demonstrate that the *algorithm structure* parallelises with
+no change in results.
+"""
+
+from repro.parallel.partition import split_range
+from repro.parallel.backends import (
+    Backend,
+    SerialBackend,
+    ThreadBackend,
+    ProcessBackend,
+    make_backend,
+)
+from repro.parallel.solver import ParallelHuangSolver
+
+__all__ = [
+    "split_range",
+    "Backend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "make_backend",
+    "ParallelHuangSolver",
+]

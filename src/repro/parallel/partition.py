@@ -1,0 +1,29 @@
+"""Index-space partitioning for tiled sweeps."""
+
+from __future__ import annotations
+
+__all__ = ["split_range"]
+
+
+def split_range(total: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``range(total)`` into at most ``parts`` contiguous chunks of
+    near-equal size (first ``total % parts`` chunks get the extra item).
+
+    Empty chunks are never returned; ``parts > total`` yields ``total``
+    single-item chunks.
+    """
+    if total < 0:
+        raise ValueError("total must be >= 0")
+    if parts < 1:
+        raise ValueError("parts must be >= 1")
+    parts = min(parts, total)
+    if parts == 0:
+        return []
+    base, extra = divmod(total, parts)
+    out = []
+    start = 0
+    for p in range(parts):
+        size = base + (1 if p < extra else 0)
+        out.append((start, start + size))
+        start += size
+    return out

@@ -1,0 +1,46 @@
+"""The pebbling game of Section 3.
+
+The game runs on a full binary tree whose leaves start pebbled; each
+*move* is the synchronous triple (activate, square, pebble) and Lemma 3.3
+guarantees the root is pebbled within ``2 * sqrt(n)`` moves. The game is
+the correctness/termination certificate for the paper's algorithm: every
+a-activate / a-square / a-pebble on the cost tables dominates the
+corresponding game move on the optimal tree.
+
+* :class:`~repro.pebbling.tree.GameTree` — array-based full binary tree
+  (scales to millions of nodes), convertible from
+  :class:`~repro.trees.ParseTree`;
+* :class:`~repro.pebbling.game.PebbleGame` — vectorised game with the
+  paper's *modified* square (cond descends one level toward
+  cond(cond(x))) or Rytter's original square (full pointer jumping),
+  selected by ``square_rule``;
+* :mod:`~repro.pebbling.reference` — a direct, dict-based transcription
+  of the paper's pseudocode used to cross-validate the vectorised game;
+* :mod:`~repro.pebbling.invariants` — the two invariants stated after
+  Lemma 3.3 and the chain-length bound of the proof.
+"""
+
+from repro.pebbling.tree import GameTree
+from repro.pebbling.game import PebbleGame, GameTrace
+from repro.pebbling.reference import ReferenceGame
+from repro.pebbling.pram_game import PRAMGame
+from repro.pebbling.interval_game import IntervalGame
+from repro.pebbling.invariants import (
+    check_invariant_a,
+    check_invariant_b,
+    check_chain_bound,
+    moves_upper_bound,
+)
+
+__all__ = [
+    "GameTree",
+    "PebbleGame",
+    "GameTrace",
+    "ReferenceGame",
+    "PRAMGame",
+    "IntervalGame",
+    "check_invariant_a",
+    "check_invariant_b",
+    "check_chain_bound",
+    "moves_upper_bound",
+]

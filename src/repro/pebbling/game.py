@@ -1,0 +1,180 @@
+"""The pebbling game (Section 3), vectorised.
+
+State: ``pebbled`` (bool per node; leaves start pebbled) and ``cond``
+(pointer per node; initially ``cond(x) = x``). A *move* is the
+synchronous sequence activate, square, pebble:
+
+activate
+    if ``cond(x) == x`` and at least one child of x is pebbled, set
+    ``cond(x)`` to the *other* child (pebbled or not);
+square (paper's modified rule, ``square_rule="huang"``)
+    if ``cond(cond(x)) != cond(x)``, set ``cond(x)`` to the child of
+    ``cond(x)`` that is an ancestor of ``cond(cond(x))`` — i.e. the
+    pointer descends exactly one level toward its target;
+square (Rytter's original rule, ``square_rule="rytter"``)
+    ``cond(x) := cond(cond(x))`` — full pointer jumping;
+pebble
+    if x is unpebbled and ``cond(x)`` is pebbled, pebble x.
+
+Lemma 3.3: with the modified rule the root of an n-leaf tree is pebbled
+within ``2 * ceil(sqrt(n))`` moves. With Rytter's rule O(log n) moves
+suffice. Both rules are exposed so the processor-cost/move-count
+trade-off the paper exploits can be measured directly (E2/E3 benches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConvergenceError, InvalidTreeError
+from repro.pebbling.tree import GameTree
+
+__all__ = ["PebbleGame", "GameTrace"]
+
+_RULES = ("huang", "rytter")
+
+
+@dataclass
+class GameTrace:
+    """Per-move telemetry of one game run.
+
+    ``pebbled_counts[m]`` is the number of pebbled nodes after move
+    ``m+1``; ``largest_pebbled_size[m]`` the maximum ``size(x)`` over
+    pebbled x (the quantity invariant (a) bounds from below);
+    ``moves`` is the number of moves until the root was pebbled.
+    """
+
+    n_leaves: int
+    square_rule: str
+    moves: int = 0
+    pebbled_counts: list[int] = field(default_factory=list)
+    largest_pebbled_size: list[int] = field(default_factory=list)
+
+    def as_rows(self) -> list[tuple[int, int, int]]:
+        """(move, pebbled, largest_size) rows for report tables."""
+        return [
+            (m + 1, c, s)
+            for m, (c, s) in enumerate(
+                zip(self.pebbled_counts, self.largest_pebbled_size)
+            )
+        ]
+
+
+class PebbleGame:
+    """A playable pebbling game on a :class:`GameTree`.
+
+    The three operations are exposed individually (the algorithm-level
+    lockstep proof interleaves them with a-activate/a-square/a-pebble),
+    plus :meth:`move` and :meth:`run`.
+    """
+
+    def __init__(self, tree: GameTree, *, square_rule: str = "huang") -> None:
+        if square_rule not in _RULES:
+            raise InvalidTreeError(
+                f"square_rule must be one of {_RULES}, got {square_rule!r}"
+            )
+        self.tree = tree
+        self.square_rule = square_rule
+        self.reset()
+
+    def reset(self) -> None:
+        """Back to the initial position: leaves pebbled, cond(x) = x."""
+        t = self.tree
+        self.pebbled = t.leaves_mask().copy()
+        self.cond = np.arange(t.num_nodes, dtype=np.int64)
+        self.moves_played = 0
+
+    # -- the three operations ----------------------------------------------
+
+    def activate(self) -> int:
+        """One parallel activate; returns how many nodes were activated."""
+        t = self.tree
+        internal = ~t.leaves_mask()
+        eligible = internal & (self.cond == np.arange(t.num_nodes))
+        if not eligible.any():
+            return 0
+        idx = np.flatnonzero(eligible)
+        lp = self.pebbled[t.left[idx]]
+        rp = self.pebbled[t.right[idx]]
+        fire = lp | rp
+        idx = idx[fire]
+        if idx.size == 0:
+            return 0
+        # cond(x) := the other child; when both are pebbled take the right
+        # child of the pebbled-left case (deterministic; either is valid).
+        other = np.where(self.pebbled[t.left[idx]], t.right[idx], t.left[idx])
+        self.cond[idx] = other
+        return int(idx.size)
+
+    def square(self) -> int:
+        """One parallel square; returns how many cond pointers moved."""
+        t = self.tree
+        c = self.cond
+        cc = c[c]
+        mask = cc != c
+        if not mask.any():
+            return 0
+        idx = np.flatnonzero(mask)
+        if self.square_rule == "rytter":
+            self.cond = self.cond.copy()
+            self.cond[idx] = cc[idx]
+            return int(idx.size)
+        lc = t.left[c[idx]]
+        rc = t.right[c[idx]]
+        # cond(x) is a proper ancestor of cond(cond(x)), hence internal.
+        down = np.where(t.is_ancestor(lc, cc[idx]), lc, rc)
+        new_cond = self.cond.copy()
+        new_cond[idx] = down
+        self.cond = new_cond
+        return int(idx.size)
+
+    def pebble(self) -> int:
+        """One parallel pebble; returns how many nodes were pebbled."""
+        fire = ~self.pebbled & self.pebbled[self.cond]
+        if not fire.any():
+            return 0
+        self.pebbled = self.pebbled | fire
+        return int(fire.sum())
+
+    # -- driving -----------------------------------------------------------------
+
+    def move(self) -> tuple[int, int, int]:
+        """One full move; returns (activated, squared, pebbled) counts."""
+        a = self.activate()
+        s = self.square()
+        p = self.pebble()
+        self.moves_played += 1
+        return a, s, p
+
+    @property
+    def root_pebbled(self) -> bool:
+        return bool(self.pebbled[self.tree.root])
+
+    def run(self, *, max_moves: int | None = None, trace: bool = False) -> GameTrace:
+        """Play until the root is pebbled; returns the trace.
+
+        ``max_moves`` defaults to a generous absolute cap (the number of
+        nodes plus a margin); exceeding it raises
+        :class:`~repro.errors.ConvergenceError`, which would indicate a
+        broken rule implementation since Lemma 3.3 guarantees
+        ``2 * ceil(sqrt(n))`` moves suffice.
+        """
+        t = self.tree
+        record = GameTrace(n_leaves=t.num_leaves, square_rule=self.square_rule)
+        cap = max_moves if max_moves is not None else t.num_nodes + 4
+        while not self.root_pebbled:
+            if self.moves_played >= cap:
+                raise ConvergenceError(
+                    f"root not pebbled after {self.moves_played} moves "
+                    f"(cap {cap}, n={t.num_leaves})"
+                )
+            self.move()
+            if trace:
+                record.pebbled_counts.append(int(self.pebbled.sum()))
+                record.largest_pebbled_size.append(
+                    int(t.sizes[self.pebbled].max())
+                )
+        record.moves = self.moves_played
+        return record

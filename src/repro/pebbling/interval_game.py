@@ -1,0 +1,139 @@
+"""The algorithm-level certification game on a forced optimal tree.
+
+The pebbling game of Section 3 under-approximates the algorithm: its
+square moves one pointer one level, while a-square composes *all*
+same-endpoint partial weights at once. For instances whose unique
+optimal tree T is known (the forced instances of
+:mod:`repro.trees.synthesis`), the algorithm's progress can be
+simulated exactly at tree level, without any cost table:
+
+* ``pebbled(x)``   — w'(x) has reached its exact value;
+* ``cert(x, y)``  — pw'(x, gap=y) has reached its exact value, for y a
+  descendant of x in T.
+
+One iteration mirrors the three operations:
+
+activate   cert(x, left)  |= pebbled(right);  cert(x, right) |= pebbled(left)
+square     cert(x, z)     |= ∃ y strictly between x and z on the T-path
+                              with cert(x, y), cert(y, z), and y sharing
+                              an interval endpoint with z (the equation
+                              (2c) legality: y = (r, q) or y = (p, s))
+pebble     pebbled(x)     |= ∃ y: cert(x, y) and pebbled(y)
+
+Because the forced instances make every deviation from T strictly more
+expensive, exact values can only propagate along T — so this simulation
+reproduces the *unbanded* solver's iterations-until-correct exactly
+(verified against :class:`~repro.core.huang.HuangSolver` in the test
+suite), while running on a Θ(n²) cert matrix instead of a Θ(n⁴) table:
+forced-shape convergence series reach n in the thousands. The Section 5
+band can cost the banded solvers one extra iteration on shapes whose
+fastest route uses a composition jump longer than 2·sqrt(n) (e.g. the
+skewed spine) — an effect the E9 ablation quantifies; the worst-case
+schedule is unaffected.
+
+The endpoint-sharing ancestors of a node form contiguous chains up the
+tree (sharing the left endpoint means every step descended leftward),
+which is what the legality test exploits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConvergenceError, InvalidTreeError
+from repro.pebbling.tree import GameTree
+from repro.trees.parse_tree import ParseTree
+
+__all__ = ["IntervalGame"]
+
+
+class IntervalGame:
+    """Simulate the algorithm's exact-value propagation on a tree T."""
+
+    def __init__(self, tree: ParseTree | GameTree) -> None:
+        gt = tree if isinstance(tree, GameTree) else GameTree.from_parse_tree(tree)
+        if gt.intervals is None:
+            raise InvalidTreeError("IntervalGame needs interval-labelled nodes")
+        self.tree = gt
+        m = gt.num_nodes
+        # Endpoint-sharing ancestor chains: for each node z, the list of
+        # proper ancestors y with y.i == z.i (left) or y.j == z.j (right).
+        iv = gt.intervals
+        self._share: list[np.ndarray] = []
+        for z in range(m):
+            ys = []
+            y = gt.parent[z]
+            child = z
+            while y != -1:
+                if iv[y, 0] == iv[z, 0] or iv[y, 1] == iv[z, 1]:
+                    ys.append(y)
+                child = y
+                y = gt.parent[y]
+            self._share.append(np.array(ys, dtype=np.int64))
+        self.reset()
+
+    def reset(self) -> None:
+        m = self.tree.num_nodes
+        self.pebbled = self.tree.leaves_mask().copy()
+        self.cert = np.zeros((m, m), dtype=bool)
+        # cert(x, x) is pw'(x, x) = 0 — exact from the start.
+        np.fill_diagonal(self.cert, True)
+        self.iterations = 0
+
+    # -- operations --------------------------------------------------------
+
+    def activate(self) -> None:
+        t = self.tree
+        internal = np.flatnonzero(~t.leaves_mask())
+        l, r = t.left[internal], t.right[internal]
+        self.cert[internal, l] |= self.pebbled[r]
+        self.cert[internal, r] |= self.pebbled[l]
+
+    def square(self) -> None:
+        cert = self.cert
+        new = cert.copy()
+        for z in range(self.tree.num_nodes):
+            ys = self._share[z]
+            if ys.size == 0:
+                continue
+            ys = ys[cert[ys, z]]
+            if ys.size == 0:
+                continue
+            # x gains cert(x, z) if cert(x, y) for any certified y;
+            # cert(x, y) is only ever true for ancestors x of y, so the
+            # path/legality constraints are already encoded.
+            new[:, z] |= cert[:, ys].any(axis=1)
+        self.cert = new
+
+    def pebble(self) -> None:
+        gained = (self.cert & self.pebbled[None, :]).any(axis=1)
+        self.pebbled = self.pebbled | gained
+
+    def iterate(self) -> None:
+        self.activate()
+        self.square()
+        self.pebble()
+        self.iterations += 1
+
+    # -- driving ----------------------------------------------------------------
+
+    @property
+    def root_pebbled(self) -> bool:
+        return bool(self.pebbled[self.tree.root])
+
+    def run(self, *, max_iterations: int | None = None) -> int:
+        """Iterate until the root's value is certified exact; returns
+        the iteration count — the algorithm's iterations-until-correct
+        on the corresponding forced instance."""
+        cap = (
+            max_iterations
+            if max_iterations is not None
+            else 4 * self.tree.num_leaves + 8
+        )
+        while not self.root_pebbled:
+            if self.iterations >= cap:
+                raise ConvergenceError(
+                    f"root not certified after {self.iterations} iterations"
+                )
+            self.iterate()
+        return self.iterations

@@ -1,0 +1,125 @@
+"""The invariants of Lemma 3.3 and the chain bound of its proof.
+
+After ``2k`` moves of the (modified-square) game, the paper states:
+
+(a) every node ``x`` with ``size(x) <= k²`` is pebbled;
+(b) for every node ``x``: ``size(x) - size(cond(x)) >= 2k + 1``, or no
+    son of ``cond(x)`` is pebbled, or ``cond(x)`` is pebbled.
+
+(Invariant (b) is vacuous at ``k = 0`` and meaningful from the first
+full pair of moves on; the checkers below therefore require ``k >= 1``.)
+
+The proof of the lemma also bounds the Fig. 1 chain: a node in size
+class ``i`` (``i² < size <= (i+1)²``) heads a chain of at most ``2i + 1``
+nodes of size > i² ending at the first node both of whose children are
+in class <= i. :func:`check_chain_bound` verifies that combinatorial
+fact on a concrete tree (it is independent of the game state).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.pebbling.game import PebbleGame
+from repro.trees.parse_tree import ParseTree
+from repro.trees.properties import chain_decomposition, size_class
+
+__all__ = [
+    "moves_upper_bound",
+    "check_invariant_a",
+    "check_invariant_b",
+    "check_chain_bound",
+]
+
+
+def moves_upper_bound(n_leaves: int) -> int:
+    """Lemma 3.3's bound: ``2 * ceil(sqrt(n))`` moves pebble the root."""
+    if n_leaves < 1:
+        raise ValueError("n_leaves must be >= 1")
+    return 2 * math.isqrt(n_leaves - 1) + 2 if n_leaves > 1 else 0
+
+
+def check_invariant_a(game: PebbleGame, k: int) -> list[int]:
+    """Nodes violating invariant (a) after ``2k`` moves (empty == holds).
+
+    The caller is responsible for having played exactly ``2k`` moves;
+    the function checks ``game.moves_played >= 2k`` defensively (the
+    invariant is monotone: once pebbled, always pebbled).
+    """
+    if k < 0:
+        raise ValueError("k must be >= 0")
+    if game.moves_played < 2 * k:
+        raise ValueError(
+            f"game has played {game.moves_played} moves; invariant (a) is "
+            f"a statement about >= {2 * k}"
+        )
+    t = game.tree
+    small = t.sizes <= k * k
+    bad = small & ~game.pebbled
+    return [int(x) for x in np.flatnonzero(bad)]
+
+
+def check_invariant_b(game: PebbleGame, k: int) -> list[int]:
+    """Nodes violating invariant (b) after ``2k`` moves (empty == holds).
+
+    Alignment note: the proof of Lemma 3.3 reads pointer progress *after
+    square steps* ("after the square step of the (2i+2)nd move, cond(x)
+    points to a pebbled node"), while moves end with a pebble sub-step.
+    A node whose relevant pebbles landed in the final pebble sub-step
+    has not yet had an activate/square in which to react, so the literal
+    end-of-move state can violate (b) for one sub-step. The checker
+    therefore advances a *clone* of the game through the next activate
+    and square before testing the clauses; the game itself is not
+    mutated.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1 (invariant (b) is vacuous before)")
+    if game.moves_played < 2 * k:
+        raise ValueError(
+            f"game has played {game.moves_played} moves; invariant (b) is "
+            f"a statement about >= {2 * k}"
+        )
+    clone = PebbleGame(game.tree, square_rule=game.square_rule)
+    clone.pebbled = game.pebbled.copy()
+    clone.cond = game.cond.copy()
+    clone.activate()
+    clone.square()
+    game = clone
+    t = game.tree
+    c = game.cond
+    clause1 = (t.sizes - t.sizes[c]) >= (2 * k + 1)
+    # "no son of cond(x) is pebbled": leaves have no sons, so the clause
+    # holds vacuously when cond(x) is a leaf.
+    c_leaf = t.left[c] < 0
+    son_pebbled = np.zeros(t.num_nodes, dtype=bool)
+    internal_c = ~c_leaf
+    son_pebbled[internal_c] = (
+        game.pebbled[t.left[c[internal_c]]] | game.pebbled[t.right[c[internal_c]]]
+    )
+    clause2 = ~son_pebbled
+    clause3 = game.pebbled[c]
+    ok = clause1 | clause2 | clause3
+    return [int(x) for x in np.flatnonzero(~ok)]
+
+
+def check_chain_bound(tree: ParseTree) -> list[tuple[tuple[int, int], int, int]]:
+    """Verify the Fig. 1 chain bound at every node of ``tree``.
+
+    Returns the violations as ``(interval, chain_length, bound)`` triples
+    (empty == the bound ``k <= 2i + 1`` holds everywhere, where ``i`` is
+    the node's size class).
+    """
+    violations: list[tuple[tuple[int, int], int, int]] = []
+    for node in tree.nodes():
+        if node.is_leaf:
+            continue
+        i_class = size_class(node.size)
+        if i_class < 1:
+            continue
+        chain = chain_decomposition(tree, node)
+        bound = 2 * i_class + 1
+        if len(chain) > bound:
+            violations.append((node.interval, len(chain), bound))
+    return violations

@@ -1,0 +1,123 @@
+"""The pebbling game as a literal CREW PRAM program.
+
+Section 3's game is itself a parallel procedure: each move is three
+O(1)-time super-steps with one processor per node. Executing it on the
+instrumented machine yields the game's own PRAM costs — O(sqrt n) time
+with O(n) processors on the worst case — and machine-checks that all
+three operations are exclusive-write (each processor only ever writes
+its own node's ``cond``/``pebbled`` cells).
+
+Memory layout: arrays ``pebbled`` (0/1), ``cond`` (node index), plus
+read-only ``left``/``right``/``tin``/``tout`` describing the tree.
+The ancestor test of the modified square uses the Euler-tour interval
+containment, exactly like the vectorised game.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConvergenceError, InvalidTreeError
+from repro.pebbling.tree import GameTree
+from repro.pram.machine import PRAM, Processor
+
+__all__ = ["PRAMGame"]
+
+
+class PRAMGame:
+    """Play the game on the PRAM machine; costs land in ``machine.ledger``.
+
+    Per-processor Python execution limits practical sizes to a few
+    thousand nodes — ample for verifying the O(1)-steps-per-move and
+    O(n)-processors charges.
+    """
+
+    def __init__(self, tree: GameTree, *, square_rule: str = "huang") -> None:
+        if square_rule not in ("huang", "rytter"):
+            raise InvalidTreeError(f"unknown square rule {square_rule!r}")
+        self.tree = tree
+        self.square_rule = square_rule
+        self.machine = PRAM()
+        mem = self.machine.memory
+        m = tree.num_nodes
+        mem.alloc_from("left", tree.left.astype(np.int64))
+        mem.alloc_from("right", tree.right.astype(np.int64))
+        mem.alloc_from("tin", tree.tin.astype(np.int64))
+        mem.alloc_from("tout", tree.tout.astype(np.int64))
+        mem.alloc_from("pebbled", tree.leaves_mask().astype(np.int64))
+        mem.alloc_from("cond", np.arange(m, dtype=np.int64))
+        self.moves_played = 0
+
+    # -- the three operations, one super-step each ---------------------------
+
+    def activate(self) -> None:
+        def body(x: int, proc: Processor) -> None:
+            if proc.read("cond", x) != x:
+                return
+            l = proc.read("left", x)
+            if l < 0:
+                return
+            r = proc.read("right", x)
+            lp = proc.read("pebbled", l)
+            rp = proc.read("pebbled", r)
+            if lp:
+                proc.write("cond", x, r)
+            elif rp:
+                proc.write("cond", x, l)
+
+        self.machine.run_parallel(self.tree.num_nodes, body)
+
+    def square(self) -> None:
+        rule = self.square_rule
+
+        def body(x: int, proc: Processor) -> None:
+            c = proc.read("cond", x)
+            cc = proc.read("cond", c)
+            if cc == c:
+                return
+            if rule == "rytter":
+                proc.write("cond", x, cc)
+                return
+            l = proc.read("left", c)
+            r = proc.read("right", c)
+            tin_cc = proc.read("tin", cc)
+            if proc.read("tin", l) <= tin_cc and tin_cc < proc.read("tout", l):
+                proc.write("cond", x, l)
+            else:
+                proc.write("cond", x, r)
+
+        self.machine.run_parallel(self.tree.num_nodes, body)
+
+    def pebble(self) -> None:
+        def body(x: int, proc: Processor) -> None:
+            if proc.read("pebbled", x):
+                return
+            c = proc.read("cond", x)
+            if proc.read("pebbled", c):
+                proc.write("pebbled", x, 1)
+
+        self.machine.run_parallel(self.tree.num_nodes, body)
+
+    # -- driving --------------------------------------------------------------
+
+    @property
+    def root_pebbled(self) -> bool:
+        return bool(self.machine.memory.peek("pebbled")[self.tree.root])
+
+    def move(self) -> None:
+        self.activate()
+        self.square()
+        self.pebble()
+        self.moves_played += 1
+
+    def run(self, *, max_moves: int | None = None) -> int:
+        """Play to completion; returns moves. The ledger then holds
+        3·moves super-steps of exactly ``num_nodes`` processors each."""
+        cap = max_moves if max_moves is not None else self.tree.num_nodes + 4
+        while not self.root_pebbled:
+            if self.moves_played >= cap:
+                raise ConvergenceError(
+                    f"root not pebbled after {self.moves_played} moves (cap {cap})"
+                )
+            self.move()
+        return self.moves_played

@@ -1,0 +1,115 @@
+"""A direct, deliberately naive transcription of the paper's pseudocode.
+
+This implementation mirrors Section 3 line by line on a
+:class:`~repro.trees.ParseTree` using plain dictionaries: no vectorisation,
+no cleverness. It exists purely to cross-validate
+:class:`~repro.pebbling.game.PebbleGame` (the property-based tests play
+both games move-by-move on random trees and assert identical state).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConvergenceError, InvalidTreeError
+from repro.trees.parse_tree import ParseTree
+
+__all__ = ["ReferenceGame"]
+
+Interval = tuple[int, int]
+
+
+class ReferenceGame:
+    """Dict-based pebbling game on a :class:`ParseTree`.
+
+    State maps intervals to pebbles/cond targets. Only the paper's
+    modified square rule is implemented (the reference exists to validate
+    the paper's game, and the Rytter rule is a one-liner already).
+    """
+
+    def __init__(self, tree: ParseTree) -> None:
+        self.tree = tree
+        self.nodes: dict[Interval, ParseTree] = {t.interval: t for t in tree.nodes()}
+        self.parent: dict[Interval, Interval | None] = {tree.interval: None}
+        for t in tree.nodes():
+            if not t.is_leaf:
+                assert t.left is not None and t.right is not None
+                self.parent[t.left.interval] = t.interval
+                self.parent[t.right.interval] = t.interval
+        self.reset()
+
+    def reset(self) -> None:
+        self.pebbled: dict[Interval, bool] = {
+            iv: node.is_leaf for iv, node in self.nodes.items()
+        }
+        self.cond: dict[Interval, Interval] = {iv: iv for iv in self.nodes}
+        self.moves_played = 0
+
+    # -- helpers -----------------------------------------------------------
+
+    def _is_ancestor(self, u: Interval, v: Interval) -> bool:
+        """u is an ancestor of v, or u == v (interval containment)."""
+        return u[0] <= v[0] and v[1] <= u[1]
+
+    def _children(self, iv: Interval) -> tuple[Interval, Interval] | None:
+        node = self.nodes[iv]
+        if node.is_leaf:
+            return None
+        assert node.left is not None and node.right is not None
+        return node.left.interval, node.right.interval
+
+    # -- operations (synchronous: read old state, write new) -----------------
+
+    def activate(self) -> None:
+        new_cond = dict(self.cond)
+        for iv in self.nodes:
+            kids = self._children(iv)
+            if kids is None or self.cond[iv] != iv:
+                continue
+            l, r = kids
+            if self.pebbled[l]:
+                new_cond[iv] = r
+            elif self.pebbled[r]:
+                new_cond[iv] = l
+        self.cond = new_cond
+
+    def square(self) -> None:
+        new_cond = dict(self.cond)
+        for iv in self.nodes:
+            c = self.cond[iv]
+            cc = self.cond[c]
+            if cc == c:
+                continue
+            kids = self._children(c)
+            if kids is None:
+                raise InvalidTreeError(
+                    f"cond({iv}) = {c} is a leaf but cond({c}) = {cc} differs"
+                )
+            l, r = kids
+            new_cond[iv] = l if self._is_ancestor(l, cc) else r
+        self.cond = new_cond
+
+    def pebble(self) -> None:
+        before = dict(self.pebbled)
+        for iv in self.nodes:
+            if not before[iv] and before[self.cond[iv]]:
+                self.pebbled[iv] = True
+
+    def move(self) -> None:
+        self.activate()
+        self.square()
+        self.pebble()
+        self.moves_played += 1
+
+    @property
+    def root_pebbled(self) -> bool:
+        return self.pebbled[self.tree.interval]
+
+    def run(self, *, max_moves: int | None = None) -> int:
+        """Play to completion; returns the number of moves used."""
+        cap = max_moves if max_moves is not None else len(self.nodes) + 4
+        while not self.root_pebbled:
+            if self.moves_played >= cap:
+                raise ConvergenceError(
+                    f"root not pebbled after {self.moves_played} moves (cap {cap})"
+                )
+            self.move()
+        return self.moves_played

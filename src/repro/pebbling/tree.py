@@ -1,0 +1,252 @@
+"""Array-based full binary trees for the pebbling game.
+
+Nodes are integers ``0 .. num_nodes-1``; ``left``/``right`` hold child
+indices (``-1`` for leaves), ``parent`` the parent (``-1`` at the root).
+``sizes`` is the paper's ``size(x)`` (leaves below x) and ``tin``/``tout``
+are Euler-tour entry/exit times enabling O(1) ancestor tests — the square
+operation needs "the child of cond(x) that is an ancestor of
+cond(cond(x))".
+
+Direct constructors (:meth:`GameTree.vine`, :meth:`GameTree.complete`,
+:meth:`GameTree.random`) build the arrays without materialising a
+:class:`~repro.trees.ParseTree`, which keeps million-leaf worst-case
+experiments cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import InvalidTreeError
+from repro.util.rng import SeedLike, resolve_rng
+from repro.util.validation import check_positive_int
+
+__all__ = ["GameTree"]
+
+
+class GameTree:
+    """An immutable full binary tree in array form.
+
+    Use the classmethod constructors; the raw constructor validates the
+    arrays (every node has 0 or 2 children, single root, connected).
+    """
+
+    def __init__(
+        self,
+        left: np.ndarray,
+        right: np.ndarray,
+        *,
+        intervals: Optional[np.ndarray] = None,
+        validate: bool = True,
+    ) -> None:
+        left = np.asarray(left, dtype=np.int64)
+        right = np.asarray(right, dtype=np.int64)
+        if left.shape != right.shape or left.ndim != 1:
+            raise InvalidTreeError("left/right must be equal-length 1-D arrays")
+        self.left = left
+        self.right = right
+        self.num_nodes = left.size
+        if validate:
+            self._validate_children()
+        self.parent = self._compute_parents()
+        roots = np.flatnonzero(self.parent == -1)
+        if roots.size != 1:
+            raise InvalidTreeError(f"tree must have exactly one root, found {roots.size}")
+        self.root = int(roots[0])
+        self.tin, self.tout, self.sizes, self.depth = self._dfs()
+        if intervals is not None:
+            intervals = np.asarray(intervals, dtype=np.int64)
+            if intervals.shape != (self.num_nodes, 2):
+                raise InvalidTreeError("intervals must have shape (num_nodes, 2)")
+        self.intervals = intervals
+
+    # -- construction -------------------------------------------------------
+
+    def _validate_children(self) -> None:
+        both = (self.left >= 0) == (self.right >= 0)
+        if not both.all():
+            bad = int(np.flatnonzero(~both)[0])
+            raise InvalidTreeError(
+                f"node {bad} has exactly one child; the tree must be full binary"
+            )
+        for arr in (self.left, self.right):
+            used = arr[arr >= 0]
+            if used.size and (used >= self.num_nodes).any():
+                raise InvalidTreeError("child index out of range")
+
+    def _compute_parents(self) -> np.ndarray:
+        parent = np.full(self.num_nodes, -1, dtype=np.int64)
+        for child_arr in (self.left, self.right):
+            mask = child_arr >= 0
+            kids = child_arr[mask]
+            if np.unique(kids).size != kids.size:
+                raise InvalidTreeError("a node is referenced as a child twice")
+            prev = parent[kids]
+            if (prev != -1).any():
+                raise InvalidTreeError("a node has two parents")
+            parent[kids] = np.flatnonzero(mask)
+        return parent
+
+    def _dfs(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        n = self.num_nodes
+        tin = np.full(n, -1, dtype=np.int64)
+        tout = np.full(n, -1, dtype=np.int64)
+        sizes = np.zeros(n, dtype=np.int64)
+        depth = np.zeros(n, dtype=np.int64)
+        clock = 0
+        # Iterative DFS with (node, phase) frames.
+        stack: list[tuple[int, bool]] = [(self.root, False)]
+        visited = 0
+        while stack:
+            node, done = stack.pop()
+            if done:
+                tout[node] = clock
+                clock += 1
+                if self.left[node] >= 0:
+                    sizes[node] = sizes[self.left[node]] + sizes[self.right[node]]
+                else:
+                    sizes[node] = 1
+                continue
+            if tin[node] != -1:
+                raise InvalidTreeError("cycle detected in tree arrays")
+            tin[node] = clock
+            clock += 1
+            visited += 1
+            stack.append((node, True))
+            if self.left[node] >= 0:
+                depth[self.left[node]] = depth[node] + 1
+                depth[self.right[node]] = depth[node] + 1
+                stack.append((self.right[node], False))
+                stack.append((self.left[node], False))
+        if visited != n:
+            raise InvalidTreeError(
+                f"tree is disconnected: visited {visited} of {n} nodes"
+            )
+        return tin, tout, sizes, depth
+
+    # -- factories -----------------------------------------------------------
+
+    @classmethod
+    def from_parse_tree(cls, tree: "object") -> "GameTree":
+        """Convert a :class:`repro.trees.ParseTree`, preserving intervals."""
+        from repro.trees.parse_tree import ParseTree
+
+        if not isinstance(tree, ParseTree):
+            raise InvalidTreeError("from_parse_tree expects a ParseTree")
+        nodes = list(tree.nodes())
+        index = {id(t): k for k, t in enumerate(nodes)}
+        n = len(nodes)
+        left = np.full(n, -1, dtype=np.int64)
+        right = np.full(n, -1, dtype=np.int64)
+        intervals = np.zeros((n, 2), dtype=np.int64)
+        for k, t in enumerate(nodes):
+            intervals[k] = (t.i, t.j)
+            if not t.is_leaf:
+                left[k] = index[id(t.left)]
+                right[k] = index[id(t.right)]
+        return cls(left, right, intervals=intervals, validate=False)
+
+    @classmethod
+    def vine(cls, n_leaves: int, *, internal_side: str = "left") -> "GameTree":
+        """A vine (fully skewed tree) with ``n_leaves`` leaves.
+
+        Structurally this covers both the paper's skewed tree and the
+        zigzag: the game is symmetric under swapping children, so every
+        vine behaves identically in the game (the zigzag/skewed contrast
+        only appears at the *algorithm* level, where interval endpoints
+        matter).
+        """
+        n_leaves = check_positive_int(n_leaves, "n_leaves")
+        if internal_side not in ("left", "right"):
+            raise InvalidTreeError("internal_side must be 'left' or 'right'")
+        total = 2 * n_leaves - 1
+        left = np.full(total, -1, dtype=np.int64)
+        right = np.full(total, -1, dtype=np.int64)
+        # Nodes 0..n_leaves-1 are leaves; internal nodes n_leaves..total-1
+        # form the spine bottom-up: node n_leaves joins leaves 0 and 1.
+        if n_leaves == 1:
+            return cls(left, right, validate=False)
+        spine = n_leaves
+        left[spine] = 0
+        right[spine] = 1
+        for t in range(1, n_leaves - 1):
+            node = n_leaves + t
+            if internal_side == "left":
+                left[node] = node - 1
+                right[node] = t + 1
+            else:
+                left[node] = t + 1
+                right[node] = node - 1
+        return cls(left, right, validate=False)
+
+    @classmethod
+    def complete(cls, n_leaves: int) -> "GameTree":
+        """Balanced tree with ``n_leaves`` leaves (ceil/floor splits)."""
+        from repro.trees.shapes import complete_tree
+
+        n_leaves = check_positive_int(n_leaves, "n_leaves")
+        return cls.from_parse_tree(complete_tree(n_leaves))
+
+    @classmethod
+    def random(cls, n_leaves: int, *, seed: SeedLike = None) -> "GameTree":
+        """Random tree under the paper's uniform-split model (Section 6).
+
+        Built directly in array form: each interval of length > 1 picks a
+        uniform split; leaves appear in left-to-right order.
+        """
+        n_leaves = check_positive_int(n_leaves, "n_leaves")
+        rng = resolve_rng(seed)
+        total = 2 * n_leaves - 1
+        left = np.full(total, -1, dtype=np.int64)
+        right = np.full(total, -1, dtype=np.int64)
+        intervals = np.zeros((total, 2), dtype=np.int64)
+        next_id = 0
+
+        def new_node(i: int, j: int) -> int:
+            nonlocal next_id
+            k = next_id
+            next_id += 1
+            intervals[k] = (i, j)
+            return k
+
+        root = new_node(0, n_leaves)
+        stack = [(root, 0, n_leaves)]
+        while stack:
+            node, i, j = stack.pop()
+            if j - i == 1:
+                continue
+            k = int(rng.integers(i + 1, j))
+            l_id = new_node(i, k)
+            r_id = new_node(k, j)
+            left[node] = l_id
+            right[node] = r_id
+            stack.append((l_id, i, k))
+            stack.append((r_id, k, j))
+        return cls(left, right, intervals=intervals, validate=False)
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def num_leaves(self) -> int:
+        return (self.num_nodes + 1) // 2
+
+    def is_leaf(self, node: int) -> bool:
+        return self.left[node] < 0
+
+    def leaves_mask(self) -> np.ndarray:
+        return self.left < 0
+
+    def is_ancestor(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Vectorised "u is an ancestor of v (or u == v)" test."""
+        return (self.tin[u] <= self.tin[v]) & (self.tin[v] < self.tout[u])
+
+    def height(self) -> int:
+        return int(self.depth.max())
+
+    def __repr__(self) -> str:
+        return (
+            f"GameTree(leaves={self.num_leaves}, nodes={self.num_nodes}, "
+            f"height={self.height()})"
+        )

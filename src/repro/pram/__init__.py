@@ -1,0 +1,45 @@
+"""A synchronous PRAM (parallel random access machine) simulator.
+
+The paper's claims are statements about a CREW PRAM: how many synchronous
+super-steps an algorithm takes and how many processors are active in each.
+This package provides a faithful, instrumented simulator of that model:
+
+* :class:`~repro.pram.memory.SharedMemory` — named shared arrays with a
+  per-step access journal;
+* :class:`~repro.pram.machine.PRAM` — executes *super-steps*: every
+  processor reads a snapshot of memory taken at the start of the step,
+  computes, and writes; writes are applied only after all processors have
+  run, and exclusive-write violations raise
+  :class:`~repro.errors.WriteConflictError`;
+* :mod:`~repro.pram.primitives` — the textbook building blocks the paper
+  invokes (O(log n)-time minimum reduction with O(n/log n) processors,
+  prefix scan, broadcast);
+* :class:`~repro.pram.scheduler.BrentScheduler` — re-schedules v virtual
+  processors onto p physical ones, charging ceil(v/p) time per step
+  (Brent's theorem), which is how the paper trades processors for time;
+* :class:`~repro.pram.metrics.CostLedger` — the time/processor/work ledger
+  from which processor–time products are reported.
+
+The simulator executes the *same* lattice of operations the PRAM would,
+in the same synchronous rounds, so counted quantities are exact — only
+wall-clock is simulated.
+"""
+
+from repro.pram.memory import SharedMemory, AccessJournal
+from repro.pram.machine import PRAM, WritePolicy
+from repro.pram.metrics import CostLedger
+from repro.pram.scheduler import BrentScheduler
+from repro.pram.program import parallel_for, ParallelFor
+from repro.pram import primitives
+
+__all__ = [
+    "SharedMemory",
+    "AccessJournal",
+    "PRAM",
+    "WritePolicy",
+    "CostLedger",
+    "BrentScheduler",
+    "parallel_for",
+    "ParallelFor",
+    "primitives",
+]

@@ -1,0 +1,195 @@
+"""The synchronous PRAM machine.
+
+A *super-step* is the unit of PRAM time. The machine runs every active
+processor's task against a snapshot of shared memory, collects their
+writes, resolves conflicts according to the machine's write policy, and
+commits. The access journal is inspected to enforce the read discipline:
+
+============  =================  ==========================
+variant       concurrent reads   concurrent writes
+============  =================  ==========================
+EREW          forbidden          forbidden
+CREW          allowed            forbidden  (the paper's model)
+CRCW-common   allowed            allowed if all values equal
+CRCW-arbitrary allowed           allowed, lowest processor id wins
+CRCW-priority allowed            allowed, lowest processor id wins
+============  =================  ==========================
+
+A processor task is any callable ``task(proc: Processor) -> None`` that
+uses ``proc.read(name, index)`` and ``proc.write(name, index, value)``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Iterable, Sequence
+
+from repro.errors import ProgramError, WriteConflictError
+from repro.pram.memory import CellRef, SharedMemory
+from repro.pram.metrics import CostLedger
+
+__all__ = ["PRAM", "Processor", "WritePolicy", "Task"]
+
+
+class WritePolicy(enum.Enum):
+    """Conflict-resolution discipline of the machine."""
+
+    EREW = "EREW"
+    CREW = "CREW"
+    CRCW_COMMON = "CRCW-common"
+    CRCW_ARBITRARY = "CRCW-arbitrary"
+    CRCW_PRIORITY = "CRCW-priority"
+
+    @property
+    def allows_concurrent_reads(self) -> bool:
+        return self is not WritePolicy.EREW
+
+    @property
+    def allows_concurrent_writes(self) -> bool:
+        return self in (
+            WritePolicy.CRCW_COMMON,
+            WritePolicy.CRCW_ARBITRARY,
+            WritePolicy.CRCW_PRIORITY,
+        )
+
+
+class Processor:
+    """Handle given to a task while its super-step executes.
+
+    ``pid`` is the processor's id within the step (used for CRCW priority
+    resolution). Reads are snapshot reads; writes are buffered until the
+    step commits.
+    """
+
+    __slots__ = ("pid", "_memory", "_writes")
+
+    def __init__(self, pid: int, memory: SharedMemory) -> None:
+        self.pid = pid
+        self._memory = memory
+        self._writes: list[tuple[CellRef, object]] = []
+
+    def read(self, name: str, index: int | tuple[int, ...]) -> object:
+        """Read one shared-memory cell (snapshot of the step start)."""
+        return self._memory.read(name, index)
+
+    def write(self, name: str, index: int | tuple[int, ...], value: object) -> None:
+        """Buffer a write; committed when the step ends."""
+        if isinstance(index, tuple):
+            flat = self._memory.ravel_index(name, index)
+        else:
+            flat = int(index)
+        self._memory.journal.record_write((name, flat), self.pid, value)
+        self._writes.append(((name, flat), value))
+
+
+Task = Callable[[Processor], None]
+
+
+class PRAM:
+    """A synchronous PRAM executing journaled super-steps.
+
+    Parameters
+    ----------
+    memory:
+        The shared memory; created fresh if not supplied.
+    policy:
+        Machine variant (default CREW, the paper's model).
+    physical_processors:
+        If given, Brent scheduling is applied in the ledger: a step of
+        ``v`` virtual processors costs ``ceil(v/p)`` time units. The
+        *semantics* are unchanged (the simulator still runs the step
+        synchronously), matching Brent's theorem.
+    """
+
+    def __init__(
+        self,
+        memory: SharedMemory | None = None,
+        *,
+        policy: WritePolicy | str = WritePolicy.CREW,
+        physical_processors: int | None = None,
+    ) -> None:
+        self.memory = memory if memory is not None else SharedMemory()
+        self.policy = WritePolicy(policy)
+        self.ledger = CostLedger(physical_processors=physical_processors)
+
+    # -- core execution ---------------------------------------------------
+
+    def step(self, tasks: Sequence[Task] | Iterable[Task]) -> None:
+        """Execute one super-step with one processor per task.
+
+        All reads observe memory as of the start of the step. Writes are
+        resolved per the machine's policy; violations raise
+        :class:`~repro.errors.WriteConflictError` (write conflicts) or
+        :class:`~repro.errors.ProgramError` (EREW read conflicts) and leave
+        memory unchanged.
+        """
+        tasks = list(tasks)
+        self.memory.begin_step()
+        try:
+            procs = [Processor(pid, self.memory) for pid in range(len(tasks))]
+            for proc, task in zip(procs, tasks):
+                task(proc)
+            resolved = self._resolve_writes()
+            self._check_reads()
+        except BaseException:
+            self.memory.abort_step()
+            raise
+        journal = self.memory.journal
+        self.ledger.charge_step(len(tasks))
+        self.ledger.charge_accesses(journal.read_count, journal.write_count)
+        self.memory.end_step(resolved)
+
+    def _check_reads(self) -> None:
+        if self.policy.allows_concurrent_reads:
+            return
+        concurrent = self.memory.journal.concurrent_reads()
+        if concurrent:
+            cell, count = next(iter(concurrent.items()))
+            raise ProgramError(
+                f"EREW read conflict: cell {cell} read by {count} processors"
+            )
+
+    def _resolve_writes(self) -> dict[CellRef, object]:
+        journal = self.memory.journal
+        resolved: dict[CellRef, object] = {}
+        for cell, writes in journal.writes.items():
+            if len(writes) == 1:
+                resolved[cell] = writes[0][1]
+                continue
+            if not self.policy.allows_concurrent_writes:
+                pids = sorted(pid for pid, _ in writes)
+                raise WriteConflictError(
+                    f"{self.policy.value} write conflict: cell {cell} "
+                    f"written by processors {pids}"
+                )
+            if self.policy is WritePolicy.CRCW_COMMON:
+                values = {repr(v) for _, v in writes}
+                if len(values) > 1:
+                    raise WriteConflictError(
+                        f"CRCW-common conflict: cell {cell} written with "
+                        f"differing values {sorted(values)}"
+                    )
+                resolved[cell] = writes[0][1]
+            else:  # arbitrary / priority -> lowest pid wins (deterministic)
+                winner = min(writes, key=lambda w: w[0])
+                resolved[cell] = winner[1]
+        return resolved
+
+    # -- conveniences -------------------------------------------------------
+
+    def run_parallel(
+        self,
+        count: int,
+        body: Callable[[int, Processor], None],
+    ) -> None:
+        """One super-step of ``count`` processors; processor ``i`` runs
+        ``body(i, proc)``."""
+
+        def make(i: int) -> Task:
+            return lambda proc: body(i, proc)
+
+        self.step([make(i) for i in range(count)])
+
+    def snapshot_costs(self) -> dict[str, int]:
+        """Current ledger summary (see :class:`CostLedger.summary`)."""
+        return self.ledger.summary()

@@ -1,0 +1,214 @@
+"""Shared memory for the PRAM simulator.
+
+Memory is a set of named, fixed-shape numpy arrays. During a super-step
+every processor reads from a *snapshot* taken at the start of the step
+(synchronous PRAM semantics: a write in step t is visible from step t+1),
+and all writes are collected and applied together at the end of the step.
+
+The :class:`AccessJournal` records every (array, cell) read and write of
+the current step so the machine can enforce the access discipline of the
+selected PRAM variant (EREW / CREW / CRCW).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.errors import ProgramError
+
+__all__ = ["SharedMemory", "AccessJournal", "CellRef"]
+
+# A cell reference: (array name, flat index).
+CellRef = tuple[str, int]
+
+
+class AccessJournal:
+    """Per-super-step record of shared-memory accesses.
+
+    ``reads`` maps each cell to the number of processors that read it this
+    step; ``writes`` maps each cell to the list of (processor id, value)
+    pairs that targeted it. The machine inspects the journal at the end of
+    the step to detect conflicts and to charge the ledger.
+    """
+
+    def __init__(self) -> None:
+        self.reads: dict[CellRef, int] = {}
+        self.writes: dict[CellRef, list[tuple[int, object]]] = {}
+
+    def record_read(self, cell: CellRef) -> None:
+        self.reads[cell] = self.reads.get(cell, 0) + 1
+
+    def record_write(self, cell: CellRef, processor: int, value: object) -> None:
+        self.writes.setdefault(cell, []).append((processor, value))
+
+    @property
+    def read_count(self) -> int:
+        return sum(self.reads.values())
+
+    @property
+    def write_count(self) -> int:
+        return sum(len(v) for v in self.writes.values())
+
+    def concurrent_reads(self) -> dict[CellRef, int]:
+        """Cells read by more than one processor this step."""
+        return {c: k for c, k in self.reads.items() if k > 1}
+
+    def conflicting_writes(self) -> dict[CellRef, list[tuple[int, object]]]:
+        """Cells written by more than one processor this step."""
+        return {c: ws for c, ws in self.writes.items() if len(ws) > 1}
+
+    def clear(self) -> None:
+        self.reads.clear()
+        self.writes.clear()
+
+
+class SharedMemory:
+    """Named shared arrays with snapshot reads and journaled access.
+
+    Arrays are allocated with :meth:`alloc` and addressed by
+    ``(name, flat_index)``. Multi-dimensional arrays are supported; flat
+    indices follow C order (callers can use :meth:`ravel_index`).
+    """
+
+    def __init__(self) -> None:
+        self._arrays: dict[str, np.ndarray] = {}
+        self._snapshot: dict[str, np.ndarray] | None = None
+        self.journal = AccessJournal()
+
+    # -- allocation -----------------------------------------------------
+
+    def alloc(
+        self,
+        name: str,
+        shape: int | tuple[int, ...],
+        *,
+        fill: float = 0.0,
+        dtype: np.dtype | type = np.float64,
+    ) -> np.ndarray:
+        """Allocate array ``name`` filled with ``fill``; returns it."""
+        if name in self._arrays:
+            raise ProgramError(f"array {name!r} already allocated")
+        arr = np.full(shape, fill, dtype=dtype)
+        self._arrays[name] = arr
+        return arr
+
+    def alloc_from(self, name: str, data: np.ndarray) -> np.ndarray:
+        """Allocate array ``name`` initialised with a copy of ``data``."""
+        if name in self._arrays:
+            raise ProgramError(f"array {name!r} already allocated")
+        arr = np.array(data)
+        self._arrays[name] = arr
+        return arr
+
+    def free(self, name: str) -> None:
+        """Release array ``name`` (it must exist)."""
+        try:
+            del self._arrays[name]
+        except KeyError:
+            raise ProgramError(f"array {name!r} is not allocated") from None
+
+    def names(self) -> Iterable[str]:
+        return self._arrays.keys()
+
+    def shape(self, name: str) -> tuple[int, ...]:
+        return self._array(name).shape
+
+    def size(self, name: str) -> int:
+        return self._array(name).size
+
+    def _array(self, name: str) -> np.ndarray:
+        try:
+            return self._arrays[name]
+        except KeyError:
+            raise ProgramError(f"array {name!r} is not allocated") from None
+
+    def ravel_index(self, name: str, index: tuple[int, ...]) -> int:
+        """Convert a multi-dimensional index into the flat cell index."""
+        arr = self._array(name)
+        return int(np.ravel_multi_index(index, arr.shape))
+
+    # -- step lifecycle ---------------------------------------------------
+
+    def begin_step(self) -> None:
+        """Snapshot all arrays; subsequent reads see this snapshot."""
+        if self._snapshot is not None:
+            raise ProgramError("begin_step called while a step is active")
+        self._snapshot = {k: v.copy() for k, v in self._arrays.items()}
+        self.journal.clear()
+
+    def end_step(self, resolved: Mapping[CellRef, object]) -> None:
+        """Apply the step's resolved writes and drop the snapshot.
+
+        ``resolved`` maps each written cell to the single value the machine
+        decided to commit (after conflict resolution per the write policy).
+        """
+        if self._snapshot is None:
+            raise ProgramError("end_step called without begin_step")
+        for (name, flat), value in resolved.items():
+            arr = self._array(name)
+            if not (0 <= flat < arr.size):
+                raise ProgramError(
+                    f"write out of range: {name!r}[{flat}] (size {arr.size})"
+                )
+            arr.reshape(-1)[flat] = value
+        self._snapshot = None
+
+    def abort_step(self) -> None:
+        """Drop the snapshot without applying writes (used on conflicts)."""
+        self._snapshot = None
+
+    # -- processor-facing access ------------------------------------------
+
+    def read(self, name: str, index: int | tuple[int, ...]) -> object:
+        """Snapshot read of one cell; journaled.
+
+        Must be called between :meth:`begin_step` and :meth:`end_step`.
+        """
+        if self._snapshot is None:
+            raise ProgramError("read outside of a super-step")
+        arr = self._snapshot.get(name)
+        if arr is None:
+            raise ProgramError(f"array {name!r} is not allocated")
+        flat = (
+            int(np.ravel_multi_index(index, arr.shape))
+            if isinstance(index, tuple)
+            else int(index)
+        )
+        if not (0 <= flat < arr.size):
+            raise ProgramError(
+                f"read out of range: {name!r}[{flat}] (size {arr.size})"
+            )
+        self.journal.record_read((name, flat))
+        return arr.reshape(-1)[flat]
+
+    def host_fill(self, name: str, value: float) -> None:
+        """Host-side (un-charged) re-initialisation of an array.
+
+        PRAM analyses assume memory arrives initialised; re-filling a
+        scratch region between super-steps is memory management, not
+        computation, so it is deliberately not journaled or charged.
+        Invalid during an active step.
+        """
+        if self._snapshot is not None:
+            raise ProgramError("host_fill during an active super-step")
+        self._array(name)[...] = value
+
+    def host_write(self, name: str, data: np.ndarray) -> None:
+        """Host-side bulk write (un-charged); see :meth:`host_fill`."""
+        if self._snapshot is not None:
+            raise ProgramError("host_write during an active super-step")
+        arr = self._array(name)
+        arr[...] = np.asarray(data).reshape(arr.shape)
+
+    def peek(self, name: str) -> np.ndarray:
+        """Un-journaled read-only view of the *committed* array state.
+
+        For host-side inspection (tests, result extraction) only — PRAM
+        programs must use :meth:`read`.
+        """
+        arr = self._array(name)
+        out = arr.view()
+        out.setflags(write=False)
+        return out

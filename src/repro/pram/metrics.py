@@ -1,0 +1,125 @@
+"""Cost accounting for PRAM executions.
+
+The quantities the paper reasons about:
+
+* **time** — number of synchronous super-steps (with Brent scheduling a
+  single super-step of ``v`` virtual processors on ``p`` physical ones
+  costs ``ceil(v / p)`` time units);
+* **processors** — the peak number of simultaneously active processors;
+* **work** — total processor-operations (sum over steps of active
+  processors), i.e. the sequential running time of the same operation
+  lattice;
+* **processor–time product** — ``processors * time``, the figure of merit
+  in the paper's headline comparison against Rytter's algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CostLedger"]
+
+
+@dataclass
+class CostLedger:
+    """Mutable ledger of PRAM costs.
+
+    Attributes
+    ----------
+    time:
+        Super-steps elapsed, *after* Brent scheduling (a step of ``v``
+        virtual processors on ``p`` physical processors adds
+        ``ceil(v/p)``).
+    steps:
+        Raw super-steps (each :meth:`charge_step` call adds exactly 1,
+        regardless of scheduling).
+    peak_processors:
+        Maximum virtual processors active in any single step.
+    work:
+        Total processor-operations across all steps.
+    reads / writes:
+        Shared-memory accesses (filled in by the machine's journal).
+    """
+
+    time: int = 0
+    steps: int = 0
+    peak_processors: int = 0
+    work: int = 0
+    reads: int = 0
+    writes: int = 0
+    physical_processors: int | None = None
+    _step_sizes: list[int] = field(default_factory=list, repr=False)
+
+    def charge_step(self, virtual_processors: int) -> None:
+        """Record one super-step executed by ``virtual_processors``."""
+        if virtual_processors < 0:
+            raise ValueError("virtual_processors must be >= 0")
+        self.steps += 1
+        self.work += virtual_processors
+        self.peak_processors = max(self.peak_processors, virtual_processors)
+        p = self.physical_processors
+        if p is None or p <= 0:
+            self.time += 1
+        else:
+            self.time += -(-virtual_processors // p) if virtual_processors else 1
+        self._step_sizes.append(virtual_processors)
+
+    def charge_accesses(self, reads: int, writes: int) -> None:
+        """Record shared-memory traffic for the current step."""
+        self.reads += reads
+        self.writes += writes
+
+    @property
+    def processors(self) -> int:
+        """Processors charged for the whole run: the physical count if one
+        was fixed, otherwise the peak virtual count."""
+        if self.physical_processors:
+            return self.physical_processors
+        return self.peak_processors
+
+    @property
+    def processor_time_product(self) -> int:
+        """``processors * time`` — the paper's comparison metric."""
+        return self.processors * self.time
+
+    @property
+    def step_sizes(self) -> tuple[int, ...]:
+        """Virtual-processor count of every step, in execution order."""
+        return tuple(self._step_sizes)
+
+    def merge(self, other: "CostLedger") -> "CostLedger":
+        """Return a new ledger representing ``self`` followed by ``other``.
+
+        Peak processors is the max of the two; time/steps/work/accesses
+        add. Physical processor settings must agree (or one be unset).
+        """
+        if (
+            self.physical_processors is not None
+            and other.physical_processors is not None
+            and self.physical_processors != other.physical_processors
+        ):
+            raise ValueError("cannot merge ledgers with different physical p")
+        out = CostLedger(
+            time=self.time + other.time,
+            steps=self.steps + other.steps,
+            peak_processors=max(self.peak_processors, other.peak_processors),
+            work=self.work + other.work,
+            reads=self.reads + other.reads,
+            writes=self.writes + other.writes,
+            physical_processors=self.physical_processors
+            or other.physical_processors,
+        )
+        out._step_sizes = list(self._step_sizes) + list(other._step_sizes)
+        return out
+
+    def summary(self) -> dict[str, int]:
+        """A plain-dict snapshot suitable for report tables."""
+        return {
+            "time": self.time,
+            "steps": self.steps,
+            "processors": self.processors,
+            "work": self.work,
+            "reads": self.reads,
+            "writes": self.writes,
+            "processor_time_product": self.processor_time_product,
+        }

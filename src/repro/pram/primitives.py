@@ -1,0 +1,260 @@
+"""Textbook PRAM primitives used by the paper's operation counts.
+
+The paper charges its a-square / a-pebble steps as "minimum of n values in
+O(log n) time using O(n/log n) processors". These are the primitives that
+realise those charges on the simulator:
+
+* :func:`reduce_min` — balanced-tree minimum: ceil(log2 m) super-steps,
+  m/2 processors in the first step;
+* :func:`reduce_min_brent` — the processor-efficient variant: each of
+  ceil(m/b) processors first folds a block of b = ceil(log2 m) values
+  sequentially (b super-steps of ceil(m/b) processors), then a tree
+  reduction over the partials — O(log m) time, O(m/log m) processors;
+* :func:`prefix_scan` — Hillis–Steele inclusive scan (any associative op);
+* :func:`broadcast` — one CREW super-step (everyone reads one cell).
+
+All primitives run on a scratch copy of the input region so the caller's
+array is untouched; the result is written to a caller-named output cell.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ProgramError
+from repro.pram.machine import PRAM, Processor
+
+__all__ = [
+    "reduce_min",
+    "reduce_min_brent",
+    "prefix_scan",
+    "broadcast",
+    "broadcast_erew",
+    "tree_reduce",
+]
+
+_INF = float("inf")
+
+
+def _scratch_name(machine: PRAM, base: str) -> str:
+    existing = set(machine.memory.names())
+    k = 0
+    while f"{base}#{k}" in existing:
+        k += 1
+    return f"{base}#{k}"
+
+
+def tree_reduce(
+    machine: PRAM,
+    name: str,
+    start: int,
+    count: int,
+    out: tuple[str, int],
+    op: Callable[[object, object], object] = min,
+    identity: object = _INF,
+) -> int:
+    """Balanced-tree reduction of ``name[start : start+count]`` into ``out``.
+
+    Takes ceil(log2 count) super-steps (1 step if count <= 1, to copy),
+    using ceil(width/2) processors per level. Returns the super-step
+    count. The input region is copied into scratch first (one extra step)
+    so the reduction never clobbers caller data.
+    """
+    if count < 0:
+        raise ProgramError("count must be >= 0")
+    out_name, out_index = out
+    if count == 0:
+        machine.run_parallel(1, lambda _i, p: p.write(out_name, out_index, identity))
+        return 1
+    scratch = _scratch_name(machine, "reduce")
+    machine.memory.alloc(scratch, count, fill=identity)
+    machine.run_parallel(
+        count,
+        lambda i, p: p.write(scratch, i, p.read(name, start + i)),
+    )
+    steps = 1
+    width = count
+    while width > 1:
+        half = width // 2
+
+        def level(i: int, p: Processor, *, w: int = width) -> None:
+            a = p.read(scratch, i)
+            b = p.read(scratch, w - 1 - i)
+            if w - 1 - i != i:
+                p.write(scratch, i, op(a, b))
+
+        # Fold element (width-1-i) into element i for i < half; the middle
+        # element of an odd width stays put. Distinct writes -> CREW-safe.
+        machine.run_parallel(half, level)
+        width = width - half
+        steps += 1
+    machine.run_parallel(1, lambda _i, p: p.write(out_name, out_index, p.read(scratch, 0)))
+    steps += 1
+    machine.memory.free(scratch)
+    return steps
+
+
+def reduce_min(
+    machine: PRAM,
+    name: str,
+    start: int,
+    count: int,
+    out: tuple[str, int],
+) -> int:
+    """Minimum of a contiguous region via tree reduction; see
+    :func:`tree_reduce`."""
+    return tree_reduce(machine, name, start, count, out, op=min, identity=_INF)
+
+
+def reduce_min_brent(
+    machine: PRAM,
+    name: str,
+    start: int,
+    count: int,
+    out: tuple[str, int],
+) -> int:
+    """Processor-efficient minimum: O(log m) time, O(m/log m) processors.
+
+    Phase 1: ceil(m/b) processors each sequentially fold a block of
+    b = max(1, ceil(log2 m)) inputs (b super-steps). Phase 2: tree
+    reduction over the ceil(m/b) partials. Total time O(log m) with peak
+    processors ceil(m / log m) — the exact trade the paper invokes for its
+    a-square charge.
+    """
+    out_name, out_index = out
+    if count <= 0:
+        machine.run_parallel(1, lambda _i, p: p.write(out_name, out_index, _INF))
+        return 1
+    block = max(1, math.ceil(math.log2(count)) if count > 1 else 1)
+    nblocks = -(-count // block)
+    partial = _scratch_name(machine, "brent")
+    machine.memory.alloc(partial, nblocks, fill=_INF)
+
+    steps = 0
+    # b sequential folding rounds; in round r every block-processor folds
+    # its r-th element into its partial. Writes are distinct per block.
+    for r in range(block):
+
+        def fold(b_i: int, p: Processor, *, r: int = r) -> None:
+            pos = b_i * block + r
+            if pos >= count:
+                return
+            val = p.read(name, start + pos)
+            if r == 0:
+                p.write(partial, b_i, val)
+            else:
+                cur = p.read(partial, b_i)
+                if val < cur:
+                    p.write(partial, b_i, val)
+
+        machine.run_parallel(nblocks, fold)
+        steps += 1
+    steps += tree_reduce(machine, partial, 0, nblocks, out, op=min, identity=_INF)
+    machine.memory.free(partial)
+    return steps
+
+
+def prefix_scan(
+    machine: PRAM,
+    name: str,
+    start: int,
+    count: int,
+    out_name: str,
+    out_start: int = 0,
+    op: Callable[[object, object], object] = lambda a, b: a + b,
+) -> int:
+    """Hillis–Steele inclusive scan into ``out_name[out_start : +count]``.
+
+    ceil(log2 count) doubling rounds with one processor per element.
+    Returns the super-step count (including the initial copy).
+    """
+    if count < 0:
+        raise ProgramError("count must be >= 0")
+    if count == 0:
+        return 0
+    scratch = _scratch_name(machine, "scan")
+    machine.memory.alloc(scratch, count, fill=0.0)
+    machine.run_parallel(
+        count, lambda i, p: p.write(scratch, i, p.read(name, start + i))
+    )
+    steps = 1
+    offset = 1
+    while offset < count:
+
+        def round_(i: int, p: Processor, *, d: int = offset) -> None:
+            if i >= d:
+                a = p.read(scratch, i - d)
+                b = p.read(scratch, i)
+                p.write(scratch, i, op(a, b))
+
+        machine.run_parallel(count, round_)
+        offset *= 2
+        steps += 1
+    machine.run_parallel(
+        count, lambda i, p: p.write(out_name, out_start + i, p.read(scratch, i))
+    )
+    steps += 1
+    machine.memory.free(scratch)
+    return steps
+
+
+def broadcast(
+    machine: PRAM,
+    source: tuple[str, int],
+    out_name: str,
+    out_start: int,
+    count: int,
+) -> int:
+    """CREW broadcast: ``count`` processors concurrently read one cell and
+    write it to ``count`` distinct cells. One super-step.
+
+    (On an EREW machine this same call raises a read-conflict error, which
+    the test suite uses to demonstrate the CREW/EREW separation —
+    :func:`broadcast_erew` is the conflict-free O(log n) alternative.)
+    """
+    src_name, src_index = source
+    machine.run_parallel(
+        count,
+        lambda i, p: p.write(out_name, out_start + i, p.read(src_name, src_index)),
+    )
+    return 1
+
+
+def broadcast_erew(
+    machine: PRAM,
+    source: tuple[str, int],
+    out_name: str,
+    out_start: int,
+    count: int,
+) -> int:
+    """EREW broadcast by doubling: ceil(log2 count) + 1 super-steps,
+    every cell read by at most one processor per step.
+
+    Round r copies the already-filled prefix of length 2^r onto the next
+    2^r cells, each processor reading a distinct source cell — the
+    textbook exclusive-read dissemination. Returns the super-step count.
+    """
+    if count < 0:
+        raise ProgramError("count must be >= 0")
+    if count == 0:
+        return 0
+    src_name, src_index = source
+    machine.run_parallel(
+        1, lambda _i, p: p.write(out_name, out_start, p.read(src_name, src_index))
+    )
+    steps = 1
+    filled = 1
+    while filled < count:
+        copy = min(filled, count - filled)
+
+        def round_(i: int, p: Processor, *, base: int = filled) -> None:
+            val = p.read(out_name, out_start + i)
+            p.write(out_name, out_start + base + i, val)
+
+        machine.run_parallel(copy, round_)
+        filled += copy
+        steps += 1
+    return steps

@@ -1,0 +1,93 @@
+"""Structured parallel-for combinators over the PRAM machine.
+
+The algorithms in the paper are expressed as data-parallel loops
+("for all 0 <= i < k < j <= n do in parallel ..."). :func:`parallel_for`
+runs one such loop as a single super-step, assigning one virtual
+processor per index tuple; :class:`ParallelFor` is the reusable/composable
+form that also supports splitting an index space over multiple steps
+(for machines with bounded processors but *without* Brent accounting).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from repro.pram.machine import PRAM, Processor
+
+__all__ = ["parallel_for", "ParallelFor"]
+
+IndexBody = Callable[[object, Processor], None]
+
+
+def parallel_for(
+    machine: PRAM,
+    indices: Iterable[object],
+    body: IndexBody,
+) -> int:
+    """Run ``body(index, proc)`` for every index, all in one super-step.
+
+    Returns the number of virtual processors used (== number of indices).
+    This is the literal translation of the paper's "do in parallel" blocks;
+    the body may read any cells and write (per the CREW discipline)
+    distinct cells.
+    """
+    index_list = list(indices)
+
+    def make(idx: object):
+        return lambda proc: body(idx, proc)
+
+    machine.step([make(idx) for idx in index_list])
+    return len(index_list)
+
+
+class ParallelFor:
+    """A reusable data-parallel loop over a fixed index space.
+
+    Splitting: with ``max_processors=p`` the index space is processed in
+    ``ceil(v/p)`` consecutive super-steps of at most ``p`` processors each.
+    This realises Brent scheduling *operationally* (not just in the
+    ledger), which matters when a body both reads and writes the same
+    array: the split introduces extra visibility between chunks, so it is
+    only valid for bodies whose writes target cells no other chunk reads.
+    The solvers in :mod:`repro.core` only use it for such bodies.
+    """
+
+    def __init__(
+        self,
+        indices: Sequence[object],
+        body: IndexBody,
+        *,
+        max_processors: int | None = None,
+        name: str = "parallel-for",
+    ) -> None:
+        if max_processors is not None and max_processors < 1:
+            raise ValueError("max_processors must be >= 1")
+        self.indices = list(indices)
+        self.body = body
+        self.max_processors = max_processors
+        self.name = name
+
+    @property
+    def virtual_processors(self) -> int:
+        return len(self.indices)
+
+    def steps_needed(self) -> int:
+        """Super-steps this loop will take on the configured machine."""
+        v = self.virtual_processors
+        if v == 0:
+            return 0
+        p = self.max_processors
+        return 1 if p is None else -(-v // p)
+
+    def run(self, machine: PRAM) -> int:
+        """Execute on ``machine``; returns the number of super-steps."""
+        v = self.virtual_processors
+        if v == 0:
+            return 0
+        p = self.max_processors or v
+        steps = 0
+        for start in range(0, v, p):
+            chunk = self.indices[start : start + p]
+            parallel_for(machine, chunk, self.body)
+            steps += 1
+        return steps

@@ -1,0 +1,84 @@
+"""Brent scheduling: simulate many virtual processors on few physical ones.
+
+Brent's theorem: a computation taking t super-steps with a total of w
+operations on an unbounded PRAM can be executed on p processors in
+``t + floor(w / p)`` steps (commonly quoted as ``O(w/p + t)``). The paper
+uses the standard corollary throughout: an O(log n)-time, O(n)-work
+minimum reduction runs in O(log n) time on O(n / log n) processors.
+
+:class:`BrentScheduler` answers "what does this step schedule cost on p
+processors" for step-size sequences, and verifies the corollary for the
+primitive operations used by the solvers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["BrentScheduler", "ScheduleCost"]
+
+
+@dataclass(frozen=True)
+class ScheduleCost:
+    """Cost of a schedule on a fixed machine size.
+
+    ``time`` is the scheduled super-step count, ``work`` the total
+    operations, ``processors`` the machine size charged.
+    """
+
+    time: int
+    work: int
+    processors: int
+
+    @property
+    def processor_time_product(self) -> int:
+        return self.processors * self.time
+
+
+class BrentScheduler:
+    """Schedules virtual-processor step sequences onto p physical processors."""
+
+    def __init__(self, physical_processors: int) -> None:
+        if physical_processors < 1:
+            raise ValueError("physical_processors must be >= 1")
+        self.p = physical_processors
+
+    def step_time(self, virtual: int) -> int:
+        """Time to run one super-step of ``virtual`` processors: ceil(v/p).
+
+        An empty step still costs one unit (the machine must advance)."""
+        if virtual < 0:
+            raise ValueError("virtual must be >= 0")
+        if virtual == 0:
+            return 1
+        return -(-virtual // self.p)
+
+    def schedule(self, step_sizes: Iterable[int]) -> ScheduleCost:
+        """Cost of running the given steps in order on this machine."""
+        time = 0
+        work = 0
+        for v in step_sizes:
+            time += self.step_time(v)
+            work += v
+        return ScheduleCost(time=time, work=work, processors=self.p)
+
+    def brent_bound(self, step_sizes: Sequence[int]) -> int:
+        """Brent's upper bound ``t + floor(w/p)`` for the given steps.
+
+        The greedy per-step schedule computed by :meth:`schedule` always
+        meets this bound, since ceil(v/p) <= 1 + floor(v/p) per step.
+        """
+        t = len(step_sizes)
+        w = sum(step_sizes)
+        return t + w // self.p
+
+    @staticmethod
+    def processors_for(work: int, time: int) -> int:
+        """Smallest p with ceil(work/time) ops per step, i.e. the classic
+        'p = O(work/time)' processor count used in the paper's statements."""
+        if time < 1:
+            raise ValueError("time must be >= 1")
+        if work < 0:
+            raise ValueError("work must be >= 0")
+        return max(1, -(-work // time))

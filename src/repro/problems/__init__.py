@@ -1,0 +1,42 @@
+"""Dynamic-programming problems of the paper's recurrence form (*).
+
+The paper targets recurrences
+
+    c(i, j) = min_{i < k < j} { c(i, k) + c(k, j) + f(i, k, j) },
+    c(i, i+1) = init(i),            0 <= i < j <= n,
+
+with non-negative ``f`` and ``init``. Three classical instances are
+implemented (the three the paper names), plus a generic adapter:
+
+* :class:`MatrixChainProblem` — optimal order of matrix multiplications;
+* :class:`OptimalBSTProblem` — optimal binary search trees (Knuth);
+* :class:`PolygonTriangulationProblem` — minimum-weight triangulation of a
+  convex polygon;
+* :class:`GenericProblem` — wrap arbitrary ``init``/``f`` callables.
+
+:mod:`repro.problems.generators` builds random and adversarial instances.
+"""
+
+from repro.problems.base import ParenthesizationProblem
+from repro.problems.generic import GenericProblem
+from repro.problems.matrix_chain import MatrixChainProblem
+from repro.problems.optimal_bst import OptimalBSTProblem
+from repro.problems.triangulation import PolygonTriangulationProblem
+from repro.problems.generators import (
+    random_matrix_chain,
+    random_bst,
+    random_polygon,
+    random_generic,
+)
+
+__all__ = [
+    "ParenthesizationProblem",
+    "GenericProblem",
+    "MatrixChainProblem",
+    "OptimalBSTProblem",
+    "PolygonTriangulationProblem",
+    "random_matrix_chain",
+    "random_bst",
+    "random_polygon",
+    "random_generic",
+]

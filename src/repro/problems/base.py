@@ -1,0 +1,126 @@
+"""The recurrence-(*) problem interface.
+
+A problem instance supplies the size ``n`` (number of objects being
+parenthesised), the leaf costs ``init(i)`` for the unit intervals
+``(i, i+1)``, and the decomposition costs ``f(i, k, j)`` for splitting
+interval ``(i, j)`` at ``k``. Everything the solvers need is derived from
+these three.
+
+Vectorised access: solvers work on whole tables, so the base class
+provides :meth:`init_vector` (shape ``(n,)``) and :meth:`f_table`
+(shape ``(n+1, n+1, n+1)``, ``F[i, k, j] = f(i, k, j)`` where
+``0 <= i < k < j <= n`` and ``+inf`` elsewhere). The generic
+implementations loop over :meth:`split_cost`; concrete problems override
+them with closed-form numpy broadcasts.
+"""
+
+from __future__ import annotations
+
+import abc
+from functools import cached_property
+
+import numpy as np
+
+from repro.errors import InvalidProblemError
+from repro.util.validation import check_positive_int
+
+__all__ = ["ParenthesizationProblem"]
+
+
+class ParenthesizationProblem(abc.ABC):
+    """Abstract base for problems of the paper's recurrence form (*)."""
+
+    def __init__(self, n: int) -> None:
+        self._n = check_positive_int(n, "n", minimum=1)
+
+    # -- the contract ------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of objects; intervals are ``(i, j)`` with 0 <= i < j <= n."""
+        return self._n
+
+    @abc.abstractmethod
+    def init_cost(self, i: int) -> float:
+        """``init(i)`` — the cost of the leaf interval ``(i, i+1)``."""
+
+    @abc.abstractmethod
+    def split_cost(self, i: int, k: int, j: int) -> float:
+        """``f(i, k, j)`` — the cost of decomposing ``(i, j)`` into
+        ``(i, k)`` and ``(k, j)``; requires ``0 <= i < k < j <= n``."""
+
+    # -- vectorised views ----------------------------------------------------
+
+    def init_vector(self) -> np.ndarray:
+        """``init`` as a float vector of shape ``(n,)``."""
+        return np.array([self.init_cost(i) for i in range(self.n)], dtype=np.float64)
+
+    def f_table(self) -> np.ndarray:
+        """Dense ``f`` as an ``(n+1, n+1, n+1)`` array.
+
+        ``F[i, k, j] = f(i, k, j)`` for valid triples ``i < k < j``;
+        invalid triples hold ``+inf``. Subclasses with closed-form costs
+        override this with a broadcasted construction.
+        """
+        n = self.n
+        F = np.full((n + 1, n + 1, n + 1), np.inf, dtype=np.float64)
+        for i in range(n - 1):
+            for k in range(i + 1, n):
+                for j in range(k + 1, n + 1):
+                    F[i, k, j] = self.split_cost(i, k, j)
+        return F
+
+    @cached_property
+    def _validated_f_table(self) -> np.ndarray:
+        F = self.f_table()
+        self.validate_table(F)
+        return F
+
+    def cached_f_table(self) -> np.ndarray:
+        """The validated ``f`` table, computed once per instance."""
+        return self._validated_f_table
+
+    # -- validation -----------------------------------------------------------
+
+    def validate_table(self, F: np.ndarray) -> None:
+        """Check a candidate ``f`` table against the contract of (*)."""
+        n = self.n
+        if F.shape != (n + 1, n + 1, n + 1):
+            raise InvalidProblemError(
+                f"f table must have shape {(n + 1,) * 3}, got {F.shape}"
+            )
+        i, k, j = np.meshgrid(
+            np.arange(n + 1), np.arange(n + 1), np.arange(n + 1), indexing="ij"
+        )
+        valid = (i < k) & (k < j)
+        vals = F[valid]
+        if np.isnan(vals).any():
+            raise InvalidProblemError("f(i, k, j) contains NaN")
+        if (vals < 0).any():
+            raise InvalidProblemError("f(i, k, j) must be non-negative")
+
+    def validate(self) -> None:
+        """Validate leaf costs and (for small n) the full split-cost table."""
+        n = self.n
+        init = self.init_vector()
+        if init.shape != (n,):
+            raise InvalidProblemError(
+                f"init vector must have shape ({n},), got {init.shape}"
+            )
+        if np.isnan(init).any() or (init < 0).any():
+            raise InvalidProblemError("init(i) must be non-negative and finite")
+        self.validate_table(self.f_table())
+
+    # -- conveniences -----------------------------------------------------------
+
+    @property
+    def num_intervals(self) -> int:
+        """Number of intervals (i, j): n(n+1)/2."""
+        return self.n * (self.n + 1) // 2
+
+    def describe(self) -> str:
+        """One-line human description; subclasses refine."""
+        return f"{type(self).__name__}(n={self.n})"
+
+    def __repr__(self) -> str:
+        return self.describe()

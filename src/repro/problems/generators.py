@@ -1,0 +1,122 @@
+"""Random and structured instance generators for all three problem families.
+
+Every generator takes a ``seed`` (int, Generator, or None) and is fully
+deterministic for a fixed seed. These feed the Monte-Carlo experiments
+(paper Sections 6–7) and the property-based test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.problems.generic import GenericProblem
+from repro.problems.matrix_chain import MatrixChainProblem
+from repro.problems.optimal_bst import OptimalBSTProblem
+from repro.problems.triangulation import PolygonTriangulationProblem
+from repro.util.rng import SeedLike, resolve_rng
+from repro.util.validation import check_positive_int
+
+__all__ = [
+    "random_matrix_chain",
+    "random_bst",
+    "random_polygon",
+    "random_generic",
+]
+
+
+def random_matrix_chain(
+    n: int,
+    *,
+    seed: SeedLike = None,
+    dim_low: int = 1,
+    dim_high: int = 100,
+) -> MatrixChainProblem:
+    """A chain of ``n`` matrices with dimensions uniform in
+    ``[dim_low, dim_high]``."""
+    n = check_positive_int(n, "n")
+    check_positive_int(dim_low, "dim_low")
+    if dim_high < dim_low:
+        raise ValueError("dim_high must be >= dim_low")
+    rng = resolve_rng(seed)
+    dims = rng.integers(dim_low, dim_high + 1, size=n + 1)
+    return MatrixChainProblem(dims)
+
+
+def random_bst(
+    m_keys: int,
+    *,
+    seed: SeedLike = None,
+    zipf: float | None = None,
+) -> OptimalBSTProblem:
+    """An optimal-BST instance with ``m_keys`` keys.
+
+    With ``zipf=None`` the ``2m+1`` weights are a flat Dirichlet draw
+    (uniformly random point on the probability simplex). With a float
+    ``zipf=s``, key weights follow a randomly permuted Zipf(s) law —
+    the classic skewed-access workload — and gap weights are uniform
+    noise scaled to 20% of total mass.
+    """
+    m_keys = check_positive_int(m_keys, "m_keys")
+    rng = resolve_rng(seed)
+    if zipf is None:
+        weights = rng.dirichlet(np.ones(2 * m_keys + 1))
+        p = weights[:m_keys]
+        q = weights[m_keys:]
+    else:
+        if zipf <= 0:
+            raise ValueError("zipf exponent must be positive")
+        ranks = np.arange(1, m_keys + 1, dtype=np.float64)
+        p = ranks**-zipf
+        rng.shuffle(p)
+        q = rng.uniform(0.0, 1.0, size=m_keys + 1)
+        q *= 0.2 * p.sum() / max(q.sum(), 1e-300)
+        total = p.sum() + q.sum()
+        p = p / total
+        q = q / total
+    return OptimalBSTProblem(p, q)
+
+
+def random_polygon(
+    num_vertices: int,
+    *,
+    seed: SeedLike = None,
+    rule: str = "perimeter",
+    radius_jitter: float = 0.3,
+) -> PolygonTriangulationProblem:
+    """A random convex-ish polygon instance.
+
+    For the perimeter rule: vertices at sorted random angles on a circle
+    of radius ``1 ± radius_jitter`` (jitter keeps triangulations
+    non-degenerate while preserving boundary order; the DP does not
+    require strict convexity, only a vertex cycle). For the product
+    rule: positive vertex weights log-uniform in ``[1, 100]``.
+    """
+    num_vertices = check_positive_int(num_vertices, "num_vertices", minimum=3)
+    rng = resolve_rng(seed)
+    if rule == "product":
+        w = np.exp(rng.uniform(0.0, np.log(100.0), size=num_vertices))
+        return PolygonTriangulationProblem(w, rule="product")
+    angles = np.sort(rng.uniform(0.0, 2.0 * np.pi, size=num_vertices))
+    radii = 1.0 + rng.uniform(-radius_jitter, radius_jitter, size=num_vertices)
+    pts = np.stack([radii * np.cos(angles), radii * np.sin(angles)], axis=1)
+    return PolygonTriangulationProblem(pts, rule="perimeter")
+
+
+def random_generic(
+    n: int,
+    *,
+    seed: SeedLike = None,
+    cost_scale: float = 1.0,
+) -> GenericProblem:
+    """A recurrence-(*) instance with i.i.d. uniform leaf and split costs.
+
+    This is the "unstructured" workload: no problem family's algebraic
+    structure, just arbitrary non-negative ``init`` and ``f`` tables.
+    """
+    n = check_positive_int(n, "n")
+    if cost_scale <= 0:
+        raise ValueError("cost_scale must be positive")
+    rng = resolve_rng(seed)
+    init = rng.uniform(0.0, cost_scale, size=n)
+    F = rng.uniform(0.0, cost_scale, size=(n + 1, n + 1, n + 1))
+    return GenericProblem.from_tables(init, F, name=f"random(seed-derived, n={n})")

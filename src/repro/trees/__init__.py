@@ -1,0 +1,49 @@
+"""Parenthesisation trees (the paper's set S), shapes, and instance synthesis.
+
+* :mod:`~repro.trees.parse_tree` — trees whose nodes are intervals
+  ``(i, j)``, exactly the set S of Section 2, plus partial trees with a
+  gap and their (partial) weights W / PW;
+* :mod:`~repro.trees.shapes` — constructors for the shapes in Fig. 2
+  (zigzag, complete, skewed) and random tree shapes;
+* :mod:`~repro.trees.properties` — structural measures: size, height,
+  and the chain decomposition of the Lemma 3.3 proof (Fig. 1);
+* :mod:`~repro.trees.synthesis` — build a recurrence-(*) instance whose
+  unique optimal tree is a prescribed tree (used to force worst-case /
+  best-case behaviour onto the full algorithm).
+"""
+
+from repro.trees.parse_tree import ParseTree, PartialTree
+from repro.trees.shapes import (
+    zigzag_tree,
+    skewed_tree,
+    complete_tree,
+    random_tree,
+    comb_tree,
+)
+from repro.trees.properties import (
+    node_sizes,
+    tree_height,
+    chain_decomposition,
+    is_full_binary,
+)
+from repro.trees.synthesis import synthesize_instance
+from repro.trees.enumerate import enumerate_trees, count_trees, brute_force_value, catalan
+
+__all__ = [
+    "ParseTree",
+    "PartialTree",
+    "zigzag_tree",
+    "skewed_tree",
+    "complete_tree",
+    "random_tree",
+    "comb_tree",
+    "node_sizes",
+    "tree_height",
+    "chain_decomposition",
+    "is_full_binary",
+    "synthesize_instance",
+    "enumerate_trees",
+    "count_trees",
+    "brute_force_value",
+    "catalan",
+]

@@ -1,0 +1,87 @@
+"""Exhaustive enumeration of parenthesisation trees (tiny n).
+
+The set S restricted to root ``(i, j)`` has Catalan(j-i-1) elements;
+for n up to ~12 they can all be materialised. This gives the strongest
+possible correctness oracle — the *definition* of c(0, n) as a minimum
+over all trees, with no dynamic programming shared with the code under
+test — used by the property suite to pin every solver.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import InvalidProblemError
+from repro.problems.base import ParenthesizationProblem
+from repro.trees.parse_tree import ParseTree
+
+__all__ = ["enumerate_trees", "count_trees", "brute_force_value", "catalan"]
+
+
+def catalan(m: int) -> int:
+    """The m-th Catalan number C(2m, m) / (m + 1)."""
+    if m < 0:
+        raise ValueError("m must be >= 0")
+    num = 1
+    den = 1
+    for k in range(2, m + 1):
+        num *= m + k
+        den *= k
+    return num // den
+
+
+def count_trees(i: int, j: int) -> int:
+    """|{T in S : root(T) = (i, j)}| = Catalan(j - i - 1)."""
+    if not (0 <= i < j):
+        raise ValueError(f"need 0 <= i < j, got ({i}, {j})")
+    return catalan(j - i - 1)
+
+
+def enumerate_trees(i: int, j: int) -> Iterator[ParseTree]:
+    """Yield every tree in S rooted at ``(i, j)``, in split order.
+
+    Memoises subtree lists per interval, so total work is proportional
+    to the number of trees times their size. Refuses spans above 14
+    (Catalan(13) = 742900 trees).
+    """
+    if not (0 <= i < j):
+        raise ValueError(f"need 0 <= i < j, got ({i}, {j})")
+    if j - i > 14:
+        raise ValueError(
+            f"span {j - i} would enumerate {count_trees(i, j)} trees; "
+            "this oracle is for tiny instances"
+        )
+    memo: dict[tuple[int, int], list[ParseTree]] = {}
+
+    def build(a: int, b: int) -> list[ParseTree]:
+        key = (a, b)
+        if key in memo:
+            return memo[key]
+        if b == a + 1:
+            out = [ParseTree.leaf(a)]
+        else:
+            out = []
+            for k in range(a + 1, b):
+                for left in build(a, k):
+                    for right in build(k, b):
+                        out.append(ParseTree(a, b, split=k, left=left, right=right))
+        memo[key] = out
+        return out
+
+    yield from build(i, j)
+
+
+def brute_force_value(problem: ParenthesizationProblem) -> float:
+    """min over ALL trees of W(T) — the literal Section 2 definition.
+
+    Exponential; guarded at n <= 12.
+    """
+    n = problem.n
+    if n > 12:
+        raise InvalidProblemError(
+            f"brute_force_value enumerates Catalan({n - 1}) trees; n={n} is too big"
+        )
+    best = float("inf")
+    for tree in enumerate_trees(0, n):
+        best = min(best, tree.weight(problem))
+    return best

@@ -1,0 +1,298 @@
+"""Trees from the paper's set S, and partial trees with gaps.
+
+Section 2 of the paper defines S as the set of node-weighted trees where
+
+* nodes are intervals ``(i, j)`` with ``0 <= i < j <= n``;
+* an internal node ``(i, j)`` has children ``(i, k)`` and ``(k, j)`` for
+  some ``i < k < j``, and carries weight ``f(i, k, j)``;
+* leaves are unit intervals ``(i, i+1)`` with weight ``init(i)``.
+
+``W(T)`` is the total node weight; the optimal cost ``c(i, j)`` equals
+the minimum ``W`` over trees rooted at ``(i, j)``. A *partial tree*
+(Definition 2.1) additionally designates one node ``(p, q)`` as a *gap*
+treated as a leaf; its partial weight ``PW`` omits the gap's weight.
+
+:class:`ParseTree` is an immutable recursive structure; weights are not
+stored on the tree (they depend on the problem instance) but evaluated
+against a problem via :meth:`ParseTree.weight`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, TYPE_CHECKING
+
+from repro.errors import InvalidTreeError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.problems.base import ParenthesizationProblem
+
+__all__ = ["ParseTree", "PartialTree"]
+
+Interval = tuple[int, int]
+
+
+class ParseTree:
+    """An element of the set S rooted at interval ``(i, j)``.
+
+    Leaves are built with ``ParseTree(i, i + 1)``; internal nodes with
+    ``ParseTree(i, j, split=k, left=..., right=...)`` where the children
+    must be rooted at ``(i, k)`` and ``(k, j)``.
+    """
+
+    __slots__ = ("i", "j", "split", "left", "right", "_n_leaves", "_height")
+
+    def __init__(
+        self,
+        i: int,
+        j: int,
+        split: Optional[int] = None,
+        left: Optional["ParseTree"] = None,
+        right: Optional["ParseTree"] = None,
+    ) -> None:
+        i = int(i)
+        j = int(j)
+        if not (0 <= i < j):
+            raise InvalidTreeError(f"interval must satisfy 0 <= i < j, got ({i}, {j})")
+        if split is None:
+            if j != i + 1:
+                raise InvalidTreeError(
+                    f"leaf must be a unit interval, got ({i}, {j}) with no split"
+                )
+            if left is not None or right is not None:
+                raise InvalidTreeError("a leaf cannot have children")
+        else:
+            split = int(split)
+            if not (i < split < j):
+                raise InvalidTreeError(
+                    f"split {split} not strictly inside ({i}, {j})"
+                )
+            if left is None or right is None:
+                raise InvalidTreeError("an internal node needs both children")
+            if (left.i, left.j) != (i, split):
+                raise InvalidTreeError(
+                    f"left child of ({i}, {j}) split at {split} must be "
+                    f"({i}, {split}), got ({left.i}, {left.j})"
+                )
+            if (right.i, right.j) != (split, j):
+                raise InvalidTreeError(
+                    f"right child of ({i}, {j}) split at {split} must be "
+                    f"({split}, {j}), got ({right.i}, {right.j})"
+                )
+        self.i = i
+        self.j = j
+        self.split = split
+        self.left = left
+        self.right = right
+        if split is None:
+            self._n_leaves = 1
+            self._height = 0
+        else:
+            assert left is not None and right is not None
+            self._n_leaves = left._n_leaves + right._n_leaves
+            self._height = 1 + max(left._height, right._height)
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def leaf(i: int) -> "ParseTree":
+        """The leaf ``(i, i+1)``."""
+        return ParseTree(i, i + 1)
+
+    @staticmethod
+    def node(left: "ParseTree", right: "ParseTree") -> "ParseTree":
+        """Join two adjacent trees: ``(i, k)`` and ``(k, j)`` -> ``(i, j)``."""
+        if left.j != right.i:
+            raise InvalidTreeError(
+                f"cannot join ({left.i}, {left.j}) with ({right.i}, {right.j}): "
+                "intervals are not adjacent"
+            )
+        return ParseTree(left.i, right.j, split=left.j, left=left, right=right)
+
+    @staticmethod
+    def from_split_table(split: "object", i: int = 0, j: int | None = None) -> "ParseTree":
+        """Rebuild the optimal tree from a DP split table.
+
+        ``split[i][j]`` (or ``split[i, j]`` for arrays) must hold the
+        optimal split point of interval ``(i, j)`` for ``j > i + 1``.
+        """
+        import numpy as np
+
+        if j is None:
+            arr = np.asarray(split)
+            j = arr.shape[0] - 1
+
+        def build(a: int, b: int) -> "ParseTree":
+            if b == a + 1:
+                return ParseTree.leaf(a)
+            k = int(split[a][b] if not hasattr(split, "shape") else split[a, b])
+            if not (a < k < b):
+                raise InvalidTreeError(
+                    f"split table entry for ({a}, {b}) is {k}, not inside the interval"
+                )
+            return ParseTree(a, b, split=k, left=build(a, k), right=build(k, b))
+
+        return build(i, j)
+
+    # -- structure ----------------------------------------------------------
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.split is None
+
+    @property
+    def interval(self) -> Interval:
+        return (self.i, self.j)
+
+    @property
+    def size(self) -> int:
+        """Number of leaves below (== ``j - i``), the paper's ``size``."""
+        return self._n_leaves
+
+    @property
+    def height(self) -> int:
+        """Edge-height: 0 for a leaf."""
+        return self._height
+
+    def nodes(self) -> Iterator["ParseTree"]:
+        """All nodes, pre-order."""
+        stack = [self]
+        while stack:
+            t = stack.pop()
+            yield t
+            if not t.is_leaf:
+                assert t.right is not None and t.left is not None
+                stack.append(t.right)
+                stack.append(t.left)
+
+    def internal_nodes(self) -> Iterator["ParseTree"]:
+        return (t for t in self.nodes() if not t.is_leaf)
+
+    def leaves(self) -> Iterator["ParseTree"]:
+        return (t for t in self.nodes() if t.is_leaf)
+
+    def intervals(self) -> set[Interval]:
+        """The set of intervals appearing as nodes."""
+        return {t.interval for t in self.nodes()}
+
+    def find(self, p: int, q: int) -> Optional["ParseTree"]:
+        """The node with interval ``(p, q)``, or None.
+
+        Interval containment drives the descent, so this is O(height).
+        """
+        t: Optional[ParseTree] = self
+        while t is not None:
+            if (t.i, t.j) == (p, q):
+                return t
+            if t.is_leaf:
+                return None
+            assert t.split is not None
+            t = t.left if q <= t.split else (t.right if p >= t.split else None)
+        return None
+
+    def path_to(self, p: int, q: int) -> list["ParseTree"]:
+        """Nodes from this root down to node ``(p, q)`` inclusive.
+
+        Raises :class:`InvalidTreeError` if ``(p, q)`` is not a node.
+        """
+        path: list[ParseTree] = []
+        t: Optional[ParseTree] = self
+        while t is not None:
+            path.append(t)
+            if (t.i, t.j) == (p, q):
+                return path
+            if t.is_leaf:
+                break
+            assert t.split is not None
+            t = t.left if q <= t.split else (t.right if p >= t.split else None)
+        raise InvalidTreeError(f"({p}, {q}) is not a node of the tree at {self.interval}")
+
+    def splits(self) -> dict[Interval, int]:
+        """Map each internal node's interval to its split point."""
+        return {t.interval: t.split for t in self.internal_nodes()}  # type: ignore[misc]
+
+    # -- weights ---------------------------------------------------------------
+
+    def weight(self, problem: "ParenthesizationProblem") -> float:
+        """``W(T)``: total node weight under ``problem``'s costs."""
+        total = 0.0
+        for t in self.nodes():
+            if t.is_leaf:
+                total += problem.init_cost(t.i)
+            else:
+                assert t.split is not None
+                total += problem.split_cost(t.i, t.split, t.j)
+        return total
+
+    def partial(self, p: int, q: int) -> "PartialTree":
+        """The partial tree with this root and gap ``(p, q)``."""
+        return PartialTree(self, (p, q))
+
+    # -- comparison / display ----------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ParseTree):
+            return NotImplemented
+        if (self.i, self.j, self.split) != (other.i, other.j, other.split):
+            return False
+        return self.left == other.left and self.right == other.right
+
+    def __hash__(self) -> int:
+        return hash((self.i, self.j, self.split, self.left, self.right))
+
+    def __repr__(self) -> str:
+        if self.is_leaf:
+            return f"Leaf({self.i},{self.j})"
+        return f"Node({self.i},{self.j};k={self.split})"
+
+
+class PartialTree:
+    """A partial tree (Definition 2.1): a tree with one node marked as gap.
+
+    The gap node ``(p, q)`` is treated as a leaf; the partial weight
+    ``PW`` is the weight of all nodes except the entire subtree under the
+    gap *and* the gap itself — i.e. the weight of the nodes of the
+    partial tree minus the gap node's contribution. (When the gap is the
+    root, ``PW = 0``: ``pw(i, j, i, j) = 0``.)
+    """
+
+    __slots__ = ("tree", "gap")
+
+    def __init__(self, tree: ParseTree, gap: Interval) -> None:
+        p, q = gap
+        if tree.find(p, q) is None:
+            raise InvalidTreeError(
+                f"gap ({p}, {q}) is not a node of the tree rooted at {tree.interval}"
+            )
+        self.tree = tree
+        self.gap = (int(p), int(q))
+
+    @property
+    def root(self) -> Interval:
+        return self.tree.interval
+
+    def partial_weight(self, problem: "ParenthesizationProblem") -> float:
+        """``PW``: sum of weights of all nodes except the gap's subtree
+        and the gap node itself."""
+        p, q = self.gap
+        total = 0.0
+        stack = [self.tree]
+        while stack:
+            t = stack.pop()
+            if t.interval == (p, q):
+                continue  # the gap is a leaf of the partial tree: skip subtree
+            if t.is_leaf:
+                total += problem.init_cost(t.i)
+            else:
+                assert t.split is not None
+                total += problem.split_cost(t.i, t.split, t.j)
+                assert t.left is not None and t.right is not None
+                stack.append(t.left)
+                stack.append(t.right)
+        return total
+
+    def gap_path(self) -> list[ParseTree]:
+        """Nodes on the root-to-gap path (inclusive)."""
+        return self.tree.path_to(*self.gap)
+
+    def __repr__(self) -> str:
+        return f"PartialTree(root={self.root}, gap={self.gap})"

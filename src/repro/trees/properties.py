@@ -1,0 +1,95 @@
+"""Structural tree measures used by the Lemma 3.3 analysis.
+
+* :func:`node_sizes` — ``size(x)`` (leaf count below x) for every node;
+* :func:`tree_height` — edge height;
+* :func:`is_full_binary` — every internal node has exactly two children
+  (always true for :class:`ParseTree`, but exposed for array trees);
+* :func:`chain_decomposition` — the chain of Fig. 1: starting from a
+  node ``x`` with ``i² < size(x) <= (i+1)²``, follow the unique child of
+  size > i² until reaching the first node both of whose children have
+  size <= i². Lemma 3.3's proof shows this chain has at most ``2i + 1``
+  nodes; the invariant checker in :mod:`repro.pebbling.invariants` and
+  the E2 benchmark verify that bound on real trees.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import InvalidTreeError
+from repro.trees.parse_tree import ParseTree
+
+__all__ = [
+    "node_sizes",
+    "tree_height",
+    "is_full_binary",
+    "chain_decomposition",
+    "size_class",
+]
+
+
+def node_sizes(tree: ParseTree) -> dict[tuple[int, int], int]:
+    """Map every node interval to its size (number of leaves below)."""
+    return {t.interval: t.size for t in tree.nodes()}
+
+
+def tree_height(tree: ParseTree) -> int:
+    """Edge height (0 for a single leaf)."""
+    return tree.height
+
+
+def is_full_binary(tree: ParseTree) -> bool:
+    """True iff every internal node has both children (ParseTree enforces
+    this on construction, so this only fails for hand-built invalid data)."""
+    for t in tree.nodes():
+        if not t.is_leaf and (t.left is None or t.right is None):
+            return False
+    return True
+
+
+def size_class(size: int) -> int:
+    """The ``i`` with ``i² < size <= (i+1)²`` (0 for size 1).
+
+    Lemma 3.3's induction advances one size class every two moves, which
+    is where the 2*sqrt(n) bound comes from.
+    """
+    if size < 1:
+        raise InvalidTreeError(f"size must be >= 1, got {size}")
+    # ceil(sqrt(size)) - 1, computed exactly with integer arithmetic.
+    r = math.isqrt(size - 1) + 1 if size > 1 else 1  # r = ceil(sqrt(size))
+    return r - 1
+
+
+def chain_decomposition(tree: ParseTree, node: ParseTree | None = None) -> list[ParseTree]:
+    """The Fig. 1 chain from ``node`` (default: the root).
+
+    Let ``i`` be the size class of ``node`` (``i² < size <= (i+1)²``).
+    The chain starts at ``node`` and repeatedly descends into the unique
+    child of size > i², stopping at the first node both of whose
+    children have size <= i². (A leaf, or a node of size <= 1 in class 0,
+    yields the singleton chain.)
+
+    The proof of Lemma 3.3 shows the chain's length k satisfies
+    ``k <= 2i + 1`` because the off-chain subtree sizes n_1 … n_{k+1}
+    sum to at most (i+1)² while the last two already exceed i².
+    """
+    v = node if node is not None else tree
+    if tree.find(v.i, v.j) is None:
+        raise InvalidTreeError(f"node {v.interval} does not belong to the tree")
+    i_class = size_class(v.size)
+    threshold = i_class * i_class
+    chain = [v]
+    while not chain[-1].is_leaf:
+        cur = chain[-1]
+        assert cur.left is not None and cur.right is not None
+        big = [c for c in (cur.left, cur.right) if c.size > threshold]
+        if not big:
+            break
+        if len(big) == 2:
+            # 2(i²+1) > (i+1)² for i > 1, so two children above the
+            # threshold can only happen in class i <= 1 (e.g. size 4 as
+            # 2+2); those sizes are covered by the induction base case,
+            # and the chain simply ends here.
+            break
+        chain.append(big[0])
+    return chain

@@ -1,0 +1,177 @@
+"""Tree-shape constructors: Fig. 2 of the paper, plus random shapes.
+
+* :func:`zigzag_tree` — Fig. 2a: the spine alternates direction at every
+  level ("makes a turn on every level"); the pathological worst case for
+  the algorithm, because no two non-adjacent spine nodes share an
+  interval endpoint, so partial weights cannot be composed by doubling;
+* :func:`skewed_tree` — Fig. 2b: the spine always descends the same way
+  (a vine); fast for the *algorithm* (spine nodes share an endpoint, so
+  binary decomposition applies) though not for the standalone game;
+* :func:`complete_tree` — balanced splits, height ceil(log2 n);
+* :func:`comb_tree` — a parameterised interpolation between skewed and
+  zigzag (turn every ``period`` levels);
+* :func:`random_tree` — recursive uniform splits, the model of the
+  paper's Section 6 average-case analysis ("the optimal partition value
+  k is equally likely to be any k with i < k < j").
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidTreeError
+from repro.trees.parse_tree import ParseTree
+from repro.util.rng import SeedLike, resolve_rng
+from repro.util.validation import check_positive_int
+
+__all__ = [
+    "zigzag_tree",
+    "skewed_tree",
+    "complete_tree",
+    "comb_tree",
+    "random_tree",
+]
+
+
+def _build_from_splits(i0: int, j0: int, choose) -> ParseTree:
+    """Build a tree over ``(i0, j0)`` from a split-choosing function,
+    without recursion (safe for spines of depth ~n).
+
+    ``choose(i, j)`` is called exactly once per internal interval, in
+    top-down discovery order, and must return ``k`` with ``i < k < j``.
+    """
+    if j0 == i0 + 1:
+        return ParseTree.leaf(i0)
+    splits: dict[tuple[int, int], int] = {}
+    stack = [(i0, j0)]
+    while stack:
+        i, j = stack.pop()
+        if j - i == 1:
+            continue
+        k = int(choose(i, j))
+        if not (i < k < j):
+            raise InvalidTreeError(f"chosen split {k} not inside ({i}, {j})")
+        splits[(i, j)] = k
+        stack.append((i, k))
+        stack.append((k, j))
+    nodes: dict[tuple[int, int], ParseTree] = {}
+    for (i, j) in sorted(splits, key=lambda t: t[1] - t[0]):
+        k = splits[(i, j)]
+        left = nodes.get((i, k)) or ParseTree.leaf(i)
+        right = nodes.get((k, j)) or ParseTree.leaf(k)
+        nodes[(i, j)] = ParseTree(i, j, split=k, left=left, right=right)
+    return nodes[(i0, j0)]
+
+
+def skewed_tree(n: int, *, direction: str = "left") -> ParseTree:
+    """The fully skewed tree (vine) with ``n`` leaves over ``(0, n)``.
+
+    ``direction="left"`` gives spine nodes ``(0, n), (0, n-1), …`` (the
+    non-spine child of each spine node is the rightmost leaf);
+    ``"right"`` is the mirror image with spine ``(0, n), (1, n), …``.
+    """
+    n = check_positive_int(n, "n")
+    if direction not in ("left", "right"):
+        raise InvalidTreeError(f"direction must be 'left' or 'right', got {direction!r}")
+    if direction == "left":
+        t = ParseTree.leaf(0)
+        for k in range(1, n):
+            t = ParseTree.node(t, ParseTree.leaf(k))
+        return t
+    t = ParseTree.leaf(n - 1)
+    for k in range(n - 2, -1, -1):
+        t = ParseTree.node(ParseTree.leaf(k), t)
+    return t
+
+
+def zigzag_tree(n: int, *, first: str = "left") -> ParseTree:
+    """The zigzag tree of Fig. 2a with ``n`` leaves over ``(0, n)``.
+
+    The spine makes a turn at every level: the root keeps its left
+    endpoint and drops the rightmost leaf, its spine child keeps its
+    right endpoint and drops the leftmost leaf, and so on, alternating.
+    ``first`` selects which side the root's spine child is on.
+    """
+    n = check_positive_int(n, "n")
+    if first not in ("left", "right"):
+        raise InvalidTreeError(f"first must be 'left' or 'right', got {first!r}")
+    # Walk the spine top-down recording (i, j, side), then fold bottom-up.
+    spans: list[tuple[int, int, str]] = []
+    i, j, side = 0, n, first
+    while j - i > 1:
+        spans.append((i, j, side))
+        if side == "left":
+            j -= 1
+            side = "right"
+        else:
+            i += 1
+            side = "left"
+    t = ParseTree.leaf(i)
+    for a, b, s in reversed(spans):
+        if s == "left":  # spine child (a, b-1) is the left child
+            t = ParseTree.node(t, ParseTree.leaf(b - 1))
+        else:  # spine child (a+1, b) is the right child
+            t = ParseTree.node(ParseTree.leaf(a), t)
+    return t
+
+
+def complete_tree(n: int, *, offset: int = 0) -> ParseTree:
+    """A balanced tree with ``n`` leaves over ``(offset, offset + n)``.
+
+    Every node splits as evenly as possible (left gets ceil(size/2)),
+    so the height is ``ceil(log2 n)``.
+    """
+    n = check_positive_int(n, "n")
+
+    def build(i: int, j: int) -> ParseTree:
+        if j == i + 1:
+            return ParseTree.leaf(i)
+        k = i + (j - i + 1) // 2
+        return ParseTree(i, j, split=k, left=build(i, k), right=build(k, j))
+
+    return build(offset, offset + n)
+
+
+def comb_tree(n: int, *, period: int = 2, first: str = "left") -> ParseTree:
+    """A vine whose spine turns every ``period`` levels.
+
+    ``period=1`` is the zigzag; ``period >= n`` degenerates to the skewed
+    tree. Used by the ablation that maps how quickly the algorithm's
+    convergence degrades from O(log n) toward Θ(sqrt(n)) as endpoint
+    sharing along the spine shortens.
+    """
+    n = check_positive_int(n, "n")
+    period = check_positive_int(period, "period")
+    if first not in ("left", "right"):
+        raise InvalidTreeError(f"first must be 'left' or 'right', got {first!r}")
+    spans: list[tuple[int, int, str]] = []
+    i, j, side, remaining = 0, n, first, period
+    while j - i > 1:
+        spans.append((i, j, side))
+        if side == "left":
+            j -= 1
+        else:
+            i += 1
+        remaining -= 1
+        if remaining == 0:
+            side = "right" if side == "left" else "left"
+            remaining = period
+    t = ParseTree.leaf(i)
+    for a, b, s in reversed(spans):
+        if s == "left":
+            t = ParseTree.node(t, ParseTree.leaf(b - 1))
+        else:
+            t = ParseTree.node(ParseTree.leaf(a), t)
+    return t
+
+
+def random_tree(n: int, *, seed: SeedLike = None, offset: int = 0) -> ParseTree:
+    """A random tree: every interval picks its split uniformly.
+
+    This is exactly the distribution of the paper's Section 6 analysis
+    (each ``k`` with ``i < k < j`` equally likely, independently), so
+    Monte-Carlo move counts on these trees estimate the paper's T(n).
+    """
+    n = check_positive_int(n, "n")
+    rng = resolve_rng(seed)
+    return _build_from_splits(
+        offset, offset + n, lambda i, j: int(rng.integers(i + 1, j))
+    )

@@ -1,0 +1,83 @@
+"""Synthesise a recurrence-(*) instance whose optimal tree is prescribed.
+
+The paper's worst case (zigzag) and best cases (skewed, complete) are
+statements about the *shape of the optimal tree*. To exercise the full
+algorithm — not just the pebbling game — on those shapes we need problem
+instances whose unique optimal parenthesisation is a given tree T. This
+module builds such instances:
+
+``style="zero_one"``
+    ``init(i) = 0``; ``f(i, k, j) = 0`` if interval ``(i, j)`` is a node
+    of T split at ``k``, else ``1``. Every tree other than T pays at
+    least 1 at its first deviating node, so T is the unique optimum with
+    ``W(T) = 0`` (and every subtree of T is the unique optimum of its own
+    interval).
+
+``style="uniform_plus"``
+    ``init(i) = 1``; ``f = 1`` on T's splits, ``2`` otherwise. All trees
+    over ``(i, j)`` have the same node count (``j - i`` leaves and
+    ``j - i - 1`` internal nodes), so costs stay strictly positive and
+    scale with interval length while T remains uniquely optimal:
+    ``c(i, j) = 2 (j - i) - 1`` for every node ``(i, j)`` of T.
+
+``jitter > 0`` adds deterministic, tree-respecting noise to break the
+symmetry of non-optimal alternatives (useful when exercising tie-breaking
+code paths); it is scaled to never exceed half the optimality margin, so
+the optimal tree is unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidTreeError
+from repro.problems.generic import GenericProblem
+from repro.trees.parse_tree import ParseTree
+from repro.util.rng import SeedLike, resolve_rng
+
+__all__ = ["synthesize_instance"]
+
+
+def synthesize_instance(
+    tree: ParseTree,
+    *,
+    style: str = "zero_one",
+    jitter: float = 0.0,
+    seed: SeedLike = None,
+) -> GenericProblem:
+    """Return a :class:`GenericProblem` whose unique optimal tree is ``tree``.
+
+    ``tree`` must be rooted at ``(0, n)`` for some ``n``. See the module
+    docstring for the available styles.
+    """
+    if tree.i != 0:
+        raise InvalidTreeError(
+            f"tree must be rooted at (0, n), got root {tree.interval}"
+        )
+    n = tree.j
+    if style not in ("zero_one", "uniform_plus"):
+        raise ValueError(f"unknown style {style!r}")
+    if not (0.0 <= jitter < 0.5):
+        raise ValueError(f"jitter must be in [0, 0.5), got {jitter}")
+
+    base, off = (0.0, 1.0) if style == "zero_one" else (1.0, 1.0)
+    init_value = 0.0 if style == "zero_one" else 1.0
+
+    F = np.full((n + 1, n + 1, n + 1), np.inf)
+    i, k, j = np.ogrid[: n + 1, : n + 1, : n + 1]
+    valid = (i < k) & (k < j)
+    F[valid] = base + off
+
+    if jitter > 0.0:
+        rng = resolve_rng(seed)
+        noise = rng.uniform(0.0, jitter, size=F.shape)
+        F[valid] += noise[valid]
+
+    for node in tree.internal_nodes():
+        assert node.split is not None
+        F[node.i, node.split, node.j] = base
+
+    init = np.full(n, init_value)
+    name = f"forced[{style}]({tree.interval})"
+    problem = GenericProblem.from_tables(init, F, name=name)
+    return problem

@@ -1,0 +1,28 @@
+"""Shared utilities: validation helpers, deterministic RNG handling,
+ASCII table rendering and lightweight timing.
+
+Nothing in this package knows about PRAMs or dynamic programming; it is
+pure plumbing used by every other subpackage.
+"""
+
+from repro.util.rng import resolve_rng, spawn_rngs
+from repro.util.tables import format_table, format_series
+from repro.util.timing import Stopwatch
+from repro.util.validation import (
+    check_index_pair,
+    check_positive_int,
+    check_nonnegative,
+    check_probability,
+)
+
+__all__ = [
+    "resolve_rng",
+    "spawn_rngs",
+    "format_table",
+    "format_series",
+    "Stopwatch",
+    "check_index_pair",
+    "check_positive_int",
+    "check_nonnegative",
+    "check_probability",
+]

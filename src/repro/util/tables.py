@@ -1,0 +1,71 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints the same rows/series the paper reports; since
+the environment is text-only, figures become aligned ASCII tables (one row
+per x-value, one column per series).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _fmt_cell(value: object, floatfmt: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, floatfmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    floatfmt: str = ".4g",
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    Floats are formatted with ``floatfmt``; booleans render as yes/no.
+    Returns the table as a single string (no trailing newline).
+    """
+    str_rows = [[_fmt_cell(c, floatfmt) for c in row] for row in rows]
+    for r in str_rows:
+        if len(r) != len(headers):
+            raise ValueError(
+                f"row has {len(r)} cells but there are {len(headers)} headers"
+            )
+    widths = [len(h) for h in headers]
+    for r in str_rows:
+        for k, cell in enumerate(r):
+            widths[k] = max(widths[k], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for r in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_name: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[object]],
+    *,
+    floatfmt: str = ".4g",
+    title: str | None = None,
+) -> str:
+    """Render a "figure" as a table: x column plus one column per series."""
+    headers = [x_name, *series.keys()]
+    columns = [x_values, *series.values()]
+    lengths = {len(c) for c in columns}
+    if len(lengths) != 1:
+        raise ValueError(f"series have mismatched lengths: {sorted(lengths)}")
+    rows = list(zip(*columns))
+    return format_table(headers, rows, floatfmt=floatfmt, title=title)

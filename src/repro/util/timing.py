@@ -1,0 +1,48 @@
+"""A tiny stopwatch used by examples and the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Stopwatch"]
+
+
+class Stopwatch:
+    """Accumulating wall-clock stopwatch.
+
+    Usage::
+
+        sw = Stopwatch()
+        with sw:
+            work()
+        print(sw.elapsed)
+
+    The context manager may be re-entered; ``elapsed`` accumulates across
+    entries, which is convenient when timing only the solver portion of a
+    loop.
+    """
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
+        self._start: float | None = None
+
+    def __enter__(self) -> "Stopwatch":
+        if self._start is not None:
+            raise RuntimeError("Stopwatch is not re-entrant while running")
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        assert self._start is not None
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+
+    def reset(self) -> None:
+        """Zero the accumulated time. Invalid while running."""
+        if self._start is not None:
+            raise RuntimeError("cannot reset a running Stopwatch")
+        self.elapsed = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "running" if self._start is not None else "stopped"
+        return f"Stopwatch(elapsed={self.elapsed:.6f}s, {state})"

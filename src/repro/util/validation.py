@@ -1,0 +1,76 @@
+"""Argument-validation helpers.
+
+These raise :class:`ValueError`/:class:`TypeError` subclasses from
+:mod:`repro.errors` with messages that name the offending parameter, so
+call sites stay one-liners.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import InvalidProblemError
+
+__all__ = [
+    "check_positive_int",
+    "check_nonnegative",
+    "check_index_pair",
+    "check_probability",
+]
+
+
+def check_positive_int(value: Any, name: str, *, minimum: int = 1) -> int:
+    """Return ``value`` as an int, requiring ``value >= minimum``.
+
+    Booleans are rejected (``True`` is an ``int`` in Python but almost
+    always a bug when passed as a size).
+    """
+    if isinstance(value, bool) or not isinstance(value, (int,)):
+        # Accept numpy integer scalars too.
+        try:
+            import numpy as np
+
+            if isinstance(value, np.integer):
+                value = int(value)
+            else:
+                raise TypeError
+        except TypeError:
+            raise InvalidProblemError(
+                f"{name} must be an integer, got {type(value).__name__}"
+            ) from None
+    value = int(value)
+    if value < minimum:
+        raise InvalidProblemError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def check_nonnegative(value: Any, name: str) -> float:
+    """Return ``value`` as a float, requiring ``value >= 0`` (NaN rejected)."""
+    try:
+        out = float(value)
+    except (TypeError, ValueError):
+        raise InvalidProblemError(
+            f"{name} must be a real number, got {value!r}"
+        ) from None
+    if not out >= 0.0:  # also catches NaN
+        raise InvalidProblemError(f"{name} must be non-negative, got {out!r}")
+    return out
+
+
+def check_index_pair(i: int, j: int, n: int, name: str = "(i, j)") -> tuple[int, int]:
+    """Validate an interval node ``(i, j)`` with ``0 <= i < j <= n``."""
+    i = int(i)
+    j = int(j)
+    if not (0 <= i < j <= n):
+        raise InvalidProblemError(
+            f"{name} must satisfy 0 <= i < j <= n={n}, got ({i}, {j})"
+        )
+    return i, j
+
+
+def check_probability(value: Any, name: str) -> float:
+    """Return ``value`` as a float in ``[0, 1]``."""
+    out = check_nonnegative(value, name)
+    if out > 1.0:
+        raise InvalidProblemError(f"{name} must be <= 1, got {out}")
+    return out

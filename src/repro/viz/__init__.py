@@ -1,0 +1,14 @@
+"""Text rendering: trees (Fig. 1/Fig. 2 style) and run traces."""
+
+from repro.viz.ascii_tree import render_tree, render_game_tree
+from repro.viz.trace import render_iteration_trace, render_game_trace
+from repro.viz.sparkline import sparkline, histogram_lines
+
+__all__ = [
+    "render_tree",
+    "render_game_tree",
+    "render_iteration_trace",
+    "render_game_trace",
+    "sparkline",
+    "histogram_lines",
+]

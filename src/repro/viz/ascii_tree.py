@@ -1,0 +1,79 @@
+"""ASCII rendering of parenthesisation trees.
+
+Renders a :class:`~repro.trees.ParseTree` as an indented outline —
+robust for the deep spines of zigzag/skewed trees where a 2-D layout
+would be excessively wide. Example (zigzag over (0, 4))::
+
+    (0,4) k=3
+    ├─ (0,3) k=1
+    │  ├─ (0,1)
+    │  └─ (1,3) k=2
+    │     ├─ (1,2)
+    │     └─ (2,3)
+    └─ (3,4)
+"""
+
+from __future__ import annotations
+
+from repro.pebbling.tree import GameTree
+from repro.trees.parse_tree import ParseTree
+
+__all__ = ["render_tree", "render_game_tree"]
+
+
+def render_tree(tree: ParseTree, *, max_nodes: int = 2000) -> str:
+    """Indented outline of the tree; truncates beyond ``max_nodes``."""
+    lines: list[str] = []
+    # Stack holds (node, prefix, is_last_child, is_root).
+    stack: list[tuple[ParseTree, str, bool, bool]] = [(tree, "", True, True)]
+    count = 0
+    while stack:
+        node, prefix, last, root = stack.pop()
+        count += 1
+        if count > max_nodes:
+            lines.append(f"{prefix}... (truncated at {max_nodes} nodes)")
+            break
+        label = f"({node.i},{node.j})"
+        if not node.is_leaf:
+            label += f" k={node.split}"
+        if root:
+            lines.append(label)
+            child_prefix = ""
+        else:
+            branch = "└─ " if last else "├─ "
+            lines.append(prefix + branch + label)
+            child_prefix = prefix + ("   " if last else "│  ")
+        if not node.is_leaf:
+            assert node.left is not None and node.right is not None
+            stack.append((node.right, child_prefix, True, False))
+            stack.append((node.left, child_prefix, False, False))
+    return "\n".join(lines)
+
+
+def render_game_tree(tree: GameTree, *, max_nodes: int = 2000) -> str:
+    """Outline of a :class:`GameTree` (node ids; intervals if present)."""
+    lines: list[str] = []
+    stack: list[tuple[int, str, bool, bool]] = [(tree.root, "", True, True)]
+    count = 0
+    while stack:
+        node, prefix, last, root = stack.pop()
+        count += 1
+        if count > max_nodes:
+            lines.append(f"{prefix}... (truncated at {max_nodes} nodes)")
+            break
+        if tree.intervals is not None:
+            i, j = tree.intervals[node]
+            label = f"#{node} ({i},{j})"
+        else:
+            label = f"#{node} size={int(tree.sizes[node])}"
+        if root:
+            lines.append(label)
+            child_prefix = ""
+        else:
+            branch = "└─ " if last else "├─ "
+            lines.append(prefix + branch + label)
+            child_prefix = prefix + ("   " if last else "│  ")
+        if tree.left[node] >= 0:
+            stack.append((int(tree.right[node]), child_prefix, True, False))
+            stack.append((int(tree.left[node]), child_prefix, False, False))
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""Unicode sparklines and tiny text histograms for distributions."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["sparkline", "histogram_lines"]
+
+_BARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line bar chart: each value mapped to one of 8 bar heights.
+
+    Constant series render as mid-height bars; empty input gives "".
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    if hi == lo:
+        return _BARS[3] * len(vals)
+    span = hi - lo
+    out = []
+    for v in vals:
+        idx = int((v - lo) / span * (len(_BARS) - 1) + 0.5)
+        out.append(_BARS[idx])
+    return "".join(out)
+
+
+def histogram_lines(
+    freq: Mapping[int, int],
+    *,
+    width: int = 40,
+    label: str = "moves",
+) -> str:
+    """A horizontal bar per key, scaled to ``width`` characters."""
+    if not freq:
+        return "(empty)"
+    peak = max(freq.values())
+    lines = [f"{label:>8} | count"]
+    for key in sorted(freq):
+        count = freq[key]
+        bar = "#" * max(1, round(count / peak * width))
+        lines.append(f"{key:>8} | {count:>5} {bar}")
+    return "\n".join(lines)

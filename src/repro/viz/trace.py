@@ -1,0 +1,45 @@
+"""Text rendering of solver and game traces."""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.huang import IterationTrace
+from repro.pebbling.game import GameTrace
+from repro.util.tables import format_table
+
+__all__ = ["render_iteration_trace", "render_game_trace"]
+
+
+def render_iteration_trace(trace: IterationTrace, *, title: str | None = None) -> str:
+    """One row per iteration: root value, finite-cell counts, change flags."""
+    rows = []
+    for m in range(trace.iterations):
+        root = trace.root_values[m]
+        rows.append(
+            (
+                m + 1,
+                "inf" if math.isinf(root) else f"{root:.6g}",
+                trace.w_finite[m] if trace.w_finite else "-",
+                trace.pw_finite[m] if trace.pw_finite else "-",
+                trace.w_changed[m],
+                trace.pw_changed[m],
+            )
+        )
+    return format_table(
+        ["iter", "w'(0,n)", "finite w", "finite pw", "w changed", "pw changed"],
+        rows,
+        title=title,
+    )
+
+
+def render_game_trace(trace: GameTrace, *, title: str | None = None) -> str:
+    """One row per move: pebbled count and largest pebbled size."""
+    rows = trace.as_rows()
+    return format_table(
+        ["move", "pebbled nodes", "largest pebbled size"],
+        rows,
+        title=title
+        or f"pebbling game (n={trace.n_leaves}, rule={trace.square_rule}): "
+        f"{trace.moves} moves",
+    )

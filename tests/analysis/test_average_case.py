@@ -1,0 +1,75 @@
+"""Unit tests for the Section 6 recurrence and the fits."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.average_case import fit_log, fit_sqrt, paper_T, paper_T_upper
+
+
+class TestPaperT:
+    def test_base_cases(self):
+        T = paper_T(4)
+        assert T[1] == 0.0
+        assert T[2] == 1.0  # single split, max(T1,T1)+1
+        assert T[3] == 2.0  # splits (1,2) or (2,1): max(0,1)+1 = 2
+
+    def test_monotone(self):
+        T = paper_T(200)
+        assert (np.diff(T[1:]) >= -1e-12).all()
+
+    def test_logarithmic_growth(self):
+        """T(4n) - T(n) is a constant (log growth): quadrupling n adds
+        ~4.5 moves regardless of n. Sqrt growth would double the value."""
+        T = paper_T(4096)
+        diffs = [T[4 * n] - T[n] for n in (64, 256, 1024)]
+        assert max(diffs) < 5.0
+        assert max(diffs) - min(diffs) < 0.1
+
+    def test_upper_bound_dominates(self):
+        T = paper_T(300)
+        U = paper_T_upper(300)
+        assert (U[2:] + 1e-9 >= T[2:]).all()
+
+    def test_fits_log_better_than_sqrt(self):
+        ns = np.arange(16, 2048, 37)
+        T = paper_T(2048)
+        vals = T[ns]
+        _, rmse_log = fit_log(ns, vals)
+        _, rmse_sqrt = fit_sqrt(ns, vals)
+        assert rmse_log < rmse_sqrt
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            paper_T(0)
+        with pytest.raises(ValueError):
+            paper_T_upper(0)
+
+
+class TestFits:
+    def test_exact_log_recovery(self):
+        ns = np.array([4, 16, 64, 256])
+        vals = 3.0 * np.log2(ns)
+        c, rmse = fit_log(ns, vals)
+        assert c == pytest.approx(3.0)
+        assert rmse == pytest.approx(0.0, abs=1e-9)
+
+    def test_exact_sqrt_recovery(self):
+        ns = np.array([4, 16, 64, 256])
+        vals = 1.5 * np.sqrt(ns)
+        c, rmse = fit_sqrt(ns, vals)
+        assert c == pytest.approx(1.5)
+        assert rmse == pytest.approx(0.0, abs=1e-9)
+
+    def test_degenerate(self):
+        with pytest.raises(ValueError):
+            fit_log([1], [0.0])  # log2(1) = 0 basis
+
+
+class TestFoldedIdentity:
+    def test_paper_fold_is_an_identity(self):
+        """The paper's max -> larger-argument step is exact for the
+        monotone T, so the 'upper bound' coincides with T pointwise —
+        the derivation step, machine-checked."""
+        T = paper_T(400)
+        U = paper_T_upper(400)
+        assert np.allclose(T[2:], U[2:])

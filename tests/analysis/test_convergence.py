@@ -1,0 +1,64 @@
+"""Unit tests for convergence profiling."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import convergence_profile
+from repro.core.huang import HuangSolver
+from repro.errors import ConvergenceError
+from repro.problems.generators import random_generic
+from repro.trees import complete_tree, synthesize_instance, zigzag_tree
+
+
+class TestProfile:
+    def test_leaves_are_iteration_zero(self):
+        p = random_generic(8, seed=0)
+        prof = convergence_profile(p)
+        for i in range(8):
+            assert prof.first_exact[i, i + 1] == 0
+
+    def test_all_valid_cells_converge(self):
+        p = random_generic(10, seed=1)
+        prof = convergence_profile(p)
+        n = 10
+        for i in range(n):
+            for j in range(i + 1, n + 1):
+                assert prof.first_exact[i, j] >= 0
+        assert prof.first_exact[0, 0] == -1  # invalid cell
+
+    def test_by_length_monotone_max(self):
+        """Longer intervals cannot be exact before their sub-intervals
+        at every position... but the *max* per length is nondecreasing
+        in practice for forced instances; assert nondecreasing for the
+        zigzag (the staircase)."""
+        p = synthesize_instance(zigzag_tree(18), style="uniform_plus")
+        prof = convergence_profile(p)
+        maxes = [mx for (_l, _m, mx) in prof.by_length()]
+        assert maxes == sorted(maxes)
+
+    def test_zigzag_slower_than_complete(self):
+        n = 25
+        zig = convergence_profile(
+            synthesize_instance(zigzag_tree(n), style="uniform_plus")
+        )
+        comp = convergence_profile(
+            synthesize_instance(complete_tree(n), style="uniform_plus")
+        )
+        assert zig.iterations > comp.iterations
+
+    def test_frontier_widths_sum_to_cells(self):
+        p = random_generic(9, seed=2)
+        prof = convergence_profile(p)
+        # Cells of length >= 2: total intervals - leaves.
+        expected = 9 * 10 // 2 - 9
+        assert sum(prof.frontier_width()) == expected
+
+    def test_custom_solver(self):
+        p = random_generic(8, seed=3)
+        prof = convergence_profile(p, solver=HuangSolver(p))
+        assert prof.iterations >= 1
+
+    def test_cap(self):
+        p = random_generic(8, seed=0)
+        with pytest.raises(ConvergenceError):
+            convergence_profile(p, max_iterations=1)

@@ -1,0 +1,71 @@
+"""Unit tests for move-count distributions."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.distribution import MoveDistribution, move_distribution
+from repro.pebbling import moves_upper_bound
+
+
+class TestMoveDistribution:
+    @pytest.fixture(scope="class")
+    def dist(self):
+        return move_distribution(128, samples=50, seed=4)
+
+    def test_deterministic(self, dist):
+        again = move_distribution(128, samples=50, seed=4)
+        assert np.array_equal(dist.counts, again.counts)
+
+    def test_sorted_sample(self, dist):
+        assert np.array_equal(dist.counts, np.sort(dist.counts))
+
+    def test_within_bound(self, dist):
+        assert dist.counts.max() <= dist.bound == moves_upper_bound(128)
+
+    def test_quantiles_ordered(self, dist):
+        assert dist.quantile(0.5) <= dist.quantile(0.9) <= dist.quantile(0.99)
+
+    def test_concentration(self, dist):
+        """Section 6's 'in most cases': p99 within a couple of moves of
+        the mean, and huge headroom to the worst-case bound."""
+        assert dist.quantile(0.99) - dist.mean <= 3.0
+        assert dist.tail_headroom > 0.5
+
+    def test_histogram_sums(self, dist):
+        assert sum(dist.histogram().values()) == dist.samples
+
+    def test_summary_row_shape(self, dist):
+        row = dist.summary_row()
+        assert len(row) == 8 and row[0] == 128
+
+    def test_rytter_rule_shifts_left(self):
+        slow = move_distribution(128, samples=30, seed=1)
+        fast = move_distribution(128, samples=30, seed=1, square_rule="rytter")
+        assert fast.mean < slow.mean
+
+
+class TestSparklineViz:
+    def test_sparkline_basic(self):
+        from repro.viz import sparkline
+
+        s = sparkline([1, 2, 3, 4])
+        assert len(s) == 4
+        assert s[0] == "▁" and s[-1] == "█"
+
+    def test_sparkline_constant_and_empty(self):
+        from repro.viz import sparkline
+
+        assert sparkline([]) == ""
+        assert len(set(sparkline([5, 5, 5]))) == 1
+
+    def test_histogram_lines(self):
+        from repro.viz import histogram_lines
+
+        out = histogram_lines({3: 10, 4: 20, 5: 5})
+        assert "3" in out and "#" in out
+        assert out.splitlines()[0].strip().startswith("moves")
+
+    def test_histogram_empty(self):
+        from repro.viz import histogram_lines
+
+        assert histogram_lines({}) == "(empty)"

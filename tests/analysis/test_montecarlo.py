@@ -1,0 +1,67 @@
+"""Unit tests for the Monte-Carlo harnesses."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.montecarlo import (
+    MoveStatistics,
+    algorithm_iteration_statistics,
+    game_move_statistics,
+)
+from repro.pebbling import moves_upper_bound
+from repro.problems.generators import random_matrix_chain
+
+
+class TestMoveStatistics:
+    def test_from_sample(self):
+        s = MoveStatistics.from_sample(10, np.array([2, 4, 6]))
+        assert s.mean == 4.0 and s.minimum == 2 and s.maximum == 6
+        assert s.samples == 3 and s.n == 10
+        assert len(s.row()) == 7
+
+
+class TestGameStats:
+    def test_deterministic(self):
+        a = game_move_statistics(64, samples=8, seed=5)
+        b = game_move_statistics(64, samples=8, seed=5)
+        assert a == b
+
+    def test_within_lemma_bound(self):
+        s = game_move_statistics(100, samples=12, seed=0)
+        assert s.maximum <= moves_upper_bound(100)
+
+    def test_average_below_worst_case(self):
+        """Random trees pebble much faster than the vine (Section 6)."""
+        from repro.pebbling import GameTree, PebbleGame
+
+        s = game_move_statistics(400, samples=10, seed=1)
+        vine = PebbleGame(GameTree.vine(400)).run().moves
+        assert s.mean < vine
+
+    def test_rytter_rule_supported(self):
+        s = game_move_statistics(64, samples=5, seed=2, square_rule="rytter")
+        assert s.maximum <= 10
+
+
+class TestAlgorithmStats:
+    def test_policy_correctness_asserted(self):
+        stopped, correct = algorithm_iteration_statistics(
+            10,
+            lambda n, rng: random_matrix_chain(n, seed=rng),
+            samples=4,
+            seed=3,
+        )
+        assert stopped.samples == 4
+        # Detection lag: the stopping rule can only fire after the value
+        # stops changing, so stopped >= correct.
+        assert stopped.mean >= correct.mean
+
+    def test_full_solver_option(self):
+        stopped, _ = algorithm_iteration_statistics(
+            8,
+            lambda n, rng: random_matrix_chain(n, seed=rng),
+            samples=2,
+            seed=0,
+            solver="full",
+        )
+        assert stopped.samples == 2

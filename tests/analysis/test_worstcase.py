@@ -1,0 +1,39 @@
+"""Unit tests for the worst-case series."""
+
+import pytest
+
+from repro.analysis.worstcase import (
+    WorstCasePoint,
+    algorithm_zigzag_series,
+    worst_case_series,
+)
+
+
+class TestGameSeries:
+    def test_bound_never_violated(self):
+        pts = worst_case_series([4, 16, 64, 256, 1024])
+        for p in pts:
+            assert p.moves <= p.bound
+
+    def test_sqrt_ratio_stabilises(self):
+        pts = worst_case_series([256, 1024, 4096])
+        ratios = [p.ratio for p in pts]
+        # Θ(sqrt n): ratio bounded between 1 and 2 and nearly constant.
+        assert all(1.0 <= r <= 2.0 for r in ratios)
+        assert max(ratios) - min(ratios) < 0.3
+
+    def test_rytter_rule_much_faster(self):
+        slow = worst_case_series([1024])[0].moves
+        fast = worst_case_series([1024], square_rule="rytter")[0].moves
+        assert fast < slow / 3
+
+
+class TestAlgorithmSeries:
+    def test_iterations_within_schedule(self):
+        pts = algorithm_zigzag_series([16, 25, 36])
+        for p in pts:
+            assert p.moves <= p.bound
+
+    def test_grows_with_n(self):
+        pts = algorithm_zigzag_series([16, 49])
+        assert pts[1].moves > pts[0].moves

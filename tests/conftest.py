@@ -1,0 +1,51 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# One moderate profile for everything: the solvers under test do Θ(n⁴)
+# work per example, so examples must stay small and few.
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def clrs_chain():
+    """The classic CLRS matrix-chain instance; optimal cost 15125."""
+    from repro.problems import MatrixChainProblem
+
+    return MatrixChainProblem([30, 35, 15, 5, 10, 20, 25])
+
+
+@pytest.fixture
+def clrs_bst():
+    """The CLRS optimal-BST instance; optimal expected cost 2.75."""
+    from repro.problems import OptimalBSTProblem
+
+    return OptimalBSTProblem(
+        [0.15, 0.10, 0.05, 0.10, 0.20], [0.05, 0.10, 0.05, 0.05, 0.05, 0.10]
+    )
+
+
+@pytest.fixture
+def square_polygon():
+    """Unit square: two triangulations, both with total perimeter-weight
+    2·(1 + 1 + sqrt(2)) = twice a right triangle's perimeter."""
+    from repro.problems import PolygonTriangulationProblem
+
+    return PolygonTriangulationProblem(
+        [(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)], rule="perimeter"
+    )
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

@@ -1,0 +1,71 @@
+"""Unit tests for the solve() façade."""
+
+import numpy as np
+import pytest
+
+from repro.core import solve
+from repro.core.termination import UntilValue, WStable
+from repro.errors import InvalidProblemError
+from repro.problems.generators import random_bst, random_generic
+
+
+class TestMethods:
+    def test_all_methods_agree(self):
+        p = random_generic(9, seed=0)
+        values = {
+            m: solve(p, method=m).value
+            for m in ("sequential", "huang", "huang-banded", "rytter")
+        }
+        ref = values["sequential"]
+        for m, v in values.items():
+            assert v == pytest.approx(ref), m
+
+    def test_knuth_on_bst(self):
+        p = random_bst(8, seed=1)
+        assert solve(p, method="knuth").value == pytest.approx(
+            solve(p, method="sequential").value
+        )
+
+    def test_unknown_method(self):
+        with pytest.raises(InvalidProblemError, match="unknown method"):
+            solve(random_generic(4, seed=0), method="magic")
+
+
+class TestResultContents:
+    def test_sequential_has_no_iterations(self):
+        r = solve(random_generic(5, seed=0), method="sequential")
+        assert r.iterations is None and r.trace is None
+        assert r.n == 5
+
+    def test_iterative_has_trace(self):
+        r = solve(random_generic(5, seed=0), method="huang")
+        assert r.iterations >= 1
+        assert r.trace is not None and r.trace.iterations == r.iterations
+
+    def test_reconstruct_flag(self, clrs_chain):
+        r = solve(clrs_chain, method="huang", reconstruct=True)
+        assert r.tree is not None
+        assert r.tree.weight(clrs_chain) == pytest.approx(r.value)
+        r2 = solve(clrs_chain, method="huang")
+        assert r2.tree is None
+
+    def test_w_table_returned(self, clrs_chain):
+        r = solve(clrs_chain, method="sequential")
+        assert r.w[0, 6] == 15125.0
+
+
+class TestOptions:
+    def test_policy_forwarded(self, clrs_chain):
+        ref = solve(clrs_chain, method="sequential").value
+        r = solve(clrs_chain, method="huang", policy=UntilValue(ref))
+        assert r.iterations <= 6
+
+    def test_max_n_forwarded(self):
+        p = random_generic(10, seed=0)
+        with pytest.raises(InvalidProblemError, match="max_n"):
+            solve(p, method="huang", max_n=8)
+
+    def test_solver_kwargs_forwarded(self):
+        p = random_generic(8, seed=0)
+        r = solve(p, method="huang-banded", band=4, policy=WStable())
+        assert r.value == pytest.approx(solve(p, method="sequential").value)

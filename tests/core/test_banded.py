@@ -1,0 +1,170 @@
+"""Unit tests for the Section 5 banded solver."""
+
+import numpy as np
+import pytest
+
+from repro.core.banded import BandedSolver, default_band
+from repro.core.huang import HuangSolver
+from repro.core.sequential import solve_sequential
+from repro.core.termination import FixedIterations, UntilValue, WPWStable, WStable
+from repro.errors import InvalidProblemError
+from repro.problems.generators import random_bst, random_generic, random_matrix_chain
+from repro.trees import complete_tree, synthesize_instance, zigzag_tree
+
+
+class TestDefaults:
+    def test_default_band(self):
+        assert default_band(1) == 2
+        assert default_band(4) == 4
+        assert default_band(5) == 6
+        assert default_band(25) == 10
+        assert default_band(26) == 12
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            default_band(0)
+        p = random_generic(4, seed=0)
+        with pytest.raises(InvalidProblemError):
+            BandedSolver(p, band=-1)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_sequential_generic(self, seed):
+        p = random_generic(12, seed=seed)
+        out = BandedSolver(p).run()
+        ref = solve_sequential(p)
+        assert out.value == pytest.approx(ref.value)
+        mask = np.isfinite(ref.w)
+        assert np.allclose(out.w[mask], ref.w[mask])
+
+    def test_matches_on_all_families(self):
+        for gen, size in [
+            (random_matrix_chain, 14),
+            (random_bst, 11),
+        ]:
+            p = gen(size, seed=3)
+            assert BandedSolver(p).run().value == pytest.approx(
+                solve_sequential(p).value
+            )
+
+    def test_complete_tree_requires_unbanded_activate(self):
+        """Regression: the complete tree's root decomposition uses an
+        activate cell whose size difference (~n/2) exceeds the band;
+        the banded solver must keep such cells (Section 5 bands only
+        the square-maintained weights)."""
+        n = 25
+        prob = synthesize_instance(complete_tree(n), style="uniform_plus")
+        ref = solve_sequential(prob)
+        out = BandedSolver(prob).run()
+        assert out.value == ref.value == 2 * n - 1
+
+    def test_zigzag_within_schedule(self):
+        n = 30
+        prob = synthesize_instance(zigzag_tree(n), style="uniform_plus")
+        out = BandedSolver(prob).run()  # paper schedule 2*ceil(sqrt(n))
+        assert out.value == 2 * n - 1
+
+    def test_matches_full_solver_tables(self):
+        """At the joint fixed point the banded w table equals the full
+        solver's w table (pw differs off-band by design)."""
+        p = random_generic(10, seed=8)
+        full = HuangSolver(p)
+        full.run(WPWStable(), max_iterations=60)
+        band = BandedSolver(p)
+        band.run(WPWStable(), max_iterations=60)
+        assert np.allclose(
+            np.nan_to_num(full.w, posinf=-1), np.nan_to_num(band.w, posinf=-1)
+        )
+
+    def test_band_mask_enforced_on_square_results(self):
+        p = random_generic(12, seed=1)
+        s = BandedSolver(p, band=3)
+        s.run(FixedIterations(4))
+        N = p.n + 1
+        i, j, pp, q = np.ogrid[:N, :N, :N, :N]
+        out_of_band = ((j - i) - (q - pp) > 3) & (i <= pp) & (pp < q) & (q <= j)
+        # Off-band cells may only hold activate-created values
+        # (gap = a child, i.e. p == i or q == j) or +inf.
+        offband_vals = np.isfinite(s.pw) & out_of_band
+        bad = offband_vals & ~((pp == i) | (q == j))
+        assert not bad.any()
+
+
+class TestSizeBand:
+    def test_size_band_correct_on_schedule(self):
+        p = random_generic(12, seed=5)
+        out = BandedSolver(p, size_band=True).run()
+        assert out.value == pytest.approx(solve_sequential(p).value)
+
+    def test_size_band_rejects_early_stopping(self):
+        p = random_generic(8, seed=0)
+        s = BandedSolver(p, size_band=True)
+        with pytest.raises(InvalidProblemError, match="size_band"):
+            s.run(WStable())
+
+    def test_size_band_allows_oracle(self):
+        p = random_generic(8, seed=0)
+        ref = solve_sequential(p).value
+        out = BandedSolver(p, size_band=True).run(
+            UntilValue(ref), max_iterations=60
+        )
+        assert out.value == pytest.approx(ref)
+
+    def test_pebble_window_cells(self):
+        p = random_generic(16, seed=0)
+        s = BandedSolver(p)
+        # Iteration 1/2 -> l=1: sizes in (0, 1]: n intervals.
+        assert s.pebble_window_cells(1) == 16
+        assert s.pebble_window_cells(2) == 16
+        # l=2: sizes in (1, 4]: lengths 2..4.
+        expected = sum(16 + 1 - L for L in (2, 3, 4))
+        assert s.pebble_window_cells(3) == expected
+        with pytest.raises(ValueError):
+            s.pebble_window_cells(0)
+
+
+class TestWorkCounters:
+    def test_square_work_below_full(self):
+        p = random_generic(20, seed=0)
+        full = HuangSolver(p).work_per_iteration()
+        band = BandedSolver(p).work_per_iteration()
+        assert band["square"] < full["square"]
+        assert band["activate"] == full["activate"]
+        assert band["pebble"] <= full["pebble"]
+
+    def test_band_zero_square_minimal(self):
+        p = random_generic(10, seed=0)
+        s = BandedSolver(p, band=0)
+        w = s.work_per_iteration()
+        # Band 0: only (i,j,i,j) targets, two trivial candidates each.
+        quads = p.n * (p.n + 1) // 2
+        assert w["square"] == 2 * quads
+
+    def test_scaling_exponents(self):
+        """Banded square work grows ~ n^3.5 (the Section 5 claim: Θ(n³)
+        in-band quadruples × Θ(sqrt n) offsets each) while the full
+        square grows ~ n^5."""
+        import math
+
+        from repro.core.huang import _count_square_compositions
+
+        def banded_square(n):
+            B = default_band(n)
+            total = 0
+            for span in range(1, n + 1):
+                n_ij = n + 1 - span
+                sub = 0
+                for glen in range(max(1, span - B), span + 1):
+                    for off in range(0, span - glen + 1):
+                        sub += min(off, B) + 1 + min(span - glen - off, B) + 1
+                total += n_ij * sub
+            return total
+
+        def exponent(f, n1, n2):
+            return math.log(f(n2) / f(n1)) / math.log(n2 / n1)
+
+        e_banded = exponent(banded_square, 64, 256)
+        e_full = exponent(_count_square_compositions, 64, 256)
+        assert e_banded == pytest.approx(3.5, abs=0.35)
+        assert e_full == pytest.approx(5.0, abs=0.25)

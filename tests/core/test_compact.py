@@ -1,0 +1,129 @@
+"""Unit tests for the Θ(n³)-storage compact banded solver."""
+
+import numpy as np
+import pytest
+
+from repro.core.banded import BandedSolver
+from repro.core.compact import CompactBandedSolver
+from repro.core.sequential import solve_sequential
+from repro.core.termination import UntilValue, WPWStable, WStable
+from repro.errors import InvalidProblemError
+from repro.problems.generators import random_bst, random_generic, random_matrix_chain
+from repro.trees import complete_tree, skewed_tree, synthesize_instance, zigzag_tree
+
+
+class TestLayout:
+    def test_initial_state(self):
+        p = random_generic(8, seed=0)
+        s = CompactBandedSolver(p)
+        # pw(i, j, i, j) = 0 lives at (o, d) = (0, 0).
+        assert s.PB[0, 8, 0, 0] == 0.0
+        assert s.PB[2, 5, 0, 0] == 0.0
+        assert np.isinf(s.PB[0, 8, 1, 1])
+        assert np.isinf(s.A1).all() and np.isinf(s.A2).all()
+
+    def test_memory_is_cubic_not_quartic(self):
+        p = random_matrix_chain(48, seed=0)
+        compact = CompactBandedSolver(p)
+        dense_cells = (48 + 1) ** 4
+        assert compact.PB.size < dense_cells / 10
+
+    def test_band_capped_by_n(self):
+        p = random_generic(3, seed=0)
+        s = CompactBandedSolver(p, band=100)
+        assert s.band == 2  # n - 1
+
+    def test_guards(self):
+        p = random_generic(10, seed=0)
+        with pytest.raises(InvalidProblemError):
+            CompactBandedSolver(p, max_n=8)
+        with pytest.raises(InvalidProblemError):
+            CompactBandedSolver(p, band=-2)
+
+    def test_invalid_slots_stay_inf(self):
+        p = random_generic(9, seed=1)
+        s = CompactBandedSolver(p)
+        s.run()
+        assert np.isinf(s.PB[s._invalid]).all()
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_sequential(self, seed):
+        p = random_generic(13, seed=seed)
+        ref = solve_sequential(p)
+        out = CompactBandedSolver(p).run()
+        assert out.value == pytest.approx(ref.value)
+        assert np.allclose(
+            np.nan_to_num(out.w, posinf=-1), np.nan_to_num(ref.w, posinf=-1)
+        )
+
+    def test_all_families(self):
+        for gen, size in [(random_matrix_chain, 15), (random_bst, 12)]:
+            p = gen(size, seed=2)
+            assert CompactBandedSolver(p).run().value == pytest.approx(
+                solve_sequential(p).value
+            )
+
+    @pytest.mark.parametrize("shape", [zigzag_tree, skewed_tree, complete_tree])
+    def test_forced_shapes(self, shape):
+        n = 26
+        prob = synthesize_instance(shape(n), style="uniform_plus")
+        assert CompactBandedSolver(prob).run().value == 2 * n - 1
+
+    def test_dense_pw_equals_banded_solver(self):
+        """At the joint fixed point the materialised table equals the
+        dense banded solver's pw cell-for-cell."""
+        p = random_generic(9, seed=7)
+        c = CompactBandedSolver(p)
+        c.run(WPWStable(), max_iterations=60)
+        b = BandedSolver(p)
+        b.run(WPWStable(), max_iterations=60)
+        dense = c.to_dense_pw()
+        assert np.array_equal(np.isfinite(dense), np.isfinite(b.pw))
+        mask = np.isfinite(dense)
+        assert np.allclose(dense[mask], b.pw[mask])
+
+    def test_iteration_counts_match_banded(self):
+        """Identical operator => identical convergence trajectory."""
+        p = random_matrix_chain(16, seed=4)
+        ref = solve_sequential(p).value
+        it_c = CompactBandedSolver(p).run(UntilValue(ref), max_iterations=60).iterations
+        it_b = BandedSolver(p).run(UntilValue(ref), max_iterations=60).iterations
+        assert it_c == it_b
+
+    def test_early_stopping(self):
+        p = random_matrix_chain(20, seed=9)
+        out = CompactBandedSolver(p).run(WStable(), max_iterations=80)
+        assert out.value == pytest.approx(solve_sequential(p).value)
+
+    def test_larger_than_dense_limit(self):
+        """The whole point: n beyond the dense solvers' memory guard."""
+        p = random_matrix_chain(80, seed=1)
+        out = CompactBandedSolver(p).run(WStable(), max_iterations=60)
+        assert out.value == pytest.approx(solve_sequential(p).value)
+
+    def test_via_solve_api(self):
+        from repro.core import solve
+
+        p = random_generic(10, seed=0)
+        assert solve(p, method="huang-compact").value == pytest.approx(
+            solve(p, method="sequential").value
+        )
+
+
+class TestAccounting:
+    def test_work_counters_match_banded(self):
+        from repro.core.banded import BandedSolver
+
+        p = random_generic(14, seed=0)
+        assert (
+            CompactBandedSolver(p).work_per_iteration()
+            == BandedSolver(p).work_per_iteration()
+        )
+
+    def test_counters_without_dense_allocation(self):
+        """Counters are available at sizes the dense solver refuses."""
+        p = random_matrix_chain(120, seed=0)
+        w = CompactBandedSolver(p).work_per_iteration()
+        assert w["square"] > w["pebble"] > 0

@@ -1,0 +1,94 @@
+"""Unit tests for the symbolic cost model (E1 support)."""
+
+import math
+
+import pytest
+
+from repro.core.cost_model import (
+    COST_MODELS,
+    comparison_table,
+    improvement_factor,
+)
+
+
+class TestFormulas:
+    def test_all_expected_algorithms_present(self):
+        assert set(COST_MODELS) == {
+            "sequential",
+            "optimal-parallel-a",
+            "optimal-parallel-b",
+            "rytter",
+            "huang",
+            "huang-banded",
+        }
+
+    def test_sequential(self):
+        m = COST_MODELS["sequential"]
+        assert m.time(10) == 1000 and m.processors(10) == 1
+        assert m.pt_product(10) == 1000
+
+    def test_optimal_parallel_products_match_sequential(self):
+        n = 64
+        seq = COST_MODELS["sequential"].pt_product(n)
+        assert COST_MODELS["optimal-parallel-a"].pt_product(n) == seq
+        assert COST_MODELS["optimal-parallel-b"].pt_product(n) == seq
+
+    def test_rytter_product(self):
+        n = 256
+        lg = math.log2(n)
+        assert COST_MODELS["rytter"].pt_product(n) == pytest.approx(n**6 * lg)
+
+    def test_huang_products(self):
+        n = 256
+        lg = math.log2(n)
+        assert COST_MODELS["huang"].pt_product(n) == pytest.approx(
+            math.sqrt(n) * lg * n**5 / lg
+        )
+        assert COST_MODELS["huang-banded"].pt_product(n) == pytest.approx(
+            math.sqrt(n) * n**3.5
+        )
+
+    def test_banded_product_is_n4(self):
+        n = 81
+        assert COST_MODELS["huang-banded"].pt_product(n) == pytest.approx(n**4)
+
+
+class TestOrdering:
+    def test_paper_ordering_at_large_n(self):
+        """sequential == optimal < banded < huang-full < rytter."""
+        n = 4096
+        pts = {k: m.pt_product(n) for k, m in COST_MODELS.items()}
+        assert pts["sequential"] == pts["optimal-parallel-a"]
+        assert pts["sequential"] < pts["huang-banded"]
+        assert pts["huang-banded"] < pts["huang"]
+        assert pts["huang"] < pts["rytter"]
+
+    def test_improvement_factor_is_n2_log(self):
+        """The abstract's Θ(n² log n) improvement over Rytter."""
+        for n in [64, 1024]:
+            assert improvement_factor(n) == pytest.approx(
+                n**2 * math.log2(n), rel=1e-9
+            )
+
+    def test_remaining_gap_is_n(self):
+        """Section 7: the gap to the optimal PT product is narrowed to n."""
+        n = 512
+        gap = (
+            COST_MODELS["huang-banded"].pt_product(n)
+            / COST_MODELS["sequential"].pt_product(n)
+        )
+        assert gap == pytest.approx(n)
+
+
+class TestTable:
+    def test_renders(self):
+        out = comparison_table([16, 64])
+        assert "rytter" in out and "huang-banded" in out
+        assert "n = 16" in out and "n = 64" in out
+
+    def test_rows_sorted_by_product(self):
+        out = comparison_table([128])
+        lines = [l for l in out.splitlines() if "|" in l and "PT" not in l]
+        names = [l.split("|")[0].strip() for l in lines]
+        assert names[0] in ("sequential", "optimal-parallel-a", "optimal-parallel-b")
+        assert names[-1] == "rytter"

@@ -1,0 +1,88 @@
+"""Unit tests for the sequential pw oracle and its agreement with the
+converged solvers (the Section 4 correctness invariant)."""
+
+import numpy as np
+import pytest
+
+from repro.core.exact_pw import exact_pw_table
+from repro.core.huang import HuangSolver
+from repro.core.sequential import solve_sequential
+from repro.core.termination import WPWStable
+from repro.errors import InvalidProblemError
+from repro.problems import MatrixChainProblem
+from repro.problems.generators import random_generic
+from repro.trees import random_tree
+from repro.trees.parse_tree import PartialTree
+
+
+class TestBasics:
+    def test_gap_equals_root_is_zero(self):
+        p = random_generic(6, seed=0)
+        pw = exact_pw_table(p)
+        for i in range(6):
+            for j in range(i + 1, 7):
+                assert pw[i, j, i, j] == 0.0
+
+    def test_invalid_quadruples_are_inf(self):
+        p = random_generic(5, seed=1)
+        pw = exact_pw_table(p)
+        assert np.isinf(pw[0, 3, 2, 4])  # gap not nested
+        assert np.isinf(pw[2, 4, 0, 1])  # gap outside
+
+    def test_size_guard(self):
+        p = random_generic(21, seed=0)
+        with pytest.raises(InvalidProblemError):
+            exact_pw_table(p)
+
+    def test_equation_1a(self):
+        """pw(i,j,i,k) <= f(i,k,j) + w(k,j) with equality when the tree
+        realising w(i,j) splits at k (spot-check the <= direction)."""
+        p = MatrixChainProblem([3, 5, 2, 7, 4])
+        pw = exact_pw_table(p)
+        w = solve_sequential(p).w
+        n = p.n
+        for i in range(n - 1):
+            for k in range(i + 1, n):
+                for j in range(k + 1, n + 1):
+                    assert pw[i, j, i, k] <= p.split_cost(i, k, j) + w[k, j] + 1e-9
+
+
+class TestAgainstPartialTrees:
+    def test_pw_lower_bounds_every_partial_tree(self):
+        """pw(i,j,p,q) <= PW(T) for any concrete partial tree T."""
+        p = random_generic(8, seed=3)
+        pw = exact_pw_table(p)
+        for seed in range(5):
+            t = random_tree(8, seed=seed)
+            for node in t.nodes():
+                pt = PartialTree(t, node.interval)
+                val = pt.partial_weight(p)
+                assert pw[0, 8, node.i, node.j] <= val + 1e-9
+
+    def test_w_equals_min_pw_plus_w(self):
+        """Equation (3) at the fixed point."""
+        p = random_generic(7, seed=5)
+        pw = exact_pw_table(p)
+        w = solve_sequential(p).w
+        n = p.n
+        for i in range(n - 1):
+            for j in range(i + 2, n + 1):
+                best = min(
+                    pw[i, j, a, b] + w[a, b]
+                    for a in range(i, j)
+                    for b in range(a + 1, j + 1)
+                    if (a, b) != (i, j)
+                )
+                assert w[i, j] == pytest.approx(best)
+
+
+class TestSolverAgreement:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_huang_fixed_point_equals_oracle(self, seed):
+        p = random_generic(7, seed=seed)
+        s = HuangSolver(p)
+        s.run(WPWStable(), max_iterations=60)
+        oracle = exact_pw_table(p)
+        assert np.array_equal(np.isfinite(s.pw), np.isfinite(oracle))
+        mask = np.isfinite(oracle)
+        assert np.allclose(s.pw[mask], oracle[mask])

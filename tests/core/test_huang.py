@@ -1,0 +1,180 @@
+"""Unit tests for the paper's algorithm (full-table solver)."""
+
+import numpy as np
+import pytest
+
+from repro.core.huang import HuangSolver, _count_square_compositions, _count_valid_quadruples
+from repro.core.sequential import solve_sequential
+from repro.core.termination import FixedIterations, UntilValue, WPWStable, WStable
+from repro.errors import ConvergenceError, InvalidProblemError
+from repro.problems import MatrixChainProblem
+from repro.problems.generators import random_bst, random_generic, random_matrix_chain
+
+
+class TestInitialisation:
+    def test_initial_tables(self, clrs_chain):
+        s = HuangSolver(clrs_chain)
+        n = clrs_chain.n
+        assert s.w[0, 1] == 0.0
+        assert np.isinf(s.w[0, n])
+        assert s.pw[0, n, 0, n] == 0.0
+        assert s.pw[1, 3, 1, 3] == 0.0
+        assert np.isinf(s.pw[0, n, 0, 1])
+
+    def test_memory_guard(self):
+        p = random_generic(5, seed=0)
+        with pytest.raises(InvalidProblemError, match="max_n"):
+            HuangSolver(p, max_n=4)
+
+    def test_reset_restores(self, clrs_chain):
+        s = HuangSolver(clrs_chain)
+        s.run()
+        s.reset()
+        assert np.isinf(s.w[0, clrs_chain.n])
+        assert s.iterations_run == 0
+
+
+class TestOperations:
+    def test_activate_formula(self):
+        """After one a-activate from the initial state, pw(i,j,i,k) =
+        f(i,k,j) + init-costs where w(k,j) is a leaf."""
+        p = MatrixChainProblem([2, 3, 4, 5])
+        s = HuangSolver(p)
+        s.a_activate()
+        # pw(0,2,0,1) = f(0,1,2) + w(1,2) = 24 + 0
+        assert s.pw[0, 2, 0, 1] == p.split_cost(0, 1, 2)
+        # w(1,3) is inf at start, so pw(0,3,0,1) stays inf.
+        assert np.isinf(s.pw[0, 3, 0, 1])
+
+    def test_activate_is_monotone(self, clrs_chain):
+        s = HuangSolver(clrs_chain)
+        s.a_activate()
+        before = s.pw.copy()
+        s.a_activate()
+        assert (s.pw <= before + 1e-15).all()
+
+    def test_square_composes(self):
+        p = MatrixChainProblem([2, 3, 4, 5])
+        s = HuangSolver(p)
+        s.a_activate()
+        s.a_square()
+        # pw(0,3,0,1) via pw(0,3,0,2) + pw(0,2,0,1) must now be finite
+        # ... pw(0,3,0,2) requires w(2,3) (leaf) -> activate set it.
+        expected = (p.split_cost(0, 2, 3) + 0.0) + (p.split_cost(0, 1, 2) + 0.0)
+        assert s.pw[0, 3, 0, 1] == expected
+
+    def test_square_identity_preserved(self, clrs_chain):
+        s = HuangSolver(clrs_chain)
+        s.a_activate()
+        s.a_square()
+        n = clrs_chain.n
+        assert s.pw[0, n, 0, n] == 0.0
+
+    def test_pebble_uses_pw_plus_w(self):
+        p = MatrixChainProblem([2, 3, 4])
+        s = HuangSolver(p)
+        s.a_activate()
+        s.a_pebble()
+        # w(0,2) = pw(0,2,0,1) + w(0,1) = 24 + 0.
+        assert s.w[0, 2] == 24.0
+
+    def test_iterate_returns_change_flags(self, clrs_chain):
+        s = HuangSolver(clrs_chain)
+        w_c, pw_c = s.iterate()
+        assert pw_c  # activate certainly changed pw
+        assert w_c  # length-2 intervals got values
+        # Run to the true fixed point, then one more iteration: no change.
+        s.run(WPWStable(), max_iterations=100)
+        w_c, pw_c = s.iterate()
+        assert not w_c and not pw_c
+
+
+class TestConvergence:
+    def test_clrs_value(self, clrs_chain):
+        out = HuangSolver(clrs_chain).run()
+        assert out.value == 15125.0
+        assert out.iterations == 6  # 2 * ceil(sqrt(6)) = 6
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_sequential_generic(self, seed):
+        p = random_generic(10, seed=seed)
+        assert HuangSolver(p).run().value == pytest.approx(solve_sequential(p).value)
+
+    def test_matches_sequential_bst(self):
+        p = random_bst(9, seed=7)
+        assert HuangSolver(p).run().value == pytest.approx(solve_sequential(p).value)
+
+    def test_full_w_table_converges(self):
+        p = random_matrix_chain(11, seed=2)
+        out = HuangSolver(p).run()
+        ref = solve_sequential(p)
+        mask = np.isfinite(ref.w)
+        assert np.allclose(out.w[mask], ref.w[mask])
+        assert np.array_equal(np.isfinite(out.w), mask)
+
+    def test_w_decreases_monotonically(self, clrs_chain):
+        s = HuangSolver(clrs_chain)
+        prev = s.w.copy()
+        for _ in range(4):
+            s.iterate()
+            assert (s.w <= prev + 1e-12).all()
+            prev = s.w.copy()
+
+    def test_trace_records(self, clrs_chain):
+        out = HuangSolver(clrs_chain).run(trace=True)
+        tr = out.trace
+        assert tr.iterations == out.iterations
+        finite_roots = [v for v in tr.root_values if np.isfinite(v)]
+        # Root values never increase once finite.
+        assert finite_roots == sorted(finite_roots, reverse=True)
+        assert tr.w_finite == sorted(tr.w_finite)
+        assert tr.first_correct_iteration(15125.0) is not None
+
+    def test_until_value_policy(self, clrs_chain):
+        ref = solve_sequential(clrs_chain).value
+        out = HuangSolver(clrs_chain).run(UntilValue(ref), max_iterations=50)
+        assert out.iterations <= 6
+        assert out.value == ref
+
+    def test_cap_raises(self, clrs_chain):
+        s = HuangSolver(clrs_chain)
+        with pytest.raises(ConvergenceError):
+            s.run(UntilValue(-1.0), max_iterations=3)
+
+    def test_w_stable_policy_stops_at_correct_value(self):
+        for seed in range(3):
+            p = random_generic(9, seed=seed)
+            out = HuangSolver(p).run(WStable(), max_iterations=80)
+            assert out.value == pytest.approx(solve_sequential(p).value)
+            assert out.stopped_by.startswith("w_stable")
+
+
+class TestWorkCounters:
+    def test_quadruple_count_matches_enumeration(self):
+        for n in [1, 2, 5, 8]:
+            count = sum(
+                1
+                for i in range(n)
+                for j in range(i + 1, n + 1)
+                for p_ in range(i, j)
+                for q in range(p_ + 1, j + 1)
+            )
+            assert _count_valid_quadruples(n) == count
+
+    def test_square_count_matches_enumeration(self):
+        for n in [2, 4, 6]:
+            count = 0
+            for i in range(n):
+                for j in range(i + 1, n + 1):
+                    for p_ in range(i, j):
+                        for q in range(p_ + 1, j + 1):
+                            count += (p_ - i + 1) + (j - q + 1)
+            assert _count_square_compositions(n) == count
+
+    def test_work_per_iteration_keys(self, clrs_chain):
+        w = HuangSolver(clrs_chain).work_per_iteration()
+        assert set(w) == {"activate", "square", "pebble"}
+        assert w["square"] > w["pebble"] > w["activate"] > 0
+
+    def test_paper_schedule(self, clrs_chain):
+        assert HuangSolver(clrs_chain).paper_schedule_length() == 6

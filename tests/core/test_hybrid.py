@@ -1,0 +1,89 @@
+"""Unit tests for the hybrid seeded solver."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.hybrid import HybridSolver, hybrid_schedule_length
+from repro.core.sequential import solve_sequential
+from repro.errors import InvalidProblemError
+from repro.problems.generators import random_bst, random_generic, random_matrix_chain
+from repro.trees import synthesize_instance, zigzag_tree
+
+
+class TestSchedule:
+    def test_endpoints(self):
+        # s = 1 is the paper schedule + 0/rounding; s >= n is trivial.
+        assert hybrid_schedule_length(49, 49) == 1
+        assert hybrid_schedule_length(49, 100) == 1
+        full = 2 * math.isqrt(48) + 2
+        assert hybrid_schedule_length(49, 1) <= full + 2
+
+    def test_monotone_in_seed(self):
+        vals = [hybrid_schedule_length(64, s) for s in (1, 4, 16, 36, 64)]
+        assert vals == sorted(vals, reverse=True)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            hybrid_schedule_length(0, 1)
+        with pytest.raises(ValueError):
+            hybrid_schedule_length(5, 0)
+
+
+class TestSeeding:
+    def test_seeded_cells_exact_before_iterating(self):
+        p = random_generic(12, seed=0)
+        s = HybridSolver(p, seed_span=5)
+        ref = solve_sequential(p).w
+        for length in range(1, 6):
+            for i in range(0, 12 - length + 1):
+                assert s.w[i, i + length] == pytest.approx(ref[i, i + length])
+        # Longer spans are still unsolved.
+        assert np.isinf(s.w[0, 12])
+
+    def test_default_seed_span(self):
+        p = random_generic(27, seed=0)
+        assert HybridSolver(p).seed_span == 3  # ceil(27^(1/3))
+
+    def test_seed_span_capped_at_n(self):
+        p = random_generic(4, seed=0)
+        assert HybridSolver(p, seed_span=100).seed_span == 4
+
+    def test_seeding_work_formula(self):
+        p = random_generic(10, seed=0)
+        s = HybridSolver(p, seed_span=4)
+        manual = sum(
+            (10 - L + 1) * (L - 1) for L in range(2, 5)
+        )
+        assert s.seeding_work() == manual
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed_span", [1, 2, 4, 8])
+    def test_matches_sequential(self, seed_span):
+        for seed in range(3):
+            p = random_generic(13, seed=seed)
+            out = HybridSolver(p, seed_span=seed_span).run()
+            assert np.isclose(out.value, solve_sequential(p).value)
+
+    def test_matches_on_bst(self):
+        p = random_bst(11, seed=2)
+        out = HybridSolver(p, seed_span=3).run()
+        assert np.isclose(out.value, solve_sequential(p).value)
+
+    def test_zigzag_within_reduced_schedule(self):
+        """The shortened schedule is still sufficient on the worst case."""
+        n = 30
+        prob = synthesize_instance(zigzag_tree(n), style="uniform_plus")
+        solver = HybridSolver(prob, seed_span=9)
+        out = solver.run()  # default: hybrid schedule
+        assert out.value == 2 * n - 1
+        assert out.iterations == hybrid_schedule_length(n, 9)
+        assert out.iterations < 2 * math.isqrt(n - 1) + 2
+
+    def test_fewer_iterations_than_unseeded(self):
+        p = random_matrix_chain(25, seed=1)
+        seeded = HybridSolver(p, seed_span=9).run()
+        assert seeded.iterations < 2 * math.isqrt(24) + 2
+        assert np.isclose(seeded.value, solve_sequential(p).value)

@@ -1,0 +1,71 @@
+"""Unit tests for Knuth's O(n²) speedup."""
+
+import numpy as np
+import pytest
+
+from repro.core.knuth import is_quadrangle, solve_knuth
+from repro.core.sequential import solve_sequential
+from repro.errors import InvalidProblemError
+from repro.problems import MatrixChainProblem, OptimalBSTProblem
+from repro.problems.generators import random_bst
+
+
+class TestIsQuadrangle:
+    def test_bst_satisfies(self, clrs_bst):
+        assert is_quadrangle(clrs_bst)
+
+    def test_random_bsts_satisfy(self):
+        for seed in range(5):
+            assert is_quadrangle(random_bst(10, seed=seed))
+
+    def test_matrix_chain_f_depends_on_split(self):
+        """Matrix-chain f depends on k, so the QI precondition fails."""
+        p = MatrixChainProblem([3, 7, 2, 9, 4, 11, 5])
+        assert not is_quadrangle(p)
+
+    def test_tiny_trivially_true(self):
+        assert is_quadrangle(OptimalBSTProblem([1.0], [0.5, 0.5]))
+
+
+class TestSolveKnuth:
+    def test_clrs_bst(self, clrs_bst):
+        assert solve_knuth(clrs_bst).value == pytest.approx(2.75)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_sequential_on_random_bsts(self, seed):
+        p = random_bst(15, seed=seed)
+        a = solve_knuth(p)
+        b = solve_sequential(p)
+        assert a.value == pytest.approx(b.value)
+        mask = np.isfinite(b.w)
+        assert np.allclose(a.w[mask], b.w[mask])
+
+    def test_zipf_weights(self):
+        p = random_bst(12, seed=3, zipf=1.5)
+        assert solve_knuth(p).value == pytest.approx(solve_sequential(p).value)
+
+    def test_verify_rejects_matrix_chain(self):
+        p = MatrixChainProblem([3, 7, 2, 9, 4, 11, 5])
+        with pytest.raises(InvalidProblemError, match="quadrangle"):
+            solve_knuth(p, check="verify")
+
+    def test_trust_skips_check(self, clrs_bst):
+        assert solve_knuth(clrs_bst, check="trust").value == pytest.approx(2.75)
+
+    def test_bad_check_mode(self, clrs_bst):
+        with pytest.raises(InvalidProblemError):
+            solve_knuth(clrs_bst, check="maybe")
+
+    def test_window_actually_shrinks_work(self):
+        """Knuth windows examine O(n²) candidates vs Θ(n³) full range."""
+        p = random_bst(20, seed=1)
+        seq = solve_sequential(p)
+        kn = solve_knuth(p)
+        # Same split monotonicity that powers the speedup:
+        s = kn.split
+        n = p.n
+        for i in range(n - 1):
+            for j in range(i + 2, n):
+                if s[i, j] != -1 and s[i, j + 1] != -1:
+                    assert s[i, j] <= s[i, j + 1]
+        assert kn.value == pytest.approx(seq.value)

@@ -1,0 +1,62 @@
+"""Unit tests for the lockstep verifier (library-level)."""
+
+import pytest
+
+from repro.core.banded import BandedSolver
+from repro.core.huang import HuangSolver
+from repro.core.lockstep import run_lockstep
+from repro.errors import InvalidProblemError
+from repro.problems.generators import random_generic, random_matrix_chain
+from repro.trees import complete_tree, synthesize_instance, zigzag_tree
+
+
+class TestRunLockstep:
+    def test_clean_on_random(self):
+        for seed in range(3):
+            rep = run_lockstep(random_generic(8, seed=seed))
+            assert rep.ok
+            assert rep.moves >= 1
+            assert len(rep.pebbled_per_move) == rep.moves
+
+    def test_clean_on_matrix_chain(self):
+        rep = run_lockstep(random_matrix_chain(9, seed=4))
+        assert rep.ok
+
+    def test_banded_solver_also_certifies(self):
+        p = random_generic(8, seed=5)
+        rep = run_lockstep(p, solver=BandedSolver(p))
+        assert rep.ok
+
+    def test_zigzag_takes_more_moves_than_complete(self):
+        n = 16
+        zig = run_lockstep(synthesize_instance(zigzag_tree(n), style="uniform_plus"))
+        comp = run_lockstep(
+            synthesize_instance(complete_tree(n), style="uniform_plus")
+        )
+        assert zig.ok and comp.ok
+        assert zig.moves > comp.moves
+
+    def test_pebbled_monotone(self):
+        rep = run_lockstep(random_generic(9, seed=7))
+        assert rep.pebbled_per_move == sorted(rep.pebbled_per_move)
+        # Every pebbled node is certified at every move (invariant (a)).
+        assert rep.certified_w_per_move == rep.pebbled_per_move
+
+    def test_requires_fresh_solver(self):
+        p = random_generic(6, seed=0)
+        s = HuangSolver(p)
+        s.iterate()
+        with pytest.raises(InvalidProblemError, match="fresh"):
+            run_lockstep(p, solver=s)
+
+    def test_violation_detection(self):
+        """A sabotaged solver must produce violations, proving the
+        checker actually checks."""
+        p = random_generic(7, seed=3)
+
+        class Sabotaged(HuangSolver):
+            def a_square(self):
+                return False  # never compose partial weights
+
+        rep = run_lockstep(p, solver=Sabotaged(p), max_moves=10)
+        assert not rep.ok

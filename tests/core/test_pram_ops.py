@@ -1,0 +1,88 @@
+"""Unit tests for the PRAM-executed algorithm (E7 instrument)."""
+
+import math
+
+import pytest
+
+from repro.core.pram_ops import PRAMHuang
+from repro.core.sequential import solve_sequential
+from repro.core.termination import default_schedule_length
+from repro.errors import InvalidProblemError
+from repro.problems import MatrixChainProblem
+from repro.problems.generators import random_generic
+
+
+class TestExecution:
+    def test_small_chain(self):
+        p = MatrixChainProblem([2, 3, 4, 5])
+        h = PRAMHuang(p)
+        v = h.run()
+        assert v == solve_sequential(p).value
+
+    def test_random_instances(self):
+        for seed in range(3):
+            p = random_generic(5, seed=seed)
+            assert PRAMHuang(p).run() == pytest.approx(solve_sequential(p).value)
+
+    def test_size_guard(self):
+        with pytest.raises(InvalidProblemError, match="harness"):
+            PRAMHuang(random_generic(9, seed=0))
+
+
+class TestCounts:
+    @pytest.fixture(scope="class")
+    def run5(self):
+        p = random_generic(5, seed=1)
+        h = PRAMHuang(p)
+        h.run()
+        return p, h
+
+    def test_all_ops_charged(self, run5):
+        _, h = run5
+        assert set(h.op_costs) == {"initialize", "activate", "square", "pebble"}
+
+    def test_activate_constant_time(self, run5):
+        p, h = run5
+        iters = default_schedule_length(p.n)
+        # One super-step per iteration.
+        assert h.op_costs["activate"].time == iters
+
+    def test_activate_processors(self, run5):
+        p, h = run5
+        n = p.n
+        triples = n * (n * n - 1) // 6
+        assert h.op_costs["activate"].peak_processors == 2 * triples
+
+    def test_square_log_time(self, run5):
+        p, h = run5
+        iters = default_schedule_length(p.n)
+        # Widest quadruple: (0, n, p, p+1) with p = n-1 -> n + 1 slots.
+        levels = 0
+        w = p.n + 1
+        while w > 1:
+            w -= w // 2
+            levels += 1
+        # eval + reduce levels + commit per iteration.
+        assert h.op_costs["square"].time == iters * (levels + 2)
+
+    def test_square_processors_match_formula(self, run5):
+        """Peak square processors == the counted composition candidates
+        (the quantity the paper charges O(n⁵) for)."""
+        from repro.core.huang import HuangSolver
+
+        p, h = run5
+        expected = HuangSolver(p).work_per_iteration()["square"]
+        assert h.op_costs["square"].peak_processors == expected
+
+    def test_pebble_processors_match_formula(self, run5):
+        from repro.core.huang import HuangSolver
+
+        p, h = run5
+        expected = HuangSolver(p).work_per_iteration()["pebble"]
+        assert h.op_costs["pebble"].peak_processors == expected
+
+    def test_crew_discipline_held(self, run5):
+        """The run completing at all proves exclusive writes; check the
+        journal also saw concurrent reads (CREW, not EREW)."""
+        _, h = run5
+        assert h.op_costs["square"].reads > 0

@@ -1,0 +1,75 @@
+"""Unit tests for optimal-tree reconstruction and table verification."""
+
+import numpy as np
+import pytest
+
+from repro.core.huang import HuangSolver
+from repro.core.reconstruct import reconstruct_tree, verify_w_table
+from repro.core.sequential import solve_sequential
+from repro.errors import InvalidProblemError
+from repro.problems import MatrixChainProblem
+from repro.problems.generators import random_generic
+
+
+class TestReconstruct:
+    def test_weight_matches_value(self, clrs_chain):
+        seq = solve_sequential(clrs_chain)
+        tree = reconstruct_tree(clrs_chain, seq.w)
+        assert tree.weight(clrs_chain) == pytest.approx(seq.value)
+        assert tree.interval == (0, 6)
+
+    def test_subinterval(self, clrs_chain):
+        seq = solve_sequential(clrs_chain)
+        sub = reconstruct_tree(clrs_chain, seq.w, i=1, j=4)
+        assert sub.interval == (1, 4)
+        assert sub.weight(clrs_chain) == pytest.approx(seq.w[1, 4])
+
+    def test_from_iterative_solver(self):
+        p = random_generic(9, seed=2)
+        out = HuangSolver(p).run()
+        tree = reconstruct_tree(p, out.w)
+        assert tree.weight(p) == pytest.approx(out.value)
+
+    def test_single_leaf(self):
+        p = random_generic(1, seed=0)
+        seq = solve_sequential(p)
+        assert reconstruct_tree(p, seq.w).is_leaf
+
+    def test_inconsistent_table_rejected(self, clrs_chain):
+        seq = solve_sequential(clrs_chain)
+        w = seq.w.copy()
+        w[0, 6] = 1.0  # impossible value
+        with pytest.raises(InvalidProblemError, match="inconsistent"):
+            reconstruct_tree(clrs_chain, w)
+
+    def test_wrong_shape(self, clrs_chain):
+        with pytest.raises(InvalidProblemError, match="shape"):
+            reconstruct_tree(clrs_chain, np.zeros((3, 3)))
+
+    def test_half_converged_table_rejected(self, clrs_chain):
+        s = HuangSolver(clrs_chain)
+        s.iterate()  # long intervals still inf
+        with pytest.raises(InvalidProblemError):
+            reconstruct_tree(clrs_chain, s.w)
+
+
+class TestVerify:
+    def test_accepts_correct_table(self):
+        p = random_generic(10, seed=1)
+        assert verify_w_table(p, solve_sequential(p).w)
+
+    def test_rejects_perturbed(self):
+        p = random_generic(8, seed=1)
+        w = solve_sequential(p).w.copy()
+        w[0, 8] *= 1.01
+        assert not verify_w_table(p, w)
+
+    def test_rejects_bad_leaves(self):
+        p = MatrixChainProblem([2, 3, 4])
+        w = solve_sequential(p).w.copy()
+        w[0, 1] = 5.0
+        assert not verify_w_table(p, w)
+
+    def test_rejects_wrong_shape(self):
+        p = MatrixChainProblem([2, 3, 4])
+        assert not verify_w_table(p, np.zeros((2, 2)))

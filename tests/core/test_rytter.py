@@ -1,0 +1,120 @@
+"""Unit tests for the Rytter baseline."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.rytter import RytterSolver, rytter_schedule_length
+from repro.core.sequential import solve_sequential
+from repro.core.termination import UntilValue, WPWStable
+from repro.errors import InvalidProblemError
+from repro.problems.generators import random_generic, random_matrix_chain
+from repro.trees import synthesize_instance, zigzag_tree
+
+
+class TestSchedule:
+    def test_length(self):
+        assert rytter_schedule_length(1) == 3
+        assert rytter_schedule_length(2) == 3
+        assert rytter_schedule_length(8) == 5
+        assert rytter_schedule_length(9) == 6
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            rytter_schedule_length(0)
+
+    def test_default_max_n(self):
+        p = random_generic(5, seed=0)
+        with pytest.raises(InvalidProblemError):
+            RytterSolver(p, max_n=4)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_sequential(self, seed):
+        p = random_generic(10, seed=seed)
+        out = RytterSolver(p).run()
+        assert out.value == pytest.approx(solve_sequential(p).value)
+
+    def test_full_table(self):
+        p = random_matrix_chain(12, seed=1)
+        out = RytterSolver(p).run()
+        ref = solve_sequential(p)
+        mask = np.isfinite(ref.w)
+        assert np.allclose(out.w[mask], ref.w[mask])
+
+    def test_zigzag_in_log_iterations(self):
+        """The doubling square defeats the zigzag: O(log n) iterations
+        even on the paper's worst-case shape."""
+        n = 20
+        prob = synthesize_instance(zigzag_tree(n), style="uniform_plus")
+        ref = solve_sequential(prob).value
+        out = RytterSolver(prob).run(UntilValue(ref), max_iterations=30)
+        assert out.iterations <= math.ceil(math.log2(n)) + 2
+
+    def test_schedule_reaches_w_fixed_point(self):
+        """After the default schedule the w table is final: one more
+        phase changes no w entry (pw entries may keep refining — the [8]
+        guarantee is about the costs, and activate keeps seeding new pw
+        base values as late pebbles land)."""
+        p = random_generic(12, seed=9)
+        s = RytterSolver(p)
+        out = s.run()
+        assert out.value == pytest.approx(solve_sequential(p).value)
+        w_c, _pw_c = s.iterate()
+        assert not w_c
+
+    def test_never_more_iterations_than_huang(self):
+        """Phase-for-phase, the full square dominates the incremental
+        square, so Rytter's pw is pointwise <= Huang's after the same
+        number of iterations."""
+        from repro.core.huang import HuangSolver
+
+        p = random_generic(9, seed=2)
+        r = RytterSolver(p)
+        h = HuangSolver(p)
+        for _ in range(3):
+            r.iterate()
+            h.iterate()
+            assert (r.pw <= h.pw + 1e-12).all()
+            assert (r.w <= h.w + 1e-12).all()
+
+
+class TestWorkCounters:
+    def test_square_dominates(self):
+        p = random_generic(10, seed=0)
+        w = RytterSolver(p).work_per_iteration()
+        assert w["square"] > w["pebble"]
+
+    def test_square_count_matches_enumeration(self):
+        n = 6
+        count = 0
+        for i in range(n):
+            for j in range(i + 1, n + 1):
+                for p_ in range(i, j):
+                    for q in range(p_ + 1, j + 1):
+                        count += (p_ - i + 1) * (j - q + 1)
+        p = random_generic(n, seed=0)
+        assert RytterSolver(p).work_per_iteration()["square"] == count
+
+    def test_square_theta_n6(self):
+        """The counted square candidates approach exponent 6 (slowly —
+        the lattice has strong boundary effects at small n)."""
+
+        def count(n):
+            total = 0
+            for span in range(1, n + 1):
+                n_ij = n + 1 - span
+                sub = 0
+                for glen in range(1, span + 1):
+                    for off in range(0, span - glen + 1):
+                        sub += (off + 1) * ((span - glen - off) + 1)
+                total += n_ij * sub
+            return total
+
+        e = math.log(count(128) / count(64)) / math.log(2)
+        assert e == pytest.approx(6.0, abs=0.25)
+        # And the small-n counts match the solver's own accounting.
+        p = random_generic(8, seed=0)
+        assert RytterSolver(p).work_per_iteration()["square"] == count(8)

@@ -1,0 +1,111 @@
+"""Unit tests for the O(n³) sequential DP."""
+
+import numpy as np
+import pytest
+
+from repro.core.sequential import (
+    SequentialResult,
+    solve_sequential,
+    work_count_sequential,
+)
+from repro.problems import GenericProblem, MatrixChainProblem
+from repro.problems.generators import random_generic
+
+
+class TestKnownValues:
+    def test_clrs(self, clrs_chain):
+        res = solve_sequential(clrs_chain)
+        assert res.value == 15125.0
+        assert res.n == 6
+
+    def test_two_objects(self):
+        p = MatrixChainProblem([7, 2, 9])
+        assert solve_sequential(p).value == 7 * 2 * 9
+
+    def test_single_object(self):
+        p = GenericProblem(1, init=lambda i: 5.0, f=lambda i, k, j: 0.0)
+        res = solve_sequential(p)
+        assert res.value == 5.0
+        assert res.split[0, 1] == -1
+
+
+class TestTables:
+    def test_w_table_structure(self, clrs_chain):
+        res = solve_sequential(clrs_chain)
+        n = res.n
+        # Lower triangle + diagonal invalid.
+        for i in range(n + 1):
+            for j in range(i + 1):
+                assert np.isinf(res.w[i, j]) or i == j  # all inf
+        assert np.isinf(res.w[2, 2])
+
+    def test_split_inside_interval(self, clrs_chain):
+        res = solve_sequential(clrs_chain)
+        n = res.n
+        for i in range(n):
+            for j in range(i + 2, n + 1):
+                assert i < res.split[i, j] < j
+
+    def test_bellman_consistency(self):
+        """w(i,j) equals the best split everywhere (fixed-point check)."""
+        from repro.core.reconstruct import verify_w_table
+
+        p = random_generic(12, seed=4)
+        res = solve_sequential(p)
+        assert verify_w_table(p, res.w)
+
+    def test_monotone_under_length_for_nonneg(self):
+        """With all-zero init and positive f, longer intervals cost more."""
+        p = MatrixChainProblem([3, 5, 2, 8, 4, 6])
+        res = solve_sequential(p)
+        for i in range(p.n - 1):
+            for j in range(i + 2, p.n + 1):
+                assert res.w[i, j] >= res.w[i, j - 1]
+
+
+class TestBruteForceAgreement:
+    def brute_force(self, problem):
+        """Exponential enumeration of all trees (tiny n only)."""
+        from functools import lru_cache
+
+        @lru_cache(maxsize=None)
+        def best(i, j):
+            if j == i + 1:
+                return problem.init_cost(i)
+            return min(
+                best(i, k) + best(k, j) + problem.split_cost(i, k, j)
+                for k in range(i + 1, j)
+            )
+
+        return best(0, problem.n)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_small(self, seed):
+        p = random_generic(7, seed=seed)
+        assert solve_sequential(p).value == pytest.approx(self.brute_force(p))
+
+
+class TestWorkCount:
+    def test_formula(self):
+        # n(n² - 1)/6 = C(n+1, 3)
+        assert work_count_sequential(2) == 1
+        assert work_count_sequential(3) == 4
+        assert work_count_sequential(6) == 35
+
+    def test_matches_enumeration(self):
+        n = 9
+        count = sum(
+            j - i - 1 for i in range(n) for j in range(i + 2, n + 1)
+        )
+        assert work_count_sequential(n) == count
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            work_count_sequential(0)
+
+
+class TestValidation:
+    def test_rejects_negative_init(self):
+        p = GenericProblem(3, init=lambda i: -1.0, f=lambda i, k, j: 0.0)
+        with pytest.raises(Exception):
+            solve_sequential(p)

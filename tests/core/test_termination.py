@@ -1,0 +1,147 @@
+"""Unit tests for termination policies."""
+
+import pytest
+
+from repro.core.termination import (
+    FixedIterations,
+    IterationState,
+    UntilValue,
+    WPWStable,
+    WStable,
+    default_schedule_length,
+)
+
+
+def state(it, w=False, pw=False, root=float("inf")):
+    return IterationState(iteration=it, w_changed=w, pw_changed=pw, root_value=root)
+
+
+class TestDefaultSchedule:
+    def test_values(self):
+        assert default_schedule_length(1) == 1
+        assert default_schedule_length(4) == 4
+        assert default_schedule_length(5) == 6
+        assert default_schedule_length(36) == 12
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            default_schedule_length(0)
+
+
+class TestFixedIterations:
+    def test_stops_at_count(self):
+        p = FixedIterations(3)
+        assert not p.should_stop(state(1))
+        assert not p.should_stop(state(2))
+        assert p.should_stop(state(3))
+
+    def test_paper_schedule(self):
+        assert FixedIterations.paper_schedule(10).count == 8
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            FixedIterations(0)
+
+    def test_describe(self):
+        assert FixedIterations(5).describe() == "fixed(5)"
+
+
+class TestWStable:
+    def test_needs_consecutive_quiet(self):
+        p = WStable(patience=2)
+        p.reset()
+        assert not p.should_stop(state(1, w=False))
+        assert p.should_stop(state(2, w=False))
+
+    def test_change_resets_streak(self):
+        p = WStable(patience=2)
+        p.reset()
+        assert not p.should_stop(state(1, w=False))
+        assert not p.should_stop(state(2, w=True))
+        assert not p.should_stop(state(3, w=False))
+        assert p.should_stop(state(4, w=False))
+
+    def test_ignores_pw(self):
+        p = WStable(patience=1)
+        p.reset()
+        assert p.should_stop(state(1, w=False, pw=True))
+
+    def test_reset_clears(self):
+        p = WStable(patience=2)
+        p.should_stop(state(1, w=False))
+        p.reset()
+        assert not p.should_stop(state(2, w=False))
+
+    def test_invalid_patience(self):
+        with pytest.raises(ValueError):
+            WStable(0)
+
+
+class TestWPWStable:
+    def test_needs_both_quiet(self):
+        p = WPWStable(patience=1)
+        p.reset()
+        assert not p.should_stop(state(1, w=False, pw=True))
+        assert not p.should_stop(state(2, w=True, pw=False))
+        assert p.should_stop(state(3, w=False, pw=False))
+
+    def test_flag(self):
+        assert WPWStable.needs_pw_changes
+        assert not WStable.needs_pw_changes
+
+
+class TestUntilValue:
+    def test_hits_target(self):
+        p = UntilValue(10.0)
+        assert not p.should_stop(state(1, root=float("inf")))
+        assert not p.should_stop(state(2, root=11.0))
+        assert p.should_stop(state(3, root=10.0))
+
+    def test_relative_tolerance(self):
+        p = UntilValue(1e12)
+        assert p.should_stop(state(1, root=1e12 * (1 + 1e-10)))
+
+    def test_describe(self):
+        assert "until_value" in UntilValue(3.5).describe()
+
+
+class TestRootStable:
+    def test_counts_inf_plateau_as_unchanged(self):
+        from repro.core.termination import RootStable
+
+        p = RootStable(patience=2)
+        p.reset()
+        assert not p.should_stop(state(1, root=float("inf")))
+        assert not p.should_stop(state(2, root=float("inf")))  # streak 1
+        assert p.should_stop(state(3, root=float("inf")))  # streak 2 -> WRONG stop
+
+    def test_resets_on_change(self):
+        from repro.core.termination import RootStable
+
+        p = RootStable(patience=2)
+        p.reset()
+        p.should_stop(state(1, root=10.0))
+        p.should_stop(state(2, root=10.0))  # streak 1
+        assert not p.should_stop(state(3, root=9.0))  # changed
+        assert not p.should_stop(state(4, root=9.0))
+        assert p.should_stop(state(5, root=9.0))
+
+    def test_is_actually_unsafe_on_real_instance(self):
+        """The negative control controls: it stops at +inf on an
+        instance large enough for a multi-iteration root plateau."""
+        import numpy as np
+
+        from repro.core.banded import BandedSolver
+        from repro.core.sequential import solve_sequential
+        from repro.core.termination import RootStable
+        from repro.problems.generators import random_matrix_chain
+
+        prob = random_matrix_chain(24, seed=1)
+        out = BandedSolver(prob).run(RootStable(patience=2), max_iterations=100)
+        assert not np.isclose(out.value, solve_sequential(prob).value)
+
+    def test_invalid_patience(self):
+        from repro.core.termination import RootStable
+
+        with pytest.raises(ValueError):
+            RootStable(0)

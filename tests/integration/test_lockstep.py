@@ -1,0 +1,97 @@
+"""The Section 4 lockstep correctness argument, executed.
+
+The paper proves correctness by running the pebbling game on an optimal
+tree *in lockstep* with the algorithm and maintaining:
+
+(a) if node (i, j) is pebbled after the k-th pebble, then after the
+    k-th a-pebble, w'(i, j) = w(i, j);
+(b) if cond((i, j)) = (p, q) after the k-th square/activate, then after
+    the k-th a-square/a-activate, pw'(i, j, p, q) = pw(i, j, p, q).
+
+This test executes that argument literally: a game on the optimal tree
+and a HuangSolver advance together, and both invariants are checked
+after every move against sequential ground truth (w from the O(n³) DP,
+pw from the exact oracle).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.exact_pw import exact_pw_table
+from repro.core.huang import HuangSolver
+from repro.core.reconstruct import reconstruct_tree
+from repro.core.sequential import solve_sequential
+from repro.pebbling import GameTree, PebbleGame
+from repro.problems.generators import random_generic, random_matrix_chain
+from repro.trees import synthesize_instance, zigzag_tree
+
+
+def run_lockstep(problem, max_moves=60):
+    ref = solve_sequential(problem)
+    true_pw = exact_pw_table(problem)
+    tree = reconstruct_tree(problem, ref.w)
+    game = PebbleGame(GameTree.from_parse_tree(tree))
+    solver = HuangSolver(problem)
+    t = game.tree
+
+    moves = 0
+    while not game.root_pebbled:
+        game.activate()
+        solver.a_activate()
+        game.square()
+        solver.a_square()
+
+        # Invariant (b): cond pointers certify pw' values.
+        for x in range(t.num_nodes):
+            i, j = t.intervals[x]
+            p, q = t.intervals[game.cond[x]]
+            assert solver.pw[i, j, p, q] == pytest.approx(
+                true_pw[i, j, p, q]
+            ), f"pw'({i},{j},{p},{q}) not yet exact at move {moves + 1}"
+
+        game.pebble()
+        solver.a_pebble()
+
+        # Invariant (a): pebbles certify w' values.
+        for x in np.flatnonzero(game.pebbled):
+            i, j = t.intervals[x]
+            assert solver.w[i, j] == pytest.approx(
+                ref.w[i, j]
+            ), f"w'({i},{j}) not yet exact at move {moves + 1}"
+
+        moves += 1
+        assert moves <= max_moves
+
+    # Root pebbled => algorithm value is final.
+    assert solver.w[0, problem.n] == pytest.approx(ref.value)
+    return moves
+
+
+class TestLockstep:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_generic(self, seed):
+        run_lockstep(random_generic(9, seed=seed))
+
+    def test_matrix_chain(self):
+        run_lockstep(random_matrix_chain(10, seed=5))
+
+    def test_zigzag_forced(self):
+        """The worst-case shape: the game takes Θ(sqrt n) moves and the
+        algorithm tracks it all the way."""
+        p = synthesize_instance(zigzag_tree(12), style="uniform_plus")
+        moves = run_lockstep(p)
+        assert moves >= 4  # genuinely multi-move on the zigzag
+
+    def test_game_bounds_algorithm_iterations(self):
+        """Iterations until the algorithm's root value is correct never
+        exceed the game's move count on the optimal tree."""
+        for seed in range(4):
+            p = random_generic(10, seed=100 + seed)
+            ref = solve_sequential(p)
+            tree = reconstruct_tree(p, ref.w)
+            game_moves = PebbleGame(GameTree.from_parse_tree(tree)).run().moves
+            solver = HuangSolver(p)
+            from repro.core.termination import UntilValue
+
+            out = solver.run(UntilValue(ref.value), max_iterations=80)
+            assert out.iterations <= game_moves

@@ -1,0 +1,173 @@
+"""Integration: the paper's quantitative claims at test scale.
+
+Each experiment (E1–E8, see DESIGN.md) has a full benchmark in
+benchmarks/; these tests pin the *shape* of every claim at sizes small
+enough for CI, so a regression in any reproduced result fails the suite
+and not just the benchmark report.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.average_case import fit_log, fit_sqrt, paper_T
+from repro.analysis.montecarlo import game_move_statistics
+from repro.analysis.worstcase import worst_case_series
+from repro.core.cost_model import COST_MODELS, improvement_factor
+from repro.core.banded import BandedSolver
+from repro.core.huang import HuangSolver
+from repro.core.rytter import RytterSolver
+from repro.core.sequential import solve_sequential
+from repro.core.termination import UntilValue, WStable
+from repro.pebbling import GameTree, PebbleGame, moves_upper_bound
+from repro.problems.generators import random_matrix_chain
+from repro.trees import complete_tree, skewed_tree, synthesize_instance, zigzag_tree
+
+
+class TestE1ProcessorTimeProduct:
+    def test_headline_improvement(self):
+        """Abstract: Θ(n² log n) improvement over Rytter in PT product."""
+        assert improvement_factor(256) == pytest.approx(256**2 * 8)
+
+    def test_counted_work_ordering(self):
+        """Counted per-run work (candidates × iterations) orders the
+        implemented algorithms the way the formulas say: banded < full
+        huang < rytter, all above sequential."""
+        n = 20
+        p = random_matrix_chain(n, seed=0)
+        seq_work = n * (n * n - 1) // 6
+        iters_h = 2 * math.isqrt(n - 1) + 2
+        iters_r = math.ceil(math.log2(n)) + 2
+        full = sum(HuangSolver(p).work_per_iteration().values()) * iters_h
+        band = sum(BandedSolver(p).work_per_iteration().values()) * iters_h
+        ryt = sum(RytterSolver(p, max_n=n).work_per_iteration().values()) * iters_r
+        assert seq_work < band < full < ryt
+
+
+class TestE2WorstCase:
+    def test_lemma_bound_on_vines(self):
+        for pt in worst_case_series([16, 64, 256, 1024]):
+            assert pt.moves <= pt.bound
+
+    def test_vine_is_sqrt_shaped(self):
+        pts = worst_case_series([256, 4096])
+        # sqrt shape: 16x n -> 4x moves (within slack).
+        assert pts[1].moves / pts[0].moves == pytest.approx(4.0, rel=0.25)
+
+
+class TestE3EasyTrees:
+    def test_complete_tree_logarithmic(self):
+        for n in [64, 1024]:
+            moves = PebbleGame(GameTree.complete(n)).run().moves
+            assert moves <= math.ceil(math.log2(n)) + 2
+
+    def test_algorithm_skewed_vs_zigzag(self):
+        """Section 6: skewed/complete optimal trees are solved in
+        O(log n) iterations; the zigzag needs Θ(sqrt n)."""
+        n = 49
+        iters = {}
+        for name, shape in [
+            ("zigzag", zigzag_tree),
+            ("skewed", skewed_tree),
+            ("complete", complete_tree),
+        ]:
+            prob = synthesize_instance(shape(n), style="uniform_plus")
+            ref = solve_sequential(prob)
+            out = BandedSolver(prob).run(UntilValue(ref.value), max_iterations=60)
+            iters[name] = out.iterations
+        assert iters["skewed"] <= math.ceil(math.log2(n)) + 2
+        assert iters["complete"] <= math.ceil(math.log2(n)) + 2
+        assert iters["zigzag"] > iters["skewed"]
+        assert iters["zigzag"] <= moves_upper_bound(n)
+
+
+class TestE4AverageCase:
+    def test_paper_recurrence_is_logarithmic(self):
+        ns = np.arange(32, 1024, 61)
+        T = paper_T(1024)
+        _, rmse_log = fit_log(ns, T[ns])
+        _, rmse_sqrt = fit_sqrt(ns, T[ns])
+        assert rmse_log < rmse_sqrt
+
+    def test_random_tree_moves_track_log(self):
+        """Monte-Carlo game moves on random trees grow ~log n."""
+        means = {
+            n: game_move_statistics(n, samples=12, seed=0).mean
+            for n in (64, 256, 1024)
+        }
+        # Log shape: equal increments per 4x (within noise), far below
+        # the sqrt-shaped doubling.
+        inc1 = means[256] - means[64]
+        inc2 = means[1024] - means[256]
+        assert abs(inc2 - inc1) < 2.0
+        assert means[1024] < 0.5 * math.sqrt(1024)
+
+
+class TestE5Termination:
+    def test_w_stable_correct_on_sample(self):
+        """The paper's suggested rule never stopped wrong in our runs."""
+        for seed in range(4):
+            p = random_matrix_chain(12, seed=seed)
+            ref = solve_sequential(p).value
+            out = BandedSolver(p).run(WStable(), max_iterations=60)
+            assert out.value == pytest.approx(ref)
+
+    def test_early_stopping_beats_schedule_on_random(self):
+        p = random_matrix_chain(20, seed=3)
+        out = BandedSolver(p).run(WStable(), max_iterations=60)
+        assert out.iterations < 2 * math.isqrt(19) + 2 + 3  # well below cap
+
+
+class TestE6ProcessorReduction:
+    def test_square_work_ratio(self):
+        """Banded square work is Θ(n^3.5) vs full Θ(n⁵): the ratio grows
+        like n^1.5 (≈ 5.3x at n=48, and strictly growing)."""
+        ratios = {}
+        for n in (16, 48):
+            p = random_matrix_chain(n, seed=0)
+            full = HuangSolver(p).work_per_iteration()["square"]
+            band = BandedSolver(p).work_per_iteration()["square"]
+            ratios[n] = full / band
+        assert ratios[48] > 4.0
+        assert ratios[48] > 2.5 * ratios[16]
+
+    def test_pebble_window_n15(self):
+        """The size-band pebble window is O(n^1.5) cells."""
+        n = 36
+        p = random_matrix_chain(n, seed=0)
+        s = BandedSolver(p)
+        worst = max(
+            s.pebble_window_cells(t) for t in range(1, 2 * math.isqrt(n) + 3)
+        )
+        assert worst <= 2.5 * n**1.5
+
+
+class TestE7OpCosts:
+    def test_pram_costs_match_formulas(self):
+        from repro.core.pram_ops import PRAMHuang
+
+        p = random_matrix_chain(6, seed=1)
+        h = PRAMHuang(p)
+        h.run()
+        counts = HuangSolver(p).work_per_iteration()
+        assert h.op_costs["activate"].peak_processors == counts["activate"]
+        assert h.op_costs["square"].peak_processors == counts["square"]
+        assert h.op_costs["pebble"].peak_processors == counts["pebble"]
+        # activate is O(1) time per iteration; square/pebble O(log n).
+        iters = h.op_costs["activate"].time
+        assert h.op_costs["square"].time <= iters * (math.ceil(math.log2(7)) + 2)
+
+
+class TestE8Correctness:
+    def test_three_applications(self, clrs_chain, clrs_bst, square_polygon):
+        for prob, expected in [
+            (clrs_chain, 15125.0),
+            (clrs_bst, 2.75),
+            (square_polygon, None),
+        ]:
+            ref = solve_sequential(prob).value
+            if expected is not None:
+                assert ref == pytest.approx(expected)
+            for cls in (HuangSolver, BandedSolver, RytterSolver):
+                assert cls(prob).run().value == pytest.approx(ref)

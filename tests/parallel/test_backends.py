@@ -1,0 +1,61 @@
+"""Unit tests for the execution backends."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BackendError
+from repro.parallel.backends import (
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    make_backend,
+)
+
+
+def _tile_sum(tile, *, data):
+    lo, hi = tile
+    return float(data[lo:hi].sum())
+
+
+class TestFactory:
+    def test_names(self):
+        assert make_backend("serial").name == "serial"
+        assert make_backend("thread", workers=2).name == "thread"
+
+    def test_unknown(self):
+        with pytest.raises(BackendError):
+            make_backend("gpu")
+
+    def test_invalid_workers(self):
+        with pytest.raises(BackendError):
+            ThreadBackend(workers=0)
+
+
+@pytest.mark.parametrize("backend_name", ["serial", "thread", "process"])
+class TestMapWithArrays:
+    def test_results_in_order(self, backend_name):
+        be = make_backend(backend_name, workers=2)
+        data = np.arange(10.0)
+        tiles = [(0, 3), (3, 7), (7, 10)]
+        try:
+            out = be.map_with_arrays(_tile_sum, tiles, {"data": data})
+        finally:
+            be.close()
+        assert out == [3.0, 18.0, 24.0]
+
+    def test_empty_tiles(self, backend_name):
+        be = make_backend(backend_name, workers=2)
+        try:
+            assert be.map_with_arrays(_tile_sum, [], {"data": np.zeros(1)}) == []
+        finally:
+            be.close()
+
+
+class TestProcessIsolation:
+    def test_shared_globals_cleared(self):
+        be = ProcessBackend(workers=2)
+        data = np.arange(5.0)
+        be.map_with_arrays(_tile_sum, [(0, 5)], {"data": data})
+        from repro.parallel.backends import _SHARED
+
+        assert _SHARED == {}

@@ -1,0 +1,36 @@
+"""Unit tests for index-space partitioning."""
+
+import pytest
+
+from repro.parallel.partition import split_range
+
+
+class TestSplitRange:
+    def test_even_split(self):
+        assert split_range(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_uneven_split_front_loads(self):
+        assert split_range(7, 3) == [(0, 3), (3, 5), (5, 7)]
+
+    def test_more_parts_than_items(self):
+        assert split_range(2, 5) == [(0, 1), (1, 2)]
+
+    def test_single_part(self):
+        assert split_range(5, 1) == [(0, 5)]
+
+    def test_zero_total(self):
+        assert split_range(0, 3) == []
+
+    def test_covers_everything_once(self):
+        for total in range(0, 30):
+            for parts in range(1, 8):
+                chunks = split_range(total, parts)
+                covered = [x for lo, hi in chunks for x in range(lo, hi)]
+                assert covered == list(range(total))
+                assert all(hi > lo for lo, hi in chunks)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            split_range(-1, 2)
+        with pytest.raises(ValueError):
+            split_range(3, 0)

@@ -1,0 +1,139 @@
+"""Unit tests for the pebbling game (both square rules)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError, InvalidTreeError
+from repro.pebbling import GameTree, PebbleGame, moves_upper_bound
+from repro.trees import complete_tree, random_tree
+
+
+class TestSetup:
+    def test_initial_state(self):
+        g = PebbleGame(GameTree.vine(4))
+        assert g.pebbled.sum() == 4  # leaves
+        assert np.array_equal(g.cond, np.arange(7))
+        assert not g.root_pebbled
+
+    def test_single_leaf_instantly_done(self):
+        g = PebbleGame(GameTree.vine(1))
+        assert g.root_pebbled
+        assert g.run().moves == 0
+
+    def test_bad_rule(self):
+        with pytest.raises(InvalidTreeError):
+            PebbleGame(GameTree.vine(3), square_rule="fast")
+
+    def test_reset(self):
+        g = PebbleGame(GameTree.vine(8))
+        g.run()
+        g.reset()
+        assert not g.root_pebbled and g.moves_played == 0
+
+
+class TestOperations:
+    def test_activate_points_to_other_child(self):
+        t = GameTree.vine(3)  # leaves 0,1,2; internal 3=(0,1), 4=root
+        g = PebbleGame(t)
+        fired = g.activate()
+        assert fired == 2  # both internal nodes have a pebbled child
+        # Node 4's children: 3 (unpebbled internal) and leaf 2 (pebbled)
+        # -> cond points to the *other* child, i.e. node 3.
+        assert g.cond[4] == 3
+
+    def test_activate_only_when_cond_self(self):
+        g = PebbleGame(GameTree.vine(4))
+        g.activate()
+        before = g.cond.copy()
+        # Second activate with no pebble changes: cond already moved, so
+        # nothing fires for those nodes.
+        fired = g.activate()
+        assert fired == 0
+        assert np.array_equal(g.cond, before)
+
+    def test_pebble_after_activate(self):
+        t = GameTree.vine(2)  # one internal node with two pebbled leaves
+        g = PebbleGame(t)
+        g.activate()
+        assert g.pebble() == 1
+        assert g.root_pebbled
+
+    def test_square_descends_one_level(self):
+        """Modified rule: cond(x) moves to a *child* of cond(x)."""
+        t = GameTree.vine(6)
+        g = PebbleGame(t)
+        g.activate()
+        depth_before = t.depth[g.cond].copy()
+        g.square()
+        depth_after = t.depth[g.cond]
+        assert (depth_after - depth_before <= 1).all()
+
+    def test_rytter_square_jumps(self):
+        """Original rule: cond(x) := cond(cond(x)) can jump levels."""
+        t = GameTree.vine(16)
+        g = PebbleGame(t, square_rule="rytter")
+        g.move()  # gap 2 after first move
+        g.move()
+        # After two moves some pointer is >= 3 levels below its node.
+        gaps = t.depth[g.cond] - t.depth[np.arange(t.num_nodes)]
+        assert gaps.max() >= 3
+
+
+class TestRuns:
+    @pytest.mark.parametrize("n", [2, 3, 5, 9, 17, 33, 100])
+    def test_vine_within_bound(self, n):
+        trace = PebbleGame(GameTree.vine(n)).run()
+        assert trace.moves <= moves_upper_bound(n)
+
+    @pytest.mark.parametrize("n", [2, 8, 64, 200])
+    def test_complete_within_log_bound(self, n):
+        trace = PebbleGame(GameTree.complete(n)).run()
+        assert trace.moves <= math.ceil(math.log2(n)) + 2
+
+    def test_vine_is_theta_sqrt(self):
+        """Moves on a vine grow like sqrt: doubling n by 4 roughly
+        doubles the move count."""
+        m1 = PebbleGame(GameTree.vine(256)).run().moves
+        m2 = PebbleGame(GameTree.vine(1024)).run().moves
+        assert 1.7 <= m2 / m1 <= 2.3
+
+    def test_rytter_rule_is_logarithmic_on_vine(self):
+        m = PebbleGame(GameTree.vine(1024), square_rule="rytter").run().moves
+        assert m <= math.ceil(math.log2(1024)) + 2
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_trees_within_bound(self, seed):
+        t = GameTree.random(64, seed=seed)
+        trace = PebbleGame(t).run()
+        assert trace.moves <= moves_upper_bound(64)
+
+    def test_rytter_never_slower_than_huang(self):
+        for seed in range(5):
+            t = GameTree.random(48, seed=seed)
+            mh = PebbleGame(t, square_rule="huang").run().moves
+            mr = PebbleGame(t, square_rule="rytter").run().moves
+            assert mr <= mh
+
+    def test_cap_raises(self):
+        g = PebbleGame(GameTree.vine(64))
+        with pytest.raises(ConvergenceError):
+            g.run(max_moves=2)
+
+    def test_trace_contents(self):
+        trace = PebbleGame(GameTree.vine(9)).run(trace=True)
+        assert len(trace.pebbled_counts) == trace.moves
+        # Pebbled count is nondecreasing and ends with all nodes.
+        assert trace.pebbled_counts == sorted(trace.pebbled_counts)
+        assert trace.pebbled_counts[-1] == 17
+        assert trace.largest_pebbled_size[-1] == 9
+        rows = trace.as_rows()
+        assert rows[0][0] == 1 and len(rows) == trace.moves
+
+    def test_moves_equal_game_length_from_parse_tree(self):
+        """GameTree.from_parse_tree and direct constructors agree."""
+        pt = complete_tree(16)
+        m1 = PebbleGame(GameTree.from_parse_tree(pt)).run().moves
+        m2 = PebbleGame(GameTree.complete(16)).run().moves
+        assert m1 == m2

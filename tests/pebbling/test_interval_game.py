@@ -1,0 +1,100 @@
+"""Unit tests for the algorithm-level interval certification game."""
+
+import math
+
+import pytest
+
+from repro.core.compact import CompactBandedSolver
+from repro.core.huang import HuangSolver
+from repro.core.sequential import solve_sequential
+from repro.core.termination import UntilValue
+from repro.errors import ConvergenceError
+from repro.pebbling import moves_upper_bound
+from repro.pebbling.interval_game import IntervalGame
+from repro.trees import (
+    comb_tree,
+    complete_tree,
+    random_tree,
+    skewed_tree,
+    synthesize_instance,
+    zigzag_tree,
+)
+
+
+def full_solver_iters(tree):
+    prob = synthesize_instance(tree, style="uniform_plus")
+    ref = solve_sequential(prob)
+    out = HuangSolver(prob).run(UntilValue(ref.value), max_iterations=400)
+    return out.iterations
+
+
+class TestExactness:
+    @pytest.mark.parametrize("shape", [zigzag_tree, skewed_tree, complete_tree])
+    @pytest.mark.parametrize("n", [8, 20, 33])
+    def test_matches_full_solver_on_shapes(self, shape, n):
+        assert IntervalGame(shape(n)).run() == full_solver_iters(shape(n))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_full_solver_on_random(self, seed):
+        t = random_tree(16, seed=seed)
+        assert IntervalGame(t).run() == full_solver_iters(t)
+
+    def test_comb(self):
+        t = comb_tree(24, period=3)
+        assert IntervalGame(t).run() == full_solver_iters(t)
+
+    def test_band_can_cost_one_iteration(self):
+        """The documented effect: the Section 5 band may add one
+        iteration on the skewed spine (long composition jumps)."""
+        t = skewed_tree(49)
+        prob = synthesize_instance(t, style="uniform_plus")
+        ref = solve_sequential(prob)
+        banded = CompactBandedSolver(prob).run(
+            UntilValue(ref.value), max_iterations=100
+        )
+        unbanded = IntervalGame(t).run()
+        assert unbanded <= banded.iterations <= unbanded + 1
+
+
+class TestScaling:
+    def test_zigzag_sqrt_at_scale(self):
+        it = IntervalGame(zigzag_tree(900)).run()
+        assert it <= moves_upper_bound(900)
+        assert it >= 0.9 * math.sqrt(900)
+
+    def test_skewed_log_at_scale(self):
+        it = IntervalGame(skewed_tree(512)).run()
+        assert it <= math.ceil(math.log2(512)) + 2
+
+    def test_complete_log_at_scale(self):
+        it = IntervalGame(complete_tree(512)).run()
+        assert it <= math.ceil(math.log2(512)) + 2
+
+
+class TestMechanics:
+    def test_reset(self):
+        g = IntervalGame(complete_tree(16))
+        g.run()
+        g.reset()
+        assert not g.root_pebbled and g.iterations == 0
+
+    def test_single_leaf(self):
+        from repro.trees import ParseTree
+
+        g = IntervalGame(ParseTree.leaf(0))
+        assert g.root_pebbled
+        assert g.run() == 0
+
+    def test_cap(self):
+        g = IntervalGame(zigzag_tree(100))
+        with pytest.raises(ConvergenceError):
+            g.run(max_iterations=2)
+
+    def test_pebbled_monotone(self):
+        g = IntervalGame(random_tree(24, seed=3))
+        prev = int(g.pebbled.sum())
+        while not g.root_pebbled:
+            g.iterate()
+            cur = int(g.pebbled.sum())
+            assert cur >= prev
+            prev = cur

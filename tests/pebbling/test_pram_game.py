@@ -1,0 +1,49 @@
+"""Unit tests for the PRAM-executed pebbling game."""
+
+import pytest
+
+from repro.pebbling import GameTree, PebbleGame
+from repro.pebbling.pram_game import PRAMGame
+
+
+class TestPRAMGame:
+    @pytest.mark.parametrize("n", [2, 5, 16, 40])
+    def test_same_moves_as_vectorised(self, n):
+        tree = GameTree.vine(n)
+        assert PRAMGame(tree).run() == PebbleGame(tree).run().moves
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_trees(self, seed):
+        tree = GameTree.random(24, seed=seed)
+        assert PRAMGame(tree).run() == PebbleGame(tree).run().moves
+
+    def test_rytter_rule(self):
+        tree = GameTree.vine(32)
+        assert (
+            PRAMGame(tree, square_rule="rytter").run()
+            == PebbleGame(tree, square_rule="rytter").run().moves
+        )
+
+    def test_ledger_shape(self):
+        """3 super-steps per move, each with one processor per node —
+        the game's own PRAM cost: O(moves) time, O(n) processors."""
+        tree = GameTree.complete(16)
+        g = PRAMGame(tree)
+        moves = g.run()
+        led = g.machine.ledger
+        assert led.steps == 3 * moves
+        assert led.peak_processors == tree.num_nodes
+        assert led.work == 3 * moves * tree.num_nodes
+
+    def test_crew_discipline(self):
+        """Completion without WriteConflictError is a machine-checked
+        proof that all three game operations are exclusive-write; the
+        journal confirms reads were concurrent (CREW, not EREW)."""
+        tree = GameTree.random(20, seed=7)
+        g = PRAMGame(tree)
+        g.run()
+        assert g.machine.ledger.reads > g.machine.ledger.writes
+
+    def test_bad_rule(self):
+        with pytest.raises(Exception):
+            PRAMGame(GameTree.vine(4), square_rule="warp")

@@ -1,0 +1,65 @@
+"""The reference game transcription, and its agreement with the
+vectorised game (the key cross-validation)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError
+from repro.pebbling import GameTree, PebbleGame, ReferenceGame
+from repro.trees import complete_tree, random_tree, skewed_tree, zigzag_tree
+
+
+def interval_state(game: PebbleGame):
+    """Map interval -> (pebbled, cond-interval) for comparison."""
+    t = game.tree
+    out = {}
+    for node in range(t.num_nodes):
+        iv = tuple(t.intervals[node])
+        cv = tuple(t.intervals[game.cond[node]])
+        out[iv] = (bool(game.pebbled[node]), cv)
+    return out
+
+
+def reference_state(game: ReferenceGame):
+    return {
+        iv: (game.pebbled[iv], game.cond[iv]) for iv in game.nodes
+    }
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("shape", [zigzag_tree, skewed_tree, complete_tree])
+    def test_shapes_move_by_move(self, shape):
+        pt = shape(17)
+        fast = PebbleGame(GameTree.from_parse_tree(pt))
+        ref = ReferenceGame(pt)
+        for _ in range(40):
+            if fast.root_pebbled and ref.root_pebbled:
+                break
+            fast.move()
+            ref.move()
+            assert interval_state(fast) == reference_state(ref)
+        assert fast.root_pebbled and ref.root_pebbled
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_trees_move_counts(self, seed):
+        pt = random_tree(25, seed=seed)
+        m_fast = PebbleGame(GameTree.from_parse_tree(pt)).run().moves
+        m_ref = ReferenceGame(pt).run()
+        assert m_fast == m_ref
+
+
+class TestReferenceBehaviour:
+    def test_reset(self):
+        g = ReferenceGame(complete_tree(8))
+        g.run()
+        g.reset()
+        assert not g.root_pebbled and g.moves_played == 0
+
+    def test_cap(self):
+        g = ReferenceGame(skewed_tree(64))
+        with pytest.raises(ConvergenceError):
+            g.run(max_moves=1)
+
+    def test_leaves_start_pebbled(self):
+        g = ReferenceGame(complete_tree(4))
+        assert sum(g.pebbled.values()) == 4

@@ -1,0 +1,137 @@
+"""Unit tests for the PRAM machine: synchrony, conflicts, variants."""
+
+import pytest
+
+from repro.errors import ProgramError, WriteConflictError
+from repro.pram.machine import PRAM, WritePolicy
+
+
+def make_machine(policy="CREW", **kw):
+    m = PRAM(policy=policy, **kw)
+    m.memory.alloc("a", 8, fill=0.0)
+    return m
+
+
+class TestSynchrony:
+    def test_reads_see_pre_step_state(self):
+        """The classic parallel swap: both processors read old values."""
+        m = make_machine()
+        m.memory.host_write("a", [1, 2, 0, 0, 0, 0, 0, 0])
+        m.step(
+            [
+                lambda p: p.write("a", 0, p.read("a", 1)),
+                lambda p: p.write("a", 1, p.read("a", 0)),
+            ]
+        )
+        assert m.memory.peek("a")[0] == 2
+        assert m.memory.peek("a")[1] == 1
+
+    def test_writes_not_visible_within_step(self):
+        m = make_machine()
+
+        def writer(p):
+            p.write("a", 0, 5.0)
+
+        def reader(p):
+            # Runs "simultaneously": must still see 0.
+            assert p.read("a", 0) == 0.0
+
+        m.step([writer, reader])
+        assert m.memory.peek("a")[0] == 5.0
+
+    def test_failed_step_leaves_memory_unchanged(self):
+        m = make_machine()
+
+        def bad(p):
+            p.write("a", 0, 1.0)
+            raise RuntimeError("task crashed")
+
+        with pytest.raises(RuntimeError):
+            m.step([bad])
+        assert m.memory.peek("a")[0] == 0.0
+
+
+class TestConflicts:
+    def test_crew_write_conflict(self):
+        m = make_machine("CREW")
+        with pytest.raises(WriteConflictError, match="processors \\[0, 1\\]"):
+            m.step(
+                [
+                    lambda p: p.write("a", 3, 1.0),
+                    lambda p: p.write("a", 3, 2.0),
+                ]
+            )
+        # Aborted: nothing committed.
+        assert m.memory.peek("a")[3] == 0.0
+
+    def test_crew_concurrent_reads_allowed(self):
+        m = make_machine("CREW")
+        m.step([lambda p, i=i: p.read("a", 0) for i in range(6)])
+        assert m.ledger.steps == 1
+
+    def test_erew_read_conflict(self):
+        m = make_machine("EREW")
+        with pytest.raises(ProgramError, match="read conflict"):
+            m.step([lambda p: p.read("a", 0), lambda p: p.read("a", 0)])
+
+    def test_erew_disjoint_ok(self):
+        m = make_machine("EREW")
+        m.step([lambda p: p.read("a", 0), lambda p: p.read("a", 1)])
+
+    def test_crcw_common_same_value(self):
+        m = make_machine("CRCW-common")
+        m.step([lambda p: p.write("a", 0, 4.0), lambda p: p.write("a", 0, 4.0)])
+        assert m.memory.peek("a")[0] == 4.0
+
+    def test_crcw_common_different_values(self):
+        m = make_machine("CRCW-common")
+        with pytest.raises(WriteConflictError, match="differing"):
+            m.step([lambda p: p.write("a", 0, 4.0), lambda p: p.write("a", 0, 5.0)])
+
+    def test_crcw_priority_lowest_pid_wins(self):
+        m = make_machine("CRCW-priority")
+        m.step(
+            [
+                lambda p: p.write("a", 0, 10.0),
+                lambda p: p.write("a", 0, 20.0),
+            ]
+        )
+        assert m.memory.peek("a")[0] == 10.0
+
+
+class TestLedger:
+    def test_step_accounting(self):
+        m = make_machine()
+        m.step([lambda p, i=i: p.write("a", i, 1.0) for i in range(4)])
+        m.step([lambda p: p.read("a", 0)])
+        s = m.snapshot_costs()
+        assert s["steps"] == 2
+        assert s["time"] == 2
+        assert s["processors"] == 4
+        assert s["work"] == 5
+        assert s["writes"] == 4
+        assert s["reads"] == 1
+
+    def test_brent_time(self):
+        m = make_machine(physical_processors=2)
+        m.step([lambda p, i=i: p.read("a", i % 8) for i in range(8)])
+        # ceil(8/2) = 4 time units for one step.
+        assert m.ledger.time == 4
+        assert m.ledger.steps == 1
+        assert m.ledger.processors == 2
+
+    def test_run_parallel_passes_index(self):
+        m = make_machine()
+        m.run_parallel(4, lambda i, p: p.write("a", i, float(i)))
+        assert list(m.memory.peek("a")[:4]) == [0.0, 1.0, 2.0, 3.0]
+
+
+class TestWritePolicy:
+    def test_enum_from_string(self):
+        assert WritePolicy("CREW") is WritePolicy.CREW
+        assert WritePolicy("CRCW-common").allows_concurrent_writes
+
+    def test_crew_properties(self):
+        assert WritePolicy.CREW.allows_concurrent_reads
+        assert not WritePolicy.CREW.allows_concurrent_writes
+        assert not WritePolicy.EREW.allows_concurrent_reads

@@ -1,0 +1,142 @@
+"""Unit tests for the shared-memory substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProgramError
+from repro.pram.memory import AccessJournal, SharedMemory
+
+
+class TestAlloc:
+    def test_alloc_and_shape(self):
+        mem = SharedMemory()
+        mem.alloc("a", (3, 4), fill=1.5)
+        assert mem.shape("a") == (3, 4)
+        assert mem.size("a") == 12
+        assert np.all(mem.peek("a") == 1.5)
+
+    def test_double_alloc_raises(self):
+        mem = SharedMemory()
+        mem.alloc("a", 2)
+        with pytest.raises(ProgramError, match="already allocated"):
+            mem.alloc("a", 2)
+
+    def test_alloc_from_copies(self):
+        mem = SharedMemory()
+        src = np.arange(4.0)
+        mem.alloc_from("a", src)
+        src[0] = 99.0
+        assert mem.peek("a")[0] == 0.0
+
+    def test_free(self):
+        mem = SharedMemory()
+        mem.alloc("a", 2)
+        mem.free("a")
+        with pytest.raises(ProgramError, match="not allocated"):
+            mem.free("a")
+
+    def test_ravel_index(self):
+        mem = SharedMemory()
+        mem.alloc("a", (2, 3))
+        assert mem.ravel_index("a", (1, 2)) == 5
+
+
+class TestStepLifecycle:
+    def test_reads_see_snapshot(self):
+        mem = SharedMemory()
+        mem.alloc("a", 2, fill=0.0)
+        mem.begin_step()
+        assert mem.read("a", 0) == 0.0
+        mem.end_step({("a", 0): 7.0})
+        assert mem.peek("a")[0] == 7.0
+        # Next step sees the committed value.
+        mem.begin_step()
+        assert mem.read("a", 0) == 7.0
+        mem.end_step({})
+
+    def test_read_outside_step_raises(self):
+        mem = SharedMemory()
+        mem.alloc("a", 1)
+        with pytest.raises(ProgramError, match="outside"):
+            mem.read("a", 0)
+
+    def test_nested_begin_raises(self):
+        mem = SharedMemory()
+        mem.begin_step()
+        with pytest.raises(ProgramError):
+            mem.begin_step()
+
+    def test_end_without_begin_raises(self):
+        mem = SharedMemory()
+        with pytest.raises(ProgramError):
+            mem.end_step({})
+
+    def test_abort_discards_writes(self):
+        mem = SharedMemory()
+        mem.alloc("a", 1, fill=3.0)
+        mem.begin_step()
+        mem.abort_step()
+        assert mem.peek("a")[0] == 3.0
+
+    def test_out_of_range_read(self):
+        mem = SharedMemory()
+        mem.alloc("a", 2)
+        mem.begin_step()
+        with pytest.raises(ProgramError, match="out of range"):
+            mem.read("a", 5)
+        mem.abort_step()
+
+    def test_out_of_range_write_on_commit(self):
+        mem = SharedMemory()
+        mem.alloc("a", 2)
+        mem.begin_step()
+        with pytest.raises(ProgramError, match="out of range"):
+            mem.end_step({("a", 9): 1.0})
+
+    def test_tuple_index_read(self):
+        mem = SharedMemory()
+        mem.alloc("a", (2, 2), fill=0.0)
+        mem.begin_step()
+        assert mem.read("a", (1, 1)) == 0.0
+        mem.end_step({})
+
+    def test_host_fill_blocked_during_step(self):
+        mem = SharedMemory()
+        mem.alloc("a", 2)
+        mem.begin_step()
+        with pytest.raises(ProgramError):
+            mem.host_fill("a", 1.0)
+        mem.abort_step()
+
+    def test_host_write_reshapes(self):
+        mem = SharedMemory()
+        mem.alloc("a", (2, 2))
+        mem.host_write("a", np.arange(4.0))
+        assert mem.peek("a")[1, 1] == 3.0
+
+    def test_peek_is_read_only(self):
+        mem = SharedMemory()
+        mem.alloc("a", 2)
+        view = mem.peek("a")
+        with pytest.raises(ValueError):
+            view[0] = 1.0
+
+
+class TestJournal:
+    def test_counts(self):
+        j = AccessJournal()
+        j.record_read(("a", 0))
+        j.record_read(("a", 0))
+        j.record_read(("a", 1))
+        j.record_write(("a", 2), 0, 1.0)
+        j.record_write(("a", 2), 1, 2.0)
+        assert j.read_count == 3
+        assert j.write_count == 2
+        assert j.concurrent_reads() == {("a", 0): 2}
+        assert list(j.conflicting_writes()) == [("a", 2)]
+
+    def test_clear(self):
+        j = AccessJournal()
+        j.record_read(("a", 0))
+        j.clear()
+        assert j.read_count == 0 and j.write_count == 0

@@ -1,0 +1,77 @@
+"""Unit tests for the cost ledger."""
+
+import pytest
+
+from repro.pram.metrics import CostLedger
+
+
+class TestChargeStep:
+    def test_basic_accumulation(self):
+        led = CostLedger()
+        led.charge_step(10)
+        led.charge_step(3)
+        assert led.steps == 2
+        assert led.time == 2
+        assert led.work == 13
+        assert led.peak_processors == 10
+        assert led.step_sizes == (10, 3)
+
+    def test_brent_time(self):
+        led = CostLedger(physical_processors=4)
+        led.charge_step(10)  # ceil(10/4) = 3
+        led.charge_step(0)  # empty step still 1
+        assert led.time == 4
+        assert led.processors == 4
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            CostLedger().charge_step(-1)
+
+    def test_processors_without_physical(self):
+        led = CostLedger()
+        led.charge_step(7)
+        assert led.processors == 7
+        assert led.processor_time_product == 7
+
+
+class TestMerge:
+    def test_merge_adds(self):
+        a = CostLedger()
+        a.charge_step(5)
+        a.charge_accesses(2, 1)
+        b = CostLedger()
+        b.charge_step(9)
+        b.charge_accesses(4, 3)
+        c = a.merge(b)
+        assert c.steps == 2
+        assert c.work == 14
+        assert c.peak_processors == 9
+        assert c.reads == 6 and c.writes == 4
+        assert c.step_sizes == (5, 9)
+
+    def test_merge_conflicting_physical(self):
+        a = CostLedger(physical_processors=2)
+        b = CostLedger(physical_processors=4)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_inherits_physical(self):
+        a = CostLedger(physical_processors=2)
+        b = CostLedger()
+        assert a.merge(b).physical_processors == 2
+
+
+class TestSummary:
+    def test_keys(self):
+        led = CostLedger()
+        led.charge_step(1)
+        s = led.summary()
+        assert set(s) == {
+            "time",
+            "steps",
+            "processors",
+            "work",
+            "reads",
+            "writes",
+            "processor_time_product",
+        }

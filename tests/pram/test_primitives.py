@@ -1,0 +1,178 @@
+"""Unit tests for the PRAM primitives (reductions, scan, broadcast)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ProgramError
+from repro.pram.machine import PRAM
+from repro.pram.primitives import (
+    broadcast,
+    prefix_scan,
+    reduce_min,
+    reduce_min_brent,
+    tree_reduce,
+)
+
+
+def machine_with(data):
+    m = PRAM()
+    m.memory.alloc_from("x", np.asarray(data, dtype=float))
+    m.memory.alloc("out", 4, fill=0.0)
+    return m
+
+
+class TestTreeReduce:
+    @pytest.mark.parametrize("count", [1, 2, 3, 5, 8, 13])
+    def test_min_matches_numpy(self, count, rng):
+        data = rng.uniform(-5, 5, size=count)
+        m = machine_with(data)
+        reduce_min(m, "x", 0, count, ("out", 0))
+        assert m.memory.peek("out")[0] == data.min()
+
+    def test_sub_range(self, rng):
+        data = rng.uniform(0, 1, size=10)
+        m = machine_with(data)
+        reduce_min(m, "x", 3, 4, ("out", 1))
+        assert m.memory.peek("out")[1] == data[3:7].min()
+
+    def test_empty_range_gives_identity(self):
+        m = machine_with([1.0, 2.0])
+        reduce_min(m, "x", 0, 0, ("out", 0))
+        assert m.memory.peek("out")[0] == float("inf")
+
+    def test_negative_count_raises(self):
+        m = machine_with([1.0])
+        with pytest.raises(ProgramError):
+            tree_reduce(m, "x", 0, -1, ("out", 0))
+
+    def test_input_region_untouched(self, rng):
+        data = rng.uniform(0, 1, size=6)
+        m = machine_with(data)
+        reduce_min(m, "x", 0, 6, ("out", 0))
+        assert np.array_equal(m.memory.peek("x"), data)
+
+    def test_logarithmic_depth(self):
+        """ceil(log2 m) + 2 super-steps (copy in, levels, copy out)."""
+        count = 16
+        m = machine_with(np.zeros(count))
+        before = m.ledger.steps
+        reduce_min(m, "x", 0, count, ("out", 0))
+        depth = m.ledger.steps - before
+        assert depth == math.ceil(math.log2(count)) + 2
+
+    def test_other_op(self):
+        m = machine_with([1.0, 2.0, 3.0, 4.0])
+        tree_reduce(m, "x", 0, 4, ("out", 0), op=max, identity=-float("inf"))
+        assert m.memory.peek("out")[0] == 4.0
+
+
+class TestReduceMinBrent:
+    @pytest.mark.parametrize("count", [1, 2, 7, 16, 33])
+    def test_matches_numpy(self, count, rng):
+        data = rng.uniform(-1, 1, size=count)
+        m = machine_with(data)
+        reduce_min_brent(m, "x", 0, count, ("out", 0))
+        assert m.memory.peek("out")[0] == pytest.approx(data.min())
+
+    def test_processor_bound(self):
+        """Peak processors is O(m / log m): the Brent trade-off."""
+        count = 64
+        m = machine_with(np.zeros(count))
+        reduce_min_brent(m, "x", 0, count, ("out", 0))
+        block = math.ceil(math.log2(count))
+        nblocks = math.ceil(count / block)
+        assert m.ledger.peak_processors <= max(nblocks, count // 2 + 1)
+        # Strictly fewer processors than the plain tree reduction uses in
+        # its copy-in step.
+        m2 = machine_with(np.zeros(count))
+        reduce_min(m2, "x", 0, count, ("out", 0))
+        assert m.ledger.peak_processors < m2.ledger.peak_processors
+
+    def test_empty(self):
+        m = machine_with([1.0])
+        reduce_min_brent(m, "x", 0, 0, ("out", 0))
+        assert m.memory.peek("out")[0] == float("inf")
+
+
+class TestPrefixScan:
+    @pytest.mark.parametrize("count", [1, 2, 5, 8, 9])
+    def test_cumsum(self, count, rng):
+        data = rng.uniform(0, 1, size=count)
+        m = machine_with(data)
+        m.memory.alloc("scanout", count, fill=0.0)
+        prefix_scan(m, "x", 0, count, "scanout")
+        assert np.allclose(m.memory.peek("scanout"), np.cumsum(data))
+
+    def test_custom_op(self):
+        m = machine_with([3.0, 1.0, 2.0])
+        m.memory.alloc("scanout", 3, fill=0.0)
+        prefix_scan(m, "x", 0, 3, "scanout", op=min)
+        assert list(m.memory.peek("scanout")) == [3.0, 1.0, 1.0]
+
+    def test_zero_count(self):
+        m = machine_with([1.0])
+        assert prefix_scan(m, "x", 0, 0, "x") == 0
+
+
+class TestBroadcast:
+    def test_crew_one_step(self):
+        m = machine_with([42.0, 0, 0, 0])
+        m.memory.alloc("dst", 6, fill=0.0)
+        steps = broadcast(m, ("x", 0), "dst", 0, 6)
+        assert steps == 1
+        assert np.all(m.memory.peek("dst") == 42.0)
+
+    def test_erew_rejects_broadcast(self):
+        """The CREW/EREW separation, machine-checked."""
+        m = PRAM(policy="EREW")
+        m.memory.alloc_from("x", np.array([1.0]))
+        m.memory.alloc("dst", 4, fill=0.0)
+        with pytest.raises(ProgramError, match="read conflict"):
+            broadcast(m, ("x", 0), "dst", 0, 4)
+
+
+class TestBroadcastErew:
+    def test_works_on_erew_machine(self):
+        import math
+
+        from repro.pram.primitives import broadcast_erew
+
+        m = PRAM(policy="EREW")
+        m.memory.alloc_from("x", np.array([7.0]))
+        m.memory.alloc("dst", 13, fill=0.0)
+        steps = broadcast_erew(m, ("x", 0), "dst", 0, 13)
+        assert np.all(m.memory.peek("dst") == 7.0)
+        assert steps == math.ceil(math.log2(13)) + 1
+
+    def test_single_cell(self):
+        from repro.pram.primitives import broadcast_erew
+
+        m = PRAM(policy="EREW")
+        m.memory.alloc_from("x", np.array([3.0]))
+        m.memory.alloc("dst", 2, fill=0.0)
+        assert broadcast_erew(m, ("x", 0), "dst", 0, 1) == 1
+        assert m.memory.peek("dst")[0] == 3.0
+
+    def test_zero_count(self):
+        from repro.pram.primitives import broadcast_erew
+
+        m = PRAM(policy="EREW")
+        m.memory.alloc_from("x", np.array([3.0]))
+        assert broadcast_erew(m, ("x", 0), "x", 0, 0) == 0
+
+    @pytest.mark.parametrize("count", [2, 3, 8, 17])
+    def test_matches_crew_broadcast(self, count):
+        from repro.pram.primitives import broadcast, broadcast_erew
+
+        m1 = PRAM(policy="CREW")
+        m1.memory.alloc_from("x", np.array([1.5]))
+        m1.memory.alloc("dst", count, fill=0.0)
+        broadcast(m1, ("x", 0), "dst", 0, count)
+
+        m2 = PRAM(policy="EREW")
+        m2.memory.alloc_from("x", np.array([1.5]))
+        m2.memory.alloc("dst", count, fill=0.0)
+        broadcast_erew(m2, ("x", 0), "dst", 0, count)
+        assert np.array_equal(m1.memory.peek("dst"), m2.memory.peek("dst"))

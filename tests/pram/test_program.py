@@ -1,0 +1,62 @@
+"""Unit tests for the parallel-for combinators."""
+
+import pytest
+
+from repro.pram.machine import PRAM
+from repro.pram.program import ParallelFor, parallel_for
+
+
+def fresh_machine(size=16):
+    m = PRAM()
+    m.memory.alloc("a", size, fill=0.0)
+    return m
+
+
+class TestParallelFor:
+    def test_one_step_per_call(self):
+        m = fresh_machine()
+        used = parallel_for(m, range(5), lambda i, p: p.write("a", i, float(i)))
+        assert used == 5
+        assert m.ledger.steps == 1
+        assert list(m.memory.peek("a")[:5]) == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_arbitrary_index_objects(self):
+        m = fresh_machine()
+        pairs = [(0, 1), (1, 2), (2, 3)]
+        parallel_for(m, pairs, lambda ij, p: p.write("a", ij[0], float(ij[1])))
+        assert list(m.memory.peek("a")[:3]) == [1.0, 2.0, 3.0]
+
+
+class TestParallelForClass:
+    def test_steps_needed(self):
+        pf = ParallelFor(list(range(10)), lambda i, p: None, max_processors=4)
+        assert pf.steps_needed() == 3
+        assert ParallelFor([], lambda i, p: None).steps_needed() == 0
+
+    def test_split_execution(self):
+        m = fresh_machine()
+        pf = ParallelFor(
+            list(range(10)),
+            lambda i, p: p.write("a", i, 1.0),
+            max_processors=4,
+        )
+        steps = pf.run(m)
+        assert steps == 3
+        assert m.ledger.steps == 3
+        assert m.ledger.peak_processors == 4
+        assert m.memory.peek("a")[:10].sum() == 10.0
+
+    def test_unbounded_single_step(self):
+        m = fresh_machine()
+        pf = ParallelFor(list(range(10)), lambda i, p: p.write("a", i, 1.0))
+        assert pf.run(m) == 1
+        assert m.ledger.peak_processors == 10
+
+    def test_invalid_max_processors(self):
+        with pytest.raises(ValueError):
+            ParallelFor([1], lambda i, p: None, max_processors=0)
+
+    def test_empty_runs_zero_steps(self):
+        m = fresh_machine()
+        assert ParallelFor([], lambda i, p: None).run(m) == 0
+        assert m.ledger.steps == 0

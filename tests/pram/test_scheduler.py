@@ -1,0 +1,62 @@
+"""Unit tests for Brent scheduling."""
+
+import pytest
+
+from repro.pram.scheduler import BrentScheduler, ScheduleCost
+
+
+class TestStepTime:
+    def test_ceiling(self):
+        s = BrentScheduler(4)
+        assert s.step_time(1) == 1
+        assert s.step_time(4) == 1
+        assert s.step_time(5) == 2
+        assert s.step_time(8) == 2
+        assert s.step_time(9) == 3
+
+    def test_empty_step_costs_one(self):
+        assert BrentScheduler(4).step_time(0) == 1
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            BrentScheduler(4).step_time(-1)
+
+    def test_invalid_processor_count(self):
+        with pytest.raises(ValueError):
+            BrentScheduler(0)
+
+
+class TestSchedule:
+    def test_totals(self):
+        s = BrentScheduler(3)
+        cost = s.schedule([6, 1, 4])
+        assert cost == ScheduleCost(time=2 + 1 + 2, work=11, processors=3)
+        assert cost.processor_time_product == 15
+
+    def test_meets_brent_bound(self):
+        """Greedy per-step schedule never exceeds t + floor(w/p)."""
+        for p in [1, 2, 3, 7, 16]:
+            s = BrentScheduler(p)
+            sizes = [13, 1, 0, 9, 27, 2]
+            assert s.schedule(sizes).time <= s.brent_bound(sizes)
+
+    def test_single_processor_time_equals_work_plus_empty(self):
+        s = BrentScheduler(1)
+        sizes = [3, 2, 0]
+        # 3 + 2 + 1(empty step still advances) = 6
+        assert s.schedule(sizes).time == 6
+
+
+class TestProcessorsFor:
+    def test_classic_corollary(self):
+        # n work in log n time needs ~ n / log n processors.
+        assert BrentScheduler.processors_for(1024, 10) == 103  # ceil(1024/10)
+
+    def test_minimum_one(self):
+        assert BrentScheduler.processors_for(0, 5) == 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            BrentScheduler.processors_for(10, 0)
+        with pytest.raises(ValueError):
+            BrentScheduler.processors_for(-1, 1)

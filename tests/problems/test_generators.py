@@ -1,0 +1,99 @@
+"""Unit tests for the instance generators."""
+
+import numpy as np
+import pytest
+
+from repro.problems.generators import (
+    random_bst,
+    random_generic,
+    random_matrix_chain,
+    random_polygon,
+)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "gen", [random_matrix_chain, random_bst, random_polygon, random_generic]
+    )
+    def test_seed_reproducibility(self, gen):
+        size = 6
+        a = gen(size, seed=7)
+        b = gen(size, seed=7)
+        assert np.allclose(a.init_vector(), b.init_vector())
+        assert np.allclose(
+            np.nan_to_num(a.f_table(), posinf=0),
+            np.nan_to_num(b.f_table(), posinf=0),
+        )
+
+    def test_different_seeds_differ(self):
+        a = random_matrix_chain(8, seed=1)
+        b = random_matrix_chain(8, seed=2)
+        assert not np.array_equal(a.dims, b.dims)
+
+
+class TestMatrixChain:
+    def test_bounds(self):
+        p = random_matrix_chain(20, seed=0, dim_low=3, dim_high=5)
+        assert p.dims.min() >= 3 and p.dims.max() <= 5
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            random_matrix_chain(4, dim_low=10, dim_high=5)
+
+
+class TestBST:
+    def test_dirichlet_normalised(self):
+        p = random_bst(10, seed=3)
+        assert p.p.sum() + p.q.sum() == pytest.approx(1.0)
+
+    def test_zipf_normalised(self):
+        p = random_bst(10, seed=3, zipf=1.2)
+        assert p.p.sum() + p.q.sum() == pytest.approx(1.0)
+        assert (p.p >= 0).all() and (p.q >= 0).all()
+
+    def test_zipf_validation(self):
+        with pytest.raises(ValueError):
+            random_bst(5, zipf=0.0)
+
+    def test_sizes(self):
+        p = random_bst(7, seed=0)
+        assert p.num_keys == 7 and p.n == 8
+
+
+class TestPolygon:
+    def test_perimeter_instance(self):
+        p = random_polygon(9, seed=0)
+        assert p.rule == "perimeter" and p.num_vertices == 9
+
+    def test_product_instance(self):
+        p = random_polygon(9, seed=0, rule="product")
+        assert p.rule == "product"
+        assert (p.vertices >= 1.0).all() and (p.vertices <= 100.0).all()
+
+    def test_angles_sorted(self):
+        p = random_polygon(12, seed=5)
+        angles = np.arctan2(p.vertices[:, 1], p.vertices[:, 0])
+        # Sorted angles modulo wrap-around: strictly increasing after
+        # unwrapping from the first vertex.
+        shifted = np.mod(angles - angles[0], 2 * np.pi)
+        assert (np.diff(shifted) > 0).all()
+
+    def test_min_size(self):
+        with pytest.raises(Exception):
+            random_polygon(2, seed=0)
+
+
+class TestGeneric:
+    def test_valid_problem(self):
+        p = random_generic(6, seed=0)
+        p.validate()
+
+    def test_cost_scale(self):
+        p = random_generic(6, seed=0, cost_scale=10.0)
+        F = p.f_table()
+        finite = F[np.isfinite(F)]
+        assert finite.max() <= 10.0
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            random_generic(4, cost_scale=0.0)

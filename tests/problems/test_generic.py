@@ -1,0 +1,54 @@
+"""Unit tests for GenericProblem."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidProblemError
+from repro.problems import GenericProblem
+
+
+class TestCallables:
+    def test_basic(self):
+        p = GenericProblem(3, init=lambda i: float(i), f=lambda i, k, j: float(j - i))
+        assert p.init_cost(2) == 2.0
+        assert p.split_cost(0, 1, 3) == 3.0
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(InvalidProblemError, match="callable"):
+            GenericProblem(3, init=1.0, f=lambda i, k, j: 0.0)
+
+    def test_range_checks(self):
+        p = GenericProblem(3, init=lambda i: 0.0, f=lambda i, k, j: 0.0)
+        with pytest.raises(InvalidProblemError):
+            p.init_cost(3)
+        with pytest.raises(InvalidProblemError):
+            p.split_cost(0, 3, 3)
+
+
+class TestDenseTables:
+    def test_from_tables_roundtrip(self):
+        n = 4
+        init = np.arange(n, dtype=float)
+        F = np.random.default_rng(0).uniform(0, 1, size=(n + 1,) * 3)
+        p = GenericProblem.from_tables(init, F)
+        assert p.n == n
+        assert p.init_cost(1) == 1.0
+        assert p.split_cost(0, 2, 4) == F[0, 2, 4]
+
+    def test_f_table_masks_invalid(self):
+        n = 3
+        F = np.zeros((n + 1,) * 3)
+        p = GenericProblem.from_tables(np.zeros(n), F)
+        out = p.f_table()
+        assert np.isinf(out[2, 1, 3])
+        assert out[0, 1, 2] == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(InvalidProblemError, match="shape"):
+            GenericProblem(
+                3, init=lambda i: 0.0, f=lambda i, k, j: 0.0, f_dense=np.zeros((2, 2, 2))
+            )
+
+    def test_describe_contains_name(self):
+        p = GenericProblem(2, init=lambda i: 0.0, f=lambda i, k, j: 0.0, name="forced")
+        assert "forced" in p.describe()

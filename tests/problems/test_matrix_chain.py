@@ -1,0 +1,82 @@
+"""Unit tests for the matrix-chain problem."""
+
+import numpy as np
+import pytest
+
+from repro.core.sequential import solve_sequential
+from repro.errors import InvalidProblemError
+from repro.problems import MatrixChainProblem
+
+
+class TestConstruction:
+    def test_n_from_dims(self):
+        assert MatrixChainProblem([2, 3, 4]).n == 2
+
+    def test_rejects_short_dims(self):
+        with pytest.raises(InvalidProblemError):
+            MatrixChainProblem([5])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(InvalidProblemError, match="positive"):
+            MatrixChainProblem([2, 0, 4])
+
+    def test_rejects_2d(self):
+        with pytest.raises(InvalidProblemError):
+            MatrixChainProblem([[1, 2], [3, 4]])
+
+    def test_dims_copy(self):
+        p = MatrixChainProblem([2, 3, 4])
+        d = p.dims
+        d[0] = 99
+        assert p.dims[0] == 2
+
+
+class TestCosts:
+    def test_init_is_zero(self):
+        p = MatrixChainProblem([2, 3, 4, 5])
+        assert p.init_vector().tolist() == [0.0, 0.0, 0.0]
+
+    def test_split_cost_formula(self):
+        p = MatrixChainProblem([2, 3, 4, 5])
+        assert p.split_cost(0, 1, 3) == 2 * 3 * 5
+
+    def test_split_cost_validation(self):
+        p = MatrixChainProblem([2, 3, 4])
+        with pytest.raises(InvalidProblemError):
+            p.split_cost(0, 0, 2)
+        with pytest.raises(InvalidProblemError):
+            p.init_cost(5)
+
+    def test_f_table_matches_scalar(self):
+        p = MatrixChainProblem([3, 1, 4, 1, 5])
+        F = p.f_table()
+        for i in range(3):
+            for k in range(i + 1, 4):
+                for j in range(k + 1, 5):
+                    assert F[i, k, j] == p.split_cost(i, k, j)
+        assert np.isinf(F[1, 1, 2])
+
+
+class TestKnownOptima:
+    def test_two_matrices(self):
+        # Only one plan: (A1 A2), cost 2*3*4.
+        assert solve_sequential(MatrixChainProblem([2, 3, 4])).value == 24.0
+
+    def test_clrs_instance(self, clrs_chain):
+        assert solve_sequential(clrs_chain).value == 15125.0
+
+    def test_associativity_textbook(self):
+        # dims [10, 100, 5, 50]: ((A B) C) = 5000 + 2500 = 7500 beats
+        # (A (B C)) = 25000 + 50000 = 75000.
+        assert solve_sequential(MatrixChainProblem([10, 100, 5, 50])).value == 7500.0
+
+    def test_plan_cost_of_optimal_tree(self, clrs_chain):
+        from repro.core.reconstruct import reconstruct_tree
+
+        seq = solve_sequential(clrs_chain)
+        tree = reconstruct_tree(clrs_chain, seq.w)
+        assert clrs_chain.plan_cost(tree) == 15125.0
+
+    def test_plan_cost_type_check(self, clrs_chain):
+        with pytest.raises(TypeError):
+            clrs_chain.plan_cost("not a tree")

@@ -1,0 +1,95 @@
+"""Unit tests for polygon triangulation."""
+
+import numpy as np
+import pytest
+
+from repro.core.sequential import solve_sequential
+from repro.errors import InvalidProblemError
+from repro.problems import PolygonTriangulationProblem
+
+
+class TestConstruction:
+    def test_perimeter_needs_2d(self):
+        with pytest.raises(InvalidProblemError, match="coordinates"):
+            PolygonTriangulationProblem([1.0, 2.0, 3.0], rule="perimeter")
+
+    def test_product_needs_1d(self):
+        with pytest.raises(InvalidProblemError, match="1-D"):
+            PolygonTriangulationProblem([[1.0, 2.0]] * 3, rule="product")
+
+    def test_product_positive(self):
+        with pytest.raises(InvalidProblemError, match="positive"):
+            PolygonTriangulationProblem([1.0, -1.0, 2.0], rule="product")
+
+    def test_min_vertices(self):
+        with pytest.raises(InvalidProblemError, match="at least 3"):
+            PolygonTriangulationProblem([(0, 0), (1, 0)], rule="perimeter")
+
+    def test_unknown_rule(self):
+        with pytest.raises(InvalidProblemError, match="unknown"):
+            PolygonTriangulationProblem([(0, 0)] * 4, rule="area")
+
+    def test_nan(self):
+        with pytest.raises(InvalidProblemError, match="NaN"):
+            PolygonTriangulationProblem([(0, 0), (1, float("nan")), (1, 1)])
+
+
+class TestWeights:
+    def test_triangle_weight_perimeter(self):
+        p = PolygonTriangulationProblem([(0, 0), (3, 0), (0, 4)], rule="perimeter")
+        assert p.triangle_weight(0, 1, 2) == pytest.approx(3 + 5 + 4)
+
+    def test_triangle_weight_product(self):
+        p = PolygonTriangulationProblem([2.0, 3.0, 5.0, 7.0], rule="product")
+        assert p.triangle_weight(0, 2, 3) == 70.0
+
+    def test_f_table_matches_scalar_both_rules(self):
+        for rule, verts in [
+            ("perimeter", [(0, 0), (2, 0), (3, 2), (1, 3), (-1, 1)]),
+            ("product", [2.0, 3.0, 5.0, 7.0, 11.0]),
+        ]:
+            p = PolygonTriangulationProblem(verts, rule=rule)
+            F = p.f_table()
+            for i in range(p.n - 1):
+                for k in range(i + 1, p.n):
+                    for j in range(k + 1, p.n + 1):
+                        assert F[i, k, j] == pytest.approx(p.split_cost(i, k, j))
+
+
+class TestKnownOptima:
+    def test_triangle_is_free_of_choice(self):
+        p = PolygonTriangulationProblem([(0, 0), (1, 0), (0, 1)], rule="perimeter")
+        assert solve_sequential(p).value == pytest.approx(p.triangle_weight(0, 1, 2))
+
+    def test_square_both_diagonals_tie(self, square_polygon):
+        """Unit square: either diagonal gives two triangles with total
+        weight = both triangle perimeters = 4 + 2*sqrt(2) + ... compute
+        directly."""
+        p = square_polygon
+        t1 = p.triangle_weight(0, 1, 3) + p.triangle_weight(1, 2, 3)
+        t2 = p.triangle_weight(0, 1, 2) + p.triangle_weight(0, 2, 3)
+        assert t1 == pytest.approx(t2)  # symmetric square
+        assert solve_sequential(p).value == pytest.approx(t1)
+
+    def test_product_rule_equals_matrix_chain(self):
+        """With the product rule, triangulation of the (n+1)-gon is
+        *exactly* the matrix-chain problem on the same numbers (the
+        classical equivalence)."""
+        from repro.problems import MatrixChainProblem
+
+        dims = [3, 7, 2, 5, 4]
+        tri = PolygonTriangulationProblem(dims, rule="product")
+        chain = MatrixChainProblem(dims)
+        assert solve_sequential(tri).value == solve_sequential(chain).value
+
+
+class TestAccessors:
+    def test_vertices_copy(self):
+        p = PolygonTriangulationProblem([2.0, 3.0, 5.0], rule="product")
+        v = p.vertices
+        v[0] = 100.0
+        assert p.vertices[0] == 2.0
+
+    def test_num_vertices(self):
+        p = PolygonTriangulationProblem([2.0, 3.0, 5.0, 7.0], rule="product")
+        assert p.num_vertices == 4 and p.n == 3

@@ -1,0 +1,78 @@
+"""Property-based tests on the pebbling game."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pebbling import (
+    GameTree,
+    PebbleGame,
+    ReferenceGame,
+    check_chain_bound,
+    moves_upper_bound,
+)
+from repro.trees import random_tree
+
+
+@st.composite
+def random_tree_strategy(draw, max_leaves=40):
+    n = draw(st.integers(2, max_leaves))
+    seed = draw(st.integers(0, 2**31 - 1))
+    return random_tree(n, seed=seed)
+
+
+class TestGameProperties:
+    @given(tree=random_tree_strategy())
+    def test_vectorised_equals_reference(self, tree):
+        fast = PebbleGame(GameTree.from_parse_tree(tree)).run().moves
+        ref = ReferenceGame(tree).run()
+        assert fast == ref
+
+    @given(tree=random_tree_strategy(max_leaves=80))
+    def test_lemma_bound(self, tree):
+        moves = PebbleGame(GameTree.from_parse_tree(tree)).run().moves
+        assert moves <= moves_upper_bound(tree.size)
+
+    @given(tree=random_tree_strategy(max_leaves=60))
+    def test_rytter_rule_at_most_huang(self, tree):
+        gt = GameTree.from_parse_tree(tree)
+        assert (
+            PebbleGame(gt, square_rule="rytter").run().moves
+            <= PebbleGame(gt, square_rule="huang").run().moves
+        )
+
+    @given(tree=random_tree_strategy(max_leaves=60))
+    def test_pebbles_monotone_and_total(self, tree):
+        g = PebbleGame(GameTree.from_parse_tree(tree))
+        prev = g.pebbled.copy()
+        while not g.root_pebbled:
+            g.move()
+            assert (g.pebbled | prev).sum() == g.pebbled.sum()  # no unpebbling
+            prev = g.pebbled.copy()
+        # Once the root is pebbled, everything below the cond chain need
+        # not be pebbled, but the root must be.
+        assert g.pebbled[g.tree.root]
+
+    @given(tree=random_tree_strategy(max_leaves=60))
+    def test_cond_always_descendant(self, tree):
+        """cond(x) is always x or a descendant of x."""
+        t = GameTree.from_parse_tree(tree)
+        g = PebbleGame(t)
+        ids = np.arange(t.num_nodes)
+        for _ in range(moves_upper_bound(tree.size)):
+            if g.root_pebbled:
+                break
+            g.move()
+            assert t.is_ancestor(ids, g.cond).all()
+
+    @given(tree=random_tree_strategy(max_leaves=50))
+    def test_chain_bound_property(self, tree):
+        assert check_chain_bound(tree) == []
+
+    @given(n=st.integers(2, 300))
+    def test_vine_moves_deterministic_in_n(self, n):
+        """Vine move count is a pure function of n (structure symmetry:
+        left and right vines agree)."""
+        left = PebbleGame(GameTree.vine(n, internal_side="left")).run().moves
+        right = PebbleGame(GameTree.vine(n, internal_side="right")).run().moves
+        assert left == right

@@ -1,0 +1,64 @@
+"""Property tests against the strongest oracle: exhaustive enumeration.
+
+``brute_force_value`` evaluates the Section 2 *definition* — the
+minimum of W(T) over every tree in S — sharing no code with the
+recurrence solvers. Any systematic bug in the DP, the iteration, the
+banding, the compact layout, or the problem mappings would show up
+here.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import solve
+from repro.core.sequential import solve_sequential
+from repro.problems import GenericProblem, MatrixChainProblem, OptimalBSTProblem
+from repro.trees.enumerate import brute_force_value
+
+
+@st.composite
+def tiny_generic(draw):
+    n = draw(st.integers(1, 7))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31 - 1)))
+    init = rng.uniform(0.0, 1.0, size=n)
+    F = rng.uniform(0.0, 1.0, size=(n + 1,) * 3)
+    if draw(st.booleans()):  # exercise ties
+        F = np.round(F, 1)
+    return GenericProblem.from_tables(init, F)
+
+
+class TestDefinitionOracle:
+    @given(p=tiny_generic())
+    def test_sequential_equals_definition(self, p):
+        assert np.isclose(solve_sequential(p).value, brute_force_value(p))
+
+    @given(p=tiny_generic())
+    @settings(max_examples=15)
+    def test_every_parallel_method_equals_definition(self, p):
+        ref = brute_force_value(p)
+        for method in ("huang", "huang-banded", "huang-compact", "rytter"):
+            assert np.isclose(solve(p, method=method).value, ref), method
+
+    @given(dims=st.lists(st.integers(1, 9), min_size=2, max_size=8))
+    def test_matrix_chain_against_definition(self, dims):
+        p = MatrixChainProblem(dims)
+        assert np.isclose(solve_sequential(p).value, brute_force_value(p))
+
+    @given(
+        weights=st.lists(
+            st.floats(0.01, 1.0, allow_nan=False), min_size=1, max_size=5
+        )
+    )
+    def test_bst_against_definition(self, weights):
+        q = [0.05] * (len(weights) + 1)
+        p = OptimalBSTProblem(weights, q)
+        assert np.isclose(solve_sequential(p).value, brute_force_value(p))
+
+    @given(p=tiny_generic())
+    @settings(max_examples=10)
+    def test_reconstructed_tree_is_definition_argmin(self, p):
+        """The reconstructed tree's weight equals the enumerated min —
+        i.e. reconstruction really returns an optimal element of S."""
+        res = solve(p, method="sequential", reconstruct=True)
+        assert np.isclose(res.tree.weight(p), brute_force_value(p))

@@ -1,0 +1,71 @@
+"""Property-based tests on the PRAM substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pram import PRAM, BrentScheduler
+from repro.pram.primitives import prefix_scan, reduce_min, reduce_min_brent
+
+
+class TestReductionProperties:
+    @given(
+        data=st.lists(
+            st.floats(-100, 100, allow_nan=False), min_size=1, max_size=40
+        )
+    )
+    def test_tree_reduce_matches_min(self, data):
+        m = PRAM()
+        m.memory.alloc_from("x", np.array(data))
+        m.memory.alloc("out", 1, fill=0.0)
+        reduce_min(m, "x", 0, len(data), ("out", 0))
+        assert m.memory.peek("out")[0] == min(data)
+
+    @given(
+        data=st.lists(
+            st.floats(-100, 100, allow_nan=False), min_size=1, max_size=40
+        )
+    )
+    def test_brent_reduce_matches_min(self, data):
+        m = PRAM()
+        m.memory.alloc_from("x", np.array(data))
+        m.memory.alloc("out", 1, fill=0.0)
+        reduce_min_brent(m, "x", 0, len(data), ("out", 0))
+        assert m.memory.peek("out")[0] == min(data)
+
+    @given(
+        data=st.lists(
+            st.floats(-10, 10, allow_nan=False), min_size=1, max_size=30
+        )
+    )
+    def test_scan_matches_cumsum(self, data):
+        m = PRAM()
+        m.memory.alloc_from("x", np.array(data))
+        m.memory.alloc("out", len(data), fill=0.0)
+        prefix_scan(m, "x", 0, len(data), "out")
+        assert np.allclose(m.memory.peek("out"), np.cumsum(data))
+
+
+class TestBrentProperties:
+    @given(
+        sizes=st.lists(st.integers(0, 200), min_size=1, max_size=20),
+        p=st.integers(1, 32),
+    )
+    def test_greedy_schedule_within_brent_bound(self, sizes, p):
+        s = BrentScheduler(p)
+        assert s.schedule(sizes).time <= s.brent_bound(sizes)
+
+    @given(
+        sizes=st.lists(st.integers(1, 100), min_size=1, max_size=10),
+        p=st.integers(1, 16),
+    )
+    def test_more_processors_never_slower(self, sizes, p):
+        t1 = BrentScheduler(p).schedule(sizes).time
+        t2 = BrentScheduler(p + 1).schedule(sizes).time
+        assert t2 <= t1
+
+    @given(sizes=st.lists(st.integers(0, 50), min_size=1, max_size=10))
+    def test_unit_processor_time_is_work_plus_empties(self, sizes):
+        s = BrentScheduler(1)
+        expected = sum(max(v, 1) for v in sizes)
+        assert s.schedule(sizes).time == expected

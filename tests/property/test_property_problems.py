@@ -1,0 +1,108 @@
+"""Property-based tests on the problem definitions."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.problems import (
+    MatrixChainProblem,
+    OptimalBSTProblem,
+    PolygonTriangulationProblem,
+)
+
+dims_strategy = st.lists(st.integers(1, 60), min_size=2, max_size=10)
+weights_strategy = st.lists(
+    st.floats(0.0, 10.0, allow_nan=False), min_size=1, max_size=8
+)
+
+
+class TestMatrixChainProperties:
+    @given(dims=dims_strategy)
+    def test_f_table_symmetry_free_and_nonnegative(self, dims):
+        p = MatrixChainProblem(dims)
+        F = p.f_table()
+        n = p.n
+        i, k, j = np.ogrid[: n + 1, : n + 1, : n + 1]
+        valid = (i < k) & (k < j)
+        assert (F[valid] >= 1.0).all()  # dims >= 1 each
+        assert np.isinf(F[~valid]).all()
+
+    @given(dims=dims_strategy)
+    def test_validate_passes(self, dims):
+        MatrixChainProblem(dims).validate()
+
+    @given(dims=dims_strategy, scale=st.integers(2, 5))
+    def test_cost_scales_cubically(self, dims, scale):
+        """Scaling all dimensions by c scales every f (and hence the
+        optimum) by c³."""
+        from repro.core.sequential import solve_sequential
+
+        p1 = MatrixChainProblem(dims)
+        p2 = MatrixChainProblem([d * scale for d in dims])
+        if p1.n >= 2:
+            v1 = solve_sequential(p1).value
+            v2 = solve_sequential(p2).value
+            assert v2 == v1 * scale**3
+
+
+class TestBSTProperties:
+    @given(p=weights_strategy)
+    def test_total_weight_identity(self, p):
+        q = [0.5] * (len(p) + 1)
+        prob = OptimalBSTProblem(p, q)
+        total = prob.subtree_weight(0, prob.num_keys)
+        assert total == sum(p) + sum(q) or abs(total - (sum(p) + sum(q))) < 1e-9
+
+    @given(p=weights_strategy)
+    def test_value_at_least_total_weight(self, p):
+        """Every key/gap is at depth >= 1 (root level), so the optimal
+        cost is at least the total weight."""
+        from repro.core.sequential import solve_sequential
+
+        q = [0.1] * (len(p) + 1)
+        prob = OptimalBSTProblem(p, q)
+        value = solve_sequential(prob).value
+        assert value >= prob.subtree_weight(0, prob.num_keys) - 1e-9
+
+    @given(p=weights_strategy)
+    def test_uniform_scaling_is_linear(self, p):
+        from repro.core.sequential import solve_sequential
+
+        q = [0.2] * (len(p) + 1)
+        v1 = solve_sequential(OptimalBSTProblem(p, q)).value
+        v2 = solve_sequential(
+            OptimalBSTProblem([3 * x for x in p], [3 * x for x in q])
+        ).value
+        assert abs(v2 - 3 * v1) < 1e-6
+
+
+class TestTriangulationProperties:
+    @given(
+        weights=st.lists(st.floats(1.0, 50.0, allow_nan=False), min_size=3, max_size=9)
+    )
+    def test_product_rule_equals_matrix_chain(self, weights):
+        """The Hu-Shing equivalence as a property."""
+        from repro.core.sequential import solve_sequential
+
+        tri = PolygonTriangulationProblem(weights, rule="product")
+        chain = MatrixChainProblem([max(1, int(w)) for w in weights])
+        tri_int = PolygonTriangulationProblem(
+            [max(1, int(w)) for w in weights], rule="product"
+        )
+        assert solve_sequential(tri_int).value == solve_sequential(chain).value
+        assert solve_sequential(tri).value > 0.0
+
+    @given(
+        n=st.integers(3, 8),
+        seed=st.integers(0, 100),
+    )
+    def test_perimeter_invariant_under_translation(self, n, seed):
+        from repro.core.sequential import solve_sequential
+        from repro.problems.generators import random_polygon
+
+        p1 = random_polygon(n, seed=seed)
+        shifted = p1.vertices + np.array([13.0, -7.0])
+        p2 = PolygonTriangulationProblem(shifted, rule="perimeter")
+        assert abs(
+            solve_sequential(p1).value - solve_sequential(p2).value
+        ) < 1e-6

@@ -1,0 +1,95 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.family == "chain" and args.method == "huang-banded"
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestSolveCommand:
+    def test_dims_chain(self, capsys):
+        rc = main(["solve", "--dims", "30,35,15,5,10,20,25", "--method", "huang"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "15125" in out
+        assert "iters" in out
+
+    def test_sequential_no_iters(self, capsys):
+        rc = main(["solve", "--family", "generic", "--n", "8", "--method", "sequential"])
+        out = capsys.readouterr().out
+        assert rc == 0 and "value" in out and "iters" not in out
+
+    @pytest.mark.parametrize("family", ["chain", "bst", "polygon", "generic"])
+    def test_all_families(self, family, capsys):
+        rc = main(["solve", "--family", family, "--n", "8", "--method", "huang-banded"])
+        assert rc == 0
+        assert "value" in capsys.readouterr().out
+
+    def test_tree_flag(self, capsys):
+        rc = main(["solve", "--dims", "2,3,4", "--method", "sequential", "--tree"])
+        out = capsys.readouterr().out
+        assert rc == 0 and "(0,2)" in out
+
+    def test_trace_flag(self, capsys):
+        rc = main(["solve", "--family", "chain", "--n", "6", "--method", "huang", "--trace"])
+        out = capsys.readouterr().out
+        assert rc == 0 and "w'(0,n)" in out
+
+    def test_policy_option(self, capsys):
+        rc = main(
+            [
+                "solve",
+                "--family",
+                "chain",
+                "--n",
+                "10",
+                "--method",
+                "huang-banded",
+                "--policy",
+                "w-stable",
+            ]
+        )
+        assert rc == 0
+
+
+class TestPebbleCommand:
+    def test_zigzag(self, capsys):
+        rc = main(["pebble", "--shape", "zigzag", "--n", "256"])
+        out = capsys.readouterr().out
+        assert rc == 0 and "22 moves" in out and "bound 32" in out
+
+    def test_complete_with_trace(self, capsys):
+        rc = main(["pebble", "--shape", "complete", "--n", "32", "--trace"])
+        out = capsys.readouterr().out
+        assert rc == 0 and "pebbling game" in out
+
+    def test_random_rytter(self, capsys):
+        rc = main(["pebble", "--shape", "random", "--n", "64", "--rule", "rytter"])
+        assert rc == 0
+
+
+class TestCostsCommand:
+    def test_table(self, capsys):
+        rc = main(["costs", "--n", "16", "64"])
+        out = capsys.readouterr().out
+        assert rc == 0 and "rytter" in out and "n = 64" in out
+
+
+class TestAverageCommand:
+    def test_runs(self, capsys):
+        rc = main(["average", "--n-max", "64", "--samples", "5"])
+        out = capsys.readouterr().out
+        assert rc == 0 and "log2" in out

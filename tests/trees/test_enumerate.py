@@ -1,0 +1,69 @@
+"""Unit tests for exhaustive tree enumeration (the definition oracle)."""
+
+import pytest
+
+from repro.core.sequential import solve_sequential
+from repro.errors import InvalidProblemError
+from repro.problems.generators import random_generic
+from repro.trees.enumerate import (
+    brute_force_value,
+    catalan,
+    count_trees,
+    enumerate_trees,
+)
+
+
+class TestCatalan:
+    def test_values(self):
+        assert [catalan(m) for m in range(8)] == [1, 1, 2, 5, 14, 42, 132, 429]
+
+    def test_negative(self):
+        with pytest.raises(ValueError):
+            catalan(-1)
+
+
+class TestEnumerate:
+    @pytest.mark.parametrize("span", [1, 2, 3, 4, 5, 6])
+    def test_counts_match_catalan(self, span):
+        trees = list(enumerate_trees(0, span))
+        assert len(trees) == count_trees(0, span) == catalan(span - 1)
+
+    def test_all_distinct(self):
+        trees = list(enumerate_trees(0, 5))
+        assert len(set(trees)) == len(trees)
+
+    def test_all_valid_members_of_s(self):
+        for t in enumerate_trees(2, 6):
+            assert t.interval == (2, 6)
+            for node in t.internal_nodes():
+                assert node.left.interval == (node.i, node.split)
+                assert node.right.interval == (node.split, node.j)
+
+    def test_span_guard(self):
+        with pytest.raises(ValueError):
+            list(enumerate_trees(0, 15))
+
+    def test_bad_interval(self):
+        with pytest.raises(ValueError):
+            list(enumerate_trees(3, 3))
+
+
+class TestBruteForce:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_equals_sequential_dp(self, seed):
+        """The Section 2 definition (min over all trees) equals the
+        recurrence — the strongest independent check of the DP."""
+        p = random_generic(8, seed=seed)
+        assert brute_force_value(p) == pytest.approx(solve_sequential(p).value)
+
+    def test_equals_parallel_solvers(self):
+        from repro.core import solve
+
+        p = random_generic(7, seed=42)
+        ref = brute_force_value(p)
+        for method in ("huang", "huang-banded", "huang-compact", "rytter"):
+            assert solve(p, method=method).value == pytest.approx(ref)
+
+    def test_size_guard(self):
+        with pytest.raises(InvalidProblemError):
+            brute_force_value(random_generic(13, seed=0))

@@ -1,0 +1,163 @@
+"""Unit tests for ParseTree and PartialTree (the set S of Section 2)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidTreeError
+from repro.problems import MatrixChainProblem
+from repro.trees import ParseTree, PartialTree
+
+
+def small_tree():
+    """((0,1)(1,2))(2,3) over (0,3), split 2 then 1."""
+    left = ParseTree.node(ParseTree.leaf(0), ParseTree.leaf(1))
+    return ParseTree.node(left, ParseTree.leaf(2))
+
+
+class TestConstruction:
+    def test_leaf(self):
+        l = ParseTree.leaf(3)
+        assert l.interval == (3, 4) and l.is_leaf and l.size == 1 and l.height == 0
+
+    def test_leaf_must_be_unit(self):
+        with pytest.raises(InvalidTreeError, match="unit interval"):
+            ParseTree(0, 2)
+
+    def test_leaf_cannot_have_children(self):
+        with pytest.raises(InvalidTreeError, match="children"):
+            ParseTree(0, 1, left=ParseTree.leaf(0))
+
+    def test_internal_requires_both_children(self):
+        with pytest.raises(InvalidTreeError, match="both children"):
+            ParseTree(0, 2, split=1, left=ParseTree.leaf(0))
+
+    def test_children_must_match_split(self):
+        with pytest.raises(InvalidTreeError, match="left child"):
+            ParseTree(0, 3, split=2, left=ParseTree.leaf(0), right=ParseTree.leaf(2))
+
+    def test_split_inside(self):
+        with pytest.raises(InvalidTreeError, match="not strictly inside"):
+            ParseTree(0, 2, split=2, left=ParseTree.leaf(0), right=ParseTree.leaf(1))
+
+    def test_node_joins_adjacent(self):
+        t = ParseTree.node(ParseTree.leaf(0), ParseTree.leaf(1))
+        assert t.interval == (0, 2) and t.split == 1
+
+    def test_node_rejects_gap(self):
+        with pytest.raises(InvalidTreeError, match="adjacent"):
+            ParseTree.node(ParseTree.leaf(0), ParseTree.leaf(2))
+
+    def test_negative_index(self):
+        with pytest.raises(InvalidTreeError):
+            ParseTree(-1, 0)
+
+
+class TestStructure:
+    def test_size_and_height(self):
+        t = small_tree()
+        assert t.size == 3 and t.height == 2
+
+    def test_nodes_count(self):
+        t = small_tree()
+        assert len(list(t.nodes())) == 5
+        assert len(list(t.internal_nodes())) == 2
+        assert len(list(t.leaves())) == 3
+
+    def test_intervals(self):
+        assert small_tree().intervals() == {(0, 3), (0, 2), (2, 3), (0, 1), (1, 2)}
+
+    def test_find(self):
+        t = small_tree()
+        assert t.find(1, 2).interval == (1, 2)
+        assert t.find(0, 3) is t
+        assert t.find(1, 3) is None
+
+    def test_path_to(self):
+        t = small_tree()
+        path = [x.interval for x in t.path_to(1, 2)]
+        assert path == [(0, 3), (0, 2), (1, 2)]
+
+    def test_path_to_missing(self):
+        with pytest.raises(InvalidTreeError):
+            small_tree().path_to(1, 3)
+
+    def test_splits(self):
+        assert small_tree().splits() == {(0, 3): 2, (0, 2): 1}
+
+    def test_from_split_table(self):
+        split = np.full((4, 4), -1)
+        split[0, 3] = 2
+        split[0, 2] = 1
+        t = ParseTree.from_split_table(split)
+        assert t == small_tree()
+
+    def test_from_split_table_bad_entry(self):
+        split = np.full((4, 4), -1)
+        split[0, 3] = 0  # outside (0, 3)
+        with pytest.raises(InvalidTreeError):
+            ParseTree.from_split_table(split)
+
+    def test_equality_and_hash(self):
+        assert small_tree() == small_tree()
+        assert hash(small_tree()) == hash(small_tree())
+        other = ParseTree.node(ParseTree.leaf(0), ParseTree.node(ParseTree.leaf(1), ParseTree.leaf(2)))
+        assert small_tree() != other
+
+
+class TestWeights:
+    def test_weight_is_sum_of_nodes(self):
+        p = MatrixChainProblem([2, 3, 4, 5])
+        t = small_tree()
+        expected = p.split_cost(0, 2, 3) + p.split_cost(0, 1, 2)  # init = 0
+        assert t.weight(p) == expected
+
+    def test_optimal_weight_matches_dp(self):
+        from repro.core.reconstruct import reconstruct_tree
+        from repro.core.sequential import solve_sequential
+
+        p = MatrixChainProblem([4, 10, 3, 12, 20, 7])
+        seq = solve_sequential(p)
+        t = reconstruct_tree(p, seq.w)
+        assert t.weight(p) == pytest.approx(seq.value)
+
+
+class TestPartialTree:
+    def test_gap_must_be_a_node(self):
+        with pytest.raises(InvalidTreeError, match="not a node"):
+            PartialTree(small_tree(), (1, 3))
+
+    def test_partial_weight_root_gap_is_zero(self):
+        p = MatrixChainProblem([2, 3, 4, 5])
+        t = small_tree()
+        assert t.partial(0, 3).partial_weight(p) == 0.0
+
+    def test_partial_weight_excludes_gap_subtree(self):
+        p = MatrixChainProblem([2, 3, 4, 5])
+        t = small_tree()
+        # Gap (0,2): remaining nodes are root and leaf (2,3).
+        pt = t.partial(0, 2)
+        assert pt.partial_weight(p) == p.split_cost(0, 2, 3)
+
+    def test_partial_weight_leaf_gap(self):
+        p = MatrixChainProblem([2, 3, 4, 5])
+        t = small_tree()
+        pt = t.partial(2, 3)
+        assert pt.partial_weight(p) == p.split_cost(0, 2, 3) + p.split_cost(0, 1, 2)
+
+    def test_w_equals_pw_plus_subtree_weight(self):
+        """The W(T) = PW(T2) + W(T1) identity behind equation (3)."""
+        p = MatrixChainProblem([3, 1, 4, 1, 5, 9])
+        from repro.trees.shapes import random_tree
+
+        t = random_tree(5, seed=11)
+        for node in t.nodes():
+            pt = t.partial(node.i, node.j)
+            sub = t.find(node.i, node.j)
+            assert t.weight(p) == pytest.approx(
+                pt.partial_weight(p) + sub.weight(p)
+            )
+
+    def test_gap_path(self):
+        t = small_tree()
+        pt = t.partial(1, 2)
+        assert [x.interval for x in pt.gap_path()] == [(0, 3), (0, 2), (1, 2)]

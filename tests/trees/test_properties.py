@@ -1,0 +1,104 @@
+"""Unit tests for tree properties and the Fig. 1 chain decomposition."""
+
+import pytest
+
+from repro.errors import InvalidTreeError
+from repro.trees import (
+    chain_decomposition,
+    complete_tree,
+    is_full_binary,
+    node_sizes,
+    random_tree,
+    skewed_tree,
+    tree_height,
+    zigzag_tree,
+)
+from repro.trees.properties import size_class
+
+
+class TestBasics:
+    def test_node_sizes(self):
+        t = complete_tree(4)
+        sizes = node_sizes(t)
+        assert sizes[(0, 4)] == 4
+        assert sizes[(0, 2)] == 2
+        assert sizes[(0, 1)] == 1
+
+    def test_tree_height(self):
+        assert tree_height(complete_tree(8)) == 3
+        assert tree_height(skewed_tree(8)) == 7
+
+    def test_is_full_binary(self):
+        assert is_full_binary(random_tree(10, seed=0))
+
+
+class TestSizeClass:
+    def test_boundaries(self):
+        # i² < size <= (i+1)²
+        assert size_class(1) == 0
+        assert size_class(2) == 1
+        assert size_class(4) == 1
+        assert size_class(5) == 2
+        assert size_class(9) == 2
+        assert size_class(10) == 3
+        assert size_class(16) == 3
+        assert size_class(17) == 4
+
+    def test_invalid(self):
+        with pytest.raises(InvalidTreeError):
+            size_class(0)
+
+
+class TestChainDecomposition:
+    def test_vine_chain_is_bounded(self):
+        """On a vine, the chain from the root descends while sizes exceed
+        i²; Lemma 3.3 bounds its length by 2i + 1."""
+        t = skewed_tree(26)  # class i=5 (25 < 26 <= 36)
+        chain = chain_decomposition(t)
+        i = size_class(26)
+        assert len(chain) <= 2 * i + 1
+        # The chain is a real descent.
+        for a, b in zip(chain, chain[1:]):
+            assert b.interval in {a.left.interval, a.right.interval}
+
+    def test_complete_tree_chain_is_short(self):
+        """A complete tree's root has both children a class down almost
+        immediately: chains have length 1 or 2."""
+        t = complete_tree(25)
+        assert len(chain_decomposition(t)) <= 2
+
+    def test_chain_end_condition(self):
+        """The last chain node has both children of size <= i² (or is
+        as deep as the threshold allows)."""
+        t = zigzag_tree(17)
+        chain = chain_decomposition(t)
+        i = size_class(17)
+        last = chain[-1]
+        if not last.is_leaf:
+            big = [c for c in (last.left, last.right) if c.size > i * i]
+            assert len(big) != 1  # 0 (clean end) or 2 (class <= 1 corner)
+
+    def test_chain_on_subnode(self):
+        t = random_tree(30, seed=3)
+        some_internal = next(x for x in t.internal_nodes() if x.size >= 5)
+        chain = chain_decomposition(t, some_internal)
+        assert chain[0] is some_internal
+
+    def test_foreign_node_rejected(self):
+        t = random_tree(10, seed=0)
+        other = random_tree(12, seed=1)
+        with pytest.raises(InvalidTreeError):
+            chain_decomposition(t, other)
+
+    def test_bound_holds_everywhere_on_shapes(self):
+        """check_chain_bound over all nodes of all three Fig. 2 shapes."""
+        from repro.pebbling.invariants import check_chain_bound
+
+        for shape in (zigzag_tree, skewed_tree, complete_tree):
+            assert check_chain_bound(shape(40)) == []
+
+    def test_bound_holds_on_random_trees(self):
+        from repro.pebbling.invariants import check_chain_bound
+
+        for seed in range(5):
+            assert check_chain_bound(random_tree(50, seed=seed)) == []

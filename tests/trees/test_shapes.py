@@ -1,0 +1,140 @@
+"""Unit tests for the Fig. 2 shape constructors."""
+
+import pytest
+
+from repro.errors import InvalidTreeError
+from repro.trees import (
+    comb_tree,
+    complete_tree,
+    random_tree,
+    skewed_tree,
+    zigzag_tree,
+)
+
+
+class TestSkewed:
+    def test_height_is_n_minus_1(self):
+        assert skewed_tree(8).height == 7
+
+    def test_left_spine_intervals(self):
+        t = skewed_tree(4, direction="left")
+        # Spine: (0,4) -> (0,3) -> (0,2) -> (0,1): all share left endpoint.
+        spine = []
+        cur = t
+        while not cur.is_leaf:
+            spine.append(cur.interval)
+            cur = cur.left
+        assert spine == [(0, 4), (0, 3), (0, 2)]
+
+    def test_right_spine(self):
+        t = skewed_tree(4, direction="right")
+        spine = []
+        cur = t
+        while not cur.is_leaf:
+            spine.append(cur.interval)
+            cur = cur.right
+        assert spine == [(0, 4), (1, 4), (2, 4)]
+
+    def test_single_leaf(self):
+        assert skewed_tree(1).is_leaf
+
+    def test_bad_direction(self):
+        with pytest.raises(InvalidTreeError):
+            skewed_tree(3, direction="up")
+
+    def test_deep_construction(self):
+        # Must not hit the recursion limit.
+        assert skewed_tree(5000).size == 5000
+
+
+class TestZigzag:
+    def test_alternating_endpoints(self):
+        t = zigzag_tree(5, first="left")
+        # Spine: (0,5)->(0,4)->(1,4)->(1,3)->... alternating which
+        # endpoint is kept.
+        spine = [t.interval]
+        cur = t
+        while not cur.is_leaf:
+            nxt = cur.left if not cur.left.is_leaf else cur.right
+            if nxt.is_leaf and cur.left.is_leaf and cur.right.is_leaf:
+                break
+            cur = nxt
+            spine.append(cur.interval)
+        assert spine[:4] == [(0, 5), (0, 4), (1, 4), (1, 3)]
+
+    def test_height_is_n_minus_1(self):
+        assert zigzag_tree(9).height == 8
+
+    def test_turn_on_every_level(self):
+        """No two consecutive spine steps share the same kept endpoint —
+        the defining property ('makes a turn on every level')."""
+        t = zigzag_tree(10)
+        cur = t
+        moves = []
+        while not cur.is_leaf:
+            big = cur.left if cur.left.size >= cur.right.size else cur.right
+            if big.size == 1:
+                break
+            moves.append("L" if big.i == cur.i else "R")
+            cur = big
+        assert all(a != b for a, b in zip(moves, moves[1:]))
+
+    def test_first_right(self):
+        t = zigzag_tree(5, first="right")
+        assert t.left.is_leaf and not t.right.is_leaf
+
+    def test_deep_construction(self):
+        assert zigzag_tree(5000).size == 5000
+
+    def test_small_sizes(self):
+        assert zigzag_tree(1).is_leaf
+        assert zigzag_tree(2).split == 1
+
+
+class TestComplete:
+    def test_height_logarithmic(self):
+        assert complete_tree(8).height == 3
+        assert complete_tree(16).height == 4
+        assert complete_tree(9).height == 4
+
+    def test_offset(self):
+        t = complete_tree(4, offset=3)
+        assert t.interval == (3, 7)
+
+    def test_balanced_split(self):
+        t = complete_tree(7)
+        assert t.split == 4  # ceil(7/2) = 4 to the left
+
+
+class TestComb:
+    def test_period_one_is_zigzag(self):
+        assert comb_tree(7, period=1) == zigzag_tree(7)
+
+    def test_large_period_is_skewed(self):
+        assert comb_tree(7, period=100) == skewed_tree(7)
+
+    def test_intermediate_period_valid(self):
+        t = comb_tree(12, period=3)
+        assert t.size == 12 and t.height == 11
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            comb_tree(5, period=0)
+
+
+class TestRandom:
+    def test_deterministic(self):
+        assert random_tree(10, seed=4) == random_tree(10, seed=4)
+
+    def test_varies_with_seed(self):
+        assert random_tree(10, seed=1) != random_tree(10, seed=2)
+
+    def test_root_interval(self):
+        t = random_tree(6, seed=0, offset=2)
+        assert t.interval == (2, 8) and t.size == 6
+
+    def test_all_intervals_nested_properly(self):
+        t = random_tree(20, seed=9)
+        for node in t.internal_nodes():
+            assert node.left.interval == (node.i, node.split)
+            assert node.right.interval == (node.split, node.j)

@@ -1,0 +1,91 @@
+"""Unit tests for adversarial instance synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.core.reconstruct import reconstruct_tree
+from repro.core.sequential import solve_sequential
+from repro.errors import InvalidTreeError
+from repro.trees import (
+    complete_tree,
+    random_tree,
+    skewed_tree,
+    synthesize_instance,
+    zigzag_tree,
+)
+
+
+class TestZeroOne:
+    @pytest.mark.parametrize("shape", [zigzag_tree, skewed_tree, complete_tree])
+    def test_forced_tree_is_optimal(self, shape):
+        tree = shape(9)
+        prob = synthesize_instance(tree, style="zero_one")
+        seq = solve_sequential(prob)
+        assert seq.value == 0.0
+        assert reconstruct_tree(prob, seq.w) == tree
+
+    def test_random_trees_forced(self):
+        for seed in range(6):
+            tree = random_tree(11, seed=seed)
+            prob = synthesize_instance(tree, style="zero_one")
+            seq = solve_sequential(prob)
+            assert reconstruct_tree(prob, seq.w) == tree
+
+
+class TestUniformPlus:
+    def test_value_formula(self):
+        """c(0, n) = 2n - 1 for the uniform_plus style."""
+        tree = random_tree(8, seed=1)
+        prob = synthesize_instance(tree, style="uniform_plus")
+        assert solve_sequential(prob).value == 2 * 8 - 1
+
+    def test_forced_tree_is_optimal(self):
+        tree = zigzag_tree(10)
+        prob = synthesize_instance(tree, style="uniform_plus")
+        seq = solve_sequential(prob)
+        assert reconstruct_tree(prob, seq.w) == tree
+
+    def test_subtree_values(self):
+        """Every tree node (i, j) has c(i, j) = 2 (j - i) - 1."""
+        tree = random_tree(9, seed=2)
+        prob = synthesize_instance(tree, style="uniform_plus")
+        seq = solve_sequential(prob)
+        for node in tree.nodes():
+            assert seq.w[node.i, node.j] == 2 * node.size - 1
+
+
+class TestJitter:
+    def test_jitter_preserves_optimum(self):
+        tree = random_tree(9, seed=3)
+        clean = synthesize_instance(tree, style="zero_one")
+        noisy = synthesize_instance(tree, style="zero_one", jitter=0.4, seed=5)
+        s_clean = solve_sequential(clean)
+        s_noisy = solve_sequential(noisy)
+        assert s_noisy.value == s_clean.value == 0.0
+        assert reconstruct_tree(noisy, s_noisy.w) == tree
+
+    def test_jitter_bounds(self):
+        tree = random_tree(5, seed=0)
+        with pytest.raises(ValueError):
+            synthesize_instance(tree, jitter=0.5)
+        with pytest.raises(ValueError):
+            synthesize_instance(tree, jitter=-0.1)
+
+    def test_jitter_deterministic(self):
+        tree = random_tree(6, seed=0)
+        a = synthesize_instance(tree, jitter=0.2, seed=9).f_table()
+        b = synthesize_instance(tree, jitter=0.2, seed=9).f_table()
+        assert np.array_equal(
+            np.nan_to_num(a, posinf=-1), np.nan_to_num(b, posinf=-1)
+        )
+
+
+class TestValidation:
+    def test_must_root_at_zero(self):
+        tree = random_tree(5, seed=0, offset=1)
+        with pytest.raises(InvalidTreeError, match="rooted at"):
+            synthesize_instance(tree)
+
+    def test_unknown_style(self):
+        with pytest.raises(ValueError, match="style"):
+            synthesize_instance(random_tree(5, seed=0), style="bogus")

@@ -1,0 +1,54 @@
+"""Unit tests for repro.util.rng."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import resolve_rng, spawn_rngs
+
+
+class TestResolveRng:
+    def test_int_seed_is_deterministic(self):
+        a = resolve_rng(42).integers(0, 1000, size=10)
+        b = resolve_rng(42).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = resolve_rng(1).integers(0, 10**9)
+        b = resolve_rng(2).integers(0, 10**9)
+        assert a != b
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert resolve_rng(g) is g
+
+    def test_seed_sequence(self):
+        ss = np.random.SeedSequence(7)
+        a = resolve_rng(ss).integers(0, 1000, size=4)
+        b = resolve_rng(np.random.SeedSequence(7)).integers(0, 1000, size=4)
+        assert np.array_equal(a, b)
+
+    def test_none_gives_generator(self):
+        assert isinstance(resolve_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+        assert len(spawn_rngs(0, 0)) == 0
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_children_are_independent_and_deterministic(self):
+        a = [g.integers(0, 10**9) for g in spawn_rngs(3, 4)]
+        b = [g.integers(0, 10**9) for g in spawn_rngs(3, 4)]
+        assert a == b
+        assert len(set(a)) == 4  # overwhelmingly likely distinct
+
+    def test_spawn_from_generator(self):
+        g = np.random.default_rng(1)
+        kids = spawn_rngs(g, 3)
+        assert len(kids) == 3
+        vals = [k.integers(0, 10**9) for k in kids]
+        assert len(set(vals)) == 3

@@ -1,0 +1,48 @@
+"""Unit tests for repro.util.tables."""
+
+import pytest
+
+from repro.util.tables import format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["n", "value"], [(1, 2.0), (100, 3.5)])
+        lines = out.splitlines()
+        assert lines[0].startswith("n")
+        assert "---" in lines[1]
+        assert len(lines) == 4
+        # All rows have equal width.
+        assert len({len(l) for l in lines}) == 1
+
+    def test_title(self):
+        out = format_table(["a"], [(1,)], title="My Title")
+        assert out.splitlines()[0] == "My Title"
+
+    def test_bool_rendering(self):
+        out = format_table(["ok"], [(True,), (False,)])
+        assert "yes" in out and "no" in out
+
+    def test_float_format(self):
+        out = format_table(["x"], [(3.14159,)], floatfmt=".2f")
+        assert "3.14" in out and "3.1416" not in out
+
+    def test_mismatched_row_raises(self):
+        with pytest.raises(ValueError, match="headers"):
+            format_table(["a", "b"], [(1,)])
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert len(out.splitlines()) == 2
+
+
+class TestFormatSeries:
+    def test_basic(self):
+        out = format_series("n", [1, 2], {"moves": [3, 4], "bound": [5, 6]})
+        lines = out.splitlines()
+        assert "moves" in lines[0] and "bound" in lines[0]
+        assert len(lines) == 4
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="mismatched"):
+            format_series("n", [1, 2], {"a": [1]})

@@ -1,0 +1,36 @@
+"""Unit tests for repro.util.timing."""
+
+import pytest
+
+from repro.util.timing import Stopwatch
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        first = sw.elapsed
+        with sw:
+            sum(range(1000))
+        assert sw.elapsed >= first >= 0.0
+
+    def test_reset(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        sw.reset()
+        assert sw.elapsed == 0.0
+
+    def test_not_reentrant(self):
+        sw = Stopwatch()
+        with pytest.raises(RuntimeError):
+            with sw:
+                with sw:
+                    pass
+
+    def test_reset_while_running(self):
+        sw = Stopwatch()
+        with pytest.raises(RuntimeError):
+            with sw:
+                sw.reset()

@@ -1,0 +1,91 @@
+"""Unit tests for repro.util.validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidProblemError
+from repro.util.validation import (
+    check_index_pair,
+    check_nonnegative,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_plain_int(self):
+        assert check_positive_int(3, "x") == 3
+
+    def test_accepts_numpy_integer(self):
+        assert check_positive_int(np.int64(7), "x") == 7
+
+    def test_rejects_bool(self):
+        with pytest.raises(InvalidProblemError, match="x must be an integer"):
+            check_positive_int(True, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(InvalidProblemError):
+            check_positive_int(2.5, "x")
+
+    def test_rejects_below_minimum(self):
+        with pytest.raises(InvalidProblemError, match=">= 1"):
+            check_positive_int(0, "x")
+
+    def test_custom_minimum(self):
+        assert check_positive_int(3, "x", minimum=3) == 3
+        with pytest.raises(InvalidProblemError, match=">= 4"):
+            check_positive_int(3, "x", minimum=4)
+
+    def test_rejects_string(self):
+        with pytest.raises(InvalidProblemError):
+            check_positive_int("5", "x")
+
+
+class TestCheckNonnegative:
+    def test_accepts_zero(self):
+        assert check_nonnegative(0, "y") == 0.0
+
+    def test_accepts_int_and_float(self):
+        assert check_nonnegative(2, "y") == 2.0
+        assert check_nonnegative(2.5, "y") == 2.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidProblemError, match="non-negative"):
+            check_nonnegative(-1e-12, "y")
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidProblemError):
+            check_nonnegative(float("nan"), "y")
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(InvalidProblemError, match="real number"):
+            check_nonnegative(object(), "y")
+
+    def test_accepts_infinity(self):
+        # +inf is a legitimate sentinel cost.
+        assert check_nonnegative(float("inf"), "y") == float("inf")
+
+
+class TestCheckIndexPair:
+    def test_valid(self):
+        assert check_index_pair(0, 5, 5) == (0, 5)
+        assert check_index_pair(2, 3, 5) == (2, 3)
+
+    @pytest.mark.parametrize("i,j", [(-1, 2), (2, 2), (3, 2), (0, 6)])
+    def test_invalid(self, i, j):
+        with pytest.raises(InvalidProblemError):
+            check_index_pair(i, j, 5)
+
+
+class TestCheckProbability:
+    def test_bounds(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+
+    def test_above_one(self):
+        with pytest.raises(InvalidProblemError, match="<= 1"):
+            check_probability(1.0001, "p")
+
+    def test_negative(self):
+        with pytest.raises(InvalidProblemError):
+            check_probability(-0.1, "p")

@@ -1,0 +1,45 @@
+"""Unit tests for ASCII tree rendering."""
+
+from repro.pebbling import GameTree
+from repro.trees import complete_tree, zigzag_tree
+from repro.viz import render_game_tree, render_tree
+
+
+class TestRenderTree:
+    def test_contains_all_nodes(self):
+        t = complete_tree(4)
+        out = render_tree(t)
+        for node in t.nodes():
+            assert f"({node.i},{node.j})" in out
+
+    def test_split_annotation(self):
+        out = render_tree(complete_tree(4))
+        assert "k=2" in out
+
+    def test_root_first_line(self):
+        out = render_tree(zigzag_tree(5))
+        assert out.splitlines()[0].startswith("(0,5)")
+
+    def test_truncation(self):
+        out = render_tree(complete_tree(64), max_nodes=10)
+        assert "truncated" in out
+
+    def test_branch_characters(self):
+        out = render_tree(complete_tree(4))
+        assert "├─" in out and "└─" in out
+
+
+class TestRenderGameTree:
+    def test_with_intervals(self):
+        t = GameTree.from_parse_tree(complete_tree(4))
+        out = render_game_tree(t)
+        assert "(0,4)" in out
+
+    def test_without_intervals(self):
+        t = GameTree.vine(4)
+        out = render_game_tree(t)
+        assert "size=4" in out
+
+    def test_truncation(self):
+        out = render_game_tree(GameTree.vine(100), max_nodes=5)
+        assert "truncated" in out

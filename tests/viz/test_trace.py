@@ -1,0 +1,32 @@
+"""Unit tests for trace rendering."""
+
+from repro.core.huang import HuangSolver
+from repro.pebbling import GameTree, PebbleGame
+from repro.problems.generators import random_generic
+from repro.viz import render_game_trace, render_iteration_trace
+
+
+class TestIterationTrace:
+    def test_renders_rows(self):
+        p = random_generic(6, seed=0)
+        out = HuangSolver(p).run(trace=True)
+        text = render_iteration_trace(out.trace, title="run")
+        lines = text.splitlines()
+        assert lines[0] == "run"
+        # title + header + separator + one row per iteration.
+        assert len(lines) == 3 + out.iterations
+
+    def test_inf_rendering(self):
+        p = random_generic(8, seed=0)
+        s = HuangSolver(p)
+        out = s.run(trace=True)
+        text = render_iteration_trace(out.trace)
+        assert "inf" in text or "w'(0,n)" in text
+
+
+class TestGameTrace:
+    def test_renders(self):
+        trace = PebbleGame(GameTree.vine(9)).run(trace=True)
+        text = render_game_trace(trace)
+        assert "pebbling game" in text
+        assert str(trace.moves) in text.splitlines()[0]
