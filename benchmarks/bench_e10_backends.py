@@ -1,0 +1,150 @@
+"""E10 — tile execution backends on the unified kernel engine.
+
+The sweep-kernel refactor routes every iterative solver's operations
+through :mod:`repro.parallel.backends`. This benchmark measures what
+that buys (and costs) on real hardware:
+
+* serial vs thread vs process wall-clock for one full solve, per
+  method — threads win where numpy ufunc loops release the GIL long
+  enough to overlap; forked processes pay pool spin-up per super-step
+  but isolate CPU work completely;
+* tile-count sweep on the thread backend — the marginal value of
+  finer partitions;
+* ``solve_many`` batch throughput: the same workload as a stream of
+  independent problems on a shared pool, the service-layer view.
+
+Correctness is not at stake (every combination commits bitwise-equal
+tables — the test suite pins that); this is the operational record the
+backend choice should be made from.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import solve, solve_many
+from repro.problems.generators import random_matrix_chain
+from repro.util.tables import format_table
+
+METHODS = ("huang", "huang-banded", "huang-compact")
+BACKENDS = ("serial", "thread", "process")
+
+
+def _time(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def backend_comparison_table(n: int = 24, workers: int = 4):
+    p = random_matrix_chain(n, seed=0)
+    rows = []
+    for method in METHODS:
+        timings = {}
+        for backend in BACKENDS:
+            timings[backend] = _time(
+                lambda: solve(p, method=method, backend=backend, workers=workers)
+            )
+        rows.append(
+            (
+                method,
+                f"{timings['serial'] * 1e3:.1f}",
+                f"{timings['thread'] * 1e3:.1f}",
+                f"{timings['process'] * 1e3:.1f}",
+                f"{timings['serial'] / timings['thread']:.2f}x",
+                f"{timings['serial'] / timings['process']:.2f}x",
+            )
+        )
+    return format_table(
+        ["method", "serial ms", "thread ms", "process ms", "thr speedup", "proc speedup"],
+        rows,
+        title=(
+            f"E10a: one solve at n={n}, {workers} workers. Thread wins track "
+            "how much of each sweep numpy runs GIL-free; process pays pool "
+            "spin-up per super-step (fork + IPC of result slabs)."
+        ),
+    )
+
+
+def tile_sweep_table(n: int = 24, workers: int = 4):
+    p = random_matrix_chain(n, seed=1)
+    rows = []
+    for tiles in (1, 2, 4, 8, 16):
+        t = _time(
+            lambda: solve(
+                p, method="huang", backend="thread", workers=workers, tiles=tiles
+            )
+        )
+        rows.append((tiles, f"{t * 1e3:.1f}"))
+    return format_table(
+        ["tiles", "thread ms"],
+        rows,
+        title=(
+            f"E10b: tile-count sweep, huang at n={n}. Past one tile per "
+            "worker, finer tiles only add commit overhead."
+        ),
+    )
+
+
+def batch_throughput_table(count: int = 12, n: int = 16, workers: int = 4):
+    problems = [random_matrix_chain(n, seed=s) for s in range(count)]
+    rows = []
+    for backend in BACKENDS:
+        t = _time(
+            lambda: solve_many(
+                problems, method="huang-banded", backend=backend, max_workers=workers
+            ),
+            repeats=2,
+        )
+        rows.append((backend, f"{t:.2f}", f"{count / t:.1f}"))
+    return format_table(
+        ["pool", "batch s", "problems/s"],
+        rows,
+        title=(
+            f"E10c: solve_many of {count} × n={n} huang-banded problems, "
+            f"{workers} workers. Whole problems per worker — the process "
+            "pool overlaps fully, no per-super-step synchronisation."
+        ),
+    )
+
+
+def test_e10_backend_comparison(report, benchmark):
+    report(
+        "e10_backends",
+        benchmark.pedantic(backend_comparison_table, rounds=1, iterations=1),
+    )
+
+
+def test_e10_tile_sweep(report, benchmark):
+    report("e10_backends", benchmark.pedantic(tile_sweep_table, rounds=1, iterations=1))
+
+
+def test_e10_batch_throughput(report, benchmark):
+    report(
+        "e10_backends",
+        benchmark.pedantic(batch_throughput_table, rounds=1, iterations=1),
+    )
+
+
+def test_e10_tiled_iteration_kernel(benchmark):
+    """Wall-clock kernel: one thread-tiled huang iteration at n=32."""
+    from repro.core.huang import HuangSolver
+
+    s = HuangSolver(random_matrix_chain(32, seed=0), backend="thread", tiles=4)
+    benchmark(s.iterate)
+    s.close()
+
+
+def main() -> None:
+    print(backend_comparison_table())
+    print()
+    print(tile_sweep_table())
+    print()
+    print(batch_throughput_table())
+
+
+if __name__ == "__main__":
+    main()

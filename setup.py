@@ -1,4 +1,9 @@
-"""Setup shim for environments without PEP-517 build isolation."""
+"""Setup shim for environments without PEP-517 build isolation.
+
+All real metadata (name, version, dependencies, the ``repro`` console
+entry point) lives in pyproject.toml; ``pip install -e .`` works from
+either entry.
+"""
 from setuptools import setup
 
 setup()

@@ -20,7 +20,9 @@ Subpackages
 ``repro.core``      — solvers: sequential O(n³), Knuth O(n²), the
                       paper's O(sqrt(n)·log n) algorithm (full and
                       banded), Rytter's baseline, termination policies,
-                      the symbolic cost model;
+                      the symbolic cost model, the sweep-kernel engine
+                      (pluggable execution backends), and the batched
+                      ``solve_many`` service layer;
 ``repro.pebbling``  — the Section 3 pebbling game (both square rules),
                       Lemma 3.3 invariants;
 ``repro.trees``     — parse trees, Fig. 2 shapes, instance synthesis;
@@ -33,7 +35,7 @@ Subpackages
 """
 
 from repro._version import __version__
-from repro.core.api import solve, SolveResult
+from repro.core.api import solve, solve_many, SolveResult, BatchItem
 from repro.problems import (
     MatrixChainProblem,
     OptimalBSTProblem,
@@ -44,7 +46,9 @@ from repro.problems import (
 __all__ = [
     "__version__",
     "solve",
+    "solve_many",
     "SolveResult",
+    "BatchItem",
     "MatrixChainProblem",
     "OptimalBSTProblem",
     "PolygonTriangulationProblem",

@@ -3,6 +3,7 @@
 Commands
 --------
 ``solve``    solve a random or user-specified instance with any method;
+``batch``    solve a JSONL stream of problem specs on a worker pool;
 ``pebble``   play the pebbling game on a named tree shape;
 ``costs``    print the symbolic processor–time comparison table;
 ``average``  evaluate the Section 6 recurrence and a Monte-Carlo check.
@@ -10,10 +11,18 @@ Commands
 Examples::
 
     python -m repro solve --family chain --n 16 --method huang-banded
-    python -m repro solve --dims 30,35,15,5,10,20,25 --method huang
+    python -m repro solve --dims 30,35,15,5,10,20,25 --method huang --backend process
+    python -m repro batch --input problems.jsonl --backend process --max-workers 4
     python -m repro pebble --shape zigzag --n 4096 --rule huang
     python -m repro costs --n 16 64 256
     python -m repro average --n-max 1024
+
+Batch specs are one JSON object per line, e.g.::
+
+    {"family": "chain", "n": 12, "seed": 0, "method": "huang-banded"}
+    {"dims": [30, 35, 15, 5, 10, 20, 25], "method": "huang"}
+    {"family": "bst", "p": [0.15, 0.1], "q": [0.05, 0.1, 0.05]}
+    {"family": "polygon", "points": [[0, 0], [1, 0], [1, 1], [0, 1]]}
 """
 
 from __future__ import annotations
@@ -22,7 +31,40 @@ import argparse
 import sys
 from typing import Sequence
 
+# Method names come from the solver dispatch table so new methods show
+# up in the CLI automatically. (Importing repro at all already pays the
+# numpy import via the package __init__, so this costs nothing extra.)
+from repro.core.api import ITERATIVE_METHODS, METHODS
+
 __all__ = ["main", "build_parser"]
+
+# Single source for the random-instance families: the CLI choices and
+# the generator dispatch both derive from this mapping.
+_FAMILY_GENERATOR_NAMES = {
+    "chain": "random_matrix_chain",
+    "bst": "random_bst",
+    "polygon": "random_polygon",
+    "generic": "random_generic",
+}
+FAMILIES = tuple(_FAMILY_GENERATOR_NAMES)
+
+
+def _family_generators() -> dict:
+    """Family-name -> random-instance generator, shared by ``solve`` and
+    ``batch`` (imported lazily; generators pull in the problem stack)."""
+    from repro.problems import generators
+
+    return {
+        family: getattr(generators, name)
+        for family, name in _FAMILY_GENERATOR_NAMES.items()
+    }
+
+
+def _positive_int(value: str) -> int:
+    n = int(value)
+    if n < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {n}")
+    return n
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -38,7 +80,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve = sub.add_parser("solve", help="solve one instance")
     p_solve.add_argument(
         "--family",
-        choices=["chain", "bst", "polygon", "generic"],
+        choices=list(FAMILIES),
         default="chain",
         help="random-instance family (ignored if --dims is given)",
     )
@@ -52,7 +94,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_solve.add_argument(
         "--method",
-        choices=["sequential", "knuth", "huang", "huang-banded", "rytter"],
+        choices=list(METHODS),
         default="huang-banded",
     )
     p_solve.add_argument(
@@ -61,8 +103,52 @@ def build_parser() -> argparse.ArgumentParser:
         default="paper",
         help="termination policy for the iterative methods",
     )
+    p_solve.add_argument(
+        "--backend",
+        choices=["serial", "thread", "process"],
+        default="serial",
+        help="execution backend for the iterative methods' sweep kernels",
+    )
+    p_solve.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="backend worker count (default: min(8, cpu count))",
+    )
     p_solve.add_argument("--tree", action="store_true", help="print the optimal tree")
     p_solve.add_argument("--trace", action="store_true", help="print the iteration trace")
+
+    p_batch = sub.add_parser(
+        "batch", help="solve a JSONL stream of problem specs on a worker pool"
+    )
+    p_batch.add_argument(
+        "--input",
+        default="-",
+        help="JSONL file of problem specs, or '-' for stdin (default)",
+    )
+    p_batch.add_argument(
+        "--method",
+        choices=list(METHODS),
+        default="sequential",
+        help="default method for specs that do not name one",
+    )
+    p_batch.add_argument(
+        "--backend",
+        choices=["serial", "thread", "process"],
+        default="thread",
+        help="shared worker pool the batch fans out over",
+    )
+    p_batch.add_argument(
+        "--max-workers",
+        type=_positive_int,
+        default=None,
+        help="pool size (default: min(8, cpu count))",
+    )
+    p_batch.add_argument(
+        "--jsonl",
+        action="store_true",
+        help="emit one JSON result object per line instead of the table",
+    )
 
     p_pebble = sub.add_parser("pebble", help="play the pebbling game")
     p_pebble.add_argument(
@@ -89,33 +175,23 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     from repro.core import solve
     from repro.core.termination import WPWStable, WStable
     from repro.problems import MatrixChainProblem
-    from repro.problems.generators import (
-        random_bst,
-        random_generic,
-        random_matrix_chain,
-        random_polygon,
-    )
     from repro.viz import render_iteration_trace, render_tree
 
     if args.dims:
         dims = [int(x) for x in args.dims.split(",")]
         problem = MatrixChainProblem(dims)
     else:
-        make = {
-            "chain": random_matrix_chain,
-            "bst": random_bst,
-            "polygon": random_polygon,
-            "generic": random_generic,
-        }[args.family]
-        problem = make(args.n, seed=args.seed)
+        problem = _family_generators()[args.family](args.n, seed=args.seed)
     policy = {
         "paper": None,
         "w-stable": WStable(),
         "w-pw-stable": WPWStable(),
     }[args.policy]
     kwargs = {}
-    if args.method in ("huang", "huang-banded", "rytter"):
+    if args.method in ITERATIVE_METHODS:
         kwargs["policy"] = policy
+        kwargs["backend"] = args.backend
+        kwargs["workers"] = args.workers
     result = solve(problem, method=args.method, reconstruct=args.tree, **kwargs)
     print(f"problem : {problem.describe()}")
     print(f"method  : {args.method}")
@@ -129,6 +205,135 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         print("\noptimal tree:")
         print(render_tree(result.tree))
     return 0
+
+
+def _problem_from_spec(spec: dict):
+    """Build a problem instance from one JSONL batch spec.
+
+    Explicit data wins over random families: ``dims`` makes a matrix
+    chain, ``p``/``q`` an optimal BST, ``points`` a polygon. A
+    ``family`` + ``n`` + ``seed`` spec draws a random instance. A spec
+    with none of those keys is rejected (a typo'd key must not silently
+    solve a random default instance).
+    """
+    from repro.problems import (
+        MatrixChainProblem,
+        OptimalBSTProblem,
+        PolygonTriangulationProblem,
+    )
+
+    if "dims" in spec:
+        return MatrixChainProblem([int(x) for x in spec["dims"]])
+    if "p" in spec or "q" in spec:
+        return OptimalBSTProblem(spec.get("p", []), spec.get("q", []))
+    if "points" in spec:
+        points = [tuple(float(c) for c in pt) for pt in spec["points"]]
+        return PolygonTriangulationProblem(points, rule=spec.get("rule", "perimeter"))
+    if "family" in spec:
+        family = spec["family"]
+        if family not in FAMILIES:
+            raise ValueError(f"unknown family {family!r}; choose from {FAMILIES}")
+        make = _family_generators()[family]
+        return make(int(spec.get("n", 12)), seed=int(spec.get("seed", 0)))
+    raise ValueError(
+        "spec must contain one of: dims, p/q, points, or family "
+        f"(got keys {sorted(spec)})"
+    )
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core import solve_many
+    from repro.util.tables import format_table
+
+    if args.input == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        try:
+            with open(args.input, "r", encoding="utf-8") as fh:
+                lines = fh.read().splitlines()
+        except OSError as exc:
+            print(f"batch: cannot read {args.input}: {exc}", file=sys.stderr)
+            return 2
+
+    items = []  # (problem, method, kwargs) or a spec-level parse error
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            spec = json.loads(line)
+            if not isinstance(spec, dict):
+                raise ValueError("spec must be a JSON object")
+            method = spec.get("method", args.method)
+            if method not in METHODS:
+                raise ValueError(
+                    f"unknown method {method!r}; choose from {METHODS}"
+                )
+            kwargs = {}
+            if "max_n" in spec:
+                kwargs["max_n"] = int(spec["max_n"])
+            if "band" in spec and method in ("huang-banded", "huang-compact"):
+                kwargs["band"] = int(spec["band"])
+            items.append((lineno, (_problem_from_spec(spec), method, kwargs)))
+        except Exception as exc:  # noqa: BLE001 - report bad lines, keep going
+            items.append((lineno, exc))
+
+    batch = [item for _, item in items if not isinstance(item, Exception)]
+    results = solve_many(
+        batch,
+        method=args.method,
+        backend=args.backend,
+        max_workers=args.max_workers,
+        on_error="return",
+    )
+    results_iter = iter(results)
+    rows = []
+    failures = 0
+    for lineno, item in items:
+        outcome = item if isinstance(item, Exception) else next(results_iter)
+        if isinstance(outcome, Exception):
+            failures += 1
+            record = {
+                "line": lineno,
+                "method": None if isinstance(item, Exception) else item[1],
+                "value": None,
+                "iterations": None,
+                "error": f"{type(outcome).__name__}: {outcome}",
+            }
+        else:
+            record = {
+                "line": lineno,
+                "method": outcome.method,
+                "value": outcome.value,
+                "iterations": outcome.iterations,
+                "error": None,
+            }
+        rows.append(record)
+
+    if args.jsonl:
+        for record in rows:
+            print(json.dumps(record))
+    else:
+        print(
+            format_table(
+                ["line", "method", "value", "iters", "error"],
+                [
+                    (
+                        r["line"],
+                        r["method"] or "-",
+                        "-" if r["value"] is None else f"{r['value']:.6g}",
+                        "-" if r["iterations"] is None else r["iterations"],
+                        r["error"] or "",
+                    )
+                    for r in rows
+                ],
+                title=f"batch: {len(rows)} problems, {failures} failed "
+                f"({args.backend} backend)",
+            )
+        )
+    return 1 if failures else 0
 
 
 def _cmd_pebble(args: argparse.Namespace) -> int:
@@ -195,6 +400,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
         "solve": _cmd_solve,
+        "batch": _cmd_batch,
         "pebble": _cmd_pebble,
         "costs": _cmd_costs,
         "average": _cmd_average,

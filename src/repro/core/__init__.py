@@ -13,6 +13,9 @@
 * :mod:`~repro.core.rytter` — Rytter's [8] algorithm: O(log n) phases of
   full min-plus squaring of the partial-weight matrix (O(n⁶) work per
   phase), the baseline of the headline comparison;
+* :mod:`~repro.core.kernels` — the unified sweep-kernel engine: every
+  iterative solver's operations as tile-compute-commit kernels executed
+  on a pluggable backend (serial / thread / process);
 * :mod:`~repro.core.termination` — iteration schedules / early stopping
   (Section 7's open problem);
 * :mod:`~repro.core.exact_pw` — sequential ground truth for the
@@ -21,10 +24,12 @@
   tables;
 * :mod:`~repro.core.cost_model` — symbolic PRAM costs of every algorithm
   and the processor–time-product comparison;
-* :mod:`~repro.core.api` — the top-level :func:`~repro.core.api.solve`.
+* :mod:`~repro.core.api` — the top-level :func:`~repro.core.api.solve`
+  and the batched :func:`~repro.core.api.solve_many` service layer.
 """
 
-from repro.core.api import solve, SolveResult
+from repro.core.api import solve, solve_many, SolveResult, BatchItem
+from repro.core.kernels import KernelEngine, SweepKernel
 from repro.core.sequential import solve_sequential, SequentialResult
 from repro.core.knuth import solve_knuth
 from repro.core.huang import HuangSolver, IterationTrace
@@ -46,7 +51,11 @@ from repro.core.cost_model import AlgorithmCost, COST_MODELS, comparison_table
 
 __all__ = [
     "solve",
+    "solve_many",
     "SolveResult",
+    "BatchItem",
+    "KernelEngine",
+    "SweepKernel",
     "solve_sequential",
     "SequentialResult",
     "solve_knuth",

@@ -3,19 +3,32 @@
 :func:`solve` runs any of the implemented algorithms on a
 recurrence-(*) problem and returns a uniform :class:`SolveResult`:
 the optimal value, the cost table, an optimal tree, and (for the
-iterative parallel algorithms) the iteration count and trace.
+iterative parallel algorithms) the iteration count and trace. The
+iterative methods execute their sweeps through the kernel engine
+(:mod:`repro.core.kernels`), so a single keyword selects the execution
+backend:
 
     >>> from repro.problems import MatrixChainProblem
     >>> from repro.core import solve
     >>> result = solve(MatrixChainProblem([10, 20, 5, 30]), method="huang")
     >>> result.value
-    4000.0
+    2500.0
+    >>> solve(MatrixChainProblem([10, 20, 5, 30]), method="huang",
+    ...       backend="process", workers=4).value
+    2500.0
+
+:func:`solve_many` is the batched service layer on top: it executes a
+stream of heterogeneous problems (matrix chains, optimal BSTs, polygon
+triangulations, generic instances — optionally each with its own
+method) on a shared worker pool and returns the :class:`SolveResult`\\ s
+in submission order. The ``repro batch`` CLI subcommand exposes it over
+JSONL problem specs.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence, Union
 
 import numpy as np
 
@@ -28,12 +41,25 @@ from repro.core.rytter import RytterSolver
 from repro.core.sequential import solve_sequential
 from repro.core.termination import TerminationPolicy
 from repro.errors import InvalidProblemError
+from repro.parallel.backends import Backend, make_backend
 from repro.problems.base import ParenthesizationProblem
 from repro.trees.parse_tree import ParseTree
 
-__all__ = ["solve", "SolveResult", "METHODS"]
+__all__ = ["solve", "solve_many", "SolveResult", "BatchItem", "METHODS"]
 
-METHODS = ("sequential", "knuth", "huang", "huang-banded", "huang-compact", "rytter")
+#: solver class per iterative method — single source for the dispatch;
+#: the CLI and the method constants below all derive from it
+_SOLVER_CLASSES = {
+    "huang": HuangSolver,
+    "huang-banded": BandedSolver,
+    "huang-compact": CompactBandedSolver,
+    "rytter": RytterSolver,
+}
+
+#: methods that run through the iterative kernel engine (accept backend=)
+ITERATIVE_METHODS = tuple(_SOLVER_CLASSES)
+
+METHODS = ("sequential", "knuth") + ITERATIVE_METHODS
 
 
 @dataclass(frozen=True)
@@ -64,6 +90,9 @@ def solve(
     policy: TerminationPolicy | None = None,
     reconstruct: bool = False,
     max_n: int | None = None,
+    backend: Backend | str = "serial",
+    workers: int | None = None,
+    tiles: int | None = None,
     **solver_kwargs,
 ) -> SolveResult:
     """Solve ``problem`` with the chosen algorithm.
@@ -83,6 +112,16 @@ def solve(
         Also build an optimal :class:`~repro.trees.ParseTree`.
     max_n:
         Override the iterative solvers' memory guard.
+    backend:
+        Execution backend for the iterative methods' sweep kernels:
+        ``"serial"`` (default), ``"thread"``, ``"process"``, or a
+        :class:`~repro.parallel.backends.Backend` instance. Every
+        backend commits bitwise-identical tables; a string-created
+        backend is closed before returning. Ignored by the sequential
+        methods.
+    workers, tiles:
+        Worker count for a string ``backend`` and tiles per sweep
+        (default: one tile per worker).
     solver_kwargs:
         Extra keyword arguments forwarded to the solver class
         (e.g. ``band=...``, ``size_band=True`` for ``huang-banded``).
@@ -102,16 +141,17 @@ def solve(
         tree = ParseTree.from_split_table(seq.split) if reconstruct else None
         return SolveResult(method=method, value=seq.value, w=seq.w, tree=tree)
 
-    solver_cls = {
-        "huang": HuangSolver,
-        "huang-banded": BandedSolver,
-        "huang-compact": CompactBandedSolver,
-        "rytter": RytterSolver,
-    }[method]
+    solver_cls = _SOLVER_CLASSES[method]
     if max_n is not None:
         solver_kwargs["max_n"] = max_n
-    solver = solver_cls(problem, **solver_kwargs)
-    out = solver.run(policy)
+    solver = solver_cls(
+        problem, backend=backend, workers=workers, tiles=tiles, **solver_kwargs
+    )
+    try:
+        out = solver.run(policy)
+    finally:
+        if isinstance(backend, str):
+            solver.close()
     tree = reconstruct_tree(problem, out.w) if reconstruct else None
     return SolveResult(
         method=method,
@@ -121,3 +161,150 @@ def solve(
         trace=out.trace,
         tree=tree,
     )
+
+
+# ---------------------------------------------------------------------------
+# Batched service layer.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BatchItem:
+    """One problem of a :func:`solve_many` batch with per-item overrides.
+
+    ``method=None`` inherits the batch default; ``solve_kwargs`` are
+    forwarded to :func:`solve` for this item only (``policy=...``,
+    ``max_n=...``, ``band=...``, ...).
+    """
+
+    problem: ParenthesizationProblem
+    method: Optional[str] = None
+    solve_kwargs: dict[str, Any] = field(default_factory=dict)
+
+
+#: what callers may put in a solve_many batch
+BatchInput = Union[ParenthesizationProblem, BatchItem, tuple]
+
+
+def _solve_batch_item(index: int, *, specs: list[tuple]) -> tuple[str, Any]:
+    """Worker shim for one batch element; module-level so the process
+    backend can pickle a reference to it. Only the integer index is
+    pickled per task — the specs themselves ride the backends' shared
+    keyword channel (fork copy-on-write for the process pool), so
+    problems with unpicklable cost callables batch fine. Never raises:
+    failures come back tagged so one bad problem cannot take down the
+    batch."""
+    problem, method, kwargs = specs[index]
+    try:
+        return ("ok", solve(problem, method=method, **kwargs))
+    except Exception as exc:  # noqa: BLE001 - error isolation is the contract
+        return ("error", exc)
+
+
+def _normalize_batch(
+    problems: Sequence[BatchInput], default_method: str
+) -> list[tuple]:
+    specs = []
+    for index, item in enumerate(problems):
+        if isinstance(item, BatchItem):
+            problem, method, kwargs = item.problem, item.method, dict(item.solve_kwargs)
+        elif isinstance(item, tuple):
+            if not 1 <= len(item) <= 3:
+                raise InvalidProblemError(
+                    f"batch item {index}: tuples must be (problem[, method[, kwargs]])"
+                )
+            problem = item[0]
+            method = item[1] if len(item) >= 2 else None
+            kwargs = dict(item[2]) if len(item) == 3 else {}
+        else:
+            problem, method, kwargs = item, None, {}
+        if not isinstance(problem, ParenthesizationProblem):
+            raise InvalidProblemError(
+                f"batch item {index}: expected a ParenthesizationProblem, "
+                f"got {type(problem).__name__}"
+            )
+        specs.append((problem, method or default_method, kwargs))
+    return specs
+
+
+def solve_many(
+    problems: Sequence[BatchInput],
+    *,
+    method: str = "sequential",
+    backend: Backend | str = "thread",
+    max_workers: int | None = None,
+    on_error: str = "raise",
+    **solve_kwargs,
+) -> list[SolveResult | Exception]:
+    """Solve a batch of heterogeneous problems on a shared worker pool.
+
+    Each element of ``problems`` is a
+    :class:`~repro.problems.base.ParenthesizationProblem`, a
+    ``(problem, method)`` / ``(problem, method, kwargs)`` tuple, or a
+    :class:`BatchItem`; per-item settings override the batch defaults.
+    Results come back **in submission order** regardless of which worker
+    finished first.
+
+    Parameters
+    ----------
+    method:
+        Default method for items that do not name their own.
+    backend:
+        The shared pool the batch fans out over: ``"serial"``,
+        ``"thread"`` (default) or ``"process"`` (fork; each worker
+        solves whole problems, so per-item tables are never shared) —
+        or a :class:`~repro.parallel.backends.Backend` instance. Each
+        item's own sweeps run serially inside its worker; pools are
+        not nested.
+    max_workers:
+        Pool size for a string ``backend``.
+    on_error:
+        ``"raise"`` (default) re-raises the first failure after the
+        batch completes; ``"return"`` keeps failures *in place* — the
+        returned list holds the exception object at the failing index
+        so one bad problem cannot take down the batch.
+    solve_kwargs:
+        Batch-wide defaults forwarded to :func:`solve` (``policy=...``,
+        ``reconstruct=...``, ``max_n=...``).
+
+    Examples
+    --------
+    >>> from repro.problems import MatrixChainProblem, OptimalBSTProblem
+    >>> from repro.core import solve_many
+    >>> batch = [
+    ...     MatrixChainProblem([10, 20, 5, 30]),
+    ...     (MatrixChainProblem([3, 7, 2]), "sequential"),
+    ... ]
+    >>> [r.value for r in solve_many(batch, method="huang")]
+    [2500.0, 42.0]
+    """
+    if on_error not in ("raise", "return"):
+        raise InvalidProblemError(
+            f"on_error must be 'raise' or 'return', got {on_error!r}"
+        )
+    specs = _normalize_batch(problems, method)
+    for _, m, kw in specs:
+        if m not in METHODS:
+            raise InvalidProblemError(
+                f"unknown method {m!r}; choose from {METHODS}"
+            )
+        kw.update({k: v for k, v in solve_kwargs.items() if k not in kw})
+    pool = make_backend(backend, max_workers) if isinstance(backend, str) else backend
+    try:
+        tagged = pool.map_with_arrays(
+            _solve_batch_item, range(len(specs)), {"specs": specs}
+        )
+    finally:
+        if isinstance(backend, str):
+            pool.close()
+    results: list[SolveResult | Exception] = []
+    first_error: Exception | None = None
+    for tag, payload in tagged:
+        if tag == "ok":
+            results.append(payload)
+        else:
+            results.append(payload)
+            first_error = first_error or payload
+    if on_error == "raise" and first_error is not None:
+        raise first_error
+    return results

@@ -38,6 +38,7 @@ import math
 import numpy as np
 
 from repro.core.huang import HuangSolver
+from repro.core.kernels import BandedPebbleKernel, BandedSquareKernel, SweepKernel
 from repro.core.termination import FixedIterations, TerminationPolicy, UntilValue
 from repro.errors import InvalidProblemError
 from repro.problems.base import ParenthesizationProblem
@@ -95,12 +96,15 @@ class BandedSolver(HuangSolver):
         size_band: bool = False,
         max_n: int = 64,
         track_pw_changes: bool = False,
+        **engine_kwargs,
     ) -> None:
         self.band = default_band(problem.n) if band is None else int(band)
         if self.band < 0:
             raise InvalidProblemError(f"band must be >= 0, got {self.band}")
         self.size_band = bool(size_band)
-        super().__init__(problem, max_n=max_n, track_pw_changes=track_pw_changes)
+        super().__init__(
+            problem, max_n=max_n, track_pw_changes=track_pw_changes, **engine_kwargs
+        )
 
     def reset(self) -> None:
         super().reset()
@@ -110,7 +114,7 @@ class BandedSolver(HuangSolver):
             (i <= p) & (p < q) & (q <= j) & ((j - i) - (q - p) <= self.band)
         )
 
-    # -- operations --------------------------------------------------------------
+    # -- kernel set --------------------------------------------------------------
     #
     # a-activate is inherited UNRESTRICTED. The band applies only to the
     # partial weights the *square* step maintains: pebbling a node y whose
@@ -120,54 +124,18 @@ class BandedSolver(HuangSolver):
     # only along chains whose off-chain subtree sizes are individually
     # <= 2i <= band, so square compositions stay in band; activate cells
     # (O(n³) of them, built in O(1) time each) are all kept.
+    #
+    # The square kernel sweeps band offsets r = p - d / s = q + d for
+    # d = 0..band (any composition with a part outside the band has
+    # pw = +inf, the band being enforced on every commit, so in-band
+    # offsets lose nothing); the pebble kernel applies the optional
+    # iteration-indexed size-class window.
 
-    def a_square(self) -> bool:
-        """Equation (2c) restricted to band offsets.
-
-        Right-anchored: ``r = p - d``; left-anchored: ``s = q + d`` for
-        ``d = 0 .. band``. Any composition with a part outside the band
-        has ``pw = +inf`` (the band is enforced on every write), so
-        in-band offsets lose nothing against the banded invariant.
-        """
-        N = self.n + 1
-        pw = self.pw
-        acc = self._acc
-        acc.fill(np.inf)
-        ar = np.arange(N)
-        for d in range(0, min(self.band, N - 1) + 1):
-            # pw(i,j,p-d,q) + pw(p-d,q,p,q) -> acc[i,j,p,q] for p >= d
-            A = pw[:, :, : N - d, :]  # [i, j, r, q], r = p - d
-            ps = ar[d:]
-            Yr = pw[(ps - d)[:, None], ar[None, :], ps[:, None], ar[None, :]]
-            if np.isfinite(Yr).any():
-                tmp = A + Yr[None, None, :, :]
-                np.minimum(acc[:, :, d:, :], tmp, out=acc[:, :, d:, :])
-            # pw(i,j,p,q+d) + pw(p,q+d,p,q) -> acc[i,j,p,q] for q <= N-1-d
-            A2 = pw[:, :, :, d:]  # [i, j, p, s], s = q + d
-            qs = ar[: N - d]
-            Ys = pw[ar[:, None], (qs + d)[None, :], ar[:, None], qs[None, :]]
-            if np.isfinite(Ys).any():
-                tmp2 = A2 + Ys[None, None, :, :]
-                np.minimum(acc[:, :, :, : N - d], tmp2, out=acc[:, :, :, : N - d])
-        acc[~self._band_mask] = np.inf
-        changed = bool((acc < pw).any())
-        np.minimum(pw, acc, out=pw)
-        return changed
-
-    def a_pebble(self) -> bool:
-        np.add(self.pw, self.w[None, None, :, :], out=self._tmp)
-        cand = self._tmp.min(axis=(2, 3))
-        if self.size_band:
-            # Iterations 2l-1 and 2l only pebble sizes in ((l-1)², l²].
-            l = (self.iterations_run // 2) + 1  # current iteration is +1
-            lo, hi = (l - 1) ** 2, l * l
-            N = self.n + 1
-            ii, jj = np.ogrid[:N, :N]
-            window = (jj - ii > lo) & (jj - ii <= hi)
-            cand = np.where(window, cand, np.inf)
-        changed = bool((cand < self.w).any())
-        np.minimum(self.w, cand, out=self.w)
-        return changed
+    def build_kernels(self) -> dict[str, SweepKernel]:
+        kernels = super().build_kernels()
+        kernels["square"] = BandedSquareKernel()
+        kernels["pebble"] = BandedPebbleKernel()
+        return kernels
 
     def run(self, policy: TerminationPolicy | None = None, **kwargs):
         if policy is None:

@@ -33,6 +33,12 @@ in two Θ(n³) arrays ``A1[i,j,k] = pw'(i,j,i,k)`` and
 Net effect: the full algorithm runs at n ≈ 200 on a laptop (vs ≈ 64
 for the dense solvers), which is what lets E2/E3's algorithm-level
 series extend deep enough to read the growth laws cleanly.
+
+The three sweeps live as the ``Compact*Kernel`` declarations in
+:mod:`repro.core.kernels` (tile over rows of ``i``; the mirror of
+activate cells into PB and the validity mask run at commit), so this
+solver too executes on any backend/tiling with bitwise-identical
+results.
 """
 
 from __future__ import annotations
@@ -41,7 +47,14 @@ import numpy as np
 
 from repro.core.banded import default_band
 from repro.core.huang import IterativeTableSolver
+from repro.core.kernels import (
+    CompactActivateKernel,
+    CompactPebbleKernel,
+    CompactSquareKernel,
+    SweepKernel,
+)
 from repro.errors import InvalidProblemError
+from repro.parallel.backends import Backend
 from repro.problems.base import ParenthesizationProblem
 
 __all__ = ["CompactBandedSolver"]
@@ -65,6 +78,9 @@ class CompactBandedSolver(IterativeTableSolver):
         *,
         band: int | None = None,
         max_n: int = 256,
+        backend: Backend | str = "serial",
+        workers: int | None = None,
+        tiles: int | None = None,
     ) -> None:
         if problem.n > max_n:
             raise InvalidProblemError(
@@ -79,7 +95,17 @@ class CompactBandedSolver(IterativeTableSolver):
         self.band = min(self.band, max(0, problem.n - 1))
         self._F = problem.cached_f_table()
         self._init = problem.init_vector()
+        self._init_engine(backend, workers, tiles)
         self.reset()
+
+    # -- kernel set --------------------------------------------------------
+
+    def build_kernels(self) -> dict[str, SweepKernel]:
+        return {
+            "activate": CompactActivateKernel(),
+            "square": CompactSquareKernel(),
+            "pebble": CompactPebbleKernel(),
+        }
 
     # -- state ------------------------------------------------------------
 
@@ -95,7 +121,6 @@ class CompactBandedSolver(IterativeTableSolver):
         self.PB[ii, jj, 0, 0] = 0.0  # pw(i, j, i, j) = 0
         self.A1 = np.full((N, N, N), np.inf)  # pw'(i, j, i, k)
         self.A2 = np.full((N, N, N), np.inf)  # pw'(i, j, k, j)
-        self._acc = np.empty_like(self.PB)
         # Valid slots: 0 <= i < j <= n, o <= d < j - i. Invalid slots must
         # stay +inf or shifted-slice compositions could read garbage.
         i_g, j_g, o_g, d_g = np.ogrid[:N, :N, : B + 1, : B + 1]
@@ -108,106 +133,6 @@ class CompactBandedSolver(IterativeTableSolver):
             + np.isfinite(self.A1).sum()
             + np.isfinite(self.A2).sum()
         )
-
-    # -- operations ---------------------------------------------------------
-
-    def a_activate(self) -> bool:
-        """Equations (1a)/(1b) into A1/A2, mirrored into PB where in-band."""
-        N = self.n + 1
-        changed = False
-        # T[i, j, k] = f(i, k, j) (+inf at invalid triples).
-        T = self._F.transpose(0, 2, 1)
-        # (1a): pw'(i,j,i,k) <- f + w(k, j);  w(k, j) indexed [j, k].
-        U1 = T + self.w.T[None, :, :]
-        if (U1 < self.A1).any():
-            changed = True
-        np.minimum(self.A1, U1, out=self.A1)
-        # (1b): pw'(i,j,k,j) <- f + w(i, k).
-        U2 = T + self.w[:, None, :]
-        if (U2 < self.A2).any():
-            changed = True
-        np.minimum(self.A2, U2, out=self.A2)
-        # Mirror in-band cells into PB. Gap (i, k): o = 0, d = j - k;
-        # gap (k, j): o = d = k - i.
-        jj = np.arange(N)
-        for d in range(1, self.band + 1):
-            # (1a): value at (i, j) is A1[i, j, j - d] for j >= d.
-            view = self.PB[:, d:, 0, d]
-            vals = self.A1[:, jj[d:], jj[d:] - d]
-            if not changed and (vals < view).any():
-                changed = True
-            np.minimum(view, vals, out=view)
-            # (1b): value at (i, j) is A2[i, j, i + d] for i <= n - d.
-            ii = np.arange(N - d)
-            view = self.PB[: N - d, :, d, d]
-            vals = self.A2[ii, :, ii + d]
-            if not changed and (vals < view).any():
-                changed = True
-            np.minimum(view, vals, out=view)
-        return changed
-
-    def a_square(self) -> bool:
-        """Equation (2c), in-band, via slice shifts (module docstring)."""
-        N = self.n + 1
-        PB = self.PB
-        acc = self._acc
-        acc.fill(np.inf)
-        for d in range(0, self.band + 1):
-            for o in range(0, d + 1):
-                dj = o - d  # <= 0: column shift of the second factor
-                for e in range(0, d + 1):
-                    if e <= o:
-                        # right-anchored: PB[i,j,o-e,d-e] + PB[i+(o-e), j+dj, e, e]
-                        di = o - e
-                        first = PB[: N - di, -dj:, o - e, d - e]
-                        second = PB[di:, : N + dj, e, e]
-                        tgt = acc[: N - di, -dj:, o, d]
-                        np.minimum(tgt, first + second, out=tgt)
-                    # left-anchored: PB[i,j,o,d-e] + PB[i+o, j+dj+e, 0, e]
-                    di = o
-                    dj2 = dj + e
-                    if dj2 <= 0:
-                        first = PB[: N - di, -dj2:, o, d - e]
-                        second = PB[di:, : N + dj2, 0, e]
-                        tgt = acc[: N - di, -dj2:, o, d]
-                    else:
-                        first = PB[: N - di, : N - dj2, o, d - e]
-                        second = PB[di:, dj2:, 0, e]
-                        tgt = acc[: N - di, : N - dj2, o, d]
-                    np.minimum(tgt, first + second, out=tgt)
-        acc[self._invalid] = np.inf
-        changed = bool((acc < PB).any())
-        np.minimum(PB, acc, out=PB)
-        return changed
-
-    def a_pebble(self) -> bool:
-        """Equation (3): close gaps from PB and from both activate arrays."""
-        N = self.n + 1
-        cand = np.full_like(self.w, np.inf)
-        # In-band gaps: w(p, q) = w[i + o, j + (o - d)].
-        for d in range(0, self.band + 1):
-            for o in range(0, d + 1):
-                dj = o - d
-                first = self.PB[: N - o, -dj:, o, d]
-                wshift = self.w[o:, : N + dj]
-                tgt = cand[: N - o, -dj:]
-                np.minimum(tgt, first + wshift, out=tgt)
-        # Activate gaps (any size difference):
-        # A1: gap (i, k) -> + w(i, k);  A2: gap (k, j) -> + w(k, j).
-        c1 = (self.A1 + self.w[:, None, :]).min(axis=2)
-        c2 = (self.A2 + self.w.T[None, :, :]).min(axis=2)
-        np.minimum(cand, c1, out=cand)
-        np.minimum(cand, c2, out=cand)
-        changed = bool((cand < self.w).any())
-        np.minimum(self.w, cand, out=self.w)
-        return changed
-
-    def iterate(self) -> tuple[bool, bool]:
-        pw_c1 = self.a_activate()
-        pw_c2 = self.a_square()
-        w_c = self.a_pebble()
-        self.iterations_run += 1
-        return w_c, (pw_c1 or pw_c2)
 
     # -- accounting ---------------------------------------------------------------
 

@@ -17,15 +17,22 @@ a-pebble    (equation 3)
 
 Each operation is *synchronous*: it reads the tables as they were when
 the operation started (exactly the CREW PRAM semantics), which the
-implementation guarantees by accumulating every update into a scratch
-array before committing. All updates are monotone min-updates, so the
-tables decrease toward the true ``w``/``pw`` and Lemma 3.3 guarantees
-``w'(0, n) = c(0, n)`` after the full schedule.
+implementation guarantees by computing every update from a pre-step
+snapshot and committing all candidates at once. All updates are
+monotone min-updates, so the tables decrease toward the true
+``w``/``pw`` and Lemma 3.3 guarantees ``w'(0, n) = c(0, n)`` after the
+full schedule.
 
-The implementation executes whole-table numpy sweeps: one sweep performs
-the identical operation lattice a PRAM super-step would, so iteration
-counts and all intermediate values match the paper's machine exactly
-(see DESIGN.md on the SIMD-analogue substitution). Work per iteration is
+The operations are implemented as *sweep kernels*
+(:mod:`repro.core.kernels`): each kernel declares the index tiles it
+sweeps and a pure tile-compute, and the shared
+:class:`~repro.core.kernels.KernelEngine` runs tiles on an execution
+backend (serial, thread pool, or forked processes — see
+:mod:`repro.parallel.backends`) and commits the min-merge. One sweep
+performs the identical operation lattice a PRAM super-step would, so
+iteration counts and all intermediate values match the paper's machine
+exactly — bitwise identically for every backend and tiling (see
+DESIGN.md on the SIMD-analogue substitution). Work per iteration is
 Θ(n⁵) — the count the paper charges to O(n⁵/log n) processors ×
 O(log n) time.
 
@@ -40,6 +47,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.kernels import (
+    DenseActivateKernel,
+    DensePebbleKernel,
+    DenseSquareKernel,
+    KernelEngine,
+    SweepKernel,
+)
 from repro.core.termination import (
     FixedIterations,
     IterationState,
@@ -47,6 +61,7 @@ from repro.core.termination import (
     default_schedule_length,
 )
 from repro.errors import ConvergenceError, InvalidProblemError
+from repro.parallel.backends import Backend
 from repro.problems.base import ParenthesizationProblem
 
 __all__ = [
@@ -97,27 +112,84 @@ class HuangResult:
 
 
 class IterativeTableSolver:
-    """Shared driver for the iterative table solvers.
+    """Shared engine loop for the iterative table solvers.
 
-    Subclasses hold a ``w`` table and implement :meth:`iterate` (one
-    full activate/square/pebble round returning change flags); this
-    base provides the policy-driven :meth:`run` loop, tracing, and the
-    paper-schedule helper. Concrete solvers: :class:`HuangSolver`
-    (dense Θ(n⁴) pw), :class:`~repro.core.banded.BandedSolver`,
+    Subclasses hold the tables and declare their operation set via
+    :meth:`build_kernels`; this base provides the single engine-driven
+    :meth:`iterate` (one activate/square/pebble round through the
+    :class:`~repro.core.kernels.KernelEngine`), the policy-driven
+    :meth:`run` loop, tracing, and the paper-schedule helper. Concrete
+    solvers: :class:`HuangSolver` (dense Θ(n⁴) pw),
+    :class:`~repro.core.banded.BandedSolver`,
     :class:`~repro.core.rytter.RytterSolver`,
     :class:`~repro.core.compact.CompactBandedSolver` (Θ(n³) storage).
+
+    All of them accept ``backend=`` (``"serial"``, ``"thread"``,
+    ``"process"`` or a :class:`~repro.parallel.backends.Backend`
+    instance), ``workers=`` and ``tiles=``; every combination commits
+    bitwise-identical tables (the integration suite verifies this).
     """
+
+    #: operation schedule of one iteration, in kernel order
+    SCHEDULE: tuple[str, ...] = ("activate", "square", "pebble")
 
     problem: ParenthesizationProblem
     n: int
     w: np.ndarray
     iterations_run: int
 
+    # -- engine plumbing -----------------------------------------------------
+
+    def _init_engine(
+        self,
+        backend: Backend | str = "serial",
+        workers: int | None = None,
+        tiles: int | None = None,
+    ) -> None:
+        """Create the kernel engine and instantiate this solver's kernel
+        set; concrete ``__init__`` methods call this before :meth:`reset`."""
+        self._engine = KernelEngine(backend, workers=workers, tiles=tiles)
+        self.backend = self._engine.backend
+        self.tiles = self._engine.tiles
+        self._kernels = self.build_kernels()
+
+    def build_kernels(self) -> dict[str, SweepKernel]:  # pragma: no cover - abstract
+        """Map each :attr:`SCHEDULE` entry to its sweep kernel."""
+        raise NotImplementedError
+
     def reset(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
-    def iterate(self) -> tuple[bool, bool]:  # pragma: no cover - abstract
-        raise NotImplementedError
+    # -- the three operations ------------------------------------------------
+    #
+    # Thin named entry points so variants (and test instrumentation) can
+    # override a single operation; each one is a full synchronous
+    # super-step through the engine.
+
+    def a_activate(self) -> bool:
+        """Equations (1a)/(1b); returns True if pw changed."""
+        return self._engine.execute(self._kernels["activate"], self)
+
+    def a_square(self) -> bool:
+        """Equation (2c); returns True if pw changed."""
+        return self._engine.execute(self._kernels["square"], self)
+
+    def a_pebble(self) -> bool:
+        """Equation (3); returns True if w changed."""
+        return self._engine.execute(self._kernels["pebble"], self)
+
+    def iterate(self) -> tuple[bool, bool]:
+        """One full scheduled round; returns (w_changed, pw_changed)."""
+        w_changed = False
+        pw_changed = False
+        for name in self.SCHEDULE:
+            changed = getattr(self, f"a_{name}")()
+            if self._kernels[name].updates == "w":
+                w_changed = w_changed or changed
+            else:
+                pw_changed = pw_changed or changed
+        self.iterations_run += 1
+        return w_changed, pw_changed
 
     def paper_schedule_length(self) -> int:
         return default_schedule_length(self.n)
@@ -173,6 +245,16 @@ class IterativeTableSolver:
             stopped_by=stopped,
         )
 
+    def close(self) -> None:
+        """Release the engine's backend workers."""
+        self._engine.close()
+
+    def __enter__(self) -> "IterativeTableSolver":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
     def _count_finite_pw(self) -> int:
         """Finite partial-weight entries, for the trace; subclasses with
         non-dense storage override."""
@@ -193,6 +275,10 @@ class HuangSolver(IterativeTableSolver):
     track_pw_changes:
         Record whether pw changed each iteration even when the policy
         does not need it (costs one n⁴ comparison per iteration).
+    backend, workers, tiles:
+        Execution backend for the sweep kernels (default serial,
+        single-tile — the reference path); see
+        :class:`IterativeTableSolver`.
     """
 
     def __init__(
@@ -201,6 +287,9 @@ class HuangSolver(IterativeTableSolver):
         *,
         max_n: int = 64,
         track_pw_changes: bool = False,
+        backend: Backend | str = "serial",
+        workers: int | None = None,
+        tiles: int | None = None,
     ) -> None:
         if problem.n > max_n:
             raise InvalidProblemError(
@@ -213,7 +302,17 @@ class HuangSolver(IterativeTableSolver):
         self.track_pw_changes = track_pw_changes
         self._F = problem.cached_f_table()
         self._init = problem.init_vector()
+        self._init_engine(backend, workers, tiles)
         self.reset()
+
+    # -- kernel set ----------------------------------------------------------
+
+    def build_kernels(self) -> dict[str, SweepKernel]:
+        return {
+            "activate": DenseActivateKernel(),
+            "square": DenseSquareKernel(),
+            "pebble": DensePebbleKernel(),
+        }
 
     # -- state ---------------------------------------------------------------
 
@@ -227,87 +326,8 @@ class HuangSolver(IterativeTableSolver):
         ii, jj = np.triu_indices(N, k=1)
         self.pw[ii, jj, ii, jj] = 0.0
         self.iterations_run = 0
-        # Scratch buffers reused across iterations (Θ(n⁴) each).
-        self._acc = np.empty_like(self.pw)
-        self._tmp = np.empty_like(self.pw)
 
-    # -- the three operations ---------------------------------------------------
-
-    def a_activate(self) -> bool:
-        """Equations (1a)/(1b); returns True if pw changed."""
-        N = self.n + 1
-        changed = False
-        # (1a): pw'(i,j,i,k) <- min(. , f(i,k,j) + w'(k,j))
-        A = self._F + self.w[None, :, :]  # A[i,k,j]
-        for i in range(N):
-            view = self.pw[i, :, i, :]  # (j, k)
-            upd = A[i].T  # upd[j, k] = A[i, k, j]
-            if not changed and (upd < view).any():
-                changed = True
-            np.minimum(view, upd, out=view)
-        # (1b): pw'(i,j,k,j) <- min(. , f(i,k,j) + w'(i,k))
-        B = self._F + self.w[:, :, None]  # B[i,k,j]
-        for j in range(N):
-            view = self.pw[:, j, :, j]  # (i, k)
-            upd = B[:, :, j]
-            if not changed and (upd < view).any():
-                changed = True
-            np.minimum(view, upd, out=view)
-        return changed
-
-    def a_square(self) -> bool:
-        """Equation (2c); returns True if pw changed.
-
-        Reads the pre-step pw snapshot throughout: contributions
-        accumulate into a scratch table and commit at the end, so the
-        sweep is synchronous regardless of evaluation order.
-        """
-        N = self.n + 1
-        pw = self.pw
-        acc = self._acc
-        tmp = self._tmp
-        acc.fill(np.inf)
-        ar = np.arange(N)
-        # Right-anchored compositions: pw(i,j,r,q) + pw(r,q,p,q).
-        for r in range(N):
-            X = pw[:, :, r, :]  # X[i, j, q]
-            Y = pw[r][ar[None, :], ar[:, None], ar[None, :]]  # Y[p, q] = pw[r,q,p,q]
-            if not np.isfinite(Y).any():
-                continue
-            np.add(X[:, :, None, :], Y[None, None, :, :], out=tmp)
-            np.minimum(acc, tmp, out=acc)
-        # Left-anchored compositions: pw(i,j,p,s) + pw(p,s,p,q).
-        for s in range(N):
-            X = pw[:, :, :, s]  # X[i, j, p]
-            Z = pw[:, s, :, :]  # Z[p1, p2, q]
-            Y = Z[ar, ar, :]  # Y[p, q] = pw[p,s,p,q]
-            if not np.isfinite(Y).any():
-                continue
-            np.add(X[:, :, :, None], Y[None, None, :, :], out=tmp)
-            np.minimum(acc, tmp, out=acc)
-        changed = bool((acc < pw).any())
-        np.minimum(pw, acc, out=pw)
-        return changed
-
-    def a_pebble(self) -> bool:
-        """Equation (3); returns True if w changed."""
-        np.add(self.pw, self.w[None, None, :, :], out=self._tmp)
-        cand = self._tmp.min(axis=(2, 3))
-        changed = bool((cand < self.w).any())
-        np.minimum(self.w, cand, out=self.w)
-        return changed
-
-    # -- driving ----------------------------------------------------------------
-
-    def iterate(self) -> tuple[bool, bool]:
-        """One full iteration; returns (w_changed, pw_changed)."""
-        pw_c1 = self.a_activate()
-        pw_c2 = self.a_square()
-        w_c = self.a_pebble()
-        self.iterations_run += 1
-        return w_c, (pw_c1 or pw_c2)
-
-    # -- accounting ----------------------------------------------------------------
+    # -- accounting ----------------------------------------------------------
 
     def work_per_iteration(self) -> dict[str, int]:
         """Exact operation counts per iteration (candidate evaluations),

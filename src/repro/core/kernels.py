@@ -1,0 +1,621 @@
+"""The unified sweep-kernel engine behind every iterative solver.
+
+The paper's algorithm is three synchronous PRAM operations — a-activate,
+a-square, a-pebble — repeated on a schedule. Every iterative solver in
+this repo (:class:`~repro.core.huang.HuangSolver`,
+:class:`~repro.core.banded.BandedSolver`,
+:class:`~repro.core.compact.CompactBandedSolver`,
+:class:`~repro.core.rytter.RytterSolver`, and the lockstep validator)
+executes the *same* super-step shape: read a snapshot of the tables,
+compute min-update candidates for a disjoint partition of the output
+index space, then commit all candidates at once. This module factors
+that shape out:
+
+* a :class:`SweepKernel` declares (a) the **tiles** an operation sweeps
+  (disjoint slabs of the output index space, each a picklable tuple),
+  (b) a pure module-level **compute** function that maps one tile of
+  the pre-step snapshot to its candidate slab, and (c) a **commit**
+  that min-merges the candidate slabs back into the solver state and
+  reports whether anything changed;
+* a :class:`KernelEngine` owns an execution
+  :class:`~repro.parallel.backends.Backend` (serial / thread / fork
+  process) and runs a kernel as ``tiles -> backend.map -> commit``.
+
+Because every update is a monotone min and every compute function
+evaluates the identical candidate lattice in the identical order for a
+given output cell, the committed tables are **bitwise identical** for
+every tiling and every backend — the CREW discipline made executable
+(see DESIGN.md). Compute functions are module-level and receive their
+array inputs via backend keyword injection, so the fork-based process
+backend inherits multi-hundred-MB tables copy-on-write instead of
+pickling them per tile.
+
+Adding an execution strategy is one Backend subclass; adding a paper
+variant is one kernel set — neither requires touching the five solvers.
+
+Scratch slabs are allocated per tile inside the compute functions (a
+deliberate tradeoff versus the pre-refactor persistent ``_acc``/``_tmp``
+buffers): tiles must own their memory to run on any worker in any
+process, and the allocation cost is a small constant against the Θ(n⁵)
+sweep work it serves.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.parallel.backends import Backend, make_backend
+from repro.parallel.partition import split_range
+
+__all__ = [
+    "SweepKernel",
+    "KernelEngine",
+    "DenseActivateKernel",
+    "DenseSquareKernel",
+    "DensePebbleKernel",
+    "BandedSquareKernel",
+    "BandedPebbleKernel",
+    "RytterSquareKernel",
+    "CompactActivateKernel",
+    "CompactSquareKernel",
+    "CompactPebbleKernel",
+]
+
+
+# ---------------------------------------------------------------------------
+# Tile compute functions.
+#
+# All of these are pure: they read the pre-step snapshot arrays passed by
+# keyword and return a candidate slab for their tile. They must stay
+# module-level so the process backend can pickle a reference to them.
+# ---------------------------------------------------------------------------
+
+
+def dense_activate_tile(tile: tuple, *, F: np.ndarray, w: np.ndarray) -> np.ndarray:
+    """Equations (1a)/(1b) candidates for one slab of rows.
+
+    Tile ``("a", lo, hi)``: slab ``[i - lo, j, k]`` of candidates for
+    ``pw'(i, j, i, k)`` (eq. 1a, ``f(i,k,j) + w'(k,j)``).
+    Tile ``("b", lo, hi)``: slab ``[j - lo, i, k]`` of candidates for
+    ``pw'(i, j, k, j)`` (eq. 1b, ``f(i,k,j) + w'(i,k)``).
+    """
+    side, lo, hi = tile
+    if side == "a":
+        A = F[lo:hi] + w[None, :, :]  # A[i - lo, k, j]
+        return A.transpose(0, 2, 1)  # [i - lo, j, k]
+    B = F[:, :, lo:hi] + w[:, :, None]  # B[i, k, j - lo]
+    return B.transpose(2, 0, 1)  # [j - lo, i, k]
+
+
+def dense_square_tile(tile: tuple, *, pw: np.ndarray) -> np.ndarray:
+    """Equation (2c) candidates for rows ``i`` in ``tile`` (full lattice).
+
+    Identical composition order to the historical serial sweep: all
+    right-anchored compositions ``pw(i,j,r,q) + pw(r,q,p,q)`` over
+    ``r``, then all left-anchored ``pw(i,j,p,s) + pw(p,s,p,q)`` over
+    ``s``; anchors whose second factor is entirely +inf contribute
+    nothing and are skipped.
+    """
+    lo, hi = tile
+    N = pw.shape[0]
+    ar = np.arange(N)
+    acc = np.full((hi - lo, N, N, N), np.inf)
+    tmp = np.empty_like(acc)
+    for r in range(N):
+        Y = pw[r][ar[None, :], ar[:, None], ar[None, :]]  # Y[p, q] = pw[r,q,p,q]
+        if not np.isfinite(Y).any():
+            continue
+        X = pw[lo:hi, :, r, :]  # X[i - lo, j, q]
+        np.add(X[:, :, None, :], Y[None, None, :, :], out=tmp)
+        np.minimum(acc, tmp, out=acc)
+    for s in range(N):
+        Y = pw[:, s, :, :][ar, ar, :]  # Y[p, q] = pw[p,s,p,q]
+        if not np.isfinite(Y).any():
+            continue
+        X = pw[lo:hi, :, :, s]  # X[i - lo, j, p]
+        np.add(X[:, :, :, None], Y[None, None, :, :], out=tmp)
+        np.minimum(acc, tmp, out=acc)
+    return acc
+
+
+def dense_pebble_tile(
+    tile: tuple,
+    *,
+    pw: np.ndarray,
+    w: np.ndarray,
+    span_lo: int = -1,
+    span_hi: int = -1,
+) -> np.ndarray:
+    """Equation (3) candidates for rows ``i`` in ``tile``.
+
+    ``span_lo``/``span_hi`` carry the Section 5 size-class pebble window
+    (``span_lo < j - i <= span_hi``); negative bounds mean no window.
+    """
+    lo, hi = tile
+    block = pw[lo:hi] + w[None, None, :, :]
+    cand = block.min(axis=(2, 3))
+    if span_lo >= 0:
+        N = w.shape[0]
+        ii = np.arange(lo, hi)[:, None]
+        jj = np.arange(N)[None, :]
+        window = (jj - ii > span_lo) & (jj - ii <= span_hi)
+        cand = np.where(window, cand, np.inf)
+    return cand
+
+
+def banded_square_tile(tile: tuple, *, pw: np.ndarray, band: int) -> np.ndarray:
+    """Equation (2c) restricted to band offsets, rows ``i`` in ``tile``.
+
+    Right-anchored offsets ``r = p - d`` and left-anchored ``s = q + d``
+    for ``d = 0 .. band``, exactly the Section 5 composition set; the
+    band mask on *written* cells is applied by the commit.
+    """
+    lo, hi = tile
+    N = pw.shape[0]
+    ar = np.arange(N)
+    acc = np.full((hi - lo, N, N, N), np.inf)
+    for d in range(0, min(band, N - 1) + 1):
+        # pw(i,j,p-d,q) + pw(p-d,q,p,q) -> acc[i,j,p,q] for p >= d
+        A = pw[lo:hi, :, : N - d, :]  # [i - lo, j, r, q], r = p - d
+        ps = ar[d:]
+        Yr = pw[(ps - d)[:, None], ar[None, :], ps[:, None], ar[None, :]]
+        if np.isfinite(Yr).any():
+            tmp = A + Yr[None, None, :, :]
+            np.minimum(acc[:, :, d:, :], tmp, out=acc[:, :, d:, :])
+        # pw(i,j,p,q+d) + pw(p,q+d,p,q) -> acc[i,j,p,q] for q <= N-1-d
+        A2 = pw[lo:hi, :, :, d:]  # [i - lo, j, p, s], s = q + d
+        qs = ar[: N - d]
+        Ys = pw[ar[:, None], (qs + d)[None, :], ar[:, None], qs[None, :]]
+        if np.isfinite(Ys).any():
+            tmp2 = A2 + Ys[None, None, :, :]
+            np.minimum(acc[:, :, :, : N - d], tmp2, out=acc[:, :, :, : N - d])
+    return acc
+
+
+def rytter_square_tile(
+    tile: tuple, *, pw: np.ndarray, useful: np.ndarray
+) -> np.ndarray:
+    """One tile of Rytter's full min-plus squaring.
+
+    The pw table is viewed as the K x K matrix ``M[(i,j),(p,q)]``,
+    K = (n+1)²; the tile owns rows ``lo:hi`` of the product. ``useful``
+    lists the intermediate indices with a finite row *and* column
+    (anything else cannot contribute), precomputed once per sweep.
+    """
+    lo, hi = tile
+    N = pw.shape[0]
+    K = N * N
+    M = pw.reshape(K, K)
+    Mrows = M[lo:hi]
+    acc = np.full((hi - lo, K), np.inf)
+    for t in useful:
+        np.minimum(acc, Mrows[:, t][:, None] + M[t, :][None, :], out=acc)
+    return acc
+
+
+def compact_activate_tile(
+    tile: tuple, *, F: np.ndarray, w: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Compact-layout activate candidates for rows ``i`` in ``tile``.
+
+    Returns ``(U1, U2)`` slabs: ``U1[i - lo, j, k]`` the eq.-1a
+    candidate for ``A1[i, j, k] = pw'(i, j, i, k)`` and ``U2`` likewise
+    for ``A2[i, j, k] = pw'(i, j, k, j)``. The PB mirroring of in-band
+    cells happens at commit (it reads the merged A1/A2).
+    """
+    lo, hi = tile
+    T = F[lo:hi].transpose(0, 2, 1)  # T[i - lo, j, k] = F[i, k, j]
+    U1 = T + w.T[None, :, :]  # + w(k, j)
+    U2 = T + w[lo:hi, None, :]  # + w(i, k)
+    return U1, U2
+
+
+def compact_square_tile(tile: tuple, *, PB: np.ndarray, band: int) -> np.ndarray:
+    """In-band eq. (2c) via slice shifts, output rows ``i`` in ``tile``.
+
+    Same (d, o, e) composition lattice and order as the historical
+    serial sweep (see :mod:`repro.core.compact` for the coordinates);
+    each slab operation is row-restricted to the tile.
+    """
+    lo, hi = tile
+    N = PB.shape[0]
+    acc = np.full((hi - lo,) + PB.shape[1:], np.inf)
+    for d in range(0, band + 1):
+        for o in range(0, d + 1):
+            dj = o - d  # <= 0: column shift of the second factor
+            for e in range(0, d + 1):
+                if e <= o:
+                    # right-anchored: PB[i,j,o-e,d-e] + PB[i+(o-e), j+dj, e, e]
+                    di = o - e
+                    r_hi = min(hi, N - di)
+                    if r_hi > lo:
+                        first = PB[lo:r_hi, -dj:, o - e, d - e]
+                        second = PB[lo + di : r_hi + di, : N + dj, e, e]
+                        tgt = acc[: r_hi - lo, -dj:, o, d]
+                        np.minimum(tgt, first + second, out=tgt)
+                # left-anchored: PB[i,j,o,d-e] + PB[i+o, j+dj+e, 0, e]
+                di = o
+                dj2 = dj + e
+                r_hi = min(hi, N - di)
+                if r_hi <= lo:
+                    continue
+                if dj2 <= 0:
+                    first = PB[lo:r_hi, -dj2:, o, d - e]
+                    second = PB[lo + di : r_hi + di, : N + dj2, 0, e]
+                    tgt = acc[: r_hi - lo, -dj2:, o, d]
+                else:
+                    first = PB[lo:r_hi, : N - dj2, o, d - e]
+                    second = PB[lo + di : r_hi + di, dj2:, 0, e]
+                    tgt = acc[: r_hi - lo, : N - dj2, o, d]
+                np.minimum(tgt, first + second, out=tgt)
+    return acc
+
+
+def compact_pebble_tile(
+    tile: tuple,
+    *,
+    PB: np.ndarray,
+    A1: np.ndarray,
+    A2: np.ndarray,
+    w: np.ndarray,
+    band: int,
+) -> np.ndarray:
+    """Equation (3) from the compact layout, rows ``i`` in ``tile``:
+    close in-band gaps from PB and arbitrary-gap activate cells from
+    A1/A2."""
+    lo, hi = tile
+    N = PB.shape[0]
+    cand = np.full((hi - lo, N), np.inf)
+    for d in range(0, band + 1):
+        for o in range(0, d + 1):
+            dj = o - d
+            r_hi = min(hi, N - o)
+            if r_hi <= lo:
+                continue
+            first = PB[lo:r_hi, -dj:, o, d]
+            wshift = w[lo + o : r_hi + o, : N + dj]
+            tgt = cand[: r_hi - lo, -dj:]
+            np.minimum(tgt, first + wshift, out=tgt)
+    # A1: gap (i, k) -> + w(i, k);  A2: gap (k, j) -> + w(k, j).
+    c1 = (A1[lo:hi] + w[lo:hi, None, :]).min(axis=2)
+    c2 = (A2[lo:hi] + w.T[None, :, :]).min(axis=2)
+    np.minimum(cand, c1, out=cand)
+    np.minimum(cand, c2, out=cand)
+    return cand
+
+
+# ---------------------------------------------------------------------------
+# Kernel declarations.
+# ---------------------------------------------------------------------------
+
+
+class SweepKernel:
+    """One synchronous PRAM operation: tiles + compute + commit.
+
+    ``updates`` names the table family the kernel writes (``"w"`` or
+    ``"pw"``) so the engine can route its change flag to the right
+    termination-policy input.
+    """
+
+    name: str = "abstract"
+    updates: str = "pw"
+    #: module-level compute function (picklable for the process backend)
+    compute_fn: Callable[..., Any]
+
+    def tiles(self, solver, parts: int) -> list:
+        """Disjoint tiles covering the operation's output index space."""
+        raise NotImplementedError
+
+    def arrays(self, solver) -> dict[str, Any]:
+        """Snapshot inputs for :attr:`compute_fn`, passed by keyword."""
+        raise NotImplementedError
+
+    def commit(self, solver, tiles: Sequence, results: Sequence) -> bool:
+        """Min-merge candidate slabs into solver state; True if changed."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _row_tiles(total: int, parts: int) -> list[tuple[int, int]]:
+        return split_range(total, max(1, parts))
+
+
+class DenseActivateKernel(SweepKernel):
+    """a-activate on the dense pw table (eqs. 1a/1b)."""
+
+    name = "activate"
+    updates = "pw"
+    compute_fn = staticmethod(dense_activate_tile)
+
+    def tiles(self, solver, parts):
+        rows = self._row_tiles(solver.n + 1, parts)
+        # Side "a" sweeps rows i of pw[i, :, i, :]; side "b" sweeps
+        # columns j of pw[:, j, :, j]. Committed a-then-b, matching the
+        # historical sweep order on overlapping cells (i, j, i, j).
+        return [("a", lo, hi) for lo, hi in rows] + [("b", lo, hi) for lo, hi in rows]
+
+    def arrays(self, solver):
+        return {"F": solver._F, "w": solver.w}
+
+    def commit(self, solver, tiles, results):
+        changed = False
+        pw = solver.pw
+        for (side, lo, hi), upd in zip(tiles, results):
+            for t, x in enumerate(range(lo, hi)):
+                view = pw[x, :, x, :] if side == "a" else pw[:, x, :, x]
+                u = upd[t]
+                if not changed and (u < view).any():
+                    changed = True
+                np.minimum(view, u, out=view)
+        return changed
+
+
+class DenseSquareKernel(SweepKernel):
+    """a-square with the full composition lattice (eq. 2c)."""
+
+    name = "square"
+    updates = "pw"
+    compute_fn = staticmethod(dense_square_tile)
+
+    def tiles(self, solver, parts):
+        return self._row_tiles(solver.n + 1, parts)
+
+    def arrays(self, solver):
+        return {"pw": solver.pw}
+
+    def commit(self, solver, tiles, results):
+        changed = False
+        pw = solver.pw
+        for (lo, hi), acc in zip(tiles, results):
+            view = pw[lo:hi]
+            if not changed and (acc < view).any():
+                changed = True
+            np.minimum(view, acc, out=view)
+        return changed
+
+
+class DensePebbleKernel(SweepKernel):
+    """a-pebble: close every gap against the current w (eq. 3)."""
+
+    name = "pebble"
+    updates = "w"
+    compute_fn = staticmethod(dense_pebble_tile)
+
+    def tiles(self, solver, parts):
+        return self._row_tiles(solver.n + 1, parts)
+
+    def arrays(self, solver):
+        return {"pw": solver.pw, "w": solver.w}
+
+    def commit(self, solver, tiles, results):
+        changed = False
+        w = solver.w
+        for (lo, hi), cand in zip(tiles, results):
+            view = w[lo:hi]
+            if not changed and (cand < view).any():
+                changed = True
+            np.minimum(view, cand, out=view)
+        return changed
+
+
+class BandedSquareKernel(DenseSquareKernel):
+    """a-square restricted to Section 5 band offsets; the band mask on
+    written cells is enforced at commit so workers never see it."""
+
+    compute_fn = staticmethod(banded_square_tile)
+
+    def arrays(self, solver):
+        return {"pw": solver.pw, "band": solver.band}
+
+    def commit(self, solver, tiles, results):
+        mask = solver._band_mask
+        for (lo, hi), acc in zip(tiles, results):
+            acc[~mask[lo:hi]] = np.inf
+        return super().commit(solver, tiles, results)
+
+
+class BandedPebbleKernel(DensePebbleKernel):
+    """a-pebble with the optional iteration-indexed size-class window."""
+
+    def arrays(self, solver):
+        arrays = super().arrays(solver)
+        if getattr(solver, "size_band", False):
+            # Iterations 2l-1 and 2l only pebble sizes in ((l-1)², l²].
+            l = (solver.iterations_run // 2) + 1  # current iteration is +1
+            arrays["span_lo"] = (l - 1) ** 2
+            arrays["span_hi"] = l * l
+        return arrays
+
+
+class RytterSquareKernel(SweepKernel):
+    """Rytter's full min-plus squaring of the (N², N²) pw matrix."""
+
+    name = "square"
+    updates = "pw"
+    compute_fn = staticmethod(rytter_square_tile)
+
+    def tiles(self, solver, parts):
+        return self._row_tiles((solver.n + 1) ** 2, parts)
+
+    def arrays(self, solver):
+        N = solver.n + 1
+        M = solver.pw.reshape(N * N, N * N)
+        finite_col = np.isfinite(M).any(axis=0)
+        finite_row = np.isfinite(M).any(axis=1)
+        return {"pw": solver.pw, "useful": np.flatnonzero(finite_col & finite_row)}
+
+    def commit(self, solver, tiles, results):
+        N = solver.n + 1
+        M = solver.pw.reshape(N * N, N * N)
+        changed = False
+        for (lo, hi), acc in zip(tiles, results):
+            view = M[lo:hi]
+            if not changed and (acc < view).any():
+                changed = True
+            np.minimum(view, acc, out=view)
+        return changed
+
+
+class CompactActivateKernel(SweepKernel):
+    """a-activate into the compact A1/A2 arrays, mirrored into PB."""
+
+    name = "activate"
+    updates = "pw"
+    compute_fn = staticmethod(compact_activate_tile)
+
+    def tiles(self, solver, parts):
+        return self._row_tiles(solver.n + 1, parts)
+
+    def arrays(self, solver):
+        return {"F": solver._F, "w": solver.w}
+
+    def commit(self, solver, tiles, results):
+        changed = False
+        for (lo, hi), (U1, U2) in zip(tiles, results):
+            v1 = solver.A1[lo:hi]
+            if not changed and (U1 < v1).any():
+                changed = True
+            np.minimum(v1, U1, out=v1)
+            v2 = solver.A2[lo:hi]
+            if not changed and (U2 < v2).any():
+                changed = True
+            np.minimum(v2, U2, out=v2)
+        # Mirror in-band cells into PB (reads the merged A1/A2; cheap:
+        # band · n² work). Gap (i, k): o = 0, d = j - k; gap (k, j):
+        # o = d = k - i.
+        N = solver.n + 1
+        jj = np.arange(N)
+        for d in range(1, solver.band + 1):
+            view = solver.PB[:, d:, 0, d]
+            vals = solver.A1[:, jj[d:], jj[d:] - d]
+            if not changed and (vals < view).any():
+                changed = True
+            np.minimum(view, vals, out=view)
+            ii = np.arange(N - d)
+            view = solver.PB[: N - d, :, d, d]
+            vals = solver.A2[ii, :, ii + d]
+            if not changed and (vals < view).any():
+                changed = True
+            np.minimum(view, vals, out=view)
+        return changed
+
+
+class CompactSquareKernel(SweepKernel):
+    """In-band a-square in the compact (o, d) coordinates."""
+
+    name = "square"
+    updates = "pw"
+    compute_fn = staticmethod(compact_square_tile)
+
+    def tiles(self, solver, parts):
+        return self._row_tiles(solver.n + 1, parts)
+
+    def arrays(self, solver):
+        return {"PB": solver.PB, "band": solver.band}
+
+    def commit(self, solver, tiles, results):
+        changed = False
+        PB = solver.PB
+        invalid = solver._invalid
+        for (lo, hi), acc in zip(tiles, results):
+            acc[invalid[lo:hi]] = np.inf
+            view = PB[lo:hi]
+            if not changed and (acc < view).any():
+                changed = True
+            np.minimum(view, acc, out=view)
+        return changed
+
+
+class CompactPebbleKernel(SweepKernel):
+    """a-pebble from the compact layout (PB gaps + A1/A2 gaps)."""
+
+    name = "pebble"
+    updates = "w"
+    compute_fn = staticmethod(compact_pebble_tile)
+
+    def tiles(self, solver, parts):
+        return self._row_tiles(solver.n + 1, parts)
+
+    def arrays(self, solver):
+        return {
+            "PB": solver.PB,
+            "A1": solver.A1,
+            "A2": solver.A2,
+            "w": solver.w,
+            "band": solver.band,
+        }
+
+    def commit(self, solver, tiles, results):
+        changed = False
+        w = solver.w
+        for (lo, hi), cand in zip(tiles, results):
+            view = w[lo:hi]
+            if not changed and (cand < view).any():
+                changed = True
+            np.minimum(view, cand, out=view)
+        return changed
+
+
+# ---------------------------------------------------------------------------
+# Engine.
+# ---------------------------------------------------------------------------
+
+
+class KernelEngine:
+    """Executes sweep kernels on an execution backend.
+
+    One engine per solver instance; it owns the backend (created from a
+    name, or adopted from the caller) and the tile count. ``tiles=1``
+    on the serial backend is the zero-overhead reference path; any
+    other (backend, tiles) combination commits bitwise-identical
+    tables.
+
+    Parameters
+    ----------
+    backend:
+        Backend name (``"serial"``, ``"thread"``, ``"process"``) or a
+        :class:`~repro.parallel.backends.Backend` instance. The engine
+        closes the backend in :meth:`close` either way (solvers own
+        their engine; share a backend across solvers by closing only
+        after the last one).
+    workers:
+        Worker count when ``backend`` is a name.
+    tiles:
+        Tiles per sweep (default: the backend's worker count, 1 for
+        serial).
+    """
+
+    def __init__(
+        self,
+        backend: Backend | str = "serial",
+        *,
+        workers: int | None = None,
+        tiles: int | None = None,
+    ) -> None:
+        self.backend = (
+            make_backend(backend, workers) if isinstance(backend, str) else backend
+        )
+        if tiles is None:
+            tiles = max(1, getattr(self.backend, "workers", 1))
+        if tiles < 1:
+            raise ValueError("tiles must be >= 1")
+        self.tiles = int(tiles)
+
+    def execute(self, kernel: SweepKernel, solver) -> bool:
+        """Run one synchronous super-step of ``kernel`` on ``solver``.
+
+        Compute reads only the pre-step snapshot (no solver state is
+        mutated until every tile has returned), then the kernel's
+        commit min-merges all slabs — exactly the CREW semantics the
+        scratch-array loops used to implement five separate times.
+        """
+        tiles = kernel.tiles(solver, self.tiles)
+        results = self.backend.map_with_arrays(
+            kernel.compute_fn, tiles, kernel.arrays(solver)
+        )
+        return kernel.commit(solver, tiles, results)
+
+    def close(self) -> None:
+        """Release backend workers."""
+        self.backend.close()

@@ -15,6 +15,12 @@ sequential ground truth, returning a full per-move report. It is the
 machine-checked version of the paper's proof sketch — and a diagnostic
 tool: if a solver modification breaks the coupling, the report names
 the first move and cell where certification fails.
+
+The solver side is driven one kernel super-step at a time through the
+shared engine (``a_activate`` / ``a_square`` / ``a_pebble`` each
+execute one :class:`~repro.core.kernels.SweepKernel`), so the lockstep
+argument certifies whatever backend and tiling the passed solver was
+constructed with — the integration tests run it across all of them.
 """
 
 from __future__ import annotations

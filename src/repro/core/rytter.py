@@ -25,9 +25,8 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
-
 from repro.core.huang import HuangSolver
+from repro.core.kernels import RytterSquareKernel, SweepKernel
 from repro.core.termination import FixedIterations, TerminationPolicy
 from repro.problems.base import ParenthesizationProblem
 
@@ -61,31 +60,22 @@ class RytterSolver(HuangSolver):
         *,
         max_n: int = 28,
         track_pw_changes: bool = False,
+        **engine_kwargs,
     ) -> None:
-        super().__init__(problem, max_n=max_n, track_pw_changes=track_pw_changes)
+        super().__init__(
+            problem, max_n=max_n, track_pw_changes=track_pw_changes, **engine_kwargs
+        )
 
-    def a_square(self) -> bool:
-        """One full min-plus squaring of the pw matrix.
-
-        The (N², N²) matrix view shares memory with the pw table; the
-        accumulator keeps the step synchronous. Intermediate nodes whose
-        row is entirely +inf contribute nothing and are skipped — early
-        phases therefore cost far less than the worst case, which the
-        work counters (not the wall clock) are the record of.
-        """
-        N = self.n + 1
-        K = N * N
-        M = self.pw.reshape(K, K)
-        acc = self._acc.reshape(K, K)
-        acc.fill(np.inf)
-        finite_col = np.isfinite(M).any(axis=0)
-        finite_row = np.isfinite(M).any(axis=1)
-        useful = np.flatnonzero(finite_col & finite_row)
-        for t in useful:
-            np.minimum(acc, M[:, t][:, None] + M[t, :][None, :], out=acc)
-        changed = bool((acc < M).any())
-        np.minimum(M, acc, out=M)
-        return changed
+    def build_kernels(self) -> dict[str, SweepKernel]:
+        # Only the square differs from Huang's kernel set: one full
+        # min-plus squaring of the (N², N²) pw matrix view per phase.
+        # Intermediate nodes whose row or column is entirely +inf
+        # contribute nothing and are skipped — early phases therefore
+        # cost far less than the worst case, which the work counters
+        # (not the wall clock) are the record of.
+        kernels = super().build_kernels()
+        kernels["square"] = RytterSquareKernel()
+        return kernels
 
     def run(self, policy: TerminationPolicy | None = None, **kwargs):
         if policy is None:

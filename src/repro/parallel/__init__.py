@@ -2,9 +2,12 @@
 
 The paper's machine is a PRAM; the honest Python analogue of "p
 processors execute this super-step" is tiling the index space of a sweep
-across OS threads or processes. All backends compute *bit-identical*
-tables (the sweeps read a snapshot and write disjoint tiles — exactly
-the CREW discipline), which the test suite verifies.
+across OS threads or processes. The sweep-kernel engine
+(:mod:`repro.core.kernels`) routes every iterative solver's operations
+through these backends — ``solve(problem, method=..., backend=...)`` is
+the front door. All backends compute *bit-identical* tables (the sweeps
+read a snapshot and write disjoint tiles — exactly the CREW discipline),
+which the test suite verifies.
 
 A note on speed, per the reproduction banding ("GIL hampers true
 parallel speedup demonstration"): the thread backend gets real
@@ -24,7 +27,6 @@ from repro.parallel.backends import (
     ProcessBackend,
     make_backend,
 )
-from repro.parallel.solver import ParallelHuangSolver
 
 __all__ = [
     "split_range",
@@ -35,3 +37,15 @@ __all__ = [
     "make_backend",
     "ParallelHuangSolver",
 ]
+
+
+def __getattr__(name: str):
+    # Imported lazily (PEP 562): ParallelHuangSolver now lives on top of
+    # the core kernel engine, and importing it eagerly here would close
+    # an import cycle (core.kernels -> parallel.backends -> this package
+    # -> parallel.solver -> core.huang).
+    if name == "ParallelHuangSolver":
+        from repro.parallel.solver import ParallelHuangSolver
+
+        return ParallelHuangSolver
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

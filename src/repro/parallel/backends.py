@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Sequence
 
@@ -26,8 +27,26 @@ __all__ = [
 ]
 
 # Fork-inherited payload for process workers: set immediately before the
-# pool is created, read by the module-level worker shims.
+# pool is created, read by the module-level worker shims. The lock
+# serialises the publish-and-fork window so concurrent solves (e.g. a
+# thread pool of solve() calls each using a process backend) cannot
+# interleave one call's arrays into another call's fork.
 _SHARED: dict[str, Any] = {}
+_SHARED_LOCK = threading.Lock()
+
+
+def _reinit_shared_lock_after_fork() -> None:
+    # A child is forked while the parent holds _SHARED_LOCK (that is the
+    # publish-and-fork window), so the child's copy would be locked
+    # forever. Fresh lock in the child: a nested ProcessBackend then
+    # reaches Pool(), whose "daemonic processes are not allowed to have
+    # children" error is ordinary and catchable, instead of deadlocking.
+    global _SHARED_LOCK
+    _SHARED_LOCK = threading.Lock()
+
+
+if hasattr(os, "register_at_fork"):  # not on Windows; neither is fork
+    os.register_at_fork(after_in_child=_reinit_shared_lock_after_fork)
 
 
 def _call_with_shared(item: tuple[Callable, Any]) -> Any:
@@ -103,13 +122,23 @@ class ProcessBackend(Backend):
     def map_with_arrays(self, fn, tiles, arrays):
         if not tiles:
             return []
-        _SHARED.clear()
-        _SHARED.update(arrays)
-        try:
-            with self._ctx.Pool(processes=min(self.workers, len(tiles))) as pool:
-                return pool.map(_call_with_shared, [(fn, t) for t in tiles])
-        finally:
-            _SHARED.clear()
+        # Workers fork at Pool construction, so the shared payload only
+        # needs to be in place for that window; restoring the previous
+        # contents afterwards (the children hold copy-on-write
+        # snapshots) lets the actual map run outside the lock. Restore
+        # rather than clear: when this runs inside another pool's
+        # worker, _SHARED holds that outer map's fork-inherited payload,
+        # which the worker's remaining tasks still need.
+        with _SHARED_LOCK:
+            saved = dict(_SHARED)
+            _SHARED.update(arrays)
+            try:
+                pool = self._ctx.Pool(processes=min(self.workers, len(tiles)))
+            finally:
+                _SHARED.clear()
+                _SHARED.update(saved)
+        with pool:
+            return pool.map(_call_with_shared, [(fn, t) for t in tiles])
 
 
 def make_backend(name: str, workers: int | None = None) -> Backend:

@@ -1,86 +1,54 @@
-"""A Huang solver whose pebble super-step runs on a multicore backend.
+"""Backward-compatible multicore Huang solver.
 
-The a-pebble operation is the cleanly tileable one: every output cell
-``w'(i, j)`` is an independent min-reduction over ``pw'(i, j, ·, ·) +
-w(·, ·)`` reading only the pre-step tables — the textbook CREW pattern.
-Tiles are rows of ``i``; each worker returns its tile of the candidate
-table and the main process commits the min, so execution is synchronous
-regardless of worker scheduling and results are bit-identical to the
-serial solver (verified by the integration tests).
+Historically this module carried the only backend-capable solver: a
+:class:`~repro.core.huang.HuangSolver` subclass whose a-pebble step was
+tiled across a backend while the other sweeps stayed serial. The
+sweep-kernel refactor (:mod:`repro.core.kernels`, see DESIGN.md) moved
+that capability into the shared engine — *every* iterative solver now
+accepts ``backend=`` / ``tiles=`` and runs all three operations through
+it — so :class:`ParallelHuangSolver` survives as a thin alias that
+keeps the old constructor defaults (thread backend, at least two tiles
+so tiling is actually exercised). Prefer
+``HuangSolver(problem, backend=...)`` or
+``solve(problem, method="huang", backend=...)`` in new code.
 
-a-activate and a-square stay serial-vectorised: they are the same
-operation lattice either way, and their numpy sweeps already saturate
-memory bandwidth; tiling them across the GIL would only demonstrate
-what a-pebble already demonstrates.
+Results remain bit-identical to the serial solver for every backend and
+tiling (verified by the integration tests): tiles partition the output
+index space, every tile evaluates the identical candidate lattice in
+the identical order, and commits are monotone min-merges.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core.huang import HuangSolver
-from repro.parallel.backends import Backend, SerialBackend, make_backend
-from repro.parallel.partition import split_range
-from repro.problems.base import ParenthesizationProblem
+from repro.parallel.backends import Backend, make_backend
 
 __all__ = ["ParallelHuangSolver"]
 
 
-def _pebble_tile(tile: tuple[int, int], *, pw: np.ndarray, w: np.ndarray) -> np.ndarray:
-    """Candidate values for rows ``tile`` of the w table.
-
-    Module-level so the process backend can pickle a reference to it;
-    the arrays arrive via backend keyword injection.
-    """
-    lo, hi = tile
-    # cand[i, j] = min over (p, q) of pw[i, j, p, q] + w[p, q]
-    block = pw[lo:hi] + w[None, None, :, :]
-    return block.min(axis=(2, 3))
-
-
 class ParallelHuangSolver(HuangSolver):
-    """Huang's algorithm with a multicore a-pebble.
+    """Huang's algorithm on a multicore backend (compatibility alias).
 
     Parameters
     ----------
     backend:
         A :class:`~repro.parallel.backends.Backend` instance or a name
-        (``"serial"``, ``"thread"``, ``"process"``).
+        (``"serial"``, ``"thread"``, ``"process"``); default thread.
     tiles:
-        Number of row tiles per pebble sweep (default: one per worker,
-        minimum 2 so that tiling is actually exercised).
+        Number of tiles per sweep (default: one per worker, minimum 2
+        so that tiling is actually exercised).
     """
 
     def __init__(
         self,
-        problem: ParenthesizationProblem,
+        problem,
         *,
         backend: Backend | str = "thread",
         tiles: int | None = None,
         **kwargs,
     ) -> None:
-        super().__init__(problem, **kwargs)
-        self.backend = make_backend(backend) if isinstance(backend, str) else backend
-        workers = getattr(self.backend, "workers", 1)
-        self.tiles = tiles if tiles is not None else max(2, workers)
-
-    def a_pebble(self) -> bool:
-        N = self.n + 1
-        tile_ranges = split_range(N, self.tiles)
-        results = self.backend.map_with_arrays(
-            _pebble_tile, tile_ranges, {"pw": self.pw, "w": self.w}
-        )
-        cand = np.vstack(results) if results else np.full_like(self.w, np.inf)
-        changed = bool((cand < self.w).any())
-        np.minimum(self.w, cand, out=self.w)
-        return changed
-
-    def close(self) -> None:
-        """Release backend workers."""
-        self.backend.close()
-
-    def __enter__(self) -> "ParallelHuangSolver":
-        return self
-
-    def __exit__(self, *exc: object) -> None:
-        self.close()
+        if isinstance(backend, str):
+            backend = make_backend(backend)
+        if tiles is None:
+            tiles = max(2, getattr(backend, "workers", 1))
+        super().__init__(problem, backend=backend, tiles=tiles, **kwargs)

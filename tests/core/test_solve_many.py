@@ -1,0 +1,133 @@
+"""The batched solve_many service layer: ordering, heterogeneity,
+per-item overrides, and error isolation on every pool backend."""
+
+import pytest
+
+from repro.core import BatchItem, solve, solve_many
+from repro.core.termination import WStable
+from repro.errors import InvalidProblemError
+from repro.problems import (
+    MatrixChainProblem,
+    OptimalBSTProblem,
+    PolygonTriangulationProblem,
+)
+from repro.problems.generators import random_generic, random_matrix_chain
+
+BACKENDS = ["serial", "thread", "process"]
+
+
+def _heterogeneous_batch():
+    return [
+        MatrixChainProblem([30, 35, 15, 5, 10, 20, 25]),
+        OptimalBSTProblem(
+            [0.15, 0.10, 0.05, 0.10, 0.20], [0.05, 0.10, 0.05, 0.05, 0.05, 0.10]
+        ),
+        PolygonTriangulationProblem(
+            [(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)], rule="perimeter"
+        ),
+        MatrixChainProblem([10, 20, 5, 30]),
+    ]
+
+
+class TestOrderingAndValues:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_results_in_submission_order(self, backend):
+        batch = _heterogeneous_batch()
+        results = solve_many(batch, method="huang", backend=backend, max_workers=3)
+        expected = [solve(p, method="huang").value for p in batch]
+        assert [r.value for r in results] == pytest.approx(expected)
+        assert all(r.method == "huang" for r in results)
+
+    def test_order_preserved_with_skewed_sizes(self):
+        """Small problems finish long before the big one submitted first;
+        the result list must still follow submission order."""
+        batch = [random_matrix_chain(16, seed=0)] + [
+            random_matrix_chain(4, seed=s) for s in range(1, 6)
+        ]
+        results = solve_many(batch, method="huang-banded", backend="thread")
+        for problem, result in zip(batch, results):
+            assert result.n == problem.n
+            assert result.value == pytest.approx(
+                solve(problem, method="sequential").value
+            )
+
+    def test_per_item_method_overrides(self):
+        batch = [
+            (MatrixChainProblem([30, 35, 15, 5, 10, 20, 25]), "huang"),
+            (MatrixChainProblem([10, 20, 5, 30]), "rytter"),
+            MatrixChainProblem([3, 7, 2]),  # inherits the batch default
+        ]
+        results = solve_many(batch, method="sequential", backend="serial")
+        assert [r.method for r in results] == ["huang", "rytter", "sequential"]
+        assert results[0].value == 15125.0
+
+    def test_batch_item_kwargs(self):
+        p = random_matrix_chain(10, seed=3)
+        item = BatchItem(p, method="huang-banded", solve_kwargs={"policy": WStable()})
+        (result,) = solve_many([item], backend="serial")
+        assert result.value == pytest.approx(solve(p, method="sequential").value)
+
+    def test_batchwide_kwargs_forwarded(self):
+        (result,) = solve_many(
+            [MatrixChainProblem([2, 3, 4, 5])],
+            method="huang",
+            backend="serial",
+            reconstruct=True,
+        )
+        assert result.tree is not None
+
+    def test_empty_batch(self):
+        assert solve_many([], backend="serial") == []
+
+
+class TestErrorIsolation:
+    def _bad_batch(self):
+        return [
+            MatrixChainProblem([2, 3, 4]),
+            (random_generic(10, seed=0), "huang", {"max_n": 4}),  # exceeds guard
+            (random_generic(8, seed=1), "huang"),
+        ]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_on_error_return_keeps_slots(self, backend):
+        results = solve_many(self._bad_batch(), backend=backend, on_error="return")
+        assert results[0].value == pytest.approx(
+            solve(MatrixChainProblem([2, 3, 4]), method="sequential").value
+        )
+        assert isinstance(results[1], InvalidProblemError)
+        assert results[2].method == "huang"
+
+    def test_on_error_raise_default(self):
+        with pytest.raises(InvalidProblemError, match="max_n"):
+            solve_many(self._bad_batch(), backend="serial")
+
+    def test_unknown_method_rejected_before_execution(self):
+        with pytest.raises(InvalidProblemError, match="unknown method"):
+            solve_many([(MatrixChainProblem([2, 3, 4]), "magic")], backend="serial")
+
+    def test_bad_on_error_value(self):
+        with pytest.raises(InvalidProblemError, match="on_error"):
+            solve_many([], on_error="explode")
+
+    def test_non_problem_item_rejected(self):
+        with pytest.raises(InvalidProblemError, match="ParenthesizationProblem"):
+            solve_many(["not a problem"], backend="serial")
+
+
+class TestNestedProcessBackend:
+    def test_nested_process_backend_errors_cleanly(self):
+        """A per-item backend="process" inside a process pool cannot
+        fork again (daemonic workers); it must come back as an error
+        record, not deadlock the batch (regression: the child inherited
+        _SHARED_LOCK in the locked state)."""
+        batch = [
+            (
+                MatrixChainProblem([30, 35, 15, 5, 10, 20, 25]),
+                "huang",
+                {"backend": "process"},
+            ),
+            MatrixChainProblem([10, 20, 5, 30]),
+        ]
+        results = solve_many(batch, backend="process", on_error="return")
+        assert isinstance(results[0], Exception)
+        assert results[1].value == 2500.0

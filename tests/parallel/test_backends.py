@@ -59,3 +59,40 @@ class TestProcessIsolation:
         from repro.parallel.backends import _SHARED
 
         assert _SHARED == {}
+
+
+class TestProcessBackendConcurrency:
+    def test_concurrent_maps_do_not_cross_arrays(self):
+        """Two threads fanning out process maps with different keyword
+        sets must not interleave payloads through the fork-shared
+        global (regression: _SHARED had no publish-and-fork lock)."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.parallel.backends import ProcessBackend
+
+        be = ProcessBackend(workers=2)
+        a = np.arange(10.0)
+        b = np.arange(10.0) * 2
+
+        def run(arrays, key):
+            return be.map_with_arrays(
+                _tile_sum_keyed, [(0, 5), (5, 10)], {key: arrays}
+            )
+
+        with ThreadPoolExecutor(4) as ex:
+            futures = [
+                ex.submit(run, a, "alpha") if i % 2 == 0 else ex.submit(run, b, "beta")
+                for i in range(8)
+            ]
+            results = [f.result() for f in futures]
+        for i, res in enumerate(results):
+            expected = [a[:5].sum(), a[5:].sum()] if i % 2 == 0 else [b[:5].sum(), b[5:].sum()]
+            assert res == pytest.approx(expected)
+
+
+def _tile_sum_keyed(tile, **arrays):
+    """Sum over whichever single keyword array arrives (module-level so
+    the process backend can pickle a reference)."""
+    ((_, data),) = arrays.items()
+    lo, hi = tile
+    return float(data[lo:hi].sum())

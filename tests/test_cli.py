@@ -93,3 +93,137 @@ class TestAverageCommand:
         rc = main(["average", "--n-max", "64", "--samples", "5"])
         out = capsys.readouterr().out
         assert rc == 0 and "log2" in out
+
+
+class TestBatchCommand:
+    def _write_specs(self, tmp_path, lines):
+        path = tmp_path / "specs.jsonl"
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        return str(path)
+
+    def test_heterogeneous_batch(self, tmp_path, capsys):
+        path = self._write_specs(
+            tmp_path,
+            [
+                '{"dims": [30, 35, 15, 5, 10, 20, 25], "method": "huang"}',
+                '{"family": "bst", "n": 6, "seed": 1, "method": "huang-banded"}',
+                '{"family": "polygon", "n": 8, "seed": 2}',
+                '{"family": "generic", "n": 7, "seed": 3, "method": "huang-compact"}',
+            ],
+        )
+        rc = main(["batch", "--input", path, "--backend", "thread"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "15125" in out and "4 problems, 0 failed" in out
+
+    def test_jsonl_output_and_error_isolation(self, tmp_path, capsys):
+        import json
+
+        path = self._write_specs(
+            tmp_path,
+            [
+                '{"dims": [10, 20, 5, 30], "method": "huang"}',
+                "this is not json",
+                '{"family": "chain", "n": 50, "method": "huang", "max_n": 8}',
+            ],
+        )
+        rc = main(["batch", "--input", path, "--jsonl"])
+        records = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        assert rc == 1  # failures present
+        assert records[0]["value"] == 2500.0 and records[0]["error"] is None
+        assert records[1]["error"] is not None
+        assert "max_n" in records[2]["error"]
+        assert [r["line"] for r in records] == [1, 2, 3]
+
+    def test_stdin_input(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO('{"dims": [2, 3, 4]}\n')
+        )
+        rc = main(["batch", "--backend", "serial"])
+        out = capsys.readouterr().out
+        assert rc == 0 and "24" in out
+
+    def test_process_backend(self, tmp_path, capsys):
+        path = self._write_specs(
+            tmp_path,
+            ['{"dims": [10, 20, 5, 30], "method": "huang"}'] * 3,
+        )
+        rc = main(["batch", "--input", path, "--backend", "process", "--max-workers", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0 and out.count("2500") == 3
+
+    def test_unknown_method_line_is_isolated(self, capsys, monkeypatch):
+        """A bad per-line method becomes an in-place error record; the
+        rest of the batch still solves (the error-isolation contract)."""
+        import io
+        import json
+
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO(
+                '{"dims": [2, 3, 4], "method": "bogus"}\n'
+                '{"dims": [10, 20, 5, 30], "method": "huang"}\n'
+            ),
+        )
+        rc = main(["batch", "--jsonl", "--backend", "serial"])
+        records = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        assert rc == 1
+        assert "unknown method" in records[0]["error"]
+        assert records[1]["value"] == 2500.0
+
+    def test_typoed_spec_key_is_rejected(self, capsys, monkeypatch):
+        """A spec with no recognized problem key (e.g. 'dmis' typo) must
+        become an error record, never a silently-solved random default."""
+        import io
+        import json
+
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO(
+                '{"dmis": [30, 35, 15]}\n'
+                '{"family": "nonsense", "n": 5}\n'
+                '{"dims": [2, 3, 4]}\n'
+            ),
+        )
+        rc = main(["batch", "--jsonl", "--backend", "serial"])
+        records = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        assert rc == 1
+        assert "must contain one of" in records[0]["error"]
+        assert "unknown family" in records[1]["error"]
+        assert records[2]["value"] == 24.0
+
+    def test_invalid_max_workers_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["batch", "--max-workers", "0"])
+
+
+class TestSolveBackendOption:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_backend_matches_serial(self, backend, capsys):
+        rc = main(
+            [
+                "solve",
+                "--dims",
+                "30,35,15,5,10,20,25",
+                "--method",
+                "huang",
+                "--backend",
+                backend,
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0 and "15125" in out
+
+    def test_compact_method_choice(self, capsys):
+        rc = main(
+            ["solve", "--family", "generic", "--n", "9", "--method", "huang-compact"]
+        )
+        assert rc == 0 and "value" in capsys.readouterr().out
+
+    def test_invalid_workers_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["solve", "--dims", "2,3,4", "--workers", "0"]
+            )
