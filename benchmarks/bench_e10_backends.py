@@ -11,7 +11,13 @@ that buys (and costs) on real hardware:
 * tile-count sweep on the thread backend — the marginal value of
   finer partitions;
 * ``solve_many`` batch throughput: the same workload as a stream of
-  independent problems on a shared pool, the service-layer view.
+  independent problems on a shared pool, the service-layer view;
+* algebra axis — per-method wall-clock across the registered selection
+  semirings, with min-plus as the reference column. The algebra rides
+  the kernels' keyword channel as a set of ufunc handles, so the
+  min-plus hot path must stay within noise of the pre-algebra engine
+  (the acceptance bar is 5%); the other algebras differ only by which
+  ufunc the same slab operations dispatch to.
 
 Correctness is not at stake (every combination commits bitwise-equal
 tables — the test suite pins that); this is the operational record the
@@ -22,12 +28,13 @@ from __future__ import annotations
 
 import time
 
-from repro.core import solve, solve_many
+from repro.core import list_algebras, solve, solve_many
 from repro.problems.generators import random_matrix_chain
 from repro.util.tables import format_table
 
 METHODS = ("huang", "huang-banded", "huang-compact")
 BACKENDS = ("serial", "thread", "process")
+ALGEBRAS = tuple(list_algebras())
 
 
 def _time(fn, repeats: int = 3) -> float:
@@ -89,6 +96,33 @@ def tile_sweep_table(n: int = 24, workers: int = 4):
     )
 
 
+def algebra_sweep_table(n: int = 24):
+    p = random_matrix_chain(n, seed=2)
+    rows = []
+    for method in METHODS:
+        timings = {
+            alg: _time(lambda: solve(p, method=method, algebra=alg))
+            for alg in ALGEBRAS
+        }
+        ref = timings["min_plus"]
+        rows.append(
+            (method,)
+            + tuple(f"{timings[alg] * 1e3:.1f}" for alg in ALGEBRAS)
+            + tuple(f"{timings[alg] / ref:.2f}x" for alg in ALGEBRAS if alg != "min_plus")
+        )
+    return format_table(
+        ["method"]
+        + [f"{alg} ms" for alg in ALGEBRAS]
+        + [f"{alg}/minplus" for alg in ALGEBRAS if alg != "min_plus"],
+        rows,
+        title=(
+            f"E10d: algebra axis at n={n}, serial backend. One kernel set, "
+            "five semirings; ratios near 1.0x mean the algebra indirection "
+            "costs nothing (same slab ops, different ufunc)."
+        ),
+    )
+
+
 def batch_throughput_table(count: int = 12, n: int = 16, workers: int = 4):
     problems = [random_matrix_chain(n, seed=s) for s in range(count)]
     rows = []
@@ -129,6 +163,13 @@ def test_e10_batch_throughput(report, benchmark):
     )
 
 
+def test_e10_algebra_sweep(report, benchmark):
+    report(
+        "e10_backends",
+        benchmark.pedantic(algebra_sweep_table, rounds=1, iterations=1),
+    )
+
+
 def test_e10_tiled_iteration_kernel(benchmark):
     """Wall-clock kernel: one thread-tiled huang iteration at n=32."""
     from repro.core.huang import HuangSolver
@@ -144,6 +185,8 @@ def main() -> None:
     print(tile_sweep_table())
     print()
     print(batch_throughput_table())
+    print()
+    print(algebra_sweep_table())
 
 
 if __name__ == "__main__":

@@ -13,15 +13,20 @@ Quickstart::
     problem = MatrixChainProblem([30, 35, 15, 5, 10, 20, 25])
     print(solve(problem, method="huang").value)        # 15125.0
 
+    # the same solvers over any registered selection semiring:
+    print(solve(problem, method="huang", algebra="minimax").value)  # 5250.0
+
 Subpackages
 -----------
 ``repro.problems``  — recurrence-(*) instances (matrix chain, optimal
-                      BST, polygon triangulation, generic, generators);
+                      BST, polygon triangulation, bottleneck chains,
+                      reliability trees, generic, generators);
 ``repro.core``      — solvers: sequential O(n³), Knuth O(n²), the
                       paper's O(sqrt(n)·log n) algorithm (full and
                       banded), Rytter's baseline, termination policies,
                       the symbolic cost model, the sweep-kernel engine
-                      (pluggable execution backends), and the batched
+                      (pluggable execution backends and pluggable
+                      selection-semiring algebras), and the batched
                       ``solve_many`` service layer;
 ``repro.pebbling``  — the Section 3 pebbling game (both square rules),
                       Lemma 3.3 invariants;
@@ -36,10 +41,13 @@ Subpackages
 
 from repro._version import __version__
 from repro.core.api import solve, solve_many, SolveResult, BatchItem
+from repro.core.algebra import SelectionSemiring, get_algebra, list_algebras
 from repro.problems import (
     MatrixChainProblem,
     OptimalBSTProblem,
     PolygonTriangulationProblem,
+    BottleneckChainProblem,
+    ReliabilityBSTProblem,
     GenericProblem,
 )
 
@@ -49,8 +57,13 @@ __all__ = [
     "solve_many",
     "SolveResult",
     "BatchItem",
+    "SelectionSemiring",
+    "get_algebra",
+    "list_algebras",
     "MatrixChainProblem",
     "OptimalBSTProblem",
     "PolygonTriangulationProblem",
+    "BottleneckChainProblem",
+    "ReliabilityBSTProblem",
     "GenericProblem",
 ]

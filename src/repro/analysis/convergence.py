@@ -65,16 +65,30 @@ def convergence_profile(
     problem: ParenthesizationProblem,
     solver: HuangSolver | None = None,
     *,
+    algebra: str | None = None,
     max_iterations: int | None = None,
     atol: float = 1e-9,
 ) -> ConvergenceProfile:
     """Run ``solver`` (default: a fresh banded-capable HuangSolver) to
-    the full fixed point, recording each cell's first-exact iteration."""
+    the full fixed point, recording each cell's first-exact iteration.
+
+    ``algebra`` selects the semiring for the reference DP. ``None``
+    follows a caller-supplied ``solver``'s own algebra (falling back to
+    the problem family's preference), so the common
+    ``convergence_profile(p, BandedSolver(p))`` call compares within
+    one domain by construction.
+    """
     from repro.core.banded import BandedSolver
 
-    ref = solve_sequential(problem).w
+    if algebra is None:
+        algebra = (
+            solver.algebra.name
+            if solver is not None
+            else getattr(problem, "preferred_algebra", "min_plus")
+        )
+    ref = solve_sequential(problem, algebra=algebra).w
     if solver is None:
-        solver = BandedSolver(problem)
+        solver = BandedSolver(problem, algebra=algebra)
     n = problem.n
     first = np.full((n + 1, n + 1), -1, dtype=np.int64)
     idx = np.arange(n)

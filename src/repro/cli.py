@@ -2,17 +2,20 @@
 
 Commands
 --------
-``solve``    solve a random or user-specified instance with any method;
-``batch``    solve a JSONL stream of problem specs on a worker pool;
-``pebble``   play the pebbling game on a named tree shape;
-``costs``    print the symbolic processor–time comparison table;
-``average``  evaluate the Section 6 recurrence and a Monte-Carlo check.
+``solve``     solve a random or user-specified instance with any method;
+``batch``     solve a JSONL stream of problem specs on a worker pool;
+``algebras``  list the registered selection-semiring algebras;
+``pebble``    play the pebbling game on a named tree shape;
+``costs``     print the symbolic processor–time comparison table;
+``average``   evaluate the Section 6 recurrence and a Monte-Carlo check.
 
 Examples::
 
     python -m repro solve --family chain --n 16 --method huang-banded
     python -m repro solve --dims 30,35,15,5,10,20,25 --method huang --backend process
+    python -m repro solve --family bottleneck --n 14 --algebra minimax
     python -m repro batch --input problems.jsonl --backend process --max-workers 4
+    python -m repro algebras
     python -m repro pebble --shape zigzag --n 4096 --rule huang
     python -m repro costs --n 16 64 256
     python -m repro average --n-max 1024
@@ -23,6 +26,8 @@ Batch specs are one JSON object per line, e.g.::
     {"dims": [30, 35, 15, 5, 10, 20, 25], "method": "huang"}
     {"family": "bst", "p": [0.15, 0.1], "q": [0.05, 0.1, 0.05]}
     {"family": "polygon", "points": [[0, 0], [1, 0], [1, 1], [0, 1]]}
+    {"weights": [3, 9, 2, 7], "algebra": "minimax"}
+    {"connectors": [0.9, 0.8], "leaves": [0.99, 0.95, 0.97], "algebra": "maxmin"}
 """
 
 from __future__ import annotations
@@ -31,9 +36,11 @@ import argparse
 import sys
 from typing import Sequence
 
-# Method names come from the solver dispatch table so new methods show
-# up in the CLI automatically. (Importing repro at all already pays the
-# numpy import via the package __init__, so this costs nothing extra.)
+# Method and algebra names come from the solver dispatch table and the
+# algebra registry so new entries show up in the CLI automatically.
+# (Importing repro at all already pays the numpy import via the package
+# __init__, so this costs nothing extra.)
+from repro.core.algebra import list_algebras
 from repro.core.api import ITERATIVE_METHODS, METHODS
 
 __all__ = ["main", "build_parser"]
@@ -45,6 +52,8 @@ _FAMILY_GENERATOR_NAMES = {
     "bst": "random_bst",
     "polygon": "random_polygon",
     "generic": "random_generic",
+    "bottleneck": "random_bottleneck_chain",
+    "reliability": "random_reliability_bst",
 }
 FAMILIES = tuple(_FAMILY_GENERATOR_NAMES)
 
@@ -104,6 +113,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="termination policy for the iterative methods",
     )
     p_solve.add_argument(
+        "--algebra",
+        choices=list(list_algebras()),
+        default=None,
+        help=(
+            "selection semiring the recurrence runs over (default: the "
+            "problem family's preferred algebra, min_plus for the "
+            "classical families)"
+        ),
+    )
+    p_solve.add_argument(
         "--backend",
         choices=["serial", "thread", "process"],
         default="serial",
@@ -133,6 +152,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="default method for specs that do not name one",
     )
     p_batch.add_argument(
+        "--algebra",
+        choices=list(list_algebras()),
+        default=None,
+        help=(
+            "default algebra for specs that do not name one (default: "
+            "each problem family's preferred algebra)"
+        ),
+    )
+    p_batch.add_argument(
         "--backend",
         choices=["serial", "thread", "process"],
         default="thread",
@@ -148,6 +176,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--jsonl",
         action="store_true",
         help="emit one JSON result object per line instead of the table",
+    )
+
+    sub.add_parser(
+        "algebras", help="list the registered selection-semiring algebras"
     )
 
     p_pebble = sub.add_parser("pebble", help="play the pebbling game")
@@ -188,6 +220,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         "w-pw-stable": WPWStable(),
     }[args.policy]
     kwargs = {}
+    if args.algebra is not None:
+        kwargs["algebra"] = args.algebra
     if args.method in ITERATIVE_METHODS:
         kwargs["policy"] = policy
         kwargs["backend"] = args.backend
@@ -195,6 +229,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     result = solve(problem, method=args.method, reconstruct=args.tree, **kwargs)
     print(f"problem : {problem.describe()}")
     print(f"method  : {args.method}")
+    if result.algebra != "min_plus":
+        print(f"algebra : {result.algebra}")
     print(f"value   : {result.value:.6g}")
     if result.iterations is not None:
         print(f"iters   : {result.iterations}")
@@ -211,15 +247,18 @@ def _problem_from_spec(spec: dict):
     """Build a problem instance from one JSONL batch spec.
 
     Explicit data wins over random families: ``dims`` makes a matrix
-    chain, ``p``/``q`` an optimal BST, ``points`` a polygon. A
-    ``family`` + ``n`` + ``seed`` spec draws a random instance. A spec
-    with none of those keys is rejected (a typo'd key must not silently
-    solve a random default instance).
+    chain, ``p``/``q`` an optimal BST, ``points`` a polygon,
+    ``weights`` a bottleneck chain, ``connectors``/``leaves`` a
+    reliability tree. A ``family`` + ``n`` + ``seed`` spec draws a
+    random instance. A spec with none of those keys is rejected (a
+    typo'd key must not silently solve a random default instance).
     """
     from repro.problems import (
+        BottleneckChainProblem,
         MatrixChainProblem,
         OptimalBSTProblem,
         PolygonTriangulationProblem,
+        ReliabilityBSTProblem,
     )
 
     if "dims" in spec:
@@ -229,6 +268,13 @@ def _problem_from_spec(spec: dict):
     if "points" in spec:
         points = [tuple(float(c) for c in pt) for pt in spec["points"]]
         return PolygonTriangulationProblem(points, rule=spec.get("rule", "perimeter"))
+    if "weights" in spec:
+        return BottleneckChainProblem([float(x) for x in spec["weights"]])
+    if "connectors" in spec or "leaves" in spec:
+        return ReliabilityBSTProblem(
+            [float(x) for x in spec.get("connectors", [])],
+            [float(x) for x in spec.get("leaves", [])],
+        )
     if "family" in spec:
         family = spec["family"]
         if family not in FAMILIES:
@@ -236,8 +282,8 @@ def _problem_from_spec(spec: dict):
         make = _family_generators()[family]
         return make(int(spec.get("n", 12)), seed=int(spec.get("seed", 0)))
     raise ValueError(
-        "spec must contain one of: dims, p/q, points, or family "
-        f"(got keys {sorted(spec)})"
+        "spec must contain one of: dims, p/q, points, weights, "
+        f"connectors/leaves, or family (got keys {sorted(spec)})"
     )
 
 
@@ -276,6 +322,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 kwargs["max_n"] = int(spec["max_n"])
             if "band" in spec and method in ("huang-banded", "huang-compact"):
                 kwargs["band"] = int(spec["band"])
+            if "algebra" in spec:
+                # Deliberately not validated here: algebra resolution
+                # happens inside the solve worker, exercising
+                # solve_many's per-item error isolation.
+                kwargs["algebra"] = str(spec["algebra"])
             items.append((lineno, (_problem_from_spec(spec), method, kwargs)))
         except Exception as exc:  # noqa: BLE001 - report bad lines, keep going
             items.append((lineno, exc))
@@ -284,6 +335,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     results = solve_many(
         batch,
         method=args.method,
+        algebra=args.algebra,
         backend=args.backend,
         max_workers=args.max_workers,
         on_error="return",
@@ -334,6 +386,33 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             )
         )
     return 1 if failures else 0
+
+
+def _cmd_algebras(args: argparse.Namespace) -> int:
+    from repro.core.algebra import get_algebra
+    from repro.util.tables import format_table
+
+    rows = []
+    for name in list_algebras():
+        alg = get_algebra(name)
+        rows.append(
+            (
+                name,
+                alg.combine_ufunc.__name__,
+                alg.extend_ufunc.__name__,
+                alg.zero,
+                alg.one,
+                alg.description,
+            )
+        )
+    print(
+        format_table(
+            ["name", "combine", "extend", "zero", "one", "objective"],
+            rows,
+            title="registered selection-semiring algebras (solve --algebra NAME)",
+        )
+    )
+    return 0
 
 
 def _cmd_pebble(args: argparse.Namespace) -> int:
@@ -401,6 +480,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     handler = {
         "solve": _cmd_solve,
         "batch": _cmd_batch,
+        "algebras": _cmd_algebras,
         "pebble": _cmd_pebble,
         "costs": _cmd_costs,
         "average": _cmd_average,

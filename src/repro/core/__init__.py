@@ -16,6 +16,9 @@
 * :mod:`~repro.core.kernels` — the unified sweep-kernel engine: every
   iterative solver's operations as tile-compute-commit kernels executed
   on a pluggable backend (serial / thread / process);
+* :mod:`~repro.core.algebra` — the pluggable selection-semiring
+  algebras the kernels compute over (``min_plus`` default, plus
+  ``max_plus``, ``minimax``, ``maxmin``, ``lex_min_plus``);
 * :mod:`~repro.core.termination` — iteration schedules / early stopping
   (Section 7's open problem);
 * :mod:`~repro.core.exact_pw` — sequential ground truth for the
@@ -29,6 +32,12 @@
 """
 
 from repro.core.api import solve, solve_many, SolveResult, BatchItem
+from repro.core.algebra import (
+    SelectionSemiring,
+    get_algebra,
+    list_algebras,
+    register_algebra,
+)
 from repro.core.kernels import KernelEngine, SweepKernel
 from repro.core.sequential import solve_sequential, SequentialResult
 from repro.core.knuth import solve_knuth
@@ -54,6 +63,10 @@ __all__ = [
     "solve_many",
     "SolveResult",
     "BatchItem",
+    "SelectionSemiring",
+    "get_algebra",
+    "list_algebras",
+    "register_algebra",
     "KernelEngine",
     "SweepKernel",
     "solve_sequential",

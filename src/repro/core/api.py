@@ -32,6 +32,7 @@ from typing import Any, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.core.algebra import SelectionSemiring, get_algebra
 from repro.core.banded import BandedSolver
 from repro.core.compact import CompactBandedSolver
 from repro.core.huang import HuangSolver, IterationTrace
@@ -69,6 +70,9 @@ class SolveResult:
     ``iterations``/``trace`` are ``None`` for the sequential methods.
     ``tree`` is computed lazily only when ``reconstruct=True`` was
     passed (building it costs another O(n²) pass over the table).
+    ``value`` is decoded into the problem domain; ``w`` stays in the
+    algebra's (encoded) domain — the domain every solver's tables live
+    in, which is what the bitwise-equality suites compare.
     """
 
     method: str
@@ -77,6 +81,7 @@ class SolveResult:
     iterations: Optional[int] = None
     trace: Optional[IterationTrace] = None
     tree: Optional[ParseTree] = None
+    algebra: str = "min_plus"
 
     @property
     def n(self) -> int:
@@ -87,6 +92,7 @@ def solve(
     problem: ParenthesizationProblem,
     *,
     method: str = "sequential",
+    algebra: SelectionSemiring | str | None = None,
     policy: TerminationPolicy | None = None,
     reconstruct: bool = False,
     max_n: int | None = None,
@@ -105,6 +111,17 @@ def solve(
         algorithm), ``"huang-banded"`` (Section 5 variant, Θ(n⁴)
         storage), ``"huang-compact"`` (Section 5 with Θ(n³) storage,
         scales to n ≈ 200) or ``"rytter"`` (the [8] baseline).
+    algebra:
+        Selection semiring the recurrence runs over — a registered name
+        (``"min_plus"``, ``"max_plus"``, ``"minimax"``, ``"maxmin"``,
+        ``"lex_min_plus"``) or a
+        :class:`~repro.core.algebra.SelectionSemiring` instance.
+        ``None`` (the default) resolves to the problem family's
+        ``preferred_algebra`` — ``"min_plus"`` for the classical
+        families, ``"minimax"`` for bottleneck chains, ``"maxmin"``
+        for reliability trees. Supported by every method except
+        ``"knuth"``, whose quadrangle-inequality speedup is specific
+        to min-plus.
     policy:
         Termination policy for the iterative methods (default: the
         method's paper schedule).
@@ -128,15 +145,30 @@ def solve(
     """
     if method not in METHODS:
         raise InvalidProblemError(f"unknown method {method!r}; choose from {METHODS}")
+    if algebra is None:
+        algebra = getattr(problem, "preferred_algebra", "min_plus")
+    alg = get_algebra(algebra)
 
     if method == "sequential":
-        seq = solve_sequential(problem)
+        seq = solve_sequential(problem, algebra=alg)
         tree = (
             ParseTree.from_split_table(seq.split) if reconstruct and problem.n >= 1 else None
         )
-        return SolveResult(method=method, value=seq.value, w=seq.w, tree=tree)
+        return SolveResult(
+            method=method,
+            value=float(alg.decode(seq.value)),
+            w=seq.w,
+            tree=tree,
+            algebra=alg.name,
+        )
 
     if method == "knuth":
+        if alg.name != "min_plus":
+            raise InvalidProblemError(
+                "method 'knuth' supports only the min_plus algebra (the "
+                "quadrangle-inequality split-window argument is specific to "
+                f"it); got {alg.name!r}"
+            )
         seq = solve_knuth(problem, **solver_kwargs)
         tree = ParseTree.from_split_table(seq.split) if reconstruct else None
         return SolveResult(method=method, value=seq.value, w=seq.w, tree=tree)
@@ -145,21 +177,27 @@ def solve(
     if max_n is not None:
         solver_kwargs["max_n"] = max_n
     solver = solver_cls(
-        problem, backend=backend, workers=workers, tiles=tiles, **solver_kwargs
+        problem,
+        algebra=alg,
+        backend=backend,
+        workers=workers,
+        tiles=tiles,
+        **solver_kwargs,
     )
     try:
         out = solver.run(policy)
     finally:
         if isinstance(backend, str):
             solver.close()
-    tree = reconstruct_tree(problem, out.w) if reconstruct else None
+    tree = reconstruct_tree(problem, out.w, algebra=alg) if reconstruct else None
     return SolveResult(
         method=method,
-        value=out.value,
+        value=float(alg.decode(out.value)),
         w=out.w,
         iterations=out.iterations,
         trace=out.trace,
         tree=tree,
+        algebra=alg.name,
     )
 
 
@@ -265,7 +303,10 @@ def solve_many(
         so one bad problem cannot take down the batch.
     solve_kwargs:
         Batch-wide defaults forwarded to :func:`solve` (``policy=...``,
-        ``reconstruct=...``, ``max_n=...``).
+        ``reconstruct=...``, ``max_n=...``, ``algebra=...``). Per-item
+        ``algebra`` overrides (via :class:`BatchItem` or spec tuples)
+        are validated *inside* the worker, so a bad algebra name on one
+        item is isolated exactly like any other per-item failure.
 
     Examples
     --------

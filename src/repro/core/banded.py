@@ -86,6 +86,12 @@ class BandedSolver(HuangSolver):
         ``2 * ceil(sqrt(n))``.
     size_band:
         Apply the iteration-indexed pebble window of Section 5.
+
+    ``algebra=`` / ``backend=`` / ``workers=`` / ``tiles=`` are
+    inherited from :class:`~repro.core.huang.HuangSolver`: the band is
+    a restriction of *which* compositions are swept, independent of the
+    selection semiring they are swept over, so every registered algebra
+    runs through the same banded kernels.
     """
 
     def __init__(

@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.algebra import SelectionSemiring, get_algebra
 from repro.core.banded import default_band
 from repro.core.huang import IterativeTableSolver
 from repro.core.kernels import (
@@ -78,6 +79,7 @@ class CompactBandedSolver(IterativeTableSolver):
         *,
         band: int | None = None,
         max_n: int = 256,
+        algebra: SelectionSemiring | str | None = None,
         backend: Backend | str = "serial",
         workers: int | None = None,
         tiles: int | None = None,
@@ -93,8 +95,11 @@ class CompactBandedSolver(IterativeTableSolver):
         if self.band < 0:
             raise InvalidProblemError(f"band must be >= 0, got {self.band}")
         self.band = min(self.band, max(0, problem.n - 1))
-        self._F = problem.cached_f_table()
-        self._init = problem.init_vector()
+        if algebra is None:
+            algebra = getattr(problem, "preferred_algebra", "min_plus")
+        self.algebra = get_algebra(algebra)
+        self._F = self.algebra.encode_f(problem.cached_f_table())
+        self._init = self.algebra.encode_init(problem.init_vector())
         self._init_engine(backend, workers, tiles)
         self.reset()
 
@@ -112,26 +117,28 @@ class CompactBandedSolver(IterativeTableSolver):
     def reset(self) -> None:
         N = self.n + 1
         B = self.band
-        self.w = np.full((N, N), np.inf)
+        alg = self.algebra
+        self.w = alg.full((N, N))
         idx = np.arange(self.n)
         self.w[idx, idx + 1] = self._init
-        # PB[i, j, o, d]; invalid combinations simply stay +inf.
-        self.PB = np.full((N, N, B + 1, B + 1), np.inf)
+        # PB[i, j, o, d]; invalid combinations simply stay unreached.
+        self.PB = alg.full((N, N, B + 1, B + 1))
         ii, jj = np.triu_indices(N, k=1)
-        self.PB[ii, jj, 0, 0] = 0.0  # pw(i, j, i, j) = 0
-        self.A1 = np.full((N, N, N), np.inf)  # pw'(i, j, i, k)
-        self.A2 = np.full((N, N, N), np.inf)  # pw'(i, j, k, j)
+        self.PB[ii, jj, 0, 0] = alg.one  # pw(i, j, i, j) = empty composition
+        self.A1 = alg.full((N, N, N))  # pw'(i, j, i, k)
+        self.A2 = alg.full((N, N, N))  # pw'(i, j, k, j)
         # Valid slots: 0 <= i < j <= n, o <= d < j - i. Invalid slots must
-        # stay +inf or shifted-slice compositions could read garbage.
+        # stay unreached or shifted-slice compositions could read garbage.
         i_g, j_g, o_g, d_g = np.ogrid[:N, :N, : B + 1, : B + 1]
         self._invalid = ~((i_g < j_g) & (o_g <= d_g) & (d_g < j_g - i_g))
         self.iterations_run = 0
 
     def _count_finite_pw(self) -> int:
+        alg = self.algebra
         return int(
-            np.isfinite(self.PB).sum()
-            + np.isfinite(self.A1).sum()
-            + np.isfinite(self.A2).sum()
+            alg.reachable(self.PB).sum()
+            + alg.reachable(self.A1).sum()
+            + alg.reachable(self.A2).sum()
         )
 
     # -- accounting ---------------------------------------------------------------
@@ -153,7 +160,8 @@ class CompactBandedSolver(IterativeTableSolver):
         """Materialise the in-band + activate cells as a dense Θ(n⁴)
         table (tests compare it cell-by-cell against BandedSolver)."""
         N = self.n + 1
-        out = np.full((N, N, N, N), np.inf)
+        alg = self.algebra
+        out = alg.full((N, N, N, N))
         for i in range(N):
             for j in range(i + 1, N):
                 span = j - i
@@ -164,6 +172,6 @@ class CompactBandedSolver(IterativeTableSolver):
                         if p < q:
                             out[i, j, p, q] = self.PB[i, j, o, d]
                 for k in range(i + 1, j):
-                    out[i, j, i, k] = min(out[i, j, i, k], self.A1[i, j, k])
-                    out[i, j, k, j] = min(out[i, j, k, j], self.A2[i, j, k])
+                    out[i, j, i, k] = alg.combine(out[i, j, i, k], self.A1[i, j, k])
+                    out[i, j, k, j] = alg.combine(out[i, j, k, j], self.A2[i, j, k])
         return out

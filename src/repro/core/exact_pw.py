@@ -39,7 +39,10 @@ def exact_pw_table(problem: ParenthesizationProblem) -> np.ndarray:
             f"exact_pw_table is a test oracle; n={n} > 20 would be too slow"
         )
     F = problem.cached_f_table()
-    w = solve_sequential(problem).w
+    # This oracle's composition below is hard-coded min-plus, so the
+    # reference w must be pinned to min_plus regardless of the problem
+    # family's preferred algebra.
+    w = solve_sequential(problem, algebra="min_plus").w
     N = n + 1
     pw = np.full((N, N, N, N), np.inf)
     ii, jj = np.triu_indices(N, k=1)

@@ -47,6 +47,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.algebra import SelectionSemiring, get_algebra
 from repro.core.kernels import (
     DenseActivateKernel,
     DensePebbleKernel,
@@ -128,6 +129,15 @@ class IterativeTableSolver:
     ``"process"`` or a :class:`~repro.parallel.backends.Backend`
     instance), ``workers=`` and ``tiles=``; every combination commits
     bitwise-identical tables (the integration suite verifies this).
+
+    All of them also accept ``algebra=`` — a registered
+    :class:`~repro.core.algebra.SelectionSemiring` name or instance
+    (default ``"min_plus"``, the paper's algebra, bit-for-bit the
+    historical path). The problem's ``f``/``init`` tables are encoded
+    into the algebra's domain once at construction, and every sweep and
+    commit routes its compose/select operations through it, so one
+    kernel set serves min-plus, max-plus, bottleneck (``minimax``),
+    reliability (``maxmin``) and lexicographic objectives alike.
     """
 
     #: operation schedule of one iteration, in kernel order
@@ -226,7 +236,7 @@ class IterativeTableSolver:
                 record.root_values.append(root)
                 record.w_changed.append(w_changed)
                 record.pw_changed.append(pw_changed)
-                record.w_finite.append(int(np.isfinite(self.w).sum()))
+                record.w_finite.append(int(self.algebra.reachable(self.w).sum()))
                 record.pw_finite.append(self._count_finite_pw())
             state = IterationState(
                 iteration=self.iterations_run,
@@ -256,10 +266,11 @@ class IterativeTableSolver:
         self.close()
 
     def _count_finite_pw(self) -> int:
-        """Finite partial-weight entries, for the trace; subclasses with
-        non-dense storage override."""
+        """Reached partial-weight entries, for the trace (``reachable``
+        under the solver's algebra — exactly the finite entries for
+        min-plus); subclasses with non-dense storage override."""
         pw = getattr(self, "pw", None)
-        return int(np.isfinite(pw).sum()) if pw is not None else 0
+        return int(self.algebra.reachable(pw).sum()) if pw is not None else 0
 
 
 class HuangSolver(IterativeTableSolver):
@@ -275,6 +286,11 @@ class HuangSolver(IterativeTableSolver):
     track_pw_changes:
         Record whether pw changed each iteration even when the policy
         does not need it (costs one n⁴ comparison per iteration).
+    algebra:
+        Selection semiring the sweeps run over (name or
+        :class:`~repro.core.algebra.SelectionSemiring`; ``None``
+        resolves to the problem family's ``preferred_algebra``,
+        ``"min_plus"`` for the classical families).
     backend, workers, tiles:
         Execution backend for the sweep kernels (default serial,
         single-tile — the reference path); see
@@ -287,6 +303,7 @@ class HuangSolver(IterativeTableSolver):
         *,
         max_n: int = 64,
         track_pw_changes: bool = False,
+        algebra: SelectionSemiring | str | None = None,
         backend: Backend | str = "serial",
         workers: int | None = None,
         tiles: int | None = None,
@@ -300,8 +317,11 @@ class HuangSolver(IterativeTableSolver):
         self.problem = problem
         self.n = problem.n
         self.track_pw_changes = track_pw_changes
-        self._F = problem.cached_f_table()
-        self._init = problem.init_vector()
+        if algebra is None:
+            algebra = getattr(problem, "preferred_algebra", "min_plus")
+        self.algebra = get_algebra(algebra)
+        self._F = self.algebra.encode_f(problem.cached_f_table())
+        self._init = self.algebra.encode_init(problem.init_vector())
         self._init_engine(backend, workers, tiles)
         self.reset()
 
@@ -317,14 +337,16 @@ class HuangSolver(IterativeTableSolver):
     # -- state ---------------------------------------------------------------
 
     def reset(self) -> None:
-        """(Re)initialise w' and pw' to the paper's starting tables."""
+        """(Re)initialise w' and pw' to the paper's starting tables
+        (``zero`` everywhere, leaf costs on the unit intervals, the
+        extend-identity ``one`` on the trivial gaps)."""
         N = self.n + 1
-        self.w = np.full((N, N), np.inf)
+        self.w = self.algebra.full((N, N))
         idx = np.arange(self.n)
         self.w[idx, idx + 1] = self._init
-        self.pw = np.full((N, N, N, N), np.inf)
+        self.pw = self.algebra.full((N, N, N, N))
         ii, jj = np.triu_indices(N, k=1)
-        self.pw[ii, jj, ii, jj] = 0.0
+        self.pw[ii, jj, ii, jj] = self.algebra.one
         self.iterations_run = 0
 
     # -- accounting ----------------------------------------------------------

@@ -85,15 +85,18 @@ class HybridSolver(BandedSolver):
 
     def reset(self) -> None:
         super().reset()
-        # Sequential seeding: fill w for spans 2..seed_span bottom-up.
+        # Sequential seeding: fill w for spans 2..seed_span bottom-up
+        # (under the solver's algebra — self._F is already encoded).
         n = self.n
+        alg = self.algebra
         F = self._F
         w = self.w
         for length in range(2, self.seed_span + 1):
             for i in range(0, n - length + 1):
                 j = i + length
                 ks = np.arange(i + 1, j)
-                w[i, j] = float(np.min(w[i, ks] + w[ks, j] + F[i, ks, j]))
+                cand = alg.extend(alg.extend(w[i, ks], w[ks, j]), F[i, ks, j])
+                w[i, j] = float(alg.select(cand))
 
     def run(self, policy=None, **kwargs):
         if policy is None:

@@ -21,11 +21,20 @@ that shape out:
   :class:`~repro.parallel.backends.Backend` (serial / thread / fork
   process) and runs a kernel as ``tiles -> backend.map -> commit``.
 
-Because every update is a monotone min and every compute function
-evaluates the identical candidate lattice in the identical order for a
-given output cell, the committed tables are **bitwise identical** for
-every tiling and every backend — the CREW discipline made executable
-(see DESIGN.md). Compute functions are module-level and receive their
+Every compute and commit goes through the solver's
+:class:`~repro.core.algebra.SelectionSemiring` (the engine injects it
+into the compute functions' keyword channel): ``extend`` composes
+candidates, ``combine`` merges them. With the default ``min_plus``
+algebra these resolve to exactly ``np.add``/``np.minimum``, keeping the
+historical path bit-for-bit; any other registered algebra (``max_plus``,
+``minimax``, ``maxmin``, ``lex_min_plus``) reuses the same kernels
+unchanged.
+
+Because every update is a monotone *idempotent* merge and every compute
+function evaluates the identical candidate lattice in the identical
+order for a given output cell, the committed tables are **bitwise
+identical** for every tiling and every backend — the CREW discipline
+made executable (see DESIGN.md §"The algebra contract"). Compute functions are module-level and receive their
 array inputs via backend keyword injection, so the fork-based process
 backend inherits multi-hundred-MB tables copy-on-write instead of
 pickling them per tile.
@@ -46,6 +55,7 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from repro.core.algebra import MIN_PLUS, SelectionSemiring
 from repro.parallel.backends import Backend, make_backend
 from repro.parallel.partition import split_range
 
@@ -70,10 +80,15 @@ __all__ = [
 # All of these are pure: they read the pre-step snapshot arrays passed by
 # keyword and return a candidate slab for their tile. They must stay
 # module-level so the process backend can pickle a reference to them.
+# The ``algebra`` keyword is injected by the engine (the solver's
+# selection semiring); ``algebra.extend``/``combine`` are the np.add /
+# np.minimum of the historical min-plus kernels.
 # ---------------------------------------------------------------------------
 
 
-def dense_activate_tile(tile: tuple, *, F: np.ndarray, w: np.ndarray) -> np.ndarray:
+def dense_activate_tile(
+    tile: tuple, *, F: np.ndarray, w: np.ndarray, algebra: SelectionSemiring = MIN_PLUS
+) -> np.ndarray:
     """Equations (1a)/(1b) candidates for one slab of rows.
 
     Tile ``("a", lo, hi)``: slab ``[i - lo, j, k]`` of candidates for
@@ -83,40 +98,46 @@ def dense_activate_tile(tile: tuple, *, F: np.ndarray, w: np.ndarray) -> np.ndar
     """
     side, lo, hi = tile
     if side == "a":
-        A = F[lo:hi] + w[None, :, :]  # A[i - lo, k, j]
+        A = algebra.extend(F[lo:hi], w[None, :, :])  # A[i - lo, k, j]
         return A.transpose(0, 2, 1)  # [i - lo, j, k]
-    B = F[:, :, lo:hi] + w[:, :, None]  # B[i, k, j - lo]
+    B = algebra.extend(F[:, :, lo:hi], w[:, :, None])  # B[i, k, j - lo]
     return B.transpose(2, 0, 1)  # [j - lo, i, k]
 
 
-def dense_square_tile(tile: tuple, *, pw: np.ndarray) -> np.ndarray:
+def dense_square_tile(
+    tile: tuple, *, pw: np.ndarray, algebra: SelectionSemiring = MIN_PLUS
+) -> np.ndarray:
     """Equation (2c) candidates for rows ``i`` in ``tile`` (full lattice).
 
     Identical composition order to the historical serial sweep: all
-    right-anchored compositions ``pw(i,j,r,q) + pw(r,q,p,q)`` over
-    ``r``, then all left-anchored ``pw(i,j,p,s) + pw(p,s,p,q)`` over
-    ``s``; anchors whose second factor is entirely +inf contribute
+    right-anchored compositions ``pw(i,j,r,q) ⊗ pw(r,q,p,q)`` over
+    ``r``, then all left-anchored ``pw(i,j,p,s) ⊗ pw(p,s,p,q)`` over
+    ``s``; anchors whose second factor is entirely unreached contribute
     nothing and are skipped.
     """
     lo, hi = tile
     N = pw.shape[0]
     ar = np.arange(N)
-    acc = np.full((hi - lo, N, N, N), np.inf)
+    acc = algebra.full((hi - lo, N, N, N))
     tmp = np.empty_like(acc)
+    # Raw ufuncs, hoisted out of the sweep loops (per-call overhead is
+    # visible at this call frequency; for min_plus these are exactly
+    # np.add / np.minimum).
+    ext, comb = algebra.extend_ufunc, algebra.combine_ufunc
     for r in range(N):
         Y = pw[r][ar[None, :], ar[:, None], ar[None, :]]  # Y[p, q] = pw[r,q,p,q]
-        if not np.isfinite(Y).any():
+        if not algebra.reachable(Y).any():
             continue
         X = pw[lo:hi, :, r, :]  # X[i - lo, j, q]
-        np.add(X[:, :, None, :], Y[None, None, :, :], out=tmp)
-        np.minimum(acc, tmp, out=acc)
+        ext(X[:, :, None, :], Y[None, None, :, :], out=tmp)
+        comb(acc, tmp, out=acc)
     for s in range(N):
         Y = pw[:, s, :, :][ar, ar, :]  # Y[p, q] = pw[p,s,p,q]
-        if not np.isfinite(Y).any():
+        if not algebra.reachable(Y).any():
             continue
         X = pw[lo:hi, :, :, s]  # X[i - lo, j, p]
-        np.add(X[:, :, :, None], Y[None, None, :, :], out=tmp)
-        np.minimum(acc, tmp, out=acc)
+        ext(X[:, :, :, None], Y[None, None, :, :], out=tmp)
+        comb(acc, tmp, out=acc)
     return acc
 
 
@@ -127,6 +148,7 @@ def dense_pebble_tile(
     w: np.ndarray,
     span_lo: int = -1,
     span_hi: int = -1,
+    algebra: SelectionSemiring = MIN_PLUS,
 ) -> np.ndarray:
     """Equation (3) candidates for rows ``i`` in ``tile``.
 
@@ -134,18 +156,20 @@ def dense_pebble_tile(
     (``span_lo < j - i <= span_hi``); negative bounds mean no window.
     """
     lo, hi = tile
-    block = pw[lo:hi] + w[None, None, :, :]
-    cand = block.min(axis=(2, 3))
+    block = algebra.extend(pw[lo:hi], w[None, None, :, :])
+    cand = algebra.select(block, axis=(2, 3))
     if span_lo >= 0:
         N = w.shape[0]
         ii = np.arange(lo, hi)[:, None]
         jj = np.arange(N)[None, :]
         window = (jj - ii > span_lo) & (jj - ii <= span_hi)
-        cand = np.where(window, cand, np.inf)
+        cand = np.where(window, cand, algebra.zero)
     return cand
 
 
-def banded_square_tile(tile: tuple, *, pw: np.ndarray, band: int) -> np.ndarray:
+def banded_square_tile(
+    tile: tuple, *, pw: np.ndarray, band: int, algebra: SelectionSemiring = MIN_PLUS
+) -> np.ndarray:
     """Equation (2c) restricted to band offsets, rows ``i`` in ``tile``.
 
     Right-anchored offsets ``r = p - d`` and left-anchored ``s = q + d``
@@ -155,33 +179,38 @@ def banded_square_tile(tile: tuple, *, pw: np.ndarray, band: int) -> np.ndarray:
     lo, hi = tile
     N = pw.shape[0]
     ar = np.arange(N)
-    acc = np.full((hi - lo, N, N, N), np.inf)
+    acc = algebra.full((hi - lo, N, N, N))
+    ext, comb = algebra.extend_ufunc, algebra.combine_ufunc
     for d in range(0, min(band, N - 1) + 1):
-        # pw(i,j,p-d,q) + pw(p-d,q,p,q) -> acc[i,j,p,q] for p >= d
+        # pw(i,j,p-d,q) ⊗ pw(p-d,q,p,q) -> acc[i,j,p,q] for p >= d
         A = pw[lo:hi, :, : N - d, :]  # [i - lo, j, r, q], r = p - d
         ps = ar[d:]
         Yr = pw[(ps - d)[:, None], ar[None, :], ps[:, None], ar[None, :]]
-        if np.isfinite(Yr).any():
-            tmp = A + Yr[None, None, :, :]
-            np.minimum(acc[:, :, d:, :], tmp, out=acc[:, :, d:, :])
-        # pw(i,j,p,q+d) + pw(p,q+d,p,q) -> acc[i,j,p,q] for q <= N-1-d
+        if algebra.reachable(Yr).any():
+            tmp = ext(A, Yr[None, None, :, :])
+            comb(acc[:, :, d:, :], tmp, out=acc[:, :, d:, :])
+        # pw(i,j,p,q+d) ⊗ pw(p,q+d,p,q) -> acc[i,j,p,q] for q <= N-1-d
         A2 = pw[lo:hi, :, :, d:]  # [i - lo, j, p, s], s = q + d
         qs = ar[: N - d]
         Ys = pw[ar[:, None], (qs + d)[None, :], ar[:, None], qs[None, :]]
-        if np.isfinite(Ys).any():
-            tmp2 = A2 + Ys[None, None, :, :]
-            np.minimum(acc[:, :, :, : N - d], tmp2, out=acc[:, :, :, : N - d])
+        if algebra.reachable(Ys).any():
+            tmp2 = ext(A2, Ys[None, None, :, :])
+            comb(acc[:, :, :, : N - d], tmp2, out=acc[:, :, :, : N - d])
     return acc
 
 
 def rytter_square_tile(
-    tile: tuple, *, pw: np.ndarray, useful: np.ndarray
+    tile: tuple,
+    *,
+    pw: np.ndarray,
+    useful: np.ndarray,
+    algebra: SelectionSemiring = MIN_PLUS,
 ) -> np.ndarray:
-    """One tile of Rytter's full min-plus squaring.
+    """One tile of Rytter's full semiring squaring.
 
     The pw table is viewed as the K x K matrix ``M[(i,j),(p,q)]``,
     K = (n+1)²; the tile owns rows ``lo:hi`` of the product. ``useful``
-    lists the intermediate indices with a finite row *and* column
+    lists the intermediate indices with a reachable row *and* column
     (anything else cannot contribute), precomputed once per sweep.
     """
     lo, hi = tile
@@ -189,14 +218,15 @@ def rytter_square_tile(
     K = N * N
     M = pw.reshape(K, K)
     Mrows = M[lo:hi]
-    acc = np.full((hi - lo, K), np.inf)
+    acc = algebra.full((hi - lo, K))
+    ext, comb = algebra.extend_ufunc, algebra.combine_ufunc
     for t in useful:
-        np.minimum(acc, Mrows[:, t][:, None] + M[t, :][None, :], out=acc)
+        comb(acc, ext(Mrows[:, t][:, None], M[t, :][None, :]), out=acc)
     return acc
 
 
 def compact_activate_tile(
-    tile: tuple, *, F: np.ndarray, w: np.ndarray
+    tile: tuple, *, F: np.ndarray, w: np.ndarray, algebra: SelectionSemiring = MIN_PLUS
 ) -> tuple[np.ndarray, np.ndarray]:
     """Compact-layout activate candidates for rows ``i`` in ``tile``.
 
@@ -207,12 +237,14 @@ def compact_activate_tile(
     """
     lo, hi = tile
     T = F[lo:hi].transpose(0, 2, 1)  # T[i - lo, j, k] = F[i, k, j]
-    U1 = T + w.T[None, :, :]  # + w(k, j)
-    U2 = T + w[lo:hi, None, :]  # + w(i, k)
+    U1 = algebra.extend(T, w.T[None, :, :])  # ⊗ w(k, j)
+    U2 = algebra.extend(T, w[lo:hi, None, :])  # ⊗ w(i, k)
     return U1, U2
 
 
-def compact_square_tile(tile: tuple, *, PB: np.ndarray, band: int) -> np.ndarray:
+def compact_square_tile(
+    tile: tuple, *, PB: np.ndarray, band: int, algebra: SelectionSemiring = MIN_PLUS
+) -> np.ndarray:
     """In-band eq. (2c) via slice shifts, output rows ``i`` in ``tile``.
 
     Same (d, o, e) composition lattice and order as the historical
@@ -221,21 +253,22 @@ def compact_square_tile(tile: tuple, *, PB: np.ndarray, band: int) -> np.ndarray
     """
     lo, hi = tile
     N = PB.shape[0]
-    acc = np.full((hi - lo,) + PB.shape[1:], np.inf)
+    acc = algebra.full((hi - lo,) + PB.shape[1:])
+    ext, comb = algebra.extend_ufunc, algebra.combine_ufunc
     for d in range(0, band + 1):
         for o in range(0, d + 1):
             dj = o - d  # <= 0: column shift of the second factor
             for e in range(0, d + 1):
                 if e <= o:
-                    # right-anchored: PB[i,j,o-e,d-e] + PB[i+(o-e), j+dj, e, e]
+                    # right-anchored: PB[i,j,o-e,d-e] ⊗ PB[i+(o-e), j+dj, e, e]
                     di = o - e
                     r_hi = min(hi, N - di)
                     if r_hi > lo:
                         first = PB[lo:r_hi, -dj:, o - e, d - e]
                         second = PB[lo + di : r_hi + di, : N + dj, e, e]
                         tgt = acc[: r_hi - lo, -dj:, o, d]
-                        np.minimum(tgt, first + second, out=tgt)
-                # left-anchored: PB[i,j,o,d-e] + PB[i+o, j+dj+e, 0, e]
+                        comb(tgt, ext(first, second), out=tgt)
+                # left-anchored: PB[i,j,o,d-e] ⊗ PB[i+o, j+dj+e, 0, e]
                 di = o
                 dj2 = dj + e
                 r_hi = min(hi, N - di)
@@ -249,7 +282,7 @@ def compact_square_tile(tile: tuple, *, PB: np.ndarray, band: int) -> np.ndarray
                     first = PB[lo:r_hi, : N - dj2, o, d - e]
                     second = PB[lo + di : r_hi + di, dj2:, 0, e]
                     tgt = acc[: r_hi - lo, : N - dj2, o, d]
-                np.minimum(tgt, first + second, out=tgt)
+                comb(tgt, ext(first, second), out=tgt)
     return acc
 
 
@@ -261,13 +294,15 @@ def compact_pebble_tile(
     A2: np.ndarray,
     w: np.ndarray,
     band: int,
+    algebra: SelectionSemiring = MIN_PLUS,
 ) -> np.ndarray:
     """Equation (3) from the compact layout, rows ``i`` in ``tile``:
     close in-band gaps from PB and arbitrary-gap activate cells from
     A1/A2."""
     lo, hi = tile
     N = PB.shape[0]
-    cand = np.full((hi - lo, N), np.inf)
+    cand = algebra.full((hi - lo, N))
+    ext, comb = algebra.extend_ufunc, algebra.combine_ufunc
     for d in range(0, band + 1):
         for o in range(0, d + 1):
             dj = o - d
@@ -277,12 +312,12 @@ def compact_pebble_tile(
             first = PB[lo:r_hi, -dj:, o, d]
             wshift = w[lo + o : r_hi + o, : N + dj]
             tgt = cand[: r_hi - lo, -dj:]
-            np.minimum(tgt, first + wshift, out=tgt)
-    # A1: gap (i, k) -> + w(i, k);  A2: gap (k, j) -> + w(k, j).
-    c1 = (A1[lo:hi] + w[lo:hi, None, :]).min(axis=2)
-    c2 = (A2[lo:hi] + w.T[None, :, :]).min(axis=2)
-    np.minimum(cand, c1, out=cand)
-    np.minimum(cand, c2, out=cand)
+            comb(tgt, ext(first, wshift), out=tgt)
+    # A1: gap (i, k) -> ⊗ w(i, k);  A2: gap (k, j) -> ⊗ w(k, j).
+    c1 = algebra.select(algebra.extend(A1[lo:hi], w[lo:hi, None, :]), axis=2)
+    c2 = algebra.select(algebra.extend(A2[lo:hi], w.T[None, :, :]), axis=2)
+    algebra.combine(cand, c1, out=cand)
+    algebra.combine(cand, c2, out=cand)
     return cand
 
 
@@ -313,7 +348,8 @@ class SweepKernel:
         raise NotImplementedError
 
     def commit(self, solver, tiles: Sequence, results: Sequence) -> bool:
-        """Min-merge candidate slabs into solver state; True if changed."""
+        """Merge candidate slabs into solver state (the algebra's
+        idempotent monotone combine); True if changed."""
         raise NotImplementedError
 
     @staticmethod
@@ -341,13 +377,12 @@ class DenseActivateKernel(SweepKernel):
     def commit(self, solver, tiles, results):
         changed = False
         pw = solver.pw
+        alg = solver.algebra
         for (side, lo, hi), upd in zip(tiles, results):
             for t, x in enumerate(range(lo, hi)):
                 view = pw[x, :, x, :] if side == "a" else pw[:, x, :, x]
-                u = upd[t]
-                if not changed and (u < view).any():
+                if alg.merge_inplace(view, upd[t], check=not changed):
                     changed = True
-                np.minimum(view, u, out=view)
         return changed
 
 
@@ -367,11 +402,10 @@ class DenseSquareKernel(SweepKernel):
     def commit(self, solver, tiles, results):
         changed = False
         pw = solver.pw
+        alg = solver.algebra
         for (lo, hi), acc in zip(tiles, results):
-            view = pw[lo:hi]
-            if not changed and (acc < view).any():
+            if alg.merge_inplace(pw[lo:hi], acc, check=not changed):
                 changed = True
-            np.minimum(view, acc, out=view)
         return changed
 
 
@@ -391,11 +425,10 @@ class DensePebbleKernel(SweepKernel):
     def commit(self, solver, tiles, results):
         changed = False
         w = solver.w
+        alg = solver.algebra
         for (lo, hi), cand in zip(tiles, results):
-            view = w[lo:hi]
-            if not changed and (cand < view).any():
+            if alg.merge_inplace(w[lo:hi], cand, check=not changed):
                 changed = True
-            np.minimum(view, cand, out=view)
         return changed
 
 
@@ -411,7 +444,7 @@ class BandedSquareKernel(DenseSquareKernel):
     def commit(self, solver, tiles, results):
         mask = solver._band_mask
         for (lo, hi), acc in zip(tiles, results):
-            acc[~mask[lo:hi]] = np.inf
+            acc[~mask[lo:hi]] = solver.algebra.zero
         return super().commit(solver, tiles, results)
 
 
@@ -441,19 +474,19 @@ class RytterSquareKernel(SweepKernel):
     def arrays(self, solver):
         N = solver.n + 1
         M = solver.pw.reshape(N * N, N * N)
-        finite_col = np.isfinite(M).any(axis=0)
-        finite_row = np.isfinite(M).any(axis=1)
-        return {"pw": solver.pw, "useful": np.flatnonzero(finite_col & finite_row)}
+        reach = solver.algebra.reachable(M)
+        useful_col = reach.any(axis=0)
+        useful_row = reach.any(axis=1)
+        return {"pw": solver.pw, "useful": np.flatnonzero(useful_col & useful_row)}
 
     def commit(self, solver, tiles, results):
         N = solver.n + 1
         M = solver.pw.reshape(N * N, N * N)
         changed = False
+        alg = solver.algebra
         for (lo, hi), acc in zip(tiles, results):
-            view = M[lo:hi]
-            if not changed and (acc < view).any():
+            if alg.merge_inplace(M[lo:hi], acc, check=not changed):
                 changed = True
-            np.minimum(view, acc, out=view)
         return changed
 
 
@@ -472,15 +505,12 @@ class CompactActivateKernel(SweepKernel):
 
     def commit(self, solver, tiles, results):
         changed = False
+        alg = solver.algebra
         for (lo, hi), (U1, U2) in zip(tiles, results):
-            v1 = solver.A1[lo:hi]
-            if not changed and (U1 < v1).any():
+            if alg.merge_inplace(solver.A1[lo:hi], U1, check=not changed):
                 changed = True
-            np.minimum(v1, U1, out=v1)
-            v2 = solver.A2[lo:hi]
-            if not changed and (U2 < v2).any():
+            if alg.merge_inplace(solver.A2[lo:hi], U2, check=not changed):
                 changed = True
-            np.minimum(v2, U2, out=v2)
         # Mirror in-band cells into PB (reads the merged A1/A2; cheap:
         # band · n² work). Gap (i, k): o = 0, d = j - k; gap (k, j):
         # o = d = k - i.
@@ -489,15 +519,13 @@ class CompactActivateKernel(SweepKernel):
         for d in range(1, solver.band + 1):
             view = solver.PB[:, d:, 0, d]
             vals = solver.A1[:, jj[d:], jj[d:] - d]
-            if not changed and (vals < view).any():
+            if alg.merge_inplace(view, vals, check=not changed):
                 changed = True
-            np.minimum(view, vals, out=view)
             ii = np.arange(N - d)
             view = solver.PB[: N - d, :, d, d]
             vals = solver.A2[ii, :, ii + d]
-            if not changed and (vals < view).any():
+            if alg.merge_inplace(view, vals, check=not changed):
                 changed = True
-            np.minimum(view, vals, out=view)
         return changed
 
 
@@ -518,12 +546,11 @@ class CompactSquareKernel(SweepKernel):
         changed = False
         PB = solver.PB
         invalid = solver._invalid
+        alg = solver.algebra
         for (lo, hi), acc in zip(tiles, results):
-            acc[invalid[lo:hi]] = np.inf
-            view = PB[lo:hi]
-            if not changed and (acc < view).any():
+            acc[invalid[lo:hi]] = alg.zero
+            if alg.merge_inplace(PB[lo:hi], acc, check=not changed):
                 changed = True
-            np.minimum(view, acc, out=view)
         return changed
 
 
@@ -549,11 +576,10 @@ class CompactPebbleKernel(SweepKernel):
     def commit(self, solver, tiles, results):
         changed = False
         w = solver.w
+        alg = solver.algebra
         for (lo, hi), cand in zip(tiles, results):
-            view = w[lo:hi]
-            if not changed and (cand < view).any():
+            if alg.merge_inplace(w[lo:hi], cand, check=not changed):
                 changed = True
-            np.minimum(view, cand, out=view)
         return changed
 
 
@@ -607,13 +633,16 @@ class KernelEngine:
 
         Compute reads only the pre-step snapshot (no solver state is
         mutated until every tile has returned), then the kernel's
-        commit min-merges all slabs — exactly the CREW semantics the
-        scratch-array loops used to implement five separate times.
+        commit merges all slabs with the solver's algebra — exactly the
+        CREW semantics the scratch-array loops used to implement five
+        separate times. The solver's selection semiring rides the same
+        keyword channel as the snapshot arrays (it pickles by name, so
+        the process backend ships it for free).
         """
         tiles = kernel.tiles(solver, self.tiles)
-        results = self.backend.map_with_arrays(
-            kernel.compute_fn, tiles, kernel.arrays(solver)
-        )
+        arrays = dict(kernel.arrays(solver))
+        arrays.setdefault("algebra", getattr(solver, "algebra", MIN_PLUS))
+        results = self.backend.map_with_arrays(kernel.compute_fn, tiles, arrays)
         return kernel.commit(solver, tiles, results)
 
     def close(self) -> None:

@@ -87,13 +87,16 @@ def run_lockstep(
     a variant against the same argument. The problem must be small
     enough for the exact pw oracle (n <= 20).
     """
-    ref = solve_sequential(problem)
+    # The Section 4 argument (and the exact_pw oracle) is a min-plus
+    # artifact, so the lockstep run pins min_plus explicitly rather
+    # than following the problem family's preferred algebra.
+    ref = solve_sequential(problem, algebra="min_plus")
     true_pw = exact_pw_table(problem)
     tree = reconstruct_tree(problem, ref.w)
     game = PebbleGame(GameTree.from_parse_tree(tree))
     t = game.tree
     if solver is None:
-        solver = HuangSolver(problem)
+        solver = HuangSolver(problem, algebra="min_plus")
     elif solver.iterations_run != 0:
         raise InvalidProblemError("lockstep requires a fresh solver")
 

@@ -1,17 +1,25 @@
 """Recover an optimal tree from a converged cost table.
 
-Given the optimal costs ``w(i, j)`` (from any solver) and the problem's
-``f``/``init``, the optimal split of ``(i, j)`` is an argmin of
-``w(i, k) + w(k, j) + f(i, k, j)``; descending recursively yields a tree
-realising ``c(0, n)``. This works from *values alone*, so it applies
-equally to the iterative parallel solvers, which do not maintain an
-explicit split table.
+Given the optimal values ``w(i, j)`` (from any solver, in any
+registered algebra's domain) and the problem's ``f``/``init``, the
+optimal split of ``(i, j)`` is a *witness* of the selection
+
+    w(i, j) = COMBINE over k of  EXTEND(w(i, k), w(k, j), f(i, k, j)),
+
+found through the algebra's argwitness channel
+(:meth:`~repro.core.algebra.SelectionSemiring.argwitness` — argmin or
+argmax under the algebra's selection order); descending recursively
+yields a tree realising ``c(0, n)``. This works from *values alone*, so
+it applies equally to the iterative parallel solvers, which do not
+maintain an explicit split table — and equally to every algebra, since
+a selection semiring's ``combine`` always selects an actual candidate.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.core.algebra import SelectionSemiring, get_algebra
 from repro.errors import InvalidProblemError
 from repro.problems.base import ParenthesizationProblem
 from repro.trees.parse_tree import ParseTree
@@ -25,11 +33,14 @@ def reconstruct_tree(
     *,
     i: int = 0,
     j: int | None = None,
+    algebra: SelectionSemiring | str = "min_plus",
     atol: float = 1e-9,
 ) -> ParseTree:
     """Build an optimal tree for interval ``(i, j)`` from the cost table.
 
-    Raises :class:`~repro.errors.InvalidProblemError` if the table is
+    ``w`` must be in the domain of ``algebra`` (which is how every
+    solver returns it). Raises
+    :class:`~repro.errors.InvalidProblemError` if the table is
     inconsistent (no split reproduces ``w(i, j)`` within ``atol`` —
     e.g. when handed a half-converged table).
     """
@@ -38,6 +49,7 @@ def reconstruct_tree(
         j = n
     if w.shape != (n + 1, n + 1):
         raise InvalidProblemError(f"w must have shape {(n + 1, n + 1)}, got {w.shape}")
+    alg = get_algebra(algebra)
     F = problem.cached_f_table()
 
     splits: dict[tuple[int, int], int] = {}
@@ -47,10 +59,13 @@ def reconstruct_tree(
         if b - a == 1:
             continue
         ks = np.arange(a + 1, b)
-        cand = w[a, ks] + w[ks, b] + F[a, ks, b]
-        best = int(np.argmin(cand))
-        if not np.isfinite(w[a, b]) or abs(cand[best] - w[a, b]) > atol * max(
-            1.0, abs(w[a, b])
+        # Encode only the O(n) slice this node reads (the descent
+        # touches O(n²) cells total; a full-table encode would cost an
+        # O(n³) pass per call for the non-identity algebras).
+        cand = alg.extend(alg.extend(w[a, ks], w[ks, b]), alg.encode_f(F[a, ks, b]))
+        best = int(alg.argwitness(cand))
+        if not alg.reachable(w[a, b]) or not (
+            abs(cand[best] - w[a, b]) <= atol * max(1.0, abs(w[a, b]))
         ):
             raise InvalidProblemError(
                 f"w table is inconsistent at ({a}, {b}): "
@@ -74,25 +89,37 @@ def verify_w_table(
     problem: ParenthesizationProblem,
     w: np.ndarray,
     *,
+    algebra: SelectionSemiring | str = "min_plus",
     atol: float = 1e-9,
 ) -> bool:
-    """Check that ``w`` is exactly the recurrence's fixed point:
-    leaves match ``init`` and every interval's value equals the best
-    split. Returns True/False rather than raising (tests assert on it).
+    """Check that ``w`` is exactly the recurrence's fixed point under
+    ``algebra``: leaves match the encoded ``init`` and every interval's
+    value equals the selected split. Returns True/False rather than
+    raising (tests assert on it).
     """
     n = problem.n
     if w.shape != (n + 1, n + 1):
         return False
-    init = problem.init_vector()
+    alg = get_algebra(algebra)
+    init = alg.encode_init(problem.init_vector())
     idx = np.arange(n)
-    if not np.allclose(w[idx, idx + 1], init, atol=atol):
+    leaves = w[idx, idx + 1]
+    finite = np.isfinite(init)
+    if not np.array_equal(leaves[~finite], init[~finite]):
+        return False
+    if not np.allclose(leaves[finite], init[finite], atol=atol):
         return False
     F = problem.cached_f_table()
     for length in range(2, n + 1):
         for i in range(0, n - length + 1):
             j = i + length
             ks = np.arange(i + 1, j)
-            best = float(np.min(w[i, ks] + w[ks, j] + F[i, ks, j]))
-            if not np.isclose(w[i, j], best, atol=atol, rtol=1e-9):
+            cand = alg.extend(alg.extend(w[i, ks], w[ks, j]), alg.encode_f(F[i, ks, j]))
+            best = float(alg.select(cand))
+            actual = w[i, j]
+            if np.isinf(best) or np.isinf(actual):
+                if best != actual:
+                    return False
+            elif not np.isclose(actual, best, atol=atol, rtol=1e-9):
                 return False
     return True

@@ -68,11 +68,12 @@ class RytterSolver(HuangSolver):
 
     def build_kernels(self) -> dict[str, SweepKernel]:
         # Only the square differs from Huang's kernel set: one full
-        # min-plus squaring of the (N², N²) pw matrix view per phase.
-        # Intermediate nodes whose row or column is entirely +inf
-        # contribute nothing and are skipped — early phases therefore
-        # cost far less than the worst case, which the work counters
-        # (not the wall clock) are the record of.
+        # semiring squaring of the (N², N²) pw matrix view per phase
+        # (min-plus under the default algebra). Intermediate nodes
+        # whose row or column is entirely unreached contribute nothing
+        # and are skipped — early phases therefore cost far less than
+        # the worst case, which the work counters (not the wall clock)
+        # are the record of.
         kernels = super().build_kernels()
         kernels["square"] = RytterSquareKernel()
         return kernels

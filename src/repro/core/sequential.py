@@ -1,9 +1,16 @@
 """The classical O(n³) sequential dynamic program for recurrence (*).
 
 This is the paper's sequential reference point ([1], Aho–Hopcroft–
-Ullman): fill ``c(i, j)`` by increasing interval length, taking the
-minimum over all splits. It provides ground truth for every parallel
-solver and the split table for optimal-tree reconstruction.
+Ullman): fill ``c(i, j)`` by increasing interval length, selecting over
+all splits. It provides ground truth for every parallel solver and the
+split table for optimal-tree reconstruction.
+
+The ``algebra`` parameter generalises the recurrence over any
+registered :class:`~repro.core.algebra.SelectionSemiring` — the same
+bottom-up sweep with ``combine`` selecting the split and ``extend``
+composing the parts. This is the per-algebra reference DP the property
+and golden suites pin the iterative solvers against; the default
+``min_plus`` path is bit-for-bit the historical implementation.
 
 The inner loop over splits is vectorised (one numpy reduction per
 ``(length, i)`` pair), so instances up to n of a few thousand are
@@ -17,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.algebra import SelectionSemiring, get_algebra
 from repro.errors import InvalidProblemError
 from repro.problems.base import ParenthesizationProblem
 
@@ -41,17 +49,31 @@ class SequentialResult:
         return self.w.shape[0] - 1
 
 
-def solve_sequential(problem: ParenthesizationProblem) -> SequentialResult:
+def solve_sequential(
+    problem: ParenthesizationProblem,
+    *,
+    algebra: SelectionSemiring | str | None = None,
+) -> SequentialResult:
     """Solve recurrence (*) bottom-up in O(n³) time, O(n²) space
-    (plus the problem's dense f table)."""
+    (plus the problem's dense f table).
+
+    ``algebra`` selects the semiring the recurrence runs over (``None``
+    resolves to the problem family's ``preferred_algebra``); the
+    returned ``w`` table is in the algebra's (encoded) domain, the same
+    domain the iterative solvers' tables live in.
+    """
     n = problem.n
-    F = problem.cached_f_table()
+    if algebra is None:
+        algebra = getattr(problem, "preferred_algebra", "min_plus")
+    alg = get_algebra(algebra)
+    F = alg.encode_f(problem.cached_f_table())
     init = problem.init_vector()
     if (init < 0).any() or np.isnan(init).any():
         raise InvalidProblemError("init costs must be non-negative and finite")
+    init = alg.encode_init(init)
 
     N = n + 1
-    w = np.full((N, N), np.inf)
+    w = alg.full((N, N))
     split = np.full((N, N), -1, dtype=np.int64)
     idx = np.arange(N)
     w[idx[:-1], idx[:-1] + 1] = init
@@ -60,8 +82,8 @@ def solve_sequential(problem: ParenthesizationProblem) -> SequentialResult:
         for i in range(0, n - length + 1):
             j = i + length
             ks = np.arange(i + 1, j)
-            cand = w[i, ks] + w[ks, j] + F[i, ks, j]
-            best = int(np.argmin(cand))
+            cand = alg.extend(alg.extend(w[i, ks], w[ks, j]), F[i, ks, j])
+            best = int(alg.argwitness(cand))
             w[i, j] = cand[best]
             split[i, j] = ks[best]
     return SequentialResult(w=w, split=split, value=float(w[0, n]))

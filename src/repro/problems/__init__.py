@@ -5,28 +5,40 @@ The paper targets recurrences
     c(i, j) = min_{i < k < j} { c(i, k) + c(k, j) + f(i, k, j) },
     c(i, i+1) = init(i),            0 <= i < j <= n,
 
-with non-negative ``f`` and ``init``. Three classical instances are
-implemented (the three the paper names), plus a generic adapter:
+with non-negative ``f`` and ``init`` — and, through the pluggable
+selection semirings of :mod:`repro.core.algebra`, the same recurrence
+with the ``min``/``+`` pair replaced by any idempotent selection
+algebra. Three classical min-plus instances are implemented (the three
+the paper names), two families whose headline objective lives *off*
+min-plus, plus a generic adapter:
 
 * :class:`MatrixChainProblem` — optimal order of matrix multiplications;
 * :class:`OptimalBSTProblem` — optimal binary search trees (Knuth);
 * :class:`PolygonTriangulationProblem` — minimum-weight triangulation of a
   convex polygon;
+* :class:`BottleneckChainProblem` — minimax merge scheduling (solve with
+  ``algebra="minimax"``);
+* :class:`ReliabilityBSTProblem` — max-min reliability trees (solve with
+  ``algebra="maxmin"``);
 * :class:`GenericProblem` — wrap arbitrary ``init``/``f`` callables.
 
 :mod:`repro.problems.generators` builds random and adversarial instances.
 """
 
 from repro.problems.base import ParenthesizationProblem
+from repro.problems.bottleneck_chain import BottleneckChainProblem
 from repro.problems.generic import GenericProblem
 from repro.problems.matrix_chain import MatrixChainProblem
 from repro.problems.optimal_bst import OptimalBSTProblem
+from repro.problems.reliability_bst import ReliabilityBSTProblem
 from repro.problems.triangulation import PolygonTriangulationProblem
 from repro.problems.generators import (
     random_matrix_chain,
     random_bst,
     random_polygon,
     random_generic,
+    random_bottleneck_chain,
+    random_reliability_bst,
 )
 
 __all__ = [
@@ -35,8 +47,12 @@ __all__ = [
     "MatrixChainProblem",
     "OptimalBSTProblem",
     "PolygonTriangulationProblem",
+    "BottleneckChainProblem",
+    "ReliabilityBSTProblem",
     "random_matrix_chain",
     "random_bst",
     "random_polygon",
     "random_generic",
+    "random_bottleneck_chain",
+    "random_reliability_bst",
 ]

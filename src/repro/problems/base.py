@@ -30,6 +30,13 @@ __all__ = ["ParenthesizationProblem"]
 class ParenthesizationProblem(abc.ABC):
     """Abstract base for problems of the paper's recurrence form (*)."""
 
+    #: The selection semiring this family's headline objective lives in.
+    #: :func:`repro.core.api.solve` (and the solver classes) use it when
+    #: the caller does not pass ``algebra=`` explicitly; families whose
+    #: natural objective is off min-plus (e.g. bottleneck chains,
+    #: reliability trees) override it.
+    preferred_algebra: str = "min_plus"
+
     def __init__(self, n: int) -> None:
         self._n = check_positive_int(n, "n", minimum=1)
 

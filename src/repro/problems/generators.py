@@ -9,9 +9,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.problems.bottleneck_chain import BottleneckChainProblem
 from repro.problems.generic import GenericProblem
 from repro.problems.matrix_chain import MatrixChainProblem
 from repro.problems.optimal_bst import OptimalBSTProblem
+from repro.problems.reliability_bst import ReliabilityBSTProblem
 from repro.problems.triangulation import PolygonTriangulationProblem
 from repro.util.rng import SeedLike, resolve_rng
 from repro.util.validation import check_positive_int
@@ -21,6 +23,8 @@ __all__ = [
     "random_bst",
     "random_polygon",
     "random_generic",
+    "random_bottleneck_chain",
+    "random_reliability_bst",
 ]
 
 
@@ -100,6 +104,43 @@ def random_polygon(
     radii = 1.0 + rng.uniform(-radius_jitter, radius_jitter, size=num_vertices)
     pts = np.stack([radii * np.cos(angles), radii * np.sin(angles)], axis=1)
     return PolygonTriangulationProblem(pts, rule="perimeter")
+
+
+def random_bottleneck_chain(
+    n: int,
+    *,
+    seed: SeedLike = None,
+    weight_low: int = 1,
+    weight_high: int = 50,
+) -> BottleneckChainProblem:
+    """A bottleneck merge chain of ``n`` stages with integer boundary
+    weights uniform in ``[weight_low, weight_high]`` (integer weights
+    keep every algebra's arithmetic exact in float64, which the
+    bitwise property suites rely on)."""
+    n = check_positive_int(n, "n")
+    check_positive_int(weight_low, "weight_low")
+    if weight_high < weight_low:
+        raise ValueError("weight_high must be >= weight_low")
+    rng = resolve_rng(seed)
+    weights = rng.integers(weight_low, weight_high + 1, size=n + 1)
+    return BottleneckChainProblem(weights)
+
+
+def random_reliability_bst(
+    n: int,
+    *,
+    seed: SeedLike = None,
+    low: float = 0.5,
+) -> ReliabilityBSTProblem:
+    """A reliability-tree instance with ``n`` base units; connector and
+    leaf reliabilities uniform in ``[low, 1)``."""
+    n = check_positive_int(n, "n")
+    if not (0.0 < low < 1.0):
+        raise ValueError("low must lie in (0, 1)")
+    rng = resolve_rng(seed)
+    r = rng.uniform(low, 1.0, size=max(0, n - 1))
+    q = rng.uniform(low, 1.0, size=n)
+    return ReliabilityBSTProblem(r, q)
 
 
 def random_generic(

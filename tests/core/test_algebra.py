@@ -1,0 +1,211 @@
+"""Unit tests for the selection-semiring algebra module: the registry,
+the contract axioms each registered instance must satisfy, the encode/
+decode hooks, and the pickling-by-name plumbing the process backend
+relies on."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.algebra import (
+    LEX_SCALE,
+    SelectionSemiring,
+    get_algebra,
+    lex_pack,
+    lex_unpack,
+    list_algebras,
+    register_algebra,
+)
+from repro.errors import InvalidProblemError
+
+ALL = list(list_algebras())
+
+
+class TestRegistry:
+    def test_expected_instances_registered(self):
+        assert set(ALL) >= {"min_plus", "max_plus", "minimax", "maxmin", "lex_min_plus"}
+
+    def test_get_by_name_and_instance_and_none(self):
+        alg = get_algebra("minimax")
+        assert alg.name == "minimax"
+        assert get_algebra(alg) is alg
+        assert get_algebra(None).name == "min_plus"
+
+    def test_unknown_name_raises_invalid_problem(self):
+        with pytest.raises(InvalidProblemError, match="unknown algebra"):
+            get_algebra("frobnicate")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(InvalidProblemError, match="already registered"):
+            register_algebra(get_algebra("min_plus"))
+
+    def test_overwrite_reinstalls_same_instance(self):
+        alg = get_algebra("min_plus")
+        assert register_algebra(alg, overwrite=True) is alg
+        assert get_algebra("min_plus") is alg
+
+    def test_describe_mentions_ufuncs(self):
+        d = get_algebra("maxmin").describe()
+        assert "maximum" in d and "minimum" in d
+
+
+class TestContractAxioms:
+    """Sample-based checks of the four contract properties the
+    DESIGN.md commit argument needs from every registered instance."""
+
+    @pytest.fixture
+    def samples(self, rng):
+        vals = rng.uniform(-50.0, 50.0, size=64)
+        return np.concatenate([vals, [0.0, 1.0, -1.0]])
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_combine_idempotent(self, name, samples):
+        alg = get_algebra(name)
+        assert np.array_equal(alg.combine(samples, samples), samples)
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_combine_commutative_and_selects(self, name, samples, rng):
+        alg = get_algebra(name)
+        other = rng.permutation(samples)
+        ab = alg.combine(samples, other)
+        assert np.array_equal(ab, alg.combine(other, samples))
+        # A selection always returns one of its arguments, exactly.
+        assert np.all((ab == samples) | (ab == other))
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_zero_is_combine_identity_and_extend_absorber(self, name, samples):
+        alg = get_algebra(name)
+        z = np.full_like(samples, alg.zero)
+        assert np.array_equal(alg.combine(samples, z), samples)
+        assert np.array_equal(alg.extend(samples, z), z)
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_one_is_extend_identity(self, name, samples):
+        alg = get_algebra(name)
+        e = np.full_like(samples, alg.one)
+        assert np.array_equal(alg.extend(samples, e), samples)
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_extend_distributes_over_combine(self, name, rng):
+        alg = get_algebra(name)
+        a, b, c = (rng.uniform(-20.0, 20.0, size=128) for _ in range(3))
+        lhs = alg.extend(a, alg.combine(b, c))
+        rhs = alg.combine(alg.extend(a, b), alg.extend(a, c))
+        # min/max selections and monotone extends make this exact for
+        # floats (for +, both sides are a+b or a+c verbatim).
+        assert np.array_equal(lhs, rhs)
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_extend_monotone(self, name, rng):
+        alg = get_algebra(name)
+        a = rng.uniform(-20.0, 20.0, size=128)
+        b = rng.uniform(-20.0, 20.0, size=128)
+        x = rng.uniform(-20.0, 20.0, size=128)
+        best = alg.combine(a, b)  # the selected (better-or-equal) operand
+        rest = np.where(best == a, b, a)  # the rejected one
+        # Monotonicity: extending the rejected operand can never beat
+        # extending the selected one.
+        assert not alg.improves(alg.extend(x, rest), alg.extend(x, best)).any()
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_reachable_semantics(self, name):
+        alg = get_algebra(name)
+        arr = np.array([alg.zero, alg.one, 3.0])
+        assert list(alg.reachable(arr)) == [False, True, True]
+
+
+class TestMergeInplace:
+    def test_merge_reports_and_applies_improvement(self):
+        alg = get_algebra("min_plus")
+        view = np.array([5.0, 2.0, np.inf])
+        assert alg.merge_inplace(view, np.array([6.0, 1.0, np.inf])) is True
+        assert list(view) == [5.0, 1.0, np.inf]
+
+    def test_merge_no_improvement(self):
+        alg = get_algebra("max_plus")
+        view = np.array([5.0, 2.0])
+        assert alg.merge_inplace(view, np.array([4.0, 2.0])) is False
+        assert list(view) == [5.0, 2.0]
+
+    def test_check_false_merges_without_reporting(self):
+        alg = get_algebra("min_plus")
+        view = np.array([5.0])
+        assert alg.merge_inplace(view, np.array([1.0]), check=False) is False
+        assert view[0] == 1.0
+
+
+class TestEncodeDecode:
+    def test_min_plus_hooks_are_identity(self):
+        alg = get_algebra("min_plus")
+        F = np.array([[1.0, np.inf], [2.0, 3.0]])
+        assert alg.encode_f(F) is F
+        assert alg.decode(7.5) == 7.5
+
+    @pytest.mark.parametrize("name", ["max_plus", "maxmin"])
+    def test_invalid_markers_become_zero(self, name):
+        alg = get_algebra(name)
+        F = np.array([1.0, np.inf, 4.0])
+        enc = alg.encode_f(F)
+        assert enc[1] == alg.zero and enc[0] == 1.0 and enc[2] == 4.0
+
+    def test_lex_pack_unpack_roundtrip_integer_costs(self):
+        cost = np.array([0.0, 7.0, 123456.0])
+        splits = np.array([0, 3, 4095])
+        packed = lex_pack(cost, splits)
+        c, s = lex_unpack(packed)
+        assert np.array_equal(c, cost) and np.array_equal(s, splits)
+
+    def test_lex_encode_f_adds_one_split(self):
+        alg = get_algebra("lex_min_plus")
+        F = np.array([5.0, np.inf])
+        enc = alg.encode_f(F)
+        assert enc[0] == 5.0 * LEX_SCALE + 1.0 and enc[1] == np.inf
+
+    def test_lex_decode_recovers_primary_cost(self):
+        alg = get_algebra("lex_min_plus")
+        assert alg.decode(lex_pack(42.0, 17)) == 42.0
+        assert alg.decode(np.inf) == np.inf
+
+    def test_lex_refuses_fractional_costs(self):
+        alg = get_algebra("lex_min_plus")
+        with pytest.raises(InvalidProblemError, match="integer-valued"):
+            alg.encode_f(np.array([1.5, np.inf]))
+        with pytest.raises(InvalidProblemError, match="integer-valued"):
+            alg.encode_init(np.array([0.25]))
+
+    def test_lex_refuses_fractional_cost_problems_end_to_end(self):
+        from repro.core import solve
+        from repro.problems.generators import random_polygon
+
+        with pytest.raises(InvalidProblemError, match="integer-valued"):
+            solve(random_polygon(6, seed=1), algebra="lex_min_plus")
+
+    def test_lex_refuses_oversized_instances(self):
+        alg = get_algebra("lex_min_plus")
+        with pytest.raises(InvalidProblemError, match="split counts"):
+            alg.encode_init(np.zeros(5000))
+
+
+class TestPickling:
+    @pytest.mark.parametrize("name", ALL)
+    def test_pickle_roundtrip_is_registry_instance(self, name):
+        alg = get_algebra(name)
+        clone = pickle.loads(pickle.dumps(alg))
+        assert clone is alg
+
+    def test_custom_unregistered_instances_are_rejected_by_name_lookup(self):
+        custom = SelectionSemiring(
+            name="unregistered-test-algebra",
+            combine_ufunc=np.minimum,
+            extend_ufunc=np.add,
+            improves_ufunc=np.less,
+            argselect_fn=np.argmin,
+            zero=np.inf,
+            one=0.0,
+        )
+        # Usable directly...
+        assert get_algebra(custom) is custom
+        # ...but pickling goes through the registry, which doesn't know it.
+        with pytest.raises(InvalidProblemError):
+            pickle.loads(pickle.dumps(custom))

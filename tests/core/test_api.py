@@ -69,3 +69,47 @@ class TestOptions:
         p = random_generic(8, seed=0)
         r = solve(p, method="huang-banded", band=4, policy=WStable())
         assert r.value == pytest.approx(solve(p, method="sequential").value)
+
+
+class TestAlgebraOption:
+    def test_default_is_min_plus(self, clrs_chain):
+        r = solve(clrs_chain, method="huang")
+        assert r.algebra == "min_plus" and r.value == 15125.0
+
+    def test_unknown_algebra_rejected(self, clrs_chain):
+        with pytest.raises(InvalidProblemError, match="unknown algebra"):
+            solve(clrs_chain, algebra="tropical-typo")
+
+    def test_knuth_rejects_non_min_plus(self, clrs_bst):
+        with pytest.raises(InvalidProblemError, match="min_plus"):
+            solve(clrs_bst, method="knuth", algebra="minimax")
+
+    def test_lex_value_is_decoded_primary_cost(self, clrs_chain):
+        r = solve(clrs_chain, method="huang", algebra="lex_min_plus")
+        assert r.value == 15125.0  # decoded: the min-plus cost channel
+        assert r.algebra == "lex_min_plus"
+
+    def test_reconstruct_under_minimax(self, clrs_chain):
+        r = solve(clrs_chain, method="huang", algebra="minimax", reconstruct=True)
+        worst = max(
+            clrs_chain.split_cost(t.i, t.split, t.j)
+            for t in r.tree.internal_nodes()
+        )
+        assert worst == r.value
+
+    def test_algebra_instance_accepted(self, clrs_chain):
+        from repro.core import get_algebra
+
+        r = solve(clrs_chain, algebra=get_algebra("max_plus"))
+        assert r.algebra == "max_plus" and r.value == 58000.0
+
+    def test_preferred_algebra_picked_up_when_unspecified(self):
+        from repro.problems import BottleneckChainProblem, ReliabilityBSTProblem
+
+        bottleneck = BottleneckChainProblem([3, 9, 2, 7])
+        assert solve(bottleneck).algebra == "minimax"
+        assert solve(bottleneck, method="huang").value == 14.0
+        reliability = ReliabilityBSTProblem([0.9, 0.8], [0.99, 0.95, 0.97])
+        assert solve(reliability).algebra == "maxmin"
+        # Explicit algebra always overrides the family preference.
+        assert solve(bottleneck, algebra="min_plus").algebra == "min_plus"

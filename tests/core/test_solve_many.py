@@ -113,6 +113,46 @@ class TestErrorIsolation:
         with pytest.raises(InvalidProblemError, match="ParenthesizationProblem"):
             solve_many(["not a problem"], backend="serial")
 
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_bad_algebra_name_mid_batch_is_isolated(self, backend):
+        """A bad ``algebra=`` on one item is resolved inside the worker,
+        so the other items still succeed and the failed slot carries
+        the error (same isolation contract as any per-item failure)."""
+        batch = [
+            MatrixChainProblem([2, 3, 4]),
+            BatchItem(
+                MatrixChainProblem([5, 6, 7]),
+                method="huang",
+                solve_kwargs={"algebra": "tropical-typo"},
+            ),
+            BatchItem(
+                MatrixChainProblem([2, 9, 4, 3]),
+                method="huang",
+                solve_kwargs={"algebra": "minimax"},
+            ),
+        ]
+        results = solve_many(batch, backend=backend, on_error="return")
+        assert results[0].value == 24.0  # 2*3*4, the only split
+        assert isinstance(results[1], InvalidProblemError)
+        assert "unknown algebra" in str(results[1])
+        assert results[2].algebra == "minimax" and results[2].method == "huang"
+
+    def test_bad_algebra_raises_with_default_on_error(self):
+        with pytest.raises(InvalidProblemError, match="unknown algebra"):
+            solve_many(
+                [MatrixChainProblem([2, 3, 4])],
+                backend="serial",
+                algebra="tropical-typo",
+            )
+
+    def test_batchwide_algebra_forwarded(self):
+        results = solve_many(
+            [MatrixChainProblem([2, 3, 4]), (MatrixChainProblem([4, 1, 5]), "huang")],
+            backend="serial",
+            algebra="max_plus",
+        )
+        assert [r.algebra for r in results] == ["max_plus", "max_plus"]
+
 
 class TestNestedProcessBackend:
     def test_nested_process_backend_errors_cleanly(self):

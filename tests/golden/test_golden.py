@@ -1,0 +1,61 @@
+"""Golden regression fixtures: solver × algebra tables pinned bitwise.
+
+``tests/golden/golden_tables.json`` stores the exact float64 ``w``
+table and decoded value for every (instance, method, algebra) cell of
+the golden grid (see ``scripts/regen_golden.py``, which regenerates
+the file). This test recomputes each entry and fails on *any* bitwise
+drift — the engine's tables are deterministic by design, so any diff
+here is a behaviour change that must be reviewed, not noise.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import solve
+
+GOLDEN_FILE = Path(__file__).parent / "golden_tables.json"
+
+# Single source of truth for spec -> problem: the regeneration script
+# itself (loaded by path; scripts/ is not a package).
+_SCRIPT = Path(__file__).resolve().parents[2] / "scripts" / "regen_golden.py"
+_spec_obj = importlib.util.spec_from_file_location("regen_golden", _SCRIPT)
+_regen = importlib.util.module_from_spec(_spec_obj)
+_spec_obj.loader.exec_module(_regen)
+_problem_from_spec = _regen.problem_from_spec
+
+
+def _entries():
+    return json.loads(GOLDEN_FILE.read_text())
+
+
+def test_fixture_file_exists_and_covers_the_grid():
+    entries = _entries()
+    assert len(entries) == 45
+    seen = {(e["case"], e["method"], e["algebra"]) for e in entries}
+    assert len(seen) == len(entries)
+    # The flagship grid: every method × every algebra on the CLRS chain.
+    clrs = {(m, a) for c, m, a in seen if c == "clrs_chain"}
+    assert len(clrs) == 25
+
+
+@pytest.mark.parametrize(
+    "entry",
+    _entries(),
+    ids=lambda e: f"{e['case']}-{e['method']}-{e['algebra']}",
+)
+def test_no_bitwise_drift(entry):
+    problem = _problem_from_spec(entry["problem"])
+    result = solve(problem, method=entry["method"], algebra=entry["algebra"])
+    assert result.value == entry["value"]
+    assert result.iterations == entry["iterations"]
+    golden_w = np.asarray(entry["w"], dtype=np.float64)
+    assert golden_w.shape == result.w.shape
+    # Bitwise: array_equal on float64 (inf == inf holds; no NaNs exist).
+    assert np.array_equal(result.w, golden_w), (
+        f"golden drift at {entry['case']}/{entry['method']}/{entry['algebra']}: "
+        "regenerate with scripts/regen_golden.py only if the change is intended"
+    )

@@ -1,0 +1,82 @@
+"""BottleneckChainProblem: the minimax merge-scheduling family."""
+
+import numpy as np
+import pytest
+
+from repro.core import solve
+from repro.errors import InvalidProblemError
+from repro.problems import BottleneckChainProblem
+from repro.problems.generators import random_bottleneck_chain
+from repro.trees.enumerate import enumerate_trees
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        p = BottleneckChainProblem([3.0, 9.0, 2.0, 7.0])
+        assert p.n == 3
+        assert p.preferred_algebra == "minimax"
+        assert p.init_cost(0) == 0.0
+        assert p.split_cost(0, 1, 3) == 3.0 + 9.0 + 7.0
+
+    def test_weights_copy_is_readonly_view(self):
+        p = BottleneckChainProblem([1, 2, 3])
+        w = p.weights
+        w[0] = 99
+        assert p.split_cost(0, 1, 2) == 1 + 2 + 3
+
+    def test_rejects_short_or_negative_weights(self):
+        with pytest.raises(InvalidProblemError):
+            BottleneckChainProblem([1.0])
+        with pytest.raises(InvalidProblemError):
+            BottleneckChainProblem([1.0, -2.0, 3.0])
+        with pytest.raises(InvalidProblemError):
+            BottleneckChainProblem([1.0, np.inf, 3.0])
+
+    def test_f_table_matches_split_cost(self):
+        p = BottleneckChainProblem([4, 1, 6, 2, 5])
+        F = p.f_table()
+        for i in range(p.n - 1):
+            for k in range(i + 1, p.n):
+                for j in range(k + 1, p.n + 1):
+                    assert F[i, k, j] == p.split_cost(i, k, j)
+        assert np.isinf(F[2, 1, 3])  # invalid triple marker
+
+    def test_validate_passes(self):
+        random_bottleneck_chain(9, seed=4).validate()
+
+    def test_describe_mentions_weights(self):
+        assert "weights" in BottleneckChainProblem([1, 2, 3]).describe()
+
+
+class TestObjective:
+    def test_bottleneck_cost_of_explicit_tree(self):
+        p = BottleneckChainProblem([3, 9, 2, 7])
+        # ((0,2),(2,3)): merges (0,1,2) and (0,2,3).
+        tree = solve(p, algebra="minimax", reconstruct=True).tree
+        assert p.bottleneck_cost(tree) == solve(p, algebra="minimax").value
+
+    def test_minimax_solution_beats_min_plus_tree_on_bottleneck(self):
+        """The minimax optimum is at least as good a bottleneck as the
+        min-plus tree's bottleneck (and the instance makes it strict)."""
+        p = BottleneckChainProblem([10, 1, 10, 1, 10, 1, 10])
+        minimax_val = solve(p, algebra="minimax").value
+        min_plus_tree = solve(p, algebra="min_plus", reconstruct=True).tree
+        assert minimax_val <= p.bottleneck_cost(min_plus_tree)
+
+    def test_exhaustive_small_instance(self, rng):
+        p = BottleneckChainProblem(rng.integers(1, 25, size=6))
+        best = min(
+            p.bottleneck_cost(t) for t in enumerate_trees(0, p.n)
+        )
+        assert solve(p, algebra="minimax").value == best
+        assert solve(p, method="huang-banded", algebra="minimax").value == best
+
+    def test_generator_determinism_and_bounds(self):
+        a = random_bottleneck_chain(12, seed=7)
+        b = random_bottleneck_chain(12, seed=7)
+        assert np.array_equal(a.weights, b.weights)
+        assert a.weights.min() >= 1 and a.weights.max() <= 50
+
+    def test_generator_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            random_bottleneck_chain(5, weight_low=10, weight_high=2)

@@ -1,0 +1,86 @@
+"""ReliabilityBSTProblem: the max-min reliability-tree family."""
+
+import numpy as np
+import pytest
+
+from repro.core import solve
+from repro.errors import InvalidProblemError
+from repro.problems import ReliabilityBSTProblem
+from repro.problems.generators import random_reliability_bst
+from repro.trees.enumerate import enumerate_trees
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        p = ReliabilityBSTProblem([0.9, 0.8], [0.99, 0.95, 0.97])
+        assert p.n == 3
+        assert p.preferred_algebra == "maxmin"
+        assert p.init_cost(1) == 0.95
+        assert p.split_cost(0, 2, 3) == 0.8
+
+    def test_single_unit_instance(self):
+        p = ReliabilityBSTProblem([], [0.7])
+        assert p.n == 1
+        assert p.init_vector().tolist() == [0.7]
+        assert not np.isfinite(p.f_table()).any()
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(InvalidProblemError, match="length n - 1"):
+            ReliabilityBSTProblem([0.9], [0.99, 0.95, 0.97])
+
+    @pytest.mark.parametrize("bad", [0.0, -0.5, 1.5, np.nan])
+    def test_out_of_range_reliabilities_rejected(self, bad):
+        with pytest.raises(InvalidProblemError, match=r"\(0, 1\]"):
+            ReliabilityBSTProblem([bad, 0.9], [0.9, 0.9, 0.9])
+
+    def test_f_table_matches_split_cost(self):
+        p = random_reliability_bst(6, seed=3)
+        F = p.f_table()
+        for i in range(p.n - 1):
+            for k in range(i + 1, p.n):
+                for j in range(k + 1, p.n + 1):
+                    assert F[i, k, j] == p.split_cost(i, k, j)
+        assert np.isinf(F[3, 2, 4])  # invalid triple marker
+
+    def test_validate_passes(self):
+        random_reliability_bst(8, seed=1).validate()
+
+    def test_accessors_return_copies(self):
+        p = ReliabilityBSTProblem([0.9, 0.8], [0.99, 0.95, 0.97])
+        p.connector_reliability[0] = 0.1
+        p.leaf_reliability[0] = 0.1
+        assert p.split_cost(0, 1, 2) == 0.9 and p.init_cost(0) == 0.99
+
+
+class TestObjective:
+    def test_tree_reliability_is_weakest_component(self):
+        p = ReliabilityBSTProblem([0.9, 0.8], [0.99, 0.95, 0.97])
+        tree = solve(p, algebra="maxmin", reconstruct=True).tree
+        assert p.tree_reliability(tree) == solve(p, algebra="maxmin").value == 0.8
+
+    def test_exhaustive_small_instance(self):
+        p = random_reliability_bst(6, seed=11)
+        best = max(p.tree_reliability(t) for t in enumerate_trees(0, p.n))
+        assert solve(p, algebra="maxmin").value == best
+        assert solve(p, method="huang-compact", algebra="maxmin").value == best
+
+    def test_weakest_connector_bounds_every_tree(self):
+        p = random_reliability_bst(7, seed=5)
+        value = solve(p, algebra="maxmin").value
+        # Every full tree uses connectors; the weakest usable bound is
+        # min(leaves' best, connectors) — the optimum can't exceed the
+        # strongest leaf or any mandatory component's ceiling.
+        assert value <= 1.0
+        assert value >= min(
+            min(p.connector_reliability, default=1.0), p.leaf_reliability.min()
+        )
+
+    def test_generator_determinism(self):
+        a = random_reliability_bst(9, seed=2)
+        b = random_reliability_bst(9, seed=2)
+        assert np.array_equal(a.connector_reliability, b.connector_reliability)
+        assert np.array_equal(a.leaf_reliability, b.leaf_reliability)
+
+    def test_generator_rejects_bad_low(self):
+        with pytest.raises(ValueError):
+            random_reliability_bst(5, low=1.5)

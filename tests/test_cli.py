@@ -32,11 +32,48 @@ class TestSolveCommand:
         out = capsys.readouterr().out
         assert rc == 0 and "value" in out and "iters" not in out
 
-    @pytest.mark.parametrize("family", ["chain", "bst", "polygon", "generic"])
+    @pytest.mark.parametrize(
+        "family", ["chain", "bst", "polygon", "generic", "bottleneck", "reliability"]
+    )
     def test_all_families(self, family, capsys):
         rc = main(["solve", "--family", family, "--n", "8", "--method", "huang-banded"])
         assert rc == 0
         assert "value" in capsys.readouterr().out
+
+    def test_algebra_option(self, capsys):
+        rc = main(
+            [
+                "solve",
+                "--dims",
+                "30,35,15,5,10,20,25",
+                "--method",
+                "huang",
+                "--algebra",
+                "minimax",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "algebra : minimax" in out
+        assert "5250" in out  # the CLRS chain's bottleneck optimum
+
+    def test_min_plus_output_unchanged(self, capsys):
+        """The default algebra must not add an algebra line (output
+        compatibility with pre-algebra scripts)."""
+        rc = main(["solve", "--dims", "2,3,4", "--method", "sequential"])
+        out = capsys.readouterr().out
+        assert rc == 0 and "algebra" not in out
+
+    def test_unknown_algebra_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--algebra", "tropical-typo"])
+
+    def test_family_preferred_algebra_used_by_default(self, capsys):
+        """Without --algebra, the bottleneck family resolves to its
+        preferred minimax objective (and says so)."""
+        rc = main(["solve", "--family", "bottleneck", "--n", "8", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0 and "algebra : minimax" in out
 
     def test_tree_flag(self, capsys):
         rc = main(["solve", "--dims", "2,3,4", "--method", "sequential", "--tree"])
@@ -194,9 +231,79 @@ class TestBatchCommand:
         assert "unknown family" in records[1]["error"]
         assert records[2]["value"] == 24.0
 
+    def test_batch_algebra_default_and_per_spec_override(self, capsys, monkeypatch):
+        """``repro batch --algebra`` sets the batch default; per-spec
+        ``algebra`` keys override it; values come back decoded."""
+        import io
+        import json
+
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO(
+                '{"dims": [30, 35, 15, 5, 10, 20, 25]}\n'
+                '{"dims": [30, 35, 15, 5, 10, 20, 25], "algebra": "min_plus"}\n'
+                '{"weights": [7, 2, 9, 4, 8], "algebra": "minimax", "method": "huang"}\n'
+            ),
+        )
+        rc = main(["batch", "--jsonl", "--backend", "serial", "--algebra", "max_plus"])
+        records = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        assert rc == 0
+        assert records[0]["value"] == 58000.0  # max_plus (batch default)
+        assert records[1]["value"] == 15125.0  # per-spec min_plus override
+        assert records[2]["error"] is None
+
+    def test_batch_bad_algebra_spec_is_isolated(self, capsys, monkeypatch):
+        """An unknown per-spec algebra fails inside the solve worker and
+        is reported in place; the rest of the batch still solves."""
+        import io
+        import json
+
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO(
+                '{"dims": [2, 3, 4], "algebra": "tropical-typo"}\n'
+                '{"dims": [10, 20, 5, 30], "method": "huang-compact"}\n'
+            ),
+        )
+        rc = main(["batch", "--jsonl", "--backend", "serial"])
+        records = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        assert rc == 1
+        assert "unknown algebra" in records[0]["error"]
+        assert records[1]["value"] == 2500.0
+
+    def test_explicit_bottleneck_and_reliability_specs(self, capsys, monkeypatch):
+        import io
+        import json
+
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO(
+                '{"weights": [3, 9, 2, 7], "algebra": "minimax"}\n'
+                '{"connectors": [0.9, 0.8], "leaves": [0.99, 0.95, 0.97], '
+                '"algebra": "maxmin"}\n'
+            ),
+        )
+        rc = main(["batch", "--jsonl", "--backend", "serial"])
+        records = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        assert rc == 0
+        assert records[0]["value"] == 14.0  # min over trees of the max split
+        assert records[1]["value"] == 0.8  # the weakest usable connector
+
     def test_invalid_max_workers_rejected_by_parser(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["batch", "--max-workers", "0"])
+
+
+class TestAlgebrasCommand:
+    def test_lists_all_registered_algebras(self, capsys):
+        from repro.core import list_algebras
+
+        rc = main(["algebras"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for name in list_algebras():
+            assert name in out
+        assert "combine" in out and "extend" in out
 
 
 class TestSolveBackendOption:
