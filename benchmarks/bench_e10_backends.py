@@ -17,7 +17,15 @@ that buys (and costs) on real hardware:
   the kernels' keyword channel as a set of ufunc handles, so the
   min-plus hot path must stay within noise of the pre-algebra engine
   (the acceptance bar is 5%); the other algebras differ only by which
-  ufunc the same slab operations dispatch to.
+  ufunc the same slab operations dispatch to;
+* plan-vs-legacy dispatch axis — per-sweep dispatch overhead of the
+  compiled-plan path (persistent pool + shared-memory table store:
+  arrays cross the process boundary once per solve) against the legacy
+  fork-per-sweep transport (fresh pool + COW re-publish every sweep).
+  The acceptance bar: the persistent path's per-sweep overhead must be
+  a fraction (< 1.0x) of the legacy path's. ``--smoke`` runs only this
+  axis at a small size and exits non-zero on regression, which is what
+  CI invokes.
 
 Correctness is not at stake (every combination commits bitwise-equal
 tables — the test suite pins that); this is the operational record the
@@ -26,9 +34,11 @@ backend choice should be made from.
 
 from __future__ import annotations
 
+import sys
 import time
 
 from repro.core import list_algebras, solve, solve_many
+from repro.parallel.backends import ProcessBackend
 from repro.problems.generators import random_matrix_chain
 from repro.util.tables import format_table
 
@@ -145,6 +155,93 @@ def batch_throughput_table(count: int = 12, n: int = 16, workers: int = 4):
     )
 
 
+def _dispatch_overhead_stats(n: int = 20, workers: int = 2, repeats: int = 3) -> dict:
+    """Per-sweep dispatch overhead of each process transport over the
+    serial baseline (same kernels, same tables — the difference is pure
+    dispatch: pool lifecycle + array transport + result return)."""
+    p = random_matrix_chain(n, seed=3)
+    ref = solve(p, method="huang")
+    sweeps = ref.iterations * 3  # three kernels per scheduled iteration
+    t_serial = _time(lambda: solve(p, method="huang"), repeats)
+
+    def timed(transport: str) -> float:
+        be = ProcessBackend(workers, start_method="fork", transport=transport)
+        try:
+            return _time(lambda: solve(p, method="huang", backend=be), repeats)
+        finally:
+            be.close()
+
+    t_cow = timed("cow")
+    t_shm = timed("shm")
+    per_sweep = lambda t: max(0.0, t - t_serial) / sweeps  # noqa: E731
+    return {
+        "n": n,
+        "workers": workers,
+        "sweeps": sweeps,
+        "serial_s": t_serial,
+        "cow_s": t_cow,
+        "shm_s": t_shm,
+        "cow_per_sweep_ms": per_sweep(t_cow) * 1e3,
+        "shm_per_sweep_ms": per_sweep(t_shm) * 1e3,
+    }
+
+
+def dispatch_overhead_table(
+    n: int = 20, workers: int = 2, repeats: int = 3, stats: dict | None = None
+):
+    s = stats if stats is not None else _dispatch_overhead_stats(n, workers, repeats)
+    ratio = (
+        s["shm_per_sweep_ms"] / s["cow_per_sweep_ms"]
+        if s["cow_per_sweep_ms"] > 0
+        else float("nan")
+    )
+    rows = [
+        ("serial (baseline)", f"{s['serial_s'] * 1e3:.1f}", "-", "-"),
+        (
+            "legacy fork-per-sweep (cow)",
+            f"{s['cow_s'] * 1e3:.1f}",
+            f"{s['cow_per_sweep_ms']:.2f}",
+            "1.00x",
+        ),
+        (
+            "compiled plan (persistent+shm)",
+            f"{s['shm_s'] * 1e3:.1f}",
+            f"{s['shm_per_sweep_ms']:.2f}",
+            f"{ratio:.2f}x",
+        ),
+    ]
+    return format_table(
+        ["path", "solve ms", "dispatch ms/sweep", "vs legacy"],
+        rows,
+        title=(
+            f"E10e: plan-vs-legacy dispatch overhead, huang at n={s['n']}, "
+            f"{s['workers']} workers, {s['sweeps']} sweeps/solve. The legacy "
+            "path forks a pool and re-publishes arrays every sweep; the "
+            "compiled plan attaches workers to the shared-memory store once "
+            "per solve and ships only (kernel, tile, epoch) tuples."
+        ),
+    )
+
+
+def smoke(n: int = 14, workers: int = 2) -> int:
+    """CI guard: the persistent-pool + shared-memory path must amortise
+    per-sweep dispatch below the legacy fork-per-sweep path. Returns a
+    process exit code (non-zero = regression). The table and the gate
+    are rendered from one measurement, so the printed numbers are the
+    gated numbers."""
+    s = _dispatch_overhead_stats(n=n, workers=workers, repeats=2)
+    print(dispatch_overhead_table(stats=s))
+    print(
+        f"\nper-sweep dispatch: shm {s['shm_per_sweep_ms']:.2f} ms "
+        f"vs legacy {s['cow_per_sweep_ms']:.2f} ms"
+    )
+    if s["shm_per_sweep_ms"] >= s["cow_per_sweep_ms"]:
+        print("FAIL: compiled-plan dispatch is not amortised below the legacy path")
+        return 1
+    print("OK: compiled-plan dispatch amortised below the legacy fork-per-sweep path")
+    return 0
+
+
 def test_e10_backend_comparison(report, benchmark):
     report(
         "e10_backends",
@@ -170,6 +267,13 @@ def test_e10_algebra_sweep(report, benchmark):
     )
 
 
+def test_e10_dispatch_overhead(report, benchmark):
+    report(
+        "e10_backends",
+        benchmark.pedantic(dispatch_overhead_table, rounds=1, iterations=1),
+    )
+
+
 def test_e10_tiled_iteration_kernel(benchmark):
     """Wall-clock kernel: one thread-tiled huang iteration at n=32."""
     from repro.core.huang import HuangSolver
@@ -179,7 +283,10 @@ def test_e10_tiled_iteration_kernel(benchmark):
     s.close()
 
 
-def main() -> None:
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if "--smoke" in argv:
+        return smoke()
     print(backend_comparison_table())
     print()
     print(tile_sweep_table())
@@ -187,7 +294,10 @@ def main() -> None:
     print(batch_throughput_table())
     print()
     print(algebra_sweep_table())
+    print()
+    print(dispatch_overhead_table())
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -4,6 +4,7 @@ Commands
 --------
 ``solve``     solve a random or user-specified instance with any method;
 ``batch``     solve a JSONL stream of problem specs on a worker pool;
+``plan``      print the compiled sweep plan a solve would execute;
 ``algebras``  list the registered selection-semiring algebras;
 ``pebble``    play the pebbling game on a named tree shape;
 ``costs``     print the symbolic processor–time comparison table;
@@ -13,8 +14,10 @@ Examples::
 
     python -m repro solve --family chain --n 16 --method huang-banded
     python -m repro solve --dims 30,35,15,5,10,20,25 --method huang --backend process
+    python -m repro solve --family chain --n 16 --backend process --start-method spawn
     python -m repro solve --family bottleneck --n 14 --algebra minimax
     python -m repro batch --input problems.jsonl --backend process --max-workers 4
+    python -m repro plan --family chain --n 24 --method huang-banded --backend process
     python -m repro algebras
     python -m repro pebble --shape zigzag --n 4096 --rule huang
     python -m repro costs --n 16 64 256
@@ -42,6 +45,7 @@ from typing import Sequence
 # __init__, so this costs nothing extra.)
 from repro.core.algebra import list_algebras
 from repro.core.api import ITERATIVE_METHODS, METHODS
+from repro.parallel.backends import BACKEND_NAMES, START_METHODS
 
 __all__ = ["main", "build_parser"]
 
@@ -76,6 +80,69 @@ def _positive_int(value: str) -> int:
     return n
 
 
+def _add_instance_args(parser: argparse.ArgumentParser) -> None:
+    """The one-instance selectors shared by ``solve`` and ``plan``."""
+    parser.add_argument(
+        "--family",
+        choices=list(FAMILIES),
+        default="chain",
+        help="random-instance family (ignored if --dims is given)",
+    )
+    parser.add_argument("--n", type=int, default=12, help="instance size")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--dims",
+        type=str,
+        default=None,
+        help="explicit matrix-chain dimensions, comma separated",
+    )
+
+
+def _add_execution_args(parser: argparse.ArgumentParser) -> None:
+    """The execution knobs shared by ``solve`` and ``plan``."""
+    parser.add_argument(
+        "--algebra",
+        choices=list(list_algebras()),
+        default=None,
+        help=(
+            "selection semiring the recurrence runs over (default: the "
+            "problem family's preferred algebra, min_plus for the "
+            "classical families)"
+        ),
+    )
+    parser.add_argument(
+        "--backend",
+        choices=list(BACKEND_NAMES),
+        default="serial",
+        help="execution backend for the iterative methods' sweep kernels",
+    )
+    parser.add_argument(
+        "--start-method",
+        choices=list(START_METHODS),
+        default=None,
+        help=(
+            "process start method for --backend process (default: fork "
+            "where available, else spawn)"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="backend worker count (default: min(8, cpu count))",
+    )
+
+
+def _problem_from_args(args: argparse.Namespace):
+    """One problem instance from the shared selectors: explicit --dims
+    wins over the random --family/--n/--seed draw."""
+    from repro.problems import MatrixChainProblem
+
+    if args.dims:
+        return MatrixChainProblem([int(x) for x in args.dims.split(",")])
+    return _family_generators()[args.family](args.n, seed=args.seed)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -87,20 +154,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_solve = sub.add_parser("solve", help="solve one instance")
-    p_solve.add_argument(
-        "--family",
-        choices=list(FAMILIES),
-        default="chain",
-        help="random-instance family (ignored if --dims is given)",
-    )
-    p_solve.add_argument("--n", type=int, default=12, help="instance size")
-    p_solve.add_argument("--seed", type=int, default=0)
-    p_solve.add_argument(
-        "--dims",
-        type=str,
-        default=None,
-        help="explicit matrix-chain dimensions, comma separated",
-    )
+    _add_instance_args(p_solve)
     p_solve.add_argument(
         "--method",
         choices=list(METHODS),
@@ -112,28 +166,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="paper",
         help="termination policy for the iterative methods",
     )
-    p_solve.add_argument(
-        "--algebra",
-        choices=list(list_algebras()),
-        default=None,
-        help=(
-            "selection semiring the recurrence runs over (default: the "
-            "problem family's preferred algebra, min_plus for the "
-            "classical families)"
-        ),
-    )
-    p_solve.add_argument(
-        "--backend",
-        choices=["serial", "thread", "process"],
-        default="serial",
-        help="execution backend for the iterative methods' sweep kernels",
-    )
-    p_solve.add_argument(
-        "--workers",
-        type=_positive_int,
-        default=None,
-        help="backend worker count (default: min(8, cpu count))",
-    )
+    _add_execution_args(p_solve)
     p_solve.add_argument("--tree", action="store_true", help="print the optimal tree")
     p_solve.add_argument("--trace", action="store_true", help="print the iteration trace")
 
@@ -162,9 +195,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_batch.add_argument(
         "--backend",
-        choices=["serial", "thread", "process"],
+        choices=list(BACKEND_NAMES),
         default="thread",
         help="shared worker pool the batch fans out over",
+    )
+    p_batch.add_argument(
+        "--start-method",
+        choices=list(START_METHODS),
+        default=None,
+        help="process start method for --backend process",
     )
     p_batch.add_argument(
         "--max-workers",
@@ -176,6 +215,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--jsonl",
         action="store_true",
         help="emit one JSON result object per line instead of the table",
+    )
+
+    p_plan = sub.add_parser(
+        "plan",
+        help="print the compiled sweep plan a solve would execute",
+        description=(
+            "Compile (without running) the sweep plan of an iterative "
+            "solve: the resolved kernel schedule, the frozen tile "
+            "partition per kernel, and the shared-memory commit buffers "
+            "the engine would preallocate."
+        ),
+    )
+    _add_instance_args(p_plan)
+    p_plan.add_argument(
+        "--method",
+        choices=list(ITERATIVE_METHODS),
+        default="huang-banded",
+        help="iterative method to compile (sequential methods have no plan)",
+    )
+    _add_execution_args(p_plan)
+    p_plan.add_argument(
+        "--tiles",
+        type=_positive_int,
+        default=None,
+        help="tiles per sweep (default: one per worker)",
     )
 
     sub.add_parser(
@@ -206,26 +270,26 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_solve(args: argparse.Namespace) -> int:
     from repro.core import solve
     from repro.core.termination import WPWStable, WStable
-    from repro.problems import MatrixChainProblem
     from repro.viz import render_iteration_trace, render_tree
 
-    if args.dims:
-        dims = [int(x) for x in args.dims.split(",")]
-        problem = MatrixChainProblem(dims)
-    else:
-        problem = _family_generators()[args.family](args.n, seed=args.seed)
+    problem = _problem_from_args(args)
     policy = {
         "paper": None,
         "w-stable": WStable(),
         "w-pw-stable": WPWStable(),
     }[args.policy]
-    kwargs = {}
+    kwargs = {
+        # Always forwarded so solve()'s up-front validation sees exactly
+        # what the user typed (the sequential methods then ignore the
+        # backend, as documented) — the CLI must not silently drop flags.
+        "backend": args.backend,
+        "workers": args.workers,
+        "start_method": args.start_method,
+    }
     if args.algebra is not None:
         kwargs["algebra"] = args.algebra
     if args.method in ITERATIVE_METHODS:
         kwargs["policy"] = policy
-        kwargs["backend"] = args.backend
-        kwargs["workers"] = args.workers
     result = solve(problem, method=args.method, reconstruct=args.tree, **kwargs)
     print(f"problem : {problem.describe()}")
     print(f"method  : {args.method}")
@@ -338,6 +402,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         algebra=args.algebra,
         backend=args.backend,
         max_workers=args.max_workers,
+        start_method=args.start_method,
         on_error="return",
     )
     results_iter = iter(results)
@@ -386,6 +451,24 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             )
         )
     return 1 if failures else 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.core.api import plan_for
+
+    problem = _problem_from_args(args)
+    plan = plan_for(
+        problem,
+        method=args.method,
+        algebra=args.algebra,
+        backend=args.backend,
+        workers=args.workers,
+        tiles=args.tiles,
+        start_method=args.start_method,
+    )
+    print(f"problem : {problem.describe()}")
+    print(plan.describe())
+    return 0
 
 
 def _cmd_algebras(args: argparse.Namespace) -> int:
@@ -480,6 +563,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     handler = {
         "solve": _cmd_solve,
         "batch": _cmd_batch,
+        "plan": _cmd_plan,
         "algebras": _cmd_algebras,
         "pebble": _cmd_pebble,
         "costs": _cmd_costs,

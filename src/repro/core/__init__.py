@@ -31,7 +31,8 @@
   and the batched :func:`~repro.core.api.solve_many` service layer.
 """
 
-from repro.core.api import solve, solve_many, SolveResult, BatchItem
+from repro.core.api import solve, solve_many, plan_for, SolveResult, BatchItem
+from repro.core.plan import SweepPlan, PlanStep, compile_plan
 from repro.core.algebra import (
     SelectionSemiring,
     get_algebra,
@@ -61,6 +62,10 @@ from repro.core.cost_model import AlgorithmCost, COST_MODELS, comparison_table
 __all__ = [
     "solve",
     "solve_many",
+    "plan_for",
+    "SweepPlan",
+    "PlanStep",
+    "compile_plan",
     "SolveResult",
     "BatchItem",
     "SelectionSemiring",

@@ -37,16 +37,30 @@ from repro.core.banded import BandedSolver
 from repro.core.compact import CompactBandedSolver
 from repro.core.huang import HuangSolver, IterationTrace
 from repro.core.knuth import solve_knuth
+from repro.core.plan import SweepPlan
 from repro.core.reconstruct import reconstruct_tree
 from repro.core.rytter import RytterSolver
 from repro.core.sequential import solve_sequential
 from repro.core.termination import TerminationPolicy
 from repro.errors import InvalidProblemError
-from repro.parallel.backends import Backend, make_backend
+from repro.parallel.backends import (
+    BACKEND_NAMES,
+    START_METHODS,
+    Backend,
+    make_backend,
+)
+from repro.parallel.shm import TableStore
 from repro.problems.base import ParenthesizationProblem
 from repro.trees.parse_tree import ParseTree
 
-__all__ = ["solve", "solve_many", "SolveResult", "BatchItem", "METHODS"]
+__all__ = [
+    "solve",
+    "solve_many",
+    "plan_for",
+    "SolveResult",
+    "BatchItem",
+    "METHODS",
+]
 
 #: solver class per iterative method — single source for the dispatch;
 #: the CLI and the method constants below all derive from it
@@ -61,6 +75,34 @@ _SOLVER_CLASSES = {
 ITERATIVE_METHODS = tuple(_SOLVER_CLASSES)
 
 METHODS = ("sequential", "knuth") + ITERATIVE_METHODS
+
+
+def _validate_execution(backend, start_method) -> None:
+    """Reject unknown backend / start-method names *before* any solver,
+    pool or table is constructed — with the valid choices in the error.
+    (Historically an unknown name surfaced only when the engine first
+    asked for a pool, mid-solve.)"""
+    if isinstance(backend, str) and backend not in BACKEND_NAMES:
+        raise InvalidProblemError(
+            f"unknown backend {backend!r}; choose from {BACKEND_NAMES}"
+        )
+    if start_method is not None:
+        if start_method not in START_METHODS:
+            raise InvalidProblemError(
+                f"unknown start method {start_method!r}; choose from "
+                f"{START_METHODS}"
+            )
+        if not isinstance(backend, str):
+            raise InvalidProblemError(
+                "start_method applies only when the backend is given by "
+                "name; a Backend instance was already constructed with "
+                "its own start method"
+            )
+        if backend != "process":
+            raise InvalidProblemError(
+                "start_method applies only to backend='process' (got "
+                f"backend={backend!r})"
+            )
 
 
 @dataclass(frozen=True)
@@ -99,6 +141,8 @@ def solve(
     backend: Backend | str = "serial",
     workers: int | None = None,
     tiles: int | None = None,
+    start_method: str | None = None,
+    store: TableStore | None = None,
     **solver_kwargs,
 ) -> SolveResult:
     """Solve ``problem`` with the chosen algorithm.
@@ -139,12 +183,26 @@ def solve(
     workers, tiles:
         Worker count for a string ``backend`` and tiles per sweep
         (default: one tile per worker).
+    start_method:
+        Process start method for ``backend="process"``: ``"fork"``
+        (default where available) or ``"spawn"``. The persistent pool
+        plus shared-memory table transport behave identically under
+        both — spawn is the portability configuration fork-COW could
+        never support.
+    store:
+        A caller-owned :class:`~repro.parallel.shm.TableStore` the
+        iterative solver allocates its tables in. Passing the same
+        store (and a live ``Backend`` instance) across ``solve`` calls
+        keeps both the worker pool and the table segments warm;
+        the caller closes the store when done. Default: the engine
+        creates one per solve and disposes of it before returning.
     solver_kwargs:
         Extra keyword arguments forwarded to the solver class
         (e.g. ``band=...``, ``size_band=True`` for ``huang-banded``).
     """
     if method not in METHODS:
         raise InvalidProblemError(f"unknown method {method!r}; choose from {METHODS}")
+    _validate_execution(backend, start_method)
     if algebra is None:
         algebra = getattr(problem, "preferred_algebra", "min_plus")
     alg = get_algebra(algebra)
@@ -182,6 +240,8 @@ def solve(
         backend=backend,
         workers=workers,
         tiles=tiles,
+        start_method=start_method,
+        store=store,
         **solver_kwargs,
     )
     try:
@@ -189,6 +249,10 @@ def solve(
     finally:
         if isinstance(backend, str):
             solver.close()
+        else:
+            # Caller-owned backend instance: keep its pool warm, but an
+            # engine-owned table store must still be unlinked.
+            solver.release_store()
     tree = reconstruct_tree(problem, out.w, algebra=alg) if reconstruct else None
     return SolveResult(
         method=method,
@@ -271,6 +335,7 @@ def solve_many(
     method: str = "sequential",
     backend: Backend | str = "thread",
     max_workers: int | None = None,
+    start_method: str | None = None,
     on_error: str = "raise",
     **solve_kwargs,
 ) -> list[SolveResult | Exception]:
@@ -289,13 +354,20 @@ def solve_many(
         Default method for items that do not name their own.
     backend:
         The shared pool the batch fans out over: ``"serial"``,
-        ``"thread"`` (default) or ``"process"`` (fork; each worker
-        solves whole problems, so per-item tables are never shared) —
-        or a :class:`~repro.parallel.backends.Backend` instance. Each
-        item's own sweeps run serially inside its worker; pools are
-        not nested.
+        ``"thread"`` (default) or ``"process"`` (a persistent pool;
+        picklable specs cross once per batch as a shared-memory blob,
+        and each worker solves whole problems, so per-item tables are
+        never shared) — or a
+        :class:`~repro.parallel.backends.Backend` instance, which
+        keeps the pool warm across batches. Each item's own sweeps run
+        serially inside its worker; pools are not nested.
     max_workers:
         Pool size for a string ``backend``.
+    start_method:
+        Process start method for ``backend="process"`` (``"fork"`` or
+        ``"spawn"``). Batch specs must be picklable under spawn; under
+        fork, specs that cannot be pickled (closure-based cost
+        functions) automatically ride the copy-on-write channel.
     on_error:
         ``"raise"`` (default) re-raises the first failure after the
         batch completes; ``"return"`` keeps failures *in place* — the
@@ -323,6 +395,7 @@ def solve_many(
         raise InvalidProblemError(
             f"on_error must be 'raise' or 'return', got {on_error!r}"
         )
+    _validate_execution(backend, start_method)
     specs = _normalize_batch(problems, method)
     for _, m, kw in specs:
         if m not in METHODS:
@@ -330,7 +403,11 @@ def solve_many(
                 f"unknown method {m!r}; choose from {METHODS}"
             )
         kw.update({k: v for k, v in solve_kwargs.items() if k not in kw})
-    pool = make_backend(backend, max_workers) if isinstance(backend, str) else backend
+    pool = (
+        make_backend(backend, max_workers, start_method=start_method)
+        if isinstance(backend, str)
+        else backend
+    )
     try:
         tagged = pool.map_with_arrays(
             _solve_batch_item, range(len(specs)), {"specs": specs}
@@ -349,3 +426,73 @@ def solve_many(
     if on_error == "raise" and first_error is not None:
         raise first_error
     return results
+
+
+# ---------------------------------------------------------------------------
+# Plan introspection.
+# ---------------------------------------------------------------------------
+
+
+class _PlanOnlyStore:
+    """Table-allocation shim for :func:`plan_for`: satisfies the
+    solver's ``_alloc_table``/``_adopt_table`` hooks with plain numpy
+    arrays, so compiling a plan to *print* never creates (and memsets)
+    shared-memory segments that would be unlinked moments later. The
+    engine treats it as caller-owned, so nothing tries to close it."""
+
+    def full(self, name, shape, fill, dtype=np.float64):
+        return np.full(shape, fill, dtype=dtype)
+
+    def put(self, name, values):
+        return np.asarray(values)
+
+    def meta_for(self, array):  # pragma: no cover - plans never execute
+        return None
+
+
+def plan_for(
+    problem: ParenthesizationProblem,
+    *,
+    method: str = "huang",
+    algebra: SelectionSemiring | str | None = None,
+    backend: Backend | str = "serial",
+    workers: int | None = None,
+    tiles: int | None = None,
+    start_method: str | None = None,
+    max_n: int | None = None,
+    **solver_kwargs,
+) -> SweepPlan:
+    """Compile (without running) the :class:`~repro.core.plan.SweepPlan`
+    a solve of ``problem`` would execute — the resolved kernel
+    schedule, the frozen tile partition per kernel, and the commit
+    buffers the engine would preallocate. This is what the ``repro
+    plan`` CLI subcommand prints.
+
+    Only the iterative methods compile to sweep plans; the sequential
+    baselines have no super-step schedule to freeze.
+    """
+    if method not in ITERATIVE_METHODS:
+        raise InvalidProblemError(
+            f"method {method!r} has no sweep plan; iterative methods: "
+            f"{ITERATIVE_METHODS}"
+        )
+    _validate_execution(backend, start_method)
+    if max_n is not None:
+        solver_kwargs["max_n"] = max_n
+    solver = _SOLVER_CLASSES[method](
+        problem,
+        algebra=algebra,
+        backend=backend,
+        workers=workers,
+        tiles=tiles,
+        start_method=start_method,
+        store=_PlanOnlyStore(),
+        **solver_kwargs,
+    )
+    try:
+        return solver.plan
+    finally:
+        if isinstance(backend, str):
+            solver.close()
+        else:
+            solver.release_store()

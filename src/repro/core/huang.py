@@ -55,6 +55,7 @@ from repro.core.kernels import (
     KernelEngine,
     SweepKernel,
 )
+from repro.core.plan import SweepPlan, compile_plan
 from repro.core.termination import (
     FixedIterations,
     IterationState,
@@ -63,6 +64,7 @@ from repro.core.termination import (
 )
 from repro.errors import ConvergenceError, InvalidProblemError
 from repro.parallel.backends import Backend
+from repro.parallel.shm import TableStore
 from repro.problems.base import ParenthesizationProblem
 
 __all__ = [
@@ -155,13 +157,22 @@ class IterativeTableSolver:
         backend: Backend | str = "serial",
         workers: int | None = None,
         tiles: int | None = None,
+        start_method: str | None = None,
+        store: "TableStore | None" = None,
     ) -> None:
         """Create the kernel engine and instantiate this solver's kernel
-        set; concrete ``__init__`` methods call this before :meth:`reset`."""
-        self._engine = KernelEngine(backend, workers=workers, tiles=tiles)
+        set; concrete ``__init__`` methods call this before :meth:`reset`
+        (and before encoding any table the workers will read, so the
+        encoded copies can be adopted into the shared-memory store)."""
+        self._engine = KernelEngine(
+            backend, workers=workers, tiles=tiles, start_method=start_method,
+            store=store,
+        )
         self.backend = self._engine.backend
         self.tiles = self._engine.tiles
+        self._store = self._engine.store
         self._kernels = self.build_kernels()
+        self._plan: SweepPlan | None = None
 
     def build_kernels(self) -> dict[str, SweepKernel]:  # pragma: no cover - abstract
         """Map each :attr:`SCHEDULE` entry to its sweep kernel."""
@@ -169,6 +180,37 @@ class IterativeTableSolver:
 
     def reset(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
+
+    @property
+    def plan(self) -> SweepPlan:
+        """The compiled :class:`~repro.core.plan.SweepPlan` — resolved
+        schedule, frozen tile partitions, commit-buffer shapes —
+        compiled lazily once per solver and executed by every sweep."""
+        if self._plan is None:
+            self._plan = compile_plan(self)
+        return self._plan
+
+    # -- table placement -----------------------------------------------------
+    #
+    # When the engine runs over a shared-memory table store (persistent
+    # process pools), solver tables are allocated *inside* it: workers
+    # attach to each table once per solve and every commit the parent
+    # makes is immediately visible to the next sweep — the arrays cross
+    # the process boundary never, only tile tuples and digests do.
+
+    def _alloc_table(self, name: str, shape: tuple) -> np.ndarray:
+        """A fresh unreached table, placed in the store when one exists
+        (reusing the segment across :meth:`reset` calls)."""
+        if self._store is not None:
+            return self._store.full(name, shape, self.algebra.zero)
+        return self.algebra.full(shape)
+
+    def _adopt_table(self, name: str, values: np.ndarray) -> np.ndarray:
+        """Copy a read-only input table (e.g. the encoded ``f``) into
+        the store when one exists; identity otherwise."""
+        if self._store is not None:
+            return self._store.put(name, values)
+        return values
 
     # -- the three operations ------------------------------------------------
     #
@@ -178,18 +220,19 @@ class IterativeTableSolver:
 
     def a_activate(self) -> bool:
         """Equations (1a)/(1b); returns True if pw changed."""
-        return self._engine.execute(self._kernels["activate"], self)
+        return self._engine.execute_step(self.plan.step("activate"), self)
 
     def a_square(self) -> bool:
         """Equation (2c); returns True if pw changed."""
-        return self._engine.execute(self._kernels["square"], self)
+        return self._engine.execute_step(self.plan.step("square"), self)
 
     def a_pebble(self) -> bool:
         """Equation (3); returns True if w changed."""
-        return self._engine.execute(self._kernels["pebble"], self)
+        return self._engine.execute_step(self.plan.step("pebble"), self)
 
     def iterate(self) -> tuple[bool, bool]:
-        """One full scheduled round; returns (w_changed, pw_changed)."""
+        """One full scheduled round — executing the compiled plan's
+        steps, not re-deriving tiles; returns (w_changed, pw_changed)."""
         w_changed = False
         pw_changed = False
         for name in self.SCHEDULE:
@@ -256,8 +299,16 @@ class IterativeTableSolver:
         )
 
     def close(self) -> None:
-        """Release the engine's backend workers."""
+        """Release the engine's backend workers and any engine-owned
+        shared-memory store."""
         self._engine.close()
+
+    def release_store(self) -> None:
+        """Release only the engine-owned store, keeping the backend (a
+        caller-owned instance being reused across solves) warm — what
+        :func:`repro.core.api.solve` calls when it did not create the
+        backend."""
+        self._engine.release(close_backend=False)
 
     def __enter__(self) -> "IterativeTableSolver":
         return self
@@ -295,6 +346,11 @@ class HuangSolver(IterativeTableSolver):
         Execution backend for the sweep kernels (default serial,
         single-tile — the reference path); see
         :class:`IterativeTableSolver`.
+    start_method, store:
+        Process start method (``"fork"``/``"spawn"``) and an optional
+        caller-owned shared-memory
+        :class:`~repro.parallel.shm.TableStore` to allocate the tables
+        in; both apply only with ``backend="process"``.
     """
 
     def __init__(
@@ -307,6 +363,8 @@ class HuangSolver(IterativeTableSolver):
         backend: Backend | str = "serial",
         workers: int | None = None,
         tiles: int | None = None,
+        start_method: str | None = None,
+        store: TableStore | None = None,
     ) -> None:
         if problem.n > max_n:
             raise InvalidProblemError(
@@ -320,9 +378,9 @@ class HuangSolver(IterativeTableSolver):
         if algebra is None:
             algebra = getattr(problem, "preferred_algebra", "min_plus")
         self.algebra = get_algebra(algebra)
-        self._F = self.algebra.encode_f(problem.cached_f_table())
+        self._init_engine(backend, workers, tiles, start_method, store)
+        self._F = self._adopt_table("F", self.algebra.encode_f(problem.cached_f_table()))
         self._init = self.algebra.encode_init(problem.init_vector())
-        self._init_engine(backend, workers, tiles)
         self.reset()
 
     # -- kernel set ----------------------------------------------------------
@@ -341,10 +399,10 @@ class HuangSolver(IterativeTableSolver):
         (``zero`` everywhere, leaf costs on the unit intervals, the
         extend-identity ``one`` on the trivial gaps)."""
         N = self.n + 1
-        self.w = self.algebra.full((N, N))
+        self.w = self._alloc_table("w", (N, N))
         idx = np.arange(self.n)
         self.w[idx, idx + 1] = self._init
-        self.pw = self.algebra.full((N, N, N, N))
+        self.pw = self._alloc_table("pw", (N, N, N, N))
         ii, jj = np.triu_indices(N, k=1)
         self.pw[ii, jj, ii, jj] = self.algebra.one
         self.iterations_run = 0

@@ -56,8 +56,10 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from repro.core.algebra import MIN_PLUS, SelectionSemiring
+from repro.errors import BackendError
 from repro.parallel.backends import Backend, make_backend
 from repro.parallel.partition import split_range
+from repro.parallel.shm import TableStore
 
 __all__ = [
     "SweepKernel",
@@ -340,7 +342,12 @@ class SweepKernel:
     compute_fn: Callable[..., Any]
 
     def tiles(self, solver, parts: int) -> list:
-        """Disjoint tiles covering the operation's output index space."""
+        """Disjoint tiles covering the operation's output index space.
+
+        Tiles must depend only on static solver shape (``n``, band,
+        part count), never on table contents — plan compilation
+        (:mod:`repro.core.plan`) freezes them once per solve.
+        """
         raise NotImplementedError
 
     def arrays(self, solver) -> dict[str, Any]:
@@ -351,6 +358,14 @@ class SweepKernel:
         """Merge candidate slabs into solver state (the algebra's
         idempotent monotone combine); True if changed."""
         raise NotImplementedError
+
+    def result_shape(self, solver, tile) -> tuple | None:
+        """Shape of the candidate slab :attr:`compute_fn` returns for
+        ``tile``, or ``None`` when the result is not one dense float64
+        slab. Known shapes let the plan preallocate shared-memory
+        commit buffers so process workers return digests instead of
+        pickled slabs; ``None`` tiles fall back to pickling."""
+        return None
 
     @staticmethod
     def _row_tiles(total: int, parts: int) -> list[tuple[int, int]]:
@@ -373,6 +388,11 @@ class DenseActivateKernel(SweepKernel):
 
     def arrays(self, solver):
         return {"F": solver._F, "w": solver.w}
+
+    def result_shape(self, solver, tile):
+        _side, lo, hi = tile
+        N = solver.n + 1
+        return (hi - lo, N, N)
 
     def commit(self, solver, tiles, results):
         changed = False
@@ -399,6 +419,11 @@ class DenseSquareKernel(SweepKernel):
     def arrays(self, solver):
         return {"pw": solver.pw}
 
+    def result_shape(self, solver, tile):
+        lo, hi = tile
+        N = solver.n + 1
+        return (hi - lo, N, N, N)
+
     def commit(self, solver, tiles, results):
         changed = False
         pw = solver.pw
@@ -421,6 +446,10 @@ class DensePebbleKernel(SweepKernel):
 
     def arrays(self, solver):
         return {"pw": solver.pw, "w": solver.w}
+
+    def result_shape(self, solver, tile):
+        lo, hi = tile
+        return (hi - lo, solver.n + 1)
 
     def commit(self, solver, tiles, results):
         changed = False
@@ -471,6 +500,10 @@ class RytterSquareKernel(SweepKernel):
     def tiles(self, solver, parts):
         return self._row_tiles((solver.n + 1) ** 2, parts)
 
+    def result_shape(self, solver, tile):
+        lo, hi = tile
+        return (hi - lo, (solver.n + 1) ** 2)
+
     def arrays(self, solver):
         N = solver.n + 1
         M = solver.pw.reshape(N * N, N * N)
@@ -491,7 +524,11 @@ class RytterSquareKernel(SweepKernel):
 
 
 class CompactActivateKernel(SweepKernel):
-    """a-activate into the compact A1/A2 arrays, mirrored into PB."""
+    """a-activate into the compact A1/A2 arrays, mirrored into PB.
+
+    ``result_shape`` stays ``None``: the compute returns a ``(U1, U2)``
+    pair, not one slab, so its tiles use the pickle return path.
+    """
 
     name = "activate"
     updates = "pw"
@@ -539,6 +576,12 @@ class CompactSquareKernel(SweepKernel):
     def tiles(self, solver, parts):
         return self._row_tiles(solver.n + 1, parts)
 
+    def result_shape(self, solver, tile):
+        lo, hi = tile
+        N = solver.n + 1
+        B = solver.band
+        return (hi - lo, N, B + 1, B + 1)
+
     def arrays(self, solver):
         return {"PB": solver.PB, "band": solver.band}
 
@@ -563,6 +606,10 @@ class CompactPebbleKernel(SweepKernel):
 
     def tiles(self, solver, parts):
         return self._row_tiles(solver.n + 1, parts)
+
+    def result_shape(self, solver, tile):
+        lo, hi = tile
+        return (hi - lo, solver.n + 1)
 
     def arrays(self, solver):
         return {
@@ -589,13 +636,22 @@ class CompactPebbleKernel(SweepKernel):
 
 
 class KernelEngine:
-    """Executes sweep kernels on an execution backend.
+    """Executes sweep kernels — and compiled plan steps — on a backend.
 
     One engine per solver instance; it owns the backend (created from a
     name, or adopted from the caller) and the tile count. ``tiles=1``
     on the serial backend is the zero-overhead reference path; any
     other (backend, tiles) combination commits bitwise-identical
     tables.
+
+    For backends with ``uses_store`` (the persistent process pool) the
+    engine also owns a shared-memory
+    :class:`~repro.parallel.shm.TableStore` — unless the caller passes
+    one in, in which case the caller keeps its lifecycle (warm reuse
+    across solves). Solver tables are allocated inside the store, plan
+    steps preallocate their commit buffers there, and each sweep ships
+    only ``(kernel, tile, manifest, epoch)`` tuples: workers attach to
+    every table once per solve and return slab digests.
 
     Parameters
     ----------
@@ -604,12 +660,19 @@ class KernelEngine:
         :class:`~repro.parallel.backends.Backend` instance. The engine
         closes the backend in :meth:`close` either way (solvers own
         their engine; share a backend across solvers by closing only
-        after the last one).
+        after the last one, or use :meth:`release` to keep it open).
     workers:
         Worker count when ``backend`` is a name.
     tiles:
         Tiles per sweep (default: the backend's worker count, 1 for
         serial).
+    start_method:
+        Process start method (``"fork"``/``"spawn"``) when ``backend``
+        is the name ``"process"``; rejected otherwise.
+    store:
+        A caller-owned :class:`~repro.parallel.shm.TableStore` to
+        allocate tables in (the caller closes it); default: the engine
+        creates and owns one when the backend wants it.
     """
 
     def __init__(
@@ -618,18 +681,57 @@ class KernelEngine:
         *,
         workers: int | None = None,
         tiles: int | None = None,
+        start_method: str | None = None,
+        store: "TableStore | None" = None,
     ) -> None:
-        self.backend = (
-            make_backend(backend, workers) if isinstance(backend, str) else backend
-        )
+        if isinstance(backend, str):
+            self.backend = make_backend(backend, workers, start_method=start_method)
+        else:
+            if start_method is not None:
+                raise BackendError(
+                    "start_method is a construction parameter; pass a backend "
+                    "name, or construct the ProcessBackend with it yourself"
+                )
+            self.backend = backend
         if tiles is None:
             tiles = max(1, getattr(self.backend, "workers", 1))
         if tiles < 1:
             raise ValueError("tiles must be >= 1")
         self.tiles = int(tiles)
+        self._owns_store = False
+        if store is not None:
+            self.store = store
+        elif getattr(self.backend, "uses_store", False):
+            self.store = TableStore()
+            self._owns_store = True
+        else:
+            self.store = None
+        #: sweep counter; every store-dispatched task is tagged with it
+        self.epoch = 0
 
     def execute(self, kernel: SweepKernel, solver) -> bool:
         """Run one synchronous super-step of ``kernel`` on ``solver``.
+
+        One-off entry for ad-hoc kernels (anything scheduled goes
+        through :meth:`execute_step` and the solver's compiled plan):
+        tiles are derived fresh and results return by value — no commit
+        buffers are allocated in the store, since a transient step would
+        re-create them every call.
+        """
+        from repro.core.plan import PlanStep
+
+        tiles = tuple(kernel.tiles(solver, self.tiles))
+        step = PlanStep(
+            name=kernel.name,
+            kernel=kernel,
+            tiles=tiles,
+            updates=kernel.updates,
+            result_shapes=(None,) * len(tiles),
+        )
+        return self.execute_step(step, solver)
+
+    def execute_step(self, step, solver) -> bool:
+        """Run one synchronous super-step of a compiled plan step.
 
         Compute reads only the pre-step snapshot (no solver state is
         mutated until every tile has returned), then the kernel's
@@ -638,13 +740,58 @@ class KernelEngine:
         separate times. The solver's selection semiring rides the same
         keyword channel as the snapshot arrays (it pickles by name, so
         the process backend ships it for free).
+
+        With a table store, inputs that live in the store travel as
+        manifest entries (attach-once named views), everything else —
+        the algebra, band scalars, Rytter's per-sweep ``useful`` list —
+        is pickled inline per task, and tiles with planned commit
+        buffers come back as ``("region", segment, epoch)`` digests
+        read out of shared memory instead of pickled slabs.
         """
-        tiles = kernel.tiles(solver, self.tiles)
+        kernel = step.kernel
         arrays = dict(kernel.arrays(solver))
         arrays.setdefault("algebra", getattr(solver, "algebra", MIN_PLUS))
-        results = self.backend.map_with_arrays(kernel.compute_fn, tiles, arrays)
-        return kernel.commit(solver, tiles, results)
+        self.epoch += 1
+        if self.store is not None and getattr(self.backend, "uses_store", False):
+            manifest: dict[str, Any] = {}
+            inline: dict[str, Any] = {}
+            for key, value in arrays.items():
+                meta = (
+                    self.store.meta_for(value)
+                    if isinstance(value, np.ndarray)
+                    else None
+                )
+                if meta is not None:
+                    manifest[key] = meta
+                else:
+                    inline[key] = value
+            result_metas = step.ensure_result_buffers(self.store)
+            # Tasks carry the sweep epoch and workers echo it in their
+            # digests — a protocol/debugging tag, not a checked
+            # invariant: pool.map's request/response pairing already
+            # guarantees each digest answers the task that carried it.
+            tagged = self.backend.map_store_tasks(
+                kernel.compute_fn, step.tiles, manifest, inline, result_metas,
+                self.epoch,
+            )
+            results = [
+                step.result_array(k) if tag == "region" else payload
+                for k, (tag, payload, _epoch) in enumerate(tagged)
+            ]
+        else:
+            results = self.backend.map_with_arrays(
+                kernel.compute_fn, step.tiles, arrays
+            )
+        return kernel.commit(solver, step.tiles, results)
+
+    def release(self, *, close_backend: bool = True) -> None:
+        """Release owned resources; with ``close_backend=False`` the
+        backend (a caller-owned instance being kept warm) survives."""
+        if close_backend:
+            self.backend.close()
+        if self._owns_store and self.store is not None:
+            self.store.close()
 
     def close(self) -> None:
-        """Release backend workers."""
-        self.backend.close()
+        """Release backend workers and the engine-owned store."""
+        self.release(close_backend=True)

@@ -1,0 +1,176 @@
+"""Compiled sweep plans: the one-time half of the plan/execute split.
+
+The paper's machine compiles nothing per super-step — processors are
+assigned to index tuples once, and every super-step re-runs the same
+assignment against the resident tables. The executable analogue used to
+re-derive its tile partitions inside every sweep; a :class:`SweepPlan`
+instead freezes, once per solve, everything about a solver's schedule
+that cannot change between super-steps:
+
+* the **resolved kernel schedule** — one :class:`PlanStep` per
+  ``SCHEDULE`` entry, binding the entry name to its kernel instance;
+* the **tile partition** of each kernel's output index space (tiles
+  depend only on static solver shape — ``n``, band, tile count — never
+  on table contents, which is what makes freezing them sound);
+* the **result-slab shapes** per tile, from which the engine
+  preallocates shared-memory commit buffers exactly once: workers write
+  candidate slabs straight into their region and return only a digest,
+  so after the first sweep *nothing* table-sized crosses a process
+  boundary in either direction.
+
+The engine (:class:`repro.core.kernels.KernelEngine`) executes plan
+steps; ``solver.plan`` compiles lazily on first use and is also what
+the ``repro plan`` CLI subcommand prints. Dynamic per-sweep inputs —
+table snapshots, the banded pebble window, Rytter's ``useful`` index
+list — stay exactly where they were: in ``kernel.arrays(solver)``,
+re-read every sweep. The plan freezes the *shape* of a super-step, not
+its data, so the §2 bitwise invariant is untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+__all__ = ["PlanStep", "SweepPlan", "compile_plan"]
+
+
+@dataclass
+class PlanStep:
+    """One scheduled operation: kernel + frozen tiles + result shapes."""
+
+    name: str
+    kernel: Any
+    tiles: tuple
+    updates: str
+    #: per-tile candidate-slab shape, ``None`` where the kernel's result
+    #: is not a single dense slab (those tiles return by pickle)
+    result_shapes: tuple
+    _result_metas: Optional[list] = field(default=None, repr=False)
+    _result_arrays: Optional[list] = field(default=None, repr=False)
+
+    @classmethod
+    def for_kernel(cls, name: str, kernel, solver, parts: int) -> "PlanStep":
+        tiles = tuple(kernel.tiles(solver, parts))
+        shapes = tuple(kernel.result_shape(solver, tile) for tile in tiles)
+        return cls(
+            name=name,
+            kernel=kernel,
+            tiles=tiles,
+            updates=kernel.updates,
+            result_shapes=shapes,
+        )
+
+    def ensure_result_buffers(self, store) -> list:
+        """Allocate (once) this step's commit buffers in ``store``;
+        returns the per-tile metas (``None`` entries for pickle-path
+        tiles). Buffers are reused by every subsequent sweep of the
+        step — they are fully overwritten by each tile compute."""
+        if self._result_metas is None:
+            metas: list = []
+            arrays: list = []
+            for k, shape in enumerate(self.result_shapes):
+                if shape is None:
+                    metas.append(None)
+                    arrays.append(None)
+                else:
+                    buf_name = f"res.{self.name}.{k}"
+                    arrays.append(store.full(buf_name, shape, 0.0))
+                    metas.append(store.meta(buf_name))
+            self._result_metas = metas
+            self._result_arrays = arrays
+        return self._result_metas
+
+    def result_array(self, k: int):
+        """Parent-side view of tile ``k``'s commit buffer."""
+        return self._result_arrays[k]
+
+    @property
+    def result_nbytes(self) -> int:
+        return sum(
+            8 * _prod(shape) for shape in self.result_shapes if shape is not None
+        )
+
+
+def _prod(shape: Sequence[int]) -> int:
+    out = 1
+    for s in shape:
+        out *= int(s)
+    return out
+
+
+class SweepPlan:
+    """A solver's schedule, compiled once: what ``iterate()`` executes.
+
+    Holds one :class:`PlanStep` per ``SCHEDULE`` entry plus the static
+    facts (method, n, algebra, backend, tile count) a reader needs to
+    understand the execution — :meth:`describe` renders them for the
+    ``repro plan`` CLI subcommand.
+    """
+
+    def __init__(self, solver, steps: Sequence[PlanStep], tiles_per_sweep: int) -> None:
+        self.method = type(solver).__name__
+        self.n = solver.n
+        self.algebra = getattr(solver.algebra, "name", str(solver.algebra))
+        backend = solver.backend
+        self.backend = getattr(backend, "name", type(backend).__name__)
+        self.start_method = getattr(backend, "start_method", None)
+        self.transport = getattr(backend, "transport", None)
+        self.uses_store = bool(getattr(backend, "uses_store", False))
+        self.tiles_per_sweep = int(tiles_per_sweep)
+        self.schedule = tuple(step.name for step in steps)
+        self.steps = tuple(steps)
+        self._by_name = {step.name: step for step in steps}
+
+    def step(self, name: str) -> PlanStep:
+        return self._by_name[name]
+
+    def __iter__(self):
+        return iter(self.steps)
+
+    def describe(self) -> str:
+        """Human-readable plan: one line per scheduled step."""
+        backend = self.backend
+        if self.start_method:
+            backend += f"[{self.start_method}/{self.transport}]"
+        lines = [
+            f"plan: {self.method} n={self.n} algebra={self.algebra} "
+            f"backend={backend} tiles/sweep={self.tiles_per_sweep} "
+            f"transport={'shared-memory store' if self.uses_store else 'in-process'}"
+        ]
+        for idx, step in enumerate(self.steps, start=1):
+            slabs = step.result_nbytes
+            slab_note = (
+                f"commit buffers {_fmt_bytes(slabs)}"
+                if slabs and self.uses_store
+                else "commit by value"
+            )
+            lines.append(
+                f"  {idx}. {step.name:<9} {type(step.kernel).__name__:<22} "
+                f"tiles={len(step.tiles):<3d} updates={step.updates:<2s} {slab_note}"
+            )
+        return "\n".join(lines)
+
+
+def _fmt_bytes(n: int) -> str:
+    size = float(n)
+    for unit in ("B", "KiB", "MiB"):
+        if size < 1024:
+            return f"{size:.0f}{unit}" if unit == "B" else f"{size:.1f}{unit}"
+        size /= 1024
+    return f"{size:.1f}GiB"
+
+
+def compile_plan(solver) -> SweepPlan:
+    """Compile ``solver``'s schedule into a :class:`SweepPlan`.
+
+    Called once per solve (lazily, from ``solver.plan``); requires the
+    solver's kernels and engine to exist, which every concrete
+    ``__init__`` guarantees before ``reset()``.
+    """
+    parts = solver._engine.tiles
+    steps = [
+        PlanStep.for_kernel(name, solver._kernels[name], solver, parts)
+        for name in solver.SCHEDULE
+    ]
+    return SweepPlan(solver, steps, parts)

@@ -1,22 +1,36 @@
-"""Execution backends: serial, thread pool, process pool (fork).
+"""Execution backends: serial, thread pool, persistent process pool.
 
 A backend executes ``fn(tile)`` for a list of tiles and returns the
 results in tile order. ``fn`` must be a module-level function for the
-process backend (pickling); array arguments are passed through
-module-level globals installed by :func:`ProcessBackend.map_with_arrays`
-so the fork inherits them copy-on-write instead of serialising
-multi-hundred-MB tables per task.
+process backend (pickling).
+
+:class:`ProcessBackend` runs a **persistent** worker pool (created
+lazily on first use, reused across every sweep of a solve and across
+the items of a ``solve_many`` batch) with either the ``fork`` or the
+``spawn`` start method. Array transport is the shared-memory
+:class:`~repro.parallel.shm.TableStore`: workers attach to a table's
+segment once, then each task carries only a tiny picklable tuple. The
+historical fork-only copy-on-write channel (module global ``_SHARED``
+published immediately before a transient pool forks) survives as
+``transport="cow"`` — both the legacy baseline the E10 dispatch
+benchmark compares against and the fallback for payloads that cannot
+be pickled at all (``solve_many`` specs whose cost functions are
+closures).
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import pickle
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
 
 from repro.errors import BackendError
+from repro.parallel.shm import TableStore, attach_blob, attach_view, evict_except
 
 __all__ = [
     "Backend",
@@ -24,13 +38,33 @@ __all__ = [
     "ThreadBackend",
     "ProcessBackend",
     "make_backend",
+    "BACKEND_NAMES",
+    "START_METHODS",
+    "PROCESS_TRANSPORTS",
+    "default_start_method",
 ]
 
-# Fork-inherited payload for process workers: set immediately before the
-# pool is created, read by the module-level worker shims. The lock
-# serialises the publish-and-fork window so concurrent solves (e.g. a
-# thread pool of solve() calls each using a process backend) cannot
-# interleave one call's arrays into another call's fork.
+#: the valid ``backend=`` names, single source for every validation site
+BACKEND_NAMES = ("serial", "thread", "process")
+
+#: the supported process start methods (validated up front; the paper's
+#: fork-COW-only transport locked spawn-start platforms out entirely)
+START_METHODS = ("fork", "spawn")
+
+#: process-backend array transports
+PROCESS_TRANSPORTS = ("shm", "cow")
+
+
+def default_start_method() -> str:
+    """``fork`` where the platform has it, else ``spawn``."""
+    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+# Fork-inherited payload for the legacy cow transport: set immediately
+# before the transient pool is created, read by the module-level worker
+# shims. The lock serialises the publish-and-fork window so concurrent
+# solves (e.g. a thread pool of solve() calls each using a process
+# backend) cannot interleave one call's arrays into another call's fork.
 _SHARED: dict[str, Any] = {}
 _SHARED_LOCK = threading.Lock()
 
@@ -49,15 +83,52 @@ if hasattr(os, "register_at_fork"):  # not on Windows; neither is fork
     os.register_at_fork(after_in_child=_reinit_shared_lock_after_fork)
 
 
-def _call_with_shared(item: tuple[Callable, Any]) -> Any:
+def _call_with_shared(item: tuple[Callable, Any]) -> Any:  # pragma: no cover
+    # Runs in worker processes only — invisible to the coverage gate.
     fn, tile = item
     return fn(tile, **_SHARED)
 
 
+def _store_call(task: tuple) -> tuple:  # pragma: no cover - worker-side
+    """Worker shim for one shared-memory task.
+
+    ``task = (fn, tile, manifest, inline, blob_meta, result_meta,
+    epoch)``: attach (cached, once per segment) every manifest view,
+    merge the inline and blob keywords, run the compute, and either
+    write the slab into its preallocated result region — returning only
+    a ``("region", segment, epoch)`` digest — or return the slab itself
+    when no region was planned for it."""
+    fn, tile, manifest, inline, blob_meta, result_meta, epoch = task
+    keep = [meta[1] for meta in manifest.values()]
+    if blob_meta is not None:
+        keep.append(blob_meta[1])
+    if result_meta is not None:
+        keep.append(result_meta[1])
+    evict_except(keep)
+    kwargs = {key: attach_view(meta) for key, meta in manifest.items()}
+    if blob_meta is not None:
+        kwargs.update(attach_blob(blob_meta))
+    kwargs.update(inline)
+    out = fn(tile, **kwargs)
+    if result_meta is not None:
+        np.copyto(attach_view(result_meta), out)
+        return ("region", result_meta[1], epoch)
+    return ("slab", out, epoch)
+
+
 class Backend:
-    """Interface: map a function over tiles, preserving order."""
+    """Interface: map a function over tiles, preserving order.
+
+    Backends are context managers — ``with make_backend(...) as be:``
+    guarantees :meth:`close` runs, which is how worker pools and any
+    transport state are released deterministically.
+    """
 
     name = "abstract"
+    #: True if the kernel engine should allocate solver tables in a
+    #: shared-memory :class:`~repro.parallel.shm.TableStore` and
+    #: dispatch sweeps through :meth:`map_store_tasks`
+    uses_store = False
 
     def map_with_arrays(
         self,
@@ -68,8 +139,27 @@ class Backend:
         """Run ``fn(tile, **arrays)`` for each tile; results in order."""
         raise NotImplementedError
 
+    def map_store_tasks(
+        self,
+        fn: Callable[..., Any],
+        tiles: Sequence[Any],
+        manifest: dict[str, Any],
+        inline: dict[str, Any],
+        result_metas: Sequence[Any],
+        epoch: int,
+    ) -> list[tuple]:
+        """Run one sweep against an attached table store; only backends
+        with ``uses_store`` implement it."""
+        raise NotImplementedError
+
     def close(self) -> None:
         """Release worker resources (no-op where there are none)."""
+
+    def __enter__(self) -> "Backend":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
 
 
 class SerialBackend(Backend):
@@ -102,51 +192,202 @@ class ThreadBackend(Backend):
 
 
 class ProcessBackend(Backend):
-    """Forked worker processes; arrays are inherited copy-on-write.
+    """Persistent worker-process pool over a shared-memory table store.
 
-    Unavailable on platforms without ``fork`` (the constructor raises),
-    which is fine — this backend exists to demonstrate process-parallel
-    execution of a PRAM super-step on Linux.
+    Parameters
+    ----------
+    workers:
+        Pool size (default ``min(8, cpu count)``). Workers are started
+        lazily on the first map and then **reused**: across all sweeps
+        of a solve, across the items of a ``solve_many`` batch, and —
+        when the caller owns the backend instance — across solves.
+    start_method:
+        ``"fork"`` or ``"spawn"`` (default: fork where available, else
+        spawn). Spawn works because nothing relies on inherited state:
+        compute functions pickle by reference, algebras by name, and
+        tables travel through named shared-memory segments.
+    transport:
+        ``"shm"`` (default): arrays live in a
+        :class:`~repro.parallel.shm.TableStore`; workers attach once
+        per segment and tasks carry only ``(fn, tile, manifest,
+        epoch)``-sized tuples. ``"cow"``: the legacy fork-only channel —
+        a *transient* pool forked per map call inherits the payload
+        copy-on-write via the module-global ``_SHARED``. The shm
+        transport transparently falls back to cow (fork only) when a
+        non-array payload cannot be pickled.
     """
 
     name = "process"
 
-    def __init__(self, workers: int | None = None) -> None:
-        if "fork" not in mp.get_all_start_methods():
-            raise BackendError("ProcessBackend requires the 'fork' start method")
+    def __init__(
+        self,
+        workers: int | None = None,
+        *,
+        start_method: str | None = None,
+        transport: str | None = None,
+    ) -> None:
         if workers is not None and workers < 1:
             raise BackendError("workers must be >= 1")
+        if start_method is None:
+            start_method = default_start_method()
+        if start_method not in START_METHODS:
+            raise BackendError(
+                f"unknown start method {start_method!r}; valid choices: "
+                f"{', '.join(START_METHODS)}"
+            )
+        if start_method not in mp.get_all_start_methods():
+            raise BackendError(
+                f"start method {start_method!r} is unavailable on this platform"
+            )
+        if transport is None:
+            transport = "shm"
+        if transport not in PROCESS_TRANSPORTS:
+            raise BackendError(
+                f"unknown transport {transport!r}; valid choices: "
+                f"{', '.join(PROCESS_TRANSPORTS)}"
+            )
+        if transport == "cow" and start_method != "fork":
+            raise BackendError(
+                "the cow transport inherits arrays through fork; use "
+                "transport='shm' with start_method='spawn'"
+            )
         self.workers = workers if workers is not None else min(8, os.cpu_count() or 1)
-        self._ctx = mp.get_context("fork")
+        self.start_method = start_method
+        self.transport = transport
+        self._ctx = mp.get_context(start_method)
+        self._pool: Optional[mp.pool.Pool] = None
+        self._pool_lock = threading.Lock()
+
+    @property
+    def uses_store(self) -> bool:  # type: ignore[override]
+        return self.transport == "shm"
+
+    # -- the persistent pool -------------------------------------------------
+
+    def _ensure_pool(self) -> "mp.pool.Pool":
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = self._ctx.Pool(processes=self.workers)
+            return self._pool
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the live pool (starting it if needed) — the
+        persistence tests assert these stay constant across sweeps."""
+        pool = self._ensure_pool()
+        return sorted(p.pid for p in pool._pool)  # noqa: SLF001 - test hook
+
+    # -- mapping -------------------------------------------------------------
 
     def map_with_arrays(self, fn, tiles, arrays):
         if not tiles:
             return []
+        if self.transport == "cow":
+            return self._map_cow(fn, tiles, arrays)
+        nd = {k: v for k, v in arrays.items() if isinstance(v, np.ndarray)}
+        rest = {k: v for k, v in arrays.items() if k not in nd}
+        blob: bytes | None = None
+        if rest:
+            try:
+                blob = pickle.dumps(rest, protocol=pickle.HIGHEST_PROTOCOL)
+            except Exception:
+                if self.start_method == "fork":
+                    # Unpicklable payload (e.g. closure-based problem
+                    # specs): the fork-COW channel still carries it.
+                    return self._map_cow(fn, tiles, arrays)
+                raise BackendError(
+                    "payload is not picklable and the spawn start method "
+                    "cannot inherit it; use start_method='fork' for "
+                    "closure-carrying payloads"
+                ) from None
+        # A transient store per call: callers on this generic path pay
+        # one segment per array per call — still no fork, no per-task
+        # array pickling. Sweep-shaped traffic goes through the planned
+        # map_store_tasks path instead, where the store is persistent.
+        with TableStore() as store:
+            manifest = {}
+            for k, v in nd.items():
+                store.put(k, v)
+                manifest[k] = store.meta(k)
+            blob_meta = store.put_blob("payload", blob) if blob is not None else None
+            tasks = [
+                (fn, tile, manifest, {}, blob_meta, None, store.epoch)
+                for tile in tiles
+            ]
+            tagged = self._ensure_pool().map(_store_call, tasks)
+            return [payload for _tag, payload, _epoch in tagged]
+
+    def map_store_tasks(self, fn, tiles, manifest, inline, result_metas, epoch):
+        if not tiles:
+            return []
+        tasks = [
+            (fn, tile, manifest, inline, None, meta, epoch)
+            for tile, meta in zip(tiles, result_metas)
+        ]
+        return self._ensure_pool().map(_store_call, tasks)
+
+    def _map_cow(self, fn, tiles, arrays):
+        if "fork" not in mp.get_all_start_methods():  # pragma: no cover
+            raise BackendError("the cow transport requires the 'fork' start method")
+        ctx = mp.get_context("fork")
         # Workers fork at Pool construction, so the shared payload only
         # needs to be in place for that window; restoring the previous
         # contents afterwards (the children hold copy-on-write
-        # snapshots) lets the actual map run outside the lock. Restore
-        # rather than clear: when this runs inside another pool's
-        # worker, _SHARED holds that outer map's fork-inherited payload,
-        # which the worker's remaining tasks still need.
+        # snapshots) lets the actual map run outside the lock — and
+        # guarantees no solve's arrays stay referenced from the module
+        # global once the call returns. Restore rather than clear: when
+        # this runs inside another pool's worker, _SHARED holds that
+        # outer map's fork-inherited payload, which the worker's
+        # remaining tasks still need.
         with _SHARED_LOCK:
             saved = dict(_SHARED)
             _SHARED.update(arrays)
             try:
-                pool = self._ctx.Pool(processes=min(self.workers, len(tiles)))
+                pool = ctx.Pool(processes=min(self.workers, len(tiles)))
             finally:
                 _SHARED.clear()
                 _SHARED.update(saved)
         with pool:
             return pool.map(_call_with_shared, [(fn, t) for t in tiles])
 
+    # -- lifecycle -----------------------------------------------------------
 
-def make_backend(name: str, workers: int | None = None) -> Backend:
-    """Factory: ``"serial"``, ``"thread"`` or ``"process"``."""
-    if name == "serial":
-        return SerialBackend()
-    if name == "thread":
-        return ThreadBackend(workers)
-    if name == "process":
-        return ProcessBackend(workers)
-    raise BackendError(f"unknown backend {name!r}")
+    def close(self) -> None:
+        """Stop the persistent pool (a later map revives it). Nothing
+        else to release: the cow channel restores ``_SHARED`` within
+        the map call itself, and shm segments belong to the stores that
+        made them."""
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.terminate()
+                self._pool.join()
+                self._pool = None
+
+
+def make_backend(
+    name: str,
+    workers: int | None = None,
+    *,
+    start_method: str | None = None,
+    transport: str | None = None,
+) -> Backend:
+    """Factory: ``"serial"``, ``"thread"`` or ``"process"``.
+
+    Every name is validated here, up front, with the valid choices in
+    the error — the one place ``solve()``, the CLI and the engine all
+    route through.
+    """
+    if name not in BACKEND_NAMES:
+        raise BackendError(
+            f"unknown backend {name!r}; valid choices: {', '.join(BACKEND_NAMES)}"
+        )
+    if name != "process":
+        if start_method is not None:
+            raise BackendError(
+                f"start_method applies only to the 'process' backend, not {name!r}"
+            )
+        if transport is not None:
+            raise BackendError(
+                f"transport applies only to the 'process' backend, not {name!r}"
+            )
+        return SerialBackend() if name == "serial" else ThreadBackend(workers)
+    return ProcessBackend(workers, start_method=start_method, transport=transport)

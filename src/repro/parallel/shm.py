@@ -1,0 +1,352 @@
+"""Shared-memory table store: attach-once transport for process pools.
+
+The paper's machine runs every super-step against *one* resident set of
+tables. The executable analogue used to re-publish arrays and fork a
+fresh pool inside every sweep; this module provides the resident-table
+half of the fix (the persistent pool is
+:class:`~repro.parallel.backends.ProcessBackend`): a
+:class:`TableStore` allocates named numpy arrays in
+``multiprocessing.shared_memory`` segments, and workers *attach* to a
+segment once — on the first task that names it — then reuse the mapping
+for every subsequent sweep of the solve. Per sweep, only tiny
+``(kernel, tile, manifest, epoch)`` task tuples cross the pickle
+boundary; the tables themselves cross it never.
+
+Ownership contract
+------------------
+* The **parent** owns every segment's lifecycle: it creates, names and
+  eventually unlinks them. :meth:`TableStore.close` unlinks everything
+  the store allocated, so a closed store leaves nothing in
+  ``/dev/shm`` (the lifecycle tests assert this via the
+  ``resource_tracker``).
+* **Workers** only ever attach. Attaching registers the segment with
+  the worker's ``resource_tracker`` as if the worker owned it, which
+  would produce spurious "leaked shared_memory" noise (and a double
+  unlink race) when the parent cleans up — so :func:`attach_view`
+  unregisters immediately after attaching. Worker-side mappings are
+  cached by segment name; once the cache grows past a bound it evicts
+  every mapping the task at hand does not reference
+  (:func:`evict_except`), so long-lived pools serving many solves —
+  or one store whose tables were reallocated at new shapes — do not
+  pin dead segments.
+
+Views are described by picklable **metas**: ``("arr", segment_name,
+shape, dtype_str)`` for arrays, ``("blob", segment_name, length)`` for
+pickled payload blobs (the channel :func:`repro.core.api.solve_many`
+ships batch specs through). A manifest is just a ``{keyword: meta}``
+dict.
+"""
+
+from __future__ import annotations
+
+import pickle
+import secrets
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any, Iterable, Optional
+
+import numpy as np
+
+from repro.errors import BackendError
+
+__all__ = [
+    "TableStore",
+    "ViewMeta",
+    "attach_view",
+    "attach_blob",
+    "evict_except",
+    "worker_attach_counts",
+    "worker_segment_cache_size",
+]
+
+#: picklable view descriptor; see module docstring for the two layouts
+ViewMeta = tuple
+
+#: worker-side cache bounds — mappings a task does not reference are
+#: evicted once *either* is exceeded. The byte bound matters more than
+#: the count: a handful of dead pw segments at large n would otherwise
+#: pin gigabytes per worker while no longer showing in /dev/shm.
+_CACHE_LIMIT = 64
+_CACHE_BYTE_LIMIT = 256 * 1024 * 1024
+
+
+class TableStore:
+    """Named numpy arrays (and pickled blobs) in shared-memory segments.
+
+    One store per solver (or per ``solve_many`` call): logical names
+    (``"w"``, ``"pw"``, ``"res.square.3"``, ...) map to segments whose
+    OS-level names are short unique tokens (POSIX shm names are
+    length-limited on some platforms). Re-allocating a logical name
+    with the same shape and dtype *reuses* the segment in place — that
+    is what makes ``reset()`` and warm cross-solve reuse cheap — and
+    any reallocation bumps :attr:`epoch` so stale consumers can tell.
+    """
+
+    def __init__(self) -> None:
+        self.store_id = f"rt{secrets.token_hex(4)}"
+        self.epoch = 0
+        self._count = 0
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self._arrays: dict[str, np.ndarray] = {}
+        self._blobs: dict[str, int] = {}
+        self._closed = False
+
+    # -- allocation ---------------------------------------------------------
+
+    def _new_segment(self, name: str, nbytes: int) -> shared_memory.SharedMemory:
+        if self._closed:
+            raise BackendError("TableStore is closed")
+        old = self._segments.pop(name, None)
+        if old is not None:
+            self._arrays.pop(name, None)
+            self._blobs.pop(name, None)
+            _release_segment(old, unlink=True)
+        seg_name = f"{self.store_id}-{self._count}"
+        self._count += 1
+        seg = shared_memory.SharedMemory(name=seg_name, create=True, size=max(1, nbytes))
+        self._segments[name] = seg
+        self.epoch += 1
+        return seg
+
+    def _ensure(self, name: str, shape: tuple, dtype: np.dtype) -> np.ndarray:
+        """The named table's parent-side view, (re)allocated on demand
+        but *not* filled. Reuse requires an exact shape/dtype match —
+        anything else replaces the segment."""
+        arr = self._arrays.get(name)
+        if arr is None or arr.shape != tuple(shape) or arr.dtype != dtype:
+            nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+            seg = self._new_segment(name, nbytes)
+            arr = np.ndarray(shape, dtype=dtype, buffer=seg.buf)
+            self._arrays[name] = arr
+        return arr
+
+    def full(
+        self, name: str, shape: tuple, fill: float, dtype: Any = np.float64
+    ) -> np.ndarray:
+        """Allocate (or reuse and refill) the named table; returns the
+        parent-side view."""
+        arr = self._ensure(name, tuple(shape), np.dtype(dtype))
+        arr[...] = fill
+        return arr
+
+    def put(self, name: str, values: np.ndarray) -> np.ndarray:
+        """Copy ``values`` into the named table (allocating on demand,
+        one write — no pre-fill); returns the store-backed view."""
+        values = np.asarray(values)
+        arr = self._ensure(name, values.shape, values.dtype)
+        np.copyto(arr, values)
+        return arr
+
+    def put_blob(self, name: str, payload: Any) -> ViewMeta:
+        """Pickle ``payload`` into a blob segment; returns its meta.
+        This is how non-array keyword payloads cross the boundary once
+        per call instead of once per task."""
+        data = payload if isinstance(payload, bytes) else pickle.dumps(
+            payload, protocol=pickle.HIGHEST_PROTOCOL
+        )
+        seg = self._new_segment(name, len(data))
+        seg.buf[: len(data)] = data
+        self._blobs[name] = len(data)
+        return ("blob", seg.name, len(data))
+
+    # -- lookup -------------------------------------------------------------
+
+    def meta(self, name: str) -> ViewMeta:
+        """The picklable view descriptor of a named table."""
+        if name in self._arrays:
+            arr = self._arrays[name]
+            return ("arr", self._segments[name].name, arr.shape, arr.dtype.str)
+        if name in self._blobs:
+            return ("blob", self._segments[name].name, self._blobs[name])
+        raise KeyError(name)
+
+    def meta_for(self, array: np.ndarray) -> Optional[ViewMeta]:
+        """Meta of the table ``array`` *is* (identity, not equality) —
+        how the engine decides which sweep inputs ride the manifest and
+        which must be pickled inline. Deliberately exact: a *view* of a
+        stored table does not match (its shape differs from the
+        segment's), so it falls back to the inline channel."""
+        for name, arr in self._arrays.items():
+            if arr is array:
+                return self.meta(name)
+        return None
+
+    def manifest(self, names: Iterable[str]) -> dict[str, ViewMeta]:
+        return {name: self.meta(name) for name in names}
+
+    def get(self, name: str) -> np.ndarray:
+        return self._arrays[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._arrays or name in self._blobs
+
+    def segment_names(self) -> tuple[str, ...]:
+        """OS-level segment names (tests assert these vanish on close)."""
+        return tuple(seg.name for seg in self._segments.values())
+
+    @property
+    def nbytes(self) -> int:
+        return sum(seg.size for seg in self._segments.values())
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Unlink every segment. Idempotent. Parent-side numpy views may
+        still be alive (solver attributes); their mappings stay valid
+        until the views are garbage-collected, but the *names* are gone
+        immediately — nothing is left in ``/dev/shm``."""
+        if self._closed:
+            return
+        self._closed = True
+        for seg in self._segments.values():
+            _release_segment(seg, unlink=True)
+        self._segments.clear()
+        self._arrays.clear()
+        self._blobs.clear()
+
+    def __enter__(self) -> "TableStore":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def _release_segment(seg: shared_memory.SharedMemory, *, unlink: bool) -> None:
+    """Close (and optionally unlink) one segment, tolerating live numpy
+    views: ``mmap.close`` raises :class:`BufferError` while a view still
+    exports the buffer, in which case the unmap simply happens when the
+    last view dies — the unlink (the part that keeps ``/dev/shm``
+    clean) succeeds regardless."""
+    try:
+        seg.close()
+    except BufferError:
+        pass
+    if unlink:
+        try:
+            seg.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Worker side: attach-once segment cache.
+# ---------------------------------------------------------------------------
+
+_ATTACHED: dict[str, shared_memory.SharedMemory] = {}
+_ATTACH_COUNTS: dict[str, int] = {}
+_BLOB_CACHE: dict[str, Any] = {}
+
+
+def evict_except(keep: Iterable[str]) -> None:
+    """Bound the cache: once it outgrows ``_CACHE_LIMIT`` entries *or*
+    ``_CACHE_BYTE_LIMIT`` mapped bytes, drop every mapping not
+    referenced by the task at hand (``keep``). Dead names — other
+    solves' segments, and same-store segments replaced by a
+    differently-shaped reallocation — can never be referenced again, so
+    this is what stops a long-lived pool's workers pinning unbounded
+    unlinked memory; a still-live segment that does get evicted simply
+    re-attaches on its next use. Called once per task, before any
+    attach, so no view created by the current task can be evicted
+    mid-task."""
+    if (
+        len(_ATTACHED) <= _CACHE_LIMIT
+        and sum(seg.size for seg in _ATTACHED.values()) <= _CACHE_BYTE_LIMIT
+    ):
+        return
+    keep_set = set(keep)
+    for seg_name in [s for s in _ATTACHED if s not in keep_set]:
+        _release_segment(_ATTACHED.pop(seg_name), unlink=False)
+        _BLOB_CACHE.pop(seg_name, None)
+        _ATTACH_COUNTS.pop(seg_name, None)
+
+
+def _attach_untracked(seg_name: str) -> shared_memory.SharedMemory:
+    """Attach without registering with the resource tracker.
+
+    The parent owns every segment's lifecycle (create + unlink), and —
+    pool workers inherit the parent's tracker process under fork *and*
+    spawn — the tracker's cache is a plain per-name set. If an attach
+    registered and then unregistered, it would erase the *parent's*
+    registration, and the parent's eventual unlink would crash the
+    shared tracker with a KeyError. So the registration must never
+    happen: Python 3.13+ exposes ``track=False`` for exactly this;
+    earlier versions get the same effect by suppressing the tracker's
+    ``register`` for the duration of the attach (pool workers are
+    single-threaded, so the swap cannot race)."""
+    try:
+        return shared_memory.SharedMemory(name=seg_name, track=False)
+    except TypeError:  # pragma: no cover - depends on Python version
+        pass
+    original = resource_tracker.register
+
+    def _skip_shared_memory(name: str, rtype: str) -> None:
+        if rtype != "shared_memory":
+            original(name, rtype)
+
+    resource_tracker.register = _skip_shared_memory
+    try:
+        return shared_memory.SharedMemory(name=seg_name)
+    finally:
+        resource_tracker.register = original
+
+
+def _attach_segment(seg_name: str) -> shared_memory.SharedMemory:
+    seg = _ATTACHED.get(seg_name)
+    if seg is None:
+        seg = _attach_untracked(seg_name)
+        _ATTACHED[seg_name] = seg
+        _ATTACH_COUNTS[seg_name] = _ATTACH_COUNTS.get(seg_name, 0) + 1
+    return seg
+
+
+def attach_view(meta: ViewMeta) -> np.ndarray:
+    """Worker-side: the numpy view a meta describes, attaching (once)
+    on first use."""
+    kind, seg_name, shape, dtype = meta
+    if kind != "arr":  # pragma: no cover - protocol misuse
+        raise BackendError(f"expected an array meta, got {kind!r}")
+    return np.ndarray(shape, dtype=np.dtype(dtype), buffer=_attach_segment(seg_name).buf)
+
+
+def attach_blob(meta: ViewMeta) -> Any:
+    """Worker-side: unpickle (once, cached) the payload blob a meta
+    describes."""
+    kind, seg_name, length = meta
+    if kind != "blob":  # pragma: no cover - protocol misuse
+        raise BackendError(f"expected a blob meta, got {kind!r}")
+    if seg_name not in _BLOB_CACHE:
+        seg = _attach_segment(seg_name)
+        _BLOB_CACHE[seg_name] = pickle.loads(bytes(seg.buf[:length]))
+    return _BLOB_CACHE[seg_name]
+
+
+def worker_attach_counts() -> dict[str, int]:
+    """How many times this process attached each segment — the
+    pool-persistence tests assert every value is exactly 1."""
+    return dict(_ATTACH_COUNTS)
+
+
+def worker_segment_cache_size() -> int:
+    return len(_ATTACHED)
+
+
+def probe(tile: Any, **arrays: Any) -> dict[str, Any]:  # pragma: no cover
+    """Compute-function-shaped diagnostics hook: run it through a
+    backend map to read a worker's attach-cache state (pid, per-segment
+    attach counts, cache size). This is how the lifecycle tests verify
+    attach-once behaviour without reaching into worker processes (and
+    why, like every worker-side function here, the in-process coverage
+    gate cannot see it execute)."""
+    import os
+
+    return {
+        "pid": os.getpid(),
+        "tile": tile,
+        "counts": worker_attach_counts(),
+        "cache": worker_segment_cache_size(),
+    }

@@ -21,6 +21,7 @@ the identical order, and commits are monotone min-merges.
 from __future__ import annotations
 
 from repro.core.huang import HuangSolver
+from repro.errors import BackendError
 from repro.parallel.backends import Backend, make_backend
 
 __all__ = ["ParallelHuangSolver"]
@@ -37,6 +38,9 @@ class ParallelHuangSolver(HuangSolver):
     tiles:
         Number of tiles per sweep (default: one per worker, minimum 2
         so that tiling is actually exercised).
+    start_method:
+        Process start method when ``backend`` is the name
+        ``"process"`` (``"fork"``/``"spawn"``).
     """
 
     def __init__(
@@ -45,10 +49,16 @@ class ParallelHuangSolver(HuangSolver):
         *,
         backend: Backend | str = "thread",
         tiles: int | None = None,
+        start_method: str | None = None,
         **kwargs,
     ) -> None:
         if isinstance(backend, str):
-            backend = make_backend(backend)
+            backend = make_backend(backend, start_method=start_method)
+        elif start_method is not None:
+            raise BackendError(
+                "start_method requires a backend name; the instance was "
+                "already constructed with its own start method"
+            )
         if tiles is None:
             tiles = max(2, getattr(backend, "workers", 1))
         super().__init__(problem, backend=backend, tiles=tiles, **kwargs)

@@ -1,0 +1,200 @@
+"""Sweep-plan compilation: the one-time half of the plan/execute split.
+
+The plan freezes schedule + tiles + commit-buffer shapes once per
+solve; these tests pin that compilation is lazy and cached, that the
+frozen tiles are exactly what the kernels would re-derive, that
+``plan_for`` validates its inputs up front, and that executing through
+a compiled plan is what ``iterate()`` actually does.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import plan_for, solve
+from repro.core.banded import BandedSolver
+from repro.core.huang import HuangSolver
+from repro.core.plan import PlanStep, SweepPlan, compile_plan
+from repro.core.rytter import RytterSolver
+from repro.errors import InvalidProblemError
+from repro.parallel.backends import ProcessBackend
+from repro.parallel.shm import TableStore
+from repro.problems.generators import random_generic, random_matrix_chain
+
+
+class TestCompilation:
+    def test_steps_follow_schedule(self):
+        with HuangSolver(random_generic(8, seed=0)) as solver:
+            plan = solver.plan
+            assert plan.schedule == solver.SCHEDULE == ("activate", "square", "pebble")
+            assert [step.kernel for step in plan] == [
+                solver._kernels[name] for name in solver.SCHEDULE
+            ]
+
+    def test_plan_is_compiled_once_and_cached(self):
+        with HuangSolver(random_generic(6, seed=1)) as solver:
+            assert solver.plan is solver.plan
+            solver.run()
+            assert solver.plan is solver._plan
+
+    def test_tiles_frozen_match_kernel_derivation(self):
+        with BandedSolver(random_generic(10, seed=2), tiles=3) as solver:
+            for name in solver.SCHEDULE:
+                kernel = solver._kernels[name]
+                assert solver.plan.step(name).tiles == tuple(
+                    kernel.tiles(solver, solver.tiles)
+                )
+
+    def test_result_shapes_cover_single_slab_kernels(self):
+        with HuangSolver(random_generic(7, seed=3), tiles=2) as solver:
+            N = solver.n + 1
+            square = solver.plan.step("square")
+            for (lo, hi), shape in zip(square.tiles, square.result_shapes):
+                assert shape == (hi - lo, N, N, N)
+            pebble = solver.plan.step("pebble")
+            for (lo, hi), shape in zip(pebble.tiles, pebble.result_shapes):
+                assert shape == (hi - lo, N)
+
+    def test_rytter_tiles_cover_matrix_rows(self):
+        with RytterSolver(random_generic(6, seed=4), tiles=4) as solver:
+            step = solver.plan.step("square")
+            K = (solver.n + 1) ** 2
+            assert step.tiles[0][0] == 0 and step.tiles[-1][1] == K
+
+    def test_describe_mentions_kernels_and_tiles(self):
+        with HuangSolver(random_generic(6, seed=5), tiles=2) as solver:
+            text = solver.plan.describe()
+        assert "HuangSolver" in text
+        assert "DenseSquareKernel" in text
+        assert "tiles=" in text and "plan:" in text
+
+    def test_result_buffers_allocated_once(self):
+        store = TableStore()
+        try:
+            with HuangSolver(random_generic(5, seed=6), tiles=2) as solver:
+                step = solver.plan.step("pebble")
+                metas = step.ensure_result_buffers(store)
+                assert metas == step.ensure_result_buffers(store)
+                assert step.result_array(0) is not None
+        finally:
+            store.close()
+
+
+class TestOneOffExecute:
+    def test_engine_execute_matches_plan_path(self):
+        """KernelEngine.execute (the ad-hoc entry: fresh tiles, results
+        by value, no store buffers) must commit the same tables the
+        compiled plan path does — on the serial reference and on the
+        store-backed process backend."""
+        p = random_generic(6, seed=9)
+        for backend_kwargs in ({}, {"backend": "process", "workers": 1, "tiles": 2}):
+            with HuangSolver(p, **backend_kwargs) as planned, HuangSolver(
+                p, **backend_kwargs
+            ) as adhoc:
+                planned.iterate()
+                for name in adhoc.SCHEDULE:
+                    adhoc._engine.execute(adhoc._kernels[name], adhoc)
+                assert np.array_equal(
+                    np.nan_to_num(planned.w, posinf=-1.0),
+                    np.nan_to_num(adhoc.w, posinf=-1.0),
+                )
+                assert np.array_equal(
+                    np.nan_to_num(planned.pw, posinf=-1.0),
+                    np.nan_to_num(adhoc.pw, posinf=-1.0),
+                )
+
+
+class TestPlanFor:
+    def test_compiles_without_running(self):
+        plan = plan_for(random_matrix_chain(10, seed=0), method="huang-banded")
+        assert isinstance(plan, SweepPlan)
+        assert plan.method == "BandedSolver" and plan.n == 10
+
+    def test_rejects_sequential_methods(self):
+        with pytest.raises(InvalidProblemError, match="no sweep plan"):
+            plan_for(random_matrix_chain(6, seed=0), method="sequential")
+
+    def test_process_backend_plan_reports_store(self):
+        plan = plan_for(
+            random_matrix_chain(8, seed=0),
+            method="huang",
+            backend="process",
+            workers=2,
+        )
+        assert plan.uses_store
+        assert plan.start_method in ("fork", "spawn")
+        assert "shared-memory store" in plan.describe()
+
+
+class TestUpFrontValidation:
+    def test_solve_rejects_unknown_backend_with_choices(self):
+        with pytest.raises(InvalidProblemError, match="serial"):
+            solve(random_matrix_chain(6, seed=0), method="huang", backend="gpu")
+
+    def test_solve_rejects_unknown_start_method(self):
+        with pytest.raises(InvalidProblemError, match="fork"):
+            solve(
+                random_matrix_chain(6, seed=0),
+                method="huang",
+                backend="process",
+                start_method="threads",
+            )
+
+    def test_solve_rejects_start_method_without_process_backend(self):
+        with pytest.raises(InvalidProblemError, match="process"):
+            solve(
+                random_matrix_chain(6, seed=0),
+                method="huang",
+                backend="serial",
+                start_method="fork",
+            )
+
+    def test_solve_rejects_start_method_with_backend_instance(self):
+        """A Backend instance already carries its start method; the
+        error must say so instead of claiming the backend is not
+        'process'."""
+        be = ProcessBackend(workers=1, start_method="fork")
+        try:
+            with pytest.raises(InvalidProblemError, match="by name"):
+                solve(
+                    random_matrix_chain(6, seed=0),
+                    method="huang",
+                    backend=be,
+                    start_method="fork",
+                )
+        finally:
+            be.close()
+
+    def test_solve_many_rejects_unknown_backend(self):
+        from repro.core import solve_many
+
+        with pytest.raises(InvalidProblemError, match="thread"):
+            solve_many([random_matrix_chain(4, seed=0)], backend="gpu")
+
+    def test_plan_for_validates_backend(self):
+        with pytest.raises(InvalidProblemError, match="serial"):
+            plan_for(random_matrix_chain(6, seed=0), method="huang", backend="gpu")
+
+
+class TestWarmReuse:
+    def test_store_and_backend_reused_across_solves(self):
+        """solve(store=..., backend=<instance>): same pool, same table
+        segments, results still bitwise-equal to serial."""
+        p = random_matrix_chain(9, seed=7)
+        ref = solve(p, method="huang")
+        store = TableStore()
+        be = ProcessBackend(workers=2)
+        try:
+            first = solve(p, method="huang", backend=be, store=store)
+            pids = be.worker_pids()
+            segments = store.segment_names()
+            second = solve(p, method="huang", backend=be, store=store)
+            assert be.worker_pids() == pids  # pool stayed warm
+            assert store.segment_names() == segments  # tables reused in place
+            for out in (first, second):
+                assert np.array_equal(
+                    np.nan_to_num(out.w, posinf=-1.0),
+                    np.nan_to_num(ref.w, posinf=-1.0),
+                )
+        finally:
+            be.close()
+            store.close()

@@ -5,6 +5,8 @@ import pytest
 
 from repro.errors import BackendError
 from repro.parallel.backends import (
+    BACKEND_NAMES,
+    START_METHODS,
     ProcessBackend,
     SerialBackend,
     ThreadBackend,
@@ -26,9 +28,48 @@ class TestFactory:
         with pytest.raises(BackendError):
             make_backend("gpu")
 
+    def test_unknown_error_lists_valid_choices(self):
+        with pytest.raises(BackendError) as err:
+            make_backend("gpu")
+        for name in BACKEND_NAMES:
+            assert name in str(err.value)
+
     def test_invalid_workers(self):
         with pytest.raises(BackendError):
             ThreadBackend(workers=0)
+
+    def test_unknown_start_method_lists_choices(self):
+        with pytest.raises(BackendError) as err:
+            make_backend("process", start_method="greenlet")
+        for name in START_METHODS:
+            assert name in str(err.value)
+
+    def test_start_method_rejected_for_non_process(self):
+        with pytest.raises(BackendError, match="process"):
+            make_backend("thread", start_method="fork")
+
+    def test_cow_transport_requires_fork(self):
+        with pytest.raises(BackendError, match="fork"):
+            ProcessBackend(workers=1, start_method="spawn", transport="cow")
+
+    def test_unknown_transport(self):
+        with pytest.raises(BackendError, match="shm"):
+            ProcessBackend(workers=1, transport="carrier-pigeon")
+
+
+class TestContextManager:
+    @pytest.mark.parametrize("backend_name", ["serial", "thread", "process"])
+    def test_with_block_closes(self, backend_name):
+        data = np.arange(6.0)
+        with make_backend(backend_name, workers=2) as be:
+            out = be.map_with_arrays(_tile_sum, [(0, 6)], {"data": data})
+        assert out == [15.0]
+
+    def test_thread_pool_released_on_exit(self):
+        with make_backend("thread", workers=1) as be:
+            pass
+        with pytest.raises(RuntimeError):
+            be.map_with_arrays(_tile_sum, [(0, 1)], {"data": np.zeros(1)})
 
 
 @pytest.mark.parametrize("backend_name", ["serial", "thread", "process"])
@@ -53,12 +94,35 @@ class TestMapWithArrays:
 
 class TestProcessIsolation:
     def test_shared_globals_cleared(self):
-        be = ProcessBackend(workers=2)
-        data = np.arange(5.0)
-        be.map_with_arrays(_tile_sum, [(0, 5)], {"data": data})
+        with ProcessBackend(workers=2) as be:
+            data = np.arange(5.0)
+            be.map_with_arrays(_tile_sum, [(0, 5)], {"data": data})
         from repro.parallel.backends import _SHARED
 
         assert _SHARED == {}
+
+    def test_cow_transport_leaves_no_arrays_after_close(self):
+        """Regression: the fork-COW channel must not leave the last
+        map's arrays referenced from the module global once the call —
+        let alone close() — returns."""
+        from repro.parallel.backends import _SHARED
+
+        be = ProcessBackend(workers=2, start_method="fork", transport="cow")
+        data = np.arange(5.0)
+        out = be.map_with_arrays(_tile_sum, [(0, 5)], {"data": data})
+        assert out == [10.0]
+        assert _SHARED == {}
+        be.close()
+        assert _SHARED == {}
+
+    def test_unpicklable_payload_falls_back_to_cow(self):
+        """The shm transport cannot pickle a closure payload; under
+        fork it must transparently ride the COW channel instead."""
+        with ProcessBackend(workers=2, start_method="fork") as be:
+            out = be.map_with_arrays(
+                _call_hook, [0, 1], {"hook": lambda x: x + 41}
+            )
+        assert out == [41, 42]
 
 
 class TestProcessBackendConcurrency:
@@ -96,3 +160,9 @@ def _tile_sum_keyed(tile, **arrays):
     ((_, data),) = arrays.items()
     lo, hi = tile
     return float(data[lo:hi].sum())
+
+
+def _call_hook(tile, *, hook):
+    """Apply an (unpicklable) callable payload — exercises the COW
+    fallback of the shm transport."""
+    return hook(tile)

@@ -1,0 +1,218 @@
+"""Shared-memory table store + persistent-pool lifecycle tests.
+
+Pins the transport half of the plan/execute split: segments are created
+once per solve and unlinked on close (no ``/dev/shm`` leaks, asserted
+through the resource tracker's own stderr), workers attach to each
+table exactly once per solve, the pool persists across sweeps, and the
+spawn start method commits tables bitwise-equal to fork and serial.
+"""
+
+import os
+import subprocess
+import sys
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.huang import HuangSolver
+from repro.core.compact import CompactBandedSolver
+from repro.errors import BackendError
+from repro.parallel import shm
+from repro.parallel.backends import ProcessBackend
+from repro.parallel.shm import TableStore, attach_blob, attach_view
+from repro.problems.generators import random_generic, random_matrix_chain
+
+_SRC_PATH = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def _canon(w):
+    return np.nan_to_num(w, posinf=-1.0)
+
+
+class TestTableStore:
+    def test_full_allocates_and_fills(self):
+        with TableStore() as store:
+            w = store.full("w", (4, 4), np.inf)
+            assert w.shape == (4, 4) and np.isinf(w).all()
+            w[1, 2] = 7.0
+            assert store.get("w")[1, 2] == 7.0
+
+    def test_full_reuses_segment_on_same_shape(self):
+        with TableStore() as store:
+            a = store.full("w", (3, 3), 0.0)
+            a[0, 0] = 5.0
+            b = store.full("w", (3, 3), 1.0)
+            assert b is a  # same parent view, refilled
+            assert a[0, 0] == 1.0
+
+    def test_full_replaces_segment_on_shape_change(self):
+        with TableStore() as store:
+            a = store.full("w", (3, 3), 0.0)
+            before = store.epoch
+            b = store.full("w", (5, 5), 0.0)
+            assert b.shape == (5, 5) and b is not a
+            assert store.epoch > before
+
+    def test_put_copies(self):
+        with TableStore() as store:
+            src = np.arange(6.0).reshape(2, 3)
+            arr = store.put("F", src)
+            assert np.array_equal(arr, src)
+            src[0, 0] = 99.0
+            assert arr[0, 0] == 0.0  # a copy, not a view
+
+    def test_meta_and_attach_roundtrip(self):
+        with TableStore() as store:
+            store.put("F", np.arange(8.0))
+            view = attach_view(store.meta("F"))
+            assert np.array_equal(view, np.arange(8.0))
+
+    def test_meta_for_identity_only(self):
+        with TableStore() as store:
+            arr = store.put("w", np.zeros((4, 4)))
+            assert store.meta_for(arr) == store.meta("w")
+            assert store.meta_for(arr[:2]) is None  # views do not match
+            assert store.meta_for(np.zeros((4, 4))) is None
+
+    def test_blob_roundtrip(self):
+        with TableStore() as store:
+            meta = store.put_blob("payload", {"specs": [1, 2, 3]})
+            assert attach_blob(meta) == {"specs": [1, 2, 3]}
+
+    def test_close_unlinks_everything(self):
+        store = TableStore()
+        store.full("w", (8, 8), 0.0)
+        store.put_blob("payload", b"x")
+        names = store.segment_names()
+        assert len(names) == 2
+        store.close()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_close_idempotent_and_allocation_refused_after(self):
+        store = TableStore()
+        store.full("w", (2, 2), 0.0)
+        store.close()
+        store.close()
+        with pytest.raises(BackendError, match="closed"):
+            store.full("x", (2, 2), 0.0)
+
+    def test_manifest(self):
+        with TableStore() as store:
+            store.full("w", (2, 2), 0.0)
+            store.full("pw", (2, 2, 2, 2), 0.0)
+            manifest = store.manifest(["w", "pw"])
+            assert set(manifest) == {"w", "pw"}
+            assert manifest["w"][0] == "arr"
+
+
+class TestPoolPersistence:
+    def test_worker_pids_stable_across_sweeps(self):
+        be = ProcessBackend(workers=2)
+        try:
+            pids_before = be.worker_pids()
+            p = random_matrix_chain(8, seed=1)
+            solver = HuangSolver(p, backend=be, tiles=3)
+            try:
+                solver.run()
+                assert be.worker_pids() == pids_before
+            finally:
+                solver.release_store()
+        finally:
+            be.close()
+
+    def test_workers_attach_each_segment_once_per_solve(self):
+        """The attach-once contract: across all sweeps of a solve, no
+        worker maps any table segment more than once."""
+        be = ProcessBackend(workers=2)
+        p = random_matrix_chain(10, seed=2)
+        solver = HuangSolver(p, backend=be, tiles=4)
+        try:
+            solver.run()  # ~7 iterations x 3 sweeps x >=4 tiles
+            reports = be.map_with_arrays(shm.probe, list(range(8)), {})
+            assert any(rep["counts"] for rep in reports)
+            for rep in reports:
+                assert all(count == 1 for count in rep["counts"].values())
+        finally:
+            solver.release_store()
+            be.close()
+
+    def test_pool_revives_after_close(self):
+        be = ProcessBackend(workers=1)
+        try:
+            assert be.map_with_arrays(shm.probe, [0], {})[0]["pid"] != os.getpid()
+            be.close()
+            assert be.map_with_arrays(shm.probe, [0], {})[0]["pid"] != os.getpid()
+        finally:
+            be.close()
+
+
+class TestStartMethodEquivalence:
+    @pytest.mark.parametrize("solver_cls,n", [(HuangSolver, 9), (CompactBandedSolver, 11)])
+    def test_spawn_bitwise_equals_fork_and_serial(self, solver_cls, n):
+        p = random_generic(n, seed=13)
+        ref = solver_cls(p).run()
+        for start_method in ("fork", "spawn"):
+            with solver_cls(
+                p, backend="process", workers=2, tiles=3, start_method=start_method
+            ) as solver:
+                out = solver.run()
+            assert np.array_equal(_canon(out.w), _canon(ref.w)), start_method
+            assert out.iterations == ref.iterations
+
+    def test_solve_many_spawn_matches_serial(self):
+        from repro.core import solve_many
+
+        problems = [random_matrix_chain(7, seed=s) for s in range(3)]
+        serial = solve_many(problems, method="huang-banded", backend="serial")
+        spawned = solve_many(
+            problems,
+            method="huang-banded",
+            backend="process",
+            max_workers=2,
+            start_method="spawn",
+        )
+        assert [r.value for r in spawned] == [r.value for r in serial]
+
+
+class TestNoLeaks:
+    def test_process_solve_leaves_no_tracker_complaints(self):
+        """Full process-backend solve in a fresh interpreter: exit code
+        0 and an stderr free of resource_tracker noise (no 'leaked
+        shared_memory' warnings, no KeyError backtraces from double
+        unregistration)."""
+        code = (
+            "from repro.core import solve\n"
+            "from repro.problems.generators import random_matrix_chain\n"
+            "r = solve(random_matrix_chain(8, seed=0), method='huang',"
+            " backend='process', workers=2)\n"
+            "print(r.value)\n"
+        )
+        env = dict(os.environ, PYTHONPATH=_SRC_PATH)
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=180,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "leaked shared_memory" not in proc.stderr
+        assert "resource_tracker" not in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_solver_close_unlinks_store_segments(self):
+        p = random_matrix_chain(6, seed=0)
+        solver = HuangSolver(p, backend="process", workers=1, tiles=2)
+        solver.run()
+        store = solver._store
+        assert store is not None
+        names = store.segment_names()
+        assert names  # w, pw, F + commit buffers
+        solver.close()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)

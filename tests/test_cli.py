@@ -334,3 +334,88 @@ class TestSolveBackendOption:
             build_parser().parse_args(
                 ["solve", "--dims", "2,3,4", "--workers", "0"]
             )
+
+    def test_start_method_solve(self, capsys):
+        rc = main(
+            [
+                "solve",
+                "--dims",
+                "30,35,15,5,10,20,25",
+                "--method",
+                "huang",
+                "--backend",
+                "process",
+                "--workers",
+                "2",
+                "--start-method",
+                "fork",
+            ]
+        )
+        assert rc == 0 and "15125" in capsys.readouterr().out
+
+    def test_unknown_start_method_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["solve", "--backend", "process", "--start-method", "greenlet"]
+            )
+
+    def test_start_method_not_silently_dropped_for_sequential(self):
+        """Execution flags reach solve() for every method, so a
+        start-method without the process backend errors instead of
+        being ignored (regression: the CLI forwarded them only for
+        iterative methods)."""
+        from repro.errors import InvalidProblemError
+
+        with pytest.raises(InvalidProblemError, match="process"):
+            main(
+                [
+                    "solve",
+                    "--dims",
+                    "2,3,4",
+                    "--method",
+                    "sequential",
+                    "--start-method",
+                    "spawn",
+                ]
+            )
+
+
+class TestPlanCommand:
+    def test_prints_compiled_schedule(self, capsys):
+        rc = main(["plan", "--family", "chain", "--n", "12", "--method", "huang"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "plan: HuangSolver" in out
+        assert "activate" in out and "square" in out and "pebble" in out
+        assert "DenseSquareKernel" in out
+
+    def test_process_backend_plan_reports_store(self, capsys):
+        rc = main(
+            [
+                "plan",
+                "--dims",
+                "10,20,5,30",
+                "--method",
+                "huang-banded",
+                "--backend",
+                "process",
+                "--workers",
+                "2",
+                "--tiles",
+                "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "shared-memory store" in out
+        assert "commit buffers" in out
+
+    def test_sequential_method_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["plan", "--method", "sequential"])
+
+    def test_batch_start_method_flag_parses(self):
+        args = build_parser().parse_args(
+            ["batch", "--backend", "process", "--start-method", "fork"]
+        )
+        assert args.start_method == "fork"
