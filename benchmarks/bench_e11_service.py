@@ -1,0 +1,284 @@
+"""E11 — the solve service: coalesced throughput and cache-hit latency.
+
+PRs 1–3 built the substrate (batched ``solve_many``, compiled plans,
+persistent shm-backed pools); the service layer is what finally keeps
+all of it *warm* across requests. This benchmark records what that
+buys over the library-style alternative, one cold ``solve()`` per
+request:
+
+* **coalesced throughput** — a 32-request mixed workload (several
+  problem families and methods, with the duplicate rate a real request
+  stream has) driven through an in-process
+  :class:`~repro.service.LocalClient` submitting everything
+  concurrently, against the same workload as sequential cold solves.
+  Acceptance bar: **≥ 2x** requests/s;
+* **cache-hit latency** — per-request latency of a repeated instance
+  (pure instance-hash cache hit: no plan compilation, no backend, no
+  tables) against a cold solve of the same instance. Acceptance bar:
+  **≥ 10x** lower;
+* **shutdown hygiene** — after the client closes, the benchmark
+  asserts the pool workers are gone and the store left nothing in
+  ``/dev/shm``.
+
+``--smoke`` runs all three with the acceptance gates and exits
+non-zero on violation (the CI hook). Correctness is not at stake —
+the service returns the same bitwise tables as ``solve()`` (the test
+suite pins that); this is the operational record for running ``repro
+serve`` instead of importing the library.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+from repro.core import solve
+from repro.problems.generators import (
+    random_bottleneck_chain,
+    random_bst,
+    random_matrix_chain,
+)
+from repro.service import LocalClient
+from repro.util.tables import format_table
+
+
+def _mixed_workload(count: int = 32) -> list[tuple]:
+    """A mixed request stream: three families, three methods, and the
+    duplicate rate (~60%) a production request stream has — duplicates
+    are exactly what coalescing and the result cache exist for."""
+    uniques = [
+        (random_matrix_chain(20, seed=0), "huang", {}),
+        (random_matrix_chain(20, seed=1), "huang-banded", {}),
+        (random_matrix_chain(16, seed=2), "huang", {}),
+        (random_bst(14, seed=3), "huang-banded", {}),
+        (random_bst(12, seed=4), "sequential", {}),
+        (random_bottleneck_chain(16, seed=5), "huang", {}),
+        (random_matrix_chain(24, seed=6), "huang", {}),
+        (random_matrix_chain(12, seed=7), "sequential", {}),
+        (random_bst(16, seed=8), "huang", {}),
+        (random_bottleneck_chain(12, seed=9), "huang-banded", {}),
+        (random_matrix_chain(18, seed=10), "rytter", {}),
+        (random_matrix_chain(14, seed=11), "huang-compact", {}),
+    ]
+    return [uniques[i % len(uniques)] for i in range(count)]
+
+
+def _sequential_cold_seconds(workload: list[tuple]) -> float:
+    """The library-style baseline: one cold solve() per request, in
+    order — every call pays plan compilation and table allocation, and
+    nothing is shared between calls."""
+    t0 = time.perf_counter()
+    for problem, method, kwargs in workload:
+        solve(problem, method=method, **kwargs)
+    return time.perf_counter() - t0
+
+
+def _service_stats(
+    workload: list[tuple], *, backend: str = "process", workers: int = 4
+) -> dict:
+    """Drive the workload through an in-process service (concurrent
+    submission → coalesced batches, instance-hash cache in front) and
+    record wall-clock plus the shutdown-hygiene facts. The default
+    backend is ``process`` so the hygiene gates are real: live worker
+    pids are captured before close, and a singleton warm-store solve
+    guarantees the shared store actually holds segments to unlink."""
+    client = LocalClient(
+        backend=backend,
+        workers=workers,
+        batch_window=0.005,
+        max_batch=len(workload),
+    )
+    try:
+        t0 = time.perf_counter()
+        out = client.solve_batch(workload, with_source=True)
+        elapsed = time.perf_counter() - t0
+        failures = [r for r in out if isinstance(r, Exception)]
+        sources = [source for r, source in (o for o in out if not isinstance(o, Exception))]
+        stats = client.status()
+        # One singleton request takes the warm-store fast path, so the
+        # shared store is guaranteed non-empty when we snapshot it.
+        client.solve((random_matrix_chain(18, seed=99), "huang", {}))
+        if backend == "process":
+            pids = client.service.backend.worker_pids()
+        else:
+            pids = []
+        segments = client.service.store.segment_names()
+        assert segments, "warm-store path left no segments to check"
+    finally:
+        client.close()
+    deadline = time.monotonic() + 5.0
+    while any(_alive(p) for p in pids) and time.monotonic() < deadline:
+        time.sleep(0.05)
+    return {
+        "elapsed_s": elapsed,
+        "failures": len(failures),
+        "solved": sources.count("batch"),
+        "coalesced": sources.count("coalesced"),
+        "cache_hits": sources.count("cache"),
+        "batches": stats["scheduler"]["batches"],
+        "largest_batch": stats["scheduler"]["largest_batch"],
+        "orphan_workers": [p for p in pids if _alive(p)],
+        "shm_residue": [
+            name for name in segments if os.path.exists(f"/dev/shm/{name}")
+        ],
+    }
+
+
+def _alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    return True
+
+
+def throughput_stats(count: int = 32, workers: int = 4) -> dict:
+    workload = _mixed_workload(count)
+    cold = _sequential_cold_seconds(workload)
+    service = _service_stats(workload, workers=workers)
+    return {
+        "count": count,
+        "workers": workers,
+        "cold_s": cold,
+        "service": service,
+        "speedup": cold / service["elapsed_s"],
+    }
+
+
+def throughput_table(count: int = 32, workers: int = 4, stats: dict | None = None):
+    s = stats if stats is not None else throughput_stats(count, workers)
+    svc = s["service"]
+    rows = [
+        (
+            "sequential cold solve()",
+            f"{s['cold_s']:.2f}",
+            f"{s['count'] / s['cold_s']:.1f}",
+            "-",
+            "-",
+            "-",
+        ),
+        (
+            "service (coalesce+cache)",
+            f"{svc['elapsed_s']:.2f}",
+            f"{s['count'] / svc['elapsed_s']:.1f}",
+            svc["batches"],
+            f"{svc['solved']}/{svc['coalesced']}/{svc['cache_hits']}",
+            f"{s['speedup']:.1f}x",
+        ),
+    ]
+    return format_table(
+        ["path", "wall s", "req/s", "batches", "solved/coalesced/cached", "speedup"],
+        rows,
+        title=(
+            f"E11a: {s['count']}-request mixed workload, {s['workers']} workers. "
+            "The service submits everything concurrently; duplicates join "
+            "in-flight entries, repeats hit the instance-hash cache, distinct "
+            "requests share solve_many batches on the warm pool."
+        ),
+    )
+
+
+def latency_stats(hits: int = 50) -> dict:
+    problem_factory = lambda: random_matrix_chain(24, seed=42)  # noqa: E731
+    cold_best = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        solve(problem_factory(), method="huang")
+        cold_best = min(cold_best, time.perf_counter() - t0)
+    with LocalClient(backend="serial", batch_window=0.0) as client:
+        client.solve((problem_factory(), "huang"))  # warm the cache
+        t0 = time.perf_counter()
+        for _ in range(hits):
+            result, source = client.solve(
+                (problem_factory(), "huang"), with_source=True
+            )
+            assert source == "cache", f"expected a cache hit, got {source!r}"
+        hit_mean = (time.perf_counter() - t0) / hits
+    return {
+        "hits": hits,
+        "cold_s": cold_best,
+        "hit_s": hit_mean,
+        "ratio": cold_best / hit_mean,
+    }
+
+
+def latency_table(hits: int = 50, stats: dict | None = None):
+    s = stats if stats is not None else latency_stats(hits)
+    rows = [
+        ("cold solve() (best of 3)", f"{s['cold_s'] * 1e3:.2f}"),
+        (f"cache hit (mean of {s['hits']})", f"{s['hit_s'] * 1e3:.3f}"),
+        ("cold / hit", f"{s['ratio']:.0f}x"),
+    ]
+    return format_table(
+        ["path", "latency ms"],
+        rows,
+        title=(
+            "E11b: per-request latency, huang at n=24. A hit re-hashes the "
+            "instance (a few hundred bytes through blake2b) and copies "
+            "nothing — no plan, no solver, no tables."
+        ),
+    )
+
+
+def smoke(count: int = 32, workers: int = 4) -> int:
+    """CI guard for the ISSUE 4 acceptance bars: coalesced throughput
+    ≥ 2x sequential cold solves, cache-hit latency ≥ 10x below a cold
+    solve, and a hygienic shutdown (no orphan workers, no /dev/shm
+    residue). Table and gate render from one measurement."""
+    t = throughput_stats(count, workers)
+    print(throughput_table(stats=t))
+    lat = latency_stats()
+    print()
+    print(latency_table(stats=lat))
+    svc = t["service"]
+    print(
+        f"\nthroughput {t['speedup']:.1f}x (bar 2x) | cache hit "
+        f"{lat['ratio']:.0f}x faster (bar 10x) | failures {svc['failures']} | "
+        f"orphans {svc['orphan_workers']} | shm residue {svc['shm_residue']}"
+    )
+    failed = []
+    if t["speedup"] < 2.0:
+        failed.append("coalesced throughput below 2x sequential cold solves")
+    if lat["ratio"] < 10.0:
+        failed.append("cache-hit latency not 10x below a cold solve")
+    if svc["failures"]:
+        failed.append(f"{svc['failures']} requests failed")
+    if svc["orphan_workers"]:
+        failed.append(f"orphan workers: {svc['orphan_workers']}")
+    if svc["shm_residue"]:
+        failed.append(f"/dev/shm residue: {svc['shm_residue']}")
+    if failed:
+        for reason in failed:
+            print(f"FAIL: {reason}")
+        return 1
+    print("OK: service acceptance bars met")
+    return 0
+
+
+def test_e11_throughput(report, benchmark):
+    report(
+        "e11_service",
+        benchmark.pedantic(throughput_table, rounds=1, iterations=1),
+    )
+
+
+def test_e11_cache_latency(report, benchmark):
+    report(
+        "e11_service",
+        benchmark.pedantic(latency_table, rounds=1, iterations=1),
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if "--smoke" in argv:
+        return smoke()
+    print(throughput_table())
+    print()
+    print(latency_table())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

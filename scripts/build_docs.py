@@ -1,0 +1,214 @@
+#!/usr/bin/env python
+"""Build the documentation site into ``site/``.
+
+Two-phase build:
+
+1. **Stage** — copy the repository documents the site sources verbatim
+   (``README.md`` → ``docs/readme.md``, ``DESIGN.md`` →
+   ``docs/design.md``). The copies are generated artifacts
+   (gitignored); the repository files stay the single source of truth.
+2. **Render** — run ``mkdocs build --strict`` when mkdocs is
+   installed (the CI path). When it is not — this repository's only
+   hard dependency is numpy — fall back to a built-in minimal
+   markdown renderer so ``python scripts/build_docs.py`` always
+   produces a browsable ``site/`` from a bare checkout.
+
+Exit code is non-zero on any build failure (CI gates on it).
+"""
+
+from __future__ import annotations
+
+import html
+import pathlib
+import re
+import shutil
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DOCS_DIR = REPO_ROOT / "docs"
+SITE_DIR = REPO_ROOT / "site"
+
+#: repository documents staged into the docs tree before every build
+STAGED_SOURCES = {
+    "readme.md": REPO_ROOT / "README.md",
+    "design.md": REPO_ROOT / "DESIGN.md",
+}
+
+#: page order for the fallback renderer's navigation (mkdocs reads the
+#: authoritative nav from mkdocs.yml)
+NAV = [
+    ("index.md", "Home"),
+    ("architecture.md", "Architecture"),
+    ("service.md", "The solve service"),
+    ("algebras.md", "Algebras"),
+    ("benchmarks.md", "Benchmarks"),
+    ("readme.md", "README (repo)"),
+    ("design.md", "Design notes (repo)"),
+]
+
+
+def stage() -> None:
+    """Copy the sourced repository documents into ``docs/``."""
+    for name, source in STAGED_SOURCES.items():
+        shutil.copyfile(source, DOCS_DIR / name)
+
+
+# ---------------------------------------------------------------------------
+# Fallback renderer: a deliberately small markdown subset (headings,
+# fenced code, lists, tables, links, emphasis) — enough to browse the
+# hand-written pages, not a CommonMark implementation.
+# ---------------------------------------------------------------------------
+
+_PAGE_TEMPLATE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{title} — repro-huang-lv90</title>
+<style>
+body {{ font-family: sans-serif; max-width: 54rem; margin: 2rem auto; padding: 0 1rem; line-height: 1.5; }}
+nav {{ border-bottom: 1px solid #ccc; padding-bottom: .5rem; margin-bottom: 1.5rem; }}
+nav a {{ margin-right: 1rem; }}
+pre {{ background: #f5f5f5; padding: .75rem; overflow-x: auto; }}
+code {{ background: #f5f5f5; padding: 0 .2rem; }}
+table {{ border-collapse: collapse; }}
+td, th {{ border: 1px solid #999; padding: .25rem .5rem; }}
+</style>
+</head>
+<body>
+<nav>{nav}</nav>
+{body}
+</body>
+</html>
+"""
+
+
+def _inline(text: str) -> str:
+    out = html.escape(text, quote=False)
+    out = re.sub(r"`([^`]+)`", r"<code>\1</code>", out)
+    out = re.sub(
+        r"\[([^\]]+)\]\(([^)\s]+)\)",
+        lambda m: '<a href="{}">{}</a>'.format(
+            re.sub(r"\.md(?=($|#))", ".html", m.group(2)), m.group(1)
+        ),
+        out,
+    )
+    out = re.sub(r"\*\*([^*]+)\*\*", r"<strong>\1</strong>", out)
+    return out
+
+
+def _render_markdown(text: str) -> str:
+    lines = text.splitlines()
+    out: list[str] = []
+    i = 0
+    in_list = False
+
+    def close_list() -> None:
+        nonlocal in_list
+        if in_list:
+            out.append("</ul>")
+            in_list = False
+
+    while i < len(lines):
+        line = lines[i]
+        if line.startswith("```"):
+            close_list()
+            block = []
+            i += 1
+            while i < len(lines) and not lines[i].startswith("```"):
+                block.append(lines[i])
+                i += 1
+            out.append("<pre><code>" + html.escape("\n".join(block)) + "</code></pre>")
+        elif re.match(r"^#{1,6} ", line):
+            close_list()
+            level = len(line) - len(line.lstrip("#"))
+            out.append(f"<h{level}>{_inline(line[level + 1:])}</h{level}>")
+        elif re.match(r"^\s*[-*] ", line):
+            if not in_list:
+                out.append("<ul>")
+                in_list = True
+            item = re.sub(r"^\s*[-*] ", "", line)
+            out.append(f"<li>{_inline(item)}</li>")
+        elif "|" in line and line.strip().startswith("|"):
+            close_list()
+            rows = []
+            while i < len(lines) and lines[i].strip().startswith("|"):
+                cells = [c.strip() for c in lines[i].strip().strip("|").split("|")]
+                if not all(re.fullmatch(r":?-+:?", c) for c in cells):
+                    rows.append(cells)
+                i += 1
+            i -= 1
+            out.append("<table>")
+            for cells in rows:
+                out.append(
+                    "<tr>" + "".join(f"<td>{_inline(c)}</td>" for c in cells) + "</tr>"
+                )
+            out.append("</table>")
+        elif line.startswith("    ") and line.strip():
+            close_list()
+            block = []
+            while i < len(lines) and (lines[i].startswith("    ") or not lines[i].strip()):
+                if not lines[i].strip() and not (
+                    i + 1 < len(lines) and lines[i + 1].startswith("    ")
+                ):
+                    break
+                block.append(lines[i][4:])
+                i += 1
+            i -= 1
+            out.append("<pre><code>" + html.escape("\n".join(block)) + "</code></pre>")
+        elif line.strip():
+            close_list()
+            para = [line]
+            while i + 1 < len(lines) and lines[i + 1].strip() and not re.match(
+                r"^(#|```|\s*[-*] |\||    )", lines[i + 1]
+            ):
+                i += 1
+                para.append(lines[i])
+            out.append(f"<p>{_inline(' '.join(para))}</p>")
+        i += 1
+    close_list()
+    return "\n".join(out)
+
+
+def _fallback_build() -> None:
+    if SITE_DIR.exists():
+        shutil.rmtree(SITE_DIR)
+    SITE_DIR.mkdir(parents=True)
+    nav_html = " ".join(
+        f'<a href="{name[:-3]}.html">{title}</a>' for name, title in NAV
+    )
+    for page in sorted(DOCS_DIR.glob("*.md")):
+        body = _render_markdown(page.read_text(encoding="utf-8"))
+        title = next((t for n, t in NAV if n == page.name), page.stem)
+        (SITE_DIR / f"{page.stem}.html").write_text(
+            _PAGE_TEMPLATE.format(title=title, nav=nav_html, body=body),
+            encoding="utf-8",
+        )
+
+
+def main() -> int:
+    stage()
+    try:
+        import mkdocs  # noqa: F401
+    except ImportError:
+        print("build_docs: mkdocs not installed, using the built-in fallback renderer")
+        _fallback_build()
+    else:
+        proc = subprocess.run(
+            [sys.executable, "-m", "mkdocs", "build", "--strict", "--site-dir",
+             str(SITE_DIR)],
+            cwd=REPO_ROOT,
+        )
+        if proc.returncode != 0:
+            return proc.returncode
+    pages = sorted(p.name for p in SITE_DIR.glob("*.html"))
+    missing = [f"{name[:-3]}.html" for name, _ in NAV if f"{name[:-3]}.html" not in pages]
+    if missing:
+        print(f"build_docs: FAIL — site is missing pages: {missing}")
+        return 1
+    print(f"build_docs: OK — {len(pages)} pages in {SITE_DIR}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Dead-link check over the documentation sources.
+
+Scans every markdown file in ``docs/`` plus the top-level repository
+documents for ``[text](target)`` links and verifies that each
+*relative* target resolves to an existing file (anchors are stripped;
+external ``http(s)``/``mailto`` targets are skipped — CI has no
+network guarantee). Stages the sourced pages first so links into
+``docs/readme.md``/``docs/design.md`` are checked against what the
+built site actually contains. Exits non-zero listing every dead link.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from build_docs import stage  # noqa: E402
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:")
+
+TOP_LEVEL_DOCS = ("README.md", "DESIGN.md", "ROADMAP.md", "CHANGES.md", "ISSUE.md")
+
+
+def iter_markdown_files():
+    yield from sorted((REPO_ROOT / "docs").glob("*.md"))
+    for name in TOP_LEVEL_DOCS:
+        path = REPO_ROOT / name
+        if path.exists():
+            yield path
+
+
+def check_file(path: pathlib.Path) -> list[str]:
+    dead = []
+    text = path.read_text(encoding="utf-8")
+    in_code = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_code = not in_code
+            continue
+        if in_code:
+            continue
+        for match in LINK_RE.finditer(line):
+            target = match.group(1).split("#", 1)[0]
+            if not target or target.startswith(SKIP_PREFIXES):
+                continue
+            resolved = (path.parent / target).resolve()
+            if not resolved.exists():
+                dead.append(
+                    f"{path.relative_to(REPO_ROOT)}:{lineno}: dead link -> {target}"
+                )
+    return dead
+
+
+def main() -> int:
+    stage()
+    dead = [problem for path in iter_markdown_files() for problem in check_file(path)]
+    if dead:
+        print("check_links: FAIL")
+        for problem in dead:
+            print(f"  {problem}")
+        return 1
+    count = sum(1 for _ in iter_markdown_files())
+    print(f"check_links: OK — {count} files, no dead relative links")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,8 @@ Commands
 --------
 ``solve``     solve a random or user-specified instance with any method;
 ``batch``     solve a JSONL stream of problem specs on a worker pool;
+``serve``     run the long-lived solve service on a unix socket;
+``request``   send JSONL specs to a running server (or status/shutdown);
 ``plan``      print the compiled sweep plan a solve would execute;
 ``algebras``  list the registered selection-semiring algebras;
 ``pebble``    play the pebbling game on a named tree shape;
@@ -17,6 +19,9 @@ Examples::
     python -m repro solve --family chain --n 16 --backend process --start-method spawn
     python -m repro solve --family bottleneck --n 14 --algebra minimax
     python -m repro batch --input problems.jsonl --backend process --max-workers 4
+    python -m repro serve --socket /tmp/repro.sock --backend process --workers 4
+    python -m repro request --socket /tmp/repro.sock --input problems.jsonl
+    python -m repro request --socket /tmp/repro.sock --status
     python -m repro plan --family chain --n 24 --method huang-banded --backend process
     python -m repro algebras
     python -m repro pebble --shape zigzag --n 4096 --rule huang
@@ -47,30 +52,9 @@ from repro.core.algebra import list_algebras
 from repro.core.api import ITERATIVE_METHODS, METHODS
 from repro.parallel.backends import BACKEND_NAMES, START_METHODS
 
+from repro.problems.specs import FAMILIES, family_generators
+
 __all__ = ["main", "build_parser"]
-
-# Single source for the random-instance families: the CLI choices and
-# the generator dispatch both derive from this mapping.
-_FAMILY_GENERATOR_NAMES = {
-    "chain": "random_matrix_chain",
-    "bst": "random_bst",
-    "polygon": "random_polygon",
-    "generic": "random_generic",
-    "bottleneck": "random_bottleneck_chain",
-    "reliability": "random_reliability_bst",
-}
-FAMILIES = tuple(_FAMILY_GENERATOR_NAMES)
-
-
-def _family_generators() -> dict:
-    """Family-name -> random-instance generator, shared by ``solve`` and
-    ``batch`` (imported lazily; generators pull in the problem stack)."""
-    from repro.problems import generators
-
-    return {
-        family: getattr(generators, name)
-        for family, name in _FAMILY_GENERATOR_NAMES.items()
-    }
 
 
 def _positive_int(value: str) -> int:
@@ -140,7 +124,7 @@ def _problem_from_args(args: argparse.Namespace):
 
     if args.dims:
         return MatrixChainProblem([int(x) for x in args.dims.split(",")])
-    return _family_generators()[args.family](args.n, seed=args.seed)
+    return family_generators()[args.family](args.n, seed=args.seed)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -242,6 +226,100 @@ def build_parser() -> argparse.ArgumentParser:
         help="tiles per sweep (default: one per worker)",
     )
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the solve service on a unix socket",
+        description=(
+            "Long-lived solve server: owns a warm worker pool and a shared "
+            "table store, coalesces concurrent JSONL requests into batches, "
+            "and caches results by canonical instance hash. Send specs with "
+            "'repro request'."
+        ),
+    )
+    p_serve.add_argument(
+        "--socket",
+        default="repro.sock",
+        help="unix socket path to listen on (default: ./repro.sock)",
+    )
+    p_serve.add_argument(
+        "--method",
+        choices=list(METHODS),
+        default="sequential",
+        help="default method for requests that do not name one",
+    )
+    p_serve.add_argument(
+        "--backend",
+        choices=list(BACKEND_NAMES),
+        default="process",
+        help="the warm pool batches lease (default: process)",
+    )
+    p_serve.add_argument(
+        "--start-method",
+        choices=list(START_METHODS),
+        default=None,
+        help="process start method for --backend process",
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="pool size (default: min(8, cpu count))",
+    )
+    p_serve.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=5.0,
+        help="how long the first request of a batch waits for company (default: 5)",
+    )
+    p_serve.add_argument(
+        "--max-batch",
+        type=_positive_int,
+        default=16,
+        help="requests per coalesced batch before it executes early (default: 16)",
+    )
+    p_serve.add_argument(
+        "--cache-mb",
+        type=float,
+        default=128.0,
+        help="result-cache byte budget in MiB; 0 disables the cache (default: 128)",
+    )
+    p_serve.add_argument(
+        "--max-requests",
+        type=_positive_int,
+        default=None,
+        help="exit after serving this many requests (smoke tests/benchmarks)",
+    )
+
+    p_request = sub.add_parser(
+        "request",
+        help="send JSONL problem specs to a running 'repro serve'",
+        description=(
+            "Pipelines every spec line over one connection (the server "
+            "coalesces them into shared batches) and prints one JSON "
+            "response per line, in input order."
+        ),
+    )
+    p_request.add_argument(
+        "--socket",
+        default="repro.sock",
+        help="unix socket path of the server (default: ./repro.sock)",
+    )
+    p_request.add_argument(
+        "--input",
+        default="-",
+        help="JSONL file of problem specs, or '-' for stdin (default)",
+    )
+    p_request.add_argument(
+        "--status",
+        action="store_true",
+        help="print the server's status record instead of sending specs",
+    )
+    p_request.add_argument(
+        "--shutdown",
+        action="store_true",
+        help="ask the server to stop (after any specs from --input)",
+    )
+
     sub.add_parser(
         "algebras", help="list the registered selection-semiring algebras"
     )
@@ -307,54 +385,11 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _problem_from_spec(spec: dict):
-    """Build a problem instance from one JSONL batch spec.
-
-    Explicit data wins over random families: ``dims`` makes a matrix
-    chain, ``p``/``q`` an optimal BST, ``points`` a polygon,
-    ``weights`` a bottleneck chain, ``connectors``/``leaves`` a
-    reliability tree. A ``family`` + ``n`` + ``seed`` spec draws a
-    random instance. A spec with none of those keys is rejected (a
-    typo'd key must not silently solve a random default instance).
-    """
-    from repro.problems import (
-        BottleneckChainProblem,
-        MatrixChainProblem,
-        OptimalBSTProblem,
-        PolygonTriangulationProblem,
-        ReliabilityBSTProblem,
-    )
-
-    if "dims" in spec:
-        return MatrixChainProblem([int(x) for x in spec["dims"]])
-    if "p" in spec or "q" in spec:
-        return OptimalBSTProblem(spec.get("p", []), spec.get("q", []))
-    if "points" in spec:
-        points = [tuple(float(c) for c in pt) for pt in spec["points"]]
-        return PolygonTriangulationProblem(points, rule=spec.get("rule", "perimeter"))
-    if "weights" in spec:
-        return BottleneckChainProblem([float(x) for x in spec["weights"]])
-    if "connectors" in spec or "leaves" in spec:
-        return ReliabilityBSTProblem(
-            [float(x) for x in spec.get("connectors", [])],
-            [float(x) for x in spec.get("leaves", [])],
-        )
-    if "family" in spec:
-        family = spec["family"]
-        if family not in FAMILIES:
-            raise ValueError(f"unknown family {family!r}; choose from {FAMILIES}")
-        make = _family_generators()[family]
-        return make(int(spec.get("n", 12)), seed=int(spec.get("seed", 0)))
-    raise ValueError(
-        "spec must contain one of: dims, p/q, points, weights, "
-        f"connectors/leaves, or family (got keys {sorted(spec)})"
-    )
-
-
 def _cmd_batch(args: argparse.Namespace) -> int:
     import json
 
     from repro.core import solve_many
+    from repro.problems.specs import batch_item_from_spec
     from repro.util.tables import format_table
 
     if args.input == "-":
@@ -376,22 +411,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             spec = json.loads(line)
             if not isinstance(spec, dict):
                 raise ValueError("spec must be a JSON object")
-            method = spec.get("method", args.method)
-            if method not in METHODS:
-                raise ValueError(
-                    f"unknown method {method!r}; choose from {METHODS}"
-                )
-            kwargs = {}
-            if "max_n" in spec:
-                kwargs["max_n"] = int(spec["max_n"])
-            if "band" in spec and method in ("huang-banded", "huang-compact"):
-                kwargs["band"] = int(spec["band"])
-            if "algebra" in spec:
-                # Deliberately not validated here: algebra resolution
-                # happens inside the solve worker, exercising
-                # solve_many's per-item error isolation.
-                kwargs["algebra"] = str(spec["algebra"])
-            items.append((lineno, (_problem_from_spec(spec), method, kwargs)))
+            items.append(
+                (lineno, batch_item_from_spec(spec, default_method=args.method))
+            )
         except Exception as exc:  # noqa: BLE001 - report bad lines, keep going
             items.append((lineno, exc))
 
@@ -450,6 +472,95 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 f"({args.backend} backend)",
             )
         )
+    return 1 if failures else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import SolveService, serve_unix
+
+    service = SolveService(
+        method=args.method,
+        backend=args.backend,
+        workers=args.workers,
+        start_method=args.start_method,
+        batch_window=args.batch_window_ms / 1e3,
+        max_batch=args.max_batch,
+        cache_bytes=int(args.cache_mb * (1 << 20)),
+    )
+    try:
+        served = asyncio.run(
+            serve_unix(
+                service,
+                args.socket,
+                max_requests=args.max_requests,
+                quiet=False,
+            )
+        )
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        service.close()
+        return 130
+    print(f"repro serve: stopped after {served} requests")
+    return 0
+
+
+def _cmd_request(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import ServiceClient
+
+    try:
+        client = ServiceClient(args.socket)
+    except OSError as exc:
+        print(f"request: cannot connect to {args.socket}: {exc}", file=sys.stderr)
+        return 2
+    with client:
+        if args.status:
+            print(json.dumps(client.status(), indent=2))
+            if args.shutdown:
+                client.shutdown()
+            return 0
+        if args.input == "-":
+            # A bare --shutdown should not block waiting on a terminal.
+            lines = [] if args.shutdown and sys.stdin.isatty() else sys.stdin.read().splitlines()
+        else:
+            try:
+                with open(args.input, "r", encoding="utf-8") as fh:
+                    lines = fh.read().splitlines()
+            except OSError as exc:
+                print(f"request: cannot read {args.input}: {exc}", file=sys.stderr)
+                return 2
+        items = []  # (lineno, spec dict) or (lineno, parse error)
+        for lineno, raw in enumerate(lines, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                spec = json.loads(line)
+                if not isinstance(spec, dict):
+                    raise ValueError("spec must be a JSON object")
+            except ValueError as exc:  # bad lines report, don't crash the rest
+                items.append((lineno, exc))
+            else:
+                items.append((lineno, spec))
+        responses = iter(
+            client.request_many([s for _, s in items if isinstance(s, dict)])
+        )
+        failures = 0
+        for lineno, item in items:
+            if isinstance(item, dict):
+                record = next(responses)
+            else:
+                record = {
+                    "ok": False,
+                    "error": f"line {lineno}: {type(item).__name__}: {item}",
+                }
+            if not record.get("ok"):
+                failures += 1
+            print(json.dumps(record))
+        if args.shutdown:
+            client.shutdown()
     return 1 if failures else 0
 
 
@@ -563,6 +674,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     handler = {
         "solve": _cmd_solve,
         "batch": _cmd_batch,
+        "serve": _cmd_serve,
+        "request": _cmd_request,
         "plan": _cmd_plan,
         "algebras": _cmd_algebras,
         "pebble": _cmd_pebble,

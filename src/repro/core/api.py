@@ -27,6 +27,7 @@ JSONL problem specs.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Optional, Sequence, Union
 
@@ -57,6 +58,7 @@ __all__ = [
     "solve",
     "solve_many",
     "plan_for",
+    "instance_key",
     "SolveResult",
     "BatchItem",
     "METHODS",
@@ -105,6 +107,110 @@ def _validate_execution(backend, start_method) -> None:
             )
 
 
+# ---------------------------------------------------------------------------
+# Canonical instance hashing.
+# ---------------------------------------------------------------------------
+
+#: solve() keywords that select *how* a result is computed, never *what*
+#: it is: every (backend, workers, tiles, start_method, store)
+#: combination commits bitwise-identical tables (DESIGN.md §3). None of
+#: these enter the instance hash — a result computed on one execution
+#: configuration answers for all. ``max_n`` is *not* here: it only
+#: guards memory, but a guard that can reject a request changes the
+#: request's outcome, so it must partition the key.
+_EXECUTION_ONLY_KWARGS = frozenset(
+    {"backend", "workers", "tiles", "start_method", "store", "cache"}
+)
+
+
+def _canonical_kwarg(value: Any) -> str:
+    """A canonical string for one result-determining kwarg value.
+
+    Only JSON-ish primitives (and flat sequences of them) canonicalise;
+    anything else — a custom :class:`TerminationPolicy`, a callable —
+    raises, which :func:`instance_key` maps to *uncacheable*."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return repr(value)
+    if isinstance(value, float):
+        return value.hex()
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(_canonical_kwarg(v) for v in value) + "]"
+    raise TypeError(f"no canonical encoding for {type(value).__name__}")
+
+
+def instance_key(
+    problem: ParenthesizationProblem,
+    *,
+    method: str = "sequential",
+    algebra: SelectionSemiring | str | None = None,
+    **solve_kwargs,
+) -> Optional[str]:
+    """Canonical hash of a solve request, or ``None`` if uncacheable.
+
+    Two requests with equal keys are guaranteed the same
+    :class:`SolveResult` (same tables, bit for bit), so the key is what
+    the service layer's result cache — and any external memoisation —
+    may safely be keyed by. The hash folds together the problem
+    family's canonical byte payload
+    (:meth:`~repro.problems.base.ParenthesizationProblem.canonical_payload`),
+    the method, the resolved algebra name, and every result-determining
+    keyword; execution-only knobs (``backend``, ``workers``, ``tiles``,
+    ``start_method``, ``store``) are deliberately excluded because
+    every execution configuration commits identical tables. ``max_n``
+    *is* part of the key — it can reject a request outright, and a
+    rejection must never be coalesced with (or cached for) a request
+    that would succeed.
+
+    ``None`` means the request must not be served from a cache: the
+    problem has no canonical encoding (e.g. a callable-defined
+    :class:`~repro.problems.GenericProblem`) or a kwarg (a custom
+    termination policy object) cannot be canonicalised.
+
+    >>> from repro.problems import MatrixChainProblem, GenericProblem
+    >>> a = instance_key(MatrixChainProblem([10, 20, 5, 30]), method="huang")
+    >>> b = instance_key(MatrixChainProblem([10, 20, 5, 30]), method="huang")
+    >>> c = instance_key(MatrixChainProblem([10, 20, 5, 31]), method="huang")
+    >>> a == b, a == c
+    (True, False)
+
+    The backend never changes the answer, so it never changes the key:
+
+    >>> instance_key(MatrixChainProblem([10, 20, 5, 30]), method="huang",
+    ...              backend="process", workers=8) == a
+    True
+
+    Callable-defined problems are uncacheable:
+
+    >>> p = GenericProblem(3, lambda i: 0.0, lambda i, k, j: 1.0)
+    >>> instance_key(p) is None
+    True
+    """
+    payload = problem.canonical_payload()
+    if payload is None:
+        return None
+    if algebra is None:
+        algebra = getattr(problem, "preferred_algebra", "min_plus")
+    alg_name = algebra.name if isinstance(algebra, SelectionSemiring) else str(algebra)
+    parts = [type(problem).__name__, method, alg_name]
+    try:
+        for kw in sorted(solve_kwargs):
+            if kw in _EXECUTION_ONLY_KWARGS:
+                continue
+            parts.append(f"{kw}={_canonical_kwarg(solve_kwargs[kw])}")
+    except TypeError:
+        return None
+    digest = hashlib.blake2b(digest_size=16)
+    for part in parts:
+        raw = part.encode()
+        digest.update(len(raw).to_bytes(4, "little"))
+        digest.update(raw)
+    for part in payload:
+        raw = part if isinstance(part, bytes) else str(part).encode()
+        digest.update(len(raw).to_bytes(4, "little"))
+        digest.update(raw)
+    return digest.hexdigest()
+
+
 @dataclass(frozen=True)
 class SolveResult:
     """Uniform solver output.
@@ -115,6 +221,13 @@ class SolveResult:
     ``value`` is decoded into the problem domain; ``w`` stays in the
     algebra's (encoded) domain — the domain every solver's tables live
     in, which is what the bitwise-equality suites compare.
+
+    >>> from repro.problems import MatrixChainProblem
+    >>> r = solve(MatrixChainProblem([10, 20, 5, 30]), method="huang")
+    >>> r.value, r.n, r.algebra, r.iterations is not None
+    (2500.0, 3, 'min_plus', True)
+    >>> r.w.shape
+    (4, 4)
     """
 
     method: str
@@ -143,9 +256,20 @@ def solve(
     tiles: int | None = None,
     start_method: str | None = None,
     store: TableStore | None = None,
+    cache: Any = None,
     **solver_kwargs,
 ) -> SolveResult:
     """Solve ``problem`` with the chosen algorithm.
+
+    >>> from repro.problems import MatrixChainProblem
+    >>> from repro.core import solve
+    >>> p = MatrixChainProblem([30, 35, 15, 5, 10, 20, 25])
+    >>> solve(p, method="sequential").value
+    15125.0
+    >>> solve(p, method="huang", backend="thread", workers=2).value
+    15125.0
+    >>> solve(p, method="huang-banded", reconstruct=True).tree.size
+    6
 
     Parameters
     ----------
@@ -196,6 +320,14 @@ def solve(
         keeps both the worker pool and the table segments warm;
         the caller closes the store when done. Default: the engine
         creates one per solve and disposes of it before returning.
+    cache:
+        A result cache — anything with ``get(key) -> SolveResult | None``
+        and ``put(key, result)``, e.g. a
+        :class:`repro.service.ResultCache`. The solve is keyed by
+        :func:`instance_key`; a hit returns the cached result without
+        compiling a plan or touching a backend, a miss populates the
+        cache on the way out. Uncacheable requests (``instance_key``
+        returns ``None``) bypass the cache entirely.
     solver_kwargs:
         Extra keyword arguments forwarded to the solver class
         (e.g. ``band=...``, ``size_band=True`` for ``huang-banded``).
@@ -207,18 +339,37 @@ def solve(
         algebra = getattr(problem, "preferred_algebra", "min_plus")
     alg = get_algebra(algebra)
 
+    cache_key = None
+    if cache is not None:
+        key_kwargs = dict(solver_kwargs)
+        key_kwargs["reconstruct"] = reconstruct
+        if policy is not None:
+            key_kwargs["policy"] = policy  # objects hash to uncacheable
+        if max_n is not None:
+            key_kwargs["max_n"] = max_n  # the guard can reject: partitions
+        cache_key = instance_key(problem, method=method, algebra=alg, **key_kwargs)
+        if cache_key is not None:
+            hit = cache.get(cache_key)
+            if hit is not None:
+                return hit
+
+    def _done(result: SolveResult) -> SolveResult:
+        if cache_key is not None:
+            cache.put(cache_key, result)
+        return result
+
     if method == "sequential":
         seq = solve_sequential(problem, algebra=alg)
         tree = (
             ParseTree.from_split_table(seq.split) if reconstruct and problem.n >= 1 else None
         )
-        return SolveResult(
+        return _done(SolveResult(
             method=method,
             value=float(alg.decode(seq.value)),
             w=seq.w,
             tree=tree,
             algebra=alg.name,
-        )
+        ))
 
     if method == "knuth":
         if alg.name != "min_plus":
@@ -229,7 +380,7 @@ def solve(
             )
         seq = solve_knuth(problem, **solver_kwargs)
         tree = ParseTree.from_split_table(seq.split) if reconstruct else None
-        return SolveResult(method=method, value=seq.value, w=seq.w, tree=tree)
+        return _done(SolveResult(method=method, value=seq.value, w=seq.w, tree=tree))
 
     solver_cls = _SOLVER_CLASSES[method]
     if max_n is not None:
@@ -254,7 +405,7 @@ def solve(
             # engine-owned table store must still be unlinked.
             solver.release_store()
     tree = reconstruct_tree(problem, out.w, algebra=alg) if reconstruct else None
-    return SolveResult(
+    return _done(SolveResult(
         method=method,
         value=float(alg.decode(out.value)),
         w=out.w,
@@ -262,7 +413,7 @@ def solve(
         trace=out.trace,
         tree=tree,
         algebra=alg.name,
-    )
+    ))
 
 
 # ---------------------------------------------------------------------------
@@ -470,6 +621,11 @@ def plan_for(
 
     Only the iterative methods compile to sweep plans; the sequential
     baselines have no super-step schedule to freeze.
+
+    >>> from repro.problems import MatrixChainProblem
+    >>> plan = plan_for(MatrixChainProblem([10, 20, 5, 30, 7]), method="huang")
+    >>> plan.method, plan.n, len(plan.steps) > 0
+    ('HuangSolver', 4, True)
     """
     if method not in ITERATIVE_METHODS:
         raise InvalidProblemError(

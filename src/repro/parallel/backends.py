@@ -25,7 +25,8 @@ import os
 import pickle
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Callable, Optional, Sequence
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Optional, Sequence
 
 import numpy as np
 
@@ -130,6 +131,52 @@ class Backend:
     #: dispatch sweeps through :meth:`map_store_tasks`
     uses_store = False
 
+    def __init__(self) -> None:
+        self._lease_lock = threading.Lock()
+        self._leases = 0
+
+    # -- lease / health (the solve service's scheduler contract) -------------
+
+    @contextmanager
+    def lease(self) -> Iterator["Backend"]:
+        """Borrow the backend for a unit of work.
+
+        Entering revives a dead worker pool (:meth:`ensure_alive`) and
+        counts the lease; :meth:`health` reports the live count, which
+        is how a long-running service can tell an idle pool from one
+        mid-batch. Leases nest and are thread-safe; they do not lock —
+        backends already serialise whatever needs serialising.
+        """
+        with self._lease_lock:
+            self._leases += 1
+        try:
+            self.ensure_alive()
+            yield self
+        finally:
+            with self._lease_lock:
+                self._leases -= 1
+
+    @property
+    def active_leases(self) -> int:
+        with self._lease_lock:
+            return self._leases
+
+    def ensure_alive(self) -> None:
+        """Make the backend servable again after worker death (no-op
+        where there are no workers to die)."""
+
+    def health(self) -> dict:
+        """A point-in-time health snapshot: backend name, configured
+        worker count, live-worker count where that is meaningful, and
+        outstanding leases. Cheap enough to serve on every status
+        request."""
+        return {
+            "backend": self.name,
+            "workers": getattr(self, "workers", 1),
+            "alive": True,
+            "leases": self.active_leases,
+        }
+
     def map_with_arrays(
         self,
         fn: Callable[..., Any],
@@ -166,6 +213,7 @@ class SerialBackend(Backend):
     """Run tiles one after another in the calling thread."""
 
     name = "serial"
+    workers = 1
 
     def map_with_arrays(self, fn, tiles, arrays):
         return [fn(tile, **arrays) for tile in tiles]
@@ -178,6 +226,7 @@ class ThreadBackend(Backend):
     name = "thread"
 
     def __init__(self, workers: int | None = None) -> None:
+        super().__init__()
         if workers is not None and workers < 1:
             raise BackendError("workers must be >= 1")
         self.workers = workers if workers is not None else min(8, os.cpu_count() or 1)
@@ -186,6 +235,12 @@ class ThreadBackend(Backend):
     def map_with_arrays(self, fn, tiles, arrays):
         futures = [self._pool.submit(fn, tile, **arrays) for tile in tiles]
         return [f.result() for f in futures]
+
+    def ensure_alive(self) -> None:
+        # A lease taken after close() gets a fresh executor; a bare map
+        # after close() still fails (the documented close contract).
+        if self._pool._shutdown:  # noqa: SLF001 - no public probe exists
+            self._pool = ThreadPoolExecutor(max_workers=self.workers)
 
     def close(self) -> None:
         self._pool.shutdown(wait=True)
@@ -226,6 +281,7 @@ class ProcessBackend(Backend):
         start_method: str | None = None,
         transport: str | None = None,
     ) -> None:
+        super().__init__()
         if workers is not None and workers < 1:
             raise BackendError("workers must be >= 1")
         if start_method is None:
@@ -275,6 +331,39 @@ class ProcessBackend(Backend):
         persistence tests assert these stay constant across sweeps."""
         pool = self._ensure_pool()
         return sorted(p.pid for p in pool._pool)  # noqa: SLF001 - test hook
+
+    def ensure_alive(self) -> None:
+        """Discard the pool if any worker has died (OOM-kill, crash);
+        the next map then starts a fresh one. The persistent-pool
+        promise is *warmth*, not immortality — a service leasing this
+        backend gets a working pool on every lease, and pays a restart
+        only after an actual death."""
+        with self._pool_lock:
+            if self._pool is None:
+                return
+            if all(p.is_alive() for p in self._pool._pool):  # noqa: SLF001
+                return
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def health(self) -> dict:
+        """Backend health plus pool state: whether the persistent pool
+        is started, how many of its workers are alive, and its start
+        method / transport configuration."""
+        info = super().health()
+        with self._pool_lock:
+            pool = self._pool
+            procs = list(pool._pool) if pool is not None else []  # noqa: SLF001
+        alive = sum(1 for p in procs if p.is_alive())
+        info.update(
+            started=pool is not None,
+            alive=pool is None or alive == len(procs),
+            workers_alive=alive,
+            start_method=self.start_method,
+            transport=self.transport,
+        )
+        return info
 
     # -- mapping -------------------------------------------------------------
 

@@ -187,6 +187,18 @@ class TableStore:
     def nbytes(self) -> int:
         return sum(seg.size for seg in self._segments.values())
 
+    def stats(self) -> dict:
+        """Point-in-time store state for health/status endpoints: the
+        solve service reports this per status request, and the shutdown
+        tests assert ``segments`` is 0 after close."""
+        return {
+            "store_id": self.store_id,
+            "segments": len(self._segments),
+            "nbytes": self.nbytes,
+            "epoch": self.epoch,
+            "closed": self._closed,
+        }
+
     # -- lifecycle ----------------------------------------------------------
 
     def close(self) -> None:

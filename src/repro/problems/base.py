@@ -118,6 +118,25 @@ class ParenthesizationProblem(abc.ABC):
             raise InvalidProblemError("init(i) must be non-negative and finite")
         self.validate_table(self.f_table())
 
+    # -- canonical identity --------------------------------------------------
+
+    def canonical_payload(self) -> tuple | None:
+        """Family-canonical byte encoding of this instance, or ``None``.
+
+        Two instances whose payloads compare equal define the same
+        recurrence — the same ``init`` vector and the same ``f`` table —
+        so a solve of one can answer for the other. The payload is a
+        flat tuple of strings and ``bytes`` (family tag first) that
+        :func:`repro.core.api.instance_key` folds into the instance
+        hash the service-layer result cache is keyed by.
+
+        ``None`` (the base default) means *uncacheable*: the instance
+        has no canonical encoding — e.g. it is defined by arbitrary
+        callables — and must never be served from a cache. Concrete
+        families override this with their defining arrays.
+        """
+        return None
+
     # -- conveniences -----------------------------------------------------------
 
     @property

@@ -67,6 +67,9 @@ class BottleneckChainProblem(ParenthesizationProblem):
         """The boundary-weight vector (read-only copy)."""
         return self._weights.copy()
 
+    def canonical_payload(self) -> tuple:
+        return ("bottleneck", self._weights.tobytes())
+
     def init_cost(self, i: int) -> float:
         if not (0 <= i < self.n):
             raise InvalidProblemError(f"init index {i} out of range [0, {self.n})")

@@ -102,5 +102,23 @@ class GenericProblem(ParenthesizationProblem):
             return F
         return super().f_table()
 
+    def canonical_payload(self) -> tuple | None:
+        # Only table-backed instances have a canonical encoding; hash
+        # the masked table (f_table forces invalid triples to +inf) so
+        # two instances that differ only in off-triangle junk coincide.
+        # Callable-defined instances stay uncacheable (base None).
+        # Memoised: the masked-copy + serialisation is O(n^3) and the
+        # instance is immutable, while instance_key runs per request on
+        # the service's submit path.
+        if self._f_dense is None:
+            return None
+        if not hasattr(self, "_payload"):
+            self._payload = (
+                "generic",
+                self.init_vector().tobytes(),
+                self.f_table().tobytes(),
+            )
+        return self._payload
+
     def describe(self) -> str:
         return f"GenericProblem(n={self.n}, name={self._name!r})"

@@ -51,6 +51,9 @@ class MatrixChainProblem(ParenthesizationProblem):
         """The dimension vector (read-only copy)."""
         return self._dims.copy()
 
+    def canonical_payload(self) -> tuple:
+        return ("chain", self._dims.tobytes())
+
     def init_cost(self, i: int) -> float:
         if not (0 <= i < self.n):
             raise InvalidProblemError(f"init index {i} out of range [0, {self.n})")

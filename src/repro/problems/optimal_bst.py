@@ -74,6 +74,9 @@ class OptimalBSTProblem(ParenthesizationProblem):
     def q(self) -> np.ndarray:
         return self._q.copy()
 
+    def canonical_payload(self) -> tuple:
+        return ("bst", self._p.tobytes(), self._q.tobytes())
+
     def subtree_weight(self, i: int, j: int) -> float:
         """Total weight w of keys ``i+1 .. j`` and gaps ``i .. j``
         (Knuth's w(i, j)); requires ``0 <= i <= j <= m``."""

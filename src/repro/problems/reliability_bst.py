@@ -89,6 +89,9 @@ class ReliabilityBSTProblem(ParenthesizationProblem):
     def leaf_reliability(self) -> np.ndarray:
         return self._q.copy()
 
+    def canonical_payload(self) -> tuple:
+        return ("reliability", self._r.tobytes(), self._q.tobytes())
+
     def init_cost(self, i: int) -> float:
         if not (0 <= i < self.n):
             raise InvalidProblemError(f"init index {i} out of range [0, {self.n})")

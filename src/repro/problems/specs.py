@@ -1,0 +1,115 @@
+"""JSONL problem specs: the wire format shared by ``repro batch``,
+``repro request`` and the solve service.
+
+A spec is one JSON object describing a problem instance plus optional
+per-item solve settings. Explicit data wins over random families:
+
+==================  =====================================================
+keys                instance
+==================  =====================================================
+``dims``            :class:`~repro.problems.MatrixChainProblem`
+``p`` / ``q``       :class:`~repro.problems.OptimalBSTProblem`
+``points``          :class:`~repro.problems.PolygonTriangulationProblem`
+                    (optional ``rule``)
+``weights``         :class:`~repro.problems.BottleneckChainProblem`
+``connectors`` /    :class:`~repro.problems.ReliabilityBSTProblem`
+``leaves``
+``family``          a random draw: ``family`` + ``n`` + ``seed``
+==================  =====================================================
+
+Optional per-item settings: ``method``, ``algebra``, ``max_n``, and
+``band`` (banded methods only). A spec with none of the instance keys
+is rejected — a typo'd key must not silently solve a random default
+instance.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["FAMILIES", "family_generators", "problem_from_spec", "batch_item_from_spec"]
+
+# Single source for the random-instance families: the CLI choices, the
+# service protocol and the generator dispatch all derive from this.
+_FAMILY_GENERATOR_NAMES = {
+    "chain": "random_matrix_chain",
+    "bst": "random_bst",
+    "polygon": "random_polygon",
+    "generic": "random_generic",
+    "bottleneck": "random_bottleneck_chain",
+    "reliability": "random_reliability_bst",
+}
+FAMILIES = tuple(_FAMILY_GENERATOR_NAMES)
+
+
+def family_generators() -> dict:
+    """Family-name -> random-instance generator (imported lazily; the
+    generators pull in the whole problem stack)."""
+    from repro.problems import generators
+
+    return {
+        family: getattr(generators, name)
+        for family, name in _FAMILY_GENERATOR_NAMES.items()
+    }
+
+
+def problem_from_spec(spec: dict):
+    """Build a problem instance from one JSONL spec (see module docstring)."""
+    from repro.problems import (
+        BottleneckChainProblem,
+        MatrixChainProblem,
+        OptimalBSTProblem,
+        PolygonTriangulationProblem,
+        ReliabilityBSTProblem,
+    )
+
+    if "dims" in spec:
+        return MatrixChainProblem([int(x) for x in spec["dims"]])
+    if "p" in spec or "q" in spec:
+        return OptimalBSTProblem(spec.get("p", []), spec.get("q", []))
+    if "points" in spec:
+        points = [tuple(float(c) for c in pt) for pt in spec["points"]]
+        return PolygonTriangulationProblem(points, rule=spec.get("rule", "perimeter"))
+    if "weights" in spec:
+        return BottleneckChainProblem([float(x) for x in spec["weights"]])
+    if "connectors" in spec or "leaves" in spec:
+        return ReliabilityBSTProblem(
+            [float(x) for x in spec.get("connectors", [])],
+            [float(x) for x in spec.get("leaves", [])],
+        )
+    if "family" in spec:
+        family = spec["family"]
+        if family not in FAMILIES:
+            raise ValueError(f"unknown family {family!r}; choose from {FAMILIES}")
+        make = family_generators()[family]
+        return make(int(spec.get("n", 12)), seed=int(spec.get("seed", 0)))
+    raise ValueError(
+        "spec must contain one of: dims, p/q, points, weights, "
+        f"connectors/leaves, or family (got keys {sorted(spec)})"
+    )
+
+
+def batch_item_from_spec(
+    spec: dict, *, default_method: str = "sequential"
+) -> tuple[Any, str, dict]:
+    """One ``(problem, method, solve_kwargs)`` batch element from a spec.
+
+    The method name is validated here (against
+    :data:`repro.core.api.METHODS`); the algebra name deliberately is
+    not — algebra resolution happens inside the solve worker, so a bad
+    name on one item is isolated exactly like any other per-item
+    failure.
+    """
+    from repro.core.api import METHODS
+
+    method = spec.get("method", default_method)
+    if method not in METHODS:
+        raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
+    kwargs: dict[str, Any] = {}
+    if "max_n" in spec:
+        kwargs["max_n"] = int(spec["max_n"])
+    if "band" in spec and method in ("huang-banded", "huang-compact"):
+        kwargs["band"] = int(spec["band"])
+    if "algebra" in spec:
+        kwargs["algebra"] = str(spec["algebra"])
+    return problem_from_spec(spec), method, kwargs

@@ -86,6 +86,11 @@ class PolygonTriangulationProblem(ParenthesizationProblem):
     def num_vertices(self) -> int:
         return self.n + 1
 
+    def canonical_payload(self) -> tuple:
+        # The rule fixes the vertex-array layout ((n+1, 2) coordinates
+        # vs (n+1,) weights), so tagging it keeps the encoding unambiguous.
+        return ("polygon", str(self._rule), self._vertices.tobytes())
+
     def triangle_weight(self, i: int, k: int, j: int) -> float:
         """Weight of triangle (v_i, v_k, v_j) under the configured rule."""
         v = self._vertices

@@ -1,0 +1,35 @@
+"""The solve service: a long-lived server over the batched solve layer.
+
+Everything below this package exists so that *no request pays cold-start
+costs twice*: a :class:`SolveService` owns a warm worker-pool backend
+and a shared table store, coalesces concurrent requests into
+:func:`repro.core.solve_many` batches under a deadline/size-bounded
+scheduler, and fronts the whole pipeline with an instance-hash result
+cache whose hit path never compiles a plan or touches a pool.
+
+Layers (each usable on its own):
+
+* :class:`ResultCache` — byte-bounded LRU keyed by
+  :func:`repro.core.api.instance_key`;
+* :class:`CoalescingScheduler` — asyncio request coalescing (duplicate
+  requests join the in-flight entry; distinct requests batch);
+* :class:`SolveService` — owns backend + store + cache + scheduler;
+* :func:`serve_unix` — the JSONL-over-unix-socket front end
+  (``repro serve``);
+* :class:`LocalClient` / :class:`ServiceClient` — in-process and
+  socket clients (``repro request``).
+"""
+
+from repro.service.cache import ResultCache
+from repro.service.client import LocalClient, ServiceClient
+from repro.service.scheduler import CoalescingScheduler
+from repro.service.server import SolveService, serve_unix
+
+__all__ = [
+    "ResultCache",
+    "CoalescingScheduler",
+    "SolveService",
+    "serve_unix",
+    "LocalClient",
+    "ServiceClient",
+]

@@ -1,0 +1,149 @@
+"""Instance-hash result cache: the service's fastest path.
+
+A :class:`ResultCache` maps :func:`repro.core.api.instance_key` digests
+to :class:`~repro.core.api.SolveResult`\\ s. Keys are canonical over
+*what* is being solved (problem bytes, method, algebra,
+result-determining kwargs) and blind to *how* (backend, workers,
+tiles), so one cached solve answers for every execution configuration —
+that is exactly the bitwise-identity guarantee the engine already
+provides, turned into cache currency.
+
+The cache is LRU and **byte-bounded**: entries are charged for their
+table bytes (``w`` dominates), and inserts evict from the cold end
+until the budget holds. Stored results are defensively rebound to
+private, read-only copies of their tables — a result computed in a
+shared-memory segment must not keep that segment pinned (or writable)
+from the cache — and every hit is handed back with a fresh writable
+copy, indistinguishable from a cold solve's table. (``tree`` and
+``trace`` are shared between hitters: they are built once and never
+mutated after a solve returns.)
+
+Thread-safe: the event-loop thread and worker threads may touch it
+concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import replace
+from typing import Optional
+
+import numpy as np
+
+from repro.core.api import SolveResult
+
+__all__ = ["ResultCache"]
+
+#: fixed per-entry charge on top of table bytes: key, dataclass, trace
+#: and tree skeletons — deliberately rough, it only has to keep the
+#: byte bound honest for small-n entries
+_ENTRY_OVERHEAD = 512
+
+
+class ResultCache:
+    """Byte-bounded LRU of solve results keyed by instance hash.
+
+    Parameters
+    ----------
+    max_bytes:
+        Total table-byte budget (default 128 MiB). An entry larger than
+        the whole budget is simply not stored.
+    max_entries:
+        Entry-count bound on top of the byte bound.
+
+    >>> from repro.core import solve
+    >>> from repro.core.api import instance_key
+    >>> from repro.problems import MatrixChainProblem
+    >>> cache = ResultCache(max_bytes=1 << 20)
+    >>> p = MatrixChainProblem([10, 20, 5, 30])
+    >>> r1 = solve(p, method="huang", cache=cache)   # cold: solves, fills
+    >>> r2 = solve(p, method="huang", cache=cache)   # hit: no solver runs
+    >>> r2.value == r1.value and cache.stats()["hits"] == 1
+    True
+    """
+
+    def __init__(self, max_bytes: int = 128 << 20, max_entries: int = 4096) -> None:
+        if max_bytes < 0 or max_entries < 1:
+            raise ValueError("max_bytes must be >= 0 and max_entries >= 1")
+        self.max_bytes = int(max_bytes)
+        self.max_entries = int(max_entries)
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, tuple[SolveResult, int]] = OrderedDict()
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # -- the cache protocol solve(cache=...) expects -------------------------
+
+    def get(self, key: str) -> Optional[SolveResult]:
+        """The cached result for ``key``, refreshed to most-recently
+        used — or ``None``. A hit is rebound to a fresh *writable* copy
+        of its table, so callers see exactly what a cold solve returns
+        (private, mutable) and one hitter can never corrupt another —
+        or the cache — through ``w``."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            stored = entry[0]
+        return replace(stored, w=stored.w.copy())
+
+    def put(self, key: str, result: SolveResult) -> None:
+        """Insert (or refresh) ``key``; evicts LRU entries until the
+        byte and entry budgets hold."""
+        w = np.array(result.w, copy=True)
+        w.setflags(write=False)
+        stored = replace(result, w=w)
+        nbytes = w.nbytes + _ENTRY_OVERHEAD
+        if nbytes > self.max_bytes:
+            return
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old[1]
+            self._entries[key] = (stored, nbytes)
+            self._bytes += nbytes
+            while self._entries and (
+                self._bytes > self.max_bytes or len(self._entries) > self.max_entries
+            ):
+                _, (_, dropped) = self._entries.popitem(last=False)
+                self._bytes -= dropped
+                self._evictions += 1
+
+    # -- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    @property
+    def nbytes(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def stats(self) -> dict:
+        """Hit/miss/eviction counters plus current occupancy — served
+        verbatim on the service's status endpoint."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "nbytes": self._bytes,
+                "max_bytes": self.max_bytes,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0

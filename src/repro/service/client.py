@@ -1,0 +1,186 @@
+"""Clients for the solve service.
+
+:class:`LocalClient` embeds a full :class:`~repro.service.server.SolveService`
+(event loop on a daemon thread) in the calling process — the zero-setup
+way to get warm pools, coalescing and the result cache from synchronous
+code, and what the E11 benchmark drives. :class:`ServiceClient` speaks
+the JSONL protocol to a ``repro serve`` unix socket from another
+process (what ``repro request`` uses).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+from typing import Any, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.problems.base import ParenthesizationProblem
+from repro.service.server import SolveService
+
+__all__ = ["LocalClient", "ServiceClient"]
+
+
+class LocalClient:
+    """An in-process solve service with a synchronous face.
+
+    Construction starts a private event loop on a daemon thread and a
+    :class:`~repro.service.server.SolveService` on it; every keyword is
+    forwarded to the service (``backend=``, ``workers=``,
+    ``batch_window=``, ``max_batch=``, ``cache_bytes=``, ...). Use as a
+    context manager — closing drains the scheduler, stops the pool and
+    unlinks every shared-memory segment.
+
+    ``solve()`` blocks for one result; ``solve_batch()`` submits a
+    whole sequence *concurrently*, which is what lets the scheduler
+    coalesce them into shared ``solve_many`` batches.
+    """
+
+    def __init__(self, **service_kwargs: Any) -> None:
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        self.service = SolveService(**service_kwargs)
+        self._closed = False
+
+    # -- submission ----------------------------------------------------------
+
+    def _coerce(self, request) -> tuple[ParenthesizationProblem, str, dict]:
+        """A request is a problem instance, a ``(problem, method)`` /
+        ``(problem, method, kwargs)`` tuple, or a JSONL-style spec dict."""
+        default = self.service.default_method
+        if isinstance(request, ParenthesizationProblem):
+            return request, default, {}
+        if isinstance(request, tuple):
+            problem = request[0]
+            method = request[1] if len(request) >= 2 and request[1] else default
+            kwargs = dict(request[2]) if len(request) == 3 else {}
+            return problem, method, kwargs
+        if isinstance(request, dict):
+            from repro.problems.specs import batch_item_from_spec
+
+            return batch_item_from_spec(request, default_method=default)
+        raise ReproError(f"cannot interpret request of type {type(request).__name__}")
+
+    def _submit(self, request) -> "asyncio.Future":
+        problem, method, kwargs = self._coerce(request)
+        return asyncio.run_coroutine_threadsafe(
+            self.service.submit(problem, method, kwargs), self._loop
+        )
+
+    def solve(self, request, *, with_source: bool = False):
+        """Solve one request; returns the :class:`SolveResult` (or
+        ``(result, source)`` with ``with_source=True``, where source is
+        ``"cache"``/``"coalesced"``/``"batch"``)."""
+        result, source = self._submit(request).result()
+        return (result, source) if with_source else result
+
+    def solve_batch(
+        self, requests: Sequence, *, with_source: bool = False
+    ) -> list:
+        """Submit every request before waiting on any — the concurrent
+        shape the coalescing scheduler batches. Results come back in
+        submission order; failures stay in place as exception objects."""
+        futures = [self._submit(r) for r in requests]
+        out = []
+        for fut in futures:
+            try:
+                result, source = fut.result()
+                out.append((result, source) if with_source else result)
+            except Exception as exc:  # noqa: BLE001 - mirror solve_many on_error
+                out.append(exc)
+        return out
+
+    def status(self) -> dict:
+        return self.service.status()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        asyncio.run_coroutine_threadsafe(self.service.aclose(), self._loop).result()
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join()
+        self._loop.close()
+
+    def __enter__(self) -> "LocalClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class ServiceClient:
+    """JSONL-over-unix-socket client for a running ``repro serve``.
+
+    One connection, synchronous. ``request()`` round-trips a single
+    spec; ``request_many()`` pipelines a whole list (the server
+    coalesces concurrent lines into shared batches) and reorders the
+    responses to match submission order by ``id``.
+    """
+
+    def __init__(self, socket_path: str, *, timeout: float = 120.0) -> None:
+        self.socket_path = socket_path
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        self._sock.connect(socket_path)
+        self._rfile = self._sock.makefile("r", encoding="utf-8")
+        self._next_id = 0
+
+    def _send(self, msg: dict) -> None:
+        self._sock.sendall((json.dumps(msg) + "\n").encode())
+
+    def _recv(self) -> dict:
+        line = self._rfile.readline()
+        if not line:
+            raise ReproError("service closed the connection")
+        return json.loads(line)
+
+    def request(self, spec: dict) -> dict:
+        """Round-trip one problem spec; returns the response record."""
+        return self.request_many([spec])[0]
+
+    def request_many(self, specs: Sequence[dict]) -> list[dict]:
+        """Pipeline a batch of specs; responses in submission order."""
+        ids = []
+        for spec in specs:
+            msg = dict(spec)
+            self._next_id += 1
+            msg["id"] = self._next_id
+            ids.append(self._next_id)
+            self._send(msg)
+        by_id: dict[Any, dict] = {}
+        for _ in specs:
+            record = self._recv()
+            by_id[record.get("id")] = record
+        return [by_id[i] for i in ids]
+
+    def status(self) -> dict:
+        self._send({"op": "status"})
+        record = self._recv()
+        if not record.get("ok"):
+            raise ReproError(f"status failed: {record.get('error')}")
+        return record["status"]
+
+    def shutdown(self) -> None:
+        """Ask the server to stop (it unlinks its socket on the way out)."""
+        self._send({"op": "shutdown"})
+        self._recv()
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

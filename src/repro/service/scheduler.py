@@ -1,0 +1,227 @@
+"""Deadline/size-bounded request coalescing over ``solve_many``.
+
+The scheduler turns a stream of independent solve requests into the
+shape the batched service layer is fastest at: one
+:func:`repro.core.solve_many` call per *batch*. Coalescing happens at
+two levels:
+
+* **Duplicate coalescing** — a request whose instance hash matches an
+  entry already waiting in the current batch does not add work; its
+  future joins the entry and all joiners share the one solve.
+* **Batch coalescing** — distinct requests accumulate until either the
+  batch window (the deadline: how long the *first* request in a batch
+  may wait before execution starts) expires or the batch reaches
+  ``max_batch`` entries, whichever comes first; the batch then executes
+  as a unit on the service's warm backend.
+
+The cache sits in front of both: a hit resolves at submit time without
+entering a batch at all. Batches execute one at a time (a later batch
+fills while the current one runs), so the warm backend and the shared
+table store are never used from two threads at once.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.core.api import SolveResult, instance_key
+from repro.errors import ReproError
+
+__all__ = ["CoalescingScheduler", "ServiceClosedError"]
+
+
+class ServiceClosedError(ReproError):
+    """Submit after close: the service is draining or gone."""
+
+
+@dataclass
+class _Entry:
+    """One unit of pending work and every future waiting on it."""
+
+    key: Optional[str]
+    problem: Any
+    method: str
+    kwargs: dict
+    futures: list = field(default_factory=list)
+
+
+class CoalescingScheduler:
+    """Coalesce concurrent solve requests into bounded batches.
+
+    Parameters
+    ----------
+    runner:
+        ``runner(items) -> list[SolveResult | Exception]`` for
+        ``items = [(problem, method, kwargs), ...]`` — the synchronous
+        batch executor (the service runs ``solve_many`` on its warm
+        backend here). Called from a worker thread, one batch at a time.
+    batch_window:
+        Seconds the first request of a batch may wait for company
+        before the batch executes (the deadline bound).
+    max_batch:
+        Entry bound — a full batch executes immediately.
+    cache:
+        Optional :class:`~repro.service.cache.ResultCache`; consulted
+        at submit, populated after each batch.
+    """
+
+    def __init__(
+        self,
+        runner: Callable[[list], list],
+        *,
+        batch_window: float = 0.005,
+        max_batch: int = 16,
+        cache=None,
+    ) -> None:
+        if batch_window < 0:
+            raise ValueError("batch_window must be >= 0")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self._runner = runner
+        self.batch_window = float(batch_window)
+        self.max_batch = int(max_batch)
+        self.cache = cache
+        self._pending: list[_Entry] = []
+        self._by_key: dict[str, _Entry] = {}
+        self._full = asyncio.Event()
+        self._run_lock = asyncio.Lock()
+        self._closed = False
+        self._flushers: set[asyncio.Task] = set()
+        # -- counters (served on the status endpoint) --
+        self._requests = 0
+        self._cache_hits = 0
+        self._coalesced = 0
+        self._batches = 0
+        self._batch_items = 0
+        self._largest_batch = 0
+
+    # -- submission ----------------------------------------------------------
+
+    async def submit(
+        self, problem, method: str, kwargs: dict | None = None
+    ) -> tuple[SolveResult, str]:
+        """Schedule one solve; returns ``(result, source)`` where
+        ``source`` is ``"cache"`` (hit, no work entered a batch),
+        ``"coalesced"`` (joined an already-pending identical request)
+        or ``"batch"`` (solved in the batch this request rode). Raises
+        whatever the solve raised."""
+        if self._closed:
+            raise ServiceClosedError("scheduler is closed")
+        kwargs = dict(kwargs or {})
+        self._requests += 1
+        key = instance_key(problem, method=method, **kwargs)
+        if self.cache is not None and key is not None:
+            hit = self.cache.get(key)
+            if hit is not None:
+                self._cache_hits += 1
+                return hit, "cache"
+
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        source = "batch"
+        entry = self._by_key.get(key) if key is not None else None
+        if entry is not None:
+            entry.futures.append(future)
+            self._coalesced += 1
+            source = "coalesced"
+        else:
+            entry = _Entry(key, problem, method, kwargs, [future])
+            self._pending.append(entry)
+            if key is not None:
+                self._by_key[key] = entry
+            if len(self._pending) == 1:
+                self._spawn_flusher()
+            if len(self._pending) >= self.max_batch:
+                self._full.set()
+        result = await future
+        return result, source
+
+    # -- the flush machinery -------------------------------------------------
+
+    def _spawn_flusher(self) -> None:
+        task = asyncio.get_running_loop().create_task(self._flush_when_due())
+        self._flushers.add(task)
+        task.add_done_callback(self._flushers.discard)
+
+    def _take_pending(self) -> list[_Entry]:
+        """Detach (at most) one batch; anything beyond ``max_batch``
+        stays pending with a fresh flusher, so the size bound is a hard
+        cap on batch size, not just a flush trigger."""
+        batch = self._pending[: self.max_batch]
+        self._pending = self._pending[self.max_batch :]
+        for entry in batch:
+            if entry.key is not None:
+                self._by_key.pop(entry.key, None)
+        self._full.clear()
+        if self._pending:
+            if len(self._pending) >= self.max_batch or self._closed:
+                self._full.set()
+            self._spawn_flusher()
+        return batch
+
+    async def _flush_when_due(self) -> None:
+        try:
+            await asyncio.wait_for(self._full.wait(), timeout=self.batch_window)
+        except asyncio.TimeoutError:
+            pass  # deadline reached with a partial batch — run it anyway
+        async with self._run_lock:
+            await self._run_batch(self._take_pending())
+
+    async def _run_batch(self, batch: list[_Entry]) -> None:
+        if not batch:
+            return
+        self._batches += 1
+        self._batch_items += len(batch)
+        self._largest_batch = max(self._largest_batch, len(batch))
+        items = [(e.problem, e.method, e.kwargs) for e in batch]
+        try:
+            results = await asyncio.to_thread(self._runner, items)
+            if len(results) != len(batch):  # pragma: no cover - runner bug
+                raise ReproError(
+                    f"runner returned {len(results)} results for {len(batch)} items"
+                )
+        except Exception as exc:  # noqa: BLE001 - fail every waiter, not the loop
+            results = [exc] * len(batch)
+        for entry, outcome in zip(batch, results):
+            if isinstance(outcome, Exception):
+                for fut in entry.futures:
+                    if not fut.done():
+                        fut.set_exception(outcome)
+            else:
+                if self.cache is not None and entry.key is not None:
+                    self.cache.put(entry.key, outcome)
+                for fut in entry.futures:
+                    if not fut.done():
+                        fut.set_result(outcome)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def close(self) -> None:
+        """Stop accepting work, run whatever is pending, then return."""
+        self._closed = True
+        while self._flushers:
+            # Release flushers still waiting out their window; oversize
+            # backlogs respawn flushers, hence the loop.
+            self._full.set()
+            try:
+                await asyncio.gather(*list(self._flushers), return_exceptions=True)
+            except RuntimeError:  # pragma: no cover - cross-loop close
+                # close() running on a different loop than the flushers
+                # (a synchronous owner after its loop died): the tasks
+                # can never complete, so don't wedge — the owner's
+                # finally still releases pools and segments.
+                break
+
+    def stats(self) -> dict:
+        mean = self._batch_items / self._batches if self._batches else 0.0
+        return {
+            "requests": self._requests,
+            "cache_hits": self._cache_hits,
+            "coalesced": self._coalesced,
+            "batches": self._batches,
+            "batch_items": self._batch_items,
+            "mean_batch": round(mean, 2),
+            "largest_batch": self._largest_batch,
+            "pending": len(self._pending),
+        }

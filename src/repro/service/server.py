@@ -1,0 +1,311 @@
+"""The solve server: warm pools + shared store behind a JSONL socket.
+
+:class:`SolveService` is the long-lived object the ``repro serve``
+subcommand (and the in-process :class:`~repro.service.client.LocalClient`)
+runs: it owns a worker-pool :class:`~repro.parallel.backends.Backend`
+(leased per batch, revived if workers die), a shared
+:class:`~repro.parallel.shm.TableStore` whose segments stay warm across
+single-request solves, a :class:`~repro.service.cache.ResultCache`, and
+the :class:`~repro.service.scheduler.CoalescingScheduler` that feeds
+:func:`repro.core.solve_many`.
+
+Wire protocol (``repro serve`` / ``repro request``): one JSON object
+per line. A request is either a problem spec (the exact ``repro
+batch`` format, see :mod:`repro.problems.specs`) with an optional
+``"id"``, or an op: ``{"op": "status"}``, ``{"op": "shutdown"}``.
+Responses echo the ``id`` and carry ``ok``, ``value``, ``iterations``,
+``method``, ``algebra``, ``source`` (``cache``/``coalesced``/``batch``)
+and ``elapsed_ms`` — or ``ok: false`` with ``error``. Requests on one
+connection may be pipelined; responses come back as they finish, so
+concurrent lines coalesce into shared batches.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+from typing import Optional
+
+from repro.core.api import ITERATIVE_METHODS, solve, solve_many
+from repro.parallel.backends import Backend, make_backend
+from repro.parallel.shm import TableStore
+from repro.problems.specs import batch_item_from_spec
+from repro.service.cache import ResultCache
+from repro.service.scheduler import CoalescingScheduler
+
+__all__ = ["SolveService", "serve_unix"]
+
+
+class SolveService:
+    """Everything a solve server owns, independent of any transport.
+
+    Parameters
+    ----------
+    method:
+        Default method for requests that do not name one.
+    backend, workers, start_method:
+        The warm pool every batch leases — a backend name (owned and
+        closed by the service) or a live
+        :class:`~repro.parallel.backends.Backend` instance (caller
+        keeps ownership).
+    batch_window, max_batch:
+        Scheduler bounds — see
+        :class:`~repro.service.scheduler.CoalescingScheduler`.
+    cache_bytes, cache_entries:
+        Result-cache budget; ``cache_bytes=0`` disables caching.
+    """
+
+    def __init__(
+        self,
+        *,
+        method: str = "sequential",
+        backend: Backend | str = "process",
+        workers: int | None = None,
+        start_method: str | None = None,
+        batch_window: float = 0.005,
+        max_batch: int = 16,
+        cache_bytes: int = 128 << 20,
+        cache_entries: int = 4096,
+    ) -> None:
+        self.default_method = method
+        self._owns_backend = isinstance(backend, str)
+        self.backend = (
+            make_backend(backend, workers, start_method=start_method)
+            if isinstance(backend, str)
+            else backend
+        )
+        self.store = TableStore()
+        self.cache = (
+            ResultCache(max_bytes=cache_bytes, max_entries=cache_entries)
+            if cache_bytes > 0
+            else None
+        )
+        self.scheduler = CoalescingScheduler(
+            self._execute_batch,
+            batch_window=batch_window,
+            max_batch=max_batch,
+            cache=self.cache,
+        )
+        self._started = time.monotonic()
+        self._requests = 0
+        self._closed = False
+
+    # -- batch execution (scheduler runner; worker thread) -------------------
+
+    def _execute_batch(self, items: list) -> list:
+        """Run one coalesced batch on the leased warm backend.
+
+        A singleton batch takes the warm-store fast path — ``solve``
+        with the service's backend *and* table store, so plan commit
+        buffers land in segments that persist across requests. Larger
+        batches fan out through ``solve_many`` (whole problems per
+        worker; per-item failures stay in place)."""
+        with self.backend.lease():
+            if len(items) == 1:
+                problem, method, kwargs = items[0]
+                run_kwargs = dict(kwargs)
+                if method in ITERATIVE_METHODS:
+                    run_kwargs.update(backend=self.backend, store=self.store)
+                try:
+                    return [solve(problem, method=method, **run_kwargs)]
+                except Exception as exc:  # noqa: BLE001 - isolate like solve_many
+                    return [exc]
+            return solve_many(items, backend=self.backend, on_error="return")
+
+    # -- request handling ----------------------------------------------------
+
+    async def submit(self, problem, method: str | None = None, kwargs: dict | None = None):
+        """The in-process front door (what :class:`LocalClient` calls):
+        counts the request and schedules it. Returns ``(result,
+        source)`` like the scheduler."""
+        self._requests += 1
+        return await self.scheduler.submit(
+            problem, method or self.default_method, kwargs
+        )
+
+    async def handle_spec(self, msg: dict) -> dict:
+        """One spec request -> one JSON-able response record."""
+        request_id = msg.get("id")
+        t0 = time.perf_counter()
+        try:
+            spec = {k: v for k, v in msg.items() if k != "id"}
+            problem, method, kwargs = batch_item_from_spec(
+                spec, default_method=self.default_method
+            )
+        except Exception as exc:  # noqa: BLE001 - protocol errors go on the wire
+            self._requests += 1  # counted even though it never schedules
+            return {
+                "id": request_id,
+                "ok": False,
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+        try:
+            result, source = await self.submit(problem, method, kwargs)
+        except Exception as exc:  # noqa: BLE001 - protocol errors go on the wire
+            return {
+                "id": request_id,
+                "ok": False,
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+        return {
+            "id": request_id,
+            "ok": True,
+            "method": result.method,
+            "algebra": result.algebra,
+            "value": result.value,
+            "iterations": result.iterations,
+            "source": source,
+            "elapsed_ms": round((time.perf_counter() - t0) * 1e3, 3),
+        }
+
+    def status(self) -> dict:
+        """Health + counters: backend pool state, store occupancy,
+        cache and scheduler statistics."""
+        return {
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "requests": self._requests,
+            "default_method": self.default_method,
+            "backend": self.backend.health(),
+            "store": self.store.stats(),
+            "cache": self.cache.stats() if self.cache is not None else None,
+            "scheduler": self.scheduler.stats(),
+        }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def aclose(self) -> None:
+        """Drain the scheduler, then release pools and unlink every
+        shared-memory segment — after this, no worker processes and no
+        ``/dev/shm`` residue remain. Pool and store cleanup run even if
+        the drain fails: hygiene is unconditional."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            await self.scheduler.close()
+        finally:
+            if self._owns_backend:
+                self.backend.close()
+            self.store.close()
+
+    def close(self) -> None:
+        """Synchronous :meth:`aclose` for non-async owners."""
+        if self._closed:
+            return
+        asyncio.run(self.aclose())
+
+
+async def serve_unix(
+    service: SolveService,
+    socket_path: str,
+    *,
+    max_requests: Optional[int] = None,
+    ready: Optional[asyncio.Event] = None,
+    quiet: bool = True,
+) -> int:
+    """Serve JSONL requests on a unix socket until shutdown.
+
+    Runs until a ``{"op": "shutdown"}`` request arrives or
+    ``max_requests`` spec requests have been answered (the smoke-test
+    and benchmark hook). Closes the service (pools stopped, segments
+    unlinked) and removes the socket file before returning the number
+    of spec requests served.
+    """
+    stop = asyncio.Event()
+    served = 0
+    conn_writers: set[asyncio.StreamWriter] = set()
+    conn_tasks: set[asyncio.Task] = set()
+
+    async def _respond(writer, lock: asyncio.Lock, record: dict) -> None:
+        async with lock:
+            writer.write((json.dumps(record) + "\n").encode())
+            await writer.drain()
+
+    async def _serve_one(msg: dict, writer, lock: asyncio.Lock) -> None:
+        nonlocal served
+        record = await service.handle_spec(msg)
+        served += 1
+        await _respond(writer, lock, record)
+        if max_requests is not None and served >= max_requests:
+            stop.set()
+
+    async def _handle_conn(reader, writer) -> None:
+        lock = asyncio.Lock()
+        tasks: list[asyncio.Task] = []
+        conn_writers.add(writer)
+        conn_tasks.add(asyncio.current_task())
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    msg = json.loads(line)
+                    if not isinstance(msg, dict):
+                        raise ValueError("request must be a JSON object")
+                except ValueError as exc:
+                    await _respond(
+                        writer, lock, {"ok": False, "error": f"bad request: {exc}"}
+                    )
+                    continue
+                op = msg.get("op")
+                if op == "status":
+                    await _respond(
+                        writer,
+                        lock,
+                        {"id": msg.get("id"), "ok": True, "status": service.status()},
+                    )
+                elif op == "shutdown":
+                    await _respond(writer, lock, {"id": msg.get("id"), "ok": True})
+                    stop.set()
+                    break
+                elif op is not None:
+                    await _respond(
+                        writer, lock, {"ok": False, "error": f"unknown op {op!r}"}
+                    )
+                else:
+                    # Spec requests run concurrently so pipelined lines
+                    # coalesce into shared batches.
+                    tasks.append(asyncio.ensure_future(_serve_one(msg, writer, lock)))
+        finally:
+            conn_writers.discard(writer)
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            # Deregister only after the pipelined spec tasks finished:
+            # the shutdown path awaits conn_tasks before closing the
+            # service, so requests accepted before shutdown still drain.
+            conn_tasks.discard(asyncio.current_task())
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    server = await asyncio.start_unix_server(_handle_conn, path=socket_path)
+    if not quiet:  # pragma: no cover - interactive serve only
+        print(f"repro serve: listening on {socket_path}")
+    if ready is not None:
+        ready.set()
+    try:
+        await stop.wait()
+    finally:
+        server.close()
+        await server.wait_closed()
+        # Connections still parked in readline() get an orderly EOF
+        # (closing the transport feeds it) instead of a loop-teardown
+        # cancellation traceback.
+        for writer in list(conn_writers):
+            writer.close()
+        if conn_tasks:
+            await asyncio.gather(*list(conn_tasks), return_exceptions=True)
+        await service.aclose()
+        try:
+            os.unlink(socket_path)
+        except OSError:
+            pass
+    return served

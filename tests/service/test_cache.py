@@ -1,0 +1,111 @@
+"""ResultCache: LRU + byte-bound semantics and the solve(cache=) hook."""
+
+import numpy as np
+
+from repro.core import solve
+from repro.core.api import SolveResult, instance_key
+from repro.problems import MatrixChainProblem
+from repro.service import ResultCache
+
+
+def _result(n: int, value: float = 1.0) -> SolveResult:
+    return SolveResult(method="sequential", value=value, w=np.zeros((n + 1, n + 1)))
+
+
+class TestLRU:
+    def test_get_put_roundtrip(self):
+        cache = ResultCache()
+        cache.put("k", _result(3, 7.0))
+        assert cache.get("k").value == 7.0
+        assert "k" in cache and len(cache) == 1
+
+    def test_miss_returns_none_and_counts(self):
+        cache = ResultCache()
+        assert cache.get("absent") is None
+        assert cache.stats()["misses"] == 1
+
+    def test_entry_bound_evicts_lru(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", _result(2))
+        cache.put("b", _result(2))
+        cache.get("a")  # refresh a: b is now coldest
+        cache.put("c", _result(2))
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.stats()["evictions"] == 1
+
+    def test_byte_bound_evicts(self):
+        one_entry = _result(8).w.nbytes + 600
+        cache = ResultCache(max_bytes=one_entry)
+        cache.put("a", _result(8))
+        cache.put("b", _result(8))
+        assert "b" in cache and "a" not in cache
+        assert cache.nbytes <= one_entry
+
+    def test_oversized_entry_not_stored(self):
+        cache = ResultCache(max_bytes=64)
+        cache.put("big", _result(16))
+        assert "big" not in cache and len(cache) == 0
+
+    def test_refresh_same_key_does_not_double_charge(self):
+        cache = ResultCache()
+        cache.put("k", _result(4))
+        before = cache.nbytes
+        cache.put("k", _result(4))
+        assert cache.nbytes == before and len(cache) == 1
+
+    def test_stored_result_is_defensively_copied_both_ways(self):
+        cache = ResultCache()
+        r = _result(3)
+        cache.put("k", r)
+        r.w[0, 0] = 99.0  # mutate the original after insert: no effect
+        hit = cache.get("k")
+        assert hit.w[0, 0] == 0.0
+        # A hit is writable (same contract as a cold solve) and private:
+        # scribbling on it must not leak into later hits.
+        hit.w[0, 0] = 7.0
+        assert cache.get("k").w[0, 0] == 0.0
+
+    def test_clear(self):
+        cache = ResultCache()
+        cache.put("k", _result(3))
+        cache.clear()
+        assert len(cache) == 0 and cache.nbytes == 0
+
+
+class TestSolveHook:
+    def test_hit_skips_solver_and_matches_bitwise(self):
+        cache = ResultCache()
+        p = MatrixChainProblem([30, 35, 15, 5, 10, 20, 25])
+        cold = solve(p, method="huang", cache=cache)
+        hit = solve(MatrixChainProblem([30, 35, 15, 5, 10, 20, 25]),
+                    method="huang", cache=cache)
+        assert hit.value == cold.value
+        assert np.array_equal(hit.w, cold.w)
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["entries"] == 1
+
+    def test_execution_knobs_share_one_entry(self):
+        cache = ResultCache()
+        p = MatrixChainProblem([10, 20, 5, 30])
+        a = solve(p, method="huang", cache=cache)
+        b = solve(p, method="huang", backend="thread", workers=2, cache=cache)
+        assert cache.stats()["hits"] == 1  # backend change did not re-solve
+        assert np.array_equal(a.w, b.w)
+
+    def test_method_and_algebra_partition_entries(self):
+        cache = ResultCache()
+        p = MatrixChainProblem([10, 20, 5, 30])
+        solve(p, method="huang", cache=cache)
+        solve(p, method="sequential", cache=cache)
+        solve(p, method="huang", algebra="max_plus", cache=cache)
+        assert cache.stats()["entries"] == 3 and cache.stats()["hits"] == 0
+
+    def test_uncacheable_problem_bypasses(self):
+        from repro.problems import GenericProblem
+
+        cache = ResultCache()
+        p = GenericProblem(3, lambda i: 0.0, lambda i, k, j: 1.0)
+        assert instance_key(p) is None
+        solve(p, cache=cache)
+        solve(p, cache=cache)
+        assert len(cache) == 0 and cache.stats()["hits"] == 0

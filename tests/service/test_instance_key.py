@@ -1,0 +1,96 @@
+"""instance_key: the canonical hash the result cache is keyed by."""
+
+import pytest
+
+from repro.core.api import instance_key
+from repro.core.termination import WStable
+from repro.problems import (
+    BottleneckChainProblem,
+    GenericProblem,
+    MatrixChainProblem,
+    OptimalBSTProblem,
+    PolygonTriangulationProblem,
+    ReliabilityBSTProblem,
+)
+
+
+def test_equal_instances_equal_keys():
+    a = instance_key(MatrixChainProblem([10, 20, 5, 30]), method="huang")
+    b = instance_key(MatrixChainProblem([10, 20, 5, 30]), method="huang")
+    assert a == b and len(a) == 32
+
+
+def test_data_method_algebra_all_partition():
+    p = MatrixChainProblem([10, 20, 5, 30])
+    base = instance_key(p, method="huang")
+    assert instance_key(MatrixChainProblem([10, 20, 5, 31]), method="huang") != base
+    assert instance_key(p, method="rytter") != base
+    assert instance_key(p, method="huang", algebra="max_plus") != base
+    assert instance_key(p, method="huang", reconstruct=True) != base
+
+
+def test_execution_knobs_do_not_partition():
+    p = MatrixChainProblem([10, 20, 5, 30])
+    base = instance_key(p, method="huang")
+    same = instance_key(
+        p, method="huang", backend="process", workers=8, tiles=4,
+        start_method="spawn",
+    )
+    assert same == base
+
+
+def test_max_n_partitions():
+    # max_n is a guard, not an execution knob: it can reject a request,
+    # so a guarded and an unguarded request must never share a key
+    # (coalescing one's rejection onto the other would be wrong).
+    p = MatrixChainProblem([10, 20, 5, 30])
+    assert instance_key(p, method="huang", max_n=2) != instance_key(p, method="huang")
+
+
+def test_preferred_algebra_is_resolved_into_the_key():
+    bottleneck = BottleneckChainProblem([3.0, 9.0, 2.0, 7.0])
+    # algebra=None resolves to the family's preferred algebra, so an
+    # explicit "minimax" names the same request.
+    assert instance_key(bottleneck) == instance_key(bottleneck, algebra="minimax")
+    assert instance_key(bottleneck) != instance_key(bottleneck, algebra="min_plus")
+
+
+@pytest.mark.parametrize(
+    "make",
+    [
+        lambda: MatrixChainProblem([10, 20, 5, 30]),
+        lambda: OptimalBSTProblem([0.15, 0.1], [0.05, 0.1, 0.05]),
+        lambda: PolygonTriangulationProblem([(0, 0), (1, 0), (1, 1), (0, 1)]),
+        lambda: BottleneckChainProblem([3.0, 9.0, 2.0]),
+        lambda: ReliabilityBSTProblem([0.9, 0.8], [0.99, 0.95, 0.97]),
+    ],
+    ids=["chain", "bst", "polygon", "bottleneck", "reliability"],
+)
+def test_every_family_is_cacheable_and_stable(make):
+    assert instance_key(make()) == instance_key(make())
+
+
+def test_families_with_identical_bytes_do_not_collide():
+    # Same defining vector, different family: the family tag partitions.
+    weights = [3.0, 9.0, 2.0, 7.0]
+    chain = MatrixChainProblem([int(x) for x in weights])
+    bottleneck = BottleneckChainProblem(weights)
+    assert instance_key(chain, algebra="min_plus") != instance_key(
+        bottleneck, algebra="min_plus"
+    )
+
+
+def test_callable_generic_uncacheable_but_dense_generic_cacheable():
+    assert instance_key(GenericProblem(3, lambda i: 0.0, lambda i, k, j: 1.0)) is None
+    import numpy as np
+
+    dense = np.ones((4, 4, 4))
+    a = GenericProblem(3, lambda i: 0.0, lambda i, k, j: 1.0, f_dense=dense)
+    b = GenericProblem(3, lambda i: 0.0, lambda i, k, j: 1.0, f_dense=dense.copy())
+    key = instance_key(a)
+    assert key is not None and key == instance_key(b)
+
+
+def test_policy_object_makes_request_uncacheable():
+    p = MatrixChainProblem([10, 20, 5, 30])
+    assert instance_key(p, method="huang", policy=WStable()) is None

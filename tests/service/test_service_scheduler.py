@@ -1,0 +1,183 @@
+"""CoalescingScheduler: dedup, batching, deadlines, error isolation."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.api import SolveResult
+from repro.problems import MatrixChainProblem
+from repro.service import CoalescingScheduler, ResultCache
+from repro.service.scheduler import ServiceClosedError
+
+
+class RecordingRunner:
+    """Runner double: records every batch, answers with stub results."""
+
+    def __init__(self, fail_on=None):
+        self.batches = []
+        self.fail_on = fail_on  # problem n values that should "fail"
+
+    def __call__(self, items):
+        self.batches.append(items)
+        out = []
+        for problem, method, kwargs in items:
+            if self.fail_on and problem.n in self.fail_on:
+                out.append(ValueError(f"boom n={problem.n}"))
+            else:
+                out.append(
+                    SolveResult(
+                        method=method,
+                        value=float(problem.n),
+                        w=np.zeros((problem.n + 1, problem.n + 1)),
+                    )
+                )
+        return out
+
+
+def chain(*dims):
+    return MatrixChainProblem(list(dims))
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestCoalescing:
+    def test_duplicates_share_one_solve(self):
+        runner = RecordingRunner()
+
+        async def main():
+            sched = CoalescingScheduler(runner, batch_window=0.05, max_batch=16)
+            p = chain(10, 20, 5, 30)
+            outcomes = await asyncio.gather(
+                *(sched.submit(p, "huang", {}) for _ in range(5))
+            )
+            await sched.close()
+            return outcomes
+
+        outcomes = run(main())
+        assert len(runner.batches) == 1 and len(runner.batches[0]) == 1
+        sources = sorted(source for _, source in outcomes)
+        assert sources == ["batch"] + ["coalesced"] * 4
+        assert {result.value for result, _ in outcomes} == {3.0}
+
+    def test_distinct_requests_batch_together(self):
+        runner = RecordingRunner()
+
+        async def main():
+            sched = CoalescingScheduler(runner, batch_window=0.05, max_batch=16)
+            problems = [chain(*(10 + i, 20, 5, 30)) for i in range(4)]
+            await asyncio.gather(*(sched.submit(p, "huang", {}) for p in problems))
+            await sched.close()
+
+        run(main())
+        assert len(runner.batches) == 1 and len(runner.batches[0]) == 4
+
+    def test_max_batch_flushes_early(self):
+        runner = RecordingRunner()
+
+        async def main():
+            # A window long enough that only the size bound can flush.
+            sched = CoalescingScheduler(runner, batch_window=5.0, max_batch=2)
+            problems = [chain(10 + i, 20, 5, 30) for i in range(4)]
+            await asyncio.gather(*(sched.submit(p, "huang", {}) for p in problems))
+            await sched.close()
+
+        run(main())
+        assert all(len(batch) <= 2 for batch in runner.batches)
+        assert sum(len(b) for b in runner.batches) == 4
+
+    def test_deadline_flushes_partial_batch(self):
+        runner = RecordingRunner()
+
+        async def main():
+            sched = CoalescingScheduler(runner, batch_window=0.01, max_batch=64)
+            result, source = await sched.submit(chain(10, 20, 5), "huang", {})
+            await sched.close()
+            return result, source
+
+        result, source = run(main())
+        assert source == "batch" and result.value == 2.0
+
+
+class TestCacheFront:
+    def test_second_wave_hits_cache(self):
+        runner = RecordingRunner()
+        cache = ResultCache()
+
+        async def main():
+            sched = CoalescingScheduler(
+                runner, batch_window=0.01, max_batch=8, cache=cache
+            )
+            p = chain(10, 20, 5, 30)
+            _, first = await sched.submit(p, "huang", {})
+            _, second = await sched.submit(p, "huang", {})
+            await sched.close()
+            return first, second
+
+        first, second = run(main())
+        assert (first, second) == ("batch", "cache")
+        assert len(runner.batches) == 1
+        assert cache.stats()["hits"] == 1 and cache.stats()["entries"] == 1
+
+
+class TestFailureAndLifecycle:
+    def test_per_item_errors_stay_isolated(self):
+        runner = RecordingRunner(fail_on={4})
+
+        async def main():
+            sched = CoalescingScheduler(runner, batch_window=0.05, max_batch=16)
+            good = sched.submit(chain(10, 20, 5, 30), "huang", {})       # n=3
+            bad = sched.submit(chain(10, 20, 5, 30, 7), "huang", {})     # n=4
+            results = await asyncio.gather(good, bad, return_exceptions=True)
+            await sched.close()
+            return results
+
+        ok, err = run(main())
+        assert ok[0].value == 3.0
+        assert isinstance(err, ValueError) and "boom" in str(err)
+
+    def test_runner_crash_fails_every_waiter(self):
+        def exploding(items):
+            raise RuntimeError("pool died")
+
+        async def main():
+            sched = CoalescingScheduler(exploding, batch_window=0.01, max_batch=8)
+            results = await asyncio.gather(
+                sched.submit(chain(10, 20, 5), "huang", {}),
+                sched.submit(chain(10, 20, 5, 30), "huang", {}),
+                return_exceptions=True,
+            )
+            await sched.close()
+            return results
+
+        results = run(main())
+        assert all(isinstance(r, RuntimeError) for r in results)
+
+    def test_submit_after_close_raises(self):
+        runner = RecordingRunner()
+
+        async def main():
+            sched = CoalescingScheduler(runner, batch_window=0.01)
+            await sched.close()
+            with pytest.raises(ServiceClosedError):
+                await sched.submit(chain(10, 20, 5), "huang", {})
+
+        run(main())
+
+    def test_stats_shape(self):
+        runner = RecordingRunner()
+
+        async def main():
+            sched = CoalescingScheduler(runner, batch_window=0.02, max_batch=8)
+            p = chain(10, 20, 5, 30)
+            await asyncio.gather(*(sched.submit(p, "huang", {}) for _ in range(3)))
+            await sched.close()
+            return sched.stats()
+
+        stats = run(main())
+        assert stats["requests"] == 3
+        assert stats["coalesced"] == 2
+        assert stats["batches"] == 1 and stats["batch_items"] == 1
+        assert stats["pending"] == 0

@@ -1,5 +1,8 @@
 """Unit tests for the command-line interface."""
 
+import os
+import time
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -419,3 +422,98 @@ class TestPlanCommand:
             ["batch", "--backend", "process", "--start-method", "fork"]
         )
         assert args.start_method == "fork"
+
+
+class TestServeRequestCommands:
+    def test_serve_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "--socket", "/tmp/x.sock", "--backend", "thread",
+                "--workers", "2", "--batch-window-ms", "2.5",
+                "--max-batch", "8", "--cache-mb", "16", "--max-requests", "4",
+            ]
+        )
+        assert args.socket == "/tmp/x.sock"
+        assert args.batch_window_ms == 2.5
+        assert args.max_batch == 8 and args.max_requests == 4
+
+    def test_request_flags_parse(self):
+        args = build_parser().parse_args(
+            ["request", "--socket", "s.sock", "--input", "in.jsonl", "--shutdown"]
+        )
+        assert args.shutdown and args.input == "in.jsonl"
+
+    def test_request_without_server_fails_cleanly(self, capsys, tmp_path):
+        rc = main(["request", "--socket", str(tmp_path / "absent.sock"), "--status"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "cannot connect" in err
+
+    def test_serve_then_request_roundtrip(self, tmp_path, capsys):
+        import json
+        import threading
+
+        socket_path = str(tmp_path / "cli.sock")
+        spec_file = tmp_path / "reqs.jsonl"
+        spec_file.write_text(
+            '{"dims": [10, 20, 5, 30], "method": "huang-banded"}\n'
+            '{"dims": [3, 7, 2]}\n'
+        )
+        server = threading.Thread(
+            target=main,
+            args=(
+                [
+                    "serve", "--socket", socket_path, "--backend", "serial",
+                    "--method", "sequential", "--batch-window-ms", "1",
+                    "--max-requests", "2",
+                ],
+            ),
+            daemon=True,
+        )
+        server.start()
+        deadline = time.monotonic() + 10.0
+        while not os.path.exists(socket_path):
+            assert time.monotonic() < deadline, "serve did not come up"
+            time.sleep(0.02)
+        rc = main(["request", "--socket", socket_path, "--input", str(spec_file)])
+        out = capsys.readouterr().out
+        server.join(timeout=10.0)
+        assert rc == 0 and not server.is_alive()
+        records = [json.loads(line) for line in out.splitlines() if line.startswith("{")]
+        assert [r["value"] for r in records] == [2500.0, 42.0]
+
+    def test_request_isolates_bad_input_lines(self, tmp_path, capsys):
+        import json
+        import threading
+
+        socket_path = str(tmp_path / "iso.sock")
+        spec_file = tmp_path / "mixed.jsonl"
+        spec_file.write_text(
+            "not json at all\n"
+            "[1, 2]\n"
+            '{"dims": [10, 20, 5, 30]}\n'
+        )
+        server = threading.Thread(
+            target=main,
+            args=(
+                [
+                    "serve", "--socket", socket_path, "--backend", "serial",
+                    "--batch-window-ms", "1", "--max-requests", "1",
+                ],
+            ),
+            daemon=True,
+        )
+        server.start()
+        deadline = time.monotonic() + 10.0
+        while not os.path.exists(socket_path):
+            assert time.monotonic() < deadline, "serve did not come up"
+            time.sleep(0.02)
+        rc = main(["request", "--socket", socket_path, "--input", str(spec_file)])
+        out = capsys.readouterr().out
+        server.join(timeout=10.0)
+        records = [json.loads(line) for line in out.splitlines() if line.startswith("{")]
+        assert rc == 1 and len(records) == 3
+        assert [r["ok"] for r in records] == [False, False, True]
+        assert "line 1" in records[0]["error"]
+        assert "JSON object" in records[1]["error"]
+        assert records[2]["value"] == 2500.0

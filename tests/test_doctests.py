@@ -1,0 +1,21 @@
+"""The public-API docstring examples are executable documentation;
+this keeps them true in the tier-1 lane (CI additionally runs
+``pytest --doctest-modules src/repro/core/api.py`` standalone)."""
+
+import doctest
+
+import pytest
+
+import repro.core.api
+import repro.service.cache
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro.core.api, repro.service.cache],
+    ids=lambda m: m.__name__,
+)
+def test_docstring_examples_run(module):
+    result = doctest.testmod(module)
+    assert result.attempted > 0, f"{module.__name__} lost its doctests"
+    assert result.failed == 0
