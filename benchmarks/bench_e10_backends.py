@@ -40,11 +40,22 @@ import time
 from repro.core import list_algebras, solve, solve_many
 from repro.parallel.backends import ProcessBackend
 from repro.problems.generators import random_matrix_chain
+from repro.util.bench import load_bars, record
 from repro.util.tables import format_table
 
 METHODS = ("huang", "huang-banded", "huang-compact")
 BACKENDS = ("serial", "thread", "process")
 ALGEBRAS = tuple(list_algebras())
+
+BENCH_NAME = "e10_backends"
+
+#: fallback gate thresholds; the authoritative copy lives in
+#: BENCH_e10_backends.json at the repo root (see repro.util.bench)
+DEFAULT_BARS = {
+    # compiled-plan per-sweep dispatch overhead as a fraction of the
+    # legacy fork-per-sweep transport's — must stay below this
+    "dispatch_ratio_max": 1.0,
+}
 
 
 def _time(fn, repeats: int = 3) -> float:
@@ -223,20 +234,51 @@ def dispatch_overhead_table(
     )
 
 
+def smoke_stats(n: int = 14, workers: int = 2) -> dict:
+    """The smoke measurement, JSON-ready (what the trajectory records)."""
+    s = _dispatch_overhead_stats(n=n, workers=workers, repeats=2)
+    s["dispatch_ratio"] = (
+        s["shm_per_sweep_ms"] / s["cow_per_sweep_ms"]
+        if s["cow_per_sweep_ms"] > 0
+        else 0.0
+    )
+    return s
+
+
+def smoke_failures(stats: dict, bars: dict) -> list[str]:
+    """Gate violations for one measurement against one bar set."""
+    failed = []
+    if stats["shm_per_sweep_ms"] >= stats["cow_per_sweep_ms"] * bars[
+        "dispatch_ratio_max"
+    ]:
+        failed.append(
+            "compiled-plan dispatch is not amortised below "
+            f"{bars['dispatch_ratio_max']:.2f}x the legacy path "
+            f"(measured {stats['dispatch_ratio']:.2f}x)"
+        )
+    return failed
+
+
 def smoke(n: int = 14, workers: int = 2) -> int:
     """CI guard: the persistent-pool + shared-memory path must amortise
     per-sweep dispatch below the legacy fork-per-sweep path. Returns a
     process exit code (non-zero = regression). The table and the gate
     are rendered from one measurement, so the printed numbers are the
-    gated numbers."""
-    s = _dispatch_overhead_stats(n=n, workers=workers, repeats=2)
+    gated numbers; bars come from BENCH_e10_backends.json and the
+    measurement is recorded back into it (the perf trajectory)."""
+    bars = load_bars(BENCH_NAME, DEFAULT_BARS)
+    s = smoke_stats(n=n, workers=workers)
     print(dispatch_overhead_table(stats=s))
     print(
         f"\nper-sweep dispatch: shm {s['shm_per_sweep_ms']:.2f} ms "
-        f"vs legacy {s['cow_per_sweep_ms']:.2f} ms"
+        f"vs legacy {s['cow_per_sweep_ms']:.2f} ms "
+        f"(bar {bars['dispatch_ratio_max']:.2f}x)"
     )
-    if s["shm_per_sweep_ms"] >= s["cow_per_sweep_ms"]:
-        print("FAIL: compiled-plan dispatch is not amortised below the legacy path")
+    record(BENCH_NAME, s, bars=bars)
+    failed = smoke_failures(s, bars)
+    for reason in failed:
+        print(f"FAIL: {reason}")
+    if failed:
         return 1
     print("OK: compiled-plan dispatch amortised below the legacy fork-per-sweep path")
     return 0

@@ -40,7 +40,17 @@ from repro.problems.generators import (
     random_matrix_chain,
 )
 from repro.service import LocalClient
+from repro.util.bench import load_bars, record
 from repro.util.tables import format_table
+
+BENCH_NAME = "e11_service"
+
+#: fallback gate thresholds; the authoritative copy lives in
+#: BENCH_e11_service.json at the repo root (see repro.util.bench)
+DEFAULT_BARS = {
+    "throughput_x": 2.0,  # coalesced service vs sequential cold solves
+    "cache_latency_x": 10.0,  # cold solve vs cache-hit latency
+}
 
 
 def _mixed_workload(count: int = 32) -> list[tuple]:
@@ -221,36 +231,62 @@ def latency_table(hits: int = 50, stats: dict | None = None):
     )
 
 
-def smoke(count: int = 32, workers: int = 4) -> int:
-    """CI guard for the ISSUE 4 acceptance bars: coalesced throughput
-    ≥ 2x sequential cold solves, cache-hit latency ≥ 10x below a cold
-    solve, and a hygienic shutdown (no orphan workers, no /dev/shm
-    residue). Table and gate render from one measurement."""
+def smoke_stats(count: int = 32, workers: int = 4) -> dict:
+    """The smoke measurement, JSON-ready (what the trajectory records)."""
     t = throughput_stats(count, workers)
-    print(throughput_table(stats=t))
     lat = latency_stats()
-    print()
-    print(latency_table(stats=lat))
+    return {"throughput": t, "latency": lat}
+
+
+def smoke_failures(stats: dict, bars: dict) -> list[str]:
+    """Gate violations for one measurement against one bar set."""
+    t, lat = stats["throughput"], stats["latency"]
     svc = t["service"]
-    print(
-        f"\nthroughput {t['speedup']:.1f}x (bar 2x) | cache hit "
-        f"{lat['ratio']:.0f}x faster (bar 10x) | failures {svc['failures']} | "
-        f"orphans {svc['orphan_workers']} | shm residue {svc['shm_residue']}"
-    )
     failed = []
-    if t["speedup"] < 2.0:
-        failed.append("coalesced throughput below 2x sequential cold solves")
-    if lat["ratio"] < 10.0:
-        failed.append("cache-hit latency not 10x below a cold solve")
+    if t["speedup"] < bars["throughput_x"]:
+        failed.append(
+            f"coalesced throughput below {bars['throughput_x']:.1f}x "
+            f"sequential cold solves (measured {t['speedup']:.1f}x)"
+        )
+    if lat["ratio"] < bars["cache_latency_x"]:
+        failed.append(
+            f"cache-hit latency not {bars['cache_latency_x']:.0f}x below "
+            f"a cold solve (measured {lat['ratio']:.0f}x)"
+        )
     if svc["failures"]:
         failed.append(f"{svc['failures']} requests failed")
     if svc["orphan_workers"]:
         failed.append(f"orphan workers: {svc['orphan_workers']}")
     if svc["shm_residue"]:
         failed.append(f"/dev/shm residue: {svc['shm_residue']}")
+    return failed
+
+
+def smoke(count: int = 32, workers: int = 4) -> int:
+    """CI guard for the ISSUE 4 acceptance bars: coalesced throughput
+    over sequential cold solves, cache-hit latency far below a cold
+    solve, and a hygienic shutdown (no orphan workers, no /dev/shm
+    residue). Table and gate render from one measurement; bars come
+    from BENCH_e11_service.json and the measurement is recorded back
+    into it (the perf trajectory)."""
+    bars = load_bars(BENCH_NAME, DEFAULT_BARS)
+    stats = smoke_stats(count, workers)
+    t, lat = stats["throughput"], stats["latency"]
+    print(throughput_table(stats=t))
+    print()
+    print(latency_table(stats=lat))
+    svc = t["service"]
+    print(
+        f"\nthroughput {t['speedup']:.1f}x (bar {bars['throughput_x']:.1f}x) | "
+        f"cache hit {lat['ratio']:.0f}x faster (bar "
+        f"{bars['cache_latency_x']:.0f}x) | failures {svc['failures']} | "
+        f"orphans {svc['orphan_workers']} | shm residue {svc['shm_residue']}"
+    )
+    record(BENCH_NAME, stats, bars=bars)
+    failed = smoke_failures(stats, bars)
+    for reason in failed:
+        print(f"FAIL: {reason}")
     if failed:
-        for reason in failed:
-            print(f"FAIL: {reason}")
         return 1
     print("OK: service acceptance bars met")
     return 0

@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import math
 
-from repro.core.banded import BandedSolver
 from repro.core.sequential import solve_sequential
 from repro.core.termination import UntilValue
 from repro.pebbling import GameTree, PebbleGame

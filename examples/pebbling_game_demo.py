@@ -31,7 +31,7 @@ print(f"Lemma 3.3 bound: 2*ceil(sqrt({n})) = {moves_upper_bound(n)} moves\n")
 big = zigzag_tree(30)
 chain = chain_decomposition(big)
 i_class = math.isqrt(30 - 1)  # size class of the root
-print(f"Fig. 1 chain from the root of a 30-leaf zigzag "
+print("Fig. 1 chain from the root of a 30-leaf zigzag "
       f"(class i={i_class}, bound 2i+1={2 * i_class + 1} nodes):")
 print("  " + " -> ".join(str(node.interval) for node in chain))
 

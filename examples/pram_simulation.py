@@ -57,5 +57,5 @@ sched = BrentScheduler(p).schedule(led.step_sizes)
 print(
     f"\nBrent re-schedule of a-square onto p = peak/log2(n) = {p} processors: "
     f"time {led.time} -> {sched.time} steps "
-    f"(the paper's O(n^5/log n)-processor charge in action)"
+    "(the paper's O(n^5/log n)-processor charge in action)"
 )

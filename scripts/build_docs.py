@@ -147,7 +147,9 @@ def _render_markdown(text: str) -> str:
         elif line.startswith("    ") and line.strip():
             close_list()
             block = []
-            while i < len(lines) and (lines[i].startswith("    ") or not lines[i].strip()):
+            while i < len(lines) and (
+                lines[i].startswith("    ") or not lines[i].strip()
+            ):
                 if not lines[i].strip() and not (
                     i + 1 < len(lines) and lines[i + 1].startswith("    ")
                 ):
@@ -202,7 +204,9 @@ def main() -> int:
         if proc.returncode != 0:
             return proc.returncode
     pages = sorted(p.name for p in SITE_DIR.glob("*.html"))
-    missing = [f"{name[:-3]}.html" for name, _ in NAV if f"{name[:-3]}.html" not in pages]
+    missing = [
+        f"{name[:-3]}.html" for name, _ in NAV if f"{name[:-3]}.html" not in pages
+    ]
     if missing:
         print(f"build_docs: FAIL — site is missing pages: {missing}")
         return 1

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Run the smoke benchmarks and record the BENCH_* trajectory files.
+
+Each smoke benchmark (E10 backends, E11 service, E12 fleet) measures,
+gates itself against the bars stored in its ``BENCH_<name>.json`` at
+the repository root, and records the measurement back into that file's
+bounded history (see :mod:`repro.util.bench` for the schema). This
+script just drives all three in sequence — it is what the CI
+``bench-trajectory`` job runs before uploading the JSONs as artifacts,
+and what a developer runs locally to refresh the trajectory::
+
+    PYTHONPATH=src python scripts/record_bench.py            # all three
+    PYTHONPATH=src python scripts/record_bench.py --only e12_fleet
+
+Exit code is non-zero if any benchmark misses its bars (the gate and
+the recording both still run for the remaining benchmarks, so one
+regression doesn't hide another).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import sys
+from pathlib import Path
+
+BENCHMARKS_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+
+#: benchmark name -> module file (order is cheapest-first so a quick
+#: regression surfaces before the long fleet run)
+BENCHMARKS = {
+    "e10_backends": "bench_e10_backends.py",
+    "e11_service": "bench_e11_service.py",
+    "e12_fleet": "bench_e12_fleet.py",
+}
+
+
+def _load(name: str):
+    path = BENCHMARKS_DIR / BENCHMARKS[name]
+    spec = importlib.util.spec_from_file_location(f"bench_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--only",
+        choices=sorted(BENCHMARKS),
+        action="append",
+        help="run a subset (repeatable); default: all three",
+    )
+    args = parser.parse_args(argv)
+    names = args.only or list(BENCHMARKS)
+
+    worst = 0
+    for name in names:
+        print(f"=== {name} ===", flush=True)
+        module = _load(name)
+        rc = module.smoke()
+        from repro.util.bench import bench_path
+
+        print(f"--- recorded {bench_path(name)} (exit {rc})\n", flush=True)
+        worst = max(worst, rc)
+    return worst
+
+
+if __name__ == "__main__":
+    sys.exit(main())

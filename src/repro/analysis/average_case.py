@@ -23,7 +23,6 @@ measures the real quantities next to it.
 
 from __future__ import annotations
 
-import math
 
 import numpy as np
 

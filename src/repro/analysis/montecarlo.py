@@ -63,7 +63,15 @@ class MoveStatistics:
         )
 
     def row(self) -> tuple[int, int, float, float, int, int, float]:
-        return (self.n, self.samples, self.mean, self.std, self.minimum, self.maximum, self.p90)
+        return (
+            self.n,
+            self.samples,
+            self.mean,
+            self.std,
+            self.minimum,
+            self.maximum,
+            self.p90,
+        )
 
 
 def game_move_statistics(

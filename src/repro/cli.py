@@ -4,8 +4,10 @@ Commands
 --------
 ``solve``     solve a random or user-specified instance with any method;
 ``batch``     solve a JSONL stream of problem specs on a worker pool;
-``serve``     run the long-lived solve service on a unix socket;
-``request``   send JSONL specs to a running server (or status/shutdown);
+``serve``     run the long-lived solve service (unix socket or ``--tcp``);
+``fleet``     run a sharded solve fleet behind one routing front end;
+``request``   send JSONL specs to a running server (or status/shutdown),
+              or through an ephemeral fleet with ``--fleet N``;
 ``plan``      print the compiled sweep plan a solve would execute;
 ``algebras``  list the registered selection-semiring algebras;
 ``pebble``    play the pebbling game on a named tree shape;
@@ -20,7 +22,11 @@ Examples::
     python -m repro solve --family bottleneck --n 14 --algebra minimax
     python -m repro batch --input problems.jsonl --backend process --max-workers 4
     python -m repro serve --socket /tmp/repro.sock --backend process --workers 4
+    python -m repro serve --tcp 0.0.0.0:7466
+    python -m repro fleet --shards 4 --socket /tmp/fleet.sock
     python -m repro request --socket /tmp/repro.sock --input problems.jsonl
+    python -m repro request --tcp 127.0.0.1:7466 --input problems.jsonl
+    python -m repro request --fleet 4 --input problems.jsonl
     python -m repro request --socket /tmp/repro.sock --status
     python -m repro plan --family chain --n 24 --method huang-banded --backend process
     python -m repro algebras
@@ -152,7 +158,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_execution_args(p_solve)
     p_solve.add_argument("--tree", action="store_true", help="print the optimal tree")
-    p_solve.add_argument("--trace", action="store_true", help="print the iteration trace")
+    p_solve.add_argument(
+        "--trace", action="store_true", help="print the iteration trace"
+    )
 
     p_batch = sub.add_parser(
         "batch", help="solve a JSONL stream of problem specs on a worker pool"
@@ -228,7 +236,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_serve = sub.add_parser(
         "serve",
-        help="run the solve service on a unix socket",
+        help="run the solve service on a unix socket or TCP endpoint",
         description=(
             "Long-lived solve server: owns a warm worker pool and a shared "
             "table store, coalesces concurrent JSONL requests into batches, "
@@ -240,6 +248,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--socket",
         default="repro.sock",
         help="unix socket path to listen on (default: ./repro.sock)",
+    )
+    p_serve.add_argument(
+        "--tcp",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "listen on TCP instead of the unix socket (same JSONL protocol; "
+            "port 0 picks an ephemeral port and prints it)"
+        ),
     )
     p_serve.add_argument(
         "--method",
@@ -290,19 +307,123 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit after serving this many requests (smoke tests/benchmarks)",
     )
 
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="run a sharded solve fleet behind one routing front end",
+        description=(
+            "Spawns N shard processes (each a full solve service with its "
+            "own warm pool, table store and result cache), routes every "
+            "request to a shard by consistent hash of its instance key, "
+            "respawns shards that die, and serves the whole fleet behind "
+            "one unix-socket or TCP endpoint speaking the 'repro serve' "
+            "protocol — 'repro request' works against it unchanged."
+        ),
+    )
+    p_fleet.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=2,
+        help="shard processes to run (default: 2)",
+    )
+    p_fleet.add_argument(
+        "--socket",
+        default="fleet.sock",
+        help="front-end unix socket path (default: ./fleet.sock)",
+    )
+    p_fleet.add_argument(
+        "--tcp",
+        default=None,
+        metavar="HOST:PORT",
+        help="front-end TCP endpoint instead of the unix socket",
+    )
+    p_fleet.add_argument(
+        "--method",
+        choices=list(METHODS),
+        default="sequential",
+        help="default method for requests that do not name one",
+    )
+    p_fleet.add_argument(
+        "--backend",
+        choices=list(BACKEND_NAMES),
+        default="process",
+        help="each shard's warm-pool backend (default: process)",
+    )
+    p_fleet.add_argument(
+        "--start-method",
+        choices=list(START_METHODS),
+        default=None,
+        help="process start method for --backend process",
+    )
+    p_fleet.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="pool size per shard (default: min(8, cpu count))",
+    )
+    p_fleet.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=5.0,
+        help="per-shard coalescing window (default: 5)",
+    )
+    p_fleet.add_argument(
+        "--max-batch",
+        type=_positive_int,
+        default=16,
+        help="per-shard requests per coalesced batch (default: 16)",
+    )
+    p_fleet.add_argument(
+        "--cache-mb",
+        type=float,
+        default=128.0,
+        help="per-shard result-cache budget in MiB; 0 disables (default: 128)",
+    )
+    p_fleet.add_argument(
+        "--state-dir",
+        default=None,
+        help=(
+            "directory for shard sockets and logs (default: a private "
+            "temporary directory, removed on shutdown)"
+        ),
+    )
+    p_fleet.add_argument(
+        "--max-requests",
+        type=_positive_int,
+        default=None,
+        help="exit after serving this many requests (smoke tests/benchmarks)",
+    )
+
     p_request = sub.add_parser(
         "request",
         help="send JSONL problem specs to a running 'repro serve'",
         description=(
             "Pipelines every spec line over one connection (the server "
             "coalesces them into shared batches) and prints one JSON "
-            "response per line, in input order."
+            "response per line, in input order. With --fleet N the specs "
+            "run through an ephemeral in-process fleet of N shard "
+            "processes instead of a running server."
         ),
     )
     p_request.add_argument(
         "--socket",
         default="repro.sock",
         help="unix socket path of the server (default: ./repro.sock)",
+    )
+    p_request.add_argument(
+        "--tcp",
+        default=None,
+        metavar="HOST:PORT",
+        help="connect to a TCP server instead of the unix socket",
+    )
+    p_request.add_argument(
+        "--fleet",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help=(
+            "spin up an ephemeral fleet of N shards, route the input specs "
+            "through it, and tear it down (no running server needed)"
+        ),
     )
     p_request.add_argument(
         "--input",
@@ -475,11 +596,27 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _service_address(args: argparse.Namespace):
+    """The endpoint a serve/fleet/request command talks on: ``--tcp``
+    wins over the (defaulted) unix ``--socket`` path."""
+    from repro.service.transport import Address, parse_address
+
+    if getattr(args, "tcp", None):
+        return parse_address(args.tcp, tcp=True)
+    return Address.unix(args.socket)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
-    from repro.service import SolveService, serve_unix
+    from repro.errors import ReproError
+    from repro.service import SolveService, serve
 
+    try:
+        address = _service_address(args)
+    except ReproError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
     service = SolveService(
         method=args.method,
         backend=args.backend,
@@ -491,9 +628,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     try:
         served = asyncio.run(
-            serve_unix(
+            serve(
                 service,
-                args.socket,
+                address,
                 max_requests=args.max_requests,
                 quiet=False,
             )
@@ -501,8 +638,133 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:  # pragma: no cover - interactive stop
         service.close()
         return 130
+    except (ReproError, OSError) as exc:
+        # Bind failures (live server on the socket, port in use, ...) —
+        # serve() already released the service on its way out.
+        service.close()
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
     print(f"repro serve: stopped after {served} requests")
     return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.errors import ReproError
+    from repro.service.fleet import FleetRouter, serve_fleet
+
+    try:
+        address = _service_address(args)
+    except ReproError as exc:
+        print(f"fleet: {exc}", file=sys.stderr)
+        return 2
+    router = FleetRouter(
+        args.shards,
+        method=args.method,
+        backend=args.backend,
+        workers=args.workers,
+        start_method=args.start_method,
+        batch_window=args.batch_window_ms / 1e3,
+        max_batch=args.max_batch,
+        cache_bytes=int(args.cache_mb * (1 << 20)),
+        state_dir=args.state_dir,
+    )
+    try:
+        router.start()
+        served = asyncio.run(
+            serve_fleet(
+                router,
+                address,
+                max_requests=args.max_requests,
+                quiet=False,
+            )
+        )
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        return 130
+    except (ReproError, OSError) as exc:
+        print(f"fleet: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        router.close()
+    print(f"repro fleet: stopped after {served} requests")
+    return 0
+
+
+def _read_spec_lines(args: argparse.Namespace) -> "list | int":
+    """The request commands' shared input parsing: JSONL lines from
+    ``--input`` (or stdin) as ``(lineno, spec dict | parse error)``
+    pairs — or an exit code when the input cannot be read at all."""
+    import json
+
+    if args.input == "-":
+        # A bare --shutdown should not block waiting on a terminal.
+        if getattr(args, "shutdown", False) and sys.stdin.isatty():
+            lines = []
+        else:
+            lines = sys.stdin.read().splitlines()
+    else:
+        try:
+            with open(args.input, "r", encoding="utf-8") as fh:
+                lines = fh.read().splitlines()
+        except OSError as exc:
+            print(f"request: cannot read {args.input}: {exc}", file=sys.stderr)
+            return 2
+    items = []  # (lineno, spec dict) or (lineno, parse error)
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            spec = json.loads(line)
+            if not isinstance(spec, dict):
+                raise ValueError("spec must be a JSON object")
+        except ValueError as exc:  # bad lines report, don't crash the rest
+            items.append((lineno, exc))
+        else:
+            items.append((lineno, spec))
+    return items
+
+
+def _print_records(items: list, records: list) -> int:
+    """Interleave server responses with client-side parse errors, one
+    JSON line each, in input order; returns the failure count."""
+    import json
+
+    responses = iter(records)
+    failures = 0
+    for lineno, item in items:
+        if isinstance(item, dict):
+            record = next(responses)
+        else:
+            record = {
+                "ok": False,
+                "error": f"line {lineno}: {type(item).__name__}: {item}",
+            }
+        if not record.get("ok"):
+            failures += 1
+        print(json.dumps(record))
+    return failures
+
+
+def _cmd_request_fleet(args: argparse.Namespace) -> int:
+    """``repro request --fleet N``: an ephemeral fleet for one batch."""
+    import json
+
+    from repro.service.fleet import FleetRouter
+
+    with FleetRouter(args.fleet) as router:
+        if args.status:
+            print(json.dumps(router.status(), indent=2))
+            return 0
+        items = _read_spec_lines(args)
+        if isinstance(items, int):
+            return items
+        records = router.request_many(
+            [s for _, s in items if isinstance(s, dict)]
+        )
+        failures = _print_records(items, records)
+    return 1 if failures else 0
 
 
 def _cmd_request(args: argparse.Namespace) -> int:
@@ -510,10 +772,30 @@ def _cmd_request(args: argparse.Namespace) -> int:
 
     from repro.service import ServiceClient
 
+    from repro.errors import ReproError
+
+    if args.fleet is not None:
+        # An ephemeral fleet ignores any server address; refuse the
+        # combination rather than silently solving in the wrong place.
+        if args.tcp or args.socket != "repro.sock":
+            print(
+                "request: --fleet runs an ephemeral local fleet and cannot "
+                "be combined with --socket/--tcp (drop one)",
+                file=sys.stderr,
+            )
+            return 2
+        return _cmd_request_fleet(args)
     try:
-        client = ServiceClient(args.socket)
+        if args.tcp:
+            client = ServiceClient(tcp=args.tcp)
+        else:
+            client = ServiceClient(args.socket)
+    except ReproError as exc:  # malformed --tcp address
+        print(f"request: {exc}", file=sys.stderr)
+        return 2
     except OSError as exc:
-        print(f"request: cannot connect to {args.socket}: {exc}", file=sys.stderr)
+        target = args.tcp or args.socket
+        print(f"request: cannot connect to {target}: {exc}", file=sys.stderr)
         return 2
     with client:
         if args.status:
@@ -521,44 +803,13 @@ def _cmd_request(args: argparse.Namespace) -> int:
             if args.shutdown:
                 client.shutdown()
             return 0
-        if args.input == "-":
-            # A bare --shutdown should not block waiting on a terminal.
-            lines = [] if args.shutdown and sys.stdin.isatty() else sys.stdin.read().splitlines()
-        else:
-            try:
-                with open(args.input, "r", encoding="utf-8") as fh:
-                    lines = fh.read().splitlines()
-            except OSError as exc:
-                print(f"request: cannot read {args.input}: {exc}", file=sys.stderr)
-                return 2
-        items = []  # (lineno, spec dict) or (lineno, parse error)
-        for lineno, raw in enumerate(lines, start=1):
-            line = raw.strip()
-            if not line or line.startswith("#"):
-                continue
-            try:
-                spec = json.loads(line)
-                if not isinstance(spec, dict):
-                    raise ValueError("spec must be a JSON object")
-            except ValueError as exc:  # bad lines report, don't crash the rest
-                items.append((lineno, exc))
-            else:
-                items.append((lineno, spec))
-        responses = iter(
-            client.request_many([s for _, s in items if isinstance(s, dict)])
+        items = _read_spec_lines(args)
+        if isinstance(items, int):
+            return items
+        responses = client.request_many(
+            [s for _, s in items if isinstance(s, dict)]
         )
-        failures = 0
-        for lineno, item in items:
-            if isinstance(item, dict):
-                record = next(responses)
-            else:
-                record = {
-                    "ok": False,
-                    "error": f"line {lineno}: {type(item).__name__}: {item}",
-                }
-            if not record.get("ok"):
-                failures += 1
-            print(json.dumps(record))
+        failures = _print_records(items, responses)
         if args.shutdown:
             client.shutdown()
     return 1 if failures else 0
@@ -675,6 +926,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "solve": _cmd_solve,
         "batch": _cmd_batch,
         "serve": _cmd_serve,
+        "fleet": _cmd_fleet,
         "request": _cmd_request,
         "plan": _cmd_plan,
         "algebras": _cmd_algebras,

@@ -225,7 +225,9 @@ class SelectionSemiring:
         """Elementwise: would committing ``candidate`` change the cell?"""
         return self.improves_ufunc(candidate, incumbent)
 
-    def merge_inplace(self, view: np.ndarray, candidates, *, check: bool = True) -> bool:
+    def merge_inplace(
+        self, view: np.ndarray, candidates, *, check: bool = True
+    ) -> bool:
         """Commit ``candidates`` into ``view`` (the monotone idempotent
         merge of the DESIGN.md contract); returns whether anything
         improved. Pass ``check=False`` once a caller already knows the
@@ -293,7 +295,9 @@ class SelectionSemiring:
 _REGISTRY: dict[str, SelectionSemiring] = {}
 
 
-def register_algebra(algebra: SelectionSemiring, *, overwrite: bool = False) -> SelectionSemiring:
+def register_algebra(
+    algebra: SelectionSemiring, *, overwrite: bool = False
+) -> SelectionSemiring:
     """Add an algebra to the registry (CLI listing, name lookup,
     pickling). Re-registering an existing name requires ``overwrite``."""
     if not overwrite and algebra.name in _REGISTRY:

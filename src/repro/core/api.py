@@ -59,6 +59,7 @@ __all__ = [
     "solve_many",
     "plan_for",
     "instance_key",
+    "instance_key_bytes",
     "SolveResult",
     "BatchItem",
     "METHODS",
@@ -138,6 +139,50 @@ def _canonical_kwarg(value: Any) -> str:
     raise TypeError(f"no canonical encoding for {type(value).__name__}")
 
 
+def instance_key_bytes(
+    problem: ParenthesizationProblem,
+    *,
+    method: str = "sequential",
+    algebra: SelectionSemiring | str | None = None,
+    **solve_kwargs,
+) -> Optional[bytes]:
+    """Raw 16-byte digest behind :func:`instance_key`, or ``None``.
+
+    The digest is *shard-stable*: it is a blake2b hash over canonical,
+    length-prefixed byte strings — no ``repr`` of floats (they
+    canonicalise via ``float.hex``), no ``PYTHONHASHSEED``-dependent
+    ``hash()``, no process- or machine-local state. Two processes (or
+    two machines) computing the key for the same request always get the
+    same bytes, which is what lets a fleet router place a request on
+    the shard whose cache and coalescer can dedupe it
+    (:class:`repro.service.fleet.FleetRouter` consumes these bytes
+    directly as its consistent-hash routing key)."""
+    payload = problem.canonical_payload()
+    if payload is None:
+        return None
+    if algebra is None:
+        algebra = getattr(problem, "preferred_algebra", "min_plus")
+    alg_name = algebra.name if isinstance(algebra, SelectionSemiring) else str(algebra)
+    parts = [type(problem).__name__, method, alg_name]
+    try:
+        for kw in sorted(solve_kwargs):
+            if kw in _EXECUTION_ONLY_KWARGS:
+                continue
+            parts.append(f"{kw}={_canonical_kwarg(solve_kwargs[kw])}")
+    except TypeError:
+        return None
+    digest = hashlib.blake2b(digest_size=16)
+    for part in parts:
+        raw = part.encode()
+        digest.update(len(raw).to_bytes(4, "little"))
+        digest.update(raw)
+    for part in payload:
+        raw = part if isinstance(part, bytes) else str(part).encode()
+        digest.update(len(raw).to_bytes(4, "little"))
+        digest.update(raw)
+    return digest.digest()
+
+
 def instance_key(
     problem: ParenthesizationProblem,
     *,
@@ -185,30 +230,10 @@ def instance_key(
     >>> instance_key(p) is None
     True
     """
-    payload = problem.canonical_payload()
-    if payload is None:
-        return None
-    if algebra is None:
-        algebra = getattr(problem, "preferred_algebra", "min_plus")
-    alg_name = algebra.name if isinstance(algebra, SelectionSemiring) else str(algebra)
-    parts = [type(problem).__name__, method, alg_name]
-    try:
-        for kw in sorted(solve_kwargs):
-            if kw in _EXECUTION_ONLY_KWARGS:
-                continue
-            parts.append(f"{kw}={_canonical_kwarg(solve_kwargs[kw])}")
-    except TypeError:
-        return None
-    digest = hashlib.blake2b(digest_size=16)
-    for part in parts:
-        raw = part.encode()
-        digest.update(len(raw).to_bytes(4, "little"))
-        digest.update(raw)
-    for part in payload:
-        raw = part if isinstance(part, bytes) else str(part).encode()
-        digest.update(len(raw).to_bytes(4, "little"))
-        digest.update(raw)
-    return digest.hexdigest()
+    raw = instance_key_bytes(
+        problem, method=method, algebra=algebra, **solve_kwargs
+    )
+    return None if raw is None else raw.hex()
 
 
 @dataclass(frozen=True)
@@ -361,7 +386,9 @@ def solve(
     if method == "sequential":
         seq = solve_sequential(problem, algebra=alg)
         tree = (
-            ParseTree.from_split_table(seq.split) if reconstruct and problem.n >= 1 else None
+            ParseTree.from_split_table(seq.split)
+            if reconstruct and problem.n >= 1
+            else None
         )
         return _done(SolveResult(
             method=method,

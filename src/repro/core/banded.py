@@ -65,8 +65,8 @@ def pebble_window_cells(n: int, iteration: int) -> int:
         raise ValueError("n must be >= 1")
     if iteration < 1:
         raise ValueError("iteration must be >= 1")
-    l = (iteration + 1) // 2
-    lo, hi = (l - 1) ** 2, l * l
+    ell = (iteration + 1) // 2
+    lo, hi = (ell - 1) ** 2, ell * ell
     total = 0
     for span in range(lo + 1, min(hi, n) + 1):
         total += n + 1 - span

@@ -102,7 +102,9 @@ class CompactBandedSolver(IterativeTableSolver):
             algebra = getattr(problem, "preferred_algebra", "min_plus")
         self.algebra = get_algebra(algebra)
         self._init_engine(backend, workers, tiles, start_method, store)
-        self._F = self._adopt_table("F", self.algebra.encode_f(problem.cached_f_table()))
+        self._F = self._adopt_table(
+            "F", self.algebra.encode_f(problem.cached_f_table())
+        )
         self._init = self.algebra.encode_init(problem.init_vector())
         self.reset()
 

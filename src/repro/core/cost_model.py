@@ -103,7 +103,8 @@ COST_MODELS: Mapping[str, AlgorithmCost] = {
 def improvement_factor(n: int) -> float:
     """PT-product ratio Rytter / huang-banded = Θ(n² log n) — the
     abstract's claimed improvement, evaluated at concrete n."""
-    return COST_MODELS["rytter"].pt_product(n) / COST_MODELS["huang-banded"].pt_product(n)
+    rytter, banded = COST_MODELS["rytter"], COST_MODELS["huang-banded"]
+    return rytter.pt_product(n) / banded.pt_product(n)
 
 
 def comparison_table(ns: list[int]) -> str:
@@ -118,7 +119,10 @@ def comparison_table(ns: list[int]) -> str:
             format_table(
                 ["algorithm", "time", "processors", "PT product"],
                 rows,
-                title=f"n = {n}  (improvement rytter/banded = {improvement_factor(n):.3g})",
+                title=(
+                    f"n = {n}  (improvement rytter/banded = "
+                    f"{improvement_factor(n):.3g})"
+                ),
                 floatfmt=".3g",
             )
         )

@@ -94,7 +94,9 @@ class IterationTrace:
     def iterations(self) -> int:
         return len(self.root_values)
 
-    def first_correct_iteration(self, target: float, *, atol: float = 1e-9) -> int | None:
+    def first_correct_iteration(
+        self, target: float, *, atol: float = 1e-9
+    ) -> int | None:
         """1-based iteration at which the root value first hit ``target``."""
         for m, v in enumerate(self.root_values):
             if np.isfinite(v) and abs(v - target) <= atol * max(1.0, abs(target)):
@@ -379,7 +381,9 @@ class HuangSolver(IterativeTableSolver):
             algebra = getattr(problem, "preferred_algebra", "min_plus")
         self.algebra = get_algebra(algebra)
         self._init_engine(backend, workers, tiles, start_method, store)
-        self._F = self._adopt_table("F", self.algebra.encode_f(problem.cached_f_table()))
+        self._F = self._adopt_table(
+            "F", self.algebra.encode_f(problem.cached_f_table())
+        )
         self._init = self.algebra.encode_init(problem.init_vector())
         self.reset()
 

@@ -483,10 +483,11 @@ class BandedPebbleKernel(DensePebbleKernel):
     def arrays(self, solver):
         arrays = super().arrays(solver)
         if getattr(solver, "size_band", False):
-            # Iterations 2l-1 and 2l only pebble sizes in ((l-1)², l²].
-            l = (solver.iterations_run // 2) + 1  # current iteration is +1
-            arrays["span_lo"] = (l - 1) ** 2
-            arrays["span_hi"] = l * l
+            # Iterations 2·ell-1 and 2·ell only pebble sizes in
+            # ((ell-1)², ell²].
+            ell = (solver.iterations_run // 2) + 1  # current iteration is +1
+            arrays["span_lo"] = (ell - 1) ** 2
+            arrays["span_hi"] = ell * ell
         return arrays
 
 

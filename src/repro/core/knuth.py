@@ -29,7 +29,9 @@ from repro.problems.base import ParenthesizationProblem
 __all__ = ["solve_knuth", "is_quadrangle"]
 
 
-def is_quadrangle(problem: ParenthesizationProblem, *, samples: int = 200, seed: int = 0) -> bool:
+def is_quadrangle(
+    problem: ParenthesizationProblem, *, samples: int = 200, seed: int = 0
+) -> bool:
     """Heuristically test the quadrangle inequality of the implied
     cost function ``g(i, j) = f(i, ·, j)`` (split-independent f only).
 

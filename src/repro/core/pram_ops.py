@@ -297,7 +297,9 @@ class PRAMHuang:
     def run(self, iterations: int | None = None) -> float:
         """Run the paper's schedule; returns w'(0, n) and checks it
         against the sequential reference."""
-        count = iterations if iterations is not None else default_schedule_length(self.n)
+        count = (
+            iterations if iterations is not None else default_schedule_length(self.n)
+        )
         for _ in range(count):
             self.iterate()
         value = float(self.machine.memory.peek("w")[0, self.n])

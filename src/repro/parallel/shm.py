@@ -102,7 +102,9 @@ class TableStore:
             _release_segment(old, unlink=True)
         seg_name = f"{self.store_id}-{self._count}"
         self._count += 1
-        seg = shared_memory.SharedMemory(name=seg_name, create=True, size=max(1, nbytes))
+        seg = shared_memory.SharedMemory(
+            name=seg_name, create=True, size=max(1, nbytes)
+        )
         self._segments[name] = seg
         self.epoch += 1
         return seg
@@ -322,7 +324,9 @@ def attach_view(meta: ViewMeta) -> np.ndarray:
     kind, seg_name, shape, dtype = meta
     if kind != "arr":  # pragma: no cover - protocol misuse
         raise BackendError(f"expected an array meta, got {kind!r}")
-    return np.ndarray(shape, dtype=np.dtype(dtype), buffer=_attach_segment(seg_name).buf)
+    return np.ndarray(
+        shape, dtype=np.dtype(dtype), buffer=_attach_segment(seg_name).buf
+    )
 
 
 def attach_blob(meta: ViewMeta) -> Any:

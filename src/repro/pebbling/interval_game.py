@@ -63,11 +63,9 @@ class IntervalGame:
         for z in range(m):
             ys = []
             y = gt.parent[z]
-            child = z
             while y != -1:
                 if iv[y, 0] == iv[z, 0] or iv[y, 1] == iv[z, 1]:
                     ys.append(y)
-                child = y
                 y = gt.parent[y]
             self._share.append(np.array(ys, dtype=np.int64))
         self.reset()

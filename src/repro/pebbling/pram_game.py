@@ -54,16 +54,16 @@ class PRAMGame:
         def body(x: int, proc: Processor) -> None:
             if proc.read("cond", x) != x:
                 return
-            l = proc.read("left", x)
-            if l < 0:
+            left_c = proc.read("left", x)
+            if left_c < 0:
                 return
             r = proc.read("right", x)
-            lp = proc.read("pebbled", l)
+            lp = proc.read("pebbled", left_c)
             rp = proc.read("pebbled", r)
             if lp:
                 proc.write("cond", x, r)
             elif rp:
-                proc.write("cond", x, l)
+                proc.write("cond", x, left_c)
 
         self.machine.run_parallel(self.tree.num_nodes, body)
 
@@ -78,11 +78,15 @@ class PRAMGame:
             if rule == "rytter":
                 proc.write("cond", x, cc)
                 return
-            l = proc.read("left", c)
+            left_c = proc.read("left", c)
             r = proc.read("right", c)
             tin_cc = proc.read("tin", cc)
-            if proc.read("tin", l) <= tin_cc and tin_cc < proc.read("tout", l):
-                proc.write("cond", x, l)
+            inside = (
+                proc.read("tin", left_c) <= tin_cc
+                and tin_cc < proc.read("tout", left_c)
+            )
+            if inside:
+                proc.write("cond", x, left_c)
             else:
                 proc.write("cond", x, r)
 

@@ -53,7 +53,9 @@ class GameTree:
         self.parent = self._compute_parents()
         roots = np.flatnonzero(self.parent == -1)
         if roots.size != 1:
-            raise InvalidTreeError(f"tree must have exactly one root, found {roots.size}")
+            raise InvalidTreeError(
+                f"tree must have exactly one root, found {roots.size}"
+            )
         self.root = int(roots[0])
         self.tin, self.tout, self.sizes, self.depth = self._dfs()
         if intervals is not None:

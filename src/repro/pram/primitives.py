@@ -22,7 +22,6 @@ from __future__ import annotations
 import math
 from typing import Callable
 
-import numpy as np
 
 from repro.errors import ProgramError
 from repro.pram.machine import PRAM, Processor
@@ -91,7 +90,9 @@ def tree_reduce(
         machine.run_parallel(half, level)
         width = width - half
         steps += 1
-    machine.run_parallel(1, lambda _i, p: p.write(out_name, out_index, p.read(scratch, 0)))
+    machine.run_parallel(
+        1, lambda _i, p: p.write(out_name, out_index, p.read(scratch, 0))
+    )
     steps += 1
     machine.memory.free(scratch)
     return steps

@@ -39,7 +39,8 @@ class MatrixChainProblem(ParenthesizationProblem):
         dims_arr = np.asarray(dims, dtype=np.int64)
         if dims_arr.ndim != 1 or dims_arr.size < 2:
             raise InvalidProblemError(
-                f"dims must be a 1-D sequence of length >= 2, got shape {dims_arr.shape}"
+                "dims must be a 1-D sequence of length >= 2, got shape "
+                f"{dims_arr.shape}"
             )
         if (dims_arr <= 0).any():
             raise InvalidProblemError("all matrix dimensions must be positive")

@@ -47,7 +47,8 @@ class OptimalBSTProblem(ParenthesizationProblem):
             raise InvalidProblemError("p and q must be 1-D sequences")
         if q_arr.size != p_arr.size + 1:
             raise InvalidProblemError(
-                f"need len(q) == len(p) + 1, got len(p)={p_arr.size}, len(q)={q_arr.size}"
+                "need len(q) == len(p) + 1, got "
+                f"len(p)={p_arr.size}, len(q)={q_arr.size}"
             )
         if p_arr.size < 1:
             raise InvalidProblemError("need at least one key")
@@ -60,7 +61,9 @@ class OptimalBSTProblem(ParenthesizationProblem):
         self._q = q_arr
         # prefix[t] = q[0..t] + p[1..t]; w(i, j) = prefix[j] - prefix[i] + q[i]
         # over keys i+1..j -> our f(i,k,j) uses j-1.
-        self._prefix = np.concatenate(([q_arr[0]], np.cumsum(p_arr + q_arr[1:]) + q_arr[0]))
+        self._prefix = np.concatenate(
+            ([q_arr[0]], np.cumsum(p_arr + q_arr[1:]) + q_arr[0])
+        )
 
     @property
     def num_keys(self) -> int:

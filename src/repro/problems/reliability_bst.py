@@ -63,7 +63,7 @@ class ReliabilityBSTProblem(ParenthesizationProblem):
         q = np.asarray(leaf_reliability, dtype=np.float64)
         if q.ndim != 1 or q.size < 1:
             raise InvalidProblemError(
-                f"leaf_reliability must be a 1-D sequence of length >= 1, "
+                "leaf_reliability must be a 1-D sequence of length >= 1, "
                 f"got shape {q.shape}"
             )
         n = int(q.size)
@@ -73,7 +73,8 @@ class ReliabilityBSTProblem(ParenthesizationProblem):
                 f"got shape {r.shape}"
             )
         for name, arr in (("connector", r), ("leaf", q)):
-            if arr.size and ((arr <= 0).any() or (arr > 1).any() or np.isnan(arr).any()):
+            bad = (arr <= 0).any() or (arr > 1).any() or np.isnan(arr).any()
+            if arr.size and bad:
                 raise InvalidProblemError(
                     f"{name} reliabilities must lie in (0, 1]"
                 )

@@ -25,9 +25,18 @@ instance.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from typing import Any
 
-__all__ = ["FAMILIES", "family_generators", "problem_from_spec", "batch_item_from_spec"]
+__all__ = [
+    "FAMILIES",
+    "family_generators",
+    "problem_from_spec",
+    "batch_item_from_spec",
+    "spec_fingerprint",
+    "route_key_from_spec",
+]
 
 # Single source for the random-instance families: the CLI choices, the
 # service protocol and the generator dispatch all derive from this.
@@ -113,3 +122,45 @@ def batch_item_from_spec(
     if "algebra" in spec:
         kwargs["algebra"] = str(spec["algebra"])
     return problem_from_spec(spec), method, kwargs
+
+
+def spec_fingerprint(spec: dict) -> bytes:
+    """A stable 16-byte fingerprint of a raw spec dict.
+
+    Canonical JSON (sorted keys, no whitespace) through blake2b — the
+    same spec always fingerprints identically, in any process on any
+    machine. This is the routing *fallback* for specs that have no
+    :func:`repro.core.api.instance_key_bytes` (unparseable specs, or
+    requests carrying uncacheable settings): they still need a
+    deterministic shard, even though no cache will ever serve them.
+    """
+    canonical = json.dumps(
+        spec, sort_keys=True, separators=(",", ":"), default=repr
+    )
+    return hashlib.blake2b(canonical.encode(), digest_size=16).digest()
+
+
+def route_key_from_spec(spec: dict, *, default_method: str = "sequential") -> bytes:
+    """The shard-routing key for one JSONL spec: stable bytes such that
+    equal *requests* (same instance, method and result-determining
+    settings — not necessarily the same JSON text) get equal keys.
+
+    Prefers the canonical instance digest
+    (:func:`repro.core.api.instance_key_bytes`), so duplicate requests
+    always land on the shard whose cache/coalescer can dedupe them; any
+    spec that cannot produce one falls back to
+    :func:`spec_fingerprint`. Never raises — a malformed spec routes
+    deterministically to the shard that will reject it.
+    """
+    from repro.core.api import instance_key_bytes
+
+    try:
+        problem, method, kwargs = batch_item_from_spec(
+            spec, default_method=default_method
+        )
+        key = instance_key_bytes(problem, method=method, **kwargs)
+        if key is not None:
+            return key
+    except Exception:  # noqa: BLE001 - malformed specs still need a shard
+        pass
+    return spec_fingerprint(spec)

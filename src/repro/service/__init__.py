@@ -14,22 +14,34 @@ Layers (each usable on its own):
 * :class:`CoalescingScheduler` — asyncio request coalescing (duplicate
   requests join the in-flight entry; distinct requests batch);
 * :class:`SolveService` — owns backend + store + cache + scheduler;
-* :func:`serve_unix` — the JSONL-over-unix-socket front end
-  (``repro serve``);
+* :func:`serve` / :func:`serve_unix` / :func:`serve_tcp` — the JSONL
+  front end on either transport (``repro serve``), over the shared
+  framing in :mod:`repro.service.transport`;
 * :class:`LocalClient` / :class:`ServiceClient` — in-process and
-  socket clients (``repro request``).
+  socket clients (``repro request``), unix or TCP;
+* :class:`FleetRouter` / :func:`serve_fleet` — the scale-out layer:
+  N shard processes behind a consistent-hash router that respawns dead
+  shards and re-dispatches their in-flight requests (``repro fleet``).
 """
 
 from repro.service.cache import ResultCache
 from repro.service.client import LocalClient, ServiceClient
+from repro.service.fleet import FleetRouter, serve_fleet
 from repro.service.scheduler import CoalescingScheduler
-from repro.service.server import SolveService, serve_unix
+from repro.service.server import SolveService, serve, serve_tcp, serve_unix
+from repro.service.transport import Address, parse_address
 
 __all__ = [
     "ResultCache",
     "CoalescingScheduler",
     "SolveService",
+    "serve",
     "serve_unix",
+    "serve_tcp",
     "LocalClient",
     "ServiceClient",
+    "FleetRouter",
+    "serve_fleet",
+    "Address",
+    "parse_address",
 ]

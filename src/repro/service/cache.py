@@ -132,14 +132,18 @@ class ResultCache:
 
     def stats(self) -> dict:
         """Hit/miss/eviction counters plus current occupancy — served
-        verbatim on the service's status endpoint."""
+        verbatim on the service's status endpoint. ``hit_rate`` is
+        hits over lookups (0.0 before the first lookup); the fleet
+        router aggregates it across shards from the raw counters."""
         with self._lock:
+            lookups = self._hits + self._misses
             return {
                 "entries": len(self._entries),
                 "nbytes": self._bytes,
                 "max_bytes": self.max_bytes,
                 "hits": self._hits,
                 "misses": self._misses,
+                "hit_rate": round(self._hits / lookups, 4) if lookups else 0.0,
                 "evictions": self._evictions,
             }
 

@@ -4,21 +4,24 @@
 (event loop on a daemon thread) in the calling process — the zero-setup
 way to get warm pools, coalescing and the result cache from synchronous
 code, and what the E11 benchmark drives. :class:`ServiceClient` speaks
-the JSONL protocol to a ``repro serve`` unix socket from another
-process (what ``repro request`` uses).
+the JSONL protocol to a running ``repro serve`` from another process
+(what ``repro request`` uses) — over the server's unix socket, or over
+TCP with ``ServiceClient(tcp="host:port")``; the wire protocol is
+identical (see :mod:`repro.service.transport`).
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
-import socket
 import threading
 from typing import Any, Optional, Sequence
 
 from repro.errors import ReproError
 from repro.problems.base import ParenthesizationProblem
 from repro.service.server import SolveService
+from repro.service.transport import Address, encode_record, parse_address
+from repro.service import transport as _transport
 
 __all__ = ["LocalClient", "ServiceClient"]
 
@@ -117,24 +120,44 @@ class LocalClient:
 
 
 class ServiceClient:
-    """JSONL-over-unix-socket client for a running ``repro serve``.
+    """Synchronous JSONL client for a running ``repro serve``.
 
-    One connection, synchronous. ``request()`` round-trips a single
-    spec; ``request_many()`` pipelines a whole list (the server
-    coalesces concurrent lines into shared batches) and reorders the
-    responses to match submission order by ``id``.
+    One connection. ``request()`` round-trips a single spec;
+    ``request_many()`` pipelines a whole list (the server coalesces
+    concurrent lines into shared batches) and reorders the responses to
+    match submission order by ``id``.
+
+    The transport is picked by how you address the server: a unix
+    socket path (positional, the default) or ``tcp="host:port"`` —
+    exactly one of the two. An :class:`~repro.service.transport.Address`
+    is accepted positionally as well.
     """
 
-    def __init__(self, socket_path: str, *, timeout: float = 120.0) -> None:
-        self.socket_path = socket_path
-        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        self._sock.settimeout(timeout)
-        self._sock.connect(socket_path)
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        *,
+        tcp: Optional[str] = None,
+        timeout: float = 120.0,
+    ) -> None:
+        if isinstance(socket_path, Address):
+            self.address = socket_path
+        elif (socket_path is None) == (tcp is None):
+            raise ReproError(
+                "address the server by exactly one of: a unix socket path "
+                "(positional) or tcp='host:port'"
+            )
+        elif socket_path is not None:
+            self.address = Address.unix(socket_path)
+        else:
+            self.address = parse_address(tcp, tcp=True)
+        self.socket_path = self.address.path  # unix only; None over TCP
+        self._sock = _transport.connect(self.address, timeout=timeout)
         self._rfile = self._sock.makefile("r", encoding="utf-8")
         self._next_id = 0
 
     def _send(self, msg: dict) -> None:
-        self._sock.sendall((json.dumps(msg) + "\n").encode())
+        self._sock.sendall(encode_record(msg))
 
     def _recv(self) -> dict:
         line = self._rfile.readline()

@@ -1,0 +1,706 @@
+"""The sharded solve fleet: N independent services behind one router.
+
+A single :class:`~repro.service.server.SolveService` tops out on one
+event loop, one worker pool and one cache. The fleet layer partitions
+the *request space* instead: a :class:`FleetRouter` spawns ``shards``
+shard processes — each a full ``repro serve`` with its own warm
+:class:`~repro.parallel.shm.TableStore`-backed pool, its own
+:class:`~repro.service.cache.ResultCache` and its own coalescing
+scheduler — and routes every request by **consistent hash of its
+instance key** (:func:`repro.core.api.instance_key_bytes`, which is
+shard-stable by construction). Equal requests therefore always land on
+the same shard, so duplicate-heavy traffic keeps hitting that shard's
+cache and coalescer exactly as it would a single service's; distinct
+requests spread across shards and scale with them.
+
+Failure semantics
+-----------------
+Shard death is detected at the transport (broken pipe / connection
+reset / EOF mid-read). The router then respawns the shard process on
+the same socket (reclaiming the stale socket file) and re-dispatches
+the requests that were accepted but not yet answered — **at most
+once** per request. A request whose shard dies again after its
+re-dispatch is not retried a second time; it completes with an explicit
+``ok: false`` error record. No accepted request is ever silently
+dropped: ``request_many`` always returns exactly one record per spec,
+in submission order.
+
+Use it in-process (``FleetRouter.request_many``), as a one-shot CLI
+(``repro request --fleet N``), or as a long-lived front-end server
+(``repro fleet --shards N``, which exposes the whole fleet behind one
+unix-socket or TCP endpoint via :func:`serve_fleet`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import hashlib
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.problems.specs import route_key_from_spec
+from repro.service.transport import (
+    Address,
+    decode_record,
+    encode_record,
+    serve_jsonl,
+)
+from repro.service import transport as _transport
+
+__all__ = ["FleetRouter", "HashRing", "serve_fleet"]
+
+#: ring points per shard — enough that a 4-shard ring is within a few
+#: percent of a perfectly even split, cheap enough to rebuild at will
+_RING_REPLICAS = 256
+
+#: total sends a single request may consume: the original dispatch plus
+#: exactly one re-dispatch after a shard death
+_MAX_DISPATCHES = 2
+
+
+def _hash_point(data: bytes) -> int:
+    return int.from_bytes(hashlib.blake2b(data, digest_size=8).digest(), "big")
+
+
+class HashRing:
+    """Consistent hashing of byte keys onto shard indices.
+
+    Each shard owns :data:`_RING_REPLICAS` pseudo-random points on a
+    64-bit ring; a key routes to the first shard point at or after its
+    own hash. The placement depends only on ``(shard index, replica)``
+    strings through blake2b, so every process — router, client, or an
+    operator's script — computes the identical mapping, and a respawned
+    shard reclaims exactly the keyspace its predecessor owned.
+    """
+
+    def __init__(
+        self, shard_ids: Sequence[int], replicas: int = _RING_REPLICAS
+    ) -> None:
+        if not shard_ids:
+            raise ReproError("a hash ring needs at least one shard")
+        points: list[tuple[int, int]] = []
+        for sid in shard_ids:
+            for replica in range(replicas):
+                points.append((_hash_point(f"shard-{sid}:{replica}".encode()), sid))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [sid for _, sid in points]
+
+    def route(self, key: bytes) -> int:
+        """The shard index owning ``key``."""
+        where = bisect.bisect(self._points, _hash_point(key))
+        if where == len(self._points):
+            where = 0
+        return self._owners[where]
+
+
+@dataclass
+class _Job:
+    """One routed request and everything its recovery needs."""
+
+    index: int
+    spec: dict
+    shard: int
+    client_id: Any = None  # the caller's own "id", echoed back verbatim
+    dispatches: int = 0
+    record: Optional[dict] = None
+
+
+class _Shard:
+    """One shard process plus its persistent router-side connection."""
+
+    def __init__(self, index: int, socket_path: str) -> None:
+        self.index = index
+        self.socket_path = socket_path
+        self.proc: Optional[subprocess.Popen] = None
+        self.lock = threading.Lock()
+        self._sock = None
+        self._rfile = None
+        self.next_id = 0
+        self.respawns = 0
+
+    # -- connection ----------------------------------------------------------
+
+    def connect(self, timeout: float) -> None:
+        if self._sock is not None:
+            return
+        sock = _transport.connect(Address.unix(self.socket_path), timeout=timeout)
+        self._sock = sock
+        self._rfile = sock.makefile("r", encoding="utf-8")
+
+    def disconnect(self) -> None:
+        if self._rfile is not None:
+            try:
+                self._rfile.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+            self._rfile = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+            self._sock = None
+
+    def send(self, msg: dict) -> None:
+        assert self._sock is not None
+        self._sock.sendall(encode_record(msg))
+
+    def recv(self) -> dict:
+        assert self._rfile is not None
+        line = self._rfile.readline()
+        if not line:
+            raise ReproError(f"shard {self.index} closed the connection")
+        return decode_record(line)
+
+    # -- process -------------------------------------------------------------
+
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.poll() is None
+
+    def pid(self) -> Optional[int]:
+        return self.proc.pid if self.proc is not None else None
+
+
+class FleetRouter:
+    """Spawn, route over, heal and aggregate a fleet of solve shards.
+
+    Parameters mirror :class:`~repro.service.server.SolveService` —
+    every shard is started with the same configuration:
+
+    ``shards``
+        How many shard processes to run. Each one is a full solve
+        service (own process, own warm pool, own store, own cache).
+    ``method, backend, workers, start_method, batch_window, max_batch,
+    cache_bytes``
+        Forwarded to each shard's ``repro serve``.
+    ``state_dir``
+        Where shard sockets and log files live; a private temporary
+        directory (removed on close) when not given.
+    ``spawn_timeout``
+        Seconds to wait for a shard's socket to accept connections.
+
+    Thread-safe: concurrent ``request_many`` calls interleave freely;
+    access to any one shard's connection is serialised by a per-shard
+    lock, and respawn happens under the same lock, so a dying shard is
+    healed exactly once however many callers trip over it.
+    """
+
+    def __init__(
+        self,
+        shards: int = 2,
+        *,
+        method: str = "sequential",
+        backend: str = "process",
+        workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+        batch_window: float = 0.005,
+        max_batch: int = 16,
+        cache_bytes: int = 128 << 20,
+        state_dir: Optional[str] = None,
+        spawn_timeout: float = 30.0,
+        request_timeout: float = 120.0,
+    ) -> None:
+        if shards < 1:
+            raise ReproError("a fleet needs at least one shard")
+        self.default_method = method
+        self.backend = backend
+        self.workers = workers
+        self.start_method = start_method
+        self.batch_window = float(batch_window)
+        self.max_batch = int(max_batch)
+        self.cache_bytes = int(cache_bytes)
+        self.spawn_timeout = float(spawn_timeout)
+        self.request_timeout = float(request_timeout)
+        self._owns_state_dir = state_dir is None
+        self.state_dir = Path(
+            tempfile.mkdtemp(prefix="repro-fleet-") if state_dir is None else state_dir
+        )
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self._shards = [
+            _Shard(i, str(self.state_dir / f"shard-{i}.sock")) for i in range(shards)
+        ]
+        self.ring = HashRing(range(shards))
+        self._started = False
+        self._closed = False
+        # -- router-level counters (served by status()); increments are
+        # read-modify-writes from concurrent request threads, so they
+        # take this lock (shard.lock only serialises shard transport) --
+        self._stats_lock = threading.Lock()
+        self._requests = 0
+        self._redispatched = 0
+        self._gave_up = 0
+        self._t0 = time.monotonic()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "FleetRouter":
+        """Spawn every shard and wait until each accepts connections."""
+        if self._started:
+            return self
+        self._started = True
+        for shard in self._shards:
+            self._spawn(shard)
+        for shard in self._shards:
+            self._await_ready(shard)
+        return self
+
+    def _spawn(self, shard: _Shard) -> None:
+        """Launch one shard process on its socket (used for both the
+        initial start and post-mortem respawn)."""
+        if os.path.exists(shard.socket_path):
+            # A SIGKILLed predecessor cannot unlink its own socket; the
+            # fresh server would also reclaim it, but doing it here
+            # keeps _await_ready from connecting to the corpse's file.
+            try:
+                os.unlink(shard.socket_path)
+            except OSError:  # pragma: no cover - raced with the server
+                pass
+        cmd = [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--socket",
+            shard.socket_path,
+            "--method",
+            self.default_method,
+            "--backend",
+            self.backend,
+            "--batch-window-ms",
+            str(self.batch_window * 1e3),
+            "--max-batch",
+            str(self.max_batch),
+            "--cache-mb",
+            str(self.cache_bytes / (1 << 20)),
+        ]
+        if self.workers is not None:
+            cmd += ["--workers", str(self.workers)]
+        if self.start_method is not None:
+            cmd += ["--start-method", self.start_method]
+        env = os.environ.copy()
+        # The shard interpreter must be able to import this very
+        # package even when it is not installed (PYTHONPATH=src runs).
+        package_root = str(Path(__file__).resolve().parents[2])
+        existing = env.get("PYTHONPATH", "")
+        if package_root not in existing.split(os.pathsep):
+            env["PYTHONPATH"] = (
+                package_root + (os.pathsep + existing if existing else "")
+            )
+        log_path = self.state_dir / f"shard-{shard.index}.log"
+        with open(log_path, "ab") as log:
+            shard.proc = subprocess.Popen(
+                cmd,
+                stdout=log,
+                stderr=subprocess.STDOUT,
+                env=env,
+                cwd=str(self.state_dir),
+            )
+
+    def _await_ready(self, shard: _Shard) -> None:
+        deadline = time.monotonic() + self.spawn_timeout
+        while time.monotonic() < deadline:
+            if not shard.alive():
+                raise ReproError(
+                    f"shard {shard.index} exited during startup "
+                    f"(rc={shard.proc.returncode}); see "
+                    f"{self.state_dir / f'shard-{shard.index}.log'}"
+                )
+            try:
+                probe = _transport.connect(
+                    Address.unix(shard.socket_path), timeout=1.0
+                )
+            except OSError:
+                time.sleep(0.02)
+                continue
+            probe.close()
+            return
+        raise ReproError(
+            f"shard {shard.index} did not accept connections within "
+            f"{self.spawn_timeout:.0f}s"
+        )
+
+    def _respawn(self, shard: _Shard) -> None:
+        """Replace a dead shard in place (caller holds ``shard.lock``)."""
+        if self._closed:
+            # A request racing close() must not resurrect a shard the
+            # shutdown already stopped — that process would outlive the
+            # router (orphan + /dev/shm residue). Its jobs become
+            # explicit error records instead.
+            raise ReproError("fleet is closed; not respawning shard")
+        shard.disconnect()
+        if shard.proc is not None and shard.proc.poll() is None:
+            # The process is alive but its transport broke; restart it
+            # cleanly rather than leaving a wedged server behind.
+            shard.proc.terminate()
+            try:
+                shard.proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:  # pragma: no cover - wedged hard
+                shard.proc.kill()
+                shard.proc.wait()
+        self._spawn(shard)
+        self._await_ready(shard)
+        shard.respawns += 1
+
+    def close(self) -> None:
+        """Stop every shard (graceful shutdown op first, escalating to
+        terminate/kill), then remove sockets, logs and — if the router
+        created it — the whole state directory. Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._started:
+            with ThreadPoolExecutor(max_workers=len(self._shards)) as pool:
+                list(pool.map(self._stop_shard, self._shards))
+        for shard in self._shards:
+            if os.path.exists(shard.socket_path):  # pragma: no cover - forced kill
+                try:
+                    os.unlink(shard.socket_path)
+                except OSError:
+                    pass
+        if self._owns_state_dir:
+            shutil.rmtree(self.state_dir, ignore_errors=True)
+
+    def _stop_shard(self, shard: _Shard) -> None:
+        with shard.lock:
+            shard.disconnect()
+            if shard.proc is None:
+                return
+            if shard.proc.poll() is None:
+                try:
+                    sock = _transport.connect(
+                        Address.unix(shard.socket_path), timeout=5.0
+                    )
+                    try:
+                        sock.sendall(encode_record({"op": "shutdown"}))
+                        sock.makefile("r").readline()
+                    finally:
+                        sock.close()
+                except OSError:  # pragma: no cover - already going down
+                    pass
+                try:
+                    shard.proc.wait(timeout=15.0)
+                except subprocess.TimeoutExpired:  # pragma: no cover - wedged
+                    shard.proc.terminate()
+                    try:
+                        shard.proc.wait(timeout=5.0)
+                    except subprocess.TimeoutExpired:
+                        shard.proc.kill()
+                        shard.proc.wait()
+
+    def __enter__(self) -> "FleetRouter":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- routing -------------------------------------------------------------
+
+    def route(self, spec: dict) -> int:
+        """The shard index a spec routes to (consistent hash of its
+        shard-stable instance key; see :mod:`repro.problems.specs`)."""
+        key = route_key_from_spec(
+            {k: v for k, v in spec.items() if k != "id"},
+            default_method=self.default_method,
+        )
+        return self.ring.route(key)
+
+    # -- requests ------------------------------------------------------------
+
+    def request(self, spec: dict) -> dict:
+        """Route and answer one spec; always returns a record."""
+        return self.request_many([spec])[0]
+
+    def request_many(self, specs: Sequence[dict]) -> list[dict]:
+        """Route a batch across the fleet; one record per spec, in
+        submission order. Specs bound for the same shard are pipelined
+        over that shard's connection (so its scheduler can coalesce
+        them); different shards run concurrently. Shard deaths are
+        healed as described in the module docstring — the returned list
+        never has holes.
+        """
+        if self._closed:
+            raise ReproError("fleet is closed")
+        if not self._started:
+            self.start()
+        jobs = []
+        for index, spec in enumerate(specs):
+            body = {k: v for k, v in spec.items() if k != "id"}
+            job = _Job(
+                index=index,
+                spec=body,
+                shard=self.route(body),
+                client_id=spec.get("id", index + 1),
+            )
+            jobs.append(job)
+        with self._stats_lock:
+            self._requests += len(jobs)
+
+        pending = list(jobs)
+        # Two passes suffice: requests a dead shard absorbed are
+        # re-dispatched once to its respawn; a second death converts
+        # them to error records rather than a third dispatch. Requests
+        # that were never sent (the transport died before their write)
+        # don't consume their re-dispatch, hence the small extra margin.
+        for _ in range(_MAX_DISPATCHES + 1):
+            if not pending:
+                break
+            by_shard: dict[int, list[_Job]] = {}
+            for job in pending:
+                by_shard.setdefault(job.shard, []).append(job)
+            with ThreadPoolExecutor(max_workers=len(by_shard)) as pool:
+                leftovers = list(
+                    pool.map(
+                        lambda item: self._dispatch_to_shard(
+                            self._shards[item[0]], item[1]
+                        ),
+                        by_shard.items(),
+                    )
+                )
+            pending = []
+            for failed_jobs in leftovers:
+                for job in failed_jobs:
+                    if job.dispatches >= _MAX_DISPATCHES:
+                        with self._stats_lock:
+                            self._gave_up += 1
+                        job.record = {
+                            "id": job.client_id,
+                            "ok": False,
+                            "error": (
+                                f"shard {job.shard} died again after the request "
+                                "was re-dispatched once; giving up "
+                                "(at-most-once re-dispatch)"
+                            ),
+                        }
+                    else:
+                        pending.append(job)
+        for job in pending:  # pragma: no cover - exhausted retry margin
+            with self._stats_lock:
+                self._gave_up += 1
+            job.record = {
+                "id": job.client_id,
+                "ok": False,
+                "error": f"shard {job.shard} kept failing; request abandoned",
+            }
+        return [job.record for job in jobs]
+
+    def _dispatch_to_shard(self, shard: _Shard, jobs: list[_Job]) -> list[_Job]:
+        """Pipeline ``jobs`` to one shard; returns the jobs left
+        unanswered (transport failure). Answered jobs get their record
+        attached, with the caller's ``id`` restored."""
+        with shard.lock:
+            try:
+                if not shard.alive():
+                    self._respawn(shard)
+                shard.connect(self.request_timeout)
+            except (OSError, ReproError):
+                # Couldn't even reach the shard: nothing was dispatched,
+                # so no re-dispatch budget is consumed. The outer loop's
+                # bounded round count still guarantees termination — a
+                # shard that cannot be respawned at all (including after
+                # close()) converts its jobs to abandoned-request error
+                # records there.
+                return jobs
+            in_flight: dict[int, _Job] = {}
+            try:
+                for job in jobs:
+                    shard.next_id += 1
+                    wire_id = shard.next_id
+                    msg = dict(job.spec)
+                    msg["id"] = wire_id
+                    in_flight[wire_id] = job
+                    job.dispatches += 1
+                    if job.dispatches > 1:
+                        # Counted at the actual re-send (not at requeue
+                        # time): a round whose respawn failed requeues
+                        # the job without it ever leaving the router.
+                        with self._stats_lock:
+                            self._redispatched += 1
+                    shard.send(msg)
+                while in_flight:
+                    record = shard.recv()
+                    job = in_flight.pop(record.get("id"), None)
+                    if job is None:
+                        # A response for a request from a previous
+                        # (failed) connection epoch; ignore it.
+                        continue
+                    record["id"] = job.client_id
+                    job.record = record
+                return []
+            except (OSError, ValueError, ReproError, KeyError):
+                shard.disconnect()
+                return [job for job in jobs if job.record is None]
+
+    # -- introspection -------------------------------------------------------
+
+    def shard_pids(self) -> list[Optional[int]]:
+        return [shard.pid() for shard in self._shards]
+
+    def status(self) -> dict:
+        """Aggregate health: per-shard status records (or ``alive:
+        False`` for unreachable shards) plus fleet-wide sums — total
+        requests, combined cache counters and hit rate, respawns, and
+        the router's own dispatch accounting."""
+        shard_records = []
+        totals = {"requests": 0, "cache_hits": 0, "cache_misses": 0, "batches": 0}
+        alive = 0
+        for shard in self._shards:
+            record: dict[str, Any] = {
+                "shard": shard.index,
+                "pid": shard.pid(),
+                "respawns": shard.respawns,
+            }
+            status = self._shard_status(shard)
+            if status is None:
+                record["alive"] = False
+            else:
+                record["alive"] = True
+                record["status"] = status
+                alive += 1
+                totals["requests"] += status.get("requests", 0)
+                cache = status.get("cache") or {}
+                totals["cache_hits"] += cache.get("hits", 0)
+                totals["cache_misses"] += cache.get("misses", 0)
+                scheduler = status.get("scheduler") or {}
+                totals["batches"] += scheduler.get("batches", 0)
+            shard_records.append(record)
+        lookups = totals["cache_hits"] + totals["cache_misses"]
+        return {
+            "shards": len(self._shards),
+            "alive": alive,
+            "uptime_s": round(time.monotonic() - self._t0, 3),
+            "router": {
+                "requests": self._requests,
+                "redispatched": self._redispatched,
+                "gave_up": self._gave_up,
+                "respawns": sum(s.respawns for s in self._shards),
+            },
+            "totals": {
+                **totals,
+                "cache_hit_rate": (
+                    round(totals["cache_hits"] / lookups, 4) if lookups else 0.0
+                ),
+            },
+            "per_shard": shard_records,
+        }
+
+    def _shard_status(self, shard: _Shard) -> Optional[dict]:
+        with shard.lock:
+            if not shard.alive():
+                return None
+            try:
+                shard.connect(self.request_timeout)
+                shard.send({"op": "status"})
+                while True:
+                    record = shard.recv()
+                    if "status" in record:
+                        return record["status"]
+            except (OSError, ValueError, ReproError):
+                shard.disconnect()
+                return None
+
+
+class _ConnBatcher:
+    """Per-connection dispatcher for :func:`serve_fleet`: spec lines
+    that arrive while a round is in flight accumulate, and each round
+    ships the whole accumulation through
+    :meth:`FleetRouter.request_many` — so pipelined lines keep their
+    per-shard pipelining (and the shards' schedulers keep coalescing)
+    through the front end, instead of degrading to one blocking
+    round-trip per line."""
+
+    def __init__(self, router: FleetRouter) -> None:
+        self._router = router
+        self._pending: list[tuple[dict, Any]] = []
+        self._rounds: list[asyncio.Task] = []
+        self._running = False
+
+    def submit(self, msg: dict, respond) -> None:
+        self._pending.append((msg, respond))
+        if not self._running:
+            self._running = True
+            self._rounds.append(asyncio.ensure_future(self._run_rounds()))
+
+    async def _run_rounds(self) -> None:
+        try:
+            while self._pending:
+                batch, self._pending = self._pending, []
+                bodies = [
+                    {k: v for k, v in msg.items() if k != "id"} for msg, _ in batch
+                ]
+                try:
+                    records = await asyncio.to_thread(
+                        self._router.request_many, bodies
+                    )
+                except Exception as exc:  # noqa: BLE001 - errors go on the wire
+                    records = [
+                        {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+                    ] * len(batch)
+                for (msg, respond), record in zip(batch, records):
+                    record["id"] = msg.get("id")
+                    await respond(record)
+        finally:
+            self._running = False
+
+    async def drain(self) -> None:
+        while self._rounds or self._pending:
+            rounds, self._rounds = self._rounds, []
+            if rounds:
+                await asyncio.gather(*rounds, return_exceptions=True)
+            if self._pending and not self._running:  # pragma: no cover - race guard
+                self._running = True
+                self._rounds.append(asyncio.ensure_future(self._run_rounds()))
+
+
+async def serve_fleet(
+    router: FleetRouter,
+    address: Address,
+    *,
+    max_requests: Optional[int] = None,
+    ready: Optional[asyncio.Event] = None,
+    on_bound: Optional[Callable[[Address], None]] = None,
+    quiet: bool = True,
+) -> int:
+    """Expose a whole fleet behind one JSONL endpoint (``repro fleet``).
+
+    Speaks exactly the ``repro serve`` wire protocol — specs, ``status``
+    (the router's aggregate record) and ``shutdown`` — so every
+    existing client (``repro request``, :class:`ServiceClient`) works
+    unchanged against a fleet; the connection loop itself is
+    :func:`repro.service.transport.serve_jsonl`, shared with
+    ``repro serve``. Pipelined spec lines are routed as batches
+    (:class:`_ConnBatcher`), so shards still see concurrent streams
+    they can coalesce.
+
+    Returns the number of spec requests served. The router itself is
+    closed by the caller, not here — a front end is just one view onto
+    the fleet.
+    """
+
+    async def _status() -> dict:
+        return await asyncio.to_thread(router.status)
+
+    return await serve_jsonl(
+        address,
+        make_dispatcher=lambda: _ConnBatcher(router),
+        status_fn=_status,
+        banner=lambda bound: (
+            f"repro fleet: {len(router.shard_pids())} shards behind "
+            f"{bound.describe()}"
+        ),
+        max_requests=max_requests,
+        ready=ready,
+        on_bound=on_bound,
+        quiet=quiet,
+    )

@@ -10,23 +10,28 @@ the :class:`~repro.service.scheduler.CoalescingScheduler` that feeds
 :func:`repro.core.solve_many`.
 
 Wire protocol (``repro serve`` / ``repro request``): one JSON object
-per line. A request is either a problem spec (the exact ``repro
-batch`` format, see :mod:`repro.problems.specs`) with an optional
-``"id"``, or an op: ``{"op": "status"}``, ``{"op": "shutdown"}``.
-Responses echo the ``id`` and carry ``ok``, ``value``, ``iterations``,
-``method``, ``algebra``, ``source`` (``cache``/``coalesced``/``batch``)
-and ``elapsed_ms`` — or ``ok: false`` with ``error``. Requests on one
-connection may be pipelined; responses come back as they finish, so
-concurrent lines coalesce into shared batches.
+per line (framing in :mod:`repro.service.transport`). A request is
+either a problem spec (the exact ``repro batch`` format, see
+:mod:`repro.problems.specs`) with an optional ``"id"``, or an op:
+``{"op": "status"}``, ``{"op": "shutdown"}``. Responses echo the ``id``
+and carry ``ok``, ``value``, ``iterations``, ``method``, ``algebra``,
+``source`` (``cache``/``coalesced``/``batch``) and ``elapsed_ms`` — or
+``ok: false`` with ``error``. Requests on one connection may be
+pipelined; responses come back as they finish, so concurrent lines
+coalesce into shared batches.
+
+The same server runs on either transport: :func:`serve_unix` binds a
+unix socket (kernel-local, the default), :func:`serve_tcp` a TCP
+host/port (for crossing machine or container boundaries), and
+:func:`serve` takes an :class:`~repro.service.transport.Address` and
+covers both.
 """
 
 from __future__ import annotations
 
 import asyncio
-import json
-import os
 import time
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.core.api import ITERATIVE_METHODS, solve, solve_many
 from repro.parallel.backends import Backend, make_backend
@@ -34,8 +39,9 @@ from repro.parallel.shm import TableStore
 from repro.problems.specs import batch_item_from_spec
 from repro.service.cache import ResultCache
 from repro.service.scheduler import CoalescingScheduler
+from repro.service.transport import Address, serve_jsonl
 
-__all__ = ["SolveService", "serve_unix"]
+__all__ = ["SolveService", "serve", "serve_unix", "serve_tcp"]
 
 
 class SolveService:
@@ -116,7 +122,9 @@ class SolveService:
 
     # -- request handling ----------------------------------------------------
 
-    async def submit(self, problem, method: str | None = None, kwargs: dict | None = None):
+    async def submit(
+        self, problem, method: str | None = None, kwargs: dict | None = None
+    ):
         """The in-process front door (what :class:`LocalClient` calls):
         counts the request and schedules it. Returns ``(result,
         source)`` like the scheduler."""
@@ -197,6 +205,69 @@ class SolveService:
         asyncio.run(self.aclose())
 
 
+class _TaskPerSpec:
+    """Per-connection dispatcher for :func:`serve`: every spec line
+    becomes its own task immediately, so pipelined lines overlap inside
+    the service and coalesce into shared scheduler batches."""
+
+    def __init__(self, service: SolveService) -> None:
+        self._service = service
+        self._tasks: list[asyncio.Task] = []
+
+    def submit(self, msg: dict, respond) -> None:
+        async def _run() -> None:
+            await respond(await self._service.handle_spec(msg))
+
+        self._tasks.append(asyncio.ensure_future(_run()))
+
+    async def drain(self) -> None:
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+
+
+async def serve(
+    service: SolveService,
+    address: Address,
+    *,
+    max_requests: Optional[int] = None,
+    ready: Optional[asyncio.Event] = None,
+    on_bound: Optional[Callable[[Address], None]] = None,
+    quiet: bool = True,
+) -> int:
+    """Serve JSONL requests on ``address`` (unix or TCP) until shutdown.
+
+    Runs until a ``{"op": "shutdown"}`` request arrives or
+    ``max_requests`` spec requests have been answered (the smoke-test
+    and benchmark hook). Closes the service (pools stopped, segments
+    unlinked) and — for unix addresses — removes the socket file before
+    returning the number of spec requests served.
+
+    ``on_bound`` is called with the actual bound endpoint once the
+    listener is up (the way callers learn an ephemeral TCP port).
+    Every exit path after the bind, including failures in ``on_bound``
+    or ``ready`` themselves, still runs the full cleanup: no stale
+    socket file, no leaked pool, no ``/dev/shm`` residue (the loop
+    itself — framing, ops, teardown — is
+    :func:`repro.service.transport.serve_jsonl`, shared with the fleet
+    front end).
+    """
+
+    async def _status() -> dict:
+        return service.status()
+
+    return await serve_jsonl(
+        address,
+        make_dispatcher=lambda: _TaskPerSpec(service),
+        status_fn=_status,
+        banner=lambda bound: f"repro serve: listening on {bound.describe()}",
+        cleanup=service.aclose,
+        max_requests=max_requests,
+        ready=ready,
+        on_bound=on_bound,
+        quiet=quiet,
+    )
+
+
 async def serve_unix(
     service: SolveService,
     socket_path: str,
@@ -205,107 +276,33 @@ async def serve_unix(
     ready: Optional[asyncio.Event] = None,
     quiet: bool = True,
 ) -> int:
-    """Serve JSONL requests on a unix socket until shutdown.
+    """:func:`serve` on a unix socket path (the default transport)."""
+    return await serve(
+        service,
+        Address.unix(socket_path),
+        max_requests=max_requests,
+        ready=ready,
+        quiet=quiet,
+    )
 
-    Runs until a ``{"op": "shutdown"}`` request arrives or
-    ``max_requests`` spec requests have been answered (the smoke-test
-    and benchmark hook). Closes the service (pools stopped, segments
-    unlinked) and removes the socket file before returning the number
-    of spec requests served.
-    """
-    stop = asyncio.Event()
-    served = 0
-    conn_writers: set[asyncio.StreamWriter] = set()
-    conn_tasks: set[asyncio.Task] = set()
 
-    async def _respond(writer, lock: asyncio.Lock, record: dict) -> None:
-        async with lock:
-            writer.write((json.dumps(record) + "\n").encode())
-            await writer.drain()
-
-    async def _serve_one(msg: dict, writer, lock: asyncio.Lock) -> None:
-        nonlocal served
-        record = await service.handle_spec(msg)
-        served += 1
-        await _respond(writer, lock, record)
-        if max_requests is not None and served >= max_requests:
-            stop.set()
-
-    async def _handle_conn(reader, writer) -> None:
-        lock = asyncio.Lock()
-        tasks: list[asyncio.Task] = []
-        conn_writers.add(writer)
-        conn_tasks.add(asyncio.current_task())
-        try:
-            while True:
-                line = await reader.readline()
-                if not line:
-                    break
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    msg = json.loads(line)
-                    if not isinstance(msg, dict):
-                        raise ValueError("request must be a JSON object")
-                except ValueError as exc:
-                    await _respond(
-                        writer, lock, {"ok": False, "error": f"bad request: {exc}"}
-                    )
-                    continue
-                op = msg.get("op")
-                if op == "status":
-                    await _respond(
-                        writer,
-                        lock,
-                        {"id": msg.get("id"), "ok": True, "status": service.status()},
-                    )
-                elif op == "shutdown":
-                    await _respond(writer, lock, {"id": msg.get("id"), "ok": True})
-                    stop.set()
-                    break
-                elif op is not None:
-                    await _respond(
-                        writer, lock, {"ok": False, "error": f"unknown op {op!r}"}
-                    )
-                else:
-                    # Spec requests run concurrently so pipelined lines
-                    # coalesce into shared batches.
-                    tasks.append(asyncio.ensure_future(_serve_one(msg, writer, lock)))
-        finally:
-            conn_writers.discard(writer)
-            if tasks:
-                await asyncio.gather(*tasks, return_exceptions=True)
-            # Deregister only after the pipelined spec tasks finished:
-            # the shutdown path awaits conn_tasks before closing the
-            # service, so requests accepted before shutdown still drain.
-            conn_tasks.discard(asyncio.current_task())
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionError, BrokenPipeError):  # pragma: no cover
-                pass
-
-    server = await asyncio.start_unix_server(_handle_conn, path=socket_path)
-    if not quiet:  # pragma: no cover - interactive serve only
-        print(f"repro serve: listening on {socket_path}")
-    if ready is not None:
-        ready.set()
-    try:
-        await stop.wait()
-    finally:
-        server.close()
-        await server.wait_closed()
-        # Connections still parked in readline() get an orderly EOF
-        # (closing the transport feeds it) instead of a loop-teardown
-        # cancellation traceback.
-        for writer in list(conn_writers):
-            writer.close()
-        if conn_tasks:
-            await asyncio.gather(*list(conn_tasks), return_exceptions=True)
-        await service.aclose()
-        try:
-            os.unlink(socket_path)
-        except OSError:
-            pass
-    return served
+async def serve_tcp(
+    service: SolveService,
+    host: str,
+    port: int,
+    *,
+    max_requests: Optional[int] = None,
+    ready: Optional[asyncio.Event] = None,
+    on_bound: Optional[Callable[[Address], None]] = None,
+    quiet: bool = True,
+) -> int:
+    """:func:`serve` on a TCP endpoint. ``port=0`` binds an ephemeral
+    port; pass ``on_bound`` to learn which one."""
+    return await serve(
+        service,
+        Address.tcp(host, port),
+        max_requests=max_requests,
+        ready=ready,
+        on_bound=on_bound,
+        quiet=quiet,
+    )

@@ -27,7 +27,12 @@ from repro.trees.properties import (
     is_full_binary,
 )
 from repro.trees.synthesis import synthesize_instance
-from repro.trees.enumerate import enumerate_trees, count_trees, brute_force_value, catalan
+from repro.trees.enumerate import (
+    enumerate_trees,
+    count_trees,
+    brute_force_value,
+    catalan,
+)
 
 __all__ = [
     "ParseTree",

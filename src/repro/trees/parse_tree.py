@@ -109,7 +109,9 @@ class ParseTree:
         return ParseTree(left.i, right.j, split=left.j, left=left, right=right)
 
     @staticmethod
-    def from_split_table(split: "object", i: int = 0, j: int | None = None) -> "ParseTree":
+    def from_split_table(
+        split: "object", i: int = 0, j: int | None = None
+    ) -> "ParseTree":
         """Rebuild the optimal tree from a DP split table.
 
         ``split[i][j]`` (or ``split[i, j]`` for arrays) must hold the
@@ -204,11 +206,15 @@ class ParseTree:
                 break
             assert t.split is not None
             t = t.left if q <= t.split else (t.right if p >= t.split else None)
-        raise InvalidTreeError(f"({p}, {q}) is not a node of the tree at {self.interval}")
+        raise InvalidTreeError(
+            f"({p}, {q}) is not a node of the tree at {self.interval}"
+        )
 
     def splits(self) -> dict[Interval, int]:
         """Map each internal node's interval to its split point."""
-        return {t.interval: t.split for t in self.internal_nodes()}  # type: ignore[misc]
+        return {
+            t.interval: t.split for t in self.internal_nodes()  # type: ignore[misc]
+        }
 
     # -- weights ---------------------------------------------------------------
 

@@ -60,7 +60,9 @@ def size_class(size: int) -> int:
     return r - 1
 
 
-def chain_decomposition(tree: ParseTree, node: ParseTree | None = None) -> list[ParseTree]:
+def chain_decomposition(
+    tree: ParseTree, node: ParseTree | None = None
+) -> list[ParseTree]:
     """The Fig. 1 chain from ``node`` (default: the root).
 
     Let ``i`` be the size class of ``node`` (``i² < size <= (i+1)²``).

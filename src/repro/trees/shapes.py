@@ -70,7 +70,9 @@ def skewed_tree(n: int, *, direction: str = "left") -> ParseTree:
     """
     n = check_positive_int(n, "n")
     if direction not in ("left", "right"):
-        raise InvalidTreeError(f"direction must be 'left' or 'right', got {direction!r}")
+        raise InvalidTreeError(
+            f"direction must be 'left' or 'right', got {direction!r}"
+        )
     if direction == "left":
         t = ParseTree.leaf(0)
         for k in range(1, n):

@@ -1,0 +1,122 @@
+"""Benchmark-trajectory files: machine-readable metrics + acceptance bars.
+
+Every smoke benchmark (E10 backends, E11 service, E12 fleet) records
+its measurements into a ``BENCH_<name>.json`` file at the repository
+root and gates itself against the **bars** stored in that same file.
+The bars used to be hardcoded in each benchmark script; keeping them in
+the trajectory file means one place to read the current acceptance
+thresholds, one place to tighten them as the implementation improves,
+and a CI artifact that carries both the numbers and the standards they
+were held to.
+
+File schema (one JSON object)::
+
+    {
+      "benchmark": "e12_fleet",
+      "updated": "2026-07-27T12:00:00Z",     # last record time (UTC)
+      "bars": {"scaling_x": 1.8, ...},        # gate thresholds (authoritative)
+      "metrics": {...},                       # latest measurement
+      "history": [                            # bounded trajectory
+        {"recorded": "...", "metrics": {...}},
+        ...
+      ]
+    }
+
+:func:`load_bars` merges the file's ``bars`` over the benchmark's
+built-in defaults (so a missing file or a missing key still gates);
+:func:`record` appends the latest measurement to the history (bounded
+to :data:`HISTORY_LIMIT` entries) without ever touching the bars.
+``scripts/record_bench.py`` drives all three benchmarks through this
+module; CI uploads the resulting files as artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Optional
+
+__all__ = ["bench_path", "load_bars", "load_doc", "record", "repo_root"]
+
+#: most recent measurements kept per trajectory file
+HISTORY_LIMIT = 50
+
+
+def repo_root(start: Optional[Path] = None) -> Path:
+    """The repository root the trajectory files live in.
+
+    Resolution order: the ``REPRO_BENCH_DIR`` environment variable
+    (tests point it at a tmp dir), then the first directory at or above
+    ``start`` (default: the current working directory) containing a
+    ``pyproject.toml``. Falls back to ``start`` itself so a checkout
+    without packaging metadata still records *somewhere* predictable.
+    """
+    env = os.environ.get("REPRO_BENCH_DIR")
+    if env:
+        return Path(env)
+    here = (start or Path.cwd()).resolve()
+    for candidate in (here, *here.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return here
+
+
+def bench_path(name: str, root: Optional[Path] = None) -> Path:
+    """Where the trajectory file for benchmark ``name`` lives."""
+    return (root or repo_root()) / f"BENCH_{name}.json"
+
+
+def load_doc(name: str, root: Optional[Path] = None) -> dict:
+    """The parsed trajectory file, or ``{}`` when absent/corrupt (a
+    damaged file must not take the benchmark down with it)."""
+    path = bench_path(name, root)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        return doc if isinstance(doc, dict) else {}
+    except (OSError, ValueError):
+        return {}
+
+
+def load_bars(name: str, defaults: dict, root: Optional[Path] = None) -> dict:
+    """The gate thresholds for ``name``: the trajectory file's ``bars``
+    merged over ``defaults`` (file wins key-by-key)."""
+    bars = load_doc(name, root).get("bars")
+    merged = dict(defaults)
+    if isinstance(bars, dict):
+        merged.update(bars)
+    return merged
+
+
+def record(
+    name: str,
+    metrics: dict,
+    *,
+    bars: Optional[dict] = None,
+    root: Optional[Path] = None,
+) -> Path:
+    """Write/refresh the trajectory file for ``name`` with a new
+    measurement. The file's existing ``bars`` are preserved verbatim;
+    ``bars`` passed here only seed a file that does not have any yet.
+    Returns the path written."""
+    path = bench_path(name, root)
+    doc = load_doc(name, root)
+    existing_bars = doc.get("bars")
+    stamp = datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+    history = [h for h in doc.get("history", []) if isinstance(h, dict)]
+    history.append({"recorded": stamp, "metrics": metrics})
+    out = {
+        "benchmark": name,
+        "updated": stamp,
+        "bars": existing_bars if isinstance(existing_bars, dict) else dict(bars or {}),
+        "metrics": metrics,
+        "history": history[-HISTORY_LIMIT:],
+    }
+    tmp = path.with_suffix(".json.tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(out, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    os.replace(tmp, path)
+    return path

@@ -1,6 +1,5 @@
 """Unit tests for convergence profiling."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.convergence import convergence_profile

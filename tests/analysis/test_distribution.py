@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.analysis.distribution import MoveDistribution, move_distribution
+from repro.analysis.distribution import move_distribution
 from repro.pebbling import moves_upper_bound
 
 

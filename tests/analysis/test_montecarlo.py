@@ -1,7 +1,6 @@
 """Unit tests for the Monte-Carlo harnesses."""
 
 import numpy as np
-import pytest
 
 from repro.analysis.montecarlo import (
     MoveStatistics,

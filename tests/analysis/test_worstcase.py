@@ -1,9 +1,7 @@
 """Unit tests for the worst-case series."""
 
-import pytest
 
 from repro.analysis.worstcase import (
-    WorstCasePoint,
     algorithm_zigzag_series,
     worst_case_series,
 )

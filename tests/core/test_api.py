@@ -1,6 +1,5 @@
 """Unit tests for the solve() façade."""
 
-import numpy as np
 import pytest
 
 from repro.core import solve

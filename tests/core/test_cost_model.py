@@ -88,7 +88,7 @@ class TestTable:
 
     def test_rows_sorted_by_product(self):
         out = comparison_table([128])
-        lines = [l for l in out.splitlines() if "|" in l and "PT" not in l]
-        names = [l.split("|")[0].strip() for l in lines]
+        lines = [line for line in out.splitlines() if "|" in line and "PT" not in line]
+        names = [line.split("|")[0].strip() for line in lines]
         assert names[0] in ("sequential", "optimal-parallel-a", "optimal-parallel-b")
         assert names[-1] == "rytter"

@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.huang import HuangSolver, _count_square_compositions, _count_valid_quadruples
 from repro.core.sequential import solve_sequential
-from repro.core.termination import FixedIterations, UntilValue, WPWStable, WStable
+from repro.core.termination import UntilValue, WPWStable, WStable
 from repro.errors import ConvergenceError, InvalidProblemError
 from repro.problems import MatrixChainProblem
 from repro.problems.generators import random_bst, random_generic, random_matrix_chain

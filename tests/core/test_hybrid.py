@@ -7,7 +7,6 @@ import pytest
 
 from repro.core.hybrid import HybridSolver, hybrid_schedule_length
 from repro.core.sequential import solve_sequential
-from repro.errors import InvalidProblemError
 from repro.problems.generators import random_bst, random_generic, random_matrix_chain
 from repro.trees import synthesize_instance, zigzag_tree
 

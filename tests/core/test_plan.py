@@ -13,7 +13,7 @@ import pytest
 from repro.core import plan_for, solve
 from repro.core.banded import BandedSolver
 from repro.core.huang import HuangSolver
-from repro.core.plan import PlanStep, SweepPlan, compile_plan
+from repro.core.plan import SweepPlan
 from repro.core.rytter import RytterSolver
 from repro.errors import InvalidProblemError
 from repro.parallel.backends import ProcessBackend

@@ -1,6 +1,5 @@
 """Unit tests for the PRAM-executed algorithm (E7 instrument)."""
 
-import math
 
 import pytest
 

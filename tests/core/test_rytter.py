@@ -7,7 +7,7 @@ import pytest
 
 from repro.core.rytter import RytterSolver, rytter_schedule_length
 from repro.core.sequential import solve_sequential
-from repro.core.termination import UntilValue, WPWStable
+from repro.core.termination import UntilValue
 from repro.errors import InvalidProblemError
 from repro.problems.generators import random_generic, random_matrix_chain
 from repro.trees import synthesize_instance, zigzag_tree

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.sequential import (
-    SequentialResult,
     solve_sequential,
     work_count_sequential,
 )

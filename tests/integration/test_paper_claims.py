@@ -14,7 +14,7 @@ import pytest
 from repro.analysis.average_case import fit_log, fit_sqrt, paper_T
 from repro.analysis.montecarlo import game_move_statistics
 from repro.analysis.worstcase import worst_case_series
-from repro.core.cost_model import COST_MODELS, improvement_factor
+from repro.core.cost_model import improvement_factor
 from repro.core.banded import BandedSolver
 from repro.core.huang import HuangSolver
 from repro.core.rytter import RytterSolver

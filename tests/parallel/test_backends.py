@@ -8,7 +8,6 @@ from repro.parallel.backends import (
     BACKEND_NAMES,
     START_METHODS,
     ProcessBackend,
-    SerialBackend,
     ThreadBackend,
     make_backend,
 )

@@ -7,7 +7,7 @@ import pytest
 
 from repro.errors import ConvergenceError, InvalidTreeError
 from repro.pebbling import GameTree, PebbleGame, moves_upper_bound
-from repro.trees import complete_tree, random_tree
+from repro.trees import complete_tree
 
 
 class TestSetup:

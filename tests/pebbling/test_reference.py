@@ -1,7 +1,6 @@
 """The reference game transcription, and its agreement with the
 vectorised game (the key cross-validation)."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConvergenceError

@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import InvalidTreeError
 from repro.pebbling.tree import GameTree
-from repro.trees import complete_tree, random_tree, zigzag_tree
+from repro.trees import complete_tree, random_tree
 
 
 class TestConstruction:

@@ -1,6 +1,5 @@
 """Unit tests for polygon triangulation."""
 
-import numpy as np
 import pytest
 
 from repro.core.sequential import solve_sequential

@@ -1,7 +1,7 @@
 """Property-based tests on the PRAM substrate."""
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.pram import PRAM, BrentScheduler

@@ -1,0 +1,253 @@
+"""The sharded solve fleet: routing, aggregation, shard-death recovery
+and shutdown hygiene.
+
+These tests spawn real shard processes (each a full ``repro serve``),
+so the fleet is kept small (2 shards) and the shards cheap (serial
+backend, sequential default method): what is under test is the router,
+not the solvers.
+"""
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.core import solve
+from repro.errors import ReproError
+from repro.problems import MatrixChainProblem
+from repro.problems.specs import route_key_from_spec
+from repro.service.fleet import FleetRouter, HashRing
+
+FLEET_KWARGS = dict(backend="serial", method="sequential", batch_window=0.002)
+
+
+def pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    return True
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    """One two-shard fleet shared by the read-only tests (spawning
+    shards costs ~1s each; the destructive tests build their own)."""
+    with FleetRouter(2, **FLEET_KWARGS) as router:
+        yield router
+
+
+class TestHashRing:
+    def test_deterministic_across_instances(self):
+        keys = [bytes([i, 2 * i % 251]) for i in range(64)]
+        a, b = HashRing(range(4)), HashRing(range(4))
+        assert [a.route(k) for k in keys] == [b.route(k) for k in keys]
+
+    def test_spreads_keys_over_all_shards(self):
+        ring = HashRing(range(4))
+        owners = {ring.route(os.urandom(16)) for _ in range(256)}
+        assert owners == {0, 1, 2, 3}
+
+    def test_consistency_under_shard_set_growth(self):
+        """Growing the fleet only moves keys *to* the new shard — keys
+        that stay on old shards keep their placement (the consistent-
+        hashing property that makes resharding incremental)."""
+        keys = [os.urandom(16) for _ in range(512)]
+        small, big = HashRing(range(3)), HashRing(range(4))
+        moved = 0
+        for key in keys:
+            before, after = small.route(key), big.route(key)
+            if after != before:
+                assert after == 3, "key moved between two surviving shards"
+                moved += 1
+        assert 0 < moved < len(keys) // 2
+
+    def test_empty_ring_rejected(self):
+        with pytest.raises(ReproError):
+            HashRing([])
+
+
+class TestRouting:
+    def test_same_request_always_routes_to_same_shard(self, fleet):
+        spec = {"dims": [10, 20, 5, 30], "method": "huang"}
+        shards = {fleet.route(dict(spec)) for _ in range(10)}
+        assert len(shards) == 1
+
+    def test_route_ignores_the_client_id(self, fleet):
+        spec = {"dims": [10, 20, 5, 30]}
+        assert fleet.route({**spec, "id": 1}) == fleet.route({**spec, "id": 999})
+
+    def test_distinct_requests_use_both_shards(self, fleet):
+        shards = {
+            fleet.route({"family": "chain", "n": 12, "seed": s}) for s in range(32)
+        }
+        assert shards == {0, 1}
+
+    def test_route_key_prefers_instance_key(self):
+        """Two spec spellings of the same request route identically
+        (instance key, not JSON text)."""
+        a = route_key_from_spec({"dims": [10, 20, 5, 30]})
+        b = route_key_from_spec({"dims": [10.0, 20.0, 5.0, 30.0]})
+        assert a == b
+
+    def test_malformed_spec_still_routes_deterministically(self):
+        a = route_key_from_spec({"bogus": 1})
+        b = route_key_from_spec({"bogus": 1})
+        assert a == b
+
+
+class TestFleetRequests:
+    def test_results_match_direct_solve(self, fleet):
+        records = fleet.request_many([
+            {"dims": [30, 35, 15, 5, 10, 20, 25], "method": "huang-banded"},
+            {"dims": [3, 7, 2]},
+            {"weights": [3, 9, 2, 7], "algebra": "minimax"},
+        ])
+        want = solve(
+            MatrixChainProblem([30, 35, 15, 5, 10, 20, 25]), method="huang-banded"
+        )
+        assert [r["ok"] for r in records] == [True, True, True]
+        assert records[0]["value"] == want.value == 15125.0
+        assert records[1]["value"] == 42.0
+        assert records[2]["value"] == 14.0
+        assert records[2]["algebra"] == "minimax"
+
+    def test_records_in_submission_order_with_ids(self, fleet):
+        specs = [
+            {"family": "chain", "n": 8, "seed": s, "id": f"req-{s}"}
+            for s in range(8)
+        ]
+        records = fleet.request_many(specs)
+        assert [r["id"] for r in records] == [f"req-{s}" for s in range(8)]
+
+    def test_bad_specs_error_in_place(self, fleet):
+        records = fleet.request_many([
+            {"dims": [10, 20, 5, 30]},
+            {"bogus": 1},
+            {"dims": [3, 7, 2]},
+        ])
+        assert [r["ok"] for r in records] == [True, False, True]
+        assert "spec must contain" in records[1]["error"]
+
+    def test_duplicates_hit_the_same_shards_cache(self, fleet):
+        spec = {"dims": [12, 34, 56, 7], "method": "huang"}
+        first = fleet.request(dict(spec))
+        second = fleet.request(dict(spec))
+        assert first["ok"] and second["ok"]
+        assert second["source"] == "cache"
+
+    def test_status_aggregates_across_shards(self, fleet):
+        status = fleet.status()
+        assert status["shards"] == 2 and status["alive"] == 2
+        assert status["totals"]["requests"] >= status["router"]["requests"] - 1
+        assert len(status["per_shard"]) == 2
+        assert all(s["alive"] for s in status["per_shard"])
+        assert 0.0 <= status["totals"]["cache_hit_rate"] <= 1.0
+
+
+class TestShardDeathRecovery:
+    """The PR 5 satellite: kill a shard mid-batch; the router must
+    respawn it, re-dispatch at most once, and drop nothing."""
+
+    def test_kill_mid_batch_no_request_dropped(self):
+        specs = [
+            {"family": "chain", "n": 40 + (i % 4) * 8, "seed": i} for i in range(24)
+        ]
+        with FleetRouter(2, **FLEET_KWARGS) as router:
+            victim = router.shard_pids()[0]
+            out = {}
+
+            def _run():
+                out["records"] = router.request_many(specs)
+
+            worker = threading.Thread(target=_run)
+            worker.start()
+            time.sleep(0.1)  # let the batch get in flight
+            os.kill(victim, signal.SIGKILL)
+            worker.join(timeout=120.0)
+            assert not worker.is_alive(), "request_many hung after the kill"
+
+            records = out["records"]
+            # Zero silent drops: every accepted request has a record,
+            # in order, each either solved or an explicit error.
+            assert len(records) == len(specs)
+            assert all(r is not None for r in records)
+            for record in records:
+                assert record.get("ok") or record.get("error")
+
+            status = router.status()
+            assert status["router"]["respawns"] >= 1, "dead shard not respawned"
+            assert status["alive"] == 2
+            # At-most-once re-dispatch: the router never sends one
+            # request more than twice, so the re-dispatch count is
+            # bounded by the batch size.
+            assert 1 <= status["router"]["redispatched"] <= len(specs)
+
+            # The respawned shard serves fresh requests.
+            healed = router.request({"dims": [10, 20, 5, 30]})
+            assert healed["ok"] and healed["value"] == 2500.0
+
+    def test_kill_between_batches_respawns_on_next_use(self):
+        with FleetRouter(2, **FLEET_KWARGS) as router:
+            warm = router.request_many(
+                [{"family": "chain", "n": 10, "seed": s} for s in range(6)]
+            )
+            assert all(r["ok"] for r in warm)
+            victim = router.shard_pids()[1]
+            os.kill(victim, signal.SIGKILL)
+            deadline = time.monotonic() + 10.0
+            while pid_alive(victim) and time.monotonic() < deadline:
+                time.sleep(0.02)
+            records = router.request_many(
+                [{"family": "chain", "n": 10, "seed": s} for s in range(6)]
+            )
+            assert all(r["ok"] for r in records)
+            assert router.status()["router"]["respawns"] == 1
+            new_pid = router.shard_pids()[1]
+            assert new_pid != victim and pid_alive(new_pid)
+
+
+class TestShutdownHygiene:
+    def test_close_kills_shards_and_removes_state(self):
+        shm_before = set(os.listdir("/dev/shm")) if os.path.isdir("/dev/shm") else set()
+        router = FleetRouter(2, **FLEET_KWARGS)
+        router.start()
+        pids = router.shard_pids()
+        state_dir = router.state_dir
+        sockets = [shard.socket_path for shard in router._shards]
+        assert all(pid_alive(p) for p in pids)
+        assert all(os.path.exists(s) for s in sockets)
+        router.close()
+        deadline = time.monotonic() + 10.0
+        while any(pid_alive(p) for p in pids) and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert not any(pid_alive(p) for p in pids), "orphan shard processes"
+        assert not any(os.path.exists(s) for s in sockets), "leaked sockets"
+        assert not os.path.exists(state_dir), "state dir left behind"
+        if os.path.isdir("/dev/shm"):
+            shm_after = set(os.listdir("/dev/shm"))
+            assert not (shm_after - shm_before), "/dev/shm residue"
+
+    def test_close_is_idempotent_and_blocks_further_requests(self):
+        router = FleetRouter(1, **FLEET_KWARGS)
+        router.start()
+        router.close()
+        router.close()
+        with pytest.raises(ReproError, match="closed"):
+            router.request({"dims": [3, 7, 2]})
+
+    def test_caller_owned_state_dir_is_kept(self, tmp_path):
+        state = tmp_path / "fleet-state"
+        router = FleetRouter(1, state_dir=str(state), **FLEET_KWARGS)
+        router.start()
+        assert router.request({"dims": [3, 7, 2]})["ok"]
+        router.close()
+        assert state.exists(), "caller-owned state dir must survive close"
+
+
+class TestValidation:
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ReproError):
+            FleetRouter(0)

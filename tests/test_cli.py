@@ -168,7 +168,7 @@ class TestBatchCommand:
             ],
         )
         rc = main(["batch", "--input", path, "--jsonl"])
-        records = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        records = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
         assert rc == 1  # failures present
         assert records[0]["value"] == 2500.0 and records[0]["error"] is None
         assert records[1]["error"] is not None
@@ -208,7 +208,7 @@ class TestBatchCommand:
             ),
         )
         rc = main(["batch", "--jsonl", "--backend", "serial"])
-        records = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        records = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
         assert rc == 1
         assert "unknown method" in records[0]["error"]
         assert records[1]["value"] == 2500.0
@@ -228,7 +228,7 @@ class TestBatchCommand:
             ),
         )
         rc = main(["batch", "--jsonl", "--backend", "serial"])
-        records = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        records = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
         assert rc == 1
         assert "must contain one of" in records[0]["error"]
         assert "unknown family" in records[1]["error"]
@@ -249,7 +249,7 @@ class TestBatchCommand:
             ),
         )
         rc = main(["batch", "--jsonl", "--backend", "serial", "--algebra", "max_plus"])
-        records = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        records = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
         assert rc == 0
         assert records[0]["value"] == 58000.0  # max_plus (batch default)
         assert records[1]["value"] == 15125.0  # per-spec min_plus override
@@ -269,7 +269,7 @@ class TestBatchCommand:
             ),
         )
         rc = main(["batch", "--jsonl", "--backend", "serial"])
-        records = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        records = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
         assert rc == 1
         assert "unknown algebra" in records[0]["error"]
         assert records[1]["value"] == 2500.0
@@ -287,7 +287,7 @@ class TestBatchCommand:
             ),
         )
         rc = main(["batch", "--jsonl", "--backend", "serial"])
-        records = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        records = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
         assert rc == 0
         assert records[0]["value"] == 14.0  # min over trees of the max split
         assert records[1]["value"] == 0.8  # the weakest usable connector
@@ -517,3 +517,197 @@ class TestServeRequestCommands:
         assert "line 1" in records[0]["error"]
         assert "JSON object" in records[1]["error"]
         assert records[2]["value"] == 2500.0
+
+
+class TestFleetAndTransportCommands:
+    def test_fleet_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "fleet", "--shards", "3", "--socket", "/tmp/f.sock",
+                "--backend", "serial", "--workers", "2",
+                "--batch-window-ms", "2", "--max-batch", "8",
+                "--cache-mb", "16", "--max-requests", "5",
+            ]
+        )
+        assert args.shards == 3 and args.socket == "/tmp/f.sock"
+        assert args.backend == "serial" and args.max_requests == 5
+
+    def test_serve_tcp_flag_parses(self):
+        args = build_parser().parse_args(["serve", "--tcp", "127.0.0.1:7466"])
+        assert args.tcp == "127.0.0.1:7466"
+
+    def test_request_fleet_flag_parses(self):
+        args = build_parser().parse_args(["request", "--fleet", "4"])
+        assert args.fleet == 4
+
+    def test_request_through_ephemeral_fleet(self, tmp_path, capsys):
+        import json
+
+        spec_file = tmp_path / "reqs.jsonl"
+        spec_file.write_text(
+            '{"dims": [10, 20, 5, 30], "method": "huang-banded"}\n'
+            "not json\n"
+            '{"dims": [3, 7, 2]}\n'
+        )
+        rc = main(["request", "--fleet", "2", "--input", str(spec_file)])
+        out = capsys.readouterr().out
+        records = [json.loads(line) for line in out.splitlines() if line.startswith("{")]
+        assert rc == 1  # the bad line is reported as a failure
+        assert len(records) == 3
+        assert [r["ok"] for r in records] == [True, False, True]
+        assert records[0]["value"] == 2500.0
+        assert records[2]["value"] == 42.0
+
+    def test_serve_then_request_over_tcp(self, capsys):
+        import json
+        import threading
+
+        server = threading.Thread(
+            target=main,
+            args=(
+                [
+                    "serve", "--tcp", "127.0.0.1:0", "--backend", "serial",
+                    "--method", "sequential", "--batch-window-ms", "1",
+                    "--max-requests", "1",
+                ],
+            ),
+            daemon=True,
+        )
+        server.start()
+        # The ephemeral port is printed on the listening banner.
+        deadline = time.monotonic() + 10.0
+        port = None
+        while port is None and time.monotonic() < deadline:
+            out = capsys.readouterr().out
+            for line in out.splitlines():
+                if "listening on" in line:
+                    port = int(line.rsplit(":", 1)[1])
+            time.sleep(0.02)
+        assert port, "serve --tcp never announced its port"
+        import io
+        import sys as _sys
+
+        stdin_backup = _sys.stdin
+        _sys.stdin = io.StringIO('{"dims": [10, 20, 5, 30]}\n')
+        try:
+            rc = main(["request", "--tcp", f"127.0.0.1:{port}"])
+        finally:
+            _sys.stdin = stdin_backup
+        server.join(timeout=10.0)
+        out = capsys.readouterr().out
+        records = [json.loads(line) for line in out.splitlines() if line.startswith("{")]
+        assert rc == 0 and not server.is_alive()
+        assert records and records[0]["value"] == 2500.0
+
+
+class TestServeStaleSocketFix:
+    def test_startup_failure_after_bind_unlinks_socket(self, tmp_path, monkeypatch):
+        """The PR 5 satellite fix at the CLI level: `repro serve` whose
+        startup fails *after* the bind (stdout gone when the listening
+        banner prints) must not leave the socket file behind."""
+        import sys as _sys
+
+        socket_path = tmp_path / "stale.sock"
+
+        class ExplodingStdout:
+            def write(self, text):
+                raise RuntimeError("stdout is gone")
+
+            def flush(self):
+                pass
+
+        monkeypatch.setattr(_sys, "stdout", ExplodingStdout())
+        with pytest.raises(RuntimeError, match="stdout is gone"):
+            main([
+                "serve", "--socket", str(socket_path), "--backend", "serial",
+                "--batch-window-ms", "1",
+            ])
+        assert not socket_path.exists(), "stale socket file left behind"
+
+    def test_stale_socket_from_a_dead_server_is_reclaimed(self, tmp_path):
+        """A leftover socket file (SIGKILLed predecessor) must not stop
+        the next `repro serve` from binding."""
+        import json
+        import socket as socketmod
+        import threading
+
+        socket_path = str(tmp_path / "reuse.sock")
+        corpse = socketmod.socket(socketmod.AF_UNIX, socketmod.SOCK_STREAM)
+        corpse.bind(socket_path)
+        corpse.close()
+        assert os.path.exists(socket_path)
+
+        server = threading.Thread(
+            target=main,
+            args=(
+                [
+                    "serve", "--socket", socket_path, "--backend", "serial",
+                    "--batch-window-ms", "1", "--max-requests", "1",
+                ],
+            ),
+            daemon=True,
+        )
+        server.start()
+        from repro.service import ServiceClient
+
+        deadline = time.monotonic() + 10.0
+        client = None
+        while client is None:
+            try:
+                client = ServiceClient(socket_path)
+            except OSError:
+                assert time.monotonic() < deadline, "serve did not reclaim the socket"
+                time.sleep(0.02)
+        with client:
+            record = client.request({"dims": [10, 20, 5, 30]})
+        server.join(timeout=10.0)
+        assert record["ok"] and record["value"] == 2500.0
+        assert not server.is_alive()
+
+    def test_malformed_tcp_address_fails_cleanly(self, capsys):
+        assert main(["request", "--tcp", "garbage"]) == 2
+        assert main(["serve", "--tcp", "host:"]) == 2
+        err = capsys.readouterr().err
+        assert "malformed TCP address" in err
+        assert "Traceback" not in err
+
+    def test_serve_refuses_socket_with_live_server(self, tmp_path, capsys):
+        import threading
+
+        socket_path = str(tmp_path / "busy.sock")
+        first = threading.Thread(
+            target=main,
+            args=(
+                [
+                    "serve", "--socket", socket_path, "--backend", "serial",
+                    "--batch-window-ms", "1", "--max-requests", "1",
+                ],
+            ),
+            daemon=True,
+        )
+        first.start()
+        deadline = time.monotonic() + 10.0
+        while not os.path.exists(socket_path):
+            assert time.monotonic() < deadline
+            time.sleep(0.02)
+        # Second serve on the same live socket: clean exit 2, no traceback,
+        # and the live server's socket file is left alone.
+        rc = main([
+            "serve", "--socket", socket_path, "--backend", "serial",
+            "--batch-window-ms", "1",
+        ])
+        assert rc == 2
+        assert "live server" in capsys.readouterr().err
+        assert os.path.exists(socket_path), "second serve clobbered the live socket"
+        from repro.service import ServiceClient
+
+        with ServiceClient(socket_path) as client:
+            assert client.request({"dims": [10, 20, 5, 30]})["value"] == 2500.0
+        first.join(timeout=10.0)
+        assert not first.is_alive()
+
+    def test_request_fleet_refuses_explicit_server_address(self, capsys):
+        assert main(["request", "--fleet", "2", "--tcp", "h:1"]) == 2
+        assert main(["request", "--fleet", "2", "--socket", "/tmp/other.sock"]) == 2
+        err = capsys.readouterr().err
+        assert "cannot be combined" in err

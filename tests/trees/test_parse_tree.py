@@ -16,8 +16,8 @@ def small_tree():
 
 class TestConstruction:
     def test_leaf(self):
-        l = ParseTree.leaf(3)
-        assert l.interval == (3, 4) and l.is_leaf and l.size == 1 and l.height == 0
+        leaf = ParseTree.leaf(3)
+        assert leaf.interval == (3, 4) and leaf.is_leaf and leaf.size == 1 and leaf.height == 0
 
     def test_leaf_must_be_unit(self):
         with pytest.raises(InvalidTreeError, match="unit interval"):

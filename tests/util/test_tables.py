@@ -13,7 +13,7 @@ class TestFormatTable:
         assert "---" in lines[1]
         assert len(lines) == 4
         # All rows have equal width.
-        assert len({len(l) for l in lines}) == 1
+        assert len({len(line) for line in lines}) == 1
 
     def test_title(self):
         out = format_table(["a"], [(1,)], title="My Title")
