@@ -23,9 +23,16 @@ that buys (and costs) on real hardware:
   arrays cross the process boundary once per solve) against the legacy
   fork-per-sweep transport (fresh pool + COW re-publish every sweep).
   The acceptance bar: the persistent path's per-sweep overhead must be
-  a fraction (< 1.0x) of the legacy path's. ``--smoke`` runs only this
-  axis at a small size and exits non-zero on regression, which is what
-  CI invokes.
+  a fraction (< 1.0x) of the legacy path's;
+* kernel-tier axis — slab vs fused (``kernel_impl=``) cold-solve
+  wall-clock per method. The fused tier reduces eq. (2c) candidates as
+  cache-blocked semiring matmuls instead of materialising the full
+  lattice; the acceptance bar is fused ≥ 3x slab on the dense
+  min-plus gate instance.
+
+``--smoke`` runs the two gated axes (dispatch, kernel tier) at small
+sizes, prints each axis's speedup against its slab/serial baseline,
+and exits non-zero on regression — that is what CI invokes.
 
 Correctness is not at stake (every combination commits bitwise-equal
 tables — the test suite pins that); this is the operational record the
@@ -55,6 +62,10 @@ DEFAULT_BARS = {
     # compiled-plan per-sweep dispatch overhead as a fraction of the
     # legacy fork-per-sweep transport's — must stay below this
     "dispatch_ratio_max": 1.0,
+    # fused-tier cold-solve speedup over slab on the dense min-plus
+    # gate instance — must stay at or above this (the numpy engine
+    # measures ~4-5x unloaded; numba higher)
+    "fused_speedup_min": 3.0,
 }
 
 
@@ -234,7 +245,61 @@ def dispatch_overhead_table(
     )
 
 
-def smoke_stats(n: int = 14, workers: int = 2) -> dict:
+def _fused_speedup_stats(n: int = 24, repeats: int = 3) -> dict:
+    """Cold-solve slab vs fused on the dense min-plus gate instance
+    (huang, serial — the pure kernel-compute comparison, no dispatch).
+    The gate runs at n=24: the fused win grows with n (less of the
+    solve is sweep bookkeeping), so a smaller instance under-reads it.
+    """
+    from repro.core.kernels_fused import fused_backend
+
+    p = random_matrix_chain(n, seed=4)
+    t_slab = _time(lambda: solve(p, method="huang", kernel_impl="slab"), repeats)
+    t_fused = _time(lambda: solve(p, method="huang", kernel_impl="fused"), repeats)
+    return {
+        "fused_n": n,
+        "fused_engine": fused_backend(),
+        "slab_solve_s": t_slab,
+        "fused_solve_s": t_fused,
+        "fused_speedup": t_slab / t_fused if t_fused > 0 else float("inf"),
+    }
+
+
+def kernel_impl_table(n: int = 24, repeats: int = 3):
+    from repro.core.kernels_fused import fused_backend
+
+    p = random_matrix_chain(n, seed=4)
+    rows = []
+    for method in METHODS + ("rytter",):
+        t_slab = _time(
+            lambda: solve(p, method=method, kernel_impl="slab"), repeats
+        )
+        t_fused = _time(
+            lambda: solve(p, method=method, kernel_impl="fused"), repeats
+        )
+        rows.append(
+            (
+                method,
+                f"{t_slab * 1e3:.1f}",
+                f"{t_fused * 1e3:.1f}",
+                f"{t_slab / t_fused:.2f}x",
+            )
+        )
+    return format_table(
+        ["method", "slab ms", "fused ms", "fused speedup"],
+        rows,
+        title=(
+            f"E10f: kernel tier at n={n}, serial backend, min_plus, "
+            f"fused engine = {fused_backend()}. Same candidate multiset, "
+            "reduced as semiring matmuls instead of materialised slabs; "
+            "methods whose kernels have no fused form (banded square, "
+            "compact layout) fall back per step, so their rows track how "
+            "much of the solve the fused steps cover."
+        ),
+    )
+
+
+def smoke_stats(n: int = 14, workers: int = 2, fused_n: int = 24) -> dict:
     """The smoke measurement, JSON-ready (what the trajectory records)."""
     s = _dispatch_overhead_stats(n=n, workers=workers, repeats=2)
     s["dispatch_ratio"] = (
@@ -242,6 +307,7 @@ def smoke_stats(n: int = 14, workers: int = 2) -> dict:
         if s["cow_per_sweep_ms"] > 0
         else 0.0
     )
+    s.update(_fused_speedup_stats(n=fused_n, repeats=2))
     return s
 
 
@@ -256,23 +322,42 @@ def smoke_failures(stats: dict, bars: dict) -> list[str]:
             f"{bars['dispatch_ratio_max']:.2f}x the legacy path "
             f"(measured {stats['dispatch_ratio']:.2f}x)"
         )
+    if stats["fused_speedup"] < bars["fused_speedup_min"]:
+        failed.append(
+            "fused kernel tier is below "
+            f"{bars['fused_speedup_min']:.1f}x slab cold-solve throughput "
+            f"(measured {stats['fused_speedup']:.2f}x on the "
+            f"{stats['fused_engine']} engine)"
+        )
     return failed
 
 
-def smoke(n: int = 14, workers: int = 2) -> int:
-    """CI guard: the persistent-pool + shared-memory path must amortise
-    per-sweep dispatch below the legacy fork-per-sweep path. Returns a
-    process exit code (non-zero = regression). The table and the gate
-    are rendered from one measurement, so the printed numbers are the
-    gated numbers; bars come from BENCH_e10_backends.json and the
-    measurement is recorded back into it (the perf trajectory)."""
+def smoke(n: int = 14, workers: int = 2, fused_n: int = 24) -> int:
+    """CI guard over the two gated axes: the persistent-pool +
+    shared-memory path must amortise per-sweep dispatch below the
+    legacy fork-per-sweep path, and the fused kernel tier must beat
+    slab cold-solve throughput by the trajectory bar. Returns a process
+    exit code (non-zero = regression). The tables and the gates are
+    rendered from one measurement, so the printed numbers are the gated
+    numbers; bars come from BENCH_e10_backends.json and the measurement
+    is recorded back into it (the perf trajectory). The summary prints
+    each axis's speedup over its slab/serial baseline."""
     bars = load_bars(BENCH_NAME, DEFAULT_BARS)
-    s = smoke_stats(n=n, workers=workers)
+    s = smoke_stats(n=n, workers=workers, fused_n=fused_n)
     print(dispatch_overhead_table(stats=s))
     print(
-        f"\nper-sweep dispatch: shm {s['shm_per_sweep_ms']:.2f} ms "
-        f"vs legacy {s['cow_per_sweep_ms']:.2f} ms "
-        f"(bar {bars['dispatch_ratio_max']:.2f}x)"
+        "\naxis dispatch:    compiled plan at "
+        f"{s['dispatch_ratio']:.2f}x legacy per-sweep overhead — "
+        f"{1.0 / s['dispatch_ratio']:.1f}x faster dispatch than the "
+        f"fork-per-sweep baseline (bar <= {bars['dispatch_ratio_max']:.2f}x)"
+        if s["dispatch_ratio"] > 0
+        else "\naxis dispatch:    compiled plan dispatch unmeasurable (zero overhead)"
+    )
+    print(
+        f"axis kernel_impl: fused[{s['fused_engine']}] at "
+        f"{s['fused_speedup']:.2f}x slab cold-solve throughput, "
+        f"huang n={s['fused_n']} min_plus serial "
+        f"(bar >= {bars['fused_speedup_min']:.1f}x)"
     )
     record(BENCH_NAME, s, bars=bars)
     failed = smoke_failures(s, bars)
@@ -280,7 +365,7 @@ def smoke(n: int = 14, workers: int = 2) -> int:
         print(f"FAIL: {reason}")
     if failed:
         return 1
-    print("OK: compiled-plan dispatch amortised below the legacy fork-per-sweep path")
+    print("OK: both axes beat their slab/serial baselines by the trajectory bars")
     return 0
 
 
@@ -316,6 +401,13 @@ def test_e10_dispatch_overhead(report, benchmark):
     )
 
 
+def test_e10_kernel_impl_axis(report, benchmark):
+    report(
+        "e10_backends",
+        benchmark.pedantic(kernel_impl_table, rounds=1, iterations=1),
+    )
+
+
 def test_e10_tiled_iteration_kernel(benchmark):
     """Wall-clock kernel: one thread-tiled huang iteration at n=32."""
     from repro.core.huang import HuangSolver
@@ -338,6 +430,8 @@ def main(argv: list[str] | None = None) -> int:
     print(algebra_sweep_table())
     print()
     print(dispatch_overhead_table())
+    print()
+    print(kernel_impl_table())
     return 0
 
 

@@ -56,7 +56,7 @@ from typing import Sequence
 # __init__, so this costs nothing extra.)
 from repro.core.algebra import list_algebras
 from repro.core.api import ITERATIVE_METHODS, METHODS
-from repro.parallel.backends import BACKEND_NAMES, START_METHODS
+from repro.parallel.backends import BACKEND_NAMES, KERNEL_IMPLS, START_METHODS
 
 from repro.problems.specs import FAMILIES, family_generators
 
@@ -120,6 +120,18 @@ def _add_execution_args(parser: argparse.ArgumentParser) -> None:
         type=_positive_int,
         default=None,
         help="backend worker count (default: min(8, cpu count))",
+    )
+    parser.add_argument(
+        "--kernel-impl",
+        choices=list(KERNEL_IMPLS),
+        default="auto",
+        help=(
+            "kernel implementation tier for the iterative methods: slab "
+            "(reference full-lattice kernels), fused (cache-blocked "
+            "reduce-compose; numba JIT with the [perf] extra, blocked "
+            "numpy otherwise) or auto (default: fused) — all tiers "
+            "commit bitwise-identical tables"
+        ),
     )
 
 
@@ -202,6 +214,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=_positive_int,
         default=None,
         help="pool size (default: min(8, cpu count))",
+    )
+    p_batch.add_argument(
+        "--kernel-impl",
+        choices=list(KERNEL_IMPLS),
+        default="auto",
+        help="kernel implementation tier for iterative items (default: auto)",
     )
     p_batch.add_argument(
         "--jsonl",
@@ -484,6 +502,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         "backend": args.backend,
         "workers": args.workers,
         "start_method": args.start_method,
+        "kernel_impl": args.kernel_impl,
     }
     if args.algebra is not None:
         kwargs["algebra"] = args.algebra
@@ -546,6 +565,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         backend=args.backend,
         max_workers=args.max_workers,
         start_method=args.start_method,
+        kernel_impl=args.kernel_impl,
         on_error="return",
     )
     results_iter = iter(results)
@@ -827,6 +847,7 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         workers=args.workers,
         tiles=args.tiles,
         start_method=args.start_method,
+        kernel_impl=args.kernel_impl,
     )
     print(f"problem : {problem.describe()}")
     print(plan.describe())

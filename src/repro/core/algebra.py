@@ -86,6 +86,7 @@ from repro.errors import InvalidProblemError
 
 __all__ = [
     "SelectionSemiring",
+    "KernelLowering",
     "get_algebra",
     "register_algebra",
     "list_algebras",
@@ -95,13 +96,21 @@ __all__ = [
     "MAXMIN",
     "LEX_MIN_PLUS",
     "LEX_SCALE",
+    "FLOAT_EXACT_INT_MAX",
     "lex_pack",
     "lex_unpack",
+    "lex_range_check",
 ]
 
 #: packing factor of the ``lex_min_plus`` encoded pair — supports up to
 #: LEX_SCALE - 1 splits, i.e. instances with n < LEX_SCALE.
 LEX_SCALE = 4096.0
+
+#: largest integer magnitude a float64 represents exactly (2^53 - 1):
+#: sums of packed integer payloads at or below this bound are computed
+#: without rounding, the precondition of the fused tier's packed
+#: ``lex_min_plus`` fast path (the chia ``fast_vdf`` range-check idiom).
+FLOAT_EXACT_INT_MAX = float(2**53 - 1)
 
 
 # ---------------------------------------------------------------------------
@@ -173,9 +182,55 @@ def _lex_decode(value: Any) -> Any:
     return float(cost) if np.isscalar(value) or np.ndim(value) == 0 else cost
 
 
+def lex_range_check(*arrays: np.ndarray) -> bool:
+    """May packed ``lex_min_plus`` values from these operands be summed
+    on the packed channel without rounding?
+
+    The fused tier's fast path adds *packed* floats directly (one
+    ``extend`` per candidate, exactly what the slab kernels do), which
+    is exact iff every intermediate stays within float64's exact-integer
+    window. Following the ``fast_vdf`` idiom — check the input range
+    once, then run the branch-free fast path — this sums the largest
+    finite magnitude of each operand and compares against
+    :data:`FLOAT_EXACT_INT_MAX`. A ``True`` verdict certifies the fast
+    path bitwise; ``False`` sends the tile to the exact two-channel
+    fallback (no error — the fallback is merely slower).
+    """
+    budget = 0.0
+    for a in arrays:
+        finite = np.abs(a[np.isfinite(a)])
+        if finite.size:
+            budget += float(finite.max())
+    return budget <= FLOAT_EXACT_INT_MAX
+
+
 # ---------------------------------------------------------------------------
 # The contract.
 # ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class KernelLowering:
+    """What a compiled kernel needs to know about an algebra — nothing
+    more. The fused tier (:mod:`repro.core.kernels_fused`) and its numba
+    specialisations dispatch on *names*, not ufunc objects (ufuncs do
+    not lower into nopython code), so each algebra exports this small
+    scalar-level description of itself:
+
+    - ``ext_name`` / ``comb_name`` name the scalar semantics of
+      ``extend`` / ``combine`` (``"add"``, ``"minimum"``,
+      ``"maximum"``) — the only three that satisfy the selection
+      contract with float64 exactness;
+    - ``zero`` / ``one`` are the constants, verbatim;
+    - ``packed`` flags multi-channel encodings (``lex_min_plus``) whose
+      fast path needs a range check with an exact fallback.
+    """
+
+    ext_name: str
+    comb_name: str
+    zero: float
+    one: float
+    packed: bool = False
 
 
 @dataclass(frozen=True)
@@ -272,6 +327,24 @@ class SelectionSemiring:
         """Map a table value back to the problem domain (identity except
         for packed algebras such as ``lex_min_plus``)."""
         return value if self.decode_fn is None else self.decode_fn(value)
+
+    # -- kernel lowering -----------------------------------------------------
+
+    def lowering(self) -> KernelLowering:
+        """The scalar-level description compiled kernels dispatch on.
+
+        Derived from the ufuncs themselves (their ``__name__``s), so a
+        custom registered algebra built from the same three numpy ops
+        lowers for free; ``packed`` is keyed off the presence of a
+        decode hook, which only multi-channel encodings carry.
+        """
+        return KernelLowering(
+            ext_name=self.extend_ufunc.__name__,
+            comb_name=self.combine_ufunc.__name__,
+            zero=self.zero,
+            one=self.one,
+            packed=self.decode_fn is not None,
+        )
 
     # -- plumbing -----------------------------------------------------------
 

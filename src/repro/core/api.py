@@ -46,6 +46,7 @@ from repro.core.termination import TerminationPolicy
 from repro.errors import InvalidProblemError
 from repro.parallel.backends import (
     BACKEND_NAMES,
+    KERNEL_IMPLS,
     START_METHODS,
     Backend,
     make_backend,
@@ -80,14 +81,18 @@ ITERATIVE_METHODS = tuple(_SOLVER_CLASSES)
 METHODS = ("sequential", "knuth") + ITERATIVE_METHODS
 
 
-def _validate_execution(backend, start_method) -> None:
-    """Reject unknown backend / start-method names *before* any solver,
-    pool or table is constructed — with the valid choices in the error.
-    (Historically an unknown name surfaced only when the engine first
-    asked for a pool, mid-solve.)"""
+def _validate_execution(backend, start_method, kernel_impl="auto") -> None:
+    """Reject unknown backend / start-method / kernel-impl names
+    *before* any solver, pool or table is constructed — with the valid
+    choices in the error. (Historically an unknown name surfaced only
+    when the engine first asked for a pool, mid-solve.)"""
     if isinstance(backend, str) and backend not in BACKEND_NAMES:
         raise InvalidProblemError(
             f"unknown backend {backend!r}; choose from {BACKEND_NAMES}"
+        )
+    if kernel_impl is not None and kernel_impl not in KERNEL_IMPLS:
+        raise InvalidProblemError(
+            f"unknown kernel_impl {kernel_impl!r}; choose from {KERNEL_IMPLS}"
         )
     if start_method is not None:
         if start_method not in START_METHODS:
@@ -113,14 +118,15 @@ def _validate_execution(backend, start_method) -> None:
 # ---------------------------------------------------------------------------
 
 #: solve() keywords that select *how* a result is computed, never *what*
-#: it is: every (backend, workers, tiles, start_method, store)
-#: combination commits bitwise-identical tables (DESIGN.md §3). None of
+#: it is: every (backend, workers, tiles, start_method, store,
+#: kernel_impl) combination commits bitwise-identical tables (DESIGN.md
+#: §3/§9). None of
 #: these enter the instance hash — a result computed on one execution
 #: configuration answers for all. ``max_n`` is *not* here: it only
 #: guards memory, but a guard that can reject a request changes the
 #: request's outcome, so it must partition the key.
 _EXECUTION_ONLY_KWARGS = frozenset(
-    {"backend", "workers", "tiles", "start_method", "store", "cache"}
+    {"backend", "workers", "tiles", "start_method", "store", "cache", "kernel_impl"}
 )
 
 
@@ -282,6 +288,7 @@ def solve(
     start_method: str | None = None,
     store: TableStore | None = None,
     cache: Any = None,
+    kernel_impl: str | None = "auto",
     **solver_kwargs,
 ) -> SolveResult:
     """Solve ``problem`` with the chosen algorithm.
@@ -353,13 +360,22 @@ def solve(
         compiling a plan or touching a backend, a miss populates the
         cache on the way out. Uncacheable requests (``instance_key``
         returns ``None``) bypass the cache entirely.
+    kernel_impl:
+        Kernel implementation tier for the iterative methods:
+        ``"slab"`` (reference full-lattice kernels), ``"fused"``
+        (cache-blocked reduce-compose,
+        :mod:`repro.core.kernels_fused` — numba-JIT when the ``[perf]``
+        extra is installed, blocked numpy otherwise) or ``"auto"``
+        (default: fused). Execution-only: every tier commits
+        bitwise-identical tables, so it never enters the instance key.
+        Ignored by the sequential methods.
     solver_kwargs:
         Extra keyword arguments forwarded to the solver class
         (e.g. ``band=...``, ``size_band=True`` for ``huang-banded``).
     """
     if method not in METHODS:
         raise InvalidProblemError(f"unknown method {method!r}; choose from {METHODS}")
-    _validate_execution(backend, start_method)
+    _validate_execution(backend, start_method, kernel_impl)
     if algebra is None:
         algebra = getattr(problem, "preferred_algebra", "min_plus")
     alg = get_algebra(algebra)
@@ -420,6 +436,7 @@ def solve(
         tiles=tiles,
         start_method=start_method,
         store=store,
+        kernel_impl=kernel_impl,
         **solver_kwargs,
     )
     try:
@@ -515,6 +532,7 @@ def solve_many(
     max_workers: int | None = None,
     start_method: str | None = None,
     on_error: str = "raise",
+    kernel_impl: str | None = "auto",
     **solve_kwargs,
 ) -> list[SolveResult | Exception]:
     """Solve a batch of heterogeneous problems on a shared worker pool.
@@ -551,6 +569,10 @@ def solve_many(
         batch completes; ``"return"`` keeps failures *in place* — the
         returned list holds the exception object at the failing index
         so one bad problem cannot take down the batch.
+    kernel_impl:
+        Batch-wide kernel implementation tier (``"slab"``, ``"fused"``
+        or ``"auto"``; see :func:`solve`), validated up front and
+        overridable per item.
     solve_kwargs:
         Batch-wide defaults forwarded to :func:`solve` (``policy=...``,
         ``reconstruct=...``, ``max_n=...``, ``algebra=...``). Per-item
@@ -573,7 +595,8 @@ def solve_many(
         raise InvalidProblemError(
             f"on_error must be 'raise' or 'return', got {on_error!r}"
         )
-    _validate_execution(backend, start_method)
+    _validate_execution(backend, start_method, kernel_impl)
+    solve_kwargs["kernel_impl"] = kernel_impl
     specs = _normalize_batch(problems, method)
     for _, m, kw in specs:
         if m not in METHODS:
@@ -638,6 +661,7 @@ def plan_for(
     tiles: int | None = None,
     start_method: str | None = None,
     max_n: int | None = None,
+    kernel_impl: str | None = "auto",
     **solver_kwargs,
 ) -> SweepPlan:
     """Compile (without running) the :class:`~repro.core.plan.SweepPlan`
@@ -659,7 +683,7 @@ def plan_for(
             f"method {method!r} has no sweep plan; iterative methods: "
             f"{ITERATIVE_METHODS}"
         )
-    _validate_execution(backend, start_method)
+    _validate_execution(backend, start_method, kernel_impl)
     if max_n is not None:
         solver_kwargs["max_n"] = max_n
     solver = _SOLVER_CLASSES[method](
@@ -670,6 +694,7 @@ def plan_for(
         tiles=tiles,
         start_method=start_method,
         store=_PlanOnlyStore(),
+        kernel_impl=kernel_impl,
         **solver_kwargs,
     )
     try:

@@ -86,6 +86,7 @@ class CompactBandedSolver(IterativeTableSolver):
         tiles: int | None = None,
         start_method: str | None = None,
         store: "TableStore | None" = None,
+        kernel_impl: str | None = "auto",
     ) -> None:
         if problem.n > max_n:
             raise InvalidProblemError(
@@ -101,7 +102,7 @@ class CompactBandedSolver(IterativeTableSolver):
         if algebra is None:
             algebra = getattr(problem, "preferred_algebra", "min_plus")
         self.algebra = get_algebra(algebra)
-        self._init_engine(backend, workers, tiles, start_method, store)
+        self._init_engine(backend, workers, tiles, start_method, store, kernel_impl)
         self._F = self._adopt_table(
             "F", self.algebra.encode_f(problem.cached_f_table())
         )

@@ -63,7 +63,7 @@ from repro.core.termination import (
     default_schedule_length,
 )
 from repro.errors import ConvergenceError, InvalidProblemError
-from repro.parallel.backends import Backend
+from repro.parallel.backends import Backend, resolve_kernel_impl
 from repro.parallel.shm import TableStore
 from repro.problems.base import ParenthesizationProblem
 
@@ -161,6 +161,7 @@ class IterativeTableSolver:
         tiles: int | None = None,
         start_method: str | None = None,
         store: "TableStore | None" = None,
+        kernel_impl: str | None = "auto",
     ) -> None:
         """Create the kernel engine and instantiate this solver's kernel
         set; concrete ``__init__`` methods call this before :meth:`reset`
@@ -173,6 +174,9 @@ class IterativeTableSolver:
         self.backend = self._engine.backend
         self.tiles = self._engine.tiles
         self._store = self._engine.store
+        #: resolved kernel tier ("slab" or "fused"); plan compilation
+        #: freezes each step's compute function from it
+        self.kernel_impl = resolve_kernel_impl(kernel_impl)
         self._kernels = self.build_kernels()
         self._plan: SweepPlan | None = None
 
@@ -353,6 +357,13 @@ class HuangSolver(IterativeTableSolver):
         caller-owned shared-memory
         :class:`~repro.parallel.shm.TableStore` to allocate the tables
         in; both apply only with ``backend="process"``.
+    kernel_impl:
+        Kernel implementation tier: ``"slab"`` (the reference
+        full-lattice kernels), ``"fused"`` (cache-blocked
+        reduce-compose, :mod:`repro.core.kernels_fused`) or ``"auto"``
+        (default — fused, which itself resolves to numba when installed
+        or the blocked numpy fallback otherwise). Both tiers commit
+        bitwise-identical tables.
     """
 
     def __init__(
@@ -367,6 +378,7 @@ class HuangSolver(IterativeTableSolver):
         tiles: int | None = None,
         start_method: str | None = None,
         store: TableStore | None = None,
+        kernel_impl: str | None = "auto",
     ) -> None:
         if problem.n > max_n:
             raise InvalidProblemError(
@@ -380,7 +392,7 @@ class HuangSolver(IterativeTableSolver):
         if algebra is None:
             algebra = getattr(problem, "preferred_algebra", "min_plus")
         self.algebra = get_algebra(algebra)
-        self._init_engine(backend, workers, tiles, start_method, store)
+        self._init_engine(backend, workers, tiles, start_method, store, kernel_impl)
         self._F = self._adopt_table(
             "F", self.algebra.encode_f(problem.cached_f_table())
         )

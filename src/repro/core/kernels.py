@@ -56,6 +56,11 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from repro.core.algebra import MIN_PLUS, SelectionSemiring
+from repro.core.kernels_fused import (
+    fused_dense_pebble_tile,
+    fused_dense_square_tile,
+    fused_rytter_square_tile,
+)
 from repro.errors import BackendError
 from repro.parallel.backends import Backend, make_backend
 from repro.parallel.partition import split_range
@@ -121,7 +126,9 @@ def dense_square_tile(
     N = pw.shape[0]
     ar = np.arange(N)
     acc = algebra.full((hi - lo, N, N, N))
-    tmp = np.empty_like(acc)
+    # The N⁴ scratch slab is only needed once an anchor survives the
+    # reachability skip — early sparse/banded sweeps skip them all.
+    tmp = None
     # Raw ufuncs, hoisted out of the sweep loops (per-call overhead is
     # visible at this call frequency; for min_plus these are exactly
     # np.add / np.minimum).
@@ -130,6 +137,8 @@ def dense_square_tile(
         Y = pw[r][ar[None, :], ar[:, None], ar[None, :]]  # Y[p, q] = pw[r,q,p,q]
         if not algebra.reachable(Y).any():
             continue
+        if tmp is None:
+            tmp = np.empty_like(acc)
         X = pw[lo:hi, :, r, :]  # X[i - lo, j, q]
         ext(X[:, :, None, :], Y[None, None, :, :], out=tmp)
         comb(acc, tmp, out=acc)
@@ -137,6 +146,8 @@ def dense_square_tile(
         Y = pw[:, s, :, :][ar, ar, :]  # Y[p, q] = pw[p,s,p,q]
         if not algebra.reachable(Y).any():
             continue
+        if tmp is None:
+            tmp = np.empty_like(acc)
         X = pw[lo:hi, :, :, s]  # X[i - lo, j, p]
         ext(X[:, :, :, None], Y[None, None, :, :], out=tmp)
         comb(acc, tmp, out=acc)
@@ -222,8 +233,15 @@ def rytter_square_tile(
     Mrows = M[lo:hi]
     acc = algebra.full((hi - lo, K))
     ext, comb = algebra.extend_ufunc, algebra.combine_ufunc
+    # One reused scratch slab, allocated lazily on the first useful
+    # intermediate (early sweeps often have none) instead of a fresh
+    # rank-1 product allocation per t.
+    tmp = None
     for t in useful:
-        comb(acc, ext(Mrows[:, t][:, None], M[t, :][None, :]), out=acc)
+        if tmp is None:
+            tmp = np.empty_like(acc)
+        ext(Mrows[:, t][:, None], M[t, :][None, :], out=tmp)
+        comb(acc, tmp, out=acc)
     return acc
 
 
@@ -340,6 +358,18 @@ class SweepKernel:
     updates: str = "pw"
     #: module-level compute function (picklable for the process backend)
     compute_fn: Callable[..., Any]
+    #: fused-tier compute (same signature/result contract as
+    #: :attr:`compute_fn`, bitwise-identical tables); ``None`` means the
+    #: slab compute serves both tiers (e.g. the compact kernels, whose
+    #: in-band sweeps are already reduce-as-you-compose).
+    fused_compute_fn: Callable[..., Any] | None = None
+
+    def compute_for(self, impl: str) -> Callable[..., Any]:
+        """The compute function for a kernel implementation tier
+        (``"slab"`` or a resolved ``"fused"``)."""
+        if impl == "fused" and self.fused_compute_fn is not None:
+            return self.fused_compute_fn
+        return self.compute_fn
 
     def tiles(self, solver, parts: int) -> list:
         """Disjoint tiles covering the operation's output index space.
@@ -412,6 +442,7 @@ class DenseSquareKernel(SweepKernel):
     name = "square"
     updates = "pw"
     compute_fn = staticmethod(dense_square_tile)
+    fused_compute_fn = staticmethod(fused_dense_square_tile)
 
     def tiles(self, solver, parts):
         return self._row_tiles(solver.n + 1, parts)
@@ -440,6 +471,7 @@ class DensePebbleKernel(SweepKernel):
     name = "pebble"
     updates = "w"
     compute_fn = staticmethod(dense_pebble_tile)
+    fused_compute_fn = staticmethod(fused_dense_pebble_tile)
 
     def tiles(self, solver, parts):
         return self._row_tiles(solver.n + 1, parts)
@@ -466,6 +498,11 @@ class BandedSquareKernel(DenseSquareKernel):
     written cells is enforced at commit so workers never see it."""
 
     compute_fn = staticmethod(banded_square_tile)
+    # No fused lowering: the fused square sweeps the *full* composition
+    # lattice, while the banded slab sweeps only band offsets — the
+    # candidate sets differ, so inheriting the fused dense square would
+    # break bitwise identity with this kernel's slab tables.
+    fused_compute_fn = None
 
     def arrays(self, solver):
         return {"pw": solver.pw, "band": solver.band}
@@ -497,6 +534,7 @@ class RytterSquareKernel(SweepKernel):
     name = "square"
     updates = "pw"
     compute_fn = staticmethod(rytter_square_tile)
+    fused_compute_fn = staticmethod(fused_rytter_square_tile)
 
     def tiles(self, solver, parts):
         return self._row_tiles((solver.n + 1) ** 2, parts)
@@ -728,6 +766,7 @@ class KernelEngine:
             tiles=tiles,
             updates=kernel.updates,
             result_shapes=(None,) * len(tiles),
+            compute_fn=kernel.compute_for(getattr(solver, "kernel_impl", "slab")),
         )
         return self.execute_step(step, solver)
 
@@ -750,6 +789,11 @@ class KernelEngine:
         read out of shared memory instead of pickled slabs.
         """
         kernel = step.kernel
+        # The plan froze the tier's compute function at compile time
+        # (slab vs fused); older/hand-built steps fall back to slab.
+        compute_fn = (
+            step.compute_fn if step.compute_fn is not None else kernel.compute_fn
+        )
         arrays = dict(kernel.arrays(solver))
         arrays.setdefault("algebra", getattr(solver, "algebra", MIN_PLUS))
         self.epoch += 1
@@ -772,7 +816,11 @@ class KernelEngine:
             # invariant: pool.map's request/response pairing already
             # guarantees each digest answers the task that carried it.
             tagged = self.backend.map_store_tasks(
-                kernel.compute_fn, step.tiles, manifest, inline, result_metas,
+                compute_fn,
+                step.tiles,
+                manifest,
+                inline,
+                result_metas,
                 self.epoch,
             )
             results = [
@@ -780,9 +828,7 @@ class KernelEngine:
                 for k, (tag, payload, _epoch) in enumerate(tagged)
             ]
         else:
-            results = self.backend.map_with_arrays(
-                kernel.compute_fn, step.tiles, arrays
-            )
+            results = self.backend.map_with_arrays(compute_fn, step.tiles, arrays)
         return kernel.commit(solver, step.tiles, results)
 
     def release(self, *, close_backend: bool = True) -> None:

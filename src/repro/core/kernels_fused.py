@@ -1,0 +1,470 @@
+"""The fused kernel tier: cache-blocked reduce-compose sweeps.
+
+The slab kernels in :mod:`repro.core.kernels` evaluate eq. (2c) by
+materialising the full ``(hi - lo, N, N, N)`` candidate lattice twice
+(``acc`` plus ``tmp``) and making ``2N`` whole-lattice ``ext``/``comb``
+passes per a-square step — Θ(N⁴) memory traffic per anchor, which is
+what bounds cold-solve throughput across the whole stack (service,
+fleet, CI trajectory alike). This module is the ``kernel_impl="fused"``
+tier: the same candidate lattices, reformulated so they are *reduced as
+they are composed* and never materialised.
+
+The reformulation
+-----------------
+Every eq. (2c) composition has one of two shapes. Right-anchored
+candidates for output ``(i, j, p, q)`` compose ``pw(i, j, r, q) ⊗
+pw(r, q, p, q)``: for a fixed anchor column ``q`` this is exactly a
+semiring matrix product ``X[(i, j), r] ⊗ Y[r, p]`` with ``Y[r, p] =
+pw(r, q, p, q)`` — combine plays the sum, extend plays the product.
+Left-anchored candidates ``pw(i, j, p, s) ⊗ pw(p, s, p, q)`` are the
+mirror image per anchor row ``p``. So one a-square tile becomes ``2N``
+small semiring matmuls whose reduction ``R`` axis is further restricted
+to the **reachable** rows of ``Y`` (``np.flatnonzero`` of a per-anchor
+reachability mask), and whose output is written directly into the
+triangular slice of ``acc`` it can affect (``j >= q`` right, ``j > p``
+left). Each matmul runs cache-blocked (:data:`CHUNK` elements per
+intermediate) so the working set stays resident.
+
+Why the tables stay bitwise identical
+-------------------------------------
+``combine`` is an exact idempotent *selection* (min/max on float64
+selects an argument, no rounding), so reduction order and grouping
+cannot change the selected value's bits. Each candidate is the same
+single binary ``extend`` the slab kernels evaluate. The restrictions
+drop only candidates that are exactly ``algebra.zero``: invalid ``pw``
+cells (violating ``i <= p < q <= j``) are ``zero`` forever — activate
+only writes where the encoded ``f`` table is non-zero, and zero is
+extend-absorbing — so triangular output slicing and reachable-row
+sub-selection remove exact no-ops and nothing else. Hence
+``fused ≡ slab`` bit-for-bit, for every registered algebra; the golden
+and property suites enforce it along a ``kernel_impl`` axis.
+
+Execution engines
+-----------------
+When **numba** is installed (the ``[perf]`` extra), the inner reduce
+runs as a JIT-compiled scalar loop nest specialised per algebra via its
+:class:`~repro.core.algebra.KernelLowering` (ufuncs do not lower into
+nopython code, so the lowering names the scalar semantics and this
+module builds the loop bodies from them). Without numba the same
+loops run as cache-blocked numpy slab operations — same public surface,
+same tables, ~4-5x over slab instead of ~10x. :func:`fused_backend`
+reports which engine this process resolved to.
+
+The packed fast path (the ``fast_vdf`` idiom)
+---------------------------------------------
+``lex_min_plus`` packs ``(cost, splits)`` into one float64; adding
+packed values is exact only inside float64's exact-integer window.
+Like chia's ``fast_vdf`` — check the input range once, then run the
+branch-free fast path — each fused reduce first calls
+:func:`~repro.core.algebra.lex_range_check`; in range, packed floats
+are summed directly (bit-for-bit the slab arithmetic). Out of range,
+the tile falls back to an **exact two-channel** reduce (unpack, add
+cost and split channels separately, lexicographic min, repack), and
+raises :class:`~repro.errors.InvalidProblemError` only if the exact
+*result* itself cannot be packed.
+
+All compute functions are module-level and picklable, so the fused
+tier rides the process backend's fork/pickle channels exactly like the
+slab tier.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.algebra import (
+    FLOAT_EXACT_INT_MAX,
+    LEX_SCALE,
+    MIN_PLUS,
+    KernelLowering,
+    SelectionSemiring,
+    lex_range_check,
+    lex_unpack,
+)
+from repro.errors import InvalidProblemError
+
+__all__ = [
+    "HAVE_NUMBA",
+    "CHUNK",
+    "fused_backend",
+    "fused_dense_square_tile",
+    "fused_dense_pebble_tile",
+    "fused_rytter_square_tile",
+]
+
+try:  # pragma: no cover - exercised via the [perf] CI leg
+    import numba
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the default container path
+    numba = None
+    HAVE_NUMBA = False
+
+#: elements per blocked intermediate (float64): 2^21 * 8 B = 16 MiB,
+#: sized so one ``ext`` slab plus its reduction stay cache/TLB friendly.
+CHUNK = 1 << 21
+
+
+def fused_backend() -> str:
+    """Which engine the fused tier resolves to in this process:
+    ``"numba"`` (JIT scalar loops) or ``"numpy"`` (blocked slabs)."""
+    return "numba" if HAVE_NUMBA else "numpy"
+
+
+# ---------------------------------------------------------------------------
+# Scalar lowering: loop bodies built from an algebra's KernelLowering.
+#
+# The factories take ``jit`` as a parameter so the identical loop bodies
+# are testable un-jitted (tier-1, no numba) and compiled (the [perf]
+# leg) — one source of truth for the scalar semantics.
+# ---------------------------------------------------------------------------
+
+
+def _identity_jit(fn: Callable[..., Any]) -> Callable[..., Any]:
+    return fn
+
+
+def _scalar_extend(name: str, jit: Callable[..., Any]) -> Callable[..., Any]:
+    """Scalar ``extend`` for a lowering name (float64, NaN-free domain)."""
+    if name == "add":
+
+        @jit
+        def ext(a: float, b: float) -> float:
+            return a + b
+
+    elif name == "maximum":
+
+        @jit
+        def ext(a: float, b: float) -> float:
+            return a if a > b else b
+
+    elif name == "minimum":
+
+        @jit
+        def ext(a: float, b: float) -> float:
+            return a if a < b else b
+
+    else:  # unreachable for registered algebras; guards custom ones
+        raise InvalidProblemError(
+            f"no scalar lowering for extend ufunc {name!r}; the fused tier "
+            "supports add/minimum/maximum"
+        )
+    return ext
+
+
+def _scalar_improves(comb_name: str, jit: Callable[..., Any]) -> Callable[..., Any]:
+    """Scalar strict "candidate beats incumbent" for a combine name."""
+    if comb_name == "minimum":
+
+        @jit
+        def better(v: float, best: float) -> bool:
+            return v < best
+
+    elif comb_name == "maximum":
+
+        @jit
+        def better(v: float, best: float) -> bool:
+            return v > best
+
+    else:
+        raise InvalidProblemError(
+            f"no scalar lowering for combine ufunc {comb_name!r}; the fused "
+            "tier supports minimum/maximum"
+        )
+    return better
+
+
+def _make_matmul_kernel(
+    ext_scalar: Callable[..., Any],
+    better_scalar: Callable[..., Any],
+    jit: Callable[..., Any],
+) -> Callable[..., Any]:
+    """Semiring matmul-reduce loop nest: ``red[i, p] ← comb over r of
+    ext(Xf[i, r], Y[r, p])``, folding into the caller-initialised
+    ``red`` (pre-filled with the algebra's zero)."""
+
+    @jit
+    def kernel(Xf: np.ndarray, Y: np.ndarray, red: np.ndarray) -> None:
+        m, R = Xf.shape
+        P = Y.shape[1]
+        for i in range(m):
+            for p in range(P):
+                best = red[i, p]
+                for r in range(R):
+                    v = ext_scalar(Xf[i, r], Y[r, p])
+                    if better_scalar(v, best):
+                        best = v
+                red[i, p] = best
+
+    return kernel
+
+
+def _make_pebble_kernel(
+    ext_scalar: Callable[..., Any],
+    better_scalar: Callable[..., Any],
+    jit: Callable[..., Any],
+) -> Callable[..., Any]:
+    """Eq. (3) loop nest: ``cand[b, j] ← comb over (p, q) of
+    ext(pwb[b, j, p, q], w[p, q])``, folding into zero-filled ``cand``."""
+
+    @jit
+    def kernel(pwb: np.ndarray, w: np.ndarray, cand: np.ndarray) -> None:
+        B, J, P, Q = pwb.shape
+        for b in range(B):
+            for j in range(J):
+                best = cand[b, j]
+                for p in range(P):
+                    for q in range(Q):
+                        v = ext_scalar(pwb[b, j, p, q], w[p, q])
+                        if better_scalar(v, best):
+                            best = v
+                cand[b, j] = best
+
+    return kernel
+
+
+class _CompiledKernels:
+    """The per-lowering pair of compiled loop nests."""
+
+    __slots__ = ("matmul", "pebble")
+
+    def __init__(self, lowering: KernelLowering, jit: Callable[..., Any]) -> None:
+        ext = _scalar_extend(lowering.ext_name, jit)
+        better = _scalar_improves(lowering.comb_name, jit)
+        self.matmul = _make_matmul_kernel(ext, better, jit)
+        self.pebble = _make_pebble_kernel(ext, better, jit)
+
+
+_KERNEL_CACHE: dict[tuple[str, str], _CompiledKernels] = {}
+
+
+def _kernels_for(algebra: SelectionSemiring) -> _CompiledKernels:
+    """Compiled loop nests for an algebra, cached per (ext, comb) pair
+    (all five registered algebras share three distinct pairs)."""
+    low = algebra.lowering()
+    key = (low.ext_name, low.comb_name)
+    kernels = _KERNEL_CACHE.get(key)
+    if kernels is None:
+        jit = (
+            numba.njit(cache=False, fastmath=False)  # exact float64 only
+            if HAVE_NUMBA
+            else _identity_jit
+        )
+        kernels = _CompiledKernels(low, jit)
+        _KERNEL_CACHE[key] = kernels
+    return kernels
+
+
+# ---------------------------------------------------------------------------
+# The exact two-channel lex fallback (out-of-range packed inputs).
+# ---------------------------------------------------------------------------
+
+
+def _require_packable(red: np.ndarray) -> np.ndarray:
+    finite = red[np.isfinite(red)]
+    if finite.size and float(np.abs(finite).max()) > FLOAT_EXACT_INT_MAX:
+        raise InvalidProblemError(
+            "lex_min_plus result exceeds the exactly-representable packed "
+            f"range (|cost * {int(LEX_SCALE)} + splits| > "
+            f"{int(FLOAT_EXACT_INT_MAX)}); use min_plus or rescale costs"
+        )
+    return red
+
+
+def _lex_exact_matmul(Xf: np.ndarray, Y: np.ndarray) -> np.ndarray:
+    """Exact two-channel semiring matmul for out-of-range packed inputs:
+    unpack, add the cost and split channels separately, take the
+    lexicographic minimum (min cost, then min splits among cost
+    minimisers), repack. Raises if the exact result itself cannot be
+    packed."""
+    m, R = Xf.shape
+    P = Y.shape[1]
+    Xc, Xs = lex_unpack(Xf)
+    Yc, Ys = lex_unpack(Y)
+    red = np.empty((m, P))
+    step = max(1, CHUNK // max(1, 2 * R * P))  # two channels in flight
+    for m0 in range(0, m, step):
+        m1 = min(m, m0 + step)
+        Ec = Xc[m0:m1, :, None] + Yc[None, :, :]
+        Es = Xs[m0:m1, :, None] + Ys[None, :, :]
+        bestc = Ec.min(axis=1)
+        bests = np.where(Ec == bestc[:, None, :], Es, np.inf).min(axis=1)
+        red[m0:m1] = np.where(np.isfinite(bestc), bestc * LEX_SCALE + bests, np.inf)
+    return _require_packable(red)
+
+
+def _lex_exact_pebble(pwb: np.ndarray, w: np.ndarray) -> np.ndarray:
+    """Exact two-channel eq. (3) reduce (see :func:`_lex_exact_matmul`)."""
+    B, J = pwb.shape[:2]
+    N = w.shape[0]
+    Wc, Ws = lex_unpack(w)
+    cand = np.empty((B, J))
+    step = max(1, CHUNK // max(1, 2 * J * N * N))
+    for b0 in range(0, B, step):
+        b1 = min(B, b0 + step)
+        Pc, Ps = lex_unpack(pwb[b0:b1])
+        Ec = Pc + Wc[None, None, :, :]
+        Es = Ps + Ws[None, None, :, :]
+        bestc = Ec.min(axis=(2, 3))
+        bests = np.where(Ec == bestc[..., None, None], Es, np.inf).min(axis=(2, 3))
+        cand[b0:b1] = np.where(np.isfinite(bestc), bestc * LEX_SCALE + bests, np.inf)
+    return _require_packable(cand)
+
+
+# ---------------------------------------------------------------------------
+# The fused reduce-compose core.
+# ---------------------------------------------------------------------------
+
+
+def _matmul_reduce(
+    Xf: np.ndarray,
+    Y: np.ndarray,
+    out: np.ndarray,
+    algebra: SelectionSemiring,
+    packed: bool,
+) -> None:
+    """``out ← comb(out, X ⊗ Y)`` — one semiring matmul, reduced as it
+    is composed.
+
+    ``Xf`` is the ``(m, R)`` flattened left factor (callers flatten a
+    *freshly gathered contiguous* array — never a strided view, whose
+    reshape would silently copy); ``Y`` is ``(R, P)``; ``out`` is any
+    view holding ``m * P`` cells with trailing axis ``P`` — it is
+    combined in place and **never reshaped** (the square tile passes
+    non-contiguous triangular slices of ``acc``).
+    """
+    m, R = Xf.shape
+    P = Y.shape[1]
+    if packed and not lex_range_check(Xf, Y):
+        red = _lex_exact_matmul(Xf, Y)
+    elif HAVE_NUMBA:  # pragma: no cover - exercised via the [perf] CI leg
+        red = np.full((m, P), algebra.zero)
+        _kernels_for(algebra).matmul(
+            np.ascontiguousarray(Xf), np.ascontiguousarray(Y), red
+        )
+    else:
+        ext, comb = algebra.extend_ufunc, algebra.combine_ufunc
+        red = np.empty((m, P))
+        step = max(1, CHUNK // max(1, R * P))
+        for m0 in range(0, m, step):
+            m1 = min(m, m0 + step)
+            E = ext(Xf[m0:m1, :, None], Y[None, :, :])
+            comb.reduce(E, axis=1, out=red[m0:m1])
+    algebra.combine_ufunc(out, red.reshape(out.shape), out=out)
+
+
+# ---------------------------------------------------------------------------
+# Fused tile compute functions (module-level: picklable, same signature
+# and result contract as their slab counterparts).
+# ---------------------------------------------------------------------------
+
+
+def fused_dense_square_tile(
+    tile: tuple, *, pw: np.ndarray, algebra: SelectionSemiring = MIN_PLUS
+) -> np.ndarray:
+    """Eq. (2c) candidates for rows ``i`` in ``tile`` — fused tier.
+
+    Per right anchor column ``q``: ``Y[r, p] = pw(r, q, p, q)``
+    restricted to its reachable rows, ``X[(i, j), r] = pw(i, j, r, q)``
+    for ``j >= q``, reduced into the triangular slice
+    ``acc[:, q:, :q, q]``. Per left anchor row ``p``: the mirror with
+    ``Z[s, q] = pw(p, s, p, q)`` into ``acc[:, p+1:, p, p+1:]``.
+    Produces the slab kernel's tables bit-for-bit (module docstring).
+    """
+    lo, hi = tile
+    N = pw.shape[0]
+    acc = algebra.full((hi - lo, N, N, N))
+    packed = algebra.lowering().packed
+    for q in range(1, N):
+        Y = pw[:q, q, :q, q]  # Y[r, p] = pw[r, q, p, q]
+        rows = np.flatnonzero(algebra.reachable(Y).any(axis=1))
+        if rows.size == 0:
+            continue
+        # Advanced index: fresh contiguous (hi - lo, N - q, R) gather.
+        X = pw[lo:hi, q:, rows, q]
+        _matmul_reduce(
+            X.reshape(-1, rows.size), Y[rows], acc[:, q:, :q, q], algebra, packed
+        )
+    for p in range(N - 1):
+        Z = pw[p, p + 1 :, p, p + 1 :]  # Z[s, q] = pw[p, s, p, q]
+        rows = np.flatnonzero(algebra.reachable(Z).any(axis=1))
+        if rows.size == 0:
+            continue
+        X = pw[lo:hi, p + 1 :, p, p + 1 :][:, :, rows]
+        _matmul_reduce(
+            X.reshape(-1, rows.size),
+            Z[rows],
+            acc[:, p + 1 :, p, p + 1 :],
+            algebra,
+            packed,
+        )
+    return acc
+
+
+def fused_dense_pebble_tile(
+    tile: tuple,
+    *,
+    pw: np.ndarray,
+    w: np.ndarray,
+    span_lo: int = -1,
+    span_hi: int = -1,
+    algebra: SelectionSemiring = MIN_PLUS,
+) -> np.ndarray:
+    """Eq. (3) candidates for rows ``i`` in ``tile`` — fused tier.
+
+    The slab kernel materialises the whole ``(hi - lo, N, N, N)``
+    ``extend`` block before reducing; here the block is processed in
+    :data:`CHUNK`-sized row groups (numpy) or never materialised at all
+    (numba), with the same Section 5 size-class window semantics.
+    """
+    lo, hi = tile
+    N = w.shape[0]
+    B = hi - lo
+    pwb = pw[lo:hi]
+    if algebra.lowering().packed and not lex_range_check(pwb, w):
+        cand = _lex_exact_pebble(pwb, w)
+    elif HAVE_NUMBA:  # pragma: no cover - exercised via the [perf] CI leg
+        cand = algebra.full((B, N))
+        _kernels_for(algebra).pebble(np.ascontiguousarray(pwb), w, cand)
+    else:
+        cand = np.empty((B, N))
+        step = max(1, CHUNK // max(1, N * N * N))
+        for b0 in range(0, B, step):
+            b1 = min(B, b0 + step)
+            block = algebra.extend(pwb[b0:b1], w[None, None, :, :])
+            cand[b0:b1] = algebra.select(block, axis=(2, 3))
+    if span_lo >= 0:
+        ii = np.arange(lo, hi)[:, None]
+        jj = np.arange(N)[None, :]
+        window = (jj - ii > span_lo) & (jj - ii <= span_hi)
+        cand = np.where(window, cand, algebra.zero)
+    return cand
+
+
+def fused_rytter_square_tile(
+    tile: tuple,
+    *,
+    pw: np.ndarray,
+    useful: np.ndarray,
+    algebra: SelectionSemiring = MIN_PLUS,
+) -> np.ndarray:
+    """One tile of Rytter's squaring — fused tier.
+
+    The slab kernel sweeps one rank-1 ``K × K`` update per useful
+    intermediate ``t``; here the useful rows/columns are gathered once
+    and reduced as a single ``(hi - lo, R) ⊗ (R, K)`` semiring matmul —
+    the identical candidate set, so the tables match bit-for-bit.
+    """
+    lo, hi = tile
+    N = pw.shape[0]
+    K = N * N
+    M = pw.reshape(K, K)
+    acc = algebra.full((hi - lo, K))
+    useful = np.asarray(useful)
+    if useful.size == 0:
+        return acc
+    Xf = M[lo:hi][:, useful]  # advanced index: fresh contiguous gather
+    _matmul_reduce(Xf, M[useful, :], acc, algebra, algebra.lowering().packed)
+    return acc

@@ -46,11 +46,16 @@ class PlanStep:
     #: per-tile candidate-slab shape, ``None`` where the kernel's result
     #: is not a single dense slab (those tiles return by pickle)
     result_shapes: tuple
+    #: the tier-resolved compute function (slab vs fused), frozen at
+    #: compile time; ``None`` falls back to the kernel's slab compute
+    compute_fn: Any = None
     _result_metas: Optional[list] = field(default=None, repr=False)
     _result_arrays: Optional[list] = field(default=None, repr=False)
 
     @classmethod
-    def for_kernel(cls, name: str, kernel, solver, parts: int) -> "PlanStep":
+    def for_kernel(
+        cls, name: str, kernel, solver, parts: int, impl: str = "slab"
+    ) -> "PlanStep":
         tiles = tuple(kernel.tiles(solver, parts))
         shapes = tuple(kernel.result_shape(solver, tile) for tile in tiles)
         return cls(
@@ -59,6 +64,7 @@ class PlanStep:
             tiles=tiles,
             updates=kernel.updates,
             result_shapes=shapes,
+            compute_fn=kernel.compute_for(impl),
         )
 
     def ensure_result_buffers(self, store) -> list:
@@ -117,6 +123,7 @@ class SweepPlan:
         self.start_method = getattr(backend, "start_method", None)
         self.transport = getattr(backend, "transport", None)
         self.uses_store = bool(getattr(backend, "uses_store", False))
+        self.kernel_impl = getattr(solver, "kernel_impl", "slab")
         self.tiles_per_sweep = int(tiles_per_sweep)
         self.schedule = tuple(step.name for step in steps)
         self.steps = tuple(steps)
@@ -130,12 +137,18 @@ class SweepPlan:
 
     def describe(self) -> str:
         """Human-readable plan: one line per scheduled step."""
+        from repro.core.kernels_fused import fused_backend
+
         backend = self.backend
         if self.start_method:
             backend += f"[{self.start_method}/{self.transport}]"
+        impl = self.kernel_impl
+        if impl == "fused":
+            impl += f"[{fused_backend()}]"
         lines = [
             f"plan: {self.method} n={self.n} algebra={self.algebra} "
-            f"backend={backend} tiles/sweep={self.tiles_per_sweep} "
+            f"backend={backend} kernel_impl={impl} "
+            f"tiles/sweep={self.tiles_per_sweep} "
             f"transport={'shared-memory store' if self.uses_store else 'in-process'}"
         ]
         for idx, step in enumerate(self.steps, start=1):
@@ -145,9 +158,12 @@ class SweepPlan:
                 if slabs and self.uses_store
                 else "commit by value"
             )
+            fused = step.kernel.fused_compute_fn is not None
+            tier = "fused" if (self.kernel_impl == "fused" and fused) else "slab"
             lines.append(
                 f"  {idx}. {step.name:<9} {type(step.kernel).__name__:<22} "
-                f"tiles={len(step.tiles):<3d} updates={step.updates:<2s} {slab_note}"
+                f"impl={tier:<5s} tiles={len(step.tiles):<3d} "
+                f"updates={step.updates:<2s} {slab_note}"
             )
         return "\n".join(lines)
 
@@ -169,8 +185,9 @@ def compile_plan(solver) -> SweepPlan:
     ``__init__`` guarantees before ``reset()``.
     """
     parts = solver._engine.tiles
+    impl = getattr(solver, "kernel_impl", "slab")
     steps = [
-        PlanStep.for_kernel(name, solver._kernels[name], solver, parts)
+        PlanStep.for_kernel(name, solver._kernels[name], solver, parts, impl)
         for name in solver.SCHEDULE
     ]
     return SweepPlan(solver, steps, parts)

@@ -42,11 +42,22 @@ __all__ = [
     "BACKEND_NAMES",
     "START_METHODS",
     "PROCESS_TRANSPORTS",
+    "KERNEL_IMPLS",
     "default_start_method",
+    "resolve_kernel_impl",
 ]
 
 #: the valid ``backend=`` names, single source for every validation site
 BACKEND_NAMES = ("serial", "thread", "process")
+
+#: the valid ``kernel_impl=`` names — the kernel *implementation* tier is
+#: selected exactly like backends are: one validated name, single-sourced
+#: here for every entry point (solve, solve_many, plan_for, CLI).
+#: ``"slab"`` is the reference full-lattice path, ``"fused"`` the
+#: cache-blocked reduce-compose tier (:mod:`repro.core.kernels_fused`),
+#: ``"auto"`` resolves to fused (which itself picks numba or the blocked
+#: numpy fallback by availability).
+KERNEL_IMPLS = ("slab", "fused", "auto")
 
 #: the supported process start methods (validated up front; the paper's
 #: fork-COW-only transport locked spawn-start platforms out entirely)
@@ -59,6 +70,24 @@ PROCESS_TRANSPORTS = ("shm", "cow")
 def default_start_method() -> str:
     """``fork`` where the platform has it, else ``spawn``."""
     return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+def resolve_kernel_impl(name: str | None) -> str:
+    """Validate a ``kernel_impl`` name and resolve ``"auto"``.
+
+    Returns ``"slab"`` or ``"fused"``; ``None``/``"auto"`` resolve to
+    ``"fused"`` (kernels without a fused lowering keep their slab
+    compute, and the fused tier picks numba vs the blocked numpy
+    fallback internally). Unknown names fail here, up front, with the
+    valid choices in the error — the same shape as unknown backends.
+    """
+    if name is None:
+        name = "auto"
+    if name not in KERNEL_IMPLS:
+        raise BackendError(
+            f"unknown kernel_impl {name!r}; valid choices: {', '.join(KERNEL_IMPLS)}"
+        )
+    return "fused" if name == "auto" else name
 
 
 # Fork-inherited payload for the legacy cow transport: set immediately

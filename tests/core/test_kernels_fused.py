@@ -1,0 +1,364 @@
+"""The fused kernel tier: bitwise identity with the slab kernels, the
+scalar lowerings behind the optional numba engine, the ``fast_vdf``-style
+packed range check with its exact two-channel fallback, and the
+``kernel_impl`` axis on the public surface.
+
+The heavy equivalence coverage (golden tables, hypothesis property
+harness) carries a ``kernel_impl`` axis of its own; this file pins the
+tier's own machinery — including the guarantee that a numba-less
+environment resolves ``kernel_impl="auto"`` to the numpy engine and
+still solves bitwise-identically (exercised in a subprocess with numba
+imports blocked, so it holds even where numba *is* installed).
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import plan_for, solve, solve_many
+from repro.core.algebra import (
+    FLOAT_EXACT_INT_MAX,
+    get_algebra,
+    lex_pack,
+    lex_range_check,
+    lex_unpack,
+    list_algebras,
+)
+from repro.core.kernels_fused import (
+    HAVE_NUMBA,
+    _identity_jit,
+    _lex_exact_matmul,
+    _lex_exact_pebble,
+    _make_matmul_kernel,
+    _make_pebble_kernel,
+    _matmul_reduce,
+    _require_packable,
+    _scalar_extend,
+    _scalar_improves,
+    fused_backend,
+)
+from repro.errors import InvalidProblemError
+from repro.parallel.backends import (
+    KERNEL_IMPLS,
+    BackendError,
+    resolve_kernel_impl,
+)
+from repro.problems.generators import random_generic, random_matrix_chain
+
+_SRC_PATH = str(Path(__file__).resolve().parents[2] / "src")
+
+METHODS = ["huang", "huang-banded", "huang-compact", "rytter"]
+
+
+def _canon(w: np.ndarray) -> np.ndarray:
+    """Make +inf comparable under array_equal (bitwise elsewhere)."""
+    return np.nan_to_num(w, posinf=-1.0)
+
+
+class TestFusedMatchesSlab:
+    """fused ≡ slab bit-for-bit, per method, algebra and backend."""
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_methods_bitwise_equal(self, method):
+        p = random_generic(12, seed=11)
+        slab = solve(p, method=method, kernel_impl="slab")
+        fused = solve(p, method=method, kernel_impl="fused")
+        assert np.array_equal(_canon(slab.w), _canon(fused.w))
+        assert slab.iterations == fused.iterations
+        assert slab.value == fused.value
+
+    @pytest.mark.parametrize("algebra", list_algebras())
+    def test_algebras_bitwise_equal(self, algebra):
+        p = random_matrix_chain(12, seed=5)
+        slab = solve(p, method="huang", algebra=algebra, kernel_impl="slab")
+        fused = solve(p, method="huang", algebra=algebra, kernel_impl="fused")
+        assert np.array_equal(_canon(slab.w), _canon(fused.w))
+        assert slab.value == fused.value
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_backends_bitwise_equal(self, backend):
+        p = random_generic(10, seed=3)
+        ref = solve(p, method="huang", kernel_impl="slab")
+        out = solve(p, method="huang", kernel_impl="fused", backend=backend, tiles=3)
+        assert np.array_equal(_canon(ref.w), _canon(out.w))
+        assert ref.iterations == out.iterations
+
+    def test_auto_resolves_to_fused(self):
+        p = random_matrix_chain(8, seed=1)
+        auto = solve(p, method="huang", kernel_impl="auto")
+        fused = solve(p, method="huang", kernel_impl="fused")
+        assert np.array_equal(_canon(auto.w), _canon(fused.w))
+
+
+class TestScalarLowerings:
+    """The un-jitted loop bodies are the single source of scalar
+    semantics — they must match the ufunc slab arithmetic exactly for
+    every (extend, combine) pair the registered algebras use."""
+
+    PAIRS = sorted(
+        {
+            (
+                get_algebra(name).lowering().ext_name,
+                get_algebra(name).lowering().comb_name,
+            )
+            for name in list_algebras()
+        }
+    )
+
+    @pytest.mark.parametrize("ext_name,comb_name", PAIRS)
+    def test_matmul_loop_matches_ufunc_reduce(self, ext_name, comb_name):
+        alg = next(
+            get_algebra(n)
+            for n in list_algebras()
+            if get_algebra(n).lowering().ext_name == ext_name
+            and get_algebra(n).lowering().comb_name == comb_name
+        )
+        rng = np.random.default_rng(0)
+        X = rng.integers(0, 50, size=(6, 4)).astype(np.float64)
+        Y = rng.integers(0, 50, size=(4, 5)).astype(np.float64)
+        X[0, :] = alg.zero  # unreached rows must stay absorbing
+        kernel = _make_matmul_kernel(
+            _scalar_extend(ext_name, _identity_jit),
+            _scalar_improves(comb_name, _identity_jit),
+            _identity_jit,
+        )
+        red = np.full((6, 5), alg.zero)
+        kernel(X, Y, red)
+        expect = alg.combine_ufunc.reduce(
+            alg.extend_ufunc(X[:, :, None], Y[None, :, :]), axis=1
+        )
+        assert np.array_equal(_canon(red), _canon(expect))
+
+    @pytest.mark.parametrize("ext_name,comb_name", PAIRS)
+    def test_pebble_loop_matches_ufunc_reduce(self, ext_name, comb_name):
+        alg = next(
+            get_algebra(n)
+            for n in list_algebras()
+            if get_algebra(n).lowering().ext_name == ext_name
+            and get_algebra(n).lowering().comb_name == comb_name
+        )
+        rng = np.random.default_rng(1)
+        pwb = rng.integers(0, 30, size=(2, 3, 4, 4)).astype(np.float64)
+        w = rng.integers(0, 30, size=(4, 4)).astype(np.float64)
+        pwb[0, 0] = alg.zero
+        kernel = _make_pebble_kernel(
+            _scalar_extend(ext_name, _identity_jit),
+            _scalar_improves(comb_name, _identity_jit),
+            _identity_jit,
+        )
+        cand = np.full((2, 3), alg.zero)
+        kernel(pwb, w, cand)
+        expect = alg.select(
+            alg.extend(pwb, w[None, None, :, :]), axis=(2, 3)
+        )
+        assert np.array_equal(_canon(cand), _canon(expect))
+
+    def test_unknown_lowering_names_raise(self):
+        with pytest.raises(InvalidProblemError, match="no scalar lowering"):
+            _scalar_extend("multiply", _identity_jit)
+        with pytest.raises(InvalidProblemError, match="no scalar lowering"):
+            _scalar_improves("add", _identity_jit)
+
+
+class TestMatmulReduce:
+    def test_never_reshapes_strided_out(self):
+        """The square tile passes non-contiguous triangular slices of
+        ``acc`` as ``out`` — the combine must land in the backing array,
+        which a reshape-induced copy would silently drop."""
+        alg = get_algebra("min_plus")
+        acc = alg.full((2, 4, 4, 4))
+        out = acc[:, 2:, :2, 2]  # strided view, shape (2, 2, 2)
+        assert not out.flags.c_contiguous
+        Xf = np.arange(8, dtype=np.float64).reshape(4, 2)
+        Y = np.ones((2, 2))
+        _matmul_reduce(Xf, Y, out, alg, packed=False)
+        expect = alg.combine_ufunc.reduce(
+            alg.extend_ufunc(Xf[:, :, None], Y[None, :, :]), axis=1
+        ).reshape(2, 2, 2)
+        assert np.array_equal(acc[:, 2:, :2, 2], expect)
+
+    def test_blocked_path_matches_unblocked(self, monkeypatch):
+        import repro.core.kernels_fused as kf
+
+        alg = get_algebra("max_plus")
+        rng = np.random.default_rng(7)
+        Xf = rng.normal(size=(37, 5))
+        Y = rng.normal(size=(5, 11))
+        big = np.full((37, 11), alg.zero)
+        _matmul_reduce(Xf, Y, big, alg, packed=False)
+        monkeypatch.setattr(kf, "CHUNK", 16)  # force many blocks
+        small = np.full((37, 11), alg.zero)
+        _matmul_reduce(Xf, Y, small, alg, packed=False)
+        assert np.array_equal(big, small)
+
+
+class TestLexFastVdf:
+    """The fast_vdf idiom: range-check once, packed fast path when the
+    arithmetic is exact, two-channel fallback otherwise."""
+
+    def test_range_check_accepts_and_rejects(self):
+        ok = np.array([1.0, np.inf, -5.0])
+        assert lex_range_check(ok, np.array([2.0**40]))
+        assert not lex_range_check(np.array([2.0**52]), np.array([2.0**52]))
+        assert lex_range_check(np.array([np.inf, np.inf]))  # no finite mass
+
+    def test_exact_matmul_matches_packed_in_range(self):
+        rng = np.random.default_rng(2)
+        alg = get_algebra("lex_min_plus")
+        Xf = lex_pack(rng.integers(0, 100, (5, 3)), rng.integers(0, 9, (5, 3)))
+        Y = lex_pack(rng.integers(0, 100, (3, 4)), rng.integers(0, 9, (3, 4)))
+        Xf[0, :] = np.inf  # an unreached row
+        packed = alg.combine_ufunc.reduce(
+            alg.extend_ufunc(Xf[:, :, None], Y[None, :, :]), axis=1
+        )
+        exact = _lex_exact_matmul(Xf, Y)
+        assert np.array_equal(_canon(exact), _canon(packed))
+
+    def test_exact_pebble_matches_packed_in_range(self):
+        rng = np.random.default_rng(3)
+        alg = get_algebra("lex_min_plus")
+        pwb = lex_pack(
+            rng.integers(0, 50, (2, 3, 4, 4)), rng.integers(0, 9, (2, 3, 4, 4))
+        )
+        w = lex_pack(rng.integers(0, 50, (4, 4)), rng.integers(0, 9, (4, 4)))
+        pwb[0, 0] = np.inf
+        packed = alg.select(alg.extend(pwb, w[None, None, :, :]), axis=(2, 3))
+        exact = _lex_exact_pebble(pwb, w)
+        assert np.array_equal(_canon(exact), _canon(packed))
+
+    def test_fallback_selected_result_stays_packable(self):
+        """Inputs that trip the conservative range check but whose
+        *selected* result is representable must succeed exactly: the
+        reduce picks the small candidate, not the overflow one."""
+        big = np.nextafter(FLOAT_EXACT_INT_MAX, 0.0)
+        Xf = np.array([[big, lex_pack(3.0, 1)]])
+        Y = np.array([[big], [lex_pack(4.0, 2)]])
+        assert not lex_range_check(Xf, Y)
+        out = _lex_exact_matmul(Xf, Y)
+        c, s = lex_unpack(out)
+        assert (c[0, 0], s[0, 0]) == (7.0, 3.0)
+
+    def test_unpackable_result_raises(self):
+        with pytest.raises(InvalidProblemError, match="exactly-representable"):
+            _require_packable(np.array([2.0 * FLOAT_EXACT_INT_MAX]))
+        # and through the matmul fallback itself
+        big = np.nextafter(FLOAT_EXACT_INT_MAX, 0.0)
+        Xf = np.array([[big]])
+        Y = np.array([[big]])
+        with pytest.raises(InvalidProblemError, match="exactly-representable"):
+            _lex_exact_matmul(Xf, Y)
+
+    def test_out_of_range_tile_falls_back_through_matmul_reduce(self):
+        """packed=True with out-of-range inputs routes through the exact
+        two-channel path inside ``_matmul_reduce``."""
+        alg = get_algebra("lex_min_plus")
+        big = np.nextafter(FLOAT_EXACT_INT_MAX, 0.0)
+        Xf = np.array([[big, lex_pack(1.0, 1)]])
+        Y = np.array([[big], [lex_pack(2.0, 1)]])
+        out = np.full((1, 1), alg.zero)
+        _matmul_reduce(Xf, Y, out, alg, packed=True)
+        assert out[0, 0] == lex_pack(3.0, 2)
+
+
+class TestKernelImplSurface:
+    """``kernel_impl`` validates everywhere a backend name does, with
+    the same error-message shape."""
+
+    def test_resolve_defaults_and_validates(self):
+        assert resolve_kernel_impl(None) == "fused"
+        assert resolve_kernel_impl("auto") == "fused"
+        assert resolve_kernel_impl("slab") == "slab"
+        assert resolve_kernel_impl("fused") == "fused"
+        with pytest.raises(BackendError, match="unknown kernel_impl 'jit'"):
+            resolve_kernel_impl("jit")
+
+    def test_solve_rejects_unknown(self):
+        p = random_matrix_chain(5, seed=0)
+        with pytest.raises(InvalidProblemError, match="unknown kernel_impl"):
+            solve(p, method="huang", kernel_impl="vectorised")
+
+    def test_solve_many_rejects_unknown(self):
+        p = random_matrix_chain(5, seed=0)
+        with pytest.raises(InvalidProblemError, match="unknown kernel_impl"):
+            solve_many([p], kernel_impl="vectorised")
+
+    def test_plan_for_rejects_unknown(self):
+        p = random_matrix_chain(5, seed=0)
+        with pytest.raises(InvalidProblemError, match="unknown kernel_impl"):
+            plan_for(p, method="huang", kernel_impl="vectorised")
+
+    def test_kernel_impls_is_single_sourced(self):
+        assert KERNEL_IMPLS == ("slab", "fused", "auto")
+
+    def test_solve_many_threads_kernel_impl_through(self):
+        ps = [random_matrix_chain(6, seed=s) for s in range(3)]
+        slab = solve_many(ps, method="huang", kernel_impl="slab")
+        fused = solve_many(ps, method="huang", kernel_impl="fused")
+        for a, b in zip(slab, fused):
+            assert a.value == b.value
+            assert np.array_equal(_canon(a.w), _canon(b.w))
+
+    def test_plan_describe_shows_tiers(self):
+        p = random_matrix_chain(8, seed=0)
+        fused = plan_for(p, method="huang", kernel_impl="fused").describe()
+        assert f"kernel_impl=fused[{fused_backend()}]" in fused
+        assert "impl=fused" in fused  # square + pebble steps
+        assert "impl=slab" in fused  # activate has no fused tier
+        slab = plan_for(p, method="huang", kernel_impl="slab").describe()
+        assert "kernel_impl=slab" in slab
+        assert "impl=fused" not in slab
+
+
+class TestNumpyFallbackIsolation:
+    def test_auto_without_numba_resolves_numpy_and_matches(self):
+        """In a fresh interpreter with numba imports *blocked* (not just
+        absent), ``kernel_impl="auto"`` must resolve to the numpy fused
+        engine and solve bitwise-identically to the slab tier."""
+        code = (
+            "import sys\n"
+            "sys.modules['numba'] = None  # block the import outright\n"
+            "from repro.core.kernels_fused import HAVE_NUMBA, fused_backend\n"
+            "assert not HAVE_NUMBA\n"
+            "assert fused_backend() == 'numpy'\n"
+            "import numpy as np\n"
+            "from repro.core import solve\n"
+            "from repro.problems.generators import random_matrix_chain\n"
+            "p = random_matrix_chain(10, seed=3)\n"
+            "slab = solve(p, method='huang', kernel_impl='slab')\n"
+            "auto = solve(p, method='huang', kernel_impl='auto')\n"
+            "assert auto.value == slab.value\n"
+            "assert auto.iterations == slab.iterations\n"
+            "ws = np.nan_to_num(slab.w, posinf=-1.0)\n"
+            "wa = np.nan_to_num(auto.w, posinf=-1.0)\n"
+            "assert np.array_equal(ws, wa)\n"
+            "print('numpy-fallback-ok')\n"
+        )
+        env = dict(os.environ, PYTHONPATH=_SRC_PATH)
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=180,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "numpy-fallback-ok" in proc.stdout
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed ([perf] extra)")
+class TestNumbaEngine:
+    """Compiled-engine equivalence — runs only on the [perf] CI leg."""
+
+    @pytest.mark.parametrize("algebra", list_algebras())
+    def test_jit_solve_matches_slab(self, algebra):
+        assert fused_backend() == "numba"
+        p = random_matrix_chain(12, seed=9)
+        slab = solve(p, method="huang", algebra=algebra, kernel_impl="slab")
+        fused = solve(p, method="huang", algebra=algebra, kernel_impl="fused")
+        assert np.array_equal(_canon(slab.w), _canon(fused.w))
+        assert slab.value == fused.value

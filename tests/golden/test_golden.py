@@ -42,14 +42,20 @@ def test_fixture_file_exists_and_covers_the_grid():
     assert len(clrs) == 25
 
 
+@pytest.mark.parametrize("kernel_impl", ["slab", "fused"])
 @pytest.mark.parametrize(
     "entry",
     _entries(),
     ids=lambda e: f"{e['case']}-{e['method']}-{e['algebra']}",
 )
-def test_no_bitwise_drift(entry):
+def test_no_bitwise_drift(entry, kernel_impl):
     problem = _problem_from_spec(entry["problem"])
-    result = solve(problem, method=entry["method"], algebra=entry["algebra"])
+    result = solve(
+        problem,
+        method=entry["method"],
+        algebra=entry["algebra"],
+        kernel_impl=kernel_impl,
+    )
     assert result.value == entry["value"]
     assert result.iterations == entry["iterations"]
     golden_w = np.asarray(entry["w"], dtype=np.float64)

@@ -131,12 +131,20 @@ class TestEngineMatchesReferenceDP:
         method=st.sampled_from([name for name, _ in ITERATIVE]),
         backend=st.sampled_from(["serial", "thread"]),
         tiles=st.integers(1, 5),
+        kernel_impl=st.sampled_from(["slab", "fused"]),
     )
-    def test_iterative_bitwise_equals_reference(self, case, method, backend, tiles):
+    def test_iterative_bitwise_equals_reference(
+        self, case, method, backend, tiles, kernel_impl
+    ):
         problem, algebra = case
         ref = reference_dp(problem, algebra)
         out = solve(
-            problem, method=method, algebra=algebra, backend=backend, tiles=tiles
+            problem,
+            method=method,
+            algebra=algebra,
+            backend=backend,
+            tiles=tiles,
+            kernel_impl=kernel_impl,
         )
         assert np.array_equal(out.w, ref)
         assert out.algebra == algebra
@@ -214,11 +222,13 @@ class TestObjectiveSemantics:
 PINNED = MatrixChainProblem([8, 3, 11, 5, 2, 9, 7, 4])  # n = 7, integer costs
 
 
-def _lockstep_host(problem, algebra, backend, tiles):
+def _lockstep_host(problem, algebra, backend, tiles, kernel_impl):
     """The fifth iterative host: a solver driven one kernel super-step
     at a time (the lockstep validator's usage pattern), rather than
     through ``run()``."""
-    with HuangSolver(problem, algebra=algebra, backend=backend, tiles=tiles) as s:
+    with HuangSolver(
+        problem, algebra=algebra, backend=backend, tiles=tiles, kernel_impl=kernel_impl
+    ) as s:
         for _ in range(s.paper_schedule_length()):
             s.a_activate()
             s.a_square()
@@ -229,16 +239,21 @@ def _lockstep_host(problem, algebra, backend, tiles):
 
 @pytest.mark.slow
 class TestPinnedMatrix:
+    @pytest.mark.parametrize("kernel_impl", ["slab", "fused"])
     @pytest.mark.parametrize("algebra", ALGEBRAS)
     @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
-    def test_all_methods_bitwise_equal_reference(self, algebra, backend):
+    def test_all_methods_bitwise_equal_reference(self, algebra, backend, kernel_impl):
         ref = reference_dp(PINNED, algebra)
         for method, cls in ITERATIVE:
-            with cls(PINNED, algebra=algebra, backend=backend, tiles=3) as solver:
+            with cls(
+                PINNED,
+                algebra=algebra,
+                backend=backend,
+                tiles=3,
+                kernel_impl=kernel_impl,
+            ) as solver:
                 out = solver.run()
-            assert np.array_equal(out.w, ref), (method, backend, algebra)
-        assert np.array_equal(_lockstep_host(PINNED, algebra, backend, 3), ref), (
-            "lockstep",
-            backend,
-            algebra,
-        )
+            assert np.array_equal(out.w, ref), (method, backend, algebra, kernel_impl)
+        assert np.array_equal(
+            _lockstep_host(PINNED, algebra, backend, 3, kernel_impl), ref
+        ), ("lockstep", backend, algebra, kernel_impl)
