@@ -16,11 +16,20 @@ request:
   (pure instance-hash cache hit: no plan compilation, no backend, no
   tables) against a cold solve of the same instance. Acceptance bar:
   **≥ 10x** lower;
+* **delta re-solve** — a single-suffix weight update of an n=256 chain
+  re-swept incrementally from the cached parent
+  (:func:`repro.core.delta.try_delta`) against a cold solve of the
+  updated instance, with the tables pinned bitwise-identical.
+  Acceptance bar: **≥ 5x** faster;
+* **L2 crash survival** — a one-shard fleet solves a request, the
+  shard is SIGKILLed, and the respawned shard must answer the repeat
+  from the shared on-disk L2 tier (``source == "cache"``) without
+  re-solving. Gate: the respawn hit happens and values match;
 * **shutdown hygiene** — after the client closes, the benchmark
   asserts the pool workers are gone and the store left nothing in
   ``/dev/shm``.
 
-``--smoke`` runs all three with the acceptance gates and exits
+``--smoke`` runs all of them with the acceptance gates and exits
 non-zero on violation (the CI hook). Correctness is not at stake —
 the service returns the same bitwise tables as ``solve()`` (the test
 suite pins that); this is the operational record for running ``repro
@@ -30,16 +39,22 @@ serve`` instead of importing the library.
 from __future__ import annotations
 
 import os
+import signal
 import sys
 import time
 
+import numpy as np
+
 from repro.core import solve
+from repro.core.delta import try_delta
 from repro.problems.generators import (
     random_bottleneck_chain,
     random_bst,
     random_matrix_chain,
 )
-from repro.service import LocalClient
+from repro.problems.matrix_chain import MatrixChainProblem
+from repro.service import FleetRouter, LocalClient
+from repro.service.cache import ResultCache
 from repro.util.bench import load_bars, record
 from repro.util.tables import format_table
 
@@ -50,6 +65,7 @@ BENCH_NAME = "e11_service"
 DEFAULT_BARS = {
     "throughput_x": 2.0,  # coalesced service vs sequential cold solves
     "cache_latency_x": 10.0,  # cold solve vs cache-hit latency
+    "delta_speedup_x": 5.0,  # cold re-solve vs delta re-sweep, n=256 suffix edit
 }
 
 
@@ -231,11 +247,127 @@ def latency_table(hits: int = 50, stats: dict | None = None):
     )
 
 
+def delta_stats(n: int = 256) -> dict:
+    """E11c: incremental re-solve of a single-suffix weight update.
+
+    Solves an n-dim chain cold into a delta-indexed cache, bumps the
+    last dimension, and measures ``try_delta`` (which re-sweeps only
+    the dirty right-edge window) against a cold solve of the updated
+    instance. The tables must be bitwise-identical — the delta path is
+    an optimisation, never an approximation."""
+    parent = random_matrix_chain(n, seed=21)
+    cache = ResultCache()
+    solve(parent, method="sequential", cache=cache)
+    dims = parent.delta_weights()
+    dims[-1] += 5
+    child = MatrixChainProblem(dims)
+    t0 = time.perf_counter()
+    cold = solve(child, method="sequential")
+    cold_s = time.perf_counter() - t0
+    delta_best = float("inf")
+    result = None
+    for _ in range(3):
+        t0 = time.perf_counter()
+        result = try_delta(cache, child, method="sequential")
+        delta_best = min(delta_best, time.perf_counter() - t0)
+    assert result is not None, "delta probe declined a single-suffix sibling"
+    bitwise = result.value == cold.value and np.array_equal(result.w, cold.w)
+    assert bitwise, "delta re-solve is not bitwise-identical to a cold solve"
+    return {
+        "n": n,
+        "cold_s": cold_s,
+        "delta_s": delta_best,
+        "speedup": cold_s / delta_best,
+        "bitwise_identical": bitwise,
+    }
+
+
+def delta_table(n: int = 256, stats: dict | None = None):
+    s = stats if stats is not None else delta_stats(n)
+    rows = [
+        ("cold solve() of the edit", f"{s['cold_s'] * 1e3:.1f}"),
+        ("delta re-sweep (best of 3)", f"{s['delta_s'] * 1e3:.2f}"),
+        ("cold / delta", f"{s['speedup']:.0f}x"),
+    ]
+    return format_table(
+        ["path", "latency ms"],
+        rows,
+        title=(
+            f"E11c: n={s['n']} chain, last dimension changed. The delta path "
+            "reuses the clean DP subtriangle from the cached parent and "
+            "re-sweeps only cells whose window touches the edit; tables are "
+            "bitwise-identical to a cold solve."
+        ),
+    )
+
+
+def l2_stats(n: int = 64) -> dict:
+    """E11d: the shared L2 tier surviving a shard SIGKILL.
+
+    A one-shard fleet (which mounts an ``l2-cache`` directory under its
+    state dir by default) answers a request, loses the shard to
+    SIGKILL, and must answer the repeat from disk after the respawn —
+    ``source == "cache"`` with no re-solve."""
+    spec = {
+        "dims": [int(x) for x in random_matrix_chain(n, seed=33).delta_weights()],
+        "method": "sequential",
+    }
+    with FleetRouter(
+        shards=1, method="sequential", backend="serial", batch_window=0.0
+    ) as router:
+        first = router.request(dict(spec))
+        assert first.get("ok"), f"first request failed: {first}"
+        pid = router.shard_pids()[0]
+        os.kill(pid, signal.SIGKILL)
+        router._shards[0].proc.wait(timeout=10.0)
+        t0 = time.perf_counter()
+        second = router.request(dict(spec))
+        hit_s = time.perf_counter() - t0
+        assert second.get("ok"), f"post-respawn request failed: {second}"
+        respawns = router.status()["router"]["respawns"]
+    return {
+        "n": n,
+        "first_source": first.get("source"),
+        "first_ms": first.get("elapsed_ms"),
+        "respawn_source": second.get("source"),
+        "respawn_hit": second.get("source") == "cache",
+        "values_match": first.get("value") == second.get("value"),
+        "respawn_roundtrip_ms": hit_s * 1e3,
+        "respawns": respawns,
+    }
+
+
+def l2_table(n: int = 64, stats: dict | None = None):
+    s = stats if stats is not None else l2_stats(n)
+    rows = [
+        ("cold (fresh shard)", s["first_source"], f"{s['first_ms']:.1f}"),
+        (
+            "repeat after SIGKILL+respawn",
+            s["respawn_source"],
+            f"{s['respawn_roundtrip_ms']:.1f}",
+        ),
+    ]
+    return format_table(
+        ["request", "source", "ms"],
+        rows,
+        title=(
+            f"E11d: n={s['n']} chain through a 1-shard fleet. The shard is "
+            "SIGKILLed after the first answer; its respawn serves the repeat "
+            "from the shared on-disk L2 tier "
+            f"(respawns={s['respawns']}, values match: {s['values_match']}). "
+            "Roundtrip includes respawn detection; the L2 read itself is "
+            "one npz load."
+        ),
+    )
+
+
 def smoke_stats(count: int = 32, workers: int = 4) -> dict:
     """The smoke measurement, JSON-ready (what the trajectory records)."""
     t = throughput_stats(count, workers)
     lat = latency_stats()
-    return {"throughput": t, "latency": lat}
+    delta = delta_stats()
+    l2 = l2_stats()
+    return {"throughput": t, "latency": lat, "delta": delta, "l2": l2}
 
 
 def smoke_failures(stats: dict, bars: dict) -> list[str]:
@@ -253,6 +385,24 @@ def smoke_failures(stats: dict, bars: dict) -> list[str]:
             f"cache-hit latency not {bars['cache_latency_x']:.0f}x below "
             f"a cold solve (measured {lat['ratio']:.0f}x)"
         )
+    delta = stats.get("delta")
+    if delta is not None:
+        if delta["speedup"] < bars.get("delta_speedup_x", 0.0):
+            failed.append(
+                f"delta re-solve not {bars['delta_speedup_x']:.0f}x faster than "
+                f"a cold solve (measured {delta['speedup']:.1f}x)"
+            )
+        if not delta["bitwise_identical"]:
+            failed.append("delta re-solve tables differ from a cold solve")
+    l2 = stats.get("l2")
+    if l2 is not None:
+        if not l2["respawn_hit"]:
+            failed.append(
+                "repeat after SIGKILL+respawn was not served from the L2 tier "
+                f"(source {l2['respawn_source']!r})"
+            )
+        if not l2["values_match"]:
+            failed.append("L2-served value differs from the original solve")
     if svc["failures"]:
         failed.append(f"{svc['failures']} requests failed")
     if svc["orphan_workers"]:
@@ -272,14 +422,21 @@ def smoke(count: int = 32, workers: int = 4) -> int:
     bars = load_bars(BENCH_NAME, DEFAULT_BARS)
     stats = smoke_stats(count, workers)
     t, lat = stats["throughput"], stats["latency"]
+    delta, l2 = stats["delta"], stats["l2"]
     print(throughput_table(stats=t))
     print()
     print(latency_table(stats=lat))
+    print()
+    print(delta_table(stats=delta))
+    print()
+    print(l2_table(stats=l2))
     svc = t["service"]
     print(
         f"\nthroughput {t['speedup']:.1f}x (bar {bars['throughput_x']:.1f}x) | "
         f"cache hit {lat['ratio']:.0f}x faster (bar "
-        f"{bars['cache_latency_x']:.0f}x) | failures {svc['failures']} | "
+        f"{bars['cache_latency_x']:.0f}x) | delta {delta['speedup']:.0f}x "
+        f"(bar {bars.get('delta_speedup_x', 5.0):.0f}x) | L2 respawn hit "
+        f"{l2['respawn_hit']} | failures {svc['failures']} | "
         f"orphans {svc['orphan_workers']} | shm residue {svc['shm_residue']}"
     )
     record(BENCH_NAME, stats, bars=bars)
@@ -306,6 +463,20 @@ def test_e11_cache_latency(report, benchmark):
     )
 
 
+def test_e11_delta(report, benchmark):
+    report(
+        "e11_service",
+        benchmark.pedantic(lambda: delta_table(n=96), rounds=1, iterations=1),
+    )
+
+
+def test_e11_l2_survival(report, benchmark):
+    report(
+        "e11_service",
+        benchmark.pedantic(l2_table, rounds=1, iterations=1),
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     if "--smoke" in argv:
@@ -313,6 +484,10 @@ def main(argv: list[str] | None = None) -> int:
     print(throughput_table())
     print()
     print(latency_table())
+    print()
+    print(delta_table())
+    print()
+    print(l2_table())
     return 0
 
 

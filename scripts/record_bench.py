@@ -4,7 +4,11 @@
 Each smoke benchmark (E10 backends, E11 service, E12 fleet) measures,
 gates itself against the bars stored in its ``BENCH_<name>.json`` at
 the repository root, and records the measurement back into that file's
-bounded history (see :mod:`repro.util.bench` for the schema). This
+bounded history (see :mod:`repro.util.bench` for the schema). E11
+carries four axes: coalesced throughput, cache-hit latency, the delta
+re-solve speedup (incremental re-sweep of a suffix edit vs a cold
+solve, bitwise-gated), and L2 crash survival (a SIGKILLed shard's
+respawn answering from the shared on-disk tier). This
 script just drives all three in sequence — it is what the CI
 ``bench-trajectory`` job runs before uploading the JSONs as artifacts,
 and what a developer runs locally to refresh the trajectory::
@@ -61,6 +65,19 @@ def main(argv: list[str] | None = None) -> int:
         rc = module.smoke()
         from repro.util.bench import bench_path
 
+        if name == "e11_service":
+            import json
+
+            metrics = json.loads(Path(bench_path(name)).read_text()).get(
+                "metrics", {}
+            )
+            delta, l2 = metrics.get("delta"), metrics.get("l2")
+            if delta and l2:
+                print(
+                    f"--- delta re-solve {delta['speedup']:.0f}x at "
+                    f"n={delta['n']}; L2 respawn hit: {l2['respawn_hit']}",
+                    flush=True,
+                )
         print(f"--- recorded {bench_path(name)} (exit {rc})\n", flush=True)
         worst = max(worst, rc)
     return worst

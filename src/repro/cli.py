@@ -319,6 +319,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="result-cache byte budget in MiB; 0 disables the cache (default: 128)",
     )
     p_serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help=(
+            "directory for a disk-backed L2 result cache; results survive "
+            "restarts and are shared by every server pointing at it "
+            "(default: in-memory L1 only)"
+        ),
+    )
+    p_serve.add_argument(
+        "--delta-max-dirty",
+        type=float,
+        default=None,
+        help=(
+            "decline delta re-solves whose dirty DP fraction exceeds this "
+            "(default: 0.5)"
+        ),
+    )
+    p_serve.add_argument(
         "--max-requests",
         type=_positive_int,
         default=None,
@@ -395,6 +413,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=128.0,
         help="per-shard result-cache budget in MiB; 0 disables (default: 128)",
+    )
+    p_fleet.add_argument(
+        "--cache-dir",
+        default=None,
+        help=(
+            "shared L2 result-cache directory mounted by every shard "
+            "(default: an l2-cache subdirectory of the state dir)"
+        ),
     )
     p_fleet.add_argument(
         "--state-dir",
@@ -645,6 +671,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         batch_window=args.batch_window_ms / 1e3,
         max_batch=args.max_batch,
         cache_bytes=int(args.cache_mb * (1 << 20)),
+        cache_dir=args.cache_dir,
+        **(
+            {"delta_max_dirty": args.delta_max_dirty}
+            if args.delta_max_dirty is not None
+            else {}
+        ),
     )
     try:
         served = asyncio.run(
@@ -688,6 +720,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         batch_window=args.batch_window_ms / 1e3,
         max_batch=args.max_batch,
         cache_bytes=int(args.cache_mb * (1 << 20)),
+        cache_dir=args.cache_dir,
         state_dir=args.state_dir,
     )
     try:

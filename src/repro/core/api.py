@@ -36,6 +36,7 @@ import numpy as np
 from repro.core.algebra import SelectionSemiring, get_algebra
 from repro.core.banded import BandedSolver
 from repro.core.compact import CompactBandedSolver
+from repro.core.delta import delta_meta_for, try_delta
 from repro.core.huang import HuangSolver, IterationTrace
 from repro.core.knuth import solve_knuth
 from repro.core.plan import SweepPlan
@@ -150,6 +151,7 @@ def instance_key_bytes(
     *,
     method: str = "sequential",
     algebra: SelectionSemiring | str | None = None,
+    delta_parent: bool = False,
     **solve_kwargs,
 ) -> Optional[bytes]:
     """Raw 16-byte digest behind :func:`instance_key`, or ``None``.
@@ -162,14 +164,31 @@ def instance_key_bytes(
     same bytes, which is what lets a fleet router place a request on
     the shard whose cache and coalescer can dedupe it
     (:class:`repro.service.fleet.FleetRouter` consumes these bytes
-    directly as its consistent-hash routing key)."""
-    payload = problem.canonical_payload()
+    directly as its consistent-hash routing key).
+
+    With ``delta_parent=True`` the digest hashes the family's
+    *structural* payload
+    (:meth:`~repro.problems.base.ParenthesizationProblem.delta_parent_payload`
+    — weight values elided) under a distinct domain tag: the probe key
+    delta-capable caches index stored results by, grouping every
+    instance that could serve as a delta parent for a request
+    (:mod:`repro.core.delta`)."""
+    payload = (
+        problem.delta_parent_payload() if delta_parent else problem.canonical_payload()
+    )
     if payload is None:
         return None
     if algebra is None:
         algebra = getattr(problem, "preferred_algebra", "min_plus")
     alg_name = algebra.name if isinstance(algebra, SelectionSemiring) else str(algebra)
-    parts = [type(problem).__name__, method, alg_name]
+    # The domain tag keeps parent-probe keys disjoint from instance keys
+    # even where a family's structural payload collides with a value one.
+    parts = [
+        type(problem).__name__,
+        "delta-parent" if delta_parent else "instance",
+        method,
+        alg_name,
+    ]
     try:
         for kw in sorted(solve_kwargs):
             if kw in _EXECUTION_ONLY_KWARGS:
@@ -381,6 +400,7 @@ def solve(
     alg = get_algebra(algebra)
 
     cache_key = None
+    key_kwargs: dict[str, Any] = {}
     if cache is not None:
         key_kwargs = dict(solver_kwargs)
         key_kwargs["reconstruct"] = reconstruct
@@ -389,15 +409,38 @@ def solve(
         if max_n is not None:
             key_kwargs["max_n"] = max_n  # the guard can reject: partitions
         cache_key = instance_key(problem, method=method, algebra=alg, **key_kwargs)
-        if cache_key is not None:
-            hit = cache.get(cache_key)
-            if hit is not None:
-                return hit
 
     def _done(result: SolveResult) -> SolveResult:
         if cache_key is not None:
-            cache.put(cache_key, result)
+            if getattr(cache, "supports_delta", False):
+                cache.put(
+                    cache_key,
+                    result,
+                    delta=delta_meta_for(
+                        problem, method=method, algebra=alg, **key_kwargs
+                    ),
+                )
+            else:
+                cache.put(cache_key, result)
         return result
+
+    if cache_key is not None:
+        hit = cache.get(cache_key)
+        if hit is not None:
+            return hit
+        # Exact miss: probe for a delta parent — an already-solved
+        # sibling differing only in a weight window — and, when one
+        # works, populate the cache exactly like a cold solve would.
+        hit = try_delta(
+            cache,
+            problem,
+            method=method,
+            algebra=alg,
+            kernel_impl=kernel_impl,
+            **key_kwargs,
+        )
+        if hit is not None:
+            return _done(hit)
 
     if method == "sequential":
         seq = solve_sequential(problem, algebra=alg)

@@ -1,0 +1,369 @@
+"""Delta re-solves: reuse a cached DP table across a small weight change.
+
+Point updates dominate duplicate-heavy service traffic (the hp-adaptive
+DLB literature makes the same observation for incremental
+re-partitioning): a request often differs from an already-solved
+instance in a handful of weight positions. The recurrence (*) table is
+highly local in those positions — cell ``(i, j)`` reads only ``init``
+and ``f`` values inside the interval — so a change confined to a
+weight window leaves a large *clean* subtriangle of the parent's table
+bitwise-valid for the child.
+
+This module is that reuse path:
+
+- each problem family describes its weight vector
+  (:meth:`~repro.problems.base.ParenthesizationProblem.delta_weights`),
+  a structural probe payload
+  (:meth:`~repro.problems.base.ParenthesizationProblem.delta_parent_payload`)
+  and the dirty window a weight diff induces
+  (:meth:`~repro.problems.base.ParenthesizationProblem.delta_window`);
+- :func:`delta_meta_for` computes the *delta-parent key* — the instance
+  key with the weight values replaced by the structural payload — under
+  which delta-capable caches index stored results;
+- :func:`try_delta` probes a cache for parents of a request and hands
+  each to :func:`delta_resolve`, which copies the parent table and
+  re-sweeps **only the dirty cells**, length by length, with exactly
+  the sequential DP's candidate expression.
+
+Bitwise contract
+----------------
+The re-sweep recomputes every dirty cell from already-correct inputs
+(clean cells are bitwise the cold child values by the window argument;
+dirty dependencies are recomputed first, in length order) using the
+same elementwise float64 operations the cold sequential DP applies —
+``extend(extend(w[i, k], w[k, j]), f)`` reduced by ``argwitness`` —
+against rows produced by the families' closed-form
+:meth:`~repro.problems.base.ParenthesizationProblem.split_cost_row`
+(bitwise equal to the dense ``f`` table slices). Hence a delta table is
+bitwise-identical to a cold solve of the child, and — by the engine's
+cross-method invariant (DESIGN.md §3) — valid for every method in
+:data:`DELTA_METHODS`. The property suite pins this along a delta axis.
+
+Both ``kernel_impl`` tiers are served: with numba present the per-cell
+reduction runs as a JIT scalar loop built from the algebra's
+:class:`~repro.core.algebra.KernelLowering` (the
+:mod:`repro.core.kernels_fused` factories — one source of truth for the
+scalar semantics); otherwise the numpy slab expression runs as-is.
+Packed ``lex_min_plus`` needs no range-checked fallback here: the cold
+sequential path itself adds packed floats directly, so replicating its
+plain adds *is* the bitwise-identical behaviour.
+
+Delta results carry no ``iterations``/``trace``/``tree`` — they are
+table-and-value answers, which is all the service layer's cache serves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Optional
+
+import numpy as np
+
+from repro.core.algebra import SelectionSemiring, get_algebra
+from repro.core.kernels_fused import (
+    HAVE_NUMBA,
+    _identity_jit,
+    _scalar_extend,
+    _scalar_improves,
+    numba,
+)
+from repro.errors import InvalidProblemError
+from repro.problems.base import ParenthesizationProblem
+
+__all__ = [
+    "DELTA_METHODS",
+    "MAX_DIRTY_FRACTION",
+    "DeltaMeta",
+    "delta_meta_for",
+    "try_delta",
+    "delta_resolve",
+]
+
+#: methods a delta re-solve may answer for: every method whose committed
+#: ``w`` table is pinned bitwise-identical to the sequential DP's by the
+#: golden/property suites. ``knuth`` is excluded — its split-window
+#: pruning commits the same *values* but is not on the pinned axis.
+DELTA_METHODS = ("sequential", "huang", "huang-banded", "huang-compact", "rytter")
+
+#: default refusal threshold: if more than this fraction of the DP cells
+#: is dirty, a delta re-sweep approaches cold-solve work (while still
+#: paying per-cell Python dispatch) and the probe declines. Caches may
+#: override via a ``delta_max_dirty`` attribute (the ``--delta-max-dirty``
+#: CLI knob).
+MAX_DIRTY_FRACTION = 0.5
+
+#: probe kwargs a delta re-solve can vouch for; anything else (solver
+#: tuning such as ``band=``) makes the probe decline rather than guess.
+_SAFE_PROBE_KWARGS = frozenset({"max_n"})
+
+
+@dataclass(frozen=True)
+class DeltaMeta:
+    """What a delta-capable cache records next to a stored result.
+
+    ``parent_key`` is the hex delta-parent probe key (family structure +
+    method + algebra, weights elided); ``weights`` is the instance's own
+    :meth:`~repro.problems.base.ParenthesizationProblem.delta_weights`
+    vector, which future children diff against to find the dirty window.
+    """
+
+    parent_key: str
+    weights: np.ndarray
+
+
+def _parent_key_hex(
+    problem: ParenthesizationProblem,
+    *,
+    method: str,
+    algebra: SelectionSemiring | str | None,
+    key_kwargs: dict[str, Any],
+) -> Optional[str]:
+    from repro.core.api import instance_key_bytes
+
+    kwargs = {k: v for k, v in key_kwargs.items() if k != "reconstruct"}
+    raw = instance_key_bytes(
+        problem, method=method, algebra=algebra, delta_parent=True, **kwargs
+    )
+    return None if raw is None else raw.hex()
+
+
+def delta_meta_for(
+    problem: ParenthesizationProblem,
+    *,
+    method: str = "sequential",
+    algebra: SelectionSemiring | str | None = None,
+    **key_kwargs,
+) -> Optional[DeltaMeta]:
+    """The :class:`DeltaMeta` a cache should index a stored result under,
+    or ``None`` when the instance cannot serve as a delta parent (family
+    opted out, method off the pinned axis, uncanonicalisable kwargs).
+
+    ``reconstruct`` is elided from the parent key on both the put and
+    probe sides — it never changes the ``w`` table, and a parent solved
+    with a tree still answers (only its table is reused).
+    """
+    if method not in DELTA_METHODS:
+        return None
+    weights = problem.delta_weights()
+    if weights is None:
+        return None
+    parent_key = _parent_key_hex(
+        problem, method=method, algebra=algebra, key_kwargs=key_kwargs
+    )
+    if parent_key is None:
+        return None
+    return DeltaMeta(parent_key=parent_key, weights=np.asarray(weights))
+
+
+def try_delta(
+    cache: Any,
+    problem: ParenthesizationProblem,
+    *,
+    method: str = "sequential",
+    algebra: SelectionSemiring | str | None = None,
+    kernel_impl: str | None = "auto",
+    **key_kwargs,
+) -> Optional[SolveResult]:
+    """Probe ``cache`` for a delta parent of ``problem`` and re-solve
+    against the first workable one; ``None`` means "solve cold".
+
+    The cache must opt in (``supports_delta`` truthy and a
+    ``delta_candidates(parent_hex)`` iterator of ``(weights, result)``
+    pairs — :class:`repro.service.ResultCache` and the tiered store
+    both qualify). The probe declines — never errors — on requests it
+    cannot vouch for: tree reconstruction, custom termination policies,
+    solver-tuning kwargs, methods off the pinned axis.
+    """
+    if not getattr(cache, "supports_delta", False):
+        return None
+    candidates_fn = getattr(cache, "delta_candidates", None)
+    if candidates_fn is None or method not in DELTA_METHODS:
+        return None
+    if key_kwargs.pop("reconstruct", False):
+        return None
+    from repro.core.api import _EXECUTION_ONLY_KWARGS
+
+    key_kwargs = {
+        k: v for k, v in key_kwargs.items() if k not in _EXECUTION_ONLY_KWARGS
+    }
+    if any(k not in _SAFE_PROBE_KWARGS for k in key_kwargs):
+        return None
+    if problem.delta_weights() is None:
+        return None
+    parent_key = _parent_key_hex(
+        problem, method=method, algebra=algebra, key_kwargs=key_kwargs
+    )
+    if parent_key is None:
+        return None
+    max_dirty = float(getattr(cache, "delta_max_dirty", MAX_DIRTY_FRACTION))
+    for parent_weights, parent_result in candidates_fn(parent_key):
+        try:
+            result = delta_resolve(
+                problem,
+                parent_weights,
+                parent_result,
+                method=method,
+                algebra=algebra,
+                kernel_impl=kernel_impl,
+                max_dirty=max_dirty,
+            )
+        except InvalidProblemError:
+            continue
+        if result is not None:
+            return result
+    return None
+
+
+def _dirty_cell_count(n: int, lo: int, hi: int) -> int:
+    """Cells ``(i, j)``, ``0 <= i < j <= n``, with ``j >= lo`` and
+    ``i <= hi`` — the region :func:`delta_resolve` re-sweeps."""
+    total = 0
+    for length in range(1, n + 1):
+        a = max(0, lo - length)
+        b = min(n - length, hi)
+        if b >= a:
+            total += b - a + 1
+    return total
+
+
+def delta_resolve(
+    problem: ParenthesizationProblem,
+    parent_weights: np.ndarray,
+    parent_result: SolveResult,
+    *,
+    method: str = "sequential",
+    algebra: SelectionSemiring | str | None = None,
+    kernel_impl: str | None = "auto",
+    max_dirty: float = MAX_DIRTY_FRACTION,
+) -> Optional[SolveResult]:
+    """Re-solve ``problem`` from a parent's table, re-sweeping only the
+    dirty window; ``None`` when the parent is unusable (window unknown,
+    wrong algebra/shape, or dirty fraction above ``max_dirty``).
+
+    The returned table is bitwise-identical to a cold solve of
+    ``problem`` (module docstring); ``iterations``/``trace``/``tree``
+    are ``None``.
+    """
+    from repro.core.api import SolveResult
+
+    n = problem.n
+    if algebra is None:
+        algebra = getattr(problem, "preferred_algebra", "min_plus")
+    alg = get_algebra(algebra)
+    if getattr(parent_result, "algebra", None) != alg.name:
+        return None
+    w_parent = getattr(parent_result, "w", None)
+    if (
+        not isinstance(w_parent, np.ndarray)
+        or w_parent.shape != (n + 1, n + 1)
+        or w_parent.dtype != np.float64
+    ):
+        return None
+    window = problem.delta_window(parent_weights)
+    if window is None:
+        return None
+    lo, hi = window
+    if lo > n or hi < 0:  # equal weights: the parent table answers as-is
+        return SolveResult(
+            method=method,
+            value=float(alg.decode(w_parent[0, n])),
+            w=w_parent.copy(),
+            algebra=alg.name,
+        )
+    if _dirty_cell_count(n, lo, hi) > max_dirty * problem.num_intervals:
+        return None
+
+    init = problem.init_vector()
+    if (init < 0).any() or np.isnan(init).any():
+        raise InvalidProblemError("init costs must be non-negative and finite")
+    w = w_parent.copy()
+    idx = np.arange(n)
+    w[idx, idx + 1] = alg.encode_init(init)
+
+    cell = (
+        _cell_kernel_for(alg)
+        if HAVE_NUMBA and kernel_impl in (None, "auto", "fused")
+        else None
+    )
+    for length in range(2, n + 1):
+        a = max(0, lo - length)
+        b = min(n - length, hi)
+        for i in range(a, b + 1):
+            j = i + length
+            frow = alg.encode_f(problem.split_cost_row(i, j))
+            left = w[i, i + 1 : j]
+            right = w[i + 1 : j, j]
+            if cell is not None:  # pragma: no cover - the [perf] CI leg
+                w[i, j] = cell(left, np.ascontiguousarray(right), frow)
+            else:
+                # Bit-for-bit the sequential DP's inner loop
+                # (core/sequential.py): slab extend, first-extremum
+                # argwitness, commit the selected candidate verbatim.
+                cand = alg.extend(alg.extend(left, right), frow)
+                w[i, j] = cand[int(alg.argwitness(cand))]
+    return SolveResult(
+        method=method,
+        value=float(alg.decode(w[0, n])),
+        w=w,
+        algebra=alg.name,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The fused-tier per-cell kernel: one JIT scalar reduction over a cell's
+# candidate row, built from the same scalar-lowering factories as the
+# fused sweep kernels (shared source of truth for the semantics).
+# ---------------------------------------------------------------------------
+
+_CELL_CACHE: dict[tuple[str, str], Callable[..., float]] = {}
+
+
+def _make_cell_kernel(
+    ext_scalar: Callable[..., Any],
+    better_scalar: Callable[..., Any],
+    jit: Callable[..., Any],
+) -> Callable[..., float]:
+    """``comb over k of ext(ext(left[k], right[k]), frow[k])`` as a
+    scalar loop; strict ``better`` keeps the first extremum, matching
+    ``argwitness`` selection (the committed value is a candidate
+    verbatim either way, so the bits agree)."""
+
+    @jit
+    def kernel(left: np.ndarray, right: np.ndarray, frow: np.ndarray) -> float:
+        best = ext_scalar(ext_scalar(left[0], right[0]), frow[0])
+        for k in range(1, left.shape[0]):
+            v = ext_scalar(ext_scalar(left[k], right[k]), frow[k])
+            if better_scalar(v, best):
+                best = v
+        return best
+
+    return kernel
+
+
+def _cell_kernel_for(algebra: SelectionSemiring) -> Callable[..., float]:
+    low = algebra.lowering()
+    key = (low.ext_name, low.comb_name)
+    kernel = _CELL_CACHE.get(key)
+    if kernel is None:
+        jit = (
+            numba.njit(cache=False, fastmath=False)  # exact float64 only
+            if HAVE_NUMBA
+            else _identity_jit
+        )
+        kernel = _make_cell_kernel(
+            _scalar_extend(low.ext_name, jit),
+            _scalar_improves(low.comb_name, jit),
+            jit,
+        )
+        _CELL_CACHE[key] = kernel
+    return kernel
+
+
+def candidates_from_entries(
+    entries: Iterable[tuple[DeltaMeta, Any]],
+) -> Iterable[tuple[np.ndarray, Any]]:
+    """Adapter: ``(meta, result)`` pairs → the ``(weights, result)``
+    pairs :func:`try_delta` consumes. Cache tiers share it so their
+    ``delta_candidates`` surfaces stay identical."""
+    for meta, result in entries:
+        yield meta.weights, result

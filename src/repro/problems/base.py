@@ -137,6 +137,57 @@ class ParenthesizationProblem(abc.ABC):
         """
         return None
 
+    # -- delta identity (incremental re-solves) -----------------------------
+
+    def delta_weights(self) -> np.ndarray | None:
+        """The flat defining weight vector of this instance, or ``None``.
+
+        Two instances of the same family, size and structural settings
+        whose :meth:`delta_weights` differ in a few positions define
+        recurrences that differ only in a bounded *dirty region* of the
+        DP triangle — the contract :mod:`repro.core.delta` exploits to
+        re-sweep only dirty cells of a cached table. ``None`` (the base
+        default) opts the family out of delta re-solves.
+        """
+        return None
+
+    def delta_parent_payload(self) -> tuple | None:
+        """Family-level probe payload for the delta-parent cache index.
+
+        Like :meth:`canonical_payload` but with the weight values
+        replaced by structural facts (family tag, size, rules): every
+        instance that could serve as a delta parent for this one —
+        same family, same ``n``, same structural settings, any weights
+        — must produce the same payload. ``None`` opts out.
+        """
+        return None
+
+    def delta_window(
+        self, parent_weights: np.ndarray
+    ) -> tuple[int, int] | None:
+        """The dirty window ``(lo, hi)`` against a delta parent.
+
+        Given the parent's :meth:`delta_weights`, returns ``(lo, hi)``
+        such that cell ``(i, j)`` of the DP table is *clean* (bitwise
+        equal to the parent's) whenever ``j < lo`` or ``i > hi``, and
+        must be recomputed otherwise. Equal weights yield the empty
+        window ``(n + 1, -1)``. ``None`` means the comparison is
+        impossible (shape/dtype mismatch, or the family opted out).
+        """
+        return None
+
+    def split_cost_row(self, i: int, j: int) -> np.ndarray:
+        """``f(i, k, j)`` for all interior splits ``k = i+1 .. j-1``.
+
+        Bitwise-identical to ``self.cached_f_table()[i, i+1:j, j]`` —
+        the slice the sequential DP's inner loop consumes — but, in the
+        family overrides, computed in closed form without materialising
+        the dense Θ(n³) table. This is what keeps a delta re-sweep's
+        cost proportional to its dirty region instead of to the full
+        table build.
+        """
+        return self.cached_f_table()[i, i + 1 : j, j]
+
     # -- conveniences -----------------------------------------------------------
 
     @property

@@ -70,6 +70,30 @@ class BottleneckChainProblem(ParenthesizationProblem):
     def canonical_payload(self) -> tuple:
         return ("bottleneck", self._weights.tobytes())
 
+    def delta_weights(self) -> np.ndarray:
+        return self._weights.copy()
+
+    def delta_parent_payload(self) -> tuple:
+        return ("bottleneck", str(self.n))
+
+    def delta_window(self, parent_weights: np.ndarray) -> tuple[int, int] | None:
+        if (
+            not isinstance(parent_weights, np.ndarray)
+            or parent_weights.shape != self._weights.shape
+            or parent_weights.dtype != self._weights.dtype
+        ):
+            return None
+        # f(i, k, j) reads boundary weights at i, k and j only, so a change
+        # at index t dirties cell (i, j) exactly when i <= t <= j.
+        changed = np.flatnonzero(parent_weights != self._weights)
+        if changed.size == 0:
+            return (self.n + 1, -1)
+        return (int(changed.min()), int(changed.max()))
+
+    def split_cost_row(self, i: int, j: int) -> np.ndarray:
+        c = self._weights
+        return (c[i] + c[i + 1 : j]) + c[j]
+
     def init_cost(self, i: int) -> float:
         if not (0 <= i < self.n):
             raise InvalidProblemError(f"init index {i} out of range [0, {self.n})")

@@ -55,6 +55,30 @@ class MatrixChainProblem(ParenthesizationProblem):
     def canonical_payload(self) -> tuple:
         return ("chain", self._dims.tobytes())
 
+    def delta_weights(self) -> np.ndarray:
+        return self._dims.copy()
+
+    def delta_parent_payload(self) -> tuple:
+        return ("chain", str(self.n))
+
+    def delta_window(self, parent_weights: np.ndarray) -> tuple[int, int] | None:
+        if (
+            not isinstance(parent_weights, np.ndarray)
+            or parent_weights.shape != self._dims.shape
+            or parent_weights.dtype != self._dims.dtype
+        ):
+            return None
+        # f(i, k, j) reads dims at i, k and j only, so a change at index t
+        # dirties cell (i, j) exactly when i <= t <= j.
+        changed = np.flatnonzero(parent_weights != self._dims)
+        if changed.size == 0:
+            return (self.n + 1, -1)
+        return (int(changed.min()), int(changed.max()))
+
+    def split_cost_row(self, i: int, j: int) -> np.ndarray:
+        d = self._dims.astype(np.float64)
+        return (d[i] * d[i + 1 : j]) * d[j]
+
     def init_cost(self, i: int) -> float:
         if not (0 <= i < self.n):
             raise InvalidProblemError(f"init index {i} out of range [0, {self.n})")

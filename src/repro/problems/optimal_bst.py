@@ -80,6 +80,45 @@ class OptimalBSTProblem(ParenthesizationProblem):
     def canonical_payload(self) -> tuple:
         return ("bst", self._p.tobytes(), self._q.tobytes())
 
+    def delta_weights(self) -> np.ndarray:
+        # Gap weights first (length m+1), then key weights (length m).
+        return np.concatenate((self._q, self._p))
+
+    def delta_parent_payload(self) -> tuple:
+        return ("bst", str(self.num_keys))
+
+    def delta_window(self, parent_weights: np.ndarray) -> tuple[int, int] | None:
+        mine = np.concatenate((self._q, self._p))
+        if (
+            not isinstance(parent_weights, np.ndarray)
+            or parent_weights.shape != mine.shape
+            or parent_weights.dtype != mine.dtype
+        ):
+            return None
+        changed = np.flatnonzero(parent_weights != mine)
+        if changed.size == 0:
+            return (self.n + 1, -1)
+        m = self.num_keys
+        los: list[int] = []
+        his: list[int] = []
+        for d in changed:
+            if d <= m:
+                # q[d] feeds init(d) and every f(i, k, j) with
+                # i <= d <= j - 1 (via q[i] and the prefix sums).
+                los.append(int(d) + 1)
+                his.append(int(d))
+            else:
+                # p[t] (keys are 1-based) feeds f(i, k, j) with
+                # i + 1 <= t <= j - 1.
+                t = int(d) - m
+                los.append(t + 1)
+                his.append(t - 1)
+        return (min(los), max(his))
+
+    def split_cost_row(self, i: int, j: int) -> np.ndarray:
+        val = (self._prefix[j - 1] - self._prefix[i]) + self._q[i]
+        return np.full(j - i - 1, val, dtype=np.float64)
+
     def subtree_weight(self, i: int, j: int) -> float:
         """Total weight w of keys ``i+1 .. j`` and gaps ``i .. j``
         (Knuth's w(i, j)); requires ``0 <= i <= j <= m``."""

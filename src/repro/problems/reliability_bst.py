@@ -93,6 +93,44 @@ class ReliabilityBSTProblem(ParenthesizationProblem):
     def canonical_payload(self) -> tuple:
         return ("reliability", self._r.tobytes(), self._q.tobytes())
 
+    def delta_weights(self) -> np.ndarray:
+        # Leaf reliabilities first (length n), then connectors (length n-1).
+        return np.concatenate((self._q, self._r))
+
+    def delta_parent_payload(self) -> tuple:
+        return ("reliability", str(self.n))
+
+    def delta_window(self, parent_weights: np.ndarray) -> tuple[int, int] | None:
+        mine = np.concatenate((self._q, self._r))
+        if (
+            not isinstance(parent_weights, np.ndarray)
+            or parent_weights.shape != mine.shape
+            or parent_weights.dtype != mine.dtype
+        ):
+            return None
+        changed = np.flatnonzero(parent_weights != mine)
+        if changed.size == 0:
+            return (self.n + 1, -1)
+        n = self.n
+        los: list[int] = []
+        his: list[int] = []
+        for d in changed:
+            if d < n:
+                # q[t] feeds init(t), i.e. cells with i <= t < j.
+                t = int(d)
+                los.append(t + 1)
+                his.append(t)
+            else:
+                # r index t is connector k = t + 1, feeding f(i, k, j)
+                # with i < k < j.
+                k = int(d) - n + 1
+                los.append(k + 1)
+                his.append(k - 1)
+        return (min(los), max(his))
+
+    def split_cost_row(self, i: int, j: int) -> np.ndarray:
+        return self._r[i : j - 1].copy()
+
     def init_cost(self, i: int) -> float:
         if not (0 <= i < self.n):
             raise InvalidProblemError(f"init index {i} out of range [0, {self.n})")

@@ -91,6 +91,41 @@ class PolygonTriangulationProblem(ParenthesizationProblem):
         # vs (n+1,) weights), so tagging it keeps the encoding unambiguous.
         return ("polygon", str(self._rule), self._vertices.tobytes())
 
+    def delta_weights(self) -> np.ndarray:
+        # Flat under both rules; perimeter coordinates interleave as
+        # (x_0, y_0, x_1, y_1, ...) so flat index // 2 is the vertex.
+        return self._vertices.flatten()
+
+    def delta_parent_payload(self) -> tuple:
+        return ("polygon", str(self._rule), str(self.n))
+
+    def delta_window(self, parent_weights: np.ndarray) -> tuple[int, int] | None:
+        flat = self._vertices.flatten()
+        if (
+            not isinstance(parent_weights, np.ndarray)
+            or parent_weights.shape != flat.shape
+            or parent_weights.dtype != flat.dtype
+        ):
+            return None
+        # A triangle weight reads vertices i, k and j only, so a change
+        # at vertex t dirties cell (i, j) exactly when i <= t <= j.
+        changed = np.flatnonzero(parent_weights != flat)
+        if changed.size == 0:
+            return (self.n + 1, -1)
+        if self._rule == "perimeter":
+            changed = changed // 2
+        return (int(changed.min()), int(changed.max()))
+
+    def split_cost_row(self, i: int, j: int) -> np.ndarray:
+        v = self._vertices
+        if self._rule == "product":
+            return (v[i] * v[i + 1 : j]) * v[j]
+        mid = v[i + 1 : j]
+        d_ik = np.hypot(v[i, 0] - mid[:, 0], v[i, 1] - mid[:, 1])
+        d_kj = np.hypot(mid[:, 0] - v[j, 0], mid[:, 1] - v[j, 1])
+        d_ij = np.hypot(v[i, 0] - v[j, 0], v[i, 1] - v[j, 1])
+        return (d_ik + d_kj) + d_ij
+
     def triangle_weight(self, i: int, k: int, j: int) -> float:
         """Weight of triangle (v_i, v_k, v_j) under the configured rule."""
         v = self._vertices

@@ -10,7 +10,11 @@ cache whose hit path never compiles a plan or touches a pool.
 Layers (each usable on its own):
 
 * :class:`ResultCache` — byte-bounded LRU keyed by
-  :func:`repro.core.api.instance_key`;
+  :func:`repro.core.api.instance_key`, with a delta-sibling index for
+  :mod:`repro.core.delta` re-solves;
+* :class:`L2DiskCache` / :class:`TieredResultCache` — the disk-backed
+  L2 tier and the L1+L2 composite (``--cache-dir``): entries survive
+  restarts and are shared by every process mounting the directory;
 * :class:`CoalescingScheduler` — asyncio request coalescing (duplicate
   requests join the in-flight entry; distinct requests batch);
 * :class:`SolveService` — owns backend + store + cache + scheduler;
@@ -24,7 +28,7 @@ Layers (each usable on its own):
   shards and re-dispatches their in-flight requests (``repro fleet``).
 """
 
-from repro.service.cache import ResultCache
+from repro.service.cache import L2DiskCache, ResultCache, TieredResultCache
 from repro.service.client import LocalClient, ServiceClient
 from repro.service.fleet import FleetRouter, serve_fleet
 from repro.service.scheduler import CoalescingScheduler
@@ -33,6 +37,8 @@ from repro.service.transport import Address, parse_address
 
 __all__ = [
     "ResultCache",
+    "L2DiskCache",
+    "TieredResultCache",
     "CoalescingScheduler",
     "SolveService",
     "serve",

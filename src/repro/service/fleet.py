@@ -185,6 +185,13 @@ class FleetRouter:
     ``method, backend, workers, start_method, batch_window, max_batch,
     cache_bytes``
         Forwarded to each shard's ``repro serve``.
+    ``cache_dir``
+        Directory for the shared L2 result cache every shard mounts
+        (each shard's in-memory cache becomes the L1 of a
+        :class:`~repro.service.cache.TieredResultCache`). Defaults to
+        an ``l2-cache`` subdirectory of ``state_dir`` whenever caching
+        is enabled, so a respawned shard finds its predecessor's
+        results on disk; pass an empty string to disable the L2 tier.
     ``state_dir``
         Where shard sockets and log files live; a private temporary
         directory (removed on close) when not given.
@@ -208,6 +215,7 @@ class FleetRouter:
         batch_window: float = 0.005,
         max_batch: int = 16,
         cache_bytes: int = 128 << 20,
+        cache_dir: Optional[str] = None,
         state_dir: Optional[str] = None,
         spawn_timeout: float = 30.0,
         request_timeout: float = 120.0,
@@ -228,6 +236,12 @@ class FleetRouter:
             tempfile.mkdtemp(prefix="repro-fleet-") if state_dir is None else state_dir
         )
         self.state_dir.mkdir(parents=True, exist_ok=True)
+        # One L2 directory for the whole fleet: every shard writes
+        # through to it, so a respawned shard (or a sibling that gets a
+        # re-routed duplicate) serves from disk instead of re-solving.
+        if cache_dir is None and self.cache_bytes > 0:
+            cache_dir = str(self.state_dir / "l2-cache")
+        self.cache_dir = cache_dir or None
         self._shards = [
             _Shard(i, str(self.state_dir / f"shard-{i}.sock")) for i in range(shards)
         ]
@@ -285,6 +299,8 @@ class FleetRouter:
             "--cache-mb",
             str(self.cache_bytes / (1 << 20)),
         ]
+        if self.cache_dir is not None:
+            cmd += ["--cache-dir", self.cache_dir]
         if self.workers is not None:
             cmd += ["--workers", str(self.workers)]
         if self.start_method is not None:
@@ -553,7 +569,14 @@ class FleetRouter:
         requests, combined cache counters and hit rate, respawns, and
         the router's own dispatch accounting."""
         shard_records = []
-        totals = {"requests": 0, "cache_hits": 0, "cache_misses": 0, "batches": 0}
+        totals = {
+            "requests": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "cache_l2_hits": 0,
+            "delta_hits": 0,
+            "batches": 0,
+        }
         alive = 0
         for shard in self._shards:
             record: dict[str, Any] = {
@@ -572,8 +595,10 @@ class FleetRouter:
                 cache = status.get("cache") or {}
                 totals["cache_hits"] += cache.get("hits", 0)
                 totals["cache_misses"] += cache.get("misses", 0)
+                totals["cache_l2_hits"] += (cache.get("l2") or {}).get("hits", 0)
                 scheduler = status.get("scheduler") or {}
                 totals["batches"] += scheduler.get("batches", 0)
+                totals["delta_hits"] += scheduler.get("delta_hits", 0)
             shard_records.append(record)
         lookups = totals["cache_hits"] + totals["cache_misses"]
         return {

@@ -6,8 +6,12 @@ shape the batched service layer is fastest at: one
 two levels:
 
 * **Duplicate coalescing** — a request whose instance hash matches an
-  entry already waiting in the current batch does not add work; its
-  future joins the entry and all joiners share the one solve.
+  entry already waiting in the current batch — *or already detached
+  into the currently-executing batch* — does not add work; its future
+  joins the entry and all joiners share the one solve. (Executing
+  entries stay joinable until their results land: a duplicate arriving
+  moments after ``_take_pending()`` detaches its twin must not re-solve
+  from scratch.)
 * **Batch coalescing** — distinct requests accumulate until either the
   batch window (the deadline: how long the *first* request in a batch
   may wait before execution starts) expires or the batch reaches
@@ -15,9 +19,15 @@ two levels:
   as a unit on the service's warm backend.
 
 The cache sits in front of both: a hit resolves at submit time without
-entering a batch at all. Batches execute one at a time (a later batch
-fills while the current one runs), so the warm backend and the shared
-table store are never used from two threads at once.
+entering a batch at all. On a delta-capable cache
+(:class:`~repro.service.cache.ResultCache` and the tiered store), a
+miss gets one more chance *inside* the batch: each batch entry is first
+probed via :func:`repro.core.delta.try_delta` for an already-solved
+sibling to re-sweep incrementally — delta candidates resolve like hits
+but ride a batch — and only the remainder goes to the cold runner.
+Batches execute one at a time (a later batch fills while the current
+one runs), so the warm backend and the shared table store are never
+used from two threads at once.
 """
 
 from __future__ import annotations
@@ -27,6 +37,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from repro.core.api import SolveResult, instance_key
+from repro.core.delta import delta_meta_for, try_delta
 from repro.errors import ReproError
 
 __all__ = ["CoalescingScheduler", "ServiceClosedError"]
@@ -85,6 +96,8 @@ class CoalescingScheduler:
         self.cache = cache
         self._pending: list[_Entry] = []
         self._by_key: dict[str, _Entry] = {}
+        self._executing: dict[str, _Entry] = {}
+        self._executing_count = 0
         self._full = asyncio.Event()
         self._run_lock = asyncio.Lock()
         self._closed = False
@@ -92,6 +105,7 @@ class CoalescingScheduler:
         # -- counters (served on the status endpoint) --
         self._requests = 0
         self._cache_hits = 0
+        self._delta_hits = 0
         self._coalesced = 0
         self._batches = 0
         self._batch_items = 0
@@ -104,9 +118,11 @@ class CoalescingScheduler:
     ) -> tuple[SolveResult, str]:
         """Schedule one solve; returns ``(result, source)`` where
         ``source`` is ``"cache"`` (hit, no work entered a batch),
-        ``"coalesced"`` (joined an already-pending identical request)
-        or ``"batch"`` (solved in the batch this request rode). Raises
-        whatever the solve raised."""
+        ``"coalesced"`` (joined an identical request that was pending
+        or already executing), ``"delta"`` (an incremental re-solve
+        from a cached sibling rode the batch) or ``"batch"`` (solved
+        cold in the batch this request rode). Raises whatever the solve
+        raised."""
         if self._closed:
             raise ServiceClosedError("scheduler is closed")
         kwargs = dict(kwargs or {})
@@ -119,12 +135,16 @@ class CoalescingScheduler:
                 return hit, "cache"
 
         future: asyncio.Future = asyncio.get_running_loop().create_future()
-        source = "batch"
-        entry = self._by_key.get(key) if key is not None else None
+        joined = False
+        entry = None
+        if key is not None:
+            # Pending twin first, then one already detached into the
+            # in-flight batch — late duplicates join the running solve.
+            entry = self._by_key.get(key) or self._executing.get(key)
         if entry is not None:
             entry.futures.append(future)
             self._coalesced += 1
-            source = "coalesced"
+            joined = True
         else:
             entry = _Entry(key, problem, method, kwargs, [future])
             self._pending.append(entry)
@@ -134,8 +154,8 @@ class CoalescingScheduler:
                 self._spawn_flusher()
             if len(self._pending) >= self.max_batch:
                 self._full.set()
-        result = await future
-        return result, source
+        result, tag = await future
+        return result, ("coalesced" if joined else tag)
 
     # -- the flush machinery -------------------------------------------------
 
@@ -147,12 +167,15 @@ class CoalescingScheduler:
     def _take_pending(self) -> list[_Entry]:
         """Detach (at most) one batch; anything beyond ``max_batch``
         stays pending with a fresh flusher, so the size bound is a hard
-        cap on batch size, not just a flush trigger."""
+        cap on batch size, not just a flush trigger. Detached keyed
+        entries move to the executing index, where late duplicates can
+        still join them until their results land."""
         batch = self._pending[: self.max_batch]
         self._pending = self._pending[self.max_batch :]
         for entry in batch:
             if entry.key is not None:
                 self._by_key.pop(entry.key, None)
+                self._executing[entry.key] = entry
         self._full.clear()
         if self._pending:
             if len(self._pending) >= self.max_batch or self._closed:
@@ -168,32 +191,81 @@ class CoalescingScheduler:
         async with self._run_lock:
             await self._run_batch(self._take_pending())
 
+    def _solve_batch(self, batch: list[_Entry]) -> list[tuple[str, Any]]:
+        """Worker-thread body of one batch: probe each entry for a delta
+        re-solve first (delta candidates resolve like hits but ride the
+        batch), then run only the cold remainder through the runner —
+        whose ``(problem, method, kwargs)`` item contract is unchanged.
+        Returns ``(tag, outcome)`` per entry, submission order."""
+        tagged: list[tuple[str, Any]] = [("batch", None)] * len(batch)
+        cold: list[tuple] = []
+        cold_idx: list[int] = []
+        for idx, entry in enumerate(batch):
+            hit = None
+            if self.cache is not None and entry.key is not None:
+                try:
+                    hit = try_delta(
+                        self.cache, entry.problem,
+                        method=entry.method, **entry.kwargs,
+                    )
+                except Exception:  # noqa: BLE001 - a probe must never fail a solve
+                    hit = None
+            if hit is not None:
+                tagged[idx] = ("delta", hit)
+            else:
+                cold.append((entry.problem, entry.method, entry.kwargs))
+                cold_idx.append(idx)
+        if cold:
+            results = self._runner(cold)
+            if len(results) != len(cold):  # pragma: no cover - runner bug
+                raise ReproError(
+                    f"runner returned {len(results)} results for {len(cold)} items"
+                )
+            for idx, outcome in zip(cold_idx, results):
+                tagged[idx] = ("batch", outcome)
+        return tagged
+
+    def _put(self, entry: _Entry, outcome: SolveResult) -> None:
+        if self.cache is None or entry.key is None:
+            return
+        if getattr(self.cache, "supports_delta", False):
+            self.cache.put(
+                entry.key,
+                outcome,
+                delta=delta_meta_for(entry.problem, method=entry.method, **entry.kwargs),
+            )
+        else:
+            self.cache.put(entry.key, outcome)
+
     async def _run_batch(self, batch: list[_Entry]) -> None:
         if not batch:
             return
         self._batches += 1
         self._batch_items += len(batch)
         self._largest_batch = max(self._largest_batch, len(batch))
-        items = [(e.problem, e.method, e.kwargs) for e in batch]
+        self._executing_count = len(batch)
         try:
-            results = await asyncio.to_thread(self._runner, items)
-            if len(results) != len(batch):  # pragma: no cover - runner bug
-                raise ReproError(
-                    f"runner returned {len(results)} results for {len(batch)} items"
-                )
+            tagged = await asyncio.to_thread(self._solve_batch, batch)
         except Exception as exc:  # noqa: BLE001 - fail every waiter, not the loop
-            results = [exc] * len(batch)
-        for entry, outcome in zip(batch, results):
+            tagged = [("batch", exc)] * len(batch)
+        # Unindex before resolving: both happen in this same event-loop
+        # step, so no submit can slip between them and join a dead entry.
+        self._executing_count = 0
+        for entry in batch:
+            if entry.key is not None:
+                self._executing.pop(entry.key, None)
+        for entry, (tag, outcome) in zip(batch, tagged):
             if isinstance(outcome, Exception):
                 for fut in entry.futures:
                     if not fut.done():
                         fut.set_exception(outcome)
             else:
-                if self.cache is not None and entry.key is not None:
-                    self.cache.put(entry.key, outcome)
+                if tag == "delta":
+                    self._delta_hits += 1
+                self._put(entry, outcome)
                 for fut in entry.futures:
                     if not fut.done():
-                        fut.set_result(outcome)
+                        fut.set_result((outcome, tag))
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -218,10 +290,15 @@ class CoalescingScheduler:
         return {
             "requests": self._requests,
             "cache_hits": self._cache_hits,
+            "delta_hits": self._delta_hits,
             "coalesced": self._coalesced,
             "batches": self._batches,
             "batch_items": self._batch_items,
             "mean_batch": round(mean, 2),
             "largest_batch": self._largest_batch,
             "pending": len(self._pending),
+            # entries detached into the in-flight batch: previously
+            # folded into neither number, under-reporting in-flight
+            # work exactly while a batch runs
+            "executing": self._executing_count,
         }

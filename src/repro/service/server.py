@@ -37,7 +37,8 @@ from repro.core.api import ITERATIVE_METHODS, solve, solve_many
 from repro.parallel.backends import Backend, make_backend
 from repro.parallel.shm import TableStore
 from repro.problems.specs import batch_item_from_spec
-from repro.service.cache import ResultCache
+from repro.core.delta import MAX_DIRTY_FRACTION
+from repro.service.cache import ResultCache, TieredResultCache
 from repro.service.scheduler import CoalescingScheduler
 from repro.service.transport import Address, serve_jsonl
 
@@ -61,6 +62,15 @@ class SolveService:
         :class:`~repro.service.scheduler.CoalescingScheduler`.
     cache_bytes, cache_entries:
         Result-cache budget; ``cache_bytes=0`` disables caching.
+    cache_dir:
+        When set (and caching is enabled), the in-memory cache becomes
+        the L1 of a :class:`~repro.service.cache.TieredResultCache`
+        whose L2 lives in this directory — shared across every process
+        pointing at it and surviving restarts (the fleet wires one
+        common directory per fleet).
+    delta_max_dirty:
+        Dirty-fraction threshold above which delta re-solve probes
+        decline (see :data:`repro.core.delta.MAX_DIRTY_FRACTION`).
     """
 
     def __init__(
@@ -74,6 +84,8 @@ class SolveService:
         max_batch: int = 16,
         cache_bytes: int = 128 << 20,
         cache_entries: int = 4096,
+        cache_dir: str | None = None,
+        delta_max_dirty: float = MAX_DIRTY_FRACTION,
     ) -> None:
         self.default_method = method
         self._owns_backend = isinstance(backend, str)
@@ -83,11 +95,18 @@ class SolveService:
             else backend
         )
         self.store = TableStore()
-        self.cache = (
-            ResultCache(max_bytes=cache_bytes, max_entries=cache_entries)
-            if cache_bytes > 0
-            else None
-        )
+        if cache_bytes <= 0:
+            self.cache = None
+        elif cache_dir is not None:
+            self.cache = TieredResultCache(
+                cache_dir,
+                max_bytes=cache_bytes,
+                max_entries=cache_entries,
+                delta_max_dirty=delta_max_dirty,
+            )
+        else:
+            self.cache = ResultCache(max_bytes=cache_bytes, max_entries=cache_entries)
+            self.cache.delta_max_dirty = delta_max_dirty
         self.scheduler = CoalescingScheduler(
             self._execute_batch,
             batch_window=batch_window,

@@ -1,0 +1,271 @@
+"""Delta re-solves: dirty windows, bitwise identity, refusal paths."""
+
+import numpy as np
+import pytest
+
+from repro.core import solve
+from repro.core.delta import (
+    DELTA_METHODS,
+    delta_meta_for,
+    delta_resolve,
+    try_delta,
+)
+from repro.problems import (
+    BottleneckChainProblem,
+    MatrixChainProblem,
+    PolygonTriangulationProblem,
+)
+from repro.problems.generators import (
+    random_bottleneck_chain,
+    random_bst,
+    random_matrix_chain,
+    random_polygon,
+    random_reliability_bst,
+)
+from repro.service import ResultCache
+
+
+def _families(n=12, seed=5):
+    return [
+        random_matrix_chain(n, seed=seed),
+        random_bottleneck_chain(n, seed=seed),
+        random_bst(n, seed=seed),
+        random_reliability_bst(n, seed=seed),
+        random_polygon(n + 2, seed=seed),
+    ]
+
+
+def _bump_last(problem):
+    """The same instance with its last weight coordinate nudged."""
+    w = problem.delta_weights()
+    # integer weights are nudged up; float weights shrink so families
+    # with bounded domains (reliabilities in (0, 1]) stay valid
+    w[-1] = w[-1] + 1 if w.dtype.kind in "iu" else w[-1] * 0.75
+    return _rebuild(problem, w)
+
+
+def _rebuild(problem, weights):
+    from repro.problems import OptimalBSTProblem, ReliabilityBSTProblem
+
+    if isinstance(problem, MatrixChainProblem):
+        return MatrixChainProblem([int(x) for x in weights])
+    if isinstance(problem, BottleneckChainProblem):
+        return BottleneckChainProblem(list(weights))
+    if isinstance(problem, OptimalBSTProblem):
+        m = (len(weights) - 1) // 2
+        return OptimalBSTProblem(list(weights[m + 1 :]), list(weights[: m + 1]))
+    if isinstance(problem, ReliabilityBSTProblem):
+        n = (len(weights) + 1) // 2
+        return ReliabilityBSTProblem(list(weights[n:]), list(weights[:n]))
+    if isinstance(problem, PolygonTriangulationProblem):
+        pts = [tuple(pt) for pt in np.asarray(weights).reshape(-1, 2)]
+        return PolygonTriangulationProblem(pts, rule=problem._rule)
+    raise AssertionError(f"no rebuild for {type(problem).__name__}")
+
+
+class TestSplitCostRow:
+    @pytest.mark.parametrize("problem", _families(), ids=lambda p: type(p).__name__)
+    def test_matches_dense_f_table_bitwise(self, problem):
+        f = problem.cached_f_table()
+        n = problem.n
+        for i, j in [(0, n), (0, 2), (1, n - 1), (n - 3, n)]:
+            row = problem.split_cost_row(i, j)
+            assert row.dtype == np.float64
+            np.testing.assert_array_equal(row, f[i, i + 1 : j, j])
+
+    def test_perimeter_polygon_matches_too(self):
+        problem = PolygonTriangulationProblem(
+            [(0.0, 0.0), (2.0, 0.1), (3.0, 1.5), (1.7, 3.0), (0.1, 2.0), (-0.5, 1.0)],
+            rule="perimeter",
+        )
+        f = problem.cached_f_table()
+        n = problem.n
+        np.testing.assert_array_equal(problem.split_cost_row(0, n), f[0, 1:n, n])
+
+
+class TestDeltaWindow:
+    def test_equal_weights_empty_window(self):
+        p = random_matrix_chain(8, seed=0)
+        lo, hi = p.delta_window(p.delta_weights())
+        assert lo > p.n and hi < 0
+
+    def test_suffix_edit_window_is_right_edge(self):
+        p = random_matrix_chain(8, seed=0)
+        w = p.delta_weights()
+        w[-1] += 1
+        assert p.delta_window(w) == (p.n, p.n)
+
+    def test_shape_mismatch_is_unknown(self):
+        p = random_matrix_chain(8, seed=0)
+        assert p.delta_window(np.zeros(3)) is None
+        assert p.delta_window("junk") is None
+
+    def test_generic_problem_opts_out(self):
+        from repro.problems import GenericProblem
+
+        p = GenericProblem(4, lambda i: 0.0, lambda i, k, j: 1.0)
+        assert p.delta_weights() is None
+        assert p.delta_parent_payload() is None
+        assert delta_meta_for(p, method="sequential") is None
+
+
+class TestDeltaResolveBitwise:
+    @pytest.mark.parametrize("problem", _families(), ids=lambda p: type(p).__name__)
+    @pytest.mark.parametrize("kernel_impl", ["numpy", "auto"])
+    def test_families_bitwise_identical_to_cold(self, problem, kernel_impl):
+        parent_result = solve(problem, method="sequential")
+        child = _bump_last(problem)
+        cold = solve(child, method="sequential")
+        got = delta_resolve(
+            child,
+            problem.delta_weights(),
+            parent_result,
+            method="sequential",
+            kernel_impl=kernel_impl,
+            max_dirty=1.0,
+        )
+        assert got is not None
+        assert got.value == cold.value
+        np.testing.assert_array_equal(got.w, cold.w)
+
+    @pytest.mark.parametrize("algebra", ["min_plus", "max_plus", "minimax", "lex_min_plus"])
+    def test_algebras_bitwise_identical_to_cold(self, algebra):
+        # integer-valued dims keep packed lex arithmetic exact
+        problem = random_matrix_chain(10, seed=3)
+        parent_result = solve(problem, method="sequential", algebra=algebra)
+        child = _bump_last(problem)
+        cold = solve(child, method="sequential", algebra=algebra)
+        got = delta_resolve(
+            child,
+            problem.delta_weights(),
+            parent_result,
+            method="sequential",
+            algebra=algebra,
+            max_dirty=1.0,
+        )
+        assert got is not None and got.algebra == cold.algebra
+        np.testing.assert_array_equal(got.w, cold.w)
+
+    def test_equal_weights_returns_parent_copy(self):
+        problem = random_matrix_chain(8, seed=1)
+        parent_result = solve(problem, method="sequential")
+        got = delta_resolve(
+            problem,
+            problem.delta_weights(),
+            parent_result,
+            method="sequential",
+            max_dirty=0.0,  # even a zero budget: nothing is dirty
+        )
+        assert got is not None and got.value == parent_result.value
+        np.testing.assert_array_equal(got.w, parent_result.w)
+        assert got.w is not parent_result.w
+
+    def test_dirty_fraction_gate_declines(self):
+        problem = random_matrix_chain(8, seed=1)
+        parent_result = solve(problem, method="sequential")
+        child = _bump_last(problem)
+        assert (
+            delta_resolve(
+                child,
+                problem.delta_weights(),
+                parent_result,
+                method="sequential",
+                max_dirty=0.0,
+            )
+            is None
+        )
+
+    def test_wrong_algebra_parent_declines(self):
+        problem = random_matrix_chain(8, seed=1)
+        parent_result = solve(problem, method="sequential", algebra="max_plus")
+        child = _bump_last(problem)
+        assert (
+            delta_resolve(
+                child,
+                problem.delta_weights(),
+                parent_result,
+                method="sequential",
+                max_dirty=1.0,
+            )
+            is None
+        )
+
+
+class TestTryDelta:
+    def _warm_cache(self, problem, method="sequential", **kwargs):
+        cache = ResultCache()
+        solve(problem, method=method, cache=cache, **kwargs)
+        return cache
+
+    def test_probe_finds_cached_sibling(self):
+        parent = random_matrix_chain(12, seed=9)
+        cache = self._warm_cache(parent)
+        child = _bump_last(parent)
+        cold = solve(child, method="sequential")
+        got = try_delta(cache, child, method="sequential")
+        assert got is not None
+        np.testing.assert_array_equal(got.w, cold.w)
+
+    @pytest.mark.parametrize("method", DELTA_METHODS)
+    def test_every_pinned_method_answers(self, method):
+        parent = random_matrix_chain(12, seed=9)
+        cache = self._warm_cache(parent, method=method)
+        child = _bump_last(parent)
+        cold = solve(child, method=method)
+        got = try_delta(cache, child, method=method)
+        assert got is not None and got.method == method
+        np.testing.assert_array_equal(got.w, cold.w)
+
+    def test_off_axis_method_declines(self):
+        parent = random_bst(10, seed=9)  # BSTs satisfy knuth's QI conditions
+        cache = self._warm_cache(parent, method="knuth")
+        child = _bump_last(parent)
+        assert try_delta(cache, child, method="knuth") is None
+
+    def test_reconstruct_declines(self):
+        parent = random_matrix_chain(12, seed=9)
+        cache = self._warm_cache(parent)
+        child = _bump_last(parent)
+        assert try_delta(cache, child, method="sequential", reconstruct=True) is None
+
+    def test_solver_tuning_kwargs_decline(self):
+        parent = random_matrix_chain(12, seed=9)
+        cache = self._warm_cache(parent)
+        child = _bump_last(parent)
+        assert try_delta(cache, child, method="huang-banded", band=3) is None
+
+    def test_execution_kwargs_do_not_decline(self):
+        parent = random_matrix_chain(12, seed=9)
+        cache = self._warm_cache(parent)
+        child = _bump_last(parent)
+        got = try_delta(
+            cache, child, method="sequential", backend="thread", workers=2
+        )
+        assert got is not None
+
+    def test_plain_dict_cache_is_ignored(self):
+        parent = random_matrix_chain(12, seed=9)
+        child = _bump_last(parent)
+        assert try_delta({}, child, method="sequential") is None
+
+    def test_different_structure_misses(self):
+        parent = random_matrix_chain(12, seed=9)
+        cache = self._warm_cache(parent)
+        other = random_matrix_chain(13, seed=9)  # different n: different parent key
+        assert try_delta(cache, other, method="sequential") is None
+
+
+class TestSolveIntegration:
+    def test_solve_cache_delta_path_bitwise(self):
+        cache = ResultCache()
+        parent = random_matrix_chain(14, seed=2)
+        solve(parent, method="sequential", cache=cache)
+        child = _bump_last(parent)
+        via_cache = solve(child, method="sequential", cache=cache)
+        cold = solve(child, method="sequential")
+        assert via_cache.value == cold.value
+        np.testing.assert_array_equal(via_cache.w, cold.w)
+        # the delta answer was re-cached: the repeat is a plain hit
+        before = cache.stats()["hits"]
+        solve(child, method="sequential", cache=cache)
+        assert cache.stats()["hits"] == before + 1

@@ -25,6 +25,7 @@ from hypothesis import strategies as st
 
 from repro.core import solve
 from repro.core.algebra import get_algebra, list_algebras
+from repro.core.delta import DELTA_METHODS, delta_resolve
 from repro.core.banded import BandedSolver
 from repro.core.compact import CompactBandedSolver
 from repro.core.huang import HuangSolver
@@ -162,6 +163,72 @@ class TestEngineMatchesReferenceDP:
         alg = get_algebra(algebra)
         ref_root = float(alg.decode(reference_dp(problem, algebra)[0, problem.n]))
         assert solve(problem, method="huang", algebra=algebra).value == ref_root
+
+
+# ---------------------------------------------------------------------------
+# The delta axis: an incremental re-sweep from a solved parent must be
+# bitwise the cold child table, for every pinned method × algebra ×
+# kernel tier. (Both sides commit the sequential DP's elementwise float
+# operations, so the claim is exact — no integer discipline needed.)
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def delta_case(draw):
+    """(parent problem, algebra, weight position to perturb) over the
+    families that opt in to delta re-solves."""
+    algebra = draw(st.sampled_from(ALGEBRAS))
+    n = draw(st.integers(4, 8))
+    if algebra in PLUS_ALGEBRAS:
+        family = draw(st.sampled_from([int_chain, bottleneck]))
+    else:
+        family = draw(st.sampled_from([int_chain, bottleneck, reliability]))
+    problem = family(draw, n)
+    pos = draw(st.integers(0, len(problem.delta_weights()) - 1))
+    return problem, algebra, pos
+
+
+def _perturbed_child(problem, pos):
+    """The same instance with one weight coordinate nudged (integer-
+    valued weights up by one — lex_min_plus needs integral costs;
+    reliability's bounded floats scale down into (0, 1])."""
+    w = problem.delta_weights()
+    if isinstance(problem, MatrixChainProblem):
+        w[pos] += 1
+        return MatrixChainProblem([int(x) for x in w])
+    if isinstance(problem, BottleneckChainProblem):
+        w[pos] += 1
+        return BottleneckChainProblem([int(x) for x in w])
+    w[pos] *= 0.75
+    half = (len(w) + 1) // 2
+    return ReliabilityBSTProblem(w[half:], w[:half])
+
+
+class TestDeltaMatchesCold:
+    @given(
+        case=delta_case(),
+        method=st.sampled_from(DELTA_METHODS),
+        kernel_impl=st.sampled_from(["numpy", "auto"]),
+    )
+    @settings(max_examples=40)
+    def test_delta_resweep_bitwise_equals_cold(self, case, method, kernel_impl):
+        problem, algebra, pos = case
+        parent = solve(problem, method=method, algebra=algebra)
+        child = _perturbed_child(problem, pos)
+        cold = solve(child, method=method, algebra=algebra)
+        got = delta_resolve(
+            child,
+            problem.delta_weights(),
+            parent,
+            method=method,
+            algebra=algebra,
+            kernel_impl=kernel_impl,
+            max_dirty=1.0,
+        )
+        assert got is not None
+        assert np.array_equal(got.w, cold.w)
+        assert got.value == cold.value
+        assert got.algebra == cold.algebra
 
 
 # ---------------------------------------------------------------------------

@@ -1,9 +1,12 @@
 """ResultCache: LRU + byte-bound semantics and the solve(cache=) hook."""
 
+import threading
+
 import numpy as np
 
 from repro.core import solve
 from repro.core.api import SolveResult, instance_key
+from repro.core.delta import DeltaMeta, delta_meta_for
 from repro.problems import MatrixChainProblem
 from repro.service import ResultCache
 
@@ -70,6 +73,124 @@ class TestLRU:
         cache.put("k", _result(3))
         cache.clear()
         assert len(cache) == 0 and cache.nbytes == 0
+
+
+class TestCounterEpochs:
+    def test_clear_resets_epoch_counters(self):
+        cache = ResultCache(max_entries=1)
+        cache.put("a", _result(2))
+        cache.get("a")
+        cache.get("absent")
+        cache.put("b", _result(2))  # evicts a
+        before = cache.stats()
+        assert (before["hits"], before["misses"], before["evictions"]) == (1, 1, 1)
+        cache.clear()
+        after = cache.stats()
+        # the epoch counters describe the (now empty) cache...
+        assert (after["hits"], after["misses"], after["evictions"]) == (0, 0, 0)
+        assert after["hit_rate"] == 0.0
+        # ...while the lifetime block keeps the pre-clear history
+        assert after["lifetime"] == {"hits": 1, "misses": 1, "evictions": 1}
+
+    def test_lifetime_accumulates_across_epochs(self):
+        cache = ResultCache()
+        cache.put("k", _result(2))
+        cache.get("k")
+        cache.clear()
+        cache.put("k", _result(2))
+        cache.get("k")
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["lifetime"]["hits"] == 2
+
+
+class TestDeltaIndex:
+    def _meta(self, dims):
+        return delta_meta_for(MatrixChainProblem(dims), method="sequential")
+
+    def test_put_with_meta_is_findable_by_parent(self):
+        cache = ResultCache()
+        meta = self._meta([10, 20, 5, 30])
+        cache.put("k", _result(3, 5.0), delta=meta)
+        got = list(cache.delta_candidates(meta.parent_key))
+        assert len(got) == 1
+        weights, result = got[0]
+        np.testing.assert_array_equal(weights, meta.weights)
+        assert result.value == 5.0
+
+    def test_candidates_newest_first_and_limited(self):
+        cache = ResultCache()
+        metas = [self._meta([10 + i, 20, 5, 30]) for i in range(6)]
+        parent = metas[0].parent_key
+        assert all(m.parent_key == parent for m in metas)  # same structure
+        for i, meta in enumerate(metas):
+            cache.put(f"k{i}", _result(3, float(i)), delta=meta)
+        got = [r.value for _, r in cache.delta_candidates(parent)]
+        assert got == [5.0, 4.0, 3.0, 2.0]  # newest 4, newest first
+
+    def test_eviction_unindexes(self):
+        cache = ResultCache(max_entries=1)
+        meta = self._meta([10, 20, 5, 30])
+        cache.put("a", _result(3), delta=meta)
+        cache.put("b", _result(3))  # evicts a
+        assert list(cache.delta_candidates(meta.parent_key)) == []
+
+    def test_probe_is_counter_and_lru_neutral(self):
+        cache = ResultCache()
+        meta = self._meta([10, 20, 5, 30])
+        cache.put("k", _result(3), delta=meta)
+        list(cache.delta_candidates(meta.parent_key))
+        stats = cache.stats()
+        assert stats["hits"] == 0 and stats["misses"] == 0
+
+    def test_replacing_entry_reindexes(self):
+        cache = ResultCache()
+        meta = self._meta([10, 20, 5, 30])
+        cache.put("k", _result(3, 1.0), delta=meta)
+        cache.put("k", _result(3, 2.0), delta=meta)
+        got = [r.value for _, r in cache.delta_candidates(meta.parent_key)]
+        assert got == [2.0]
+
+    def test_delta_meta_survives_clear_reinsert(self):
+        cache = ResultCache()
+        meta = DeltaMeta(parent_key="p", weights=np.arange(4))
+        cache.put("k", _result(3), delta=meta)
+        cache.clear()
+        assert list(cache.delta_candidates("p")) == []
+
+
+class TestThreadedStress:
+    def test_concurrent_get_put_evict_is_consistent(self):
+        cache = ResultCache(max_entries=16)
+        errors = []
+
+        def worker(tid):
+            try:
+                for i in range(200):
+                    key = f"k{(tid * 7 + i) % 32}"
+                    if i % 3 == 0:
+                        cache.put(key, _result(4, float(i)))
+                    else:
+                        hit = cache.get(key)
+                        if hit is not None:
+                            # a served table is always intact and private
+                            assert hit.w.shape == (5, 5)
+                            hit.w[0, 0] = 99.0
+            except Exception as exc:  # pragma: no cover - only on failure
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        stats = cache.stats()
+        assert stats["entries"] <= 16
+        assert stats["lifetime"]["hits"] + stats["lifetime"]["misses"] > 0
+        # no stored table was corrupted by the hitters' scribbles
+        for key in list(cache._entries):
+            hit = cache.get(key)
+            assert hit is None or hit.w[0, 0] == 0.0
 
 
 class TestSolveHook:

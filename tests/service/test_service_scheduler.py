@@ -1,6 +1,7 @@
 """CoalescingScheduler: dedup, batching, deadlines, error isolation."""
 
 import asyncio
+import threading
 
 import numpy as np
 import pytest
@@ -101,6 +102,103 @@ class TestCoalescing:
         assert source == "batch" and result.value == 2.0
 
 
+class TestExecutingJoin:
+    def test_late_duplicate_joins_executing_batch(self):
+        """The coalescing gap: a duplicate arriving after its twin was
+        detached into the in-flight batch must join that solve, not
+        re-solve from scratch."""
+        release = threading.Event()
+        batches = []
+
+        def runner(items):
+            batches.append(items)
+            assert release.wait(timeout=5.0), "test never released the runner"
+            return [
+                SolveResult(
+                    method=method,
+                    value=float(problem.n),
+                    w=np.zeros((problem.n + 1, problem.n + 1)),
+                )
+                for problem, method, _ in items
+            ]
+
+        async def main():
+            sched = CoalescingScheduler(runner, batch_window=0.0, max_batch=4)
+            p = chain(10, 20, 5, 30)
+            first = asyncio.ensure_future(sched.submit(p, "huang", {}))
+            while sched.stats()["executing"] == 0:  # batch now in flight
+                await asyncio.sleep(0.001)
+            late = asyncio.ensure_future(sched.submit(p, "huang", {}))
+            await asyncio.sleep(0.02)  # the duplicate reaches the join
+            stats_mid = sched.stats()
+            release.set()
+            outcomes = await asyncio.gather(first, late)
+            await sched.close()
+            return outcomes, stats_mid
+
+        (first, late), stats_mid = run(main())
+        assert len(batches) == 1 and len(batches[0]) == 1  # one solve total
+        assert first[1] == "batch" and late[1] == "coalesced"
+        assert first[0].value == late[0].value
+        assert stats_mid["executing"] == 1 and stats_mid["pending"] == 0
+
+    def test_duplicate_after_results_land_is_a_fresh_solve(self):
+        """Once a batch's results land the executing index is empty: a
+        later duplicate without a cache re-solves (no stale joins)."""
+        runner = RecordingRunner()
+
+        async def main():
+            sched = CoalescingScheduler(runner, batch_window=0.0, max_batch=4)
+            p = chain(10, 20, 5, 30)
+            _, s1 = await sched.submit(p, "huang", {})
+            _, s2 = await sched.submit(p, "huang", {})
+            await sched.close()
+            return s1, s2
+
+        assert run(main()) == ("batch", "batch")
+        assert len(runner.batches) == 2
+
+
+class TestDeltaRide:
+    def test_delta_candidate_rides_batch(self):
+        """A miss whose cached sibling differs only in a weight suffix
+        is answered by the in-batch delta probe, not the cold runner."""
+        runner = RecordingRunner()
+        cache = ResultCache()
+
+        async def main():
+            sched = CoalescingScheduler(
+                runner, batch_window=0.0, max_batch=4, cache=cache
+            )
+            _, s1 = await sched.submit(chain(10, 20, 5, 30), "huang", {})
+            _, s2 = await sched.submit(chain(10, 20, 5, 31), "huang", {})
+            _, s3 = await sched.submit(chain(10, 20, 5, 31), "huang", {})
+            stats = sched.stats()
+            await sched.close()
+            return (s1, s2, s3), stats
+
+        (s1, s2, s3), stats = run(main())
+        assert (s1, s2, s3) == ("batch", "delta", "cache")
+        assert stats["delta_hits"] == 1 and stats["cache_hits"] == 1
+        # only the parent went through the runner; the sibling did not
+        assert sum(len(b) for b in runner.batches) == 1
+
+    def test_delta_result_is_recached(self):
+        runner = RecordingRunner()
+        cache = ResultCache()
+
+        async def main():
+            sched = CoalescingScheduler(
+                runner, batch_window=0.0, max_batch=4, cache=cache
+            )
+            await sched.submit(chain(10, 20, 5, 30), "huang", {})
+            await sched.submit(chain(10, 20, 5, 31), "huang", {})
+            await sched.close()
+
+        run(main())
+        assert cache.stats()["entries"] == 2
+
+
 class TestCacheFront:
     def test_second_wave_hits_cache(self):
         runner = RecordingRunner()
@@ -180,4 +278,8 @@ class TestFailureAndLifecycle:
         assert stats["requests"] == 3
         assert stats["coalesced"] == 2
         assert stats["batches"] == 1 and stats["batch_items"] == 1
+        # pending and executing report separately (executing entries
+        # used to be folded into neither while a batch ran)
         assert stats["pending"] == 0
+        assert stats["executing"] == 0
+        assert stats["delta_hits"] == 0

@@ -482,6 +482,54 @@ class TestServeRequestCommands:
         records = [json.loads(line) for line in out.splitlines() if line.startswith("{")]
         assert [r["value"] for r in records] == [2500.0, 42.0]
 
+    def test_cache_dir_flags_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--cache-dir", "/tmp/l2", "--delta-max-dirty", "0.25"]
+        )
+        assert args.cache_dir == "/tmp/l2" and args.delta_max_dirty == 0.25
+        args = build_parser().parse_args(["fleet", "--cache-dir", "/tmp/l2"])
+        assert args.cache_dir == "/tmp/l2"
+
+    def test_serve_cache_dir_survives_server_restart(self, tmp_path, capsys):
+        """Two separate `repro serve` lifetimes on one --cache-dir: the
+        second serves the first's solve from the L2 tier (source=cache)
+        without re-solving."""
+        import json
+        import threading
+
+        cache_dir = str(tmp_path / "l2")
+        spec_file = tmp_path / "req.jsonl"
+        spec_file.write_text('{"dims": [10, 20, 5, 30], "method": "sequential"}\n')
+        sources = []
+        for incarnation in range(2):
+            socket_path = str(tmp_path / f"cli-l2-{incarnation}.sock")
+            server = threading.Thread(
+                target=main,
+                args=(
+                    [
+                        "serve", "--socket", socket_path, "--backend", "serial",
+                        "--method", "sequential", "--batch-window-ms", "1",
+                        "--cache-dir", cache_dir, "--max-requests", "1",
+                    ],
+                ),
+                daemon=True,
+            )
+            server.start()
+            deadline = time.monotonic() + 10.0
+            while not os.path.exists(socket_path):
+                assert time.monotonic() < deadline, "serve did not come up"
+                time.sleep(0.02)
+            rc = main(["request", "--socket", socket_path, "--input", str(spec_file)])
+            out = capsys.readouterr().out
+            server.join(timeout=10.0)
+            assert rc == 0 and not server.is_alive()
+            record = next(
+                json.loads(line) for line in out.splitlines() if line.startswith("{")
+            )
+            assert record["ok"] and record["value"] == 2500.0
+            sources.append(record["source"])
+        assert sources == ["batch", "cache"]
+
     def test_request_isolates_bad_input_lines(self, tmp_path, capsys):
         import json
         import threading
