@@ -11,16 +11,18 @@ request:
   stream has) driven through an in-process
   :class:`~repro.service.LocalClient` submitting everything
   concurrently, against the same workload as sequential cold solves.
-  Acceptance bar: **≥ 2x** requests/s;
+  Acceptance bar: **≥ 2.2x** requests/s, cpu-pro-rated like the E12
+  scaling gate (a single-core box cannot overlap the batch's distinct
+  solves, so only coalescing's work reduction is measurable there);
 * **cache-hit latency** — per-request latency of a repeated instance
   (pure instance-hash cache hit: no plan compilation, no backend, no
   tables) against a cold solve of the same instance. Acceptance bar:
-  **≥ 10x** lower;
+  **≥ 100x** lower;
 * **delta re-solve** — a single-suffix weight update of an n=256 chain
   re-swept incrementally from the cached parent
   (:func:`repro.core.delta.try_delta`) against a cold solve of the
   updated instance, with the tables pinned bitwise-identical.
-  Acceptance bar: **≥ 5x** faster;
+  Acceptance bar: **≥ 300x** faster;
 * **L2 crash survival** — a one-shard fleet solves a request, the
   shard is SIGKILLed, and the respawned shard must answer the repeat
   from the shared on-disk L2 tier (``source == "cache"``) without
@@ -63,29 +65,52 @@ BENCH_NAME = "e11_service"
 #: fallback gate thresholds; the authoritative copy lives in
 #: BENCH_e11_service.json at the repo root (see repro.util.bench)
 DEFAULT_BARS = {
-    "throughput_x": 2.0,  # coalesced service vs sequential cold solves
-    "cache_latency_x": 10.0,  # cold solve vs cache-hit latency
-    "delta_speedup_x": 5.0,  # cold re-solve vs delta re-sweep, n=256 suffix edit
+    # coalesced service vs sequential cold solves, at >= 4 cores (see
+    # effective_throughput_bar for the small-machine pro-rating)
+    "throughput_x": 2.2,
+    "cache_latency_x": 100.0,  # cold solve vs cache-hit latency
+    "delta_speedup_x": 300.0,  # cold re-solve vs delta re-sweep, n=256 suffix edit
 }
+
+
+def effective_throughput_bar(bar: float, cpus: int) -> float:
+    """Pro-rate the coalesced-throughput bar to the machine, the same
+    way the E12 scaling gate does: the full bar at >= 4 cores (the CI
+    shape), linearly less in between, and 1.5x on a single core. With
+    one core the worker pool cannot overlap the batch's distinct
+    solves, so the only measurable win is coalescing's work reduction
+    (capped by the duplicate rate at count/uniques, minus dispatch) —
+    the floor checks coalescing is genuinely winning while tolerating
+    a timesliced box's noise."""
+    if cpus >= 4:
+        return bar
+    if cpus <= 1:
+        return min(bar, 1.5)
+    return min(bar, 1.5 + (bar - 1.5) * (cpus - 1) / 3.0)
 
 
 def _mixed_workload(count: int = 32) -> list[tuple]:
     """A mixed request stream: three families, three methods, and the
     duplicate rate (~60%) a production request stream has — duplicates
-    are exactly what coalescing and the result cache exist for."""
+    are exactly what coalescing and the result cache exist for. Sizes
+    are picked so one unique request costs a few ms of real solver
+    work under the fused kernel tier (re-scaled when the
+    banded/activate fused kernels landed: cheaper cold solves had
+    shrunk per-request work to where the service's fixed dispatch
+    overhead, not coalescing, dominated the measured ratio)."""
     uniques = [
-        (random_matrix_chain(20, seed=0), "huang", {}),
-        (random_matrix_chain(20, seed=1), "huang-banded", {}),
-        (random_matrix_chain(16, seed=2), "huang", {}),
-        (random_bst(14, seed=3), "huang-banded", {}),
+        (random_matrix_chain(28, seed=0), "huang", {}),
+        (random_matrix_chain(28, seed=1), "huang-banded", {}),
+        (random_matrix_chain(24, seed=2), "huang", {}),
+        (random_bst(20, seed=3), "huang-banded", {}),
         (random_bst(12, seed=4), "sequential", {}),
-        (random_bottleneck_chain(16, seed=5), "huang", {}),
-        (random_matrix_chain(24, seed=6), "huang", {}),
+        (random_bottleneck_chain(24, seed=5), "huang", {}),
+        (random_matrix_chain(32, seed=6), "huang", {}),
         (random_matrix_chain(12, seed=7), "sequential", {}),
-        (random_bst(16, seed=8), "huang", {}),
-        (random_bottleneck_chain(12, seed=9), "huang-banded", {}),
-        (random_matrix_chain(18, seed=10), "rytter", {}),
-        (random_matrix_chain(14, seed=11), "huang-compact", {}),
+        (random_bst(24, seed=8), "huang", {}),
+        (random_bottleneck_chain(18, seed=9), "huang-banded", {}),
+        (random_matrix_chain(26, seed=10), "rytter", {}),
+        (random_matrix_chain(20, seed=11), "huang-compact", {}),
     ]
     return [uniques[i % len(uniques)] for i in range(count)]
 
@@ -166,6 +191,7 @@ def throughput_stats(count: int = 32, workers: int = 4) -> dict:
     return {
         "count": count,
         "workers": workers,
+        "cpus": os.cpu_count() or 1,
         "cold_s": cold,
         "service": service,
         "speedup": cold / service["elapsed_s"],
@@ -361,9 +387,19 @@ def l2_table(n: int = 64, stats: dict | None = None):
     )
 
 
-def smoke_stats(count: int = 32, workers: int = 4) -> dict:
-    """The smoke measurement, JSON-ready (what the trajectory records)."""
+def smoke_stats(count: int = 32, workers: int = 4, bars: dict | None = None) -> dict:
+    """The smoke measurement, JSON-ready (what the trajectory records).
+
+    Like the E12 scaling block, the throughput block carries the
+    cpu-pro-rated *effective* bar next to the raw speedup it is gated
+    against, so a trajectory entry from a small runner is
+    self-explaining."""
+    bars = bars if bars is not None else load_bars(BENCH_NAME, DEFAULT_BARS)
     t = throughput_stats(count, workers)
+    t["throughput_bar"] = bars["throughput_x"]
+    t["throughput_bar_effective"] = effective_throughput_bar(
+        bars["throughput_x"], t["cpus"]
+    )
     lat = latency_stats()
     delta = delta_stats()
     l2 = l2_stats()
@@ -375,10 +411,12 @@ def smoke_failures(stats: dict, bars: dict) -> list[str]:
     t, lat = stats["throughput"], stats["latency"]
     svc = t["service"]
     failed = []
-    if t["speedup"] < bars["throughput_x"]:
+    t_bar = effective_throughput_bar(bars["throughput_x"], t.get("cpus", 4))
+    if t["speedup"] < t_bar:
         failed.append(
-            f"coalesced throughput below {bars['throughput_x']:.1f}x "
-            f"sequential cold solves (measured {t['speedup']:.1f}x)"
+            f"coalesced throughput below {t_bar:.1f}x sequential cold "
+            f"solves (measured {t['speedup']:.1f}x, raw bar "
+            f"{bars['throughput_x']:.1f}x at {t.get('cpus', 4)} cpus)"
         )
     if lat["ratio"] < bars["cache_latency_x"]:
         failed.append(
@@ -420,7 +458,7 @@ def smoke(count: int = 32, workers: int = 4) -> int:
     from BENCH_e11_service.json and the measurement is recorded back
     into it (the perf trajectory)."""
     bars = load_bars(BENCH_NAME, DEFAULT_BARS)
-    stats = smoke_stats(count, workers)
+    stats = smoke_stats(count, workers, bars=bars)
     t, lat = stats["throughput"], stats["latency"]
     delta, l2 = stats["delta"], stats["l2"]
     print(throughput_table(stats=t))
@@ -432,7 +470,9 @@ def smoke(count: int = 32, workers: int = 4) -> int:
     print(l2_table(stats=l2))
     svc = t["service"]
     print(
-        f"\nthroughput {t['speedup']:.1f}x (bar {bars['throughput_x']:.1f}x) | "
+        f"\nthroughput {t['speedup']:.1f}x (bar "
+        f"{t['throughput_bar_effective']:.1f}x, raw "
+        f"{bars['throughput_x']:.1f}x at {t['cpus']} cpus) | "
         f"cache hit {lat['ratio']:.0f}x faster (bar "
         f"{bars['cache_latency_x']:.0f}x) | delta {delta['speedup']:.0f}x "
         f"(bar {bars.get('delta_speedup_x', 5.0):.0f}x) | L2 respawn hit "

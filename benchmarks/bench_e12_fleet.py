@@ -283,10 +283,21 @@ def effective_scaling_bar(bar: float, cpus: int) -> float:
     return 1.0 + (bar - 1.0) * (cpus - 1) / 3.0
 
 
-def smoke_stats() -> dict:
-    """The smoke measurement, JSON-ready (what the trajectory records)."""
+def smoke_stats(bars: dict | None = None) -> dict:
+    """The smoke measurement, JSON-ready (what the trajectory records).
+
+    The scaling block carries the cpu-pro-rated *effective* bar next to
+    the raw ``scaling_x`` it is gated against, so a trajectory entry
+    from a small runner (where 0.7x can pass) is self-explaining
+    without re-deriving :func:`effective_scaling_bar` by hand."""
+    bars = bars if bars is not None else load_bars(BENCH_NAME, DEFAULT_BARS)
+    scaling = scaling_stats()
+    scaling["scaling_bar"] = bars["scaling_x"]
+    scaling["scaling_bar_effective"] = effective_scaling_bar(
+        bars["scaling_x"], scaling["cpus"]
+    )
     return {
-        "scaling": scaling_stats(),
+        "scaling": scaling,
         "hit_rate": hit_rate_stats(),
         "kill": kill_recovery_stats(),
     }
@@ -338,7 +349,7 @@ def smoke() -> int:
     BENCH_e12_fleet.json; the measurement is recorded back into it
     (the perf trajectory CI uploads)."""
     bars = load_bars(BENCH_NAME, DEFAULT_BARS)
-    stats = smoke_stats()
+    stats = smoke_stats(bars)
     sc, hr, kill = stats["scaling"], stats["hit_rate"], stats["kill"]
     print(scaling_table(stats=sc))
     print()

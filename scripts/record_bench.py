@@ -78,6 +78,22 @@ def main(argv: list[str] | None = None) -> int:
                     f"n={delta['n']}; L2 respawn hit: {l2['respawn_hit']}",
                     flush=True,
                 )
+        if name == "e12_fleet":
+            import json
+
+            sc = (
+                json.loads(Path(bench_path(name)).read_text())
+                .get("metrics", {})
+                .get("scaling", {})
+            )
+            if "scaling_bar_effective" in sc:
+                print(
+                    f"--- scaling {sc['scaling_x']:.2f}x vs effective bar "
+                    f"{sc['scaling_bar_effective']:.2f}x "
+                    f"(raw bar {sc['scaling_bar']:.2f}x pro-rated to "
+                    f"{sc['cpus']} cpus)",
+                    flush=True,
+                )
         print(f"--- recorded {bench_path(name)} (exit {rc})\n", flush=True)
         worst = max(worst, rc)
     return worst

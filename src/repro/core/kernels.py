@@ -57,6 +57,9 @@ import numpy as np
 
 from repro.core.algebra import MIN_PLUS, SelectionSemiring
 from repro.core.kernels_fused import (
+    fused_banded_square_tile,
+    fused_compact_activate_tile,
+    fused_dense_activate_tile,
     fused_dense_pebble_tile,
     fused_dense_square_tile,
     fused_rytter_square_tile,
@@ -360,8 +363,8 @@ class SweepKernel:
     compute_fn: Callable[..., Any]
     #: fused-tier compute (same signature/result contract as
     #: :attr:`compute_fn`, bitwise-identical tables); ``None`` means the
-    #: slab compute serves both tiers (e.g. the compact kernels, whose
-    #: in-band sweeps are already reduce-as-you-compose).
+    #: slab compute serves both tiers (the compact square/pebble, whose
+    #: in-band slice-shift sweeps are already reduce-as-you-compose).
     fused_compute_fn: Callable[..., Any] | None = None
 
     def compute_for(self, impl: str) -> Callable[..., Any]:
@@ -408,6 +411,7 @@ class DenseActivateKernel(SweepKernel):
     name = "activate"
     updates = "pw"
     compute_fn = staticmethod(dense_activate_tile)
+    fused_compute_fn = staticmethod(fused_dense_activate_tile)
 
     def tiles(self, solver, parts):
         rows = self._row_tiles(solver.n + 1, parts)
@@ -498,11 +502,12 @@ class BandedSquareKernel(DenseSquareKernel):
     written cells is enforced at commit so workers never see it."""
 
     compute_fn = staticmethod(banded_square_tile)
-    # No fused lowering: the fused square sweeps the *full* composition
-    # lattice, while the banded slab sweeps only band offsets — the
-    # candidate sets differ, so inheriting the fused dense square would
-    # break bitwise identity with this kernel's slab tables.
-    fused_compute_fn = None
+    # Not the inherited fused dense square (which sweeps the *full*
+    # composition lattice and would break bitwise identity with the
+    # band-offset-restricted slab tables): a dedicated banded matmul
+    # whose anchor planes are band-restricted and whose reduction axis
+    # spans only the in-band diagonals.
+    fused_compute_fn = staticmethod(fused_banded_square_tile)
 
     def arrays(self, solver):
         return {"pw": solver.pw, "band": solver.band}
@@ -572,6 +577,7 @@ class CompactActivateKernel(SweepKernel):
     name = "activate"
     updates = "pw"
     compute_fn = staticmethod(compact_activate_tile)
+    fused_compute_fn = staticmethod(fused_compact_activate_tile)
 
     def tiles(self, solver, parts):
         return self._row_tiles(solver.n + 1, parts)

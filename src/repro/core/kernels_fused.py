@@ -25,6 +25,19 @@ triangular slice of ``acc`` it can affect (``j >= q`` right, ``j > p``
 left). Each matmul runs cache-blocked (:data:`CHUNK` elements per
 intermediate) so the working set stays resident.
 
+The **banded** square (Section 5) composes only offset-``d`` diagonals
+(``d = 0 .. band``), so its per-anchor matmuls are *banded*: the anchor
+plane is band-restricted (:func:`_band_restrict` — the restriction is a
+property of the candidate set, not of the table, since activate writes
+arbitrary-gap cells the banded sweep never composes) and the reduction
+axis spans only the ``band + 1`` in-band rows per output
+(:func:`_banded_matmul_reduce`). The **activate** sweeps have no
+reduction axis at all — one binary ``extend`` per cell — so their fused
+forms are single-pass lowerings written straight into the committed
+layout (dense) or both compact slabs per input read (compact). Only the
+compact square/pebble keep one compute for both tiers: their in-band
+slice-shift sweeps already reduce as they compose over O(band²) slabs.
+
 Why the tables stay bitwise identical
 -------------------------------------
 ``combine`` is an exact idempotent *selection* (min/max on float64
@@ -89,9 +102,12 @@ __all__ = [
     "HAVE_NUMBA",
     "CHUNK",
     "fused_backend",
+    "fused_dense_activate_tile",
     "fused_dense_square_tile",
     "fused_dense_pebble_tile",
+    "fused_banded_square_tile",
     "fused_rytter_square_tile",
+    "fused_compact_activate_tile",
 ]
 
 try:  # pragma: no cover - exercised via the [perf] CI leg
@@ -201,6 +217,86 @@ def _make_matmul_kernel(
     return kernel
 
 
+def _make_banded_matmul_kernel(
+    ext_scalar: Callable[..., Any],
+    better_scalar: Callable[..., Any],
+    jit: Callable[..., Any],
+) -> Callable[..., Any]:
+    """Banded semiring matmul-reduce loop nest: ``red[i, p] ← comb over
+    the in-band rows r (``d0 <= p - r <= d1``) of ext(Xf[i, r],
+    Y[r, p])``, folding into the caller-initialised ``red``. The band
+    window IS the candidate restriction: the banded square composes
+    only offset-``d`` diagonals (``d = 0 .. band``), so the reduction
+    axis never leaves the window — ``(0, band)`` right-anchored,
+    ``(-band, 0)`` left-anchored."""
+
+    @jit
+    def kernel(Xf: np.ndarray, Y: np.ndarray, d0: int, d1: int, red: np.ndarray) -> None:
+        m, R = Xf.shape
+        P = Y.shape[1]
+        for i in range(m):
+            for p in range(P):
+                best = red[i, p]
+                r0 = p - d1
+                if r0 < 0:
+                    r0 = 0
+                r1 = p - d0
+                if r1 > R - 1:
+                    r1 = R - 1
+                for r in range(r0, r1 + 1):
+                    v = ext_scalar(Xf[i, r], Y[r, p])
+                    if better_scalar(v, best):
+                        best = v
+                red[i, p] = best
+
+    return kernel
+
+
+def _make_activate_kernel(
+    ext_scalar: Callable[..., Any], jit: Callable[..., Any]
+) -> Callable[..., Any]:
+    """Eqs. (1a)/(1b) loop nest: one elementwise ``extend`` written
+    straight into the committed ``[slab, j, k]`` layout — no transposed
+    intermediate. ``X`` is the (possibly strided) transposed view of
+    the activate inputs, ``Y`` the broadcast weight plane."""
+
+    @jit
+    def kernel(X: np.ndarray, Y: np.ndarray, out: np.ndarray) -> None:
+        B, J, K = out.shape
+        for t in range(B):
+            for j in range(J):
+                for k in range(K):
+                    out[t, j, k] = ext_scalar(X[t, j, k], Y[j, k])
+
+    return kernel
+
+
+def _make_activate_pair_kernel(
+    ext_scalar: Callable[..., Any], jit: Callable[..., Any]
+) -> Callable[..., Any]:
+    """Compact-layout activate loop nest: both ``(U1, U2)`` slabs in a
+    single pass over the shared transposed input (``Y2`` varies per
+    slab row, the compact layout's ``w(i, k)`` factor)."""
+
+    @jit
+    def kernel(
+        X: np.ndarray,
+        Y1: np.ndarray,
+        Y2: np.ndarray,
+        U1: np.ndarray,
+        U2: np.ndarray,
+    ) -> None:
+        B, J, K = U1.shape
+        for t in range(B):
+            for j in range(J):
+                for k in range(K):
+                    x = X[t, j, k]
+                    U1[t, j, k] = ext_scalar(x, Y1[j, k])
+                    U2[t, j, k] = ext_scalar(x, Y2[t, k])
+
+    return kernel
+
+
 def _make_pebble_kernel(
     ext_scalar: Callable[..., Any],
     better_scalar: Callable[..., Any],
@@ -226,15 +322,18 @@ def _make_pebble_kernel(
 
 
 class _CompiledKernels:
-    """The per-lowering pair of compiled loop nests."""
+    """The per-lowering set of compiled loop nests."""
 
-    __slots__ = ("matmul", "pebble")
+    __slots__ = ("matmul", "banded_matmul", "pebble", "activate", "activate_pair")
 
     def __init__(self, lowering: KernelLowering, jit: Callable[..., Any]) -> None:
         ext = _scalar_extend(lowering.ext_name, jit)
         better = _scalar_improves(lowering.comb_name, jit)
         self.matmul = _make_matmul_kernel(ext, better, jit)
+        self.banded_matmul = _make_banded_matmul_kernel(ext, better, jit)
         self.pebble = _make_pebble_kernel(ext, better, jit)
+        self.activate = _make_activate_kernel(ext, jit)
+        self.activate_pair = _make_activate_pair_kernel(ext, jit)
 
 
 _KERNEL_CACHE: dict[tuple[str, str], _CompiledKernels] = {}
@@ -293,6 +392,18 @@ def _lex_exact_matmul(Xf: np.ndarray, Y: np.ndarray) -> np.ndarray:
         bests = np.where(Ec == bestc[:, None, :], Es, np.inf).min(axis=1)
         red[m0:m1] = np.where(np.isfinite(bestc), bestc * LEX_SCALE + bests, np.inf)
     return _require_packable(red)
+
+
+def _lex_exact_extend(X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+    """Exact two-channel elementwise ``extend`` (the activate sweeps
+    compose one binary extend per cell, no reduction): unpack both
+    operands, add the cost and split channels separately, repack.
+    Raises only if the exact result itself cannot be packed."""
+    Xc, Xs = lex_unpack(X)
+    Yc, Ys = lex_unpack(Y)
+    c = Xc + Yc
+    s = Xs + Ys
+    return _require_packable(np.where(np.isfinite(c), c * LEX_SCALE + s, np.inf))
 
 
 def _lex_exact_pebble(pwb: np.ndarray, w: np.ndarray) -> np.ndarray:
@@ -355,10 +466,106 @@ def _matmul_reduce(
     algebra.combine_ufunc(out, red.reshape(out.shape), out=out)
 
 
+def _band_restrict(plane: np.ndarray, d0: int, d1: int, zero: float) -> np.ndarray:
+    """Zero every cell of an anchor plane whose diagonal offset
+    ``col - row`` falls outside ``[d0, d1]`` — the band-offset candidate
+    restriction of the Section 5 square, expressed on the second matmul
+    factor. The dropped cells are the activate-written arbitrary-gap
+    entries the banded composition set never touches; masking them to
+    ``zero`` (extend-absorbing) is what keeps ``fused ≡ slab`` bitwise
+    for the banded method."""
+    R, P = plane.shape
+    off = np.arange(P)[None, :] - np.arange(R)[:, None]
+    return np.where((off >= d0) & (off <= d1), plane, zero)
+
+
+def _banded_matmul_reduce(
+    X: np.ndarray,
+    Y: np.ndarray,
+    d0: int,
+    d1: int,
+    out: np.ndarray,
+    algebra: SelectionSemiring,
+    packed: bool,
+) -> None:
+    """``out ← comb(out, X ⊗ Y)`` with the reduction axis restricted to
+    the in-band diagonals ``d0 <= p - r <= d1`` of ``Y``.
+
+    ``X`` is ``(..., R)`` and — unlike :func:`_matmul_reduce`'s left
+    factor — may be *any strided view*: the band restriction makes a
+    contiguous gather a net loss (it costs as much memory traffic as
+    the in-band candidates themselves), so the numpy engine composes
+    the views in place, one diagonal ``o = p - r`` at a time. Each
+    offset is a zero-copy :func:`np.diagonal` of the anchor plane, one
+    ``extend`` and one ``combine`` over exactly the in-band candidates
+    — no rectangular overcount, no mask. ``out`` is ``(..., P)``, any
+    strided view, combined in place and **never reshaped** (the square
+    tile passes non-contiguous triangular slices of ``acc``); per-``o``
+    sub-slices of it are the only indexing applied. The numba engine
+    gathers once and clamps its scalar reduction loop to the window, so
+    per-output work is O(band) either way.
+    """
+    R = X.shape[-1]
+    P = Y.shape[1]
+    ext, comb = algebra.extend_ufunc, algebra.combine_ufunc
+    if packed and not lex_range_check(X, Y):
+        Ym = _band_restrict(Y, d0, d1, algebra.zero)
+        red = _lex_exact_matmul(np.ascontiguousarray(X).reshape(-1, R), Ym)
+        comb(out, red.reshape(out.shape), out=out)
+        return
+    if HAVE_NUMBA:  # pragma: no cover - exercised via the [perf] CI leg
+        Xc = np.ascontiguousarray(X).reshape(-1, R)
+        red = np.full((Xc.shape[0], P), algebra.zero)
+        _kernels_for(algebra).banded_matmul(Xc, np.ascontiguousarray(Y), d0, d1, red)
+        comb(out, red.reshape(out.shape), out=out)
+        return
+    tmp = np.empty(X.shape[:-1] + (P,))
+    for o in range(d0, d1 + 1):
+        yd = np.diagonal(Y, offset=o)  # yd[k] = Y[r, r + o], zero-copy
+        L = yd.shape[0]
+        if L == 0 or not algebra.reachable(yd).any():
+            continue
+        r0, p0 = (0, o) if o >= 0 else (-o, 0)
+        tv = tmp[..., p0 : p0 + L]
+        ext(X[..., r0 : r0 + L], yd, out=tv)
+        ov = out[..., p0 : p0 + L]
+        comb(ov, tv, out=ov)
+
+
 # ---------------------------------------------------------------------------
 # Fused tile compute functions (module-level: picklable, same signature
 # and result contract as their slab counterparts).
 # ---------------------------------------------------------------------------
+
+
+def fused_dense_activate_tile(
+    tile: tuple, *, F: np.ndarray, w: np.ndarray, algebra: SelectionSemiring = MIN_PLUS
+) -> np.ndarray:
+    """Eqs. (1a)/(1b) candidates for one slab of rows — fused tier.
+
+    Activate has no reduction axis: each output cell is one binary
+    ``extend``. The slab kernel materialises the extend block in input
+    order and returns a transposed *view*; here the extend is written
+    straight into a fresh contiguous slab in the committed ``[slab, j,
+    k]`` layout — one pass, no transposed intermediate — via the numba
+    loop nest or a single strided-in/contiguous-out ufunc call. Same
+    per-cell binary op, hence bitwise-identical tables.
+    """
+    side, lo, hi = tile
+    if side == "a":
+        X = F[lo:hi].transpose(0, 2, 1)  # X[t, j, k] = F[lo + t, k, j]
+        Y = w.T  # Y[j, k] = w[k, j]
+    else:
+        X = F[:, :, lo:hi].transpose(2, 0, 1)  # X[t, i, k] = F[i, k, lo + t]
+        Y = w
+    if algebra.lowering().packed and not lex_range_check(X, Y):
+        return _lex_exact_extend(X, Y[None, :, :])
+    out = np.empty(X.shape)
+    if HAVE_NUMBA:  # pragma: no cover - exercised via the [perf] CI leg
+        _kernels_for(algebra).activate(X, Y, out)
+    else:
+        algebra.extend(X, Y[None, :, :], out=out)
+    return out
 
 
 def fused_dense_square_tile(
@@ -396,6 +603,81 @@ def fused_dense_square_tile(
         _matmul_reduce(
             X.reshape(-1, rows.size),
             Z[rows],
+            acc[:, p + 1 :, p, p + 1 :],
+            algebra,
+            packed,
+        )
+    return acc
+
+
+def fused_banded_square_tile(
+    tile: tuple, *, pw: np.ndarray, band: int, algebra: SelectionSemiring = MIN_PLUS
+) -> np.ndarray:
+    """Eq. (2c) restricted to band offsets, rows ``i`` in ``tile`` —
+    fused tier.
+
+    The banded slab kernel sweeps one whole-lattice ``ext``/``comb``
+    pass per offset ``d = 0 .. band`` per side; here the same candidate
+    set is regrouped per anchor, exactly like
+    :func:`fused_dense_square_tile`, as **banded** semiring matmuls
+    whose reduction axis only spans the in-band diagonals: per right
+    anchor column ``q``, ``Y[r, p] = pw(r, q, p, q)`` restricted to
+    ``0 <= p - r <= band`` reduces into ``acc[:, q:, :q, q]``; per left
+    anchor row ``p``, ``Z[s, q] = pw(p, s, p, q)`` restricted to
+    ``0 <= s - q <= band`` reduces into ``acc[:, p+1:, p, p+1:]``. The
+    band restriction must be applied to the anchor plane (not inferred
+    from zeros): activate writes arbitrary-gap cells the banded
+    composition set never composes, so the full-lattice fused square
+    would see extra candidates and break bitwise identity — which is
+    exactly why this kernel exists. The band mask on *written* cells is
+    still applied by the commit, as for the slab tier.
+    """
+    lo, hi = tile
+    N = pw.shape[0]
+    acc = algebra.full((hi - lo, N, N, N))
+    packed = algebra.lowering().packed
+    b = min(band, N - 1)
+    # Right-anchored side. The per-anchor-column matmul (numba: gathered
+    # contiguous, O(band) loop window per output) reads pw with a
+    # stride-N inner axis, which the JIT engine absorbs but the numpy
+    # engine pays for per element — so the numpy engine anchors per
+    # output row ``p`` instead: every in-band intermediate ``r = p - d``
+    # contributes one elementwise compose over the *contiguous* trailing
+    # ``q`` axis, with the second factor a zero-copy diagonal
+    # ``y[q] = pw[r, q, p, q]``. An out-of-range packed tile routes
+    # through the per-anchor matmuls too, for their exact two-channel
+    # fallback.
+    if HAVE_NUMBA or (packed and not lex_range_check(pw, pw)):
+        for q in range(1, N):
+            # Y[r, p] = pw[r, q, p, q]; candidates compose r = p - d only.
+            _banded_matmul_reduce(
+                pw[lo:hi, q:, :q, q],
+                pw[:q, q, :q, q],
+                0,
+                b,
+                acc[:, q:, :q, q],
+                algebra,
+                packed,
+            )
+    else:
+        ext, comb = algebra.extend_ufunc, algebra.combine_ufunc
+        for p in range(N - 1):
+            ov = acc[:, p + 1 :, p, p + 1 :]
+            tmp = np.empty(ov.shape)
+            for d in range(0, min(b, p) + 1):
+                r = p - d
+                y = np.diagonal(pw[r, :, p, :])[p + 1 :]  # y[q] = pw[r, q, p, q]
+                if not algebra.reachable(y).any():
+                    continue
+                ext(pw[lo:hi, p + 1 :, r, p + 1 :], y, out=tmp)
+                comb(ov, tmp, out=ov)
+    for p in range(N - 1):
+        # Z[s, q] = pw[p, s, p, q]; candidates compose s = q + d only.
+        _banded_matmul_reduce(
+            pw[lo:hi, p + 1 :, p, p + 1 :],
+            pw[p, p + 1 :, p, p + 1 :],
+            -b,
+            0,
             acc[:, p + 1 :, p, p + 1 :],
             algebra,
             packed,
@@ -468,3 +750,37 @@ def fused_rytter_square_tile(
     Xf = M[lo:hi][:, useful]  # advanced index: fresh contiguous gather
     _matmul_reduce(Xf, M[useful, :], acc, algebra, algebra.lowering().packed)
     return acc
+
+
+def fused_compact_activate_tile(
+    tile: tuple, *, F: np.ndarray, w: np.ndarray, algebra: SelectionSemiring = MIN_PLUS
+) -> tuple[np.ndarray, np.ndarray]:
+    """Compact-layout activate candidates for rows ``i`` in ``tile`` —
+    fused tier.
+
+    Same ``(U1, U2)`` result contract as the slab kernel (two slabs,
+    pickle return path). Both slabs read the same transposed input
+    ``T[t, j, k] = F[i, k, j]``: the numba loop nest computes both in a
+    single pass over it; the numpy engine gathers ``T`` contiguously
+    once (the slab kernel re-reads the strided transpose twice) and
+    runs the two elementwise extends over it. Identical per-cell binary
+    ops, hence bitwise-identical tables.
+    """
+    lo, hi = tile
+    X = F[lo:hi].transpose(0, 2, 1)  # X[t, j, k] = F[lo + t, k, j]
+    Y1 = w.T  # ⊗ w(k, j)
+    Y2 = w[lo:hi]  # ⊗ w(i, k)
+    if algebra.lowering().packed and not lex_range_check(X, w):
+        return (
+            _lex_exact_extend(X, Y1[None, :, :]),
+            _lex_exact_extend(X, Y2[:, None, :]),
+        )
+    U1 = np.empty(X.shape)
+    U2 = np.empty(X.shape)
+    if HAVE_NUMBA:  # pragma: no cover - exercised via the [perf] CI leg
+        _kernels_for(algebra).activate_pair(X, Y1, Y2, U1, U2)
+    else:
+        T = np.ascontiguousarray(X)
+        algebra.extend(T, Y1[None, :, :], out=U1)
+        algebra.extend(T, Y2[:, None, :], out=U2)
+    return U1, U2

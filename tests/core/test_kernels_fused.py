@@ -28,11 +28,21 @@ from repro.core.algebra import (
     lex_unpack,
     list_algebras,
 )
+from repro.core.kernels import (
+    compact_activate_tile,
+    dense_activate_tile,
+)
 from repro.core.kernels_fused import (
     HAVE_NUMBA,
+    _band_restrict,
+    _banded_matmul_reduce,
     _identity_jit,
+    _lex_exact_extend,
     _lex_exact_matmul,
     _lex_exact_pebble,
+    _make_activate_kernel,
+    _make_activate_pair_kernel,
+    _make_banded_matmul_kernel,
     _make_matmul_kernel,
     _make_pebble_kernel,
     _matmul_reduce,
@@ -40,6 +50,8 @@ from repro.core.kernels_fused import (
     _scalar_extend,
     _scalar_improves,
     fused_backend,
+    fused_compact_activate_tile,
+    fused_dense_activate_tile,
 )
 from repro.errors import InvalidProblemError
 from repro.parallel.backends import (
@@ -92,6 +104,25 @@ class TestFusedMatchesSlab:
         auto = solve(p, method="huang", kernel_impl="auto")
         fused = solve(p, method="huang", kernel_impl="fused")
         assert np.array_equal(_canon(auto.w), _canon(fused.w))
+
+    @pytest.mark.parametrize("algebra", list_algebras())
+    def test_activate_tiles_bitwise_equal_slab(self, algebra):
+        """The fused activate lowerings compose the same (cell, weight)
+        operand pairs as the slab transposes — cell-for-cell bitwise,
+        for both dense sides and the compact pair."""
+        alg = get_algebra(algebra)
+        rng = np.random.default_rng(13)
+        F = rng.integers(0, 50, size=(7, 7, 7)).astype(np.float64)
+        w = rng.integers(0, 50, size=(7, 7)).astype(np.float64)
+        w[0, 3] = alg.zero  # an unreached weight cell stays absorbing
+        for tile in [("a", 1, 4), ("b", 2, 6)]:
+            slab = dense_activate_tile(tile, F=F, w=w, algebra=alg)
+            fused = fused_dense_activate_tile(tile, F=F, w=w, algebra=alg)
+            assert np.array_equal(_canon(slab), _canon(fused)), tile
+        s1, s2 = compact_activate_tile((1, 5), F=F, w=w, algebra=alg)
+        f1, f2 = fused_compact_activate_tile((1, 5), F=F, w=w, algebra=alg)
+        assert np.array_equal(_canon(s1), _canon(f1))
+        assert np.array_equal(_canon(s2), _canon(f2))
 
 
 class TestScalarLowerings:
@@ -157,6 +188,82 @@ class TestScalarLowerings:
         )
         assert np.array_equal(_canon(cand), _canon(expect))
 
+    @pytest.mark.parametrize("ext_name,comb_name", PAIRS)
+    @pytest.mark.parametrize("d0,d1", [(0, 2), (-2, 0), (-1, 1)])
+    def test_banded_matmul_loop_matches_masked_reduce(
+        self, ext_name, comb_name, d0, d1
+    ):
+        """The clamped reduction window r in [p-d1, p-d0] must select
+        exactly the in-band candidates a mask-then-reduce picks."""
+        alg = next(
+            get_algebra(n)
+            for n in list_algebras()
+            if get_algebra(n).lowering().ext_name == ext_name
+            and get_algebra(n).lowering().comb_name == comb_name
+        )
+        rng = np.random.default_rng(4)
+        Xf = rng.integers(0, 50, size=(6, 5)).astype(np.float64)
+        Y = rng.integers(0, 50, size=(5, 7)).astype(np.float64)
+        Xf[0, :] = alg.zero  # unreached rows must stay absorbing
+        kernel = _make_banded_matmul_kernel(
+            _scalar_extend(ext_name, _identity_jit),
+            _scalar_improves(comb_name, _identity_jit),
+            _identity_jit,
+        )
+        red = np.full((6, 7), alg.zero)
+        kernel(Xf, Y, d0, d1, red)
+        Ym = _band_restrict(Y, d0, d1, alg.zero)
+        expect = alg.combine_ufunc.reduce(
+            alg.extend_ufunc(Xf[:, :, None], Ym[None, :, :]), axis=1
+        )
+        assert np.array_equal(_canon(red), _canon(expect))
+
+    @pytest.mark.parametrize("ext_name,comb_name", PAIRS)
+    def test_activate_loop_matches_elementwise_extend(self, ext_name, comb_name):
+        alg = next(
+            get_algebra(n)
+            for n in list_algebras()
+            if get_algebra(n).lowering().ext_name == ext_name
+        )
+        rng = np.random.default_rng(5)
+        X = rng.integers(0, 40, size=(2, 3, 4)).astype(np.float64)
+        Y = rng.integers(0, 40, size=(3, 4)).astype(np.float64)
+        X[0, 0] = alg.zero
+        kernel = _make_activate_kernel(
+            _scalar_extend(ext_name, _identity_jit), _identity_jit
+        )
+        out = np.empty_like(X)
+        kernel(X, Y, out)
+        assert np.array_equal(
+            _canon(out), _canon(alg.extend_ufunc(X, Y[None, :, :]))
+        )
+
+    @pytest.mark.parametrize("ext_name,comb_name", PAIRS)
+    def test_activate_pair_loop_matches_elementwise_extends(
+        self, ext_name, comb_name
+    ):
+        alg = next(
+            get_algebra(n)
+            for n in list_algebras()
+            if get_algebra(n).lowering().ext_name == ext_name
+        )
+        rng = np.random.default_rng(6)
+        X = rng.integers(0, 40, size=(2, 3, 4)).astype(np.float64)
+        Y1 = rng.integers(0, 40, size=(3, 4)).astype(np.float64)
+        Y2 = rng.integers(0, 40, size=(2, 4)).astype(np.float64)
+        X[1, 2] = alg.zero
+        kernel = _make_activate_pair_kernel(
+            _scalar_extend(ext_name, _identity_jit), _identity_jit
+        )
+        U1, U2 = np.empty_like(X), np.empty_like(X)
+        kernel(X, Y1, Y2, U1, U2)
+        assert np.array_equal(
+            _canon(U1), _canon(alg.extend_ufunc(X, Y1[None, :, :]))
+        )
+        assert np.array_equal(
+            _canon(U2), _canon(alg.extend_ufunc(X, Y2[:, None, :]))
+        )
+
     def test_unknown_lowering_names_raise(self):
         with pytest.raises(InvalidProblemError, match="no scalar lowering"):
             _scalar_extend("multiply", _identity_jit)
@@ -196,6 +303,63 @@ class TestMatmulReduce:
         assert np.array_equal(big, small)
 
 
+class TestBandedMatmulReduce:
+    @pytest.mark.parametrize("d0,d1", [(0, 2), (-2, 0)])
+    def test_matches_masked_full_reduce(self, d0, d1):
+        """The per-diagonal numpy engine (and the JIT window loop) must
+        equal the naive mask-the-plane-then-reduce formulation."""
+        for name in list_algebras():
+            if name == "lex_min_plus":
+                continue  # packed payloads covered separately below
+            alg = get_algebra(name)
+            rng = np.random.default_rng(8)
+            X = rng.integers(0, 60, size=(2, 4, 5)).astype(np.float64)
+            Y = rng.integers(0, 60, size=(5, 6)).astype(np.float64)
+            X[0, 1] = alg.zero  # whole unreached row stays absorbing
+            out = np.full((2, 4, 6), alg.zero)
+            _banded_matmul_reduce(X, Y, d0, d1, out, alg, packed=False)
+            Ym = _band_restrict(Y, d0, d1, alg.zero)
+            expect = alg.combine_ufunc.reduce(
+                alg.extend_ufunc(X[..., :, None], Ym[None, None, :, :]), axis=-2
+            )
+            assert np.array_equal(_canon(out), _canon(expect)), name
+
+    def test_never_reshapes_strided_out(self):
+        """The banded square tile passes non-contiguous triangular
+        slices of ``acc`` as ``out`` — the combine must land in the
+        backing array, which a reshape-induced copy would silently
+        drop."""
+        alg = get_algebra("min_plus")
+        acc = alg.full((2, 4, 4, 4))
+        out = acc[:, 2:, :2, 2]  # strided view, shape (2, 2, 2)
+        assert not out.flags.c_contiguous
+        rng = np.random.default_rng(9)
+        X = rng.integers(0, 60, size=(2, 2, 3)).astype(np.float64)
+        Y = rng.integers(0, 60, size=(3, 2)).astype(np.float64)
+        _banded_matmul_reduce(X, Y, 0, 2, out, alg, packed=False)
+        Ym = _band_restrict(Y, 0, 2, alg.zero)
+        expect = alg.combine_ufunc.reduce(
+            alg.extend_ufunc(X[..., :, None], Ym[None, None, :, :]), axis=-2
+        )
+        assert np.array_equal(acc[:, 2:, :2, 2], expect)
+
+    def test_out_of_range_packed_falls_back_exact(self):
+        """packed=True with out-of-range inputs routes through the
+        band-restricted exact two-channel matmul."""
+        alg = get_algebra("lex_min_plus")
+        big = np.nextafter(FLOAT_EXACT_INT_MAX, 0.0)
+        X = np.array([[[big, lex_pack(1.0, 1)]]])
+        Y = np.array([[big], [lex_pack(2.0, 1)]])
+        out = np.full((1, 1, 1), alg.zero)
+        _banded_matmul_reduce(X, Y, -1, 0, out, alg, packed=True)
+        assert out[0, 0, 0] == lex_pack(3.0, 2)
+        # the same candidates with the small one pushed out of band
+        # must select the remaining (overflowing) candidate and raise
+        out = np.full((1, 1, 1), alg.zero)
+        with pytest.raises(InvalidProblemError, match="exactly-representable"):
+            _banded_matmul_reduce(X, Y, 0, 0, out, alg, packed=True)
+
+
 class TestLexFastVdf:
     """The fast_vdf idiom: range-check once, packed fast path when the
     arithmetic is exact, two-channel fallback otherwise."""
@@ -229,6 +393,23 @@ class TestLexFastVdf:
         packed = alg.select(alg.extend(pwb, w[None, None, :, :]), axis=(2, 3))
         exact = _lex_exact_pebble(pwb, w)
         assert np.array_equal(_canon(exact), _canon(packed))
+
+    def test_exact_extend_matches_packed_in_range(self):
+        alg = get_algebra("lex_min_plus")
+        rng = np.random.default_rng(12)
+        X = lex_pack(
+            rng.integers(0, 50, (2, 3, 4)), rng.integers(0, 9, (2, 3, 4))
+        )
+        Y = lex_pack(rng.integers(0, 50, (3, 4)), rng.integers(0, 9, (3, 4)))
+        X[0, 0] = np.inf  # unreached cells stay absorbing
+        packed = alg.extend_ufunc(X, Y[None, :, :])
+        exact = _lex_exact_extend(X, Y[None, :, :])
+        assert np.array_equal(_canon(exact), _canon(packed))
+
+    def test_exact_extend_unpackable_raises(self):
+        big = np.nextafter(FLOAT_EXACT_INT_MAX, 0.0)
+        with pytest.raises(InvalidProblemError, match="exactly-representable"):
+            _lex_exact_extend(np.array([big]), np.array([big]))
 
     def test_fallback_selected_result_stays_packable(self):
         """Inputs that trip the conservative range check but whose
@@ -306,8 +487,14 @@ class TestKernelImplSurface:
         p = random_matrix_chain(8, seed=0)
         fused = plan_for(p, method="huang", kernel_impl="fused").describe()
         assert f"kernel_impl=fused[{fused_backend()}]" in fused
-        assert "impl=fused" in fused  # square + pebble steps
-        assert "impl=slab" in fused  # activate has no fused tier
+        assert "impl=fused" in fused
+        assert "impl=slab" not in fused  # every dense step now lowers
+        banded = plan_for(p, method="huang-banded", kernel_impl="fused").describe()
+        assert "impl=fused" in banded  # banded square + activate lower
+        assert "impl=slab" not in banded
+        compact = plan_for(p, method="huang-compact", kernel_impl="fused").describe()
+        assert "impl=fused" in compact  # the compact activate lowers
+        assert "impl=slab" in compact  # compact square/pebble serve both tiers
         slab = plan_for(p, method="huang", kernel_impl="slab").describe()
         assert "kernel_impl=slab" in slab
         assert "impl=fused" not in slab
@@ -352,13 +539,19 @@ class TestNumpyFallbackIsolation:
 @pytest.mark.slow
 @pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed ([perf] extra)")
 class TestNumbaEngine:
-    """Compiled-engine equivalence — runs only on the [perf] CI leg."""
+    """Compiled-engine equivalence — runs only on the [perf] CI leg.
 
+    The full method × algebra matrix: the JIT engine has its own loop
+    nests for the dense/rytter matmul, the banded window matmul, the
+    pebble reduce and both activate lowerings, so every method routes
+    at least one compiled kernel."""
+
+    @pytest.mark.parametrize("method", METHODS)
     @pytest.mark.parametrize("algebra", list_algebras())
-    def test_jit_solve_matches_slab(self, algebra):
+    def test_jit_solve_matches_slab(self, method, algebra):
         assert fused_backend() == "numba"
         p = random_matrix_chain(12, seed=9)
-        slab = solve(p, method="huang", algebra=algebra, kernel_impl="slab")
-        fused = solve(p, method="huang", algebra=algebra, kernel_impl="fused")
+        slab = solve(p, method=method, algebra=algebra, kernel_impl="slab")
+        fused = solve(p, method=method, algebra=algebra, kernel_impl="fused")
         assert np.array_equal(_canon(slab.w), _canon(fused.w))
         assert slab.value == fused.value
