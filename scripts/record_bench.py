@@ -1,20 +1,23 @@
 #!/usr/bin/env python
 """Run the smoke benchmarks and record the BENCH_* trajectory files.
 
-Each smoke benchmark (E10 backends, E11 service, E12 fleet) measures,
-gates itself against the bars stored in its ``BENCH_<name>.json`` at
-the repository root, and records the measurement back into that file's
-bounded history (see :mod:`repro.util.bench` for the schema). E11
-carries four axes: coalesced throughput, cache-hit latency, the delta
-re-solve speedup (incremental re-sweep of a suffix edit vs a cold
-solve, bitwise-gated), and L2 crash survival (a SIGKILLed shard's
-respawn answering from the shared on-disk tier). This
-script just drives all three in sequence — it is what the CI
-``bench-trajectory`` job runs before uploading the JSONs as artifacts,
-and what a developer runs locally to refresh the trajectory::
+Each smoke benchmark (E10 backends, E11 service, E12 fleet, E13
+latency) measures, gates itself against the bars stored in its
+``BENCH_<name>.json`` at the repository root, and records the
+measurement back into that file's bounded history (see
+:mod:`repro.util.bench` for the schema). E11 carries four axes:
+coalesced throughput, cache-hit latency, the delta re-solve speedup
+(incremental re-sweep of a suffix edit vs a cold solve, bitwise-gated),
+and L2 crash survival (a SIGKILLed shard's respawn answering from the
+shared on-disk tier). E13 replays a seeded Zipf+Poisson trace against
+a live fleet and gates the p99 cache-hit latency plus replay
+determinism. This script just drives them all in sequence — it is what
+the CI ``bench-trajectory`` job runs before uploading the JSONs as
+artifacts, and what a developer runs locally to refresh the
+trajectory::
 
-    PYTHONPATH=src python scripts/record_bench.py            # all three
-    PYTHONPATH=src python scripts/record_bench.py --only e12_fleet
+    PYTHONPATH=src python scripts/record_bench.py            # all of them
+    PYTHONPATH=src python scripts/record_bench.py --only e13_latency
 
 Exit code is non-zero if any benchmark misses its bars (the gate and
 the recording both still run for the remaining benchmarks, so one
@@ -36,6 +39,7 @@ BENCHMARKS = {
     "e10_backends": "bench_e10_backends.py",
     "e11_service": "bench_e11_service.py",
     "e12_fleet": "bench_e12_fleet.py",
+    "e13_latency": "bench_e13_latency.py",
 }
 
 
@@ -53,7 +57,7 @@ def main(argv: list[str] | None = None) -> int:
         "--only",
         choices=sorted(BENCHMARKS),
         action="append",
-        help="run a subset (repeatable); default: all three",
+        help="run a subset (repeatable); default: all of them",
     )
     args = parser.parse_args(argv)
     names = args.only or list(BENCHMARKS)
@@ -92,6 +96,20 @@ def main(argv: list[str] | None = None) -> int:
                     f"{sc['scaling_bar_effective']:.2f}x "
                     f"(raw bar {sc['scaling_bar']:.2f}x pro-rated to "
                     f"{sc['cpus']} cpus)",
+                    flush=True,
+                )
+        if name == "e13_latency":
+            import json
+
+            metrics = json.loads(Path(bench_path(name)).read_text()).get(
+                "metrics", {}
+            )
+            latency = metrics.get("latency") or {}
+            det = metrics.get("determinism") or {}
+            if latency:
+                print(
+                    f"--- p99 cache-hit {latency.get('p99_cache_hit_ms')} ms; "
+                    f"replays match: {det.get('replays_match')}",
                     flush=True,
                 )
         print(f"--- recorded {bench_path(name)} (exit {rc})\n", flush=True)

@@ -8,6 +8,9 @@ Commands
 ``fleet``     run a sharded solve fleet behind one routing front end;
 ``request``   send JSONL specs to a running server (or status/shutdown),
               or through an ephemeral fleet with ``--fleet N``;
+``trace``     generate a replayable, seeded workload trace (JSONL);
+``loadtest``  replay a trace against a live target and report tail
+              latencies, per-source/per-shard breakdowns and SLO goodput;
 ``plan``      print the compiled sweep plan a solve would execute;
 ``algebras``  list the registered selection-semiring algebras;
 ``pebble``    play the pebbling game on a named tree shape;
@@ -28,6 +31,9 @@ Examples::
     python -m repro request --tcp 127.0.0.1:7466 --input problems.jsonl
     python -m repro request --fleet 4 --input problems.jsonl
     python -m repro request --socket /tmp/repro.sock --status
+    python -m repro trace --arrival poisson --rate 100 --count 500 --output t.jsonl
+    python -m repro loadtest --trace t.jsonl --target fleet --shards 4 --slo-ms 50
+    python -m repro loadtest --count 200 --popularity zipf --socket /tmp/repro.sock
     python -m repro plan --family chain --n 24 --method huang-banded --backend process
     python -m repro algebras
     python -m repro pebble --shape zigzag --n 4096 --rule huang
@@ -56,6 +62,8 @@ from typing import Sequence
 # __init__, so this costs nothing extra.)
 from repro.core.algebra import list_algebras
 from repro.core.api import ITERATIVE_METHODS, METHODS
+from repro.loadgen.arrivals import ARRIVALS
+from repro.loadgen.popularity import POPULARITIES
 from repro.parallel.backends import BACKEND_NAMES, KERNEL_IMPLS, START_METHODS
 
 from repro.problems.specs import FAMILIES, family_generators
@@ -133,6 +141,96 @@ def _add_execution_args(parser: argparse.ArgumentParser) -> None:
             "commit bitwise-identical tables"
         ),
     )
+
+
+def _add_trace_args(parser: argparse.ArgumentParser) -> None:
+    """The workload-shape knobs shared by ``trace`` and ``loadtest``
+    (they mirror :class:`repro.loadgen.trace.TraceConfig` exactly)."""
+    parser.add_argument(
+        "--arrival",
+        choices=list(ARRIVALS),
+        default="poisson",
+        help="arrival process (closed = sequential baseline)",
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=50.0,
+        help="mean request rate in requests/second (open-loop kinds)",
+    )
+    parser.add_argument(
+        "--count", type=_positive_int, default=100, help="total requests"
+    )
+    parser.add_argument(
+        "--popularity",
+        choices=list(POPULARITIES),
+        default="zipf",
+        help="which pool instance each request asks for",
+    )
+    parser.add_argument(
+        "--pool",
+        type=_positive_int,
+        default=16,
+        help="distinct instances in the trace's pool",
+    )
+    parser.add_argument(
+        "--zipf-s",
+        type=float,
+        default=1.1,
+        help="Zipf exponent for --popularity zipf",
+    )
+    parser.add_argument(
+        "--burst-factor",
+        type=float,
+        default=8.0,
+        help="burst-state rate multiplier for --arrival bursty",
+    )
+    parser.add_argument(
+        "--burst-enter",
+        type=float,
+        default=0.05,
+        help="quiet->burst switch probability per arrival",
+    )
+    parser.add_argument(
+        "--burst-exit",
+        type=float,
+        default=0.25,
+        help="burst->quiet switch probability per arrival",
+    )
+    parser.add_argument(
+        "--family",
+        choices=list(FAMILIES),
+        default="chain",
+        help="problem family the pool draws from",
+    )
+    parser.add_argument("--n", type=int, default=24, help="instance size")
+    parser.add_argument(
+        "--method",
+        choices=sorted(METHODS),
+        default=None,
+        help="stamp this solve method onto every spec in the trace",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master trace seed")
+
+
+def _trace_config_from_args(args: argparse.Namespace):
+    from repro.loadgen import TraceConfig
+
+    return TraceConfig(
+        arrival=args.arrival,
+        rate=args.rate,
+        count=args.count,
+        popularity=args.popularity,
+        pool=args.pool,
+        zipf_s=args.zipf_s,
+        burst_factor=args.burst_factor,
+        burst_enter=args.burst_enter,
+        burst_exit=args.burst_exit,
+        family=args.family,
+        n=args.n,
+        method=args.method,
+        seed=args.seed,
+    ).validate()
 
 
 def _problem_from_args(args: argparse.Namespace):
@@ -483,6 +581,127 @@ def build_parser() -> argparse.ArgumentParser:
         "--shutdown",
         action="store_true",
         help="ask the server to stop (after any specs from --input)",
+    )
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="generate a replayable workload trace (JSONL)",
+        description=(
+            "Emit a seeded, versioned workload trace: an open-loop arrival "
+            "process crossed with an instance-popularity model over a fixed "
+            "pool of problem specs. The same flags and seed always produce "
+            "a byte-identical file, so a trace names its workload exactly."
+        ),
+    )
+    _add_trace_args(p_trace)
+    p_trace.add_argument(
+        "--output",
+        default="-",
+        help="trace file to write, or '-' for stdout (default)",
+    )
+
+    p_load = sub.add_parser(
+        "loadtest",
+        help="replay a workload trace against a live target",
+        description=(
+            "Replay a trace (from --trace, or generated on the fly from the "
+            "same flags 'repro trace' takes) open-loop at its recorded "
+            "timestamps, then print the latency/SLO summary as JSON: "
+            "p50/p95/p99/max, per-source and per-shard breakdowns, goodput "
+            "under --slo-ms and the shard-imbalance coefficient. Exits "
+            "non-zero if any request failed or was dropped."
+        ),
+    )
+    _add_trace_args(p_load)
+    p_load.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="replay this trace file instead of generating one",
+    )
+    p_load.add_argument(
+        "--target",
+        choices=["local", "fleet"],
+        default="local",
+        help=(
+            "ephemeral target: an in-process service (local, default) or a "
+            "fleet of --shards shard processes (ignored when --socket/--tcp "
+            "point at a running server)"
+        ),
+    )
+    p_load.add_argument(
+        "--socket",
+        default=None,
+        help="unix socket of a running 'repro serve'/'repro fleet' to hit",
+    )
+    p_load.add_argument(
+        "--tcp",
+        default=None,
+        metavar="HOST:PORT",
+        help="TCP address of a running server to hit",
+    )
+    p_load.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=2,
+        help="fleet width for --target fleet (default: 2)",
+    )
+    p_load.add_argument(
+        "--mode",
+        choices=["auto", "open", "closed"],
+        default="auto",
+        help=(
+            "replay discipline: open (inject at recorded offsets), closed "
+            "(next request after previous response) or auto (default: "
+            "closed for closed traces, open otherwise)"
+        ),
+    )
+    p_load.add_argument(
+        "--speed",
+        type=float,
+        default=1.0,
+        help="replay speed multiplier for the recorded schedule (default: 1)",
+    )
+    p_load.add_argument(
+        "--timeout",
+        type=float,
+        default=120.0,
+        help="per-request timeout in seconds; a timeout counts as dropped",
+    )
+    p_load.add_argument(
+        "--slo-ms",
+        type=float,
+        default=None,
+        help="latency SLO threshold for the goodput section of the report",
+    )
+    p_load.add_argument(
+        "--backend",
+        choices=list(BACKEND_NAMES),
+        default="process",
+        help="backend for ephemeral targets (default: process)",
+    )
+    p_load.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="worker count for ephemeral targets",
+    )
+    p_load.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=5.0,
+        help="scheduler batch window for ephemeral targets (default: 5)",
+    )
+    p_load.add_argument(
+        "--records",
+        default=None,
+        metavar="PATH",
+        help="also dump the per-request records as JSONL to this file",
+    )
+    p_load.add_argument(
+        "--with-status",
+        action="store_true",
+        help="include the target's post-replay status record in the report",
     )
 
     sub.add_parser(
@@ -868,6 +1087,72 @@ def _cmd_request(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.loadgen import trace_lines, write_trace
+
+    config = _trace_config_from_args(args)
+    if args.output == "-":
+        for line in trace_lines(config):
+            print(line)
+    else:
+        path = write_trace(args.output, config)
+        print(f"wrote {config.count} events to {path}")
+    return 0
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.loadgen import read_trace, run_loadtest
+
+    events = None
+    if args.trace is not None:
+        config, events = read_trace(args.trace)
+    else:
+        config = _trace_config_from_args(args)
+    target_kwargs: dict = {}
+    if args.tcp is not None:
+        target: object = args.tcp
+        tcp = True
+    elif args.socket is not None:
+        target = args.socket
+        tcp = False
+    else:
+        target = args.target
+        tcp = False
+        target_kwargs = dict(
+            backend=args.backend,
+            batch_window=args.batch_window_ms / 1e3,
+        )
+        if args.workers is not None:
+            target_kwargs["workers"] = args.workers
+        if config.method is not None:
+            target_kwargs["method"] = config.method
+    result = run_loadtest(
+        config,
+        events=events,
+        mode=None if args.mode == "auto" else args.mode,
+        target=target,
+        tcp=tcp,
+        shards=args.shards,
+        speed=args.speed,
+        timeout=args.timeout,
+        target_kwargs=target_kwargs,
+        with_status=args.with_status,
+    )
+    if args.records is not None:
+        with open(args.records, "w", encoding="utf-8") as fh:
+            for record in result.records:
+                fh.write(json.dumps(record) + "\n")
+    summary = result.summary(slo_ms=args.slo_ms)
+    if args.with_status:
+        summary["status"] = result.status
+    print(json.dumps(summary, indent=2))
+    # Failed or dropped requests make the replay itself a failure — the
+    # exit code is the scriptable SLO gate.
+    return 0 if summary["failed"] == 0 and summary["dropped"] == 0 else 1
+
+
 def _cmd_plan(args: argparse.Namespace) -> int:
     from repro.core.api import plan_for
 
@@ -982,6 +1267,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "serve": _cmd_serve,
         "fleet": _cmd_fleet,
         "request": _cmd_request,
+        "trace": _cmd_trace,
+        "loadtest": _cmd_loadtest,
         "plan": _cmd_plan,
         "algebras": _cmd_algebras,
         "pebble": _cmd_pebble,

@@ -1,0 +1,116 @@
+"""Open-loop arrival processes for workload traces.
+
+Every process maps ``(rate, count, rng)`` to a non-decreasing sequence
+of arrival offsets in seconds from trace start. The offsets are what an
+**open-loop** load harness replays: requests are injected at the
+recorded instants whether or not earlier ones have completed, which is
+what exposes queueing delay (and what a closed-loop driver structurally
+cannot measure — see Schroeder et al.'s open-vs-closed distinction).
+
+``closed`` is the deliberate exception: its offsets are all zero and
+the harness replays it sequentially (send the next request when the
+previous response lands). It is the deterministic baseline the E13
+determinism gate replays, because no wall-clock race can change which
+request finds which cache state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import SeedLike, resolve_rng
+
+__all__ = ["ARRIVALS", "generate_arrivals"]
+
+#: the registered arrival kinds (CLI choices and trace-schema values)
+ARRIVALS = ("poisson", "bursty", "uniform", "closed")
+
+
+def _poisson(rate: float, count: int, rng: np.random.Generator) -> np.ndarray:
+    """Memoryless open-loop arrivals: i.i.d. exponential gaps at
+    ``rate`` requests/second (the classic M/G/k driver)."""
+    gaps = rng.exponential(1.0 / rate, size=count)
+    return np.cumsum(gaps)
+
+
+def _bursty(
+    rate: float,
+    count: int,
+    rng: np.random.Generator,
+    *,
+    burst_factor: float = 8.0,
+    burst_enter: float = 0.05,
+    burst_exit: float = 0.25,
+) -> np.ndarray:
+    """A two-state Markov-modulated Poisson process.
+
+    The source alternates between a *quiet* state emitting at ``rate``
+    and a *burst* state emitting at ``rate * burst_factor``; after each
+    arrival it switches state with probability ``burst_enter`` (quiet ->
+    burst) or ``burst_exit`` (burst -> quiet). Long-run mean rate sits
+    between the two; the point is the squared coefficient of variation
+    of the gaps being well above 1, which is what stresses queues and
+    tail latency in ways a plain Poisson stream does not.
+    """
+    gaps = np.empty(count)
+    bursting = False
+    for i in range(count):
+        current = rate * burst_factor if bursting else rate
+        gaps[i] = rng.exponential(1.0 / current)
+        flip = rng.random()
+        if bursting:
+            bursting = flip >= burst_exit
+        else:
+            bursting = flip < burst_enter
+    return np.cumsum(gaps)
+
+
+def _uniform(rate: float, count: int) -> np.ndarray:
+    """Deterministic equal spacing at ``rate`` requests/second — the
+    zero-variance open-loop control every other process is compared
+    against."""
+    return (np.arange(count, dtype=np.float64) + 1.0) / rate
+
+
+def generate_arrivals(
+    kind: str,
+    rate: float,
+    count: int,
+    *,
+    seed: SeedLike = None,
+    burst_factor: float = 8.0,
+    burst_enter: float = 0.05,
+    burst_exit: float = 0.25,
+) -> np.ndarray:
+    """``count`` non-decreasing arrival offsets (seconds) for ``kind``.
+
+    Deterministic for a fixed integer ``seed``. ``closed`` returns all
+    zeros: the harness replays a closed trace sequentially, so the
+    offsets carry no information by construction.
+    """
+    if kind not in ARRIVALS:
+        raise ValueError(f"unknown arrival process {kind!r}; choose from {ARRIVALS}")
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    if kind == "closed":
+        return np.zeros(count)
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    rng = resolve_rng(seed)
+    if kind == "poisson":
+        return _poisson(rate, count, rng)
+    if kind == "bursty":
+        if burst_factor < 1.0:
+            raise ValueError(f"burst_factor must be >= 1, got {burst_factor}")
+        for name, p in (("burst_enter", burst_enter), ("burst_exit", burst_exit)):
+            if not (0.0 < p <= 1.0):
+                raise ValueError(f"{name} must lie in (0, 1], got {p}")
+        return _bursty(
+            rate,
+            count,
+            rng,
+            burst_factor=burst_factor,
+            burst_enter=burst_enter,
+            burst_exit=burst_exit,
+        )
+    return _uniform(rate, count)

@@ -21,15 +21,16 @@ Layers (each usable on its own):
 * :func:`serve` / :func:`serve_unix` / :func:`serve_tcp` — the JSONL
   front end on either transport (``repro serve``), over the shared
   framing in :mod:`repro.service.transport`;
-* :class:`LocalClient` / :class:`ServiceClient` — in-process and
-  socket clients (``repro request``), unix or TCP;
+* :class:`LocalClient` / :class:`ServiceClient` / :class:`AsyncClient`
+  — in-process, synchronous-socket and asyncio clients
+  (``repro request``, the load harness), unix or TCP;
 * :class:`FleetRouter` / :func:`serve_fleet` — the scale-out layer:
   N shard processes behind a consistent-hash router that respawns dead
   shards and re-dispatches their in-flight requests (``repro fleet``).
 """
 
 from repro.service.cache import L2DiskCache, ResultCache, TieredResultCache
-from repro.service.client import LocalClient, ServiceClient
+from repro.service.client import AsyncClient, LocalClient, ServiceClient
 from repro.service.fleet import FleetRouter, serve_fleet
 from repro.service.scheduler import CoalescingScheduler
 from repro.service.server import SolveService, serve, serve_tcp, serve_unix
@@ -44,6 +45,7 @@ __all__ = [
     "serve",
     "serve_unix",
     "serve_tcp",
+    "AsyncClient",
     "LocalClient",
     "ServiceClient",
     "FleetRouter",

@@ -8,6 +8,13 @@ the JSONL protocol to a running ``repro serve`` from another process
 (what ``repro request`` uses) — over the server's unix socket, or over
 TCP with ``ServiceClient(tcp="host:port")``; the wire protocol is
 identical (see :mod:`repro.service.transport`).
+
+:class:`AsyncClient` is the asyncio face of the same protocol: many
+requests in flight on one connection, each awaited independently. It is
+what the load harness (:mod:`repro.loadgen.harness`) replays open-loop
+traces through — a thousand outstanding requests cost a thousand
+futures, not a thousand threads, so the client never perturbs the
+latency it is measuring.
 """
 
 from __future__ import annotations
@@ -15,7 +22,7 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
-from typing import Any, Optional, Sequence
+from typing import Any, Optional, Sequence, Union
 
 from repro.errors import ReproError
 from repro.problems.base import ParenthesizationProblem
@@ -23,7 +30,7 @@ from repro.service.server import SolveService
 from repro.service.transport import Address, encode_record, parse_address
 from repro.service import transport as _transport
 
-__all__ = ["LocalClient", "ServiceClient"]
+__all__ = ["AsyncClient", "LocalClient", "ServiceClient"]
 
 
 class LocalClient:
@@ -117,6 +124,124 @@ class LocalClient:
 
     def __exit__(self, *exc: object) -> None:
         self.close()
+
+
+class AsyncClient:
+    """Asyncio JSONL client: one connection, many requests in flight.
+
+    Each outbound message gets a private wire ``id`` and a future; a
+    single reader task resolves futures as response lines arrive, so
+    ``submit()`` calls from any number of tasks interleave freely on
+    the one socket (the pipelined shape the server's scheduler
+    coalesces). Works against both ``repro serve`` and the ``repro
+    fleet`` front end — same wire protocol.
+
+    Address forms mirror :class:`ServiceClient`: a unix socket path
+    (the default), ``tcp=True`` to parse ``host:port``, or a ready
+    :class:`~repro.service.transport.Address`. Lazily connects on first
+    use; ``close()`` (or ``async with``) tears down the reader task and
+    fails any still-waiting futures loudly.
+    """
+
+    def __init__(self, address: Union[str, Address], *, tcp: bool = False) -> None:
+        self.address = parse_address(address, tcp=tcp)
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._reader_task: Optional[asyncio.Task] = None
+        self._waiters: dict[Any, asyncio.Future] = {}
+        self._next_id = 0
+        self._closed = False
+
+    async def connect(self) -> "AsyncClient":
+        if self._closed:
+            raise ReproError("client is closed")
+        if self._writer is not None:
+            return self
+        if self.address.kind == "unix":
+            self._reader, self._writer = await asyncio.open_unix_connection(
+                self.address.path
+            )
+        else:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.address.host, self.address.port
+            )
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+        return self
+
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                try:
+                    record = json.loads(line)
+                except ValueError:  # pragma: no cover - server framing bug
+                    continue
+                future = self._waiters.pop(record.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(record)
+        finally:
+            # EOF (or teardown): whoever is still waiting learns now,
+            # not via a silent hang.
+            error = ReproError("service closed the connection")
+            for future in self._waiters.values():
+                if not future.done():
+                    future.set_exception(error)
+            self._waiters.clear()
+
+    async def _roundtrip(self, msg: dict) -> dict:
+        await self.connect()
+        assert self._writer is not None
+        self._next_id += 1
+        wire_id = self._next_id
+        msg = dict(msg)
+        msg["id"] = wire_id
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._waiters[wire_id] = future
+        self._writer.write(encode_record(msg))
+        await self._writer.drain()
+        return await future
+
+    async def submit(self, spec: dict) -> dict:
+        """Round-trip one problem spec; returns the response record
+        (any caller-supplied ``id`` is replaced on the wire and not
+        echoed — callers track their own correlation)."""
+        return await self._roundtrip({k: v for k, v in spec.items() if k != "id"})
+
+    async def status(self) -> dict:
+        record = await self._roundtrip({"op": "status"})
+        if not record.get("ok"):
+            raise ReproError(f"status failed: {record.get('error')}")
+        return record["status"]
+
+    async def shutdown(self) -> None:
+        """Ask the server to stop (it acknowledges before exiting)."""
+        await self._roundtrip({"op": "shutdown"})
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def __aenter__(self) -> "AsyncClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.close()
 
 
 class ServiceClient:

@@ -493,6 +493,7 @@ class FleetRouter:
                         job.record = {
                             "id": job.client_id,
                             "ok": False,
+                            "shard": job.shard,
                             "error": (
                                 f"shard {job.shard} died again after the request "
                                 "was re-dispatched once; giving up "
@@ -507,6 +508,7 @@ class FleetRouter:
             job.record = {
                 "id": job.client_id,
                 "ok": False,
+                "shard": job.shard,
                 "error": f"shard {job.shard} kept failing; request abandoned",
             }
         return [job.record for job in jobs]
@@ -552,6 +554,11 @@ class FleetRouter:
                         # (failed) connection epoch; ignore it.
                         continue
                     record["id"] = job.client_id
+                    # True attribution, stamped where the answer came
+                    # from: survives re-dispatch (the respawned shard
+                    # stamps itself) and rides through the front end,
+                    # so a load harness needs no client-side re-route.
+                    record["shard"] = shard.index
                     job.record = record
                 return []
             except (OSError, ValueError, ReproError, KeyError):
@@ -576,6 +583,7 @@ class FleetRouter:
             "cache_l2_hits": 0,
             "delta_hits": 0,
             "batches": 0,
+            "queue_depth": 0,
         }
         alive = 0
         for shard in self._shards:
@@ -599,6 +607,7 @@ class FleetRouter:
                 scheduler = status.get("scheduler") or {}
                 totals["batches"] += scheduler.get("batches", 0)
                 totals["delta_hits"] += scheduler.get("delta_hits", 0)
+                totals["queue_depth"] += scheduler.get("queue_depth", 0)
             shard_records.append(record)
         lookups = totals["cache_hits"] + totals["cache_misses"]
         return {

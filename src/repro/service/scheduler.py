@@ -301,4 +301,7 @@ class CoalescingScheduler:
             # folded into neither number, under-reporting in-flight
             # work exactly while a batch runs
             "executing": self._executing_count,
+            # the one-number backlog gauge load monitors poll: every
+            # entry accepted but not yet resolved, wherever it sits
+            "queue_depth": len(self._pending) + self._executing_count,
         }

@@ -1,0 +1,94 @@
+"""The percentile definition is load-bearing: every p99 number in the
+``BENCH_e13_latency.json`` trajectory flows through
+:func:`repro.loadgen.analyze.percentile`. These tests pin it to the
+exact linear-interpolation ("type 7") rule via a from-first-principles
+reference and via numpy's implementation, and nail the edge cases
+(empty, singleton, ties, the endpoints) so the definition can never
+drift silently.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.loadgen import percentile
+
+
+def reference_percentile(values, q):
+    """Naive sorted-list linear interpolation, written independently of
+    the implementation under test."""
+    xs = sorted(values)
+    rank = (len(xs) - 1) * q / 100.0
+    lo, hi = math.floor(rank), math.ceil(rank)
+    if lo == hi:
+        return float(xs[lo])
+    return xs[lo] + (rank - lo) * (xs[hi] - xs[lo])
+
+
+finite = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+class TestAgainstReferences:
+    @given(
+        values=st.lists(finite, min_size=1, max_size=60),
+        q=st.floats(min_value=0.0, max_value=100.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_matches_naive_reference(self, values, q):
+        got = percentile(values, q)
+        want = reference_percentile(values, q)
+        assert got == pytest.approx(want, rel=1e-12, abs=1e-9)
+
+    @given(
+        values=st.lists(finite, min_size=1, max_size=60),
+        q=st.floats(min_value=0.0, max_value=100.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_matches_numpy_linear(self, values, q):
+        got = percentile(values, q)
+        want = float(np.percentile(np.asarray(values, dtype=float), q))
+        assert got == pytest.approx(want, rel=1e-9, abs=1e-9)
+
+
+class TestEdgeCases:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            percentile([], 50.0)
+
+    def test_out_of_range_q_raises(self):
+        with pytest.raises(ValueError, match="0, 100"):
+            percentile([1.0], 101.0)
+        with pytest.raises(ValueError, match="0, 100"):
+            percentile([1.0], -0.1)
+
+    def test_singleton_is_its_value_for_every_q(self):
+        for q in (0.0, 1.0, 50.0, 99.0, 100.0):
+            assert percentile([7.25], q) == 7.25
+
+    def test_endpoints_are_min_and_max(self):
+        xs = [9.0, 1.0, 4.0, 4.0, 2.0]
+        assert percentile(xs, 0.0) == 1.0
+        assert percentile(xs, 100.0) == 9.0
+
+    def test_all_tied_values(self):
+        assert percentile([3.0] * 10, 99.0) == 3.0
+
+    def test_exact_median_of_even_count_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50.0) == 2.5
+
+    def test_p99_interpolates_between_last_two(self):
+        xs = list(range(100, 0, -1))  # 1..100, shuffled order irrelevant
+        # rank = 99 * 0.99 = 98.01 -> between xs_sorted[98]=99, [99]=100
+        assert percentile(xs, 99.0) == pytest.approx(99.01)
+
+    def test_input_order_irrelevant(self):
+        xs = [5.0, 1.0, 9.0, 3.0]
+        assert percentile(xs, 75.0) == percentile(sorted(xs), 75.0)
+
+    def test_integer_inputs_coerced(self):
+        assert percentile([1, 2, 3], 50.0) == 2.0

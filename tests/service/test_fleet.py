@@ -146,6 +146,25 @@ class TestFleetRequests:
         assert all(s["alive"] for s in status["per_shard"])
         assert 0.0 <= status["totals"]["cache_hit_rate"] <= 1.0
 
+    def test_records_stamp_their_answering_shard(self, fleet):
+        """Every response carries the shard that answered it, matching
+        the router's own placement — the attribution the load harness
+        records without re-deriving routes client-side."""
+        specs = [{"family": "chain", "n": 10, "seed": s} for s in range(8)]
+        records = fleet.request_many([dict(s) for s in specs])
+        assert all(r["ok"] for r in records)
+        for spec, record in zip(specs, records):
+            assert record["shard"] == fleet.route(dict(spec))
+        assert {r["shard"] for r in records} == {0, 1}
+
+    def test_status_totals_include_queue_depth(self, fleet):
+        """The aggregate backlog gauge: per-shard scheduler queue
+        depths sum into the fleet totals, and an idle fleet reads 0."""
+        status = fleet.status()
+        assert status["totals"]["queue_depth"] == 0
+        for shard in status["per_shard"]:
+            assert shard["status"]["scheduler"]["queue_depth"] == 0
+
 
 class TestShardDeathRecovery:
     """The PR 5 satellite: kill a shard mid-batch; the router must

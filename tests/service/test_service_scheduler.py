@@ -282,4 +282,43 @@ class TestFailureAndLifecycle:
         # used to be folded into neither while a batch ran)
         assert stats["pending"] == 0
         assert stats["executing"] == 0
+        assert stats["queue_depth"] == 0
         assert stats["delta_hits"] == 0
+
+
+class TestQueueDepth:
+    def test_queue_depth_counts_pending_plus_executing(self):
+        """The backlog gauge a load monitor polls: entries detached
+        into the in-flight batch AND entries still waiting both count,
+        and the gauge returns to zero once everything resolves."""
+        release = threading.Event()
+
+        def runner(items):
+            assert release.wait(timeout=5.0), "test never released the runner"
+            return [
+                SolveResult(
+                    method=method,
+                    value=float(problem.n),
+                    w=np.zeros((problem.n + 1, problem.n + 1)),
+                )
+                for problem, method, _ in items
+            ]
+
+        async def main():
+            sched = CoalescingScheduler(runner, batch_window=0.0, max_batch=1)
+            first = asyncio.ensure_future(sched.submit(chain(10, 20, 5), "huang", {}))
+            while sched.stats()["executing"] == 0:  # first batch in flight
+                await asyncio.sleep(0.001)
+            second = asyncio.ensure_future(sched.submit(chain(3, 7, 2), "huang", {}))
+            await asyncio.sleep(0.005)  # second lands in pending
+            mid = sched.stats()
+            release.set()
+            await asyncio.gather(first, second)
+            settled = sched.stats()
+            await sched.close()
+            return mid, settled
+
+        mid, settled = run(main())
+        assert mid["pending"] == 1 and mid["executing"] == 1
+        assert mid["queue_depth"] == 2
+        assert settled["queue_depth"] == 0

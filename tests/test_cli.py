@@ -1,5 +1,6 @@
 """Unit tests for the command-line interface."""
 
+import json
 import os
 import time
 
@@ -759,3 +760,61 @@ class TestServeStaleSocketFix:
         assert main(["request", "--fleet", "2", "--socket", "/tmp/other.sock"]) == 2
         err = capsys.readouterr().err
         assert "cannot be combined" in err
+
+
+class TestTraceLoadtestCommands:
+    def test_trace_flags_parse(self):
+        args = build_parser().parse_args(
+            ["trace", "--arrival", "bursty", "--rate", "120", "--count", "50"]
+        )
+        assert args.arrival == "bursty" and args.rate == 120.0
+        assert args.popularity == "zipf" and args.output == "-"
+
+    def test_loadtest_flags_parse(self):
+        args = build_parser().parse_args(
+            ["loadtest", "--target", "fleet", "--shards", "3", "--slo-ms", "25"]
+        )
+        assert args.target == "fleet" and args.shards == 3 and args.slo_ms == 25.0
+        assert args.mode == "auto" and args.backend == "process"
+
+    def test_trace_stdout_is_deterministic(self, capsys):
+        argv = ["trace", "--count", "8", "--pool", "3", "--seed", "42"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        header = json.loads(first.splitlines()[0])
+        assert header["format"] == "repro-trace" and header["count"] == 8
+
+    def test_trace_writes_file_loadtest_replays_it(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "t.jsonl")
+        assert main([
+            "trace", "--arrival", "closed", "--count", "10", "--pool", "3",
+            "--n", "10", "--output", trace_path,
+        ]) == 0
+        capsys.readouterr()
+        records_path = str(tmp_path / "records.jsonl")
+        rc = main([
+            "loadtest", "--trace", trace_path, "--backend", "serial",
+            "--slo-ms", "500", "--records", records_path,
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        summary = json.loads(out)
+        assert summary["requests"] == 10
+        assert summary["dropped"] == 0 and summary["failed"] == 0
+        assert summary["mode"] == "closed"
+        assert summary["slo"]["threshold_ms"] == 500.0
+        records = [json.loads(line) for line in open(records_path)]
+        assert len(records) == 10 and all(r["ok"] for r in records)
+
+    def test_loadtest_generates_when_no_trace_given(self, capsys):
+        rc = main([
+            "loadtest", "--arrival", "closed", "--count", "6", "--pool", "2",
+            "--n", "8", "--backend", "serial",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        summary = json.loads(out)
+        assert summary["requests"] == 6 and summary["target"] == "local"
