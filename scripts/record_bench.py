@@ -2,7 +2,7 @@
 """Run the smoke benchmarks and record the BENCH_* trajectory files.
 
 Each smoke benchmark (E10 backends, E11 service, E12 fleet, E13
-latency) measures, gates itself against the bars stored in its
+latency, E14 routing) measures, gates itself against the bars stored in its
 ``BENCH_<name>.json`` at the repository root, and records the
 measurement back into that file's bounded history (see
 :mod:`repro.util.bench` for the schema). E11 carries four axes:
@@ -11,7 +11,11 @@ coalesced throughput, cache-hit latency, the delta re-solve speedup
 and L2 crash survival (a SIGKILLed shard's respawn answering from the
 shared on-disk tier). E13 replays a seeded Zipf+Poisson trace against
 a live fleet and gates the p99 cache-hit latency plus replay
-determinism. This script just drives them all in sequence — it is what
+determinism. E14 gates the load-aware routing tier: the bounded-load
+router must beat the pinned Zipf imbalance baseline (CV 0.6762 /
+peak-to-mean 1.99) live and offline, keep cache hit-rate parity, and
+complete an elastic scale-up/scale-down cycle without dropping a
+request. This script just drives them all in sequence — it is what
 the CI ``bench-trajectory`` job runs before uploading the JSONs as
 artifacts, and what a developer runs locally to refresh the
 trajectory::
@@ -40,6 +44,7 @@ BENCHMARKS = {
     "e11_service": "bench_e11_service.py",
     "e12_fleet": "bench_e12_fleet.py",
     "e13_latency": "bench_e13_latency.py",
+    "e14_routing": "bench_e14_routing.py",
 }
 
 
@@ -110,6 +115,22 @@ def main(argv: list[str] | None = None) -> int:
                 print(
                     f"--- p99 cache-hit {latency.get('p99_cache_hit_ms')} ms; "
                     f"replays match: {det.get('replays_match')}",
+                    flush=True,
+                )
+        if name == "e14_routing":
+            import json
+
+            metrics = json.loads(Path(bench_path(name)).read_text()).get(
+                "metrics", {}
+            )
+            live = (metrics.get("live") or {}).get("imbalance") or {}
+            scale = metrics.get("scale") or {}
+            if live:
+                print(
+                    f"--- live bounded cv {live.get('cv')} vs pinned ring "
+                    f"0.6762; scale ups/downs "
+                    f"{scale.get('scale_ups')}/{scale.get('scale_downs')}, "
+                    f"lost {scale.get('failures', 0) + scale.get('gave_up', 0)}",
                     flush=True,
                 )
         print(f"--- recorded {bench_path(name)} (exit {rc})\n", flush=True)

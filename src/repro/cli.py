@@ -27,6 +27,8 @@ Examples::
     python -m repro serve --socket /tmp/repro.sock --backend process --workers 4
     python -m repro serve --tcp 0.0.0.0:7466
     python -m repro fleet --shards 4 --socket /tmp/fleet.sock
+    python -m repro fleet --shards 4 --router bounded --load-factor 1.25
+    python -m repro fleet --shards 2 --min-shards 2 --max-shards 8
     python -m repro request --socket /tmp/repro.sock --input problems.jsonl
     python -m repro request --tcp 127.0.0.1:7466 --input problems.jsonl
     python -m repro request --fleet 4 --input problems.jsonl
@@ -65,6 +67,7 @@ from repro.core.api import ITERATIVE_METHODS, METHODS
 from repro.loadgen.arrivals import ARRIVALS
 from repro.loadgen.popularity import POPULARITIES
 from repro.parallel.backends import BACKEND_NAMES, KERNEL_IMPLS, START_METHODS
+from repro.service.routing import ROUTER_POLICIES
 
 from repro.problems.specs import FAMILIES, family_generators
 
@@ -460,6 +463,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard processes to run (default: 2)",
     )
     p_fleet.add_argument(
+        "--router",
+        choices=list(ROUTER_POLICIES),
+        default="ring",
+        help=(
+            "routing policy: ring (pure consistent hashing), bounded "
+            "(bounded-load: spill when a shard exceeds --load-factor times "
+            "the fleet mean) or p2c (power-of-two-choices) (default: ring)"
+        ),
+    )
+    p_fleet.add_argument(
+        "--load-factor",
+        type=float,
+        default=1.25,
+        help=(
+            "bounded router's spill threshold as a multiple of the mean "
+            "shard load; 'inf' never spills (default: 1.25)"
+        ),
+    )
+    p_fleet.add_argument(
+        "--min-shards",
+        type=_positive_int,
+        default=None,
+        help=(
+            "lower bound for dynamic scaling (default: --shards, i.e. "
+            "autoscaling off)"
+        ),
+    )
+    p_fleet.add_argument(
+        "--max-shards",
+        type=_positive_int,
+        default=None,
+        help=(
+            "upper bound for dynamic scaling (default: --shards, i.e. "
+            "autoscaling off)"
+        ),
+    )
+    p_fleet.add_argument(
         "--socket",
         default="fleet.sock",
         help="front-end unix socket path (default: ./fleet.sock)",
@@ -645,6 +685,18 @@ def build_parser() -> argparse.ArgumentParser:
         type=_positive_int,
         default=2,
         help="fleet width for --target fleet (default: 2)",
+    )
+    p_load.add_argument(
+        "--router",
+        choices=list(ROUTER_POLICIES),
+        default="ring",
+        help="routing policy for --target fleet (default: ring)",
+    )
+    p_load.add_argument(
+        "--load-factor",
+        type=float,
+        default=1.25,
+        help="bounded router's spill threshold for --target fleet",
     )
     p_load.add_argument(
         "--mode",
@@ -930,18 +982,26 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     except ReproError as exc:
         print(f"fleet: {exc}", file=sys.stderr)
         return 2
-    router = FleetRouter(
-        args.shards,
-        method=args.method,
-        backend=args.backend,
-        workers=args.workers,
-        start_method=args.start_method,
-        batch_window=args.batch_window_ms / 1e3,
-        max_batch=args.max_batch,
-        cache_bytes=int(args.cache_mb * (1 << 20)),
-        cache_dir=args.cache_dir,
-        state_dir=args.state_dir,
-    )
+    try:
+        router = FleetRouter(
+            args.shards,
+            method=args.method,
+            backend=args.backend,
+            workers=args.workers,
+            start_method=args.start_method,
+            batch_window=args.batch_window_ms / 1e3,
+            max_batch=args.max_batch,
+            cache_bytes=int(args.cache_mb * (1 << 20)),
+            cache_dir=args.cache_dir,
+            state_dir=args.state_dir,
+            router=args.router,
+            load_factor=args.load_factor,
+            min_shards=args.min_shards,
+            max_shards=args.max_shards,
+        )
+    except ReproError as exc:
+        print(f"fleet: {exc}", file=sys.stderr)
+        return 2
     try:
         router.start()
         served = asyncio.run(
@@ -1128,6 +1188,9 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             target_kwargs["workers"] = args.workers
         if config.method is not None:
             target_kwargs["method"] = config.method
+        if args.target == "fleet":
+            target_kwargs["router"] = args.router
+            target_kwargs["load_factor"] = args.load_factor
     result = run_loadtest(
         config,
         events=events,

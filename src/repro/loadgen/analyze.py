@@ -12,6 +12,10 @@ Consumes the per-request records the harness emits
   service answered (``batch`` = cold solve, ``cache``/``coalesced``/
   ``delta`` = the hit tiers), which is what an SLO on cache-hit
   latency gates;
+* **per-route breakdown** — the same split by the fleet router's
+  routing decision (``ring``/``affinity``/``spill``/``p2c``), showing
+  how much traffic a load-aware policy actually moved and what the
+  moved requests paid (empty for non-fleet targets);
 * **per-shard breakdown + imbalance coefficient** — request counts and
   latencies by shard attribution, summarised as the coefficient of
   variation (std/mean of per-shard counts) and the peak-to-mean ratio.
@@ -140,6 +144,18 @@ def analyze(
         by_source.setdefault(r.get("source") or "unknown", []).append(r["latency_ms"])
     out["by_source"] = {
         source: latency_summary(vals) for source, vals in sorted(by_source.items())
+    }
+
+    # Routing-decision split (ring/affinity/spill/p2c, stamped by the
+    # fleet router): how much traffic each policy mechanism actually
+    # moved, and what it cost — the E14 per-policy comparison surface.
+    # Absent entirely for non-fleet targets (no record carries a route).
+    by_route: dict[str, list[float]] = {}
+    for r in ok:
+        if r.get("route") is not None:
+            by_route.setdefault(str(r["route"]), []).append(r["latency_ms"])
+    out["by_route"] = {
+        route: latency_summary(vals) for route, vals in sorted(by_route.items())
     }
 
     shard_latencies: dict[int, list[float]] = {}

@@ -33,8 +33,9 @@ anything else
 
 Each request yields one JSON-able record — scheduled/send/receive
 timestamps, ``ok``, the service's ``source`` attribution
-(cache/coalesced/delta/batch), the answering ``shard`` (stamped by the
-fleet router), the server-side ``elapsed_ms`` and the harness-side
+(cache/coalesced/delta/batch), the answering ``shard`` and routing
+decision ``route`` (ring/affinity/spill/p2c, both stamped by the fleet
+router), the server-side ``elapsed_ms`` and the harness-side
 ``latency_ms`` — which :func:`repro.loadgen.analyze.analyze` folds into
 the tail-latency/SLO summary.
 """
@@ -94,6 +95,7 @@ def _record_for(event: TraceEvent, scheduled_s: float) -> dict:
         "ok": False,
         "source": None,
         "shard": None,
+        "route": None,
         "value": None,
         "elapsed_ms": None,
         "latency_ms": None,
@@ -109,6 +111,7 @@ def _absorb(record: dict, response: dict, recv_s: float, origin_s: float) -> Non
     record["ok"] = bool(response.get("ok"))
     record["source"] = response.get("source")
     record["shard"] = response.get("shard")
+    record["route"] = response.get("route")
     record["value"] = response.get("value")
     record["elapsed_ms"] = response.get("elapsed_ms")
     record["error"] = response.get("error")

@@ -13,6 +13,30 @@ the same shard, so duplicate-heavy traffic keeps hitting that shard's
 cache and coalescer exactly as it would a single service's; distinct
 requests spread across shards and scale with them.
 
+Routing is **load-aware** (ROADMAP item 4): the placement above is the
+default ``router="ring"`` policy, and two alternatives from
+:mod:`repro.service.routing` bound the Zipf imbalance pure hashing
+suffers — ``"bounded"`` (bounded-load consistent hashing: spill to the
+next ring shard when the owner exceeds ``load_factor`` times the fleet
+mean, with a cache-affinity hint so a spilled hot key's repeats keep
+hitting the shard now holding its L1 entry, and the shared L2 catching
+the keys that do move) and ``"p2c"`` (power-of-two-choices between each
+key's two deterministic ring candidates). Every response carries the
+routing decision (``route: ring/affinity/spill/p2c``) next to the
+answering ``shard``.
+
+The shard set is **elastic** between batches: with ``min_shards`` /
+``max_shards`` spanning a range, the router grows the fleet when the
+EWMA-smoothed per-shard demand (incoming batch size plus live router-
+side queue depth) exceeds ``scale_up_depth`` and shrinks it when
+demand decays below ``scale_down_depth``. Scale events are ring-
+segment handoffs: a new shard claims exactly the vnode segment its
+index owns (respawning retired indices on the same sockets), and a
+shard is only retired when it holds **zero** accepted-but-unanswered
+requests — together with the at-most-once re-dispatch machinery below,
+no accepted request is ever dropped across a scale cycle (gated in CI
+by ``bench_e14_routing.py --smoke``).
+
 Failure semantics
 -----------------
 Shard death is detected at the transport (broken pipe / connection
@@ -34,8 +58,7 @@ unix-socket or TCP endpoint via :func:`serve_fleet`).
 from __future__ import annotations
 
 import asyncio
-import bisect
-import hashlib
+import math
 import os
 import shutil
 import subprocess
@@ -50,6 +73,12 @@ from typing import Any, Callable, Optional, Sequence
 
 from repro.errors import ReproError
 from repro.problems.specs import route_key_from_spec
+from repro.service.routing import (
+    ROUTER_POLICIES,
+    HashRing,
+    ShardLoad,
+    make_policy,
+)
 from repro.service.transport import (
     Address,
     decode_record,
@@ -58,51 +87,14 @@ from repro.service.transport import (
 )
 from repro.service import transport as _transport
 
-__all__ = ["FleetRouter", "HashRing", "serve_fleet"]
-
-#: ring points per shard — enough that a 4-shard ring is within a few
-#: percent of a perfectly even split, cheap enough to rebuild at will
-_RING_REPLICAS = 256
+__all__ = ["FleetRouter", "HashRing", "ROUTER_POLICIES", "serve_fleet"]
 
 #: total sends a single request may consume: the original dispatch plus
 #: exactly one re-dispatch after a shard death
 _MAX_DISPATCHES = 2
 
-
-def _hash_point(data: bytes) -> int:
-    return int.from_bytes(hashlib.blake2b(data, digest_size=8).digest(), "big")
-
-
-class HashRing:
-    """Consistent hashing of byte keys onto shard indices.
-
-    Each shard owns :data:`_RING_REPLICAS` pseudo-random points on a
-    64-bit ring; a key routes to the first shard point at or after its
-    own hash. The placement depends only on ``(shard index, replica)``
-    strings through blake2b, so every process — router, client, or an
-    operator's script — computes the identical mapping, and a respawned
-    shard reclaims exactly the keyspace its predecessor owned.
-    """
-
-    def __init__(
-        self, shard_ids: Sequence[int], replicas: int = _RING_REPLICAS
-    ) -> None:
-        if not shard_ids:
-            raise ReproError("a hash ring needs at least one shard")
-        points: list[tuple[int, int]] = []
-        for sid in shard_ids:
-            for replica in range(replicas):
-                points.append((_hash_point(f"shard-{sid}:{replica}".encode()), sid))
-        points.sort()
-        self._points = [p for p, _ in points]
-        self._owners = [sid for _, sid in points]
-
-    def route(self, key: bytes) -> int:
-        """The shard index owning ``key``."""
-        where = bisect.bisect(self._points, _hash_point(key))
-        if where == len(self._points):
-            where = 0
-        return self._owners[where]
+#: EWMA smoothing for the per-shard demand signal the autoscaler tracks
+_SCALE_ALPHA = 0.5
 
 
 @dataclass
@@ -113,6 +105,7 @@ class _Job:
     spec: dict
     shard: int
     client_id: Any = None  # the caller's own "id", echoed back verbatim
+    route: str = "ring"  # the policy's decision tag (ring/affinity/spill/p2c)
     dispatches: int = 0
     record: Optional[dict] = None
 
@@ -197,6 +190,21 @@ class FleetRouter:
         directory (removed on close) when not given.
     ``spawn_timeout``
         Seconds to wait for a shard's socket to accept connections.
+    ``router, load_factor``
+        The routing policy (``ring``/``bounded``/``p2c``, see
+        :mod:`repro.service.routing`) and the bounded policy's spill
+        threshold (spill when a shard's load exceeds ``load_factor``
+        times the fleet mean; ``inf`` disables spilling entirely).
+    ``min_shards, max_shards``
+        The elastic range for dynamic scaling; both default to
+        ``shards`` (autoscaling off). With a real range, the router
+        grows/shrinks the shard set *between batches* on the
+        EWMA-smoothed per-shard demand signal.
+    ``scale_up_depth, scale_down_depth``
+        Demand thresholds (requests per shard) for growing and
+        shrinking; growth needs the smoothed demand to exceed
+        ``scale_up_depth``, shrink needs it to decay below
+        ``scale_down_depth``.
 
     Thread-safe: concurrent ``request_many`` calls interleave freely;
     access to any one shard's connection is serialised by a per-shard
@@ -219,9 +227,29 @@ class FleetRouter:
         state_dir: Optional[str] = None,
         spawn_timeout: float = 30.0,
         request_timeout: float = 120.0,
+        router: str = "ring",
+        load_factor: float = 1.25,
+        min_shards: Optional[int] = None,
+        max_shards: Optional[int] = None,
+        scale_up_depth: float = 32.0,
+        scale_down_depth: float = 2.0,
     ) -> None:
         if shards < 1:
             raise ReproError("a fleet needs at least one shard")
+        self.min_shards = shards if min_shards is None else int(min_shards)
+        self.max_shards = shards if max_shards is None else int(max_shards)
+        if not 1 <= self.min_shards <= shards <= self.max_shards:
+            raise ReproError(
+                f"need 1 <= min_shards <= shards <= max_shards, got "
+                f"{self.min_shards} / {shards} / {self.max_shards}"
+            )
+        if not scale_down_depth < scale_up_depth:
+            raise ReproError(
+                f"scale_down_depth ({scale_down_depth}) must be below "
+                f"scale_up_depth ({scale_up_depth})"
+            )
+        self.scale_up_depth = float(scale_up_depth)
+        self.scale_down_depth = float(scale_down_depth)
         self.default_method = method
         self.backend = backend
         self.workers = workers
@@ -242,16 +270,35 @@ class FleetRouter:
         if cache_dir is None and self.cache_bytes > 0:
             cache_dir = str(self.state_dir / "l2-cache")
         self.cache_dir = cache_dir or None
-        self._shards = [
-            _Shard(i, str(self.state_dir / f"shard-{i}.sock")) for i in range(shards)
-        ]
+        self._shards: dict[int, _Shard] = {
+            i: _Shard(i, str(self.state_dir / f"shard-{i}.sock"))
+            for i in range(shards)
+        }
         self.ring = HashRing(range(shards))
+        self._policy = make_policy(router, load_factor=load_factor)
+        self._loads: dict[int, ShardLoad] = {i: ShardLoad() for i in range(shards)}
         self._started = False
         self._closed = False
         # -- router-level counters (served by status()); increments are
         # read-modify-writes from concurrent request threads, so they
         # take this lock (shard.lock only serialises shard transport) --
         self._stats_lock = threading.Lock()
+        # Routing decisions and the load gauges they read are serialised
+        # by their own lock: a placement must see the loads including
+        # every placement before it, or two concurrent batches would
+        # both pile onto the same momentarily-least-loaded shard.
+        self._route_lock = threading.Lock()
+        # Scale events (ring/shard-set mutation) take this on top of the
+        # route lock, and are further serialised against each other so
+        # only one spawn/retire sequence runs at a time.
+        self._scale_lock = threading.Lock()
+        self._demand_ewma = 0.0
+        self._scale_ups = 0
+        self._scale_downs = 0
+        self._route_tags: dict[str, int] = {}
+        #: respawn counts of retired shard objects, so the fleet-wide
+        #: respawn total survives scale-downs
+        self._retired_respawns = 0
         self._requests = 0
         self._redispatched = 0
         self._gave_up = 0
@@ -264,9 +311,9 @@ class FleetRouter:
         if self._started:
             return self
         self._started = True
-        for shard in self._shards:
+        for shard in self._shards.values():
             self._spawn(shard)
-        for shard in self._shards:
+        for shard in self._shards.values():
             self._await_ready(shard)
         return self
 
@@ -378,8 +425,8 @@ class FleetRouter:
         self._closed = True
         if self._started:
             with ThreadPoolExecutor(max_workers=len(self._shards)) as pool:
-                list(pool.map(self._stop_shard, self._shards))
-        for shard in self._shards:
+                list(pool.map(self._stop_shard, self._shards.values()))
+        for shard in self._shards.values():
             if os.path.exists(shard.socket_path):  # pragma: no cover - forced kill
                 try:
                     os.unlink(shard.socket_path)
@@ -423,14 +470,42 @@ class FleetRouter:
 
     # -- routing -------------------------------------------------------------
 
-    def route(self, spec: dict) -> int:
-        """The shard index a spec routes to (consistent hash of its
-        shard-stable instance key; see :mod:`repro.problems.specs`)."""
-        key = route_key_from_spec(
-            {k: v for k, v in spec.items() if k != "id"},
+    def _route_key(self, body: dict) -> bytes:
+        return route_key_from_spec(
+            {k: v for k, v in body.items() if k != "id"},
             default_method=self.default_method,
         )
-        return self.ring.route(key)
+
+    def route(self, spec: dict) -> int:
+        """The shard index a spec's *ring owner* — the pure consistent-
+        hash placement, independent of the configured policy and free of
+        load-gauge side effects (so clients and tests can predict it)."""
+        return self.ring.route(self._route_key(spec))
+
+    def _route_spec(self, body: dict) -> tuple[int, str]:
+        """One load-aware placement: ask the policy, then immediately
+        account for it (``assigned`` forever, ``inflight`` until the
+        record lands) so the next placement — same batch or a concurrent
+        one — sees this request's weight. Returns ``(shard, tag)``."""
+        key = self._route_key(body)
+        with self._route_lock:
+            alive = {
+                sid for sid, shard in self._shards.items() if shard.alive()
+            } or set(self._shards)
+            sid, tag = self._policy.choose(key, self.ring, self._loads, alive)
+            load = self._loads.get(sid)
+            if load is not None:
+                load.assigned += 1
+                load.inflight += 1
+            self._route_tags[tag] = self._route_tags.get(tag, 0) + 1
+        return sid, tag
+
+    def _finish_job(self, job: _Job) -> None:
+        """Release a routed job's live-load claim (exactly once)."""
+        with self._route_lock:
+            load = self._loads.get(job.shard)
+            if load is not None and load.inflight > 0:
+                load.inflight -= 1
 
     # -- requests ------------------------------------------------------------
 
@@ -450,14 +525,17 @@ class FleetRouter:
             raise ReproError("fleet is closed")
         if not self._started:
             self.start()
+        self._maybe_scale(len(specs))
         jobs = []
         for index, spec in enumerate(specs):
             body = {k: v for k, v in spec.items() if k != "id"}
+            shard, tag = self._route_spec(body)
             job = _Job(
                 index=index,
                 spec=body,
-                shard=self.route(body),
+                shard=shard,
                 client_id=spec.get("id", index + 1),
+                route=tag,
             )
             jobs.append(job)
         with self._stats_lock:
@@ -494,12 +572,14 @@ class FleetRouter:
                             "id": job.client_id,
                             "ok": False,
                             "shard": job.shard,
+                            "route": job.route,
                             "error": (
                                 f"shard {job.shard} died again after the request "
                                 "was re-dispatched once; giving up "
                                 "(at-most-once re-dispatch)"
                             ),
                         }
+                        self._finish_job(job)
                     else:
                         pending.append(job)
         for job in pending:  # pragma: no cover - exhausted retry margin
@@ -509,8 +589,10 @@ class FleetRouter:
                 "id": job.client_id,
                 "ok": False,
                 "shard": job.shard,
+                "route": job.route,
                 "error": f"shard {job.shard} kept failing; request abandoned",
             }
+            self._finish_job(job)
         return [job.record for job in jobs]
 
     def _dispatch_to_shard(self, shard: _Shard, jobs: list[_Job]) -> list[_Job]:
@@ -559,16 +641,108 @@ class FleetRouter:
                     # stamps itself) and rides through the front end,
                     # so a load harness needs no client-side re-route.
                     record["shard"] = shard.index
+                    record["route"] = job.route
                     job.record = record
+                    self._finish_job(job)
                 return []
             except (OSError, ValueError, ReproError, KeyError):
                 shard.disconnect()
                 return [job for job in jobs if job.record is None]
 
+    # -- dynamic scaling -------------------------------------------------------
+
+    def _maybe_scale(self, incoming: int) -> None:
+        """Grow or shrink the shard set *between batches*.
+
+        The demand signal is the per-shard work the arriving batch
+        implies (its size plus whatever is still in flight, divided by
+        the current width), EWMA-smoothed so one spike doesn't thrash
+        the fleet. Growth triggers above ``scale_up_depth``; shrink
+        needs the smoothed demand to decay below ``scale_down_depth``
+        *and* an idle shard to retire — a shard holding accepted
+        requests is never touched, which (with the at-most-once
+        re-dispatch machinery) is why no accepted request is ever
+        dropped across a scale cycle.
+        """
+        if self.min_shards == self.max_shards:
+            return
+        with self._scale_lock:
+            with self._route_lock:
+                width = len(self._shards)
+                inflight = sum(load.inflight for load in self._loads.values())
+            demand = (incoming + inflight) / max(width, 1)
+            self._demand_ewma += _SCALE_ALPHA * (demand - self._demand_ewma)
+            if self._demand_ewma > self.scale_up_depth and width < self.max_shards:
+                self._scale_up()
+            elif (
+                self._demand_ewma < self.scale_down_depth
+                and width > self.min_shards
+            ):
+                self._scale_down()
+
+    def _scale_up(self) -> None:
+        """Add one shard (caller holds ``_scale_lock``).
+
+        The smallest free index is reused, so a previously retired
+        shard respawns **on the same socket path** and — because ring
+        points depend only on the index — reclaims exactly the vnode
+        segment its predecessor owned. The process is spawned and
+        readied *before* the ring learns about it, so no request routes
+        to a socket that isn't accepting yet; its load gauge starts at
+        the fleet's mean ``assigned`` so the bounded policy ramps it in
+        instead of funnelling every next request at the newcomer.
+        """
+        sid = 0
+        while sid in self._shards:
+            sid += 1
+        shard = _Shard(sid, str(self.state_dir / f"shard-{sid}.sock"))
+        self._spawn(shard)
+        self._await_ready(shard)
+        with self._route_lock:
+            mean_assigned = int(
+                sum(load.assigned for load in self._loads.values())
+                / max(len(self._loads), 1)
+            )
+            self._shards[sid] = shard
+            self._loads[sid] = ShardLoad(assigned=mean_assigned)
+            self.ring.add_shard(sid)
+            self._scale_ups += 1
+
+    def _scale_down(self) -> None:
+        """Retire one idle shard (caller holds ``_scale_lock``).
+
+        Only a shard with **zero** in-flight requests is eligible —
+        checked under the route lock in the same critical section that
+        removes it from the ring, so a concurrent placement either
+        lands before (and blocks the retirement) or after (and cannot
+        choose the retired shard). Its keyspace hands off to the ring
+        successors; duplicates of its hot keys re-materialise from the
+        shared L2 rather than re-solving.
+        """
+        victim: Optional[_Shard] = None
+        with self._route_lock:
+            for sid in sorted(self._shards, reverse=True):
+                if len(self._shards) <= self.min_shards:
+                    break
+                if self._loads[sid].inflight == 0:
+                    victim = self._shards.pop(sid)
+                    self._loads.pop(sid)
+                    self.ring.remove_shard(sid)
+                    self._retired_respawns += victim.respawns
+                    self._scale_downs += 1
+                    break
+        if victim is not None:
+            self._stop_shard(victim)
+            if os.path.exists(victim.socket_path):  # pragma: no cover - forced kill
+                try:
+                    os.unlink(victim.socket_path)
+                except OSError:
+                    pass
+
     # -- introspection -------------------------------------------------------
 
     def shard_pids(self) -> list[Optional[int]]:
-        return [shard.pid() for shard in self._shards]
+        return [shard.pid() for _, shard in sorted(self._shards.items())]
 
     def status(self) -> dict:
         """Aggregate health: per-shard status records (or ``alive:
@@ -584,9 +758,12 @@ class FleetRouter:
             "delta_hits": 0,
             "batches": 0,
             "queue_depth": 0,
+            "queue_depth_ewma": 0.0,
         }
         alive = 0
-        for shard in self._shards:
+        with self._route_lock:
+            members = sorted(self._shards.items())
+        for sid, shard in members:
             record: dict[str, Any] = {
                 "shard": shard.index,
                 "pid": shard.pid(),
@@ -608,17 +785,46 @@ class FleetRouter:
                 totals["batches"] += scheduler.get("batches", 0)
                 totals["delta_hits"] += scheduler.get("delta_hits", 0)
                 totals["queue_depth"] += scheduler.get("queue_depth", 0)
+            with self._route_lock:
+                load = self._loads.get(sid)
+                if load is not None:
+                    if status is not None:
+                        # Fold the shard scheduler's own backlog gauge
+                        # (PR 9) into the EWMA the routing policies read.
+                        load.observe_queue(
+                            (status.get("scheduler") or {}).get("queue_depth", 0)
+                        )
+                    record["load"] = load.snapshot()
+                    totals["queue_depth_ewma"] += load.queue_ewma
             shard_records.append(record)
+        totals["queue_depth_ewma"] = round(totals["queue_depth_ewma"], 3)
         lookups = totals["cache_hits"] + totals["cache_misses"]
+        with self._route_lock:
+            route_tags = dict(sorted(self._route_tags.items()))
         return {
             "shards": len(self._shards),
+            "min_shards": self.min_shards,
+            "max_shards": self.max_shards,
             "alive": alive,
             "uptime_s": round(time.monotonic() - self._t0, 3),
             "router": {
+                "policy": self._policy.name,
+                "load_factor": (
+                    None
+                    if math.isinf(getattr(self._policy, "load_factor", math.inf))
+                    else self._policy.load_factor
+                ),
                 "requests": self._requests,
                 "redispatched": self._redispatched,
                 "gave_up": self._gave_up,
-                "respawns": sum(s.respawns for s in self._shards),
+                "respawns": (
+                    sum(s.respawns for s in self._shards.values())
+                    + self._retired_respawns
+                ),
+                "scale_ups": self._scale_ups,
+                "scale_downs": self._scale_downs,
+                "demand_ewma": round(self._demand_ewma, 3),
+                "route_tags": route_tags,
             },
             "totals": {
                 **totals,

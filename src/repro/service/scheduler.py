@@ -110,6 +110,18 @@ class CoalescingScheduler:
         self._batches = 0
         self._batch_items = 0
         self._largest_batch = 0
+        # EWMA of the queue_depth gauge, sampled at the two moments the
+        # backlog changes shape (a request entering, a batch resolving):
+        # the smoothed signal load-aware fleet routing consumes, served
+        # next to the raw gauge so pollers need no client-side state.
+        self._queue_ewma = 0.0
+
+    #: smoothing factor for the queue-depth EWMA gauge
+    _QUEUE_EWMA_ALPHA = 0.2
+
+    def _observe_queue(self) -> None:
+        depth = len(self._pending) + self._executing_count
+        self._queue_ewma += self._QUEUE_EWMA_ALPHA * (depth - self._queue_ewma)
 
     # -- submission ----------------------------------------------------------
 
@@ -154,6 +166,7 @@ class CoalescingScheduler:
                 self._spawn_flusher()
             if len(self._pending) >= self.max_batch:
                 self._full.set()
+        self._observe_queue()
         result, tag = await future
         return result, ("coalesced" if joined else tag)
 
@@ -251,6 +264,7 @@ class CoalescingScheduler:
         # Unindex before resolving: both happen in this same event-loop
         # step, so no submit can slip between them and join a dead entry.
         self._executing_count = 0
+        self._observe_queue()
         for entry in batch:
             if entry.key is not None:
                 self._executing.pop(entry.key, None)
@@ -304,4 +318,7 @@ class CoalescingScheduler:
             # the one-number backlog gauge load monitors poll: every
             # entry accepted but not yet resolved, wherever it sits
             "queue_depth": len(self._pending) + self._executing_count,
+            # its EWMA (sampled on submit and batch completion) — the
+            # smoothed backlog signal load-aware routing reads
+            "queue_depth_ewma": round(self._queue_ewma, 3),
         }

@@ -7,12 +7,13 @@ from repro.loadgen import analyze, latency_summary
 from repro.loadgen.analyze import imbalance
 
 
-def rec(i, latency_ms, *, ok=True, source="batch", shard=None, recv=1.0):
+def rec(i, latency_ms, *, ok=True, source="batch", shard=None, route=None, recv=1.0):
     return {
         "i": i,
         "ok": ok,
         "source": source,
         "shard": shard,
+        "route": route,
         "recv_s": recv,
         "latency_ms": latency_ms,
     }
@@ -34,6 +35,7 @@ class TestAccounting:
         out = analyze([])
         assert out["requests"] == 0 and out["latency_ms"] is None
         assert out["by_source"] == {} and out["imbalance"] is None
+        assert out["by_route"] == {}
 
     def test_throughput_over_horizon(self):
         records = [rec(i, 1.0, recv=2.0) for i in range(10)]
@@ -61,6 +63,23 @@ class TestBreakdowns:
         assert out["imbalance"]["counts"] == [4, 4]
         assert out["imbalance"]["cv"] == 0.0
         assert out["imbalance"]["peak_to_mean"] == 1.0
+
+    def test_by_route_partitions_ok_requests(self):
+        records = [
+            rec(0, 1.0, route="ring"),
+            rec(1, 2.0, route="ring"),
+            rec(2, 8.0, route="spill"),
+            rec(3, 3.0, route="affinity"),
+            rec(4, 9.0, route="spill", ok=False),  # failed: not counted
+        ]
+        out = analyze(records)
+        assert set(out["by_route"]) == {"ring", "spill", "affinity"}
+        assert out["by_route"]["ring"]["count"] == 2
+        assert out["by_route"]["spill"]["max_ms"] == 8.0
+
+    def test_non_fleet_records_have_no_route_breakdown(self):
+        records = [rec(i, 1.0) for i in range(4)]  # route is None
+        assert analyze(records)["by_route"] == {}
 
     def test_starved_shard_zero_filled(self):
         """A shard that absorbed nothing still shows up in the

@@ -235,7 +235,7 @@ class TestShutdownHygiene:
         router.start()
         pids = router.shard_pids()
         state_dir = router.state_dir
-        sockets = [shard.socket_path for shard in router._shards]
+        sockets = [shard.socket_path for shard in router._shards.values()]
         assert all(pid_alive(p) for p in pids)
         assert all(os.path.exists(s) for s in sockets)
         router.close()
@@ -264,6 +264,122 @@ class TestShutdownHygiene:
         assert router.request({"dims": [3, 7, 2]})["ok"]
         router.close()
         assert state.exists(), "caller-owned state dir must survive close"
+
+
+class TestLoadAwareRouting:
+    """The ISSUE 10 tentpole's live face: policy selection, route tags
+    on the wire, and status carrying the routing telemetry."""
+
+    def test_bounded_fleet_answers_and_tags_routes(self):
+        specs = [{"family": "chain", "n": 10, "seed": s % 4} for s in range(16)]
+        with FleetRouter(
+            2, **FLEET_KWARGS, router="bounded", load_factor=1.25
+        ) as router:
+            records = router.request_many(specs)
+            assert all(r["ok"] for r in records)
+            assert {r["route"] for r in records} <= {"ring", "affinity", "spill"}
+            status = router.status()
+            assert status["router"]["policy"] == "bounded"
+            assert status["router"]["load_factor"] == 1.25
+            tags = status["router"]["route_tags"]
+            assert sum(tags.values()) == len(specs)
+            for shard in status["per_shard"]:
+                load = shard["load"]
+                assert load["inflight"] == 0
+                assert load["assigned"] >= 0
+
+    def test_ring_policy_tags_every_record_ring(self):
+        specs = [{"family": "chain", "n": 10, "seed": s} for s in range(6)]
+        with FleetRouter(2, **FLEET_KWARGS) as router:
+            records = router.request_many(specs)
+            assert {r["route"] for r in records} == {"ring"}
+            status = router.status()
+            assert status["router"]["policy"] == "ring"
+            # load_factor is a bounded-policy knob; ring reports none
+            assert status["router"]["load_factor"] is None
+
+    def test_unknown_router_rejected(self):
+        with pytest.raises(ReproError, match="router policy"):
+            FleetRouter(2, router="roulette")
+
+
+class TestDynamicScaling:
+    """Elastic shard set between batches: grow under pressure, shrink
+    when idle, never drop an accepted request across either handoff."""
+
+    def test_scale_up_and_down_cycle_drops_nothing(self):
+        hot = [{"family": "chain", "n": 16, "seed": 100 + i} for i in range(16)]
+        cold = [{"family": "chain", "n": 8, "seed": 0}]
+        with FleetRouter(
+            2,
+            **FLEET_KWARGS,
+            router="bounded",
+            min_shards=2,
+            max_shards=3,
+            scale_up_depth=4.0,
+            scale_down_depth=1.0,
+        ) as router:
+            failures = 0
+            for _ in range(2):
+                records = router.request_many(hot)
+                failures += sum(1 for r in records if not r.get("ok"))
+            grown = router.status()
+            assert grown["shards"] == 3, "fleet never grew under pressure"
+            assert grown["alive"] == 3
+            # the new shard is on the ring and the old sockets survived
+            assert sorted(router.ring.shard_ids()) == [0, 1, 2]
+            for _ in range(8):
+                records = router.request_many(cold)
+                failures += sum(1 for r in records if not r.get("ok"))
+            settled = router.status()
+            assert settled["shards"] == 2, "fleet never shrank when idle"
+            assert failures == 0
+            assert settled["router"]["gave_up"] == 0
+            assert settled["router"]["scale_ups"] >= 1
+            assert settled["router"]["scale_downs"] >= 1
+            # a retired index's socket file is gone (no stale corpse)
+            retired = router.state_dir / "shard-2.sock"
+            assert not retired.exists()
+
+    def test_scale_up_reuses_the_retired_shards_socket(self):
+        """A grow -> shrink -> grow cycle respawns the same index on
+        the same socket path — the ring-segment handoff contract."""
+        with FleetRouter(
+            1,
+            **FLEET_KWARGS,
+            router="bounded",
+            min_shards=1,
+            max_shards=2,
+            scale_up_depth=2.0,
+            # strictly above the cold-stream fixed point (a 1-request
+            # batch at width 2 holds the demand EWMA at 0.5)
+            scale_down_depth=0.75,
+        ) as router:
+            hot = [{"family": "chain", "n": 12, "seed": i} for i in range(8)]
+            router.request_many(hot)
+            assert len(router._shards) == 2
+            first_socket = router._shards[1].socket_path
+            for _ in range(8):
+                router.request_many([{"family": "chain", "n": 8, "seed": 0}])
+            assert len(router._shards) == 1
+            router.request_many(hot)
+            router.request_many(hot)
+            assert len(router._shards) == 2
+            assert router._shards[1].socket_path == first_socket
+
+    def test_autoscaling_off_by_default(self):
+        with FleetRouter(2, **FLEET_KWARGS) as router:
+            hot = [{"family": "chain", "n": 12, "seed": i} for i in range(32)]
+            router.request_many(hot)
+            status = router.status()
+            assert status["shards"] == 2
+            assert status["router"]["scale_ups"] == 0
+
+    def test_invalid_scale_range_rejected(self):
+        with pytest.raises(ReproError, match="min_shards"):
+            FleetRouter(2, min_shards=3)
+        with pytest.raises(ReproError, match="min_shards"):
+            FleetRouter(2, max_shards=1)
 
 
 class TestValidation:

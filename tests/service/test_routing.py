@@ -1,0 +1,279 @@
+"""Load-aware routing policies: ring memoization, bounded-load spill
+semantics, p2c, and the degeneracy/dead-shard properties ISSUE 10 pins.
+
+Everything here is offline (no shard processes): the policies are pure
+functions of ``(key, ring, loads, alive)``, and
+:func:`~repro.service.routing.simulate_routing` replays key sequences
+deterministically — which is exactly why these invariants can be exact
+assertions instead of bands.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.loadgen.analyze import imbalance
+from repro.service.routing import (
+    ROUTER_POLICIES,
+    BoundedLoadPolicy,
+    HashRing,
+    PowerOfTwoPolicy,
+    ShardLoad,
+    make_policy,
+    simulate_routing,
+)
+
+#: a reusable batch of distinct keys (deterministic, no RNG needed)
+KEYS = [f"key-{i}".encode() for i in range(256)]
+
+keys_strategy = st.lists(st.binary(min_size=1, max_size=16), min_size=1, max_size=64)
+
+
+class TestHashRingMemoization:
+    """The satellite fix: the sorted vnode arrays are merged once per
+    burst of mutations, not once per call that follows one."""
+
+    def test_routing_rebuilds_exactly_once(self):
+        ring = HashRing(range(4))
+        assert ring.rebuilds == 0  # construction only invalidates
+        for key in KEYS:
+            ring.route(key)
+        assert ring.rebuilds == 1, "steady-state routing must not rebuild"
+
+    def test_mutation_burst_costs_one_rebuild(self):
+        ring = HashRing(range(2))
+        ring.route(b"warm")
+        assert ring.rebuilds == 1
+        ring.add_shard(2)
+        ring.add_shard(3)
+        ring.remove_shard(0)
+        for key in KEYS:
+            ring.route(key)
+        assert ring.rebuilds == 2, "N mutations then M routes is one merge"
+
+    def test_successors_shares_the_memoized_arrays(self):
+        ring = HashRing(range(4))
+        list(ring.successors(b"a"))
+        for key in KEYS:
+            ring.route(key)
+            list(ring.successors(key))
+        assert ring.rebuilds == 1
+
+    def test_mutated_ring_matches_fresh_construction(self):
+        """add/remove must land on exactly the placement a fresh ring
+        over the same shard set computes — the re-added index reclaims
+        its old segment (the scale-up handoff contract)."""
+        ring = HashRing(range(4))
+        ring.remove_shard(2)
+        assert [ring.route(k) for k in KEYS] == [
+            HashRing([0, 1, 3]).route(k) for k in KEYS
+        ]
+        ring.add_shard(2)
+        assert [ring.route(k) for k in KEYS] == [
+            HashRing(range(4)).route(k) for k in KEYS
+        ]
+
+    def test_readd_reuses_cached_vnode_points(self):
+        ring = HashRing(range(4))
+        points_before = ring._point_cache[2]
+        ring.remove_shard(2)
+        ring.add_shard(2)
+        assert ring._point_cache[2] is points_before
+
+    def test_idempotent_add_does_not_invalidate(self):
+        ring = HashRing(range(4))
+        ring.route(b"warm")
+        ring.add_shard(1)  # already present
+        ring.route(b"again")
+        assert ring.rebuilds == 1
+
+    def test_membership_protocol(self):
+        ring = HashRing(range(3))
+        assert len(ring) == 3 and 2 in ring and 7 not in ring
+        assert ring.shard_ids() == (0, 1, 2)
+
+    def test_cannot_remove_last_or_unknown_shard(self):
+        ring = HashRing([5])
+        with pytest.raises(ReproError, match="last shard"):
+            ring.remove_shard(5)
+        with pytest.raises(ReproError, match="not on the ring"):
+            ring.remove_shard(0)
+
+    def test_successors_walk_is_complete_and_starts_at_the_owner(self):
+        ring = HashRing(range(4))
+        for key in KEYS[:32]:
+            walk = list(ring.successors(key))
+            assert walk[0] == ring.route(key)
+            assert sorted(walk) == [0, 1, 2, 3]
+
+
+class TestShardLoad:
+    def test_value_blends_all_three_components(self):
+        load = ShardLoad(assigned=10)
+        load.inflight = 3
+        load.observe_queue(10.0)
+        # assigned 10 + inflight 3 + one EWMA step of 10 at alpha 0.3
+        assert load.value() == pytest.approx(16.0)
+
+    def test_observe_queue_is_an_ewma(self):
+        load = ShardLoad()
+        for _ in range(50):
+            load.observe_queue(8.0)
+        assert load.queue_ewma == pytest.approx(8.0, abs=1e-3)
+        load.observe_queue(0.0)
+        assert load.queue_ewma < 8.0
+
+    def test_snapshot_is_json_shaped(self):
+        snap = ShardLoad(assigned=2).snapshot()
+        assert snap == {"assigned": 2, "inflight": 0, "queue_ewma": 0.0}
+
+
+class TestBoundedDegeneratesToRing:
+    """ISSUE 10 property: ``load_factor=inf`` makes the capacity test
+    vacuous, so bounded routing IS ring routing, placement for
+    placement — however skewed the key sequence."""
+
+    @given(keys=keys_strategy)
+    @settings(max_examples=40)
+    def test_inf_factor_reproduces_ring_exactly(self, keys):
+        ring = simulate_routing(keys, range(4), policy="ring")
+        bounded = simulate_routing(
+            keys, range(4), policy="bounded", load_factor=math.inf
+        )
+        assert bounded["counts"] == ring["counts"]
+        assert bounded["tags"] == {"ring": len(keys)}
+        assert bounded["load_factor"] is None  # JSON-able inf
+
+    def test_finite_factor_beats_ring_on_a_hot_key(self):
+        """One totally hot key: ring piles everything on the owner;
+        bounded caps the owner at ~load_factor times the mean."""
+        keys = [b"hot"] * 100
+        ring = imbalance(simulate_routing(keys, range(4), policy="ring")["counts"])
+        bounded = imbalance(
+            simulate_routing(keys, range(4), policy="bounded", load_factor=1.25)[
+                "counts"
+            ]
+        )
+        assert ring["peak_to_mean"] == 4.0
+        assert bounded["peak_to_mean"] <= 1.25 * 1.1  # capacity slack margin
+        assert bounded["cv"] < ring["cv"]
+
+
+class TestNeverRouteToDeadShards:
+    """ISSUE 10 property: bounded and p2c skip dead candidates while
+    any alive one exists; with the whole fleet dead they return the
+    ring owner so the dispatch path's respawn machinery heals it."""
+
+    @given(
+        keys=keys_strategy,
+        dead=st.sets(st.integers(0, 3), max_size=3),
+        policy=st.sampled_from(["bounded", "p2c"]),
+    )
+    @settings(max_examples=60)
+    def test_dead_shards_are_never_chosen(self, keys, dead, policy):
+        ring = HashRing(range(4))
+        loads = {sid: ShardLoad() for sid in range(4)}
+        alive = set(range(4)) - dead
+        chooser = make_policy(policy)
+        for key in keys:
+            sid, _ = chooser.choose(key, ring, loads, alive)
+            loads[sid].assigned += 1
+            assert sid in alive
+
+    def test_fully_dead_fleet_falls_back_to_the_owner(self):
+        ring = HashRing(range(4))
+        loads = {sid: ShardLoad() for sid in range(4)}
+        for policy in ("bounded", "p2c"):
+            chooser = make_policy(policy)
+            sid, tag = chooser.choose(b"key", ring, loads, set())
+            assert sid == ring.route(b"key")
+            assert tag == "ring"
+
+
+class TestBoundedPolicySemantics:
+    def test_overloaded_owner_spills_to_the_ring_successor(self):
+        ring = HashRing(range(4))
+        loads = {sid: ShardLoad() for sid in range(4)}
+        key = b"spillme"
+        owner = ring.route(key)
+        successor = list(ring.successors(key))[1]
+        loads[owner].assigned = 100  # far over any capacity
+        policy = BoundedLoadPolicy(load_factor=1.25)
+        sid, tag = policy.choose(key, ring, loads, set(range(4)))
+        assert sid == successor and tag == "spill"
+
+    def test_repeats_of_a_spilled_key_keep_their_affinity(self):
+        ring = HashRing(range(4))
+        loads = {sid: ShardLoad() for sid in range(4)}
+        key = b"hotkey"
+        owner = ring.route(key)
+        loads[owner].assigned = 100
+        policy = BoundedLoadPolicy(load_factor=1.25)
+        first, tag1 = policy.choose(key, ring, loads, set(range(4)))
+        loads[first].assigned += 1
+        second, tag2 = policy.choose(key, ring, loads, set(range(4)))
+        assert tag1 == "spill" and tag2 == "affinity"
+        assert second == first, "the repeat must follow its L1 entry"
+
+    def test_affinity_map_is_bounded(self):
+        policy = BoundedLoadPolicy(load_factor=1.25, affinity_limit=8)
+        ring = HashRing(range(4))
+        loads = {sid: ShardLoad() for sid in range(4)}
+        for i in range(64):
+            policy.choose(f"k{i}".encode(), ring, loads, set(range(4)))
+        assert len(policy._affinity) <= 8
+
+    def test_sub_one_load_factor_rejected(self):
+        with pytest.raises(ReproError, match="load_factor"):
+            BoundedLoadPolicy(load_factor=0.9)
+        with pytest.raises(ReproError, match="load_factor"):
+            BoundedLoadPolicy(load_factor=float("nan"))
+
+
+class TestPowerOfTwoChoices:
+    def test_prefers_the_less_loaded_candidate(self):
+        ring = HashRing(range(4))
+        loads = {sid: ShardLoad() for sid in range(4)}
+        key = b"p2c-key"
+        owner, second = list(ring.successors(key))[:2]
+        policy = PowerOfTwoPolicy()
+        loads[owner].assigned = 10
+        sid, tag = policy.choose(key, ring, loads, set(range(4)))
+        assert sid == second and tag == "p2c"
+
+    def test_ties_go_to_the_owner(self):
+        ring = HashRing(range(4))
+        loads = {sid: ShardLoad() for sid in range(4)}
+        key = b"p2c-tie"
+        sid, tag = PowerOfTwoPolicy().choose(key, ring, loads, set(range(4)))
+        assert sid == ring.route(key) and tag == "ring"
+
+    def test_candidates_are_deterministic_per_key(self):
+        ring = HashRing(range(4))
+        loads = {sid: ShardLoad() for sid in range(4)}
+        policy = PowerOfTwoPolicy()
+        picks = {
+            policy.choose(b"stable", ring, loads, set(range(4)))[0]
+            for _ in range(16)
+        }
+        assert len(picks) == 1  # equal loads: same winner every time
+
+
+class TestMakePolicyAndSimulate:
+    def test_registry_matches_the_cli_choices(self):
+        assert ROUTER_POLICIES == ("ring", "bounded", "p2c")
+        for name in ROUTER_POLICIES:
+            assert make_policy(name).name == name
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ReproError, match="router policy"):
+            make_policy("roulette")
+
+    def test_simulation_conserves_requests(self):
+        out = simulate_routing(KEYS, range(4), policy="bounded")
+        assert sum(out["counts"]) == len(KEYS)
+        assert sum(out["tags"].values()) == len(KEYS)
+        assert out["policy"] == "bounded" and out["load_factor"] == 1.25

@@ -322,3 +322,23 @@ class TestQueueDepth:
         assert mid["pending"] == 1 and mid["executing"] == 1
         assert mid["queue_depth"] == 2
         assert settled["queue_depth"] == 0
+
+    def test_queue_depth_ewma_smooths_the_gauge(self):
+        """The EWMA companion the load-aware router consumes: it starts
+        at zero, rises after submissions have passed through the queue,
+        and — being smoothed — does NOT snap back to zero the instant
+        the instantaneous gauge does."""
+        runner = RecordingRunner()
+
+        async def main():
+            sched = CoalescingScheduler(runner, batch_window=0.005, max_batch=8)
+            assert sched.stats()["queue_depth_ewma"] == 0.0
+            await asyncio.gather(
+                *(sched.submit(chain(10, 20, 5, n), "huang", {}) for n in range(1, 5))
+            )
+            await sched.close()
+            return sched.stats()
+
+        stats = run(main())
+        assert stats["queue_depth"] == 0  # instantaneous gauge is settled
+        assert stats["queue_depth_ewma"] > 0.0  # the smoothed one remembers
